@@ -1,0 +1,153 @@
+//! Criterion benches, one per table/figure group of the paper's
+//! evaluation: each measures the cost of regenerating that experiment's
+//! numbers from a pre-built audit (the fixture build itself is measured
+//! separately as `pipeline/end_to_end`). See DESIGN.md's per-experiment
+//! index for the table/figure ↔ bench mapping.
+
+use caf_bench::{campaign_config, Fixture};
+use caf_core::coverage::CoverageSeries;
+use caf_core::sensitivity::SensitivityAnalysis;
+use caf_core::{ComplianceAnalysis, Q3Analysis, ServiceabilityAnalysis};
+use caf_geo::UsState;
+use caf_synth::usac::NationalCafSummary;
+use caf_synth::{Isp, SynthConfig, World};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+const SEED: u64 = 0xCAF_2024;
+/// Bench scale: small enough to keep criterion iterations fast, large
+/// enough that the analyses aren't trivially empty.
+const SCALE: u32 = 120;
+
+fn fixture() -> Fixture {
+    Fixture::build_states(
+        SEED,
+        SCALE,
+        &[UsState::Alabama, UsState::Vermont, UsState::Wisconsin],
+    )
+}
+
+fn bench_experiments(c: &mut Criterion) {
+    let fix = fixture();
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(20);
+
+    // Figure 1: national marginals.
+    group.bench_function("fig1_national_marginals", |b| {
+        b.iter(|| {
+            let summary = NationalCafSummary::build(&SynthConfig {
+                seed: SEED,
+                scale: 1,
+            });
+            black_box(summary.by_isp.len())
+        })
+    });
+
+    // Figure 2 / Table 3: serviceability recomputation over the audit.
+    group.bench_function("fig2_serviceability", |b| {
+        b.iter(|| {
+            let analysis = ServiceabilityAnalysis::compute(&fix.dataset);
+            black_box(analysis.overall_rate())
+        })
+    });
+
+    // Figure 3 / Figure 10: density correlation + geospatial grid.
+    group.bench_function("fig3_fig10_density_geo", |b| {
+        let analysis = ServiceabilityAnalysis::compute(&fix.dataset);
+        b.iter(|| {
+            let corr = analysis.density_correlation(Isp::Att, UsState::Alabama);
+            let grid = analysis.geospatial_grid(Isp::Att, UsState::Alabama, 12, 24);
+            black_box((corr, grid.len()))
+        })
+    });
+
+    // Table 1 / §4.2 rates: compliance recomputation.
+    group.bench_function("table1_compliance", |b| {
+        b.iter(|| {
+            let analysis = ComplianceAnalysis::compute(&fix.dataset);
+            let bands = analysis.advertised_band_percentages(Isp::Att);
+            black_box((analysis.overall_rate(), bands.len()))
+        })
+    });
+
+    // Figures 7/8: coverage series.
+    group.bench_function("fig7_fig8_coverage", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for isp in Isp::audited() {
+                if let Some(series) = CoverageSeries::extract(&fix.dataset, isp) {
+                    total += series.queried_pct.len();
+                }
+            }
+            black_box(total)
+        })
+    });
+
+    // Table 2 / Figure 11: error and timing aggregation over records.
+    group.bench_function("table2_fig11_telemetry", |b| {
+        b.iter(|| {
+            let errors: usize = fix.dataset.records.iter().map(|r| r.errors.len()).sum();
+            let time: f64 = fix.dataset.records.iter().map(|r| r.duration_secs).sum();
+            black_box((errors, time))
+        })
+    });
+
+    group.finish();
+}
+
+fn bench_q3(c: &mut Criterion) {
+    let synth = SynthConfig {
+        seed: SEED,
+        scale: 60,
+    };
+    let world = World::generate_states(synth, &[UsState::Ohio]);
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    // Figures 4/5/6 + Table 4: the full Q3 pipeline over one state.
+    group.bench_function("fig4_5_6_q3_pipeline", |b| {
+        b.iter(|| {
+            let q3 = Q3Analysis::run(&world, campaign_config(SEED));
+            black_box(q3.blocks.len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let synth = SynthConfig {
+        seed: SEED,
+        scale: 90,
+    };
+    let world = World::generate_states(synth, &[UsState::Mississippi]);
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    group.bench_function("fig9_sensitivity_sweep", |b| {
+        b.iter(|| {
+            let analysis = SensitivityAnalysis::run(
+                &world,
+                Isp::Att,
+                campaign_config(SEED),
+                8,
+                &[0.10, 0.40, 0.75],
+                3,
+            );
+            black_box(analysis.sweep.len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    // The whole thing, end to end: world → sample → query → analyze.
+    group.bench_function("end_to_end_one_state", |b| {
+        b.iter(|| {
+            let fix = Fixture::build_states(SEED, 150, &[UsState::Vermont]);
+            black_box(fix.serviceability.overall_rate())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(experiments, bench_experiments, bench_q3, bench_fig9, bench_pipeline);
+criterion_main!(experiments);

@@ -1,0 +1,129 @@
+//! Criterion benches for the substrate crates: the relational engine, the
+//! statistics kernels, the geography primitives, and raw BQT campaign
+//! throughput. These quantify the "analysis pipeline is cheap; querying
+//! is the bottleneck" framing of the paper's §3.1 scale argument.
+
+use caf_bqt::{Campaign, CampaignConfig, QueryTask};
+use caf_dataframe::{Agg, AggSpec, Column, DataFrame, JoinKind};
+use caf_geo::{haversine_km, LatLon, UsState};
+use caf_stats::{quantile, Ecdf};
+use caf_synth::{SynthConfig, World};
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+
+fn frame(n: usize) -> DataFrame {
+    let keys: Column = (0..n).map(|i| format!("cbg-{}", i % 97)).collect();
+    let vals: Column = (0..n).map(|i| (i % 1_000) as f64 / 10.0).collect();
+    let served: Column = (0..n).map(|i| i % 3 != 0).collect();
+    DataFrame::new(vec![("cbg", keys), ("speed", vals), ("served", served)])
+        .expect("columns aligned")
+}
+
+fn bench_dataframe(c: &mut Criterion) {
+    let df = frame(20_000);
+    c.bench_function("dataframe/group_by_20k", |b| {
+        b.iter(|| {
+            let g = df
+                .group_by(
+                    &["cbg"],
+                    &[
+                        AggSpec::new(Agg::Count, "n"),
+                        AggSpec::new(Agg::Mean("speed".into()), "mean"),
+                        AggSpec::new(Agg::FractionTrue("served".into()), "rate"),
+                    ],
+                )
+                .expect("valid group-by");
+            black_box(g.n_rows())
+        })
+    });
+
+    let right = df
+        .group_by(&["cbg"], &[AggSpec::new(Agg::Count, "n")])
+        .expect("valid group-by");
+    c.bench_function("dataframe/hash_join_20k", |b| {
+        b.iter(|| {
+            let j = df
+                .join(&right, &["cbg"], &["cbg"], JoinKind::Inner)
+                .expect("valid join");
+            black_box(j.n_rows())
+        })
+    });
+
+    c.bench_function("dataframe/filter_sort_20k", |b| {
+        b.iter(|| {
+            let f = df.filter(|r| r.f64("speed").unwrap_or(0.0) > 50.0);
+            let s = f.sort_by(&[("speed", false)]).expect("valid sort");
+            black_box(s.n_rows())
+        })
+    });
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let xs: Vec<f64> = (0..100_000).map(|i| ((i * 37) % 9_973) as f64).collect();
+    c.bench_function("stats/quantile_100k", |b| {
+        b.iter(|| black_box(quantile(&xs, 0.8).expect("valid")))
+    });
+    c.bench_function("stats/ecdf_build_eval_100k", |b| {
+        b.iter(|| {
+            let e = Ecdf::new(&xs).expect("valid");
+            black_box(e.eval(5_000.0))
+        })
+    });
+}
+
+fn bench_geo(c: &mut Criterion) {
+    let a = LatLon::new(34.42, -119.70).expect("valid");
+    let b_point = LatLon::new(40.71, -74.01).expect("valid");
+    c.bench_function("geo/haversine", |b| {
+        b.iter(|| black_box(haversine_km(black_box(a), black_box(b_point))))
+    });
+    c.bench_function("geo/state_geography_build", |b| {
+        let cfg = SynthConfig {
+            seed: 7,
+            scale: 60,
+        };
+        b.iter(|| {
+            let geo = caf_synth::geography::StateGeography::build(&cfg, UsState::Iowa);
+            black_box(geo.cbgs.len())
+        })
+    });
+}
+
+fn bench_bqt(c: &mut Criterion) {
+    let synth = SynthConfig {
+        seed: 13,
+        scale: 60,
+    };
+    let world = World::generate_states(synth, &[UsState::Vermont]);
+    let tasks: Vec<QueryTask> = world
+        .state(UsState::Vermont)
+        .expect("generated")
+        .usac
+        .records
+        .iter()
+        .take(500)
+        .map(|r| QueryTask {
+            address: r.address.id,
+            isp: r.isp,
+        })
+        .collect();
+    let mut group = c.benchmark_group("bqt");
+    group.sample_size(20);
+    for workers in [1usize, 4] {
+        group.bench_function(format!("campaign_500_addrs_{workers}w"), |b| {
+            let campaign = Campaign::new(CampaignConfig {
+                seed: synth.seed,
+                workers,
+                ..CampaignConfig::default()
+            });
+            b.iter_batched(
+                || tasks.clone(),
+                |tasks| black_box(campaign.run(&world.truth, &tasks).records.len()),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(substrates, bench_dataframe, bench_stats, bench_geo, bench_bqt);
+criterion_main!(substrates);

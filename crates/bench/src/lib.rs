@@ -1,0 +1,141 @@
+//! # caf-bench — experiment fixtures and formatting for the repro harness
+//!
+//! The `repro` binary regenerates every table and figure in the paper's
+//! evaluation; the criterion benches measure the pipeline itself. Both
+//! need the same thing: a deterministic end-to-end run at a chosen scale.
+//! This crate centralizes that fixture plus the text formatting the
+//! harness prints (aligned tables, CDF series, distribution rows).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use caf_bqt::CampaignConfig;
+use caf_core::{
+    Audit, AuditConfig, AuditDataset, ComplianceAnalysis, Q3Analysis, SamplingRule,
+    ServiceabilityAnalysis,
+};
+use caf_geo::UsState;
+use caf_stats::Ecdf;
+use caf_synth::{SynthConfig, World};
+
+/// A fully-run experiment fixture: world, audit dataset, and analyses.
+pub struct Fixture {
+    /// The synthetic world (Q1 states).
+    pub world: World,
+    /// The audit dataset over the world.
+    pub dataset: AuditDataset,
+    /// The Q1 serviceability analysis.
+    pub serviceability: ServiceabilityAnalysis,
+    /// The Q2 compliance analysis.
+    pub compliance: ComplianceAnalysis,
+}
+
+impl Fixture {
+    /// Runs the Q1/Q2 pipeline over all fifteen study states.
+    pub fn build(seed: u64, scale: u32) -> Fixture {
+        Fixture::build_states(seed, scale, &UsState::study_states())
+    }
+
+    /// Runs the Q1/Q2 pipeline over a subset of states.
+    pub fn build_states(seed: u64, scale: u32, states: &[UsState]) -> Fixture {
+        let synth = SynthConfig { seed, scale };
+        let world = World::generate_states(synth, states);
+        let audit = Audit::new(AuditConfig {
+            synth,
+            campaign: campaign_config(seed),
+            rule: SamplingRule::paper(),
+            resample_rounds: 2,
+        });
+        let dataset = audit.run(&world);
+        let serviceability = ServiceabilityAnalysis::compute(&dataset);
+        let compliance = ComplianceAnalysis::compute(&dataset);
+        Fixture {
+            world,
+            dataset,
+            serviceability,
+            compliance,
+        }
+    }
+
+    /// Runs the Q3 pipeline (dedicated world over the seven Q3 states).
+    pub fn build_q3(seed: u64, scale: u32) -> (World, Q3Analysis) {
+        let synth = SynthConfig { seed, scale };
+        let world = World::generate_states(synth, &UsState::q3_states());
+        let q3 = Q3Analysis::run(&world, campaign_config(seed));
+        (world, q3)
+    }
+}
+
+/// The campaign configuration the harness uses everywhere.
+pub fn campaign_config(seed: u64) -> CampaignConfig {
+    CampaignConfig {
+        seed,
+        workers: std::thread::available_parallelism()
+            .map(|n| n.get().min(8))
+            .unwrap_or(4),
+        ..CampaignConfig::default()
+    }
+}
+
+/// Formats an ECDF as `x<TAB>F(x)` rows at the given resolution.
+pub fn format_cdf(label: &str, values: &[f64], points: usize) -> String {
+    let mut out = format!("# CDF: {label} (n={})\n", values.len());
+    match Ecdf::new(values) {
+        Ok(ecdf) => {
+            for (x, f) in ecdf.series(points) {
+                out.push_str(&format!("{x:12.3}\t{f:8.4}\n"));
+            }
+        }
+        Err(_) => out.push_str("(empty series)\n"),
+    }
+    out
+}
+
+/// Formats a percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:6.2} %", 100.0 * x)
+}
+
+/// Formats a two-column name/value table with aligned names.
+pub fn format_pairs(title: &str, pairs: &[(String, String)]) -> String {
+    let width = pairs.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+    let mut out = format!("== {title} ==\n");
+    for (k, v) in pairs {
+        out.push_str(&format!("  {k:<width$}  {v}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_builds_at_tiny_scale() {
+        let f = Fixture::build_states(3, 120, &[UsState::Vermont]);
+        assert!(!f.dataset.rows.is_empty());
+        let rate = f.serviceability.overall_rate();
+        assert!((0.0..=1.0).contains(&rate));
+        let _ = f.compliance.overall_rate();
+    }
+
+    #[test]
+    fn cdf_formatting() {
+        let s = format_cdf("test", &[1.0, 2.0, 3.0], 3);
+        assert!(s.contains("# CDF: test (n=3)"));
+        assert_eq!(s.lines().count(), 4);
+        let s = format_cdf("empty", &[], 3);
+        assert!(s.contains("empty series"));
+    }
+
+    #[test]
+    fn pct_and_pairs_formatting() {
+        assert_eq!(pct(0.5545), " 55.45 %");
+        let s = format_pairs(
+            "T",
+            &[("a".into(), "1".into()), ("long-name".into(), "2".into())],
+        );
+        assert!(s.contains("== T =="));
+        assert!(s.contains("a          1"));
+    }
+}

@@ -1,0 +1,328 @@
+//! Campaign execution: a worker pool draining a query task list.
+//!
+//! The paper ran BQT "at scale for many Docker containers" (§3.2), each
+//! container working through a slice of the address list via the proxy
+//! pool. The simulated campaign reproduces that architecture with a
+//! crossbeam channel fan-out: N worker threads, each owning a
+//! [`QueryClient`], pull `(index, task)` pairs from a shared channel and
+//! push results back. Because every query's randomness is keyed by the
+//! (address, ISP) pair, the result set is **identical for any worker
+//! count** — parallelism changes wall-clock time only, which the result
+//! reports separately.
+//!
+//! Campaign telemetry feeds three of the paper's artifacts: traceback
+//! error counts (Table 2), per-CBG coverage fractions (Figures 7/8), and
+//! the per-address query-time distribution (Figure 11).
+
+use caf_geo::AddressId;
+use caf_synth::params::ErrorCategory;
+use caf_synth::{Isp, TruthTable};
+use crossbeam::channel;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+use crate::client::QueryClient;
+use crate::outcome::QueryRecord;
+use crate::proxy::ProxyPool;
+
+/// One unit of work: query one address on one ISP's site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QueryTask {
+    /// The address to query.
+    pub address: AddressId,
+    /// The ISP site to query it on.
+    pub isp: Isp,
+}
+
+/// Campaign configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignConfig {
+    /// Master seed (should match the world's seed so truth lookups align;
+    /// any seed works, it only needs to be stable).
+    pub seed: u64,
+    /// Worker threads (the paper's Docker containers).
+    pub workers: usize,
+    /// Retry budget per address.
+    pub max_attempts: u32,
+    /// Proxy endpoints per worker.
+    pub proxy_pool_size: usize,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> CampaignConfig {
+        CampaignConfig {
+            seed: 0xCAF_2024,
+            workers: 4,
+            max_attempts: 3,
+            proxy_pool_size: 16,
+        }
+    }
+}
+
+/// The result of a campaign.
+#[derive(Debug)]
+pub struct CampaignResult {
+    /// One record per task, in task order.
+    pub records: Vec<QueryRecord>,
+    /// Aggregated proxy telemetry across workers.
+    pub proxy: ProxyPool,
+}
+
+impl CampaignResult {
+    /// Traceback error-event counts per (ISP, category) — Table 2's cells.
+    pub fn error_counts(&self) -> HashMap<(Isp, ErrorCategory), u64> {
+        let mut counts = HashMap::new();
+        for record in &self.records {
+            for &category in &record.errors {
+                *counts.entry((record.isp, category)).or_insert(0) += 1;
+            }
+        }
+        counts
+    }
+
+    /// Total simulated query seconds across all tasks.
+    pub fn total_query_secs(&self) -> f64 {
+        self.records.iter().map(|r| r.duration_secs).sum()
+    }
+
+    /// Estimated wall-clock seconds at the given worker count.
+    pub fn wall_clock_secs(&self, workers: usize) -> f64 {
+        crate::timing::wall_clock_secs(self.total_query_secs(), workers)
+    }
+
+    /// The records for one ISP.
+    pub fn records_for(&self, isp: Isp) -> impl Iterator<Item = &QueryRecord> {
+        self.records.iter().filter(move |r| r.isp == isp)
+    }
+}
+
+/// A configured campaign runner.
+#[derive(Debug, Clone, Copy)]
+pub struct Campaign {
+    config: CampaignConfig,
+}
+
+impl Campaign {
+    /// Creates a campaign with the given config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` or `proxy_pool_size` is zero.
+    pub fn new(config: CampaignConfig) -> Campaign {
+        assert!(config.workers >= 1, "need at least one worker");
+        assert!(config.proxy_pool_size >= 1, "need at least one proxy");
+        Campaign { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CampaignConfig {
+        &self.config
+    }
+
+    /// Runs every task against the latent truth, returning records in
+    /// task order. Deterministic for a fixed seed regardless of worker
+    /// count.
+    pub fn run(&self, truth: &TruthTable, tasks: &[QueryTask]) -> CampaignResult {
+        let cfg = self.config;
+        let (task_tx, task_rx) = channel::unbounded::<(usize, QueryTask)>();
+        for pair in tasks.iter().copied().enumerate() {
+            task_tx.send(pair).expect("unbounded send cannot fail");
+        }
+        drop(task_tx);
+
+        let slots: Mutex<Vec<Option<QueryRecord>>> = Mutex::new(vec![None; tasks.len()]);
+        let mut aggregate_pool = ProxyPool::new(cfg.seed, cfg.proxy_pool_size);
+
+        let worker_pools: Vec<ProxyPool> = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(cfg.workers);
+            for worker_id in 0..cfg.workers {
+                let task_rx = task_rx.clone();
+                let slots = &slots;
+                let handle = scope.spawn(move |_| {
+                    let pool = ProxyPool::new(cfg.seed, cfg.proxy_pool_size);
+                    let mut client = QueryClient::new(cfg.seed, cfg.max_attempts, pool);
+                    let _ = worker_id;
+                    // Batch results locally; take the lock once per batch
+                    // to keep contention off the query path.
+                    let mut batch: Vec<(usize, QueryRecord)> = Vec::with_capacity(64);
+                    while let Ok((index, task)) = task_rx.recv() {
+                        let record = client.query(truth, task.address, task.isp);
+                        batch.push((index, record));
+                        if batch.len() >= 64 {
+                            let mut guard = slots.lock();
+                            for (i, r) in batch.drain(..) {
+                                guard[i] = Some(r);
+                            }
+                        }
+                    }
+                    let mut guard = slots.lock();
+                    for (i, r) in batch.drain(..) {
+                        guard[i] = Some(r);
+                    }
+                    drop(guard);
+                    client
+                });
+                handles.push(handle);
+            }
+            handles
+                .into_iter()
+                .map(|h| {
+                    let client = h.join().expect("worker panicked");
+                    client.pool().clone()
+                })
+                .collect()
+        })
+        .expect("campaign scope panicked");
+
+        for pool in &worker_pools {
+            aggregate_pool.absorb(pool);
+        }
+        let records = slots
+            .into_inner()
+            .into_iter()
+            .map(|slot| slot.expect("every task produces a record"))
+            .collect();
+        CampaignResult {
+            records,
+            proxy: aggregate_pool,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caf_geo::UsState;
+    use caf_synth::{SynthConfig, World};
+
+    fn world() -> World {
+        World::generate_states(
+            SynthConfig {
+                seed: 33,
+                scale: 60,
+            },
+            &[UsState::Vermont],
+        )
+    }
+
+    fn tasks_for(world: &World) -> Vec<QueryTask> {
+        let vt = world.state(UsState::Vermont).unwrap();
+        vt.usac
+            .records
+            .iter()
+            .take(400)
+            .map(|r| QueryTask {
+                address: r.address.id,
+                isp: r.isp,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn every_task_gets_a_record_in_order() {
+        let w = world();
+        let tasks = tasks_for(&w);
+        let campaign = Campaign::new(CampaignConfig {
+            seed: w.config.seed,
+            workers: 3,
+            ..CampaignConfig::default()
+        });
+        let result = campaign.run(&w.truth, &tasks);
+        assert_eq!(result.records.len(), tasks.len());
+        for (task, record) in tasks.iter().zip(&result.records) {
+            assert_eq!(task.address, record.address);
+            assert_eq!(task.isp, record.isp);
+        }
+        assert!(result.total_query_secs() > 0.0);
+        assert!(result.proxy.total_uses() >= tasks.len() as u64);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let w = world();
+        let tasks = tasks_for(&w);
+        let run = |workers: usize| {
+            Campaign::new(CampaignConfig {
+                seed: w.config.seed,
+                workers,
+                ..CampaignConfig::default()
+            })
+            .run(&w.truth, &tasks)
+            .records
+        };
+        let serial = run(1);
+        let parallel = run(8);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn serviceability_of_records_tracks_truth() {
+        let w = world();
+        let tasks = tasks_for(&w);
+        let result = Campaign::new(CampaignConfig {
+            seed: w.config.seed,
+            ..CampaignConfig::default()
+        })
+        .run(&w.truth, &tasks);
+        let mut agree = 0;
+        let mut definitive = 0;
+        for record in &result.records {
+            if let Some(served) = record.outcome.is_served() {
+                definitive += 1;
+                let truth = w.truth.get(record.address, record.isp).unwrap();
+                if truth.served == served {
+                    agree += 1;
+                }
+            }
+        }
+        assert!(
+            definitive > 250,
+            "most queries should be definitive, got {definitive}"
+        );
+        // Definitive outcomes always agree with the latent truth: the
+        // website shows plans iff the ISP serves.
+        assert_eq!(agree, definitive);
+    }
+
+    #[test]
+    fn error_counts_populate_table_2_shape() {
+        let w = world();
+        let tasks = tasks_for(&w);
+        let result = Campaign::new(CampaignConfig {
+            seed: w.config.seed,
+            ..CampaignConfig::default()
+        })
+        .run(&w.truth, &tasks);
+        let counts = result.error_counts();
+        // Vermont is Consolidated territory; its errors should be
+        // dominated by dropdown failures (Table 2's Consolidated row).
+        let dropdown = counts
+            .get(&(Isp::Consolidated, ErrorCategory::SelectDropdown))
+            .copied()
+            .unwrap_or(0);
+        let total: u64 = counts
+            .iter()
+            .filter(|((isp, _), _)| *isp == Isp::Consolidated)
+            .map(|(_, &c)| c)
+            .sum();
+        assert!(total > 0, "expected some Consolidated errors");
+        assert!(
+            dropdown as f64 / total as f64 > 0.9,
+            "dropdown {dropdown}/{total}"
+        );
+    }
+
+    #[test]
+    fn wall_clock_scales_with_workers() {
+        let w = world();
+        let tasks = tasks_for(&w);
+        let result = Campaign::new(CampaignConfig {
+            seed: w.config.seed,
+            ..CampaignConfig::default()
+        })
+        .run(&w.truth, &tasks);
+        let one = result.wall_clock_secs(1);
+        let forty = result.wall_clock_secs(40);
+        assert!((one / forty - 40.0).abs() < 1e-9);
+    }
+}

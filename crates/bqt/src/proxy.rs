@@ -1,0 +1,202 @@
+//! The rotating proxy pool.
+//!
+//! The paper routed queries through The Bright Initiative's pool of
+//! data-center and residential IPs so that ISP sites saw geographically
+//! diverse, non-repeating clients (§3.2). The simulated pool reproduces
+//! the *mechanics* — rotation on error, per-IP usage accounting, a mix of
+//! endpoint kinds — as telemetry. To keep campaigns deterministic under
+//! arbitrary worker scheduling, the pool never feeds back into outcome
+//! probabilities; every stochastic draw comes from the per-address RNG.
+
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// The kind of proxy endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProxyKind {
+    /// A data-center IP (cheap, more readily flagged by bot detection).
+    DataCenter,
+    /// A residential IP (looks like a real household).
+    Residential,
+}
+
+/// One proxy endpoint with usage telemetry.
+#[derive(Debug, Clone)]
+pub struct ProxyEndpoint {
+    /// Synthetic IPv4 address of the endpoint.
+    pub ip: Ipv4Addr,
+    /// Endpoint kind.
+    pub kind: ProxyKind,
+    /// Queries routed through this endpoint.
+    pub uses: u64,
+    /// Rotations *away* from this endpoint after an error.
+    pub error_rotations: u64,
+}
+
+/// A rotating pool of proxy endpoints.
+#[derive(Debug, Clone)]
+pub struct ProxyPool {
+    endpoints: Vec<ProxyEndpoint>,
+    cursor: usize,
+}
+
+impl ProxyPool {
+    /// Builds a pool of `size` endpoints, alternating kinds, with
+    /// addresses derived deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn new(seed: u64, size: usize) -> ProxyPool {
+        assert!(size > 0, "a proxy pool needs at least one endpoint");
+        let endpoints = (0..size)
+            .map(|i| {
+                let mixed = caf_synth::rng::mix(seed, i as u64);
+                // 10.x.y.z private-range synthetic addresses.
+                let ip = Ipv4Addr::new(
+                    10,
+                    (mixed >> 16) as u8,
+                    (mixed >> 8) as u8,
+                    mixed as u8,
+                );
+                ProxyEndpoint {
+                    ip,
+                    kind: if i % 3 == 0 {
+                        ProxyKind::DataCenter
+                    } else {
+                        ProxyKind::Residential
+                    },
+                    uses: 0,
+                    error_rotations: 0,
+                }
+            })
+            .collect();
+        ProxyPool {
+            endpoints,
+            cursor: 0,
+        }
+    }
+
+    /// The endpoint the next query will use, charging one use.
+    pub fn acquire(&mut self) -> Ipv4Addr {
+        let ep = &mut self.endpoints[self.cursor];
+        ep.uses += 1;
+        ep.ip
+    }
+
+    /// Rotates to the next endpoint after an error on the current one.
+    pub fn rotate_on_error(&mut self) {
+        self.endpoints[self.cursor].error_rotations += 1;
+        self.cursor = (self.cursor + 1) % self.endpoints.len();
+    }
+
+    /// Number of endpoints.
+    pub fn len(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// Whether the pool is empty (never: construction requires size ≥ 1).
+    pub fn is_empty(&self) -> bool {
+        self.endpoints.is_empty()
+    }
+
+    /// Endpoint telemetry.
+    pub fn endpoints(&self) -> &[ProxyEndpoint] {
+        &self.endpoints
+    }
+
+    /// Total queries routed through the pool.
+    pub fn total_uses(&self) -> u64 {
+        self.endpoints.iter().map(|e| e.uses).sum()
+    }
+
+    /// Merges another pool's telemetry into this one (used to aggregate
+    /// per-worker pools after a campaign).
+    pub fn absorb(&mut self, other: &ProxyPool) {
+        for (mine, theirs) in self.endpoints.iter_mut().zip(other.endpoints.iter()) {
+            mine.uses += theirs.uses;
+            mine.error_rotations += theirs.error_rotations;
+        }
+    }
+}
+
+impl fmt::Display for ProxyPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ProxyPool({} endpoints, {} uses)",
+            self.endpoints.len(),
+            self.total_uses()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_alternates_kinds() {
+        let pool = ProxyPool::new(1, 9);
+        let dc = pool
+            .endpoints()
+            .iter()
+            .filter(|e| e.kind == ProxyKind::DataCenter)
+            .count();
+        assert_eq!(dc, 3);
+        assert_eq!(pool.len(), 9);
+        assert!(!pool.is_empty());
+    }
+
+    #[test]
+    fn acquire_reuses_until_rotation() {
+        let mut pool = ProxyPool::new(2, 4);
+        let a = pool.acquire();
+        let b = pool.acquire();
+        assert_eq!(a, b, "no rotation without an error");
+        pool.rotate_on_error();
+        let c = pool.acquire();
+        assert_ne!(a, c);
+        assert_eq!(pool.total_uses(), 3);
+        assert_eq!(pool.endpoints()[0].error_rotations, 1);
+    }
+
+    #[test]
+    fn rotation_wraps_around() {
+        let mut pool = ProxyPool::new(3, 2);
+        let first = pool.acquire();
+        pool.rotate_on_error();
+        pool.rotate_on_error();
+        assert_eq!(pool.acquire(), first);
+    }
+
+    #[test]
+    fn ips_deterministic_per_seed() {
+        let a = ProxyPool::new(7, 5);
+        let b = ProxyPool::new(7, 5);
+        let c = ProxyPool::new(8, 5);
+        for i in 0..5 {
+            assert_eq!(a.endpoints()[i].ip, b.endpoints()[i].ip);
+        }
+        assert_ne!(a.endpoints()[0].ip, c.endpoints()[0].ip);
+    }
+
+    #[test]
+    fn absorb_accumulates_telemetry() {
+        let mut a = ProxyPool::new(7, 3);
+        let mut b = ProxyPool::new(7, 3);
+        a.acquire();
+        b.acquire();
+        b.rotate_on_error();
+        b.acquire();
+        a.absorb(&b);
+        assert_eq!(a.total_uses(), 3);
+        assert_eq!(a.endpoints()[0].error_rotations, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one endpoint")]
+    fn empty_pool_rejected() {
+        ProxyPool::new(0, 0);
+    }
+}

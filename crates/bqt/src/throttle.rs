@@ -1,0 +1,174 @@
+//! Politeness policy: query pacing so campaigns don't overwhelm ISP
+//! infrastructure.
+//!
+//! §3.3 of the paper frames the ethics of large-scale querying: the
+//! methodology must run "in a manner that does not overwhelm the ISP's
+//! infrastructure", which is also why exhaustive enumeration "would take
+//! more than a year" (§1). A [`ThrottlePolicy`] makes that constraint
+//! explicit: a per-ISP concurrency cap (parallel containers aimed at one
+//! site) and a minimum inter-query gap per container. The policy shapes
+//! the *wall-clock* model only — outcomes are pure functions of the task
+//! list — so the campaign's determinism guarantees are untouched.
+
+use crate::campaign::CampaignResult;
+use caf_synth::Isp;
+use std::collections::HashMap;
+
+/// A campaign pacing policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThrottlePolicy {
+    /// Maximum containers simultaneously pointed at one ISP's site.
+    pub per_isp_concurrency: usize,
+    /// Minimum seconds between successive queries from one container.
+    pub min_gap_secs: f64,
+}
+
+impl ThrottlePolicy {
+    /// The polite defaults the paper's fleet sizing implies: eight
+    /// containers per ISP, two-second spacing.
+    pub fn polite() -> ThrottlePolicy {
+        ThrottlePolicy {
+            per_isp_concurrency: 8,
+            min_gap_secs: 2.0,
+        }
+    }
+
+    /// An unthrottled policy (upper-bound throughput).
+    pub fn unthrottled(workers: usize) -> ThrottlePolicy {
+        ThrottlePolicy {
+            per_isp_concurrency: workers.max(1),
+            min_gap_secs: 0.0,
+        }
+    }
+
+    /// Estimated wall-clock seconds for a finished campaign under this
+    /// policy with `workers` total containers.
+    ///
+    /// Per ISP, the binding constraint is either the total query time
+    /// divided by the effective concurrency, or the pacing floor
+    /// (queries × gap ÷ concurrency). ISPs are crawled in parallel, so
+    /// the campaign finishes when its slowest ISP does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn wall_clock_secs(&self, result: &CampaignResult, workers: usize) -> f64 {
+        assert!(workers > 0, "need at least one worker");
+        let mut per_isp: HashMap<Isp, (f64, u64)> = HashMap::new();
+        for record in &result.records {
+            let entry = per_isp.entry(record.isp).or_insert((0.0, 0));
+            entry.0 += record.duration_secs;
+            entry.1 += 1;
+        }
+        per_isp
+            .values()
+            .map(|&(total_secs, queries)| {
+                let concurrency = self.per_isp_concurrency.min(workers).max(1) as f64;
+                let work_bound = total_secs / concurrency;
+                let pace_bound = queries as f64 * self.min_gap_secs / concurrency;
+                work_bound.max(pace_bound)
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{Campaign, CampaignConfig, QueryTask};
+    use caf_geo::AddressId;
+    use caf_synth::{AddressTruth, PlanCatalog, TruthTable};
+
+    fn result_with_two_isps() -> CampaignResult {
+        let mut truth = TruthTable::new();
+        let mut tasks = Vec::new();
+        for (offset, isp) in [(0u64, Isp::Att), (100, Isp::Xfinity)] {
+            let cat = PlanCatalog::for_isp(isp);
+            let tier = cat.tier_near(100.0);
+            for i in 0..40 {
+                truth.insert(
+                    AddressId(offset + i),
+                    isp,
+                    AddressTruth {
+                        served: true,
+                        plans: vec![cat.plan_from_tier(tier)],
+                        existing_subscriber: false,
+                        hard_failure: false,
+                        ambiguous: false,
+                    },
+                );
+                tasks.push(QueryTask {
+                    address: AddressId(offset + i),
+                    isp,
+                });
+            }
+        }
+        Campaign::new(CampaignConfig {
+            seed: 5,
+            workers: 2,
+            ..CampaignConfig::default()
+        })
+        .run(&truth, &tasks)
+    }
+
+    #[test]
+    fn throttling_never_beats_unthrottled() {
+        let result = result_with_two_isps();
+        let fast = ThrottlePolicy::unthrottled(40).wall_clock_secs(&result, 40);
+        let polite = ThrottlePolicy::polite().wall_clock_secs(&result, 40);
+        assert!(polite >= fast, "polite {polite} vs fast {fast}");
+        assert!(fast > 0.0);
+    }
+
+    #[test]
+    fn pacing_floor_binds_for_fast_sites() {
+        let result = result_with_two_isps();
+        // With an extreme gap, pacing dominates: 40 queries × 1000 s / 8.
+        let policy = ThrottlePolicy {
+            per_isp_concurrency: 8,
+            min_gap_secs: 1_000.0,
+        };
+        let wall = policy.wall_clock_secs(&result, 40);
+        assert!((wall - 40.0 * 1_000.0 / 8.0).abs() < 1e-6, "wall {wall}");
+    }
+
+    #[test]
+    fn concurrency_is_capped_by_workers() {
+        let result = result_with_two_isps();
+        let wide = ThrottlePolicy {
+            per_isp_concurrency: 64,
+            min_gap_secs: 0.0,
+        };
+        // Two workers cap the effective concurrency at 2.
+        let two = wide.wall_clock_secs(&result, 2);
+        let sixty_four = wide.wall_clock_secs(&result, 64);
+        assert!(two > sixty_four);
+    }
+
+    #[test]
+    fn slowest_isp_determines_the_campaign() {
+        let result = result_with_two_isps();
+        let policy = ThrottlePolicy::polite();
+        let whole = policy.wall_clock_secs(&result, 8);
+        // Recompute per ISP by filtering records.
+        let per_isp_max = [Isp::Att, Isp::Xfinity]
+            .iter()
+            .map(|&isp| {
+                let total: f64 = result
+                    .records_for(isp)
+                    .map(|r| r.duration_secs)
+                    .sum();
+                let queries = result.records_for(isp).count() as f64;
+                (total / 8.0).max(queries * 2.0 / 8.0)
+            })
+            .fold(0.0, f64::max);
+        assert!((whole - per_isp_max).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let result = result_with_two_isps();
+        ThrottlePolicy::polite().wall_clock_secs(&result, 0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Per-attempt query-time model.
+//!
+//! Figure 11 of the paper shows per-address query-time CDFs for each ISP.
+//! AT&T's anti-bot machinery gives it both the slowest median and by far
+//! the widest spread; the cable competitors answer fastest. We model each
+//! ISP's per-attempt latency as lognormal with the parameters in
+//! [`CalibrationParams::query_time_params`], plus a fixed retry penalty
+//! (tear down the browser context, rotate the proxy, start over).
+
+use caf_synth::dist;
+use caf_synth::params::CalibrationParams;
+use caf_synth::Isp;
+use rand::Rng;
+
+/// Fixed overhead added to every retry, in seconds (context teardown and
+/// proxy rotation).
+pub const RETRY_OVERHEAD_SECS: f64 = 3.0;
+
+/// Draws the duration of a single attempt against `isp`, in seconds.
+pub fn attempt_duration_secs<R: Rng + ?Sized>(rng: &mut R, isp: Isp) -> f64 {
+    let (mu, sigma) = CalibrationParams::query_time_params(isp);
+    dist::lognormal(rng, mu, sigma).clamp(0.5, 1_800.0)
+}
+
+/// Estimated wall-clock seconds to run `total_query_secs` of work across
+/// `workers` parallel clients (the paper's many-Docker-containers setup).
+///
+/// # Panics
+///
+/// Panics if `workers` is zero.
+pub fn wall_clock_secs(total_query_secs: f64, workers: usize) -> f64 {
+    assert!(workers > 0, "need at least one worker");
+    total_query_secs / workers as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn att_is_slowest_and_widest() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let sample = |isp: Isp, rng: &mut StdRng| -> Vec<f64> {
+            (0..4_000).map(|_| attempt_duration_secs(rng, isp)).collect()
+        };
+        let median = |xs: &mut Vec<f64>| -> f64 {
+            xs.sort_by(|a, b| a.total_cmp(b));
+            xs[xs.len() / 2]
+        };
+        let spread = |xs: &[f64]| -> f64 {
+            let p90 = xs[(xs.len() as f64 * 0.9) as usize];
+            let p10 = xs[(xs.len() as f64 * 0.1) as usize];
+            p90 / p10
+        };
+        let mut att = sample(Isp::Att, &mut rng);
+        let mut xfinity = sample(Isp::Xfinity, &mut rng);
+        let att_median = median(&mut att);
+        let xfinity_median = median(&mut xfinity);
+        assert!(att_median > 2.0 * xfinity_median);
+        assert!(spread(&att) > spread(&xfinity));
+        // Medians near the calibrated exp(mu).
+        assert!((att_median - 25.0).abs() < 4.0, "att median {att_median}");
+    }
+
+    #[test]
+    fn durations_are_positive_and_bounded() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for isp in Isp::bqt_supported() {
+            for _ in 0..500 {
+                let d = attempt_duration_secs(&mut rng, isp);
+                assert!((0.5..=1_800.0).contains(&d));
+            }
+        }
+    }
+
+    #[test]
+    fn wall_clock_scales_inversely_with_workers() {
+        assert_eq!(wall_clock_secs(1_000.0, 10), 100.0);
+        assert_eq!(wall_clock_secs(1_000.0, 1), 1_000.0);
+    }
+
+    #[test]
+    fn year_long_argument_reproduces() {
+        // §1: querying all 6 M+ CAF addresses (plus tens of millions of
+        // neighbors) "would take more than a year". At AT&T's ~25 s/query
+        // even a 40-worker fleet needs months for ~40 M addresses.
+        let queries = 40_000_000.0;
+        let secs_per = 15.0; // across-ISP blend
+        let days = wall_clock_secs(queries * secs_per, 40) / 86_400.0;
+        assert!(days > 150.0, "fleet-days {days}");
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based tests for the BQT simulator.
+
+use caf_bqt::{Campaign, CampaignConfig, QueryClient, QueryOutcome, QueryTask};
+use caf_bqt::{ProxyPool};
+use caf_geo::AddressId;
+use caf_synth::{AddressTruth, Isp, PlanCatalog, TruthTable};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary truth entry for a given ISP.
+fn truth_entry(isp: Isp) -> impl Strategy<Value = AddressTruth> {
+    (any::<bool>(), any::<bool>(), any::<bool>(), 0usize..6).prop_map(
+        move |(served, hard, ambiguous, tier_idx)| {
+            if served {
+                let cat = PlanCatalog::for_isp(isp);
+                let tiers = cat.tiers();
+                let tier = &tiers[tier_idx % tiers.len()];
+                AddressTruth {
+                    served: true,
+                    plans: vec![cat.plan_from_tier(tier)],
+                    existing_subscriber: false,
+                    hard_failure: hard,
+                    ambiguous,
+                }
+            } else {
+                AddressTruth {
+                    hard_failure: hard,
+                    ambiguous,
+                    ..AddressTruth::unserved()
+                }
+            }
+        },
+    )
+}
+
+fn isp_strategy() -> impl Strategy<Value = Isp> {
+    prop::sample::select(Isp::bqt_supported().to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// A definitive outcome never contradicts the latent truth: the
+    /// simulated website can fail or stay ambiguous, but it never shows
+    /// plans at an unserved address or a no-service page at a served one.
+    #[test]
+    fn definitive_outcomes_agree_with_truth(
+        seed in 0u64..100_000,
+        isp in isp_strategy(),
+        entry in isp_strategy().prop_flat_map(truth_entry),
+    ) {
+        let mut table = TruthTable::new();
+        table.insert(AddressId(1), isp, entry.clone());
+        let mut client = QueryClient::new(seed, 3, ProxyPool::new(seed, 4));
+        let record = client.query(&table, AddressId(1), isp);
+        if let Some(served) = record.outcome.is_served() {
+            prop_assert_eq!(served, entry.served);
+        }
+        if entry.hard_failure {
+            prop_assert!(matches!(record.outcome, QueryOutcome::Unknown(_)));
+        }
+        prop_assert!(record.attempts >= 1 && record.attempts <= 3);
+        prop_assert_eq!(record.errors.len() as u32,
+            if record.outcome.is_definitive()
+                || matches!(record.outcome, QueryOutcome::CallToOrder) {
+                record.attempts - 1
+            } else {
+                record.attempts
+            });
+        prop_assert!(record.duration_secs > 0.0);
+    }
+
+    /// Campaign output is a pure function of (seed, task list): shuffling
+    /// worker counts or proxy pools never changes a single record, and
+    /// records come back in task order.
+    #[test]
+    fn campaign_is_schedule_invariant(
+        seed in 0u64..100_000,
+        n_addresses in 1usize..40,
+        workers_a in 1usize..5,
+        workers_b in 1usize..5,
+    ) {
+        let mut table = TruthTable::new();
+        let cat = PlanCatalog::for_isp(Isp::Frontier);
+        let mut tasks = Vec::new();
+        for i in 0..n_addresses as u64 {
+            let tier = cat.tiers()[(i as usize) % cat.tiers().len()];
+            table.insert(
+                AddressId(i),
+                Isp::Frontier,
+                AddressTruth {
+                    served: i % 3 != 0,
+                    plans: if i % 3 != 0 { vec![cat.plan_from_tier(&tier)] } else { vec![] },
+                    existing_subscriber: false,
+                    hard_failure: i % 7 == 0,
+                    ambiguous: false,
+                },
+            );
+            tasks.push(QueryTask { address: AddressId(i), isp: Isp::Frontier });
+        }
+        let run = |workers: usize| {
+            Campaign::new(CampaignConfig {
+                seed,
+                workers,
+                max_attempts: 3,
+                proxy_pool_size: 8,
+            })
+            .run(&table, &tasks)
+        };
+        let a = run(workers_a);
+        let b = run(workers_b);
+        prop_assert_eq!(&a.records, &b.records);
+        for (task, record) in tasks.iter().zip(&a.records) {
+            prop_assert_eq!(task.address, record.address);
+        }
+        // Error counts reconcile with per-record error lists.
+        let total_events: u64 = a.error_counts().values().sum();
+        let from_records: usize = a.records.iter().map(|r| r.errors.len()).sum();
+        prop_assert_eq!(total_events as usize, from_records);
+    }
+
+    /// Proxy pools conserve telemetry: total uses equals total attempts.
+    #[test]
+    fn proxy_usage_equals_attempts(seed in 0u64..100_000, n in 1usize..30) {
+        let mut table = TruthTable::new();
+        let cat = PlanCatalog::for_isp(Isp::Att);
+        let tier = cat.tier_near(50.0);
+        let mut tasks = Vec::new();
+        for i in 0..n as u64 {
+            table.insert(AddressId(i), Isp::Att, AddressTruth {
+                served: true,
+                plans: vec![cat.plan_from_tier(tier)],
+                existing_subscriber: false,
+                hard_failure: false,
+                ambiguous: false,
+            });
+            tasks.push(QueryTask { address: AddressId(i), isp: Isp::Att });
+        }
+        let result = Campaign::new(CampaignConfig {
+            seed,
+            workers: 2,
+            max_attempts: 4,
+            proxy_pool_size: 4,
+        })
+        .run(&table, &tasks);
+        let attempts: u64 = result.records.iter().map(|r| u64::from(r.attempts)).sum();
+        prop_assert_eq!(result.proxy.total_uses(), attempts);
+    }
+}

@@ -1,0 +1,407 @@
+//! End-to-end audit orchestration: sample → query → resample → dataset.
+//!
+//! [`Audit::run`] executes the paper's data-collection loop for every
+//! state in a [`World`]: draw the §3.1 sampling plan, run the BQT
+//! campaign over the drawn addresses, and for addresses whose queries end
+//! non-definitively (Unknown tracebacks, AT&T "Call to Order" pages) draw
+//! replacements from the same census block group, up to a bounded number
+//! of rounds (§3.2, §5). The output [`AuditDataset`] carries one analysis
+//! row per definitive query plus the raw query records and per-CBG
+//! coverage telemetry that Figures 7, 8, 11 and Table 2 consume.
+
+use caf_bqt::{Campaign, CampaignConfig, CampaignResult, QueryRecord, QueryTask};
+use caf_dataframe::{Column, DataFrame};
+use caf_geo::{AddressId, BlockGroupId, LatLon, UsState};
+use caf_synth::{BroadbandPlan, Isp, SynthConfig, World};
+use std::collections::HashMap;
+
+use crate::sampling::{SamplingPlan, SamplingRule};
+
+/// Configuration of a full audit.
+#[derive(Debug, Clone, Copy)]
+pub struct AuditConfig {
+    /// The synthetic-world configuration (seed + scale).
+    pub synth: SynthConfig,
+    /// The BQT campaign configuration.
+    pub campaign: CampaignConfig,
+    /// The per-CBG sampling rule.
+    pub rule: SamplingRule,
+    /// How many replacement rounds to run for non-definitive queries.
+    pub resample_rounds: u32,
+}
+
+impl Default for AuditConfig {
+    fn default() -> AuditConfig {
+        let synth = SynthConfig::default();
+        AuditConfig {
+            synth,
+            campaign: CampaignConfig {
+                seed: synth.seed,
+                ..CampaignConfig::default()
+            },
+            rule: SamplingRule::paper(),
+            resample_rounds: 2,
+        }
+    }
+}
+
+/// One analysis row: a definitive query outcome with its geography.
+#[derive(Debug, Clone)]
+pub struct AuditRow {
+    /// The queried address.
+    pub address: AddressId,
+    /// The audited ISP.
+    pub isp: Isp,
+    /// The state.
+    pub state: UsState,
+    /// The census block group.
+    pub cbg: BlockGroupId,
+    /// Total CAF addresses in the CBG (the aggregation weight).
+    pub cbg_total: usize,
+    /// The CBG's population density (people per square mile).
+    pub density: f64,
+    /// The CBG's within-state density percentile.
+    pub density_pct: f64,
+    /// The CBG centroid (Figure 10 mapping).
+    pub centroid: LatLon,
+    /// Whether the ISP serves the address.
+    pub served: bool,
+    /// Maximum advertised download speed, if served and specified.
+    pub max_down_mbps: Option<f64>,
+    /// The maximum-tier plan, if served.
+    pub max_plan: Option<BroadbandPlan>,
+    /// Every advertised plan at the address (empty if unserved). The CAF
+    /// conditions are met if *any* of them passes the speed and rate
+    /// standards.
+    pub plans: Vec<BroadbandPlan>,
+    /// Whether the site showed an existing-subscriber flow.
+    pub existing_subscriber: bool,
+}
+
+/// Per-(ISP, CBG) coverage telemetry for Figures 7 and 8.
+#[derive(Debug, Clone, Copy)]
+pub struct CbgCoverage {
+    /// The ISP.
+    pub isp: Isp,
+    /// The CBG.
+    pub cbg: BlockGroupId,
+    /// Total CAF addresses in the CBG.
+    pub total: usize,
+    /// Addresses queried (primary + replacements used).
+    pub queried: usize,
+    /// Addresses with definitive outcomes ("collected").
+    pub collected: usize,
+}
+
+impl CbgCoverage {
+    /// Percent of the CBG's addresses queried (Figure 7's x-axis).
+    pub fn queried_pct(&self) -> f64 {
+        100.0 * self.queried as f64 / self.total.max(1) as f64
+    }
+
+    /// Percent of the CBG's addresses collected (Figure 8's x-axis).
+    pub fn collected_pct(&self) -> f64 {
+        100.0 * self.collected as f64 / self.total.max(1) as f64
+    }
+}
+
+/// The audit output.
+#[derive(Debug)]
+pub struct AuditDataset {
+    /// Analysis rows (definitive outcomes only).
+    pub rows: Vec<AuditRow>,
+    /// Every query record, including failures and resample rounds.
+    pub records: Vec<QueryRecord>,
+    /// Per-(ISP, CBG) coverage.
+    pub coverage: Vec<CbgCoverage>,
+}
+
+impl AuditDataset {
+    /// Rows for one ISP.
+    pub fn rows_for(&self, isp: Isp) -> impl Iterator<Item = &AuditRow> {
+        self.rows.iter().filter(move |r| r.isp == isp)
+    }
+
+    /// Converts the analysis rows to a dataframe: `addr_id, isp, state,
+    /// cbg, cbg_total, density, density_pct, served, max_down, price,
+    /// guaranteed`.
+    pub fn to_dataframe(&self) -> DataFrame {
+        let n = self.rows.len();
+        let mut addr = Vec::with_capacity(n);
+        let mut isp = Vec::with_capacity(n);
+        let mut state = Vec::with_capacity(n);
+        let mut cbg = Vec::with_capacity(n);
+        let mut cbg_total = Vec::with_capacity(n);
+        let mut density = Vec::with_capacity(n);
+        let mut density_pct = Vec::with_capacity(n);
+        let mut served = Vec::with_capacity(n);
+        let mut max_down: Vec<Option<f64>> = Vec::with_capacity(n);
+        let mut price: Vec<Option<f64>> = Vec::with_capacity(n);
+        let mut guaranteed: Vec<Option<bool>> = Vec::with_capacity(n);
+        for r in &self.rows {
+            addr.push(r.address.0 as i64);
+            isp.push(r.isp.name());
+            state.push(r.state.abbrev());
+            cbg.push(r.cbg.to_string());
+            cbg_total.push(r.cbg_total as i64);
+            density.push(r.density);
+            density_pct.push(r.density_pct);
+            served.push(r.served);
+            max_down.push(r.max_down_mbps);
+            price.push(r.max_plan.as_ref().map(|p| p.monthly_usd));
+            guaranteed.push(r.max_plan.as_ref().map(|p| p.speed_guaranteed));
+        }
+        DataFrame::new(vec![
+            ("addr_id", addr.into_iter().collect::<Column>()),
+            ("isp", isp.into_iter().collect::<Column>()),
+            ("state", state.into_iter().collect::<Column>()),
+            ("cbg", cbg.into_iter().collect::<Column>()),
+            ("cbg_total", cbg_total.into_iter().collect::<Column>()),
+            ("density", density.into_iter().collect::<Column>()),
+            ("density_pct", density_pct.into_iter().collect::<Column>()),
+            ("served", served.into_iter().collect::<Column>()),
+            (
+                "max_down",
+                Column::Float(max_down),
+            ),
+            ("price", Column::Float(price)),
+            ("guaranteed", Column::Bool(guaranteed)),
+        ])
+        .expect("columns constructed with equal lengths")
+    }
+}
+
+/// The audit runner.
+#[derive(Debug, Clone, Copy)]
+pub struct Audit {
+    config: AuditConfig,
+}
+
+impl Audit {
+    /// Creates an audit with the given configuration.
+    pub fn new(config: AuditConfig) -> Audit {
+        Audit { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &AuditConfig {
+        &self.config
+    }
+
+    /// Runs the audit over every state in the world.
+    pub fn run(&self, world: &World) -> AuditDataset {
+        let campaign = Campaign::new(self.config.campaign);
+        let mut rows = Vec::new();
+        let mut records = Vec::new();
+        let mut coverage = Vec::new();
+
+        for state_world in &world.states {
+            let plan = SamplingPlan::draw(self.config.synth.seed, state_world, self.config.rule);
+
+            // CBG metadata lookup for row construction.
+            let mut cbg_meta: HashMap<(Isp, BlockGroupId), (usize, f64, f64, LatLon)> =
+                HashMap::new();
+            for cbg in &state_world.geography.cbgs {
+                cbg_meta.insert(
+                    (cbg.isp, cbg.id),
+                    (
+                        cbg.caf_addresses as usize,
+                        cbg.density,
+                        cbg.density_pct,
+                        cbg.centroid,
+                    ),
+                );
+            }
+
+            // Round 0: primaries. Later rounds: replacements for cells
+            // with non-definitive outcomes.
+            let mut cell_of: HashMap<AddressId, usize> = HashMap::new();
+            let mut tasks: Vec<QueryTask> = Vec::new();
+            for (cell_idx, cell) in plan.cells.iter().enumerate() {
+                for &addr in &cell.primary {
+                    cell_of.insert(addr, cell_idx);
+                    tasks.push(QueryTask {
+                        address: addr,
+                        isp: cell.isp,
+                    });
+                }
+            }
+            let mut queried_per_cell: Vec<usize> =
+                plan.cells.iter().map(|c| c.primary.len()).collect();
+            let mut collected_per_cell: Vec<usize> = vec![0; plan.cells.len()];
+            let mut replacement_cursor: Vec<usize> = vec![0; plan.cells.len()];
+
+            let mut round = 0;
+            while !tasks.is_empty() {
+                let result: CampaignResult = campaign.run(&world.truth, &tasks);
+                let mut next_tasks: Vec<QueryTask> = Vec::new();
+                for record in result.records {
+                    let cell_idx = cell_of[&record.address];
+                    let cell = &plan.cells[cell_idx];
+                    if record.outcome.is_definitive() {
+                        collected_per_cell[cell_idx] += 1;
+                        let (cbg_total, density, density_pct, centroid) =
+                            cbg_meta[&(cell.isp, cell.cbg)];
+                        let served = record.outcome.is_served().expect("definitive");
+                        let (max_down, max_plan, all_plans, subscriber) =
+                            match &record.outcome {
+                                caf_bqt::QueryOutcome::Serviceable {
+                                    plans,
+                                    existing_subscriber,
+                                } => (
+                                    record.outcome.max_download_mbps(),
+                                    plans.first().cloned(),
+                                    plans.clone(),
+                                    *existing_subscriber,
+                                ),
+                                _ => (None, None, Vec::new(), false),
+                            };
+                        rows.push(AuditRow {
+                            address: record.address,
+                            isp: cell.isp,
+                            state: state_world.state,
+                            cbg: cell.cbg,
+                            cbg_total,
+                            density,
+                            density_pct,
+                            centroid,
+                            served,
+                            max_down_mbps: max_down,
+                            max_plan,
+                            plans: all_plans,
+                            existing_subscriber: subscriber,
+                        });
+                    } else if round < self.config.resample_rounds {
+                        // Draw a replacement from the same CBG, if any left.
+                        let cursor = &mut replacement_cursor[cell_idx];
+                        if let Some(&replacement) = cell.replacements.get(*cursor) {
+                            *cursor += 1;
+                            queried_per_cell[cell_idx] += 1;
+                            cell_of.insert(replacement, cell_idx);
+                            next_tasks.push(QueryTask {
+                                address: replacement,
+                                isp: cell.isp,
+                            });
+                        }
+                    }
+                    records.push(record);
+                }
+                tasks = next_tasks;
+                round += 1;
+            }
+
+            for (cell_idx, cell) in plan.cells.iter().enumerate() {
+                coverage.push(CbgCoverage {
+                    isp: cell.isp,
+                    cbg: cell.cbg,
+                    total: cell.total_addresses,
+                    queried: queried_per_cell[cell_idx],
+                    collected: collected_per_cell[cell_idx],
+                });
+            }
+        }
+
+        AuditDataset {
+            rows,
+            records,
+            coverage,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_audit() -> (World, AuditDataset) {
+        let synth = SynthConfig {
+            seed: 55,
+            scale: 40,
+        };
+        let world = World::generate_states(synth, &[UsState::Vermont, UsState::Utah]);
+        let audit = Audit::new(AuditConfig {
+            synth,
+            campaign: CampaignConfig {
+                seed: synth.seed,
+                workers: 2,
+                ..CampaignConfig::default()
+            },
+            rule: SamplingRule::paper(),
+            resample_rounds: 2,
+        });
+        let ds = audit.run(&world);
+        (world, ds)
+    }
+
+    #[test]
+    fn audit_produces_rows_and_coverage() {
+        let (_, ds) = small_audit();
+        assert!(!ds.rows.is_empty());
+        assert!(!ds.coverage.is_empty());
+        assert!(ds.records.len() >= ds.rows.len());
+        // Every row is definitive by construction.
+        for r in &ds.rows {
+            if r.served {
+                // Served rows may or may not specify a speed (Frontier's
+                // Unknown Plan has none) but always carry a plan.
+                assert!(r.max_plan.is_some());
+            } else {
+                assert!(r.max_plan.is_none());
+                assert_eq!(r.max_down_mbps, None);
+            }
+        }
+    }
+
+    #[test]
+    fn coverage_accounting_is_consistent() {
+        let (_, ds) = small_audit();
+        for cov in &ds.coverage {
+            assert!(cov.collected <= cov.queried);
+            assert!(cov.queried <= cov.total);
+            assert!(cov.queried_pct() <= 100.0 + 1e-9);
+            assert!(cov.collected_pct() <= cov.queried_pct() + 1e-9);
+        }
+        // Row counts reconcile with collected counts.
+        let collected: usize = ds.coverage.iter().map(|c| c.collected).sum();
+        assert_eq!(collected, ds.rows.len());
+    }
+
+    #[test]
+    fn resampling_replaces_failures() {
+        let (_, ds) = small_audit();
+        // Some queries fail (Consolidated's high error rates), so some
+        // cells must have queried more than their primary draw — visible
+        // as records exceeding rows.
+        assert!(
+            ds.records.len() > ds.rows.len(),
+            "expected non-definitive records triggering resamples"
+        );
+        // Replacement addresses are queried at most once each.
+        let mut seen = std::collections::HashSet::new();
+        for rec in &ds.records {
+            assert!(seen.insert((rec.address, rec.isp)), "duplicate query");
+        }
+    }
+
+    #[test]
+    fn dataframe_export_matches_rows() {
+        let (_, ds) = small_audit();
+        let df = ds.to_dataframe();
+        assert_eq!(df.n_rows(), ds.rows.len());
+        let served_count = ds.rows.iter().filter(|r| r.served).count();
+        let df_served = df.filter(|r| r.bool("served") == Some(true)).n_rows();
+        assert_eq!(served_count, df_served);
+    }
+
+    #[test]
+    fn audit_is_deterministic() {
+        let (_, a) = small_audit();
+        let (_, b) = small_audit();
+        assert_eq!(a.rows.len(), b.rows.len());
+        for (x, y) in a.rows.iter().zip(&b.rows) {
+            assert_eq!(x.address, y.address);
+            assert_eq!(x.served, y.served);
+            assert_eq!(x.max_down_mbps, y.max_down_mbps);
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Extension: the §7 competition counterfactual.
+//!
+//! The paper's takeaway for policymakers is that "competition is most
+//! effective at improving consumer value" and that they "should consider
+//! ways to foster competition in monopoly-served regions". This module
+//! quantifies that recommendation with the audit's own data: given the
+//! measured CAF speed distributions in Type A (no competition) and
+//! Type B (competition) blocks, it estimates the speed households would
+//! gain if a fraction of Type A blocks acquired a competitor — a simple
+//! potential-outcomes calculation under the assumption that induced
+//! competition shifts a block's distribution from the A-population to
+//! the B-population (which is what Figure 6a measures observationally).
+
+use caf_stats::{median, quantile};
+
+use crate::q3::{BlockType, Q3Analysis};
+
+/// One point of the counterfactual sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CounterfactualPoint {
+    /// Fraction of Type A blocks given a competitor.
+    pub treated_fraction: f64,
+    /// Expected mean CAF speed across (previously) Type A blocks, Mbps.
+    pub mean_caf_speed: f64,
+    /// Expected median CAF speed, Mbps.
+    pub median_caf_speed: f64,
+}
+
+/// The competition counterfactual over a Q3 analysis.
+#[derive(Debug)]
+pub struct CompetitionCounterfactual {
+    /// Baseline (untreated) Type A CAF speeds.
+    pub type_a_speeds: Vec<f64>,
+    /// Treated-population (Type B) CAF speeds.
+    pub type_b_speeds: Vec<f64>,
+}
+
+impl CompetitionCounterfactual {
+    /// Builds the counterfactual from a Q3 analysis, or `None` if either
+    /// block population is empty.
+    pub fn from_q3(analysis: &Q3Analysis) -> Option<CompetitionCounterfactual> {
+        let type_a: Vec<f64> = analysis
+            .blocks_of(BlockType::A)
+            .map(|b| b.caf_speed)
+            .collect();
+        let type_b: Vec<f64> = analysis
+            .blocks_of(BlockType::B)
+            .map(|b| b.caf_speed)
+            .collect();
+        if type_a.is_empty() || type_b.is_empty() {
+            return None;
+        }
+        Some(CompetitionCounterfactual {
+            type_a_speeds: type_a,
+            type_b_speeds: type_b,
+        })
+    }
+
+    /// The expected outcome if `fraction` of Type A blocks gain a
+    /// competitor: a mixture of the A and B populations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `[0, 1]`.
+    pub fn at(&self, fraction: f64) -> CounterfactualPoint {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "treated fraction is a probability"
+        );
+        let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+        let mean_a = mean(&self.type_a_speeds);
+        let mean_b = mean(&self.type_b_speeds);
+        // Mixture mean is exact; the mixture median needs the pooled
+        // weighted distribution.
+        let mixture_mean = (1.0 - fraction) * mean_a + fraction * mean_b;
+        let mixture_median = mixture_quantile(
+            &self.type_a_speeds,
+            1.0 - fraction,
+            &self.type_b_speeds,
+            fraction,
+            0.5,
+        );
+        CounterfactualPoint {
+            treated_fraction: fraction,
+            mean_caf_speed: mixture_mean,
+            median_caf_speed: mixture_median,
+        }
+    }
+
+    /// A sweep over treatment fractions.
+    pub fn sweep(&self, fractions: &[f64]) -> Vec<CounterfactualPoint> {
+        fractions.iter().map(|&f| self.at(f)).collect()
+    }
+
+    /// The relative mean-speed gain from full treatment.
+    pub fn full_treatment_gain(&self) -> f64 {
+        let base = self.at(0.0).mean_caf_speed;
+        let full = self.at(1.0).mean_caf_speed;
+        if base > 0.0 {
+            full / base - 1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The `p`-quantile of a two-component mixture with component weights
+/// `wa`, `wb` (need not be normalized).
+fn mixture_quantile(a: &[f64], wa: f64, b: &[f64], wb: f64, p: f64) -> f64 {
+    // Normalize per-observation weights so each component contributes its
+    // mixture weight regardless of sample size.
+    let mut weighted: Vec<(f64, f64)> = Vec::with_capacity(a.len() + b.len());
+    if wa > 0.0 {
+        let w = wa / a.len() as f64;
+        weighted.extend(a.iter().map(|&x| (x, w)));
+    }
+    if wb > 0.0 {
+        let w = wb / b.len() as f64;
+        weighted.extend(b.iter().map(|&x| (x, w)));
+    }
+    weighted.sort_by(|x, y| x.0.total_cmp(&y.0));
+    let total: f64 = weighted.iter().map(|(_, w)| w).sum();
+    let threshold = p * total;
+    let mut cum = 0.0;
+    for (x, w) in &weighted {
+        cum += w;
+        if cum >= threshold {
+            return *x;
+        }
+    }
+    weighted.last().map(|(x, _)| *x).unwrap_or(0.0)
+}
+
+/// Convenience: quartiles of a speed population, for display.
+pub fn speed_quartiles(xs: &[f64]) -> Option<(f64, f64, f64)> {
+    Some((
+        quantile(xs, 0.25).ok()?,
+        median(xs).ok()?,
+        quantile(xs, 0.75).ok()?,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cf() -> CompetitionCounterfactual {
+        CompetitionCounterfactual {
+            type_a_speeds: vec![10.0, 10.0, 20.0, 20.0],
+            type_b_speeds: vec![100.0, 100.0],
+        }
+    }
+
+    #[test]
+    fn endpoints_match_populations() {
+        let cf = cf();
+        let at0 = cf.at(0.0);
+        assert!((at0.mean_caf_speed - 15.0).abs() < 1e-12);
+        assert!((at0.median_caf_speed - 10.0).abs() < 1e-9);
+        let at1 = cf.at(1.0);
+        assert!((at1.mean_caf_speed - 100.0).abs() < 1e-12);
+        assert!((at1.median_caf_speed - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mixture_mean_is_linear() {
+        let cf = cf();
+        let half = cf.at(0.5);
+        assert!((half.mean_caf_speed - (0.5 * 15.0 + 0.5 * 100.0)).abs() < 1e-12);
+        // Median jumps once the treated mass crosses 50 %.
+        assert!(half.median_caf_speed >= 20.0);
+        let sweep = cf.sweep(&[0.0, 0.25, 0.5, 1.0]);
+        assert_eq!(sweep.len(), 4);
+        for pair in sweep.windows(2) {
+            assert!(pair[1].mean_caf_speed >= pair[0].mean_caf_speed);
+        }
+    }
+
+    #[test]
+    fn full_treatment_gain() {
+        let cf = cf();
+        assert!((cf.full_treatment_gain() - (100.0 / 15.0 - 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quartiles_helper() {
+        let (q1, med, q3) = speed_quartiles(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!((q1, med, q3), (2.0, 3.0, 4.0));
+        assert!(speed_quartiles(&[]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "treated fraction")]
+    fn fraction_out_of_range_panics() {
+        cf().at(1.5);
+    }
+}

@@ -1,0 +1,251 @@
+//! Extension: advertised vs experienced service quality.
+//!
+//! §5 of the paper flags that BQT data "does not always reflect the
+//! experienced service quality" and leaves bridging that gap to future
+//! work. This module implements that bridge over the synthetic
+//! crowdsourced speed tests of [`caf_synth::speedtest`]: it joins
+//! measurements onto the audit rows and asks how many addresses that
+//! *look* compliant from advertised plans would still clear the FCC's
+//! 10 Mbps floor on *measured* throughput.
+
+use caf_stats::{median, quantile};
+use caf_synth::params::CalibrationParams;
+use caf_synth::speedtest::SpeedTest;
+use caf_synth::usac::Technology;
+use caf_synth::Isp;
+use std::collections::HashMap;
+
+/// Per-address experienced-quality aggregation.
+#[derive(Debug, Clone)]
+pub struct ExperiencedAddress {
+    /// The ISP.
+    pub isp: Isp,
+    /// Advertised download speed, Mbps.
+    pub advertised_mbps: f64,
+    /// Median measured download speed across the address's tests, Mbps.
+    pub median_measured_mbps: f64,
+    /// Number of tests.
+    pub tests: usize,
+    /// Last-mile technology.
+    pub technology: Technology,
+}
+
+impl ExperiencedAddress {
+    /// Measured-over-advertised ratio.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.advertised_mbps <= 0.0 {
+            0.0
+        } else {
+            self.median_measured_mbps / self.advertised_mbps
+        }
+    }
+}
+
+/// The experienced-quality analysis.
+#[derive(Debug)]
+pub struct ExperiencedAnalysis {
+    /// One row per measured address.
+    pub addresses: Vec<ExperiencedAddress>,
+}
+
+impl ExperiencedAnalysis {
+    /// Aggregates raw speed tests per address (median of each address's
+    /// tests, so heavy testers don't dominate).
+    pub fn compute(tests: &[SpeedTest]) -> ExperiencedAnalysis {
+        let mut grouped: HashMap<(u64, Isp), Vec<&SpeedTest>> = HashMap::new();
+        for t in tests {
+            grouped.entry((t.address.0, t.isp)).or_default().push(t);
+        }
+        let mut addresses: Vec<ExperiencedAddress> = grouped
+            .into_values()
+            .map(|tests| {
+                let measured: Vec<f64> = tests.iter().map(|t| t.measured_mbps).collect();
+                let first = tests[0];
+                ExperiencedAddress {
+                    isp: first.isp,
+                    advertised_mbps: first.advertised_mbps,
+                    median_measured_mbps: median(&measured).expect("group is non-empty"),
+                    tests: tests.len(),
+                    technology: first.technology,
+                }
+            })
+            .collect();
+        addresses.sort_by(|a, b| {
+            (a.isp, a.advertised_mbps.to_bits()).cmp(&(b.isp, b.advertised_mbps.to_bits()))
+        });
+        ExperiencedAnalysis { addresses }
+    }
+
+    /// Fraction of measured addresses whose *advertised* speed clears the
+    /// FCC floor but whose *measured* speed does not — the optimism gap
+    /// in a BQT-only audit.
+    pub fn optimism_gap(&self) -> f64 {
+        let (floor, _) = CalibrationParams::fcc_speed_floor();
+        let advertised_ok: Vec<&ExperiencedAddress> = self
+            .addresses
+            .iter()
+            .filter(|a| a.advertised_mbps >= floor)
+            .collect();
+        if advertised_ok.is_empty() {
+            return 0.0;
+        }
+        let fail = advertised_ok
+            .iter()
+            .filter(|a| a.median_measured_mbps < floor)
+            .count();
+        fail as f64 / advertised_ok.len() as f64
+    }
+
+    /// Median delivery ratio per ISP.
+    pub fn delivery_ratio_by_isp(&self) -> Vec<(Isp, f64)> {
+        let mut by_isp: HashMap<Isp, Vec<f64>> = HashMap::new();
+        for a in &self.addresses {
+            by_isp.entry(a.isp).or_default().push(a.delivery_ratio());
+        }
+        let mut out: Vec<(Isp, f64)> = by_isp
+            .into_iter()
+            .map(|(isp, ratios)| (isp, median(&ratios).expect("non-empty")))
+            .collect();
+        out.sort_by_key(|(isp, _)| *isp);
+        out
+    }
+
+    /// Median delivery ratio per technology (the DSL-under-delivery
+    /// finding of the paper's reference \[44\]).
+    pub fn delivery_ratio_by_technology(&self) -> Vec<(Technology, f64)> {
+        let mut by_tech: HashMap<Technology, Vec<f64>> = HashMap::new();
+        for a in &self.addresses {
+            by_tech
+                .entry(a.technology)
+                .or_default()
+                .push(a.delivery_ratio());
+        }
+        let mut out: Vec<(Technology, f64)> = by_tech
+            .into_iter()
+            .map(|(tech, ratios)| (tech, median(&ratios).expect("non-empty")))
+            .collect();
+        out.sort_by_key(|(t, _)| t.label());
+        out
+    }
+
+    /// `(advertised, measured)` percentile pairs for a CDF-style figure.
+    pub fn speed_percentiles(&self, levels: &[f64]) -> Vec<(f64, f64, f64)> {
+        let advertised: Vec<f64> = self.addresses.iter().map(|a| a.advertised_mbps).collect();
+        let measured: Vec<f64> = self
+            .addresses
+            .iter()
+            .map(|a| a.median_measured_mbps)
+            .collect();
+        levels
+            .iter()
+            .filter_map(|&p| {
+                Some((
+                    p,
+                    quantile(&advertised, p).ok()?,
+                    quantile(&measured, p).ok()?,
+                ))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caf_geo::AddressId;
+
+    fn test(addr: u64, advertised: f64, measured: f64, tech: Technology) -> SpeedTest {
+        SpeedTest {
+            address: AddressId(addr),
+            isp: Isp::Frontier,
+            advertised_mbps: advertised,
+            measured_mbps: measured,
+            hour: 12,
+            technology: tech,
+        }
+    }
+
+    #[test]
+    fn per_address_median_aggregation() {
+        let tests = vec![
+            test(1, 100.0, 80.0, Technology::Fiber),
+            test(1, 100.0, 60.0, Technology::Fiber),
+            test(1, 100.0, 90.0, Technology::Fiber),
+            test(2, 10.0, 4.0, Technology::Dsl),
+        ];
+        let analysis = ExperiencedAnalysis::compute(&tests);
+        assert_eq!(analysis.addresses.len(), 2);
+        let addr1 = analysis
+            .addresses
+            .iter()
+            .find(|a| a.advertised_mbps == 100.0)
+            .expect("address 1 present");
+        assert_eq!(addr1.median_measured_mbps, 80.0);
+        assert_eq!(addr1.tests, 3);
+        assert!((addr1.delivery_ratio() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn optimism_gap_counts_advertised_pass_measured_fail() {
+        let tests = vec![
+            test(1, 10.0, 6.0, Technology::Dsl),   // advertised ok, measured fails
+            test(2, 10.0, 12.0, Technology::Dsl),  // both ok (over-delivery)
+            test(3, 25.0, 20.0, Technology::Dsl),  // both ok
+            test(4, 5.0, 3.0, Technology::Dsl),    // advertised already fails: excluded
+        ];
+        let analysis = ExperiencedAnalysis::compute(&tests);
+        let gap = analysis.optimism_gap();
+        assert!((gap - 1.0 / 3.0).abs() < 1e-12, "gap {gap}");
+    }
+
+    #[test]
+    fn ratios_by_isp_and_technology() {
+        let tests = vec![
+            test(1, 100.0, 50.0, Technology::Dsl),
+            test(2, 100.0, 95.0, Technology::Fiber),
+        ];
+        let analysis = ExperiencedAnalysis::compute(&tests);
+        let by_isp = analysis.delivery_ratio_by_isp();
+        assert_eq!(by_isp.len(), 1);
+        let by_tech = analysis.delivery_ratio_by_technology();
+        assert_eq!(by_tech.len(), 2);
+        let dsl = by_tech
+            .iter()
+            .find(|(t, _)| *t == Technology::Dsl)
+            .expect("dsl present")
+            .1;
+        let fiber = by_tech
+            .iter()
+            .find(|(t, _)| *t == Technology::Fiber)
+            .expect("fiber present")
+            .1;
+        assert!(fiber > dsl);
+    }
+
+    #[test]
+    fn percentile_pairs() {
+        let tests = vec![
+            test(1, 10.0, 6.0, Technology::Dsl),
+            test(2, 100.0, 90.0, Technology::Fiber),
+            test(3, 1000.0, 950.0, Technology::Fiber),
+        ];
+        let analysis = ExperiencedAnalysis::compute(&tests);
+        let pairs = analysis.speed_percentiles(&[0.0, 0.5, 1.0]);
+        assert_eq!(pairs.len(), 3);
+        assert_eq!(pairs[0], (0.0, 10.0, 6.0));
+        assert_eq!(pairs[2], (1.0, 1000.0, 950.0));
+        // Measured sits below advertised at every level here.
+        for (_, adv, meas) in pairs {
+            assert!(meas <= adv);
+        }
+    }
+
+    #[test]
+    fn empty_input_is_graceful() {
+        let analysis = ExperiencedAnalysis::compute(&[]);
+        assert!(analysis.addresses.is_empty());
+        assert_eq!(analysis.optimism_gap(), 0.0);
+        assert!(analysis.delivery_ratio_by_isp().is_empty());
+        assert!(analysis.speed_percentiles(&[0.5]).is_empty());
+    }
+}

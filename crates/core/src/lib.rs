@@ -1,0 +1,54 @@
+//! # caf-core — the CAF efficacy analysis pipeline
+//!
+//! This crate is the paper's contribution: the post-hoc audit methodology
+//! that takes (1) the regulator-facing USAC CAF-Map and (2) BQT query
+//! outcomes, and answers the three policy questions of §1:
+//!
+//! * **Q1 — service availability** ([`serviceability`]): do ISPs genuinely
+//!   offer service at the addresses they certified? Metric: the
+//!   *serviceability rate*, computed per census block group and weighted
+//!   by each CBG's total CAF address count when aggregated.
+//! * **Q2 — compliance** ([`compliance`]): do the advertised plans meet
+//!   the FCC's rate (≤ $89/mo) and service (≥ 10/1 Mbps, guaranteed)
+//!   standards? Metric: the *compliance rate*, same weighting.
+//! * **Q3 — regulated vs unregulated monopoly** ([`q3`]): within a census
+//!   block, does the CAF ISP advertise better plans at its regulated
+//!   (CAF) addresses than at its unregulated (monopoly) or competitive
+//!   non-CAF addresses?
+//!
+//! Supporting stages: the §3.1 address [`sampling`] strategy
+//! (max(30, 10 %) per CBG, resampling on persistent failure), the
+//! end-to-end [`audit`] orchestrator, campaign [`coverage`] telemetry
+//! (Figures 7/8), the §9.1 [`sensitivity`] analysis (Figure 9), and the
+//! headline [`report`].
+//!
+//! The pipeline never reads the synthetic world's latent truth — only
+//! query outcomes — so the calibration tests in `tests/` are genuine
+//! end-to-end recovery checks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod compliance;
+pub mod counterfactual;
+pub mod coverage;
+pub mod experienced;
+pub mod oversight;
+pub mod program;
+pub mod q3;
+pub mod report;
+pub mod sampling;
+pub mod sensitivity;
+pub mod serviceability;
+
+pub use audit::{Audit, AuditConfig, AuditDataset, AuditRow};
+pub use compliance::ComplianceAnalysis;
+pub use counterfactual::CompetitionCounterfactual;
+pub use experienced::ExperiencedAnalysis;
+pub use oversight::{compare_oversight, OversightConfig};
+pub use program::ProgramRules;
+pub use q3::{BlockType, Q3Analysis};
+pub use report::EfficacyReport;
+pub use sampling::{SamplingPlan, SamplingRule};
+pub use serviceability::ServiceabilityAnalysis;

@@ -1,0 +1,192 @@
+//! Extension: parameterized program rules — applying the audit to BEAD.
+//!
+//! §7 of the paper argues its post-hoc evaluation framework "could be
+//! readily applied to the BEAD program". This module makes that claim
+//! concrete: program rules (speed floor, rate benchmark) become data, so
+//! the same audit dataset can be scored under CAF-II's 10/1 Mbps
+//! standard, BEAD's 100/20 Mbps standard, or the FCC's 25/3 broadband
+//! definition — showing how the compliance picture changes as the bar
+//! moves.
+
+use caf_stats::weighted::WeightedSample;
+use caf_stats::weighted_mean;
+use caf_synth::Isp;
+use std::collections::HashMap;
+
+use crate::audit::{AuditDataset, AuditRow};
+
+/// The rate-and-service conditions of a subsidy program.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProgramRules {
+    /// Program display name.
+    pub name: &'static str,
+    /// Minimum guaranteed download speed, Mbps.
+    pub min_down_mbps: f64,
+    /// Minimum upload speed, Mbps.
+    pub min_up_mbps: f64,
+    /// Maximum monthly rate for the qualifying tier, dollars.
+    pub rate_cap_usd: f64,
+}
+
+impl ProgramRules {
+    /// The CAF Phase II model rules the paper audits: 10/1 Mbps at the
+    /// FCC's ≈$89 urban-comparability benchmark.
+    pub fn caf_phase_ii() -> ProgramRules {
+        ProgramRules {
+            name: "CAF II (10/1)",
+            min_down_mbps: 10.0,
+            min_up_mbps: 1.0,
+            rate_cap_usd: 89.0,
+        }
+    }
+
+    /// The FCC's 25/3 Mbps fixed-broadband definition (the benchmark the
+    /// paper's related work measures coverage against).
+    pub fn fcc_25_3() -> ProgramRules {
+        ProgramRules {
+            name: "FCC 25/3",
+            min_down_mbps: 25.0,
+            min_up_mbps: 3.0,
+            rate_cap_usd: 89.0,
+        }
+    }
+
+    /// BEAD's 100/20 Mbps standard (§7's $42 B follow-on program).
+    pub fn bead() -> ProgramRules {
+        ProgramRules {
+            name: "BEAD (100/20)",
+            min_down_mbps: 100.0,
+            min_up_mbps: 20.0,
+            rate_cap_usd: 89.0,
+        }
+    }
+
+    /// Whether an audited address complies with these rules: served, with
+    /// some advertised plan at a guaranteed speed ≥ the floor and a price
+    /// ≤ the cap.
+    pub fn row_complies(&self, row: &AuditRow) -> bool {
+        row.served
+            && row.plans.iter().any(|plan| {
+                plan.meets_service_standard(self.min_down_mbps, self.min_up_mbps)
+                    && plan.monthly_usd <= self.rate_cap_usd
+            })
+    }
+
+    /// CBG-weighted compliance rate of an audit dataset under these rules.
+    pub fn compliance_rate(&self, dataset: &AuditDataset) -> Option<f64> {
+        self.compliance_rate_filtered(dataset, None)
+    }
+
+    /// CBG-weighted compliance rate for one ISP under these rules.
+    pub fn compliance_rate_for(&self, dataset: &AuditDataset, isp: Isp) -> Option<f64> {
+        self.compliance_rate_filtered(dataset, Some(isp))
+    }
+
+    fn compliance_rate_filtered(
+        &self,
+        dataset: &AuditDataset,
+        isp: Option<Isp>,
+    ) -> Option<f64> {
+        let mut grouped: HashMap<(Isp, u64), (usize, usize, f64)> = HashMap::new();
+        for row in &dataset.rows {
+            if isp.is_some_and(|i| row.isp != i) {
+                continue;
+            }
+            let entry = grouped
+                .entry((row.isp, row.cbg.geoid()))
+                .or_insert((0, 0, row.cbg_total as f64));
+            entry.0 += 1;
+            if self.row_complies(row) {
+                entry.1 += 1;
+            }
+        }
+        let samples: Vec<WeightedSample> = grouped
+            .into_values()
+            .map(|(n, ok, weight)| WeightedSample::new(ok as f64 / n as f64, weight))
+            .collect();
+        weighted_mean(&samples).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caf_geo::{AddressId, BlockGroupId, CountyId, LatLon, StateFips, TractId, UsState};
+    use caf_synth::plans::PlanCatalog;
+
+    fn row(i: u64, tier_label: Option<&str>) -> AuditRow {
+        let isp = Isp::CenturyLink;
+        let plan = tier_label.map(|label| {
+            let cat = PlanCatalog::for_isp(isp);
+            cat.plan_from_tier(cat.tier_labeled(label).expect("tier exists"))
+        });
+        let state = StateFips::new(39).unwrap();
+        let county = CountyId::new(state, 1).unwrap();
+        let tract = TractId::new(county, 1).unwrap();
+        AuditRow {
+            address: AddressId(i),
+            isp,
+            state: UsState::Ohio,
+            cbg: BlockGroupId::new(tract, 1).unwrap(),
+            cbg_total: 50,
+            density: 100.0,
+            density_pct: 0.5,
+            centroid: LatLon::new(40.0, -82.0).unwrap(),
+            served: plan.is_some(),
+            max_down_mbps: plan.as_ref().and_then(|p| p.download_mbps),
+            plans: plan.iter().cloned().collect(),
+            max_plan: plan,
+            existing_subscriber: false,
+        }
+    }
+
+    fn dataset(rows: Vec<AuditRow>) -> AuditDataset {
+        AuditDataset {
+            rows,
+            records: Vec::new(),
+            coverage: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn rules_tighten_monotonically() {
+        // 10 Mbps DSL passes CAF but fails 25/3 and BEAD; 200 Mbps fiber
+        // passes all three; 40 Mbps passes CAF and 25/3 but not BEAD.
+        let ds = dataset(vec![
+            row(1, Some("Simply Internet 10")),
+            row(2, Some("Fiber 200")),
+            row(3, Some("Simply Internet 40")),
+            row(4, None),
+        ]);
+        let caf = ProgramRules::caf_phase_ii().compliance_rate(&ds).unwrap();
+        let fcc = ProgramRules::fcc_25_3().compliance_rate(&ds).unwrap();
+        let bead = ProgramRules::bead().compliance_rate(&ds).unwrap();
+        assert!((caf - 0.75).abs() < 1e-12, "caf {caf}");
+        // The 40/5 tier passes 25/3 but fails BEAD's 100/20.
+        assert!((fcc - 0.5).abs() < 1e-12, "fcc {fcc}");
+        assert!((bead - 0.25).abs() < 1e-12, "bead {bead}");
+        assert!(caf >= fcc && fcc >= bead);
+    }
+
+    #[test]
+    fn rate_cap_is_enforced() {
+        let mut rules = ProgramRules::caf_phase_ii();
+        rules.rate_cap_usd = 40.0; // below every CL tier price ≥ $50
+        let ds = dataset(vec![row(1, Some("Fiber 940"))]);
+        assert_eq!(rules.compliance_rate(&ds), Some(0.0));
+    }
+
+    #[test]
+    fn per_isp_filter() {
+        let ds = dataset(vec![row(1, Some("Fiber 200"))]);
+        let rules = ProgramRules::bead();
+        assert_eq!(rules.compliance_rate_for(&ds, Isp::CenturyLink), Some(1.0));
+        assert_eq!(rules.compliance_rate_for(&ds, Isp::Att), None);
+    }
+
+    #[test]
+    fn program_names_for_display() {
+        assert_eq!(ProgramRules::bead().name, "BEAD (100/20)");
+        assert_eq!(ProgramRules::caf_phase_ii().name, "CAF II (10/1)");
+    }
+}

@@ -1,0 +1,229 @@
+//! Typed, nullable column storage.
+
+use crate::error::FrameError;
+use crate::value::{DataType, Value};
+
+/// A named, typed, nullable column.
+///
+/// Storage is a dense `Vec<Option<T>>` per type. The CAF tables are a few
+/// hundred thousand rows; dense options keep the code simple and the cache
+/// behaviour predictable without a separate validity bitmap.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// Integer column.
+    Int(Vec<Option<i64>>),
+    /// Float column.
+    Float(Vec<Option<f64>>),
+    /// String column.
+    Str(Vec<Option<String>>),
+    /// Boolean column.
+    Bool(Vec<Option<bool>>),
+}
+
+impl Column {
+    /// An empty column of the given type.
+    pub fn empty(dtype: DataType) -> Column {
+        match dtype {
+            DataType::Int => Column::Int(Vec::new()),
+            DataType::Float => Column::Float(Vec::new()),
+            DataType::Str => Column::Str(Vec::new()),
+            DataType::Bool => Column::Bool(Vec::new()),
+        }
+    }
+
+    /// The column's type.
+    pub fn dtype(&self) -> DataType {
+        match self {
+            Column::Int(_) => DataType::Int,
+            Column::Float(_) => DataType::Float,
+            Column::Str(_) => DataType::Str,
+            Column::Bool(_) => DataType::Bool,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int(v) => v.len(),
+            Column::Float(v) => v.len(),
+            Column::Str(v) => v.len(),
+            Column::Bool(v) => v.len(),
+        }
+    }
+
+    /// Whether the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The cell at `row` as a dynamic [`Value`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn get(&self, row: usize) -> Value {
+        match self {
+            Column::Int(v) => v[row].map(Value::Int).unwrap_or(Value::Null),
+            Column::Float(v) => v[row].map(Value::Float).unwrap_or(Value::Null),
+            Column::Str(v) => v[row]
+                .as_ref()
+                .map(|s| Value::Str(s.clone()))
+                .unwrap_or(Value::Null),
+            Column::Bool(v) => v[row].map(Value::Bool).unwrap_or(Value::Null),
+        }
+    }
+
+    /// Appends a value, checking the type. Integers are accepted into
+    /// float columns (widened); everything else must match exactly.
+    pub fn push(&mut self, value: Value, column_name: &str) -> Result<(), FrameError> {
+        let expected = self.dtype();
+        let mismatch = move |got: Option<DataType>| FrameError::TypeMismatch {
+            column: column_name.to_string(),
+            expected,
+            got,
+        };
+        match (self, value) {
+            (Column::Int(v), Value::Int(x)) => v.push(Some(x)),
+            (Column::Int(v), Value::Null) => v.push(None),
+            (Column::Float(v), Value::Float(x)) => v.push(Some(x)),
+            (Column::Float(v), Value::Int(x)) => v.push(Some(x as f64)),
+            (Column::Float(v), Value::Null) => v.push(None),
+            (Column::Str(v), Value::Str(x)) => v.push(Some(x)),
+            (Column::Str(v), Value::Null) => v.push(None),
+            (Column::Bool(v), Value::Bool(x)) => v.push(Some(x)),
+            (Column::Bool(v), Value::Null) => v.push(None),
+            (_, value) => return Err(mismatch(value.dtype())),
+        }
+        Ok(())
+    }
+
+    /// Number of null cells.
+    pub fn null_count(&self) -> usize {
+        match self {
+            Column::Int(v) => v.iter().filter(|x| x.is_none()).count(),
+            Column::Float(v) => v.iter().filter(|x| x.is_none()).count(),
+            Column::Str(v) => v.iter().filter(|x| x.is_none()).count(),
+            Column::Bool(v) => v.iter().filter(|x| x.is_none()).count(),
+        }
+    }
+
+    /// Non-null cells as `f64`, if the column is numeric.
+    pub fn numeric_values(&self) -> Option<Vec<f64>> {
+        match self {
+            Column::Int(v) => Some(v.iter().flatten().map(|&x| x as f64).collect()),
+            Column::Float(v) => Some(v.iter().flatten().copied().collect()),
+            _ => None,
+        }
+    }
+
+    /// A new column containing the rows at `indices`, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn take(&self, indices: &[usize]) -> Column {
+        match self {
+            Column::Int(v) => Column::Int(indices.iter().map(|&i| v[i]).collect()),
+            Column::Float(v) => Column::Float(indices.iter().map(|&i| v[i]).collect()),
+            Column::Str(v) => Column::Str(indices.iter().map(|&i| v[i].clone()).collect()),
+            Column::Bool(v) => Column::Bool(indices.iter().map(|&i| v[i]).collect()),
+        }
+    }
+}
+
+/// Builds an integer column from an iterator.
+impl FromIterator<i64> for Column {
+    fn from_iter<I: IntoIterator<Item = i64>>(iter: I) -> Column {
+        Column::Int(iter.into_iter().map(Some).collect())
+    }
+}
+
+/// Builds a float column from an iterator.
+impl FromIterator<f64> for Column {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Column {
+        Column::Float(iter.into_iter().map(Some).collect())
+    }
+}
+
+/// Builds a string column from an iterator.
+impl<'a> FromIterator<&'a str> for Column {
+    fn from_iter<I: IntoIterator<Item = &'a str>>(iter: I) -> Column {
+        Column::Str(iter.into_iter().map(|s| Some(s.to_string())).collect())
+    }
+}
+
+/// Builds a string column from owned strings.
+impl FromIterator<String> for Column {
+    fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Column {
+        Column::Str(iter.into_iter().map(Some).collect())
+    }
+}
+
+/// Builds a boolean column from an iterator.
+impl FromIterator<bool> for Column {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Column {
+        Column::Bool(iter.into_iter().map(Some).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get_roundtrip() {
+        let mut c = Column::empty(DataType::Float);
+        c.push(Value::Float(1.5), "x").unwrap();
+        c.push(Value::Int(2), "x").unwrap(); // widened
+        c.push(Value::Null, "x").unwrap();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(0), Value::Float(1.5));
+        assert_eq!(c.get(1), Value::Float(2.0));
+        assert_eq!(c.get(2), Value::Null);
+        assert_eq!(c.null_count(), 1);
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let mut c = Column::empty(DataType::Int);
+        let err = c.push(Value::Str("x".into()), "count").unwrap_err();
+        assert_eq!(
+            err,
+            FrameError::TypeMismatch {
+                column: "count".into(),
+                expected: DataType::Int,
+                got: Some(DataType::Str),
+            }
+        );
+        // Int column does not accept floats (would silently truncate).
+        assert!(c.push(Value::Float(1.5), "count").is_err());
+    }
+
+    #[test]
+    fn numeric_values_skips_nulls() {
+        let c = Column::Int(vec![Some(1), None, Some(3)]);
+        assert_eq!(c.numeric_values().unwrap(), vec![1.0, 3.0]);
+        let s: Column = ["a", "b"].into_iter().collect();
+        assert_eq!(s.numeric_values(), None);
+    }
+
+    #[test]
+    fn take_reorders_and_duplicates() {
+        let c: Column = [10i64, 20, 30].into_iter().collect();
+        let t = c.take(&[2, 0, 0]);
+        assert_eq!(t.get(0), Value::Int(30));
+        assert_eq!(t.get(1), Value::Int(10));
+        assert_eq!(t.get(2), Value::Int(10));
+    }
+
+    #[test]
+    fn from_iterators() {
+        let c: Column = [1.0, 2.0].into_iter().collect();
+        assert_eq!(c.dtype(), DataType::Float);
+        let c: Column = [true, false].into_iter().collect();
+        assert_eq!(c.dtype(), DataType::Bool);
+        let c: Column = ["a".to_string()].into_iter().collect();
+        assert_eq!(c.dtype(), DataType::Str);
+        assert!(!c.is_empty());
+    }
+}

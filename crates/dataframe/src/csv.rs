@@ -1,0 +1,258 @@
+//! CSV serialization.
+//!
+//! The repro harness writes every regenerated table/figure series as CSV so
+//! downstream plotting (or a reviewer's spreadsheet) can consume it. The
+//! reader exists for round-tripping intermediate results between pipeline
+//! stages; it infers column types from the data.
+
+use crate::column::Column;
+use crate::error::FrameError;
+use crate::frame::DataFrame;
+use crate::value::{DataType, Value};
+
+/// Quotes a CSV field if it contains a delimiter, quote, or newline.
+fn quote_field(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') || field.contains('\r') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+impl DataFrame {
+    /// Serializes the frame to CSV (header row + one line per row, `\n`
+    /// line endings, RFC-4180 quoting). Nulls serialize as empty fields.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .names()
+                .iter()
+                .map(|n| quote_field(n))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in self.rows() {
+            let line: Vec<String> = self
+                .names()
+                .iter()
+                .map(|n| quote_field(&row.get(n).expect("own column").to_string()))
+                .collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a CSV string produced by [`DataFrame::to_csv`] (or any
+    /// RFC-4180 CSV). Column types are inferred per column: `Int` if every
+    /// non-empty field parses as `i64`, else `Float` if every non-empty
+    /// field parses as `f64`, else `Bool` if every non-empty field is
+    /// `true`/`false`, else `Str`. Empty fields are nulls.
+    pub fn from_csv(text: &str) -> Result<DataFrame, FrameError> {
+        let rows = parse_csv(text)?;
+        let mut iter = rows.into_iter();
+        let header = iter.next().ok_or_else(|| FrameError::Csv("empty input".into()))?;
+        let records: Vec<Vec<String>> = iter.collect();
+        for (i, rec) in records.iter().enumerate() {
+            if rec.len() != header.len() {
+                return Err(FrameError::Csv(format!(
+                    "row {} has {} fields, header has {}",
+                    i + 1,
+                    rec.len(),
+                    header.len()
+                )));
+            }
+        }
+
+        let mut cols: Vec<(String, Column)> = Vec::with_capacity(header.len());
+        for (ci, name) in header.iter().enumerate() {
+            let fields: Vec<&str> = records.iter().map(|r| r[ci].as_str()).collect();
+            let dtype = infer_dtype(&fields);
+            let mut col = Column::empty(dtype);
+            for field in fields {
+                let value = parse_field(field, dtype);
+                col.push(value, name)?;
+            }
+            cols.push((name.clone(), col));
+        }
+        DataFrame::new(cols)
+    }
+}
+
+fn infer_dtype(fields: &[&str]) -> DataType {
+    let non_empty: Vec<&&str> = fields.iter().filter(|f| !f.is_empty()).collect();
+    if non_empty.is_empty() {
+        return DataType::Str;
+    }
+    if non_empty.iter().all(|f| f.parse::<i64>().is_ok()) {
+        return DataType::Int;
+    }
+    if non_empty.iter().all(|f| f.parse::<f64>().is_ok()) {
+        return DataType::Float;
+    }
+    if non_empty.iter().all(|f| **f == "true" || **f == "false") {
+        return DataType::Bool;
+    }
+    DataType::Str
+}
+
+fn parse_field(field: &str, dtype: DataType) -> Value {
+    if field.is_empty() {
+        return Value::Null;
+    }
+    match dtype {
+        DataType::Int => Value::Int(field.parse().expect("inferred int parses")),
+        DataType::Float => Value::Float(field.parse().expect("inferred float parses")),
+        DataType::Bool => Value::Bool(field == "true"),
+        DataType::Str => Value::Str(field.to_string()),
+    }
+}
+
+/// A minimal RFC-4180 parser: handles quoted fields, escaped quotes, and
+/// both `\n` and `\r\n` line endings. Rejects unterminated quotes.
+fn parse_csv(text: &str) -> Result<Vec<Vec<String>>, FrameError> {
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut row: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut chars = text.chars().peekable();
+    let mut in_quotes = false;
+    let mut field_started = false;
+
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => field.push(c),
+            }
+            continue;
+        }
+        match c {
+            '"' if field.is_empty() && !field_started => {
+                in_quotes = true;
+                field_started = true;
+            }
+            ',' => {
+                row.push(std::mem::take(&mut field));
+                field_started = false;
+            }
+            '\r' => {
+                if chars.peek() == Some(&'\n') {
+                    chars.next();
+                }
+                row.push(std::mem::take(&mut field));
+                rows.push(std::mem::take(&mut row));
+                field_started = false;
+            }
+            '\n' => {
+                row.push(std::mem::take(&mut field));
+                rows.push(std::mem::take(&mut row));
+                field_started = false;
+            }
+            _ => {
+                field.push(c);
+                field_started = true;
+            }
+        }
+    }
+    if in_quotes {
+        return Err(FrameError::Csv("unterminated quoted field".into()));
+    }
+    if field_started || !row.is_empty() {
+        row.push(field);
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DataFrame {
+        DataFrame::new(vec![
+            ("isp", ["at&t", "frontier, inc"].into_iter().collect()),
+            ("speed", [10.5, 100.0].into_iter().collect()),
+            ("n", [3i64, 4].into_iter().collect()),
+            ("served", [true, false].into_iter().collect()),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_shape_and_values() {
+        let df = sample();
+        let csv = df.to_csv();
+        let back = DataFrame::from_csv(&csv).unwrap();
+        assert_eq!(back.n_rows(), 2);
+        assert_eq!(back.names(), df.names());
+        assert_eq!(back.row(0).str("isp").unwrap(), "at&t");
+        assert_eq!(back.row(1).str("isp").unwrap(), "frontier, inc");
+        assert_eq!(back.row(0).f64("speed"), Some(10.5));
+        assert_eq!(back.row(0).i64("n"), Some(3));
+        assert_eq!(back.row(1).bool("served"), Some(false));
+    }
+
+    #[test]
+    fn quoting_applied_where_needed() {
+        let csv = sample().to_csv();
+        assert!(csv.contains("\"frontier, inc\""));
+        assert!(csv.starts_with("isp,speed,n,served\n"));
+    }
+
+    #[test]
+    fn embedded_quotes_and_newlines() {
+        let df = DataFrame::new(vec![(
+            "note",
+            ["say \"hi\"", "two\nlines"].into_iter().collect(),
+        )])
+        .unwrap();
+        let back = DataFrame::from_csv(&df.to_csv()).unwrap();
+        assert_eq!(back.row(0).str("note").unwrap(), "say \"hi\"");
+        assert_eq!(back.row(1).str("note").unwrap(), "two\nlines");
+    }
+
+    #[test]
+    fn nulls_roundtrip_as_empty_fields() {
+        let df = DataFrame::new(vec![
+            ("x", Column::Float(vec![Some(1.0), None])),
+            ("s", Column::Str(vec![None, Some("b".into())])),
+        ])
+        .unwrap();
+        let back = DataFrame::from_csv(&df.to_csv()).unwrap();
+        assert_eq!(back.row(1).get("x").unwrap(), Value::Null);
+        assert_eq!(back.row(0).get("s").unwrap(), Value::Null);
+        assert_eq!(back.row(0).f64("x"), Some(1.0));
+    }
+
+    #[test]
+    fn crlf_accepted() {
+        let df = DataFrame::from_csv("a,b\r\n1,2\r\n3,4\r\n").unwrap();
+        assert_eq!(df.n_rows(), 2);
+        assert_eq!(df.row(1).i64("b"), Some(4));
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        assert!(DataFrame::from_csv("").is_err());
+        assert!(DataFrame::from_csv("a,b\n1\n").is_err());
+        assert!(DataFrame::from_csv("a\n\"unterminated\n").is_err());
+    }
+
+    #[test]
+    fn type_inference_prefers_narrowest() {
+        let df = DataFrame::from_csv("i,f,b,s\n1,1.5,true,x\n2,2,false,y\n").unwrap();
+        assert_eq!(df.column("i").unwrap().dtype(), DataType::Int);
+        assert_eq!(df.column("f").unwrap().dtype(), DataType::Float);
+        assert_eq!(df.column("b").unwrap().dtype(), DataType::Bool);
+        assert_eq!(df.column("s").unwrap().dtype(), DataType::Str);
+    }
+}

@@ -1,0 +1,117 @@
+//! Aligned pretty-printing for the repro harness.
+
+use crate::frame::DataFrame;
+use std::fmt;
+
+/// Maximum rows printed before eliding the middle.
+const MAX_DISPLAY_ROWS: usize = 40;
+
+impl fmt::Display for DataFrame {
+    /// Renders the frame as an aligned text table, eliding the middle of
+    /// frames longer than 40 rows, with a trailing row count. Floats are
+    /// shown with up to four significant decimals.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let render_cell = |name: &str, row: usize| -> String {
+            match self.column(name).expect("own column").get(row) {
+                crate::value::Value::Float(v) => {
+                    if v == v.trunc() && v.abs() < 1e12 {
+                        format!("{v:.1}")
+                    } else {
+                        format!("{v:.4}")
+                    }
+                }
+                other => other.to_string(),
+            }
+        };
+
+        let n = self.n_rows();
+        let (head, tail) = if n > MAX_DISPLAY_ROWS {
+            (MAX_DISPLAY_ROWS / 2, MAX_DISPLAY_ROWS / 2)
+        } else {
+            (n, 0)
+        };
+        let shown: Vec<usize> = (0..head).chain(n.saturating_sub(tail)..n).collect();
+
+        // Compute column widths over header + shown cells.
+        let mut widths: Vec<usize> = self.names().iter().map(|n| n.len()).collect();
+        for &row in &shown {
+            for (ci, name) in self.names().iter().enumerate() {
+                widths[ci] = widths[ci].max(render_cell(name, row).len());
+            }
+        }
+
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let parts: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, &w)| format!("{c:>w$}"))
+                .collect();
+            writeln!(f, "| {} |", parts.join(" | "))
+        };
+
+        let header: Vec<String> = self.names().to_vec();
+        write_row(f, &header)?;
+        let rule: Vec<String> = widths.iter().map(|&w| "-".repeat(w)).collect();
+        write_row(f, &rule)?;
+        for (i, &row) in shown.iter().enumerate() {
+            if i == head && tail > 0 {
+                let dots: Vec<String> = widths.iter().map(|_| "…".to_string()).collect();
+                write_row(f, &dots)?;
+            }
+            let cells: Vec<String> = self
+                .names()
+                .iter()
+                .map(|name| render_cell(name, row))
+                .collect();
+            write_row(f, &cells)?;
+        }
+        write!(f, "({n} rows)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+
+    #[test]
+    fn small_frame_renders_fully() {
+        let df = DataFrame::new(vec![
+            ("isp", ["att", "frontier"].into_iter().collect::<Column>()),
+            ("rate", [0.3153, 0.7171].into_iter().collect::<Column>()),
+        ])
+        .unwrap();
+        let s = df.to_string();
+        assert!(s.contains("isp |"), "{s}");
+        assert!(s.contains("0.3153"));
+        assert!(s.contains("0.7171"));
+        assert!(s.contains("(2 rows)"));
+        // Aligned: every line has the same length up to the final count.
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0].len(), lines[1].len());
+        assert_eq!(lines[0].len(), lines[2].len());
+    }
+
+    #[test]
+    fn long_frame_is_elided() {
+        let col: Column = (0..100i64).collect();
+        let df = DataFrame::new(vec![("n", col)]).unwrap();
+        let s = df.to_string();
+        assert!(s.contains('…'));
+        assert!(s.contains("(100 rows)"));
+        assert!(s.contains("| 99 |"));
+        assert!(s.lines().count() < 50);
+    }
+
+    #[test]
+    fn whole_floats_render_with_one_decimal() {
+        let df = DataFrame::new(vec![(
+            "speed",
+            [100.0f64, 0.768].into_iter().collect::<Column>(),
+        )])
+        .unwrap();
+        let s = df.to_string();
+        assert!(s.contains("100.0"));
+        assert!(s.contains("0.7680"));
+    }
+}

@@ -1,0 +1,119 @@
+//! Error type for the dataframe engine.
+
+use crate::value::DataType;
+use std::fmt;
+
+/// Errors produced by dataframe operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// Referenced a column that does not exist.
+    NoSuchColumn(String),
+    /// Two columns with the same name in one frame.
+    DuplicateColumn(String),
+    /// Columns of differing lengths supplied to a frame constructor.
+    RaggedColumns {
+        /// Name of the offending column.
+        column: String,
+        /// Its length.
+        got: usize,
+        /// The frame's row count.
+        expected: usize,
+    },
+    /// A row with the wrong number of cells pushed into a frame.
+    RowArity {
+        /// Cells supplied.
+        got: usize,
+        /// Columns in the frame.
+        expected: usize,
+    },
+    /// A value of the wrong type for its column.
+    TypeMismatch {
+        /// Column name.
+        column: String,
+        /// The column's type.
+        expected: DataType,
+        /// The supplied value's type, or `None` for an untyped null.
+        got: Option<DataType>,
+    },
+    /// An aggregation that requires a numeric column was applied to a
+    /// non-numeric one.
+    NonNumericAggregate {
+        /// Column name.
+        column: String,
+        /// The column's actual type.
+        dtype: DataType,
+    },
+    /// Join keys with incompatible types.
+    KeyTypeMismatch {
+        /// Left column type.
+        left: DataType,
+        /// Right column type.
+        right: DataType,
+    },
+    /// CSV input that could not be parsed.
+    Csv(String),
+    /// An aggregation over zero non-null values where one is required.
+    EmptyAggregate(String),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::NoSuchColumn(name) => write!(f, "no such column {name:?}"),
+            FrameError::DuplicateColumn(name) => write!(f, "duplicate column {name:?}"),
+            FrameError::RaggedColumns {
+                column,
+                got,
+                expected,
+            } => write!(
+                f,
+                "column {column:?} has {got} rows, frame expects {expected}"
+            ),
+            FrameError::RowArity { got, expected } => {
+                write!(f, "row has {got} cells, frame has {expected} columns")
+            }
+            FrameError::TypeMismatch {
+                column,
+                expected,
+                got,
+            } => match got {
+                Some(got) => write!(
+                    f,
+                    "column {column:?} expects {expected}, got a {got} value"
+                ),
+                None => write!(f, "column {column:?} expects {expected}"),
+            },
+            FrameError::NonNumericAggregate { column, dtype } => {
+                write!(f, "cannot numerically aggregate {dtype} column {column:?}")
+            }
+            FrameError::KeyTypeMismatch { left, right } => {
+                write!(f, "join key types differ: {left} vs {right}")
+            }
+            FrameError::Csv(msg) => write!(f, "csv error: {msg}"),
+            FrameError::EmptyAggregate(column) => {
+                write!(f, "aggregate over column {column:?} has no non-null values")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            FrameError::NoSuchColumn("isp".into()).to_string(),
+            "no such column \"isp\""
+        );
+        let e = FrameError::TypeMismatch {
+            column: "speed".into(),
+            expected: DataType::Float,
+            got: Some(DataType::Str),
+        };
+        assert!(e.to_string().contains("expects float"));
+    }
+}

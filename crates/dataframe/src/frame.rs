@@ -1,0 +1,413 @@
+//! The [`DataFrame`] table type and its row accessor.
+
+use crate::column::Column;
+use crate::error::FrameError;
+use crate::value::{DataType, Value};
+use std::collections::HashMap;
+
+/// A named collection of equal-length typed columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataFrame {
+    names: Vec<String>,
+    columns: Vec<Column>,
+    index: HashMap<String, usize>,
+}
+
+impl DataFrame {
+    /// Creates a frame from `(name, column)` pairs. All columns must have
+    /// the same length and distinct names.
+    pub fn new<S: Into<String>>(cols: Vec<(S, Column)>) -> Result<DataFrame, FrameError> {
+        let mut frame = DataFrame {
+            names: Vec::with_capacity(cols.len()),
+            columns: Vec::with_capacity(cols.len()),
+            index: HashMap::with_capacity(cols.len()),
+        };
+        let mut expected_len: Option<usize> = None;
+        for (name, column) in cols {
+            let name = name.into();
+            if frame.index.contains_key(&name) {
+                return Err(FrameError::DuplicateColumn(name));
+            }
+            if let Some(expected) = expected_len {
+                if column.len() != expected {
+                    return Err(FrameError::RaggedColumns {
+                        column: name,
+                        got: column.len(),
+                        expected,
+                    });
+                }
+            } else {
+                expected_len = Some(column.len());
+            }
+            frame.index.insert(name.clone(), frame.columns.len());
+            frame.names.push(name);
+            frame.columns.push(column);
+        }
+        Ok(frame)
+    }
+
+    /// Creates an empty frame with the given schema, ready for
+    /// [`DataFrame::push_row`].
+    pub fn with_schema(schema: &[(&str, DataType)]) -> Result<DataFrame, FrameError> {
+        DataFrame::new(
+            schema
+                .iter()
+                .map(|&(name, dtype)| (name, Column::empty(dtype)))
+                .collect(),
+        )
+    }
+
+    /// Appends one row of values, in column order.
+    pub fn push_row(&mut self, row: Vec<Value>) -> Result<(), FrameError> {
+        if row.len() != self.columns.len() {
+            return Err(FrameError::RowArity {
+                got: row.len(),
+                expected: self.columns.len(),
+            });
+        }
+        // Validate all cells before mutating any column so a failed push
+        // leaves the frame unchanged.
+        for (i, value) in row.iter().enumerate() {
+            let col = &self.columns[i];
+            let ok = matches!(
+                (col.dtype(), value),
+                (_, Value::Null)
+                    | (DataType::Int, Value::Int(_))
+                    | (DataType::Float, Value::Float(_) | Value::Int(_))
+                    | (DataType::Str, Value::Str(_))
+                    | (DataType::Bool, Value::Bool(_))
+            );
+            if !ok {
+                return Err(FrameError::TypeMismatch {
+                    column: self.names[i].clone(),
+                    expected: col.dtype(),
+                    got: value.dtype(),
+                });
+            }
+        }
+        for (i, value) in row.into_iter().enumerate() {
+            let name = &self.names[i];
+            self.columns[i]
+                .push(value, name)
+                .expect("pre-validated push cannot fail");
+        }
+        Ok(())
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.columns.first().map_or(0, Column::len)
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column names, in order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Whether a column exists.
+    pub fn has_column(&self, name: &str) -> bool {
+        self.index.contains_key(name)
+    }
+
+    /// A column by name.
+    pub fn column(&self, name: &str) -> Result<&Column, FrameError> {
+        self.index
+            .get(name)
+            .map(|&i| &self.columns[i])
+            .ok_or_else(|| FrameError::NoSuchColumn(name.to_string()))
+    }
+
+    /// Internal: column position by name.
+    fn col_idx(&self, name: &str) -> Result<usize, FrameError> {
+        self.index
+            .get(name)
+            .copied()
+            .ok_or_else(|| FrameError::NoSuchColumn(name.to_string()))
+    }
+
+    /// A lightweight view of one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= n_rows()`.
+    pub fn row(&self, row: usize) -> RowView<'_> {
+        assert!(row < self.n_rows(), "row {row} out of range");
+        RowView { frame: self, row }
+    }
+
+    /// Iterates over all rows.
+    pub fn rows(&self) -> impl Iterator<Item = RowView<'_>> {
+        (0..self.n_rows()).map(move |row| RowView { frame: self, row })
+    }
+
+    /// A new frame with only the named columns, in the given order.
+    pub fn select(&self, names: &[&str]) -> Result<DataFrame, FrameError> {
+        let cols = names
+            .iter()
+            .map(|&name| Ok((name, self.column(name)?.clone())))
+            .collect::<Result<Vec<_>, FrameError>>()?;
+        DataFrame::new(cols)
+    }
+
+    /// A new frame with rows for which `predicate` returns true.
+    pub fn filter<F>(&self, predicate: F) -> DataFrame
+    where
+        F: Fn(RowView<'_>) -> bool,
+    {
+        let indices: Vec<usize> = (0..self.n_rows())
+            .filter(|&i| predicate(RowView { frame: self, row: i }))
+            .collect();
+        self.take(&indices)
+    }
+
+    /// A new frame containing the rows at `indices`, in order (duplicates
+    /// allowed).
+    pub fn take(&self, indices: &[usize]) -> DataFrame {
+        DataFrame {
+            names: self.names.clone(),
+            columns: self.columns.iter().map(|c| c.take(indices)).collect(),
+            index: self.index.clone(),
+        }
+    }
+
+    /// The first `n` rows (all rows if `n > n_rows`).
+    pub fn head(&self, n: usize) -> DataFrame {
+        let indices: Vec<usize> = (0..self.n_rows().min(n)).collect();
+        self.take(&indices)
+    }
+
+    /// A stable sort by the given key columns, each ascending or not.
+    ///
+    /// Nulls sort first within ascending keys (last within descending),
+    /// matching the [`Value::total_cmp`] order.
+    pub fn sort_by(&self, keys: &[(&str, bool)]) -> Result<DataFrame, FrameError> {
+        let key_cols: Vec<(usize, bool)> = keys
+            .iter()
+            .map(|&(name, asc)| Ok((self.col_idx(name)?, asc)))
+            .collect::<Result<Vec<_>, FrameError>>()?;
+        let mut indices: Vec<usize> = (0..self.n_rows()).collect();
+        indices.sort_by(|&a, &b| {
+            for &(col, asc) in &key_cols {
+                let va = self.columns[col].get(a);
+                let vb = self.columns[col].get(b);
+                let ord = va.total_cmp(&vb);
+                if ord != std::cmp::Ordering::Equal {
+                    return if asc { ord } else { ord.reverse() };
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        Ok(self.take(&indices))
+    }
+
+    /// A new frame with `column` appended under `name`.
+    pub fn with_column<S: Into<String>>(
+        &self,
+        name: S,
+        column: Column,
+    ) -> Result<DataFrame, FrameError> {
+        let name = name.into();
+        if self.index.contains_key(&name) {
+            return Err(FrameError::DuplicateColumn(name));
+        }
+        if column.len() != self.n_rows() && self.n_cols() > 0 {
+            return Err(FrameError::RaggedColumns {
+                column: name,
+                got: column.len(),
+                expected: self.n_rows(),
+            });
+        }
+        let mut out = self.clone();
+        out.index.insert(name.clone(), out.columns.len());
+        out.names.push(name);
+        out.columns.push(column);
+        Ok(out)
+    }
+
+    /// Concatenates `other`'s rows below this frame's. Schemas (names,
+    /// order, types) must match exactly.
+    pub fn vstack(&self, other: &DataFrame) -> Result<DataFrame, FrameError> {
+        if self.names != other.names {
+            let missing = self
+                .names
+                .iter()
+                .find(|n| !other.has_column(n))
+                .cloned()
+                .unwrap_or_else(|| "<column order>".to_string());
+            return Err(FrameError::NoSuchColumn(missing));
+        }
+        let mut out = self.clone();
+        for (i, col) in out.columns.iter_mut().enumerate() {
+            let rhs = &other.columns[i];
+            if col.dtype() != rhs.dtype() {
+                return Err(FrameError::TypeMismatch {
+                    column: out.names[i].clone(),
+                    expected: col.dtype(),
+                    got: Some(rhs.dtype()),
+                });
+            }
+            match (col, rhs) {
+                (Column::Int(a), Column::Int(b)) => a.extend_from_slice(b),
+                (Column::Float(a), Column::Float(b)) => a.extend_from_slice(b),
+                (Column::Str(a), Column::Str(b)) => a.extend(b.iter().cloned()),
+                (Column::Bool(a), Column::Bool(b)) => a.extend_from_slice(b),
+                _ => unreachable!("dtype checked above"),
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// A borrowed view of one row of a [`DataFrame`].
+#[derive(Debug, Clone, Copy)]
+pub struct RowView<'a> {
+    frame: &'a DataFrame,
+    row: usize,
+}
+
+impl<'a> RowView<'a> {
+    /// The row index within the frame.
+    pub fn index(&self) -> usize {
+        self.row
+    }
+
+    /// The cell in the named column.
+    pub fn get(&self, name: &str) -> Result<Value, FrameError> {
+        Ok(self.frame.column(name)?.get(self.row))
+    }
+
+    /// The cell as `f64`, or `None` if null/non-numeric/missing column.
+    pub fn f64(&self, name: &str) -> Option<f64> {
+        self.get(name).ok().and_then(|v| v.as_f64())
+    }
+
+    /// The cell as `i64`, or `None`.
+    pub fn i64(&self, name: &str) -> Option<i64> {
+        self.get(name).ok().and_then(|v| v.as_i64())
+    }
+
+    /// The cell as an owned `String`, or `None`.
+    pub fn str(&self, name: &str) -> Option<String> {
+        self.get(name).ok().and_then(|v| match v {
+            Value::Str(s) => Some(s),
+            _ => None,
+        })
+    }
+
+    /// The cell as `bool`, or `None`.
+    pub fn bool(&self, name: &str) -> Option<bool> {
+        self.get(name).ok().and_then(|v| v.as_bool())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DataFrame {
+        DataFrame::new(vec![
+            ("isp", ["att", "frontier", "att", "lumen"].into_iter().collect()),
+            ("speed", [10.0, 25.0, 0.768, 100.0].into_iter().collect()),
+            ("served", [true, true, false, true].into_iter().collect()),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_shape() {
+        let df = sample();
+        assert_eq!(df.n_rows(), 4);
+        assert_eq!(df.n_cols(), 3);
+        assert_eq!(df.names(), &["isp", "speed", "served"]);
+        assert!(df.has_column("isp"));
+        assert!(!df.has_column("state"));
+    }
+
+    #[test]
+    fn ragged_and_duplicate_rejected() {
+        let short: Column = [1.0].into_iter().collect();
+        let long: Column = [1.0, 2.0].into_iter().collect();
+        assert!(matches!(
+            DataFrame::new(vec![("a", short.clone()), ("b", long)]),
+            Err(FrameError::RaggedColumns { .. })
+        ));
+        assert!(matches!(
+            DataFrame::new(vec![("a", short.clone()), ("a", short)]),
+            Err(FrameError::DuplicateColumn(_))
+        ));
+    }
+
+    #[test]
+    fn push_row_validates_atomically() {
+        let mut df = DataFrame::with_schema(&[("n", DataType::Int), ("s", DataType::Str)]).unwrap();
+        df.push_row(vec![Value::Int(1), Value::Str("x".into())]).unwrap();
+        // Second cell bad: first column must not grow.
+        let err = df
+            .push_row(vec![Value::Int(2), Value::Int(3)])
+            .unwrap_err();
+        assert!(matches!(err, FrameError::TypeMismatch { .. }));
+        assert_eq!(df.n_rows(), 1);
+        assert!(matches!(
+            df.push_row(vec![Value::Int(1)]),
+            Err(FrameError::RowArity { got: 1, expected: 2 })
+        ));
+    }
+
+    #[test]
+    fn filter_select_head() {
+        let df = sample();
+        let served = df.filter(|r| r.bool("served") == Some(true));
+        assert_eq!(served.n_rows(), 3);
+        let just_isp = served.select(&["isp"]).unwrap();
+        assert_eq!(just_isp.n_cols(), 1);
+        assert_eq!(just_isp.head(2).n_rows(), 2);
+        assert!(df.select(&["nope"]).is_err());
+    }
+
+    #[test]
+    fn sort_is_stable_and_multi_key() {
+        let df = sample();
+        let sorted = df.sort_by(&[("isp", true), ("speed", false)]).unwrap();
+        let isps: Vec<String> = sorted.rows().map(|r| r.str("isp").unwrap()).collect();
+        assert_eq!(isps, vec!["att", "att", "frontier", "lumen"]);
+        // Within "att", speed descending.
+        assert_eq!(sorted.row(0).f64("speed"), Some(10.0));
+        assert_eq!(sorted.row(1).f64("speed"), Some(0.768));
+    }
+
+    #[test]
+    fn with_column_and_vstack() {
+        let df = sample();
+        let extra: Column = [1i64, 2, 3, 4].into_iter().collect();
+        let wider = df.with_column("rank", extra).unwrap();
+        assert_eq!(wider.n_cols(), 4);
+        assert!(wider.with_column("rank", Column::empty(DataType::Int)).is_err());
+
+        let stacked = df.vstack(&df).unwrap();
+        assert_eq!(stacked.n_rows(), 8);
+        assert!(df.vstack(&wider).is_err());
+    }
+
+    #[test]
+    fn row_view_accessors() {
+        let df = sample();
+        let r = df.row(1);
+        assert_eq!(r.str("isp").unwrap(), "frontier");
+        assert_eq!(r.f64("speed"), Some(25.0));
+        assert_eq!(r.bool("served"), Some(true));
+        assert_eq!(r.i64("speed"), None); // float, not int
+        assert_eq!(r.f64("missing"), None);
+        assert_eq!(r.index(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn row_out_of_range_panics() {
+        let _ = sample().row(99);
+    }
+}

@@ -1,0 +1,430 @@
+//! Hash group-by and aggregation.
+//!
+//! Every rate in the paper is a group-by: serviceability per CBG, per ISP,
+//! per state, per (state, ISP) pair; average download speed per census
+//! block and mode. Groups preserve first-appearance order so results are
+//! deterministic run to run.
+
+use crate::column::Column;
+use crate::error::FrameError;
+use crate::frame::DataFrame;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// An aggregation over one group.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Agg {
+    /// Number of rows in the group.
+    Count,
+    /// Sum of a numeric column (nulls skipped).
+    Sum(String),
+    /// Mean of a numeric column (nulls skipped).
+    Mean(String),
+    /// Median of a numeric column (nulls skipped).
+    Median(String),
+    /// Interpolated `p`-quantile of a numeric column (nulls skipped).
+    /// The level must lie in `[0, 1]`.
+    Quantile {
+        /// Column holding the values.
+        column: String,
+        /// Quantile level in `[0, 1]`.
+        level: f64,
+    },
+    /// Minimum of a numeric column (nulls skipped).
+    Min(String),
+    /// Maximum of a numeric column (nulls skipped).
+    Max(String),
+    /// Weighted mean of `value` weighted by `weight` (rows with a null in
+    /// either are skipped).
+    WeightedMean {
+        /// Column holding the values.
+        value: String,
+        /// Column holding the weights.
+        weight: String,
+    },
+    /// Fraction of rows in the group where the boolean column is true
+    /// (nulls count as false). The workhorse for serviceability rates.
+    FractionTrue(String),
+}
+
+/// An aggregation and the name of its output column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggSpec {
+    /// What to compute.
+    pub agg: Agg,
+    /// The output column name.
+    pub output: String,
+}
+
+impl AggSpec {
+    /// Convenience constructor.
+    pub fn new(agg: Agg, output: impl Into<String>) -> AggSpec {
+        AggSpec {
+            agg,
+            output: output.into(),
+        }
+    }
+}
+
+/// A hashable encoding of a group key cell. Floats key by bit pattern
+/// (all NaNs collapse to one group).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum KeyAtom {
+    Null,
+    Int(i64),
+    Float(u64),
+    Str(String),
+    Bool(bool),
+}
+
+impl KeyAtom {
+    fn from_value(v: &Value) -> KeyAtom {
+        match v {
+            Value::Null => KeyAtom::Null,
+            Value::Int(x) => KeyAtom::Int(*x),
+            Value::Float(x) => {
+                let canonical = if x.is_nan() { f64::NAN } else { *x };
+                KeyAtom::Float(canonical.to_bits())
+            }
+            Value::Str(s) => KeyAtom::Str(s.clone()),
+            Value::Bool(b) => KeyAtom::Bool(*b),
+        }
+    }
+}
+
+impl DataFrame {
+    /// Groups rows by the key columns and computes `specs` per group.
+    ///
+    /// The output frame has one row per distinct key (in first-appearance
+    /// order), the key columns first, then one column per spec.
+    pub fn group_by(&self, keys: &[&str], specs: &[AggSpec]) -> Result<DataFrame, FrameError> {
+        // Validate all referenced columns up front.
+        for &k in keys {
+            self.column(k)?;
+        }
+        for spec in specs {
+            for col in spec.agg.input_columns() {
+                let c = self.column(col)?;
+                let needs_numeric = !matches!(spec.agg, Agg::FractionTrue(_));
+                if needs_numeric && c.numeric_values().is_none() {
+                    return Err(FrameError::NonNumericAggregate {
+                        column: col.to_string(),
+                        dtype: c.dtype(),
+                    });
+                }
+            }
+        }
+
+        // Bucket row indices by key, preserving first-appearance order.
+        let mut order: Vec<Vec<KeyAtom>> = Vec::new();
+        let mut buckets: HashMap<Vec<KeyAtom>, Vec<usize>> = HashMap::new();
+        for row in 0..self.n_rows() {
+            let key: Vec<KeyAtom> = keys
+                .iter()
+                .map(|&k| KeyAtom::from_value(&self.column(k).expect("validated").get(row)))
+                .collect();
+            match buckets.get_mut(&key) {
+                Some(rows) => rows.push(row),
+                None => {
+                    order.push(key.clone());
+                    buckets.insert(key, vec![row]);
+                }
+            }
+        }
+
+        // Build the output: key columns then aggregate columns.
+        let mut out_cols: Vec<(String, Column)> = Vec::new();
+        for (ki, &key_name) in keys.iter().enumerate() {
+            let src = self.column(key_name).expect("validated");
+            let representative: Vec<usize> = order
+                .iter()
+                .map(|key| buckets[key][0])
+                .collect();
+            let _ = ki;
+            out_cols.push((key_name.to_string(), src.take(&representative)));
+        }
+        for spec in specs {
+            let mut col = Column::empty(spec.agg.output_dtype());
+            for key in &order {
+                let rows = &buckets[key];
+                let v = spec.agg.compute(self, rows)?;
+                col.push(v, &spec.output)?;
+            }
+            out_cols.push((spec.output.clone(), col));
+        }
+        DataFrame::new(out_cols)
+    }
+}
+
+/// Interpolated (type-7) quantile of a group's values, or null for an
+/// empty group. Out-of-range levels clamp to [0, 1].
+fn quantile_value(mut xs: Vec<f64>, level: f64) -> Value {
+    if xs.is_empty() {
+        return Value::Null;
+    }
+    let level = level.clamp(0.0, 1.0);
+    xs.sort_by(|a, b| a.total_cmp(b));
+    let h = level * (xs.len() as f64 - 1.0);
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    let v = if lo == hi {
+        xs[lo]
+    } else {
+        xs[lo] + (h - lo as f64) * (xs[hi] - xs[lo])
+    };
+    Value::Float(v)
+}
+
+impl Agg {
+    fn input_columns(&self) -> Vec<&str> {
+        match self {
+            Agg::Count => vec![],
+            Agg::Sum(c) | Agg::Mean(c) | Agg::Median(c) | Agg::Min(c) | Agg::Max(c) => vec![c],
+            Agg::Quantile { column, .. } => vec![column],
+            Agg::WeightedMean { value, weight } => vec![value, weight],
+            Agg::FractionTrue(c) => vec![c],
+        }
+    }
+
+    fn output_dtype(&self) -> crate::value::DataType {
+        match self {
+            Agg::Count => crate::value::DataType::Int,
+            _ => crate::value::DataType::Float,
+        }
+    }
+
+    fn compute(&self, frame: &DataFrame, rows: &[usize]) -> Result<Value, FrameError> {
+        let numeric = |name: &str| -> Vec<f64> {
+            let col = frame.column(name).expect("validated");
+            rows.iter()
+                .filter_map(|&r| col.get(r).as_f64())
+                .collect()
+        };
+        Ok(match self {
+            Agg::Count => Value::Int(rows.len() as i64),
+            Agg::Sum(c) => Value::Float(numeric(c).iter().sum()),
+            Agg::Mean(c) => {
+                let xs = numeric(c);
+                if xs.is_empty() {
+                    Value::Null
+                } else {
+                    Value::Float(xs.iter().sum::<f64>() / xs.len() as f64)
+                }
+            }
+            Agg::Median(c) => quantile_value(numeric(c), 0.5),
+            Agg::Quantile { column, level } => quantile_value(numeric(column), *level),
+            Agg::Min(c) => numeric(c)
+                .into_iter()
+                .fold(None::<f64>, |acc, x| Some(acc.map_or(x, |a| a.min(x))))
+                .map(Value::Float)
+                .unwrap_or(Value::Null),
+            Agg::Max(c) => numeric(c)
+                .into_iter()
+                .fold(None::<f64>, |acc, x| Some(acc.map_or(x, |a| a.max(x))))
+                .map(Value::Float)
+                .unwrap_or(Value::Null),
+            Agg::WeightedMean { value, weight } => {
+                let vcol = frame.column(value).expect("validated");
+                let wcol = frame.column(weight).expect("validated");
+                let mut num = 0.0;
+                let mut den = 0.0;
+                for &r in rows {
+                    if let (Some(v), Some(w)) = (vcol.get(r).as_f64(), wcol.get(r).as_f64()) {
+                        num += v * w;
+                        den += w;
+                    }
+                }
+                if den > 0.0 {
+                    Value::Float(num / den)
+                } else {
+                    Value::Null
+                }
+            }
+            Agg::FractionTrue(c) => {
+                let col = frame.column(c).expect("validated");
+                if rows.is_empty() {
+                    Value::Null
+                } else {
+                    let t = rows
+                        .iter()
+                        .filter(|&&r| col.get(r).as_bool() == Some(true))
+                        .count();
+                    Value::Float(t as f64 / rows.len() as f64)
+                }
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DataFrame {
+        DataFrame::new(vec![
+            (
+                "isp",
+                ["att", "att", "frontier", "att", "frontier"]
+                    .into_iter()
+                    .collect(),
+            ),
+            (
+                "state",
+                ["CA", "CA", "CA", "GA", "WI"].into_iter().collect(),
+            ),
+            (
+                "speed",
+                [10.0, 50.0, 25.0, 0.0, 100.0].into_iter().collect(),
+            ),
+            (
+                "weight",
+                [1.0, 3.0, 1.0, 2.0, 1.0].into_iter().collect(),
+            ),
+            (
+                "served",
+                [true, true, false, false, true].into_iter().collect(),
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn count_and_mean_per_group() {
+        let df = sample();
+        let g = df
+            .group_by(
+                &["isp"],
+                &[
+                    AggSpec::new(Agg::Count, "n"),
+                    AggSpec::new(Agg::Mean("speed".into()), "mean_speed"),
+                ],
+            )
+            .unwrap();
+        // First-appearance order: att, frontier.
+        assert_eq!(g.n_rows(), 2);
+        assert_eq!(g.row(0).str("isp").unwrap(), "att");
+        assert_eq!(g.row(0).i64("n"), Some(3));
+        assert_eq!(g.row(0).f64("mean_speed"), Some(20.0));
+        assert_eq!(g.row(1).str("isp").unwrap(), "frontier");
+        assert_eq!(g.row(1).f64("mean_speed"), Some(62.5));
+    }
+
+    #[test]
+    fn multi_key_groups() {
+        let df = sample();
+        let g = df
+            .group_by(&["isp", "state"], &[AggSpec::new(Agg::Count, "n")])
+            .unwrap();
+        assert_eq!(g.n_rows(), 4); // (att,CA), (frontier,CA), (att,GA), (frontier,WI)
+    }
+
+    #[test]
+    fn weighted_mean_matches_hand_computation() {
+        let df = sample();
+        let g = df
+            .group_by(
+                &["isp"],
+                &[AggSpec::new(
+                    Agg::WeightedMean {
+                        value: "speed".into(),
+                        weight: "weight".into(),
+                    },
+                    "wmean",
+                )],
+            )
+            .unwrap();
+        // att: (10*1 + 50*3 + 0*2) / 6 = 160/6.
+        let wmean = g.row(0).f64("wmean").unwrap();
+        assert!((wmean - 160.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fraction_true_is_the_serviceability_shape() {
+        let df = sample();
+        let g = df
+            .group_by(&["isp"], &[AggSpec::new(Agg::FractionTrue("served".into()), "rate")])
+            .unwrap();
+        assert!((g.row(0).f64("rate").unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((g.row(1).f64("rate").unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_aggregation() {
+        let df = sample();
+        let g = df
+            .group_by(
+                &["isp"],
+                &[
+                    AggSpec::new(
+                        Agg::Quantile {
+                            column: "speed".into(),
+                            level: 0.5,
+                        },
+                        "p50",
+                    ),
+                    AggSpec::new(
+                        Agg::Quantile {
+                            column: "speed".into(),
+                            level: 1.0,
+                        },
+                        "p100",
+                    ),
+                ],
+            )
+            .unwrap();
+        // att speeds: [10, 50, 0] → p50 = 10, p100 = 50.
+        assert_eq!(g.row(0).f64("p50"), Some(10.0));
+        assert_eq!(g.row(0).f64("p100"), Some(50.0));
+        // Quantile agrees with Median for the same groups.
+        let m = df
+            .group_by(&["isp"], &[AggSpec::new(Agg::Median("speed".into()), "m")])
+            .unwrap();
+        assert_eq!(g.row(0).f64("p50"), m.row(0).f64("m"));
+    }
+
+    #[test]
+    fn median_min_max_sum() {
+        let df = sample();
+        let g = df
+            .group_by(
+                &["isp"],
+                &[
+                    AggSpec::new(Agg::Median("speed".into()), "p50"),
+                    AggSpec::new(Agg::Min("speed".into()), "lo"),
+                    AggSpec::new(Agg::Max("speed".into()), "hi"),
+                    AggSpec::new(Agg::Sum("speed".into()), "sum"),
+                ],
+            )
+            .unwrap();
+        assert_eq!(g.row(0).f64("p50"), Some(10.0));
+        assert_eq!(g.row(0).f64("lo"), Some(0.0));
+        assert_eq!(g.row(0).f64("hi"), Some(50.0));
+        assert_eq!(g.row(0).f64("sum"), Some(60.0));
+    }
+
+    #[test]
+    fn validates_columns() {
+        let df = sample();
+        assert!(df.group_by(&["nope"], &[]).is_err());
+        assert!(df
+            .group_by(&["isp"], &[AggSpec::new(Agg::Mean("nope".into()), "x")])
+            .is_err());
+        assert!(matches!(
+            df.group_by(&["isp"], &[AggSpec::new(Agg::Mean("state".into()), "x")]),
+            Err(FrameError::NonNumericAggregate { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_frame_groups_to_empty() {
+        let df = DataFrame::new(vec![
+            ("k", Column::empty(crate::value::DataType::Str)),
+            ("v", Column::empty(crate::value::DataType::Float)),
+        ])
+        .unwrap();
+        let g = df
+            .group_by(&["k"], &[AggSpec::new(Agg::Count, "n")])
+            .unwrap();
+        assert_eq!(g.n_rows(), 0);
+    }
+}

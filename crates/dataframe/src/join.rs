@@ -1,0 +1,255 @@
+//! Hash joins.
+//!
+//! The pipeline joins BQT query outcomes back onto the USAC address table
+//! (inner join on address id) and attaches Form-477 competition modes to
+//! census blocks (left join on block GEOID).
+
+use crate::column::Column;
+use crate::error::FrameError;
+use crate::frame::DataFrame;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// The kind of join to perform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    /// Keep only rows with a match on both sides.
+    Inner,
+    /// Keep all left rows; unmatched right columns become null.
+    Left,
+}
+
+/// A hashable join key; floats are intentionally excluded — joining on
+/// floats is a correctness hazard, and every key in the workspace is an
+/// id, GEOID, or name.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum JoinKey {
+    Null,
+    Int(i64),
+    Str(String),
+    Bool(bool),
+}
+
+impl JoinKey {
+    fn from_value(v: &Value) -> Result<JoinKey, FrameError> {
+        match v {
+            Value::Null => Ok(JoinKey::Null),
+            Value::Int(x) => Ok(JoinKey::Int(*x)),
+            Value::Str(s) => Ok(JoinKey::Str(s.clone())),
+            Value::Bool(b) => Ok(JoinKey::Bool(*b)),
+            Value::Float(_) => Err(FrameError::KeyTypeMismatch {
+                left: crate::value::DataType::Float,
+                right: crate::value::DataType::Float,
+            }),
+        }
+    }
+}
+
+impl DataFrame {
+    /// Joins `self` (left) with `right` on equality of the key columns.
+    ///
+    /// Output columns are the left columns followed by the right columns
+    /// except the right key columns; a right column whose name collides
+    /// with a left column is suffixed `_right`. Null keys never match
+    /// (SQL semantics). Right-side matches preserve row order; a left row
+    /// with multiple matches expands to multiple output rows.
+    pub fn join(
+        &self,
+        right: &DataFrame,
+        left_keys: &[&str],
+        right_keys: &[&str],
+        kind: JoinKind,
+    ) -> Result<DataFrame, FrameError> {
+        assert_eq!(
+            left_keys.len(),
+            right_keys.len(),
+            "join requires one right key per left key"
+        );
+        // Validate key columns and types.
+        for (&lk, &rk) in left_keys.iter().zip(right_keys) {
+            let lc = self.column(lk)?;
+            let rc = right.column(rk)?;
+            if lc.dtype() != rc.dtype() {
+                return Err(FrameError::KeyTypeMismatch {
+                    left: lc.dtype(),
+                    right: rc.dtype(),
+                });
+            }
+        }
+
+        // Build the hash table over the right side.
+        let mut table: HashMap<Vec<JoinKey>, Vec<usize>> = HashMap::new();
+        for row in 0..right.n_rows() {
+            let key = right_keys
+                .iter()
+                .map(|&k| JoinKey::from_value(&right.column(k).expect("validated").get(row)))
+                .collect::<Result<Vec<_>, _>>()?;
+            if key.contains(&JoinKey::Null) {
+                continue; // null keys never match
+            }
+            table.entry(key).or_default().push(row);
+        }
+
+        // Probe with the left side.
+        let mut left_rows: Vec<usize> = Vec::new();
+        let mut right_rows: Vec<Option<usize>> = Vec::new();
+        for row in 0..self.n_rows() {
+            let key = left_keys
+                .iter()
+                .map(|&k| JoinKey::from_value(&self.column(k).expect("validated").get(row)))
+                .collect::<Result<Vec<_>, _>>()?;
+            let matches = if key.contains(&JoinKey::Null) {
+                None
+            } else {
+                table.get(&key)
+            };
+            match matches {
+                Some(rows) => {
+                    for &r in rows {
+                        left_rows.push(row);
+                        right_rows.push(Some(r));
+                    }
+                }
+                None => {
+                    if kind == JoinKind::Left {
+                        left_rows.push(row);
+                        right_rows.push(None);
+                    }
+                }
+            }
+        }
+
+        // Materialize output columns.
+        let mut out: Vec<(String, Column)> = Vec::new();
+        for (name, col) in self.names().iter().zip(self.columns_iter()) {
+            out.push((name.clone(), col.take(&left_rows)));
+        }
+        let right_key_set: Vec<&str> = right_keys.to_vec();
+        for (name, col) in right.names().iter().zip(right.columns_iter()) {
+            if right_key_set.contains(&name.as_str()) {
+                continue;
+            }
+            let out_name = if self.has_column(name) {
+                format!("{name}_right")
+            } else {
+                name.clone()
+            };
+            let mut new_col = Column::empty(col.dtype());
+            for r in &right_rows {
+                let v = match r {
+                    Some(r) => col.get(*r),
+                    None => Value::Null,
+                };
+                new_col.push(v, &out_name)?;
+            }
+            out.push((out_name, new_col));
+        }
+        DataFrame::new(out)
+    }
+
+    /// Internal iterator over columns in order (used by join).
+    pub(crate) fn columns_iter(&self) -> impl Iterator<Item = &Column> {
+        self.names().iter().map(move |n| self.column(n).expect("own name"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addresses() -> DataFrame {
+        DataFrame::new(vec![
+            ("addr", [1i64, 2, 3, 4].into_iter().collect()),
+            ("isp", ["att", "att", "frontier", "lumen"].into_iter().collect()),
+        ])
+        .unwrap()
+    }
+
+    fn outcomes() -> DataFrame {
+        DataFrame::new(vec![
+            ("addr", [1i64, 3, 3, 9].into_iter().collect()),
+            ("served", [true, false, true, true].into_iter().collect()),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn inner_join_keeps_matches_only() {
+        let j = addresses()
+            .join(&outcomes(), &["addr"], &["addr"], JoinKind::Inner)
+            .unwrap();
+        // addr 1 matches once, addr 3 matches twice, addr 2 and 4 drop.
+        assert_eq!(j.n_rows(), 3);
+        let addrs: Vec<i64> = j.rows().map(|r| r.i64("addr").unwrap()).collect();
+        assert_eq!(addrs, vec![1, 3, 3]);
+        assert_eq!(j.names(), &["addr", "isp", "served"]);
+    }
+
+    #[test]
+    fn left_join_nulls_unmatched() {
+        let j = addresses()
+            .join(&outcomes(), &["addr"], &["addr"], JoinKind::Left)
+            .unwrap();
+        assert_eq!(j.n_rows(), 5); // 1, 2(null), 3, 3, 4(null)
+        let row2 = j.rows().find(|r| r.i64("addr") == Some(2)).unwrap();
+        assert_eq!(row2.get("served").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn name_collision_gets_suffixed() {
+        let left = DataFrame::new(vec![
+            ("k", [1i64, 2].into_iter().collect()),
+            ("v", [10.0, 20.0].into_iter().collect()),
+        ])
+        .unwrap();
+        let right = DataFrame::new(vec![
+            ("k", [1i64, 2].into_iter().collect()),
+            ("v", [99.0, 98.0].into_iter().collect()),
+        ])
+        .unwrap();
+        let j = left.join(&right, &["k"], &["k"], JoinKind::Inner).unwrap();
+        assert_eq!(j.names(), &["k", "v", "v_right"]);
+        assert_eq!(j.row(0).f64("v"), Some(10.0));
+        assert_eq!(j.row(0).f64("v_right"), Some(99.0));
+    }
+
+    #[test]
+    fn null_keys_never_match() {
+        let left = DataFrame::new(vec![(
+            "k",
+            Column::Int(vec![Some(1), None]),
+        )])
+        .unwrap();
+        let right = DataFrame::new(vec![
+            ("k", Column::Int(vec![Some(1), None])),
+            ("x", [true, false].into_iter().collect()),
+        ])
+        .unwrap();
+        let inner = left.join(&right, &["k"], &["k"], JoinKind::Inner).unwrap();
+        assert_eq!(inner.n_rows(), 1);
+        let lj = left.join(&right, &["k"], &["k"], JoinKind::Left).unwrap();
+        assert_eq!(lj.n_rows(), 2);
+        assert_eq!(lj.row(1).get("x").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn type_mismatch_and_float_keys_rejected() {
+        let ints = DataFrame::new(vec![("k", [1i64].into_iter().collect())]).unwrap();
+        let strs = DataFrame::new(vec![("k", ["a"].into_iter().collect())]).unwrap();
+        assert!(matches!(
+            ints.join(&strs, &["k"], &["k"], JoinKind::Inner),
+            Err(FrameError::KeyTypeMismatch { .. })
+        ));
+        let floats = DataFrame::new(vec![("k", [1.0].into_iter().collect())]).unwrap();
+        assert!(floats
+            .join(&floats, &["k"], &["k"], JoinKind::Inner)
+            .is_err());
+    }
+
+    #[test]
+    fn missing_key_column_rejected() {
+        assert!(addresses()
+            .join(&outcomes(), &["nope"], &["addr"], JoinKind::Inner)
+            .is_err());
+    }
+}

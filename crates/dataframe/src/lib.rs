@@ -1,0 +1,42 @@
+//! # caf-dataframe — a small columnar table engine
+//!
+//! The paper's analysis is relational: the USAC CAF-Map is a table of
+//! certified deployments, the BQT output is a table of query outcomes, and
+//! every result is a filter → group-by → aggregate over their join. The
+//! Python original would lean on pandas; the Rust dataframe ecosystem is
+//! thin, so this crate implements the minimal-but-complete engine the
+//! pipeline needs:
+//!
+//! * typed, nullable columns ([`Column`]) of integers, floats, strings and
+//!   booleans;
+//! * immutable-by-default tables ([`DataFrame`]) with row-wise building,
+//!   column selection, closure-based filtering, and stable multi-key sorts;
+//! * hash group-by with the aggregations the paper uses (count, sum, mean,
+//!   median, min, max, weighted mean);
+//! * inner and left hash joins;
+//! * CSV serialization and aligned pretty-printing for the repro harness.
+//!
+//! The engine is deliberately synchronous and single-threaded: the
+//! workspace's parallelism lives in the BQT campaign layer, and keeping the
+//! relational core simple makes its behaviour easy to verify (the smoltcp
+//! design stance: simplicity and robustness over cleverness).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod column;
+pub mod csv;
+pub mod display;
+pub mod error;
+pub mod frame;
+pub mod groupby;
+pub mod join;
+pub mod ops;
+pub mod value;
+
+pub use column::Column;
+pub use error::FrameError;
+pub use frame::{DataFrame, RowView};
+pub use groupby::{Agg, AggSpec};
+pub use join::JoinKind;
+pub use value::{DataType, Value};

@@ -1,0 +1,183 @@
+//! Convenience relational operations: rename, drop, computed columns,
+//! value counts, and numeric summaries.
+
+use crate::column::Column;
+use crate::error::FrameError;
+use crate::frame::{DataFrame, RowView};
+use crate::groupby::{Agg, AggSpec};
+use crate::value::{DataType, Value};
+
+impl DataFrame {
+    /// A new frame with column `old` renamed to `new`.
+    pub fn rename(&self, old: &str, new: &str) -> Result<DataFrame, FrameError> {
+        if !self.has_column(old) {
+            return Err(FrameError::NoSuchColumn(old.to_string()));
+        }
+        if self.has_column(new) && new != old {
+            return Err(FrameError::DuplicateColumn(new.to_string()));
+        }
+        let cols = self
+            .names()
+            .iter()
+            .map(|name| {
+                let out_name = if name == old { new } else { name.as_str() };
+                Ok((
+                    out_name.to_string(),
+                    self.column(name)?.clone(),
+                ))
+            })
+            .collect::<Result<Vec<_>, FrameError>>()?;
+        DataFrame::new(cols)
+    }
+
+    /// A new frame without the named columns. Unknown names are an error
+    /// (silently ignoring typos hides bugs).
+    pub fn drop_columns(&self, names: &[&str]) -> Result<DataFrame, FrameError> {
+        for &name in names {
+            if !self.has_column(name) {
+                return Err(FrameError::NoSuchColumn(name.to_string()));
+            }
+        }
+        let cols = self
+            .names()
+            .iter()
+            .filter(|name| !names.contains(&name.as_str()))
+            .map(|name| Ok((name.clone(), self.column(name)?.clone())))
+            .collect::<Result<Vec<_>, FrameError>>()?;
+        DataFrame::new(cols)
+    }
+
+    /// A new frame with an extra column computed row-by-row.
+    pub fn with_computed<F>(
+        &self,
+        name: &str,
+        dtype: DataType,
+        f: F,
+    ) -> Result<DataFrame, FrameError>
+    where
+        F: Fn(RowView<'_>) -> Value,
+    {
+        let mut column = Column::empty(dtype);
+        for row in self.rows() {
+            column.push(f(row), name)?;
+        }
+        self.with_column(name, column)
+    }
+
+    /// Counts of each distinct value in a column, as a two-column frame
+    /// `(value-column-name, "count")` sorted by descending count (ties by
+    /// value order).
+    pub fn value_counts(&self, name: &str) -> Result<DataFrame, FrameError> {
+        self.column(name)?; // existence check
+        let counted = self.group_by(&[name], &[AggSpec::new(Agg::Count, "count")])?;
+        counted.sort_by(&[("count", false), (name, true)])
+    }
+
+    /// Per-numeric-column summaries: one row per numeric column with
+    /// `column, n, nulls, min, mean, max`.
+    pub fn describe(&self) -> DataFrame {
+        let mut names: Vec<String> = Vec::new();
+        let mut n: Vec<i64> = Vec::new();
+        let mut nulls: Vec<i64> = Vec::new();
+        let mut mins: Vec<Option<f64>> = Vec::new();
+        let mut means: Vec<Option<f64>> = Vec::new();
+        let mut maxs: Vec<Option<f64>> = Vec::new();
+        for name in self.names() {
+            let col = self.column(name).expect("own name");
+            let Some(values) = col.numeric_values() else {
+                continue;
+            };
+            names.push(name.clone());
+            n.push(values.len() as i64);
+            nulls.push(col.null_count() as i64);
+            if values.is_empty() {
+                mins.push(None);
+                means.push(None);
+                maxs.push(None);
+            } else {
+                mins.push(Some(values.iter().cloned().fold(f64::INFINITY, f64::min)));
+                means.push(Some(values.iter().sum::<f64>() / values.len() as f64));
+                maxs.push(Some(
+                    values.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+                ));
+            }
+        }
+        DataFrame::new(vec![
+            ("column", names.into_iter().collect::<Column>()),
+            ("n", n.into_iter().collect::<Column>()),
+            ("nulls", nulls.into_iter().collect::<Column>()),
+            ("min", Column::Float(mins)),
+            ("mean", Column::Float(means)),
+            ("max", Column::Float(maxs)),
+        ])
+        .expect("columns constructed with equal lengths")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DataFrame {
+        DataFrame::new(vec![
+            ("isp", ["att", "att", "cl"].into_iter().collect::<Column>()),
+            ("speed", Column::Float(vec![Some(10.0), None, Some(100.0)])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn rename_moves_the_column() {
+        let df = sample().rename("speed", "down_mbps").unwrap();
+        assert!(df.has_column("down_mbps"));
+        assert!(!df.has_column("speed"));
+        assert_eq!(df.row(0).f64("down_mbps"), Some(10.0));
+        assert!(sample().rename("nope", "x").is_err());
+        assert!(sample().rename("speed", "isp").is_err());
+        // Renaming to itself is a no-op, not a duplicate.
+        assert!(sample().rename("isp", "isp").is_ok());
+    }
+
+    #[test]
+    fn drop_columns_validates() {
+        let df = sample().drop_columns(&["speed"]).unwrap();
+        assert_eq!(df.names(), &["isp"]);
+        assert!(sample().drop_columns(&["nope"]).is_err());
+    }
+
+    #[test]
+    fn computed_column() {
+        let df = sample()
+            .with_computed("fast", DataType::Bool, |r| {
+                Value::Bool(r.f64("speed").unwrap_or(0.0) >= 25.0)
+            })
+            .unwrap();
+        assert_eq!(df.row(0).bool("fast"), Some(false));
+        assert_eq!(df.row(2).bool("fast"), Some(true));
+        // Type mismatch from the closure is surfaced, not ignored.
+        let bad = sample().with_computed("x", DataType::Int, |_| Value::Str("no".into()));
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn value_counts_sorted_desc() {
+        let counts = sample().value_counts("isp").unwrap();
+        assert_eq!(counts.n_rows(), 2);
+        assert_eq!(counts.row(0).str("isp").unwrap(), "att");
+        assert_eq!(counts.row(0).i64("count"), Some(2));
+        assert_eq!(counts.row(1).i64("count"), Some(1));
+        assert!(sample().value_counts("nope").is_err());
+    }
+
+    #[test]
+    fn describe_covers_numeric_columns_only() {
+        let d = sample().describe();
+        assert_eq!(d.n_rows(), 1); // only "speed" is numeric
+        assert_eq!(d.row(0).str("column").unwrap(), "speed");
+        assert_eq!(d.row(0).i64("n"), Some(2));
+        assert_eq!(d.row(0).i64("nulls"), Some(1));
+        assert_eq!(d.row(0).f64("min"), Some(10.0));
+        assert_eq!(d.row(0).f64("mean"), Some(55.0));
+        assert_eq!(d.row(0).f64("max"), Some(100.0));
+    }
+}

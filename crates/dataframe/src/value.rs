@@ -1,0 +1,252 @@
+//! Cell values and column types.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// The type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integers.
+    Int,
+    /// 64-bit floats.
+    Float,
+    /// UTF-8 strings.
+    Str,
+    /// Booleans.
+    Bool,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Int => "int",
+            DataType::Float => "float",
+            DataType::Str => "str",
+            DataType::Bool => "bool",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single cell value, possibly null.
+///
+/// `Value` is the dynamic interchange type used at the API boundary
+/// (building rows, reading cells); storage inside a frame stays typed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A missing value.
+    Null,
+    /// An integer.
+    Int(i64),
+    /// A float.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// The value's type, or `None` for null.
+    pub fn dtype(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Str(_) => Some(DataType::Str),
+            Value::Bool(_) => Some(DataType::Bool),
+        }
+    }
+
+    /// Whether the value is null.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The value as an `f64` if it is numeric (`Int` widens losslessly for
+    /// magnitudes below 2^53).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64` if it is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a `&str` if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a `bool` if it is boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// A total order over values for sorting: nulls first, then by type
+    /// (int/float compared numerically together), strings lexicographic,
+    /// bools false < true. NaN sorts after all other floats.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Null => 0,
+                Int(_) | Float(_) => 1,
+                Str(_) => 2,
+                Bool(_) => 3,
+            }
+        }
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str(""),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(s) => f.write_str(s),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::Int(v)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Value {
+        Value::Int(i64::from(v))
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Value {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Value {
+        match v {
+            Some(v) => v.into(),
+            None => Value::Null,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from(2.5), Value::Float(2.5));
+        assert_eq!(Value::from("x"), Value::Str("x".into()));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from(Option::<i64>::None), Value::Null);
+        assert_eq!(Value::from(Some(1i64)), Value::Int(1));
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Float(1.5).as_f64(), Some(1.5));
+        assert_eq!(Value::Str("a".into()).as_f64(), None);
+        assert_eq!(Value::Str("a".into()).as_str(), Some("a"));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::Null.dtype(), None);
+        assert_eq!(Value::Int(0).dtype(), Some(DataType::Int));
+    }
+
+    #[test]
+    fn total_order() {
+        let mut vals = vec![
+            Value::Str("b".into()),
+            Value::Int(2),
+            Value::Null,
+            Value::Float(1.5),
+            Value::Str("a".into()),
+            Value::Int(1),
+        ];
+        vals.sort_by(|a, b| a.total_cmp(b));
+        assert_eq!(
+            vals,
+            vec![
+                Value::Null,
+                Value::Int(1),
+                Value::Float(1.5),
+                Value::Int(2),
+                Value::Str("a".into()),
+                Value::Str("b".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn nan_sorts_last_among_floats() {
+        let mut vals = [Value::Float(f64::NAN), Value::Float(1.0)];
+        vals.sort_by(|a, b| a.total_cmp(b));
+        assert_eq!(vals[0], Value::Float(1.0));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Int(5).to_string(), "5");
+        assert_eq!(Value::Null.to_string(), "");
+        assert_eq!(Value::Bool(false).to_string(), "false");
+    }
+}

@@ -1,0 +1,128 @@
+//! Street-level residential addresses.
+//!
+//! The unit of measurement in the paper is the *street address*: the USAC
+//! CAF-Map lists each subsidized location as a street address with
+//! coordinates and census identifiers, and the broadband-plan querying tool
+//! takes a street address as input. This module models that record.
+
+use crate::coord::LatLon;
+use crate::ids::{BlockGroupId, BlockId, StateFips};
+use std::fmt;
+
+/// A stable, workspace-wide unique identifier for an address.
+///
+/// Identifiers are assigned densely by the synthetic-data generator, so they
+/// double as indices into side tables (query outcomes, plan records).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AddressId(pub u64);
+
+impl fmt::Display for AddressId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "addr-{}", self.0)
+    }
+}
+
+/// The human-readable portion of an address, as it would be typed into an
+/// ISP's address-lookup web form.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StreetAddress {
+    /// House number, e.g. `1234`.
+    pub number: u32,
+    /// Street name including suffix, e.g. `"County Road 12"`.
+    pub street: String,
+    /// City or locality name.
+    pub city: String,
+    /// Two-letter state abbreviation.
+    pub state_abbrev: String,
+    /// Five-digit ZIP code.
+    pub zip: u32,
+}
+
+impl fmt::Display for StreetAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}, {}, {} {:05}",
+            self.number, self.street, self.city, self.state_abbrev, self.zip
+        )
+    }
+}
+
+/// A residential address with its census geography and coordinates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Address {
+    /// Unique identifier.
+    pub id: AddressId,
+    /// Human-readable street address.
+    pub street: StreetAddress,
+    /// WGS-84 location.
+    pub location: LatLon,
+    /// The census block containing the address.
+    pub block: BlockId,
+}
+
+impl Address {
+    /// The census block group containing the address.
+    pub fn block_group(&self) -> BlockGroupId {
+        self.block.block_group()
+    }
+
+    /// The state containing the address.
+    pub fn state(&self) -> StateFips {
+        self.block.state()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{BlockGroupId, BlockId, CountyId, StateFips, TractId};
+
+    fn sample_address() -> Address {
+        let state = StateFips::new(13).unwrap(); // Georgia
+        let county = CountyId::new(state, 121).unwrap();
+        let tract = TractId::new(county, 100).unwrap();
+        let group = BlockGroupId::new(tract, 3).unwrap();
+        let block = BlockId::new(group, 42).unwrap();
+        Address {
+            id: AddressId(7),
+            street: StreetAddress {
+                number: 1120,
+                street: "Peach Orchard Rd".to_string(),
+                city: "Rome".to_string(),
+                state_abbrev: "GA".to_string(),
+                zip: 30161,
+            },
+            location: LatLon::new(34.25, -85.16).unwrap(),
+            block,
+        }
+    }
+
+    #[test]
+    fn street_address_formats_like_a_lookup_form_entry() {
+        let a = sample_address();
+        assert_eq!(
+            a.street.to_string(),
+            "1120 Peach Orchard Rd, Rome, GA 30161"
+        );
+    }
+
+    #[test]
+    fn zip_is_zero_padded() {
+        let mut a = sample_address();
+        a.street.zip = 501; // Holtsville NY, lowest real ZIP
+        assert!(a.street.to_string().ends_with("GA 00501"));
+    }
+
+    #[test]
+    fn geography_accessors_delegate_to_block() {
+        let a = sample_address();
+        assert_eq!(a.state().code(), 13);
+        assert_eq!(a.block_group(), a.block.block_group());
+    }
+
+    #[test]
+    fn address_id_display() {
+        assert_eq!(AddressId(99).to_string(), "addr-99");
+    }
+}

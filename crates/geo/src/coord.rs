@@ -1,0 +1,252 @@
+//! Geodetic coordinates and great-circle geometry.
+//!
+//! The serviceability maps (Figure 10) and the density/serviceability
+//! correlation (Figure 3) need only light-weight spherical geometry:
+//! validated latitude/longitude pairs, haversine distances, and axis-aligned
+//! bounding boxes that can be subdivided into grids.
+
+use crate::error::GeoError;
+use std::fmt;
+
+/// Mean Earth radius in kilometres (IUGG).
+pub const EARTH_RADIUS_KM: f64 = 6_371.008_8;
+
+/// Kilometres per statute mile.
+pub const KM_PER_MILE: f64 = 1.609_344;
+
+/// A validated WGS-84 latitude/longitude pair, in degrees.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatLon {
+    lat_deg: f64,
+    lon_deg: f64,
+}
+
+impl LatLon {
+    /// Creates a coordinate, rejecting out-of-range or non-finite values.
+    pub fn new(lat_deg: f64, lon_deg: f64) -> Result<Self, GeoError> {
+        if !lat_deg.is_finite() || !(-90.0..=90.0).contains(&lat_deg) {
+            return Err(GeoError::InvalidLatitude(lat_deg));
+        }
+        if !lon_deg.is_finite() || !(-180.0..=180.0).contains(&lon_deg) {
+            return Err(GeoError::InvalidLongitude(lon_deg));
+        }
+        Ok(LatLon { lat_deg, lon_deg })
+    }
+
+    /// Latitude in degrees north.
+    pub fn lat(self) -> f64 {
+        self.lat_deg
+    }
+
+    /// Longitude in degrees east.
+    pub fn lon(self) -> f64 {
+        self.lon_deg
+    }
+
+    /// Great-circle distance to `other` in kilometres.
+    pub fn distance_km(self, other: LatLon) -> f64 {
+        haversine_km(self, other)
+    }
+}
+
+impl fmt::Display for LatLon {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.6}, {:.6})", self.lat_deg, self.lon_deg)
+    }
+}
+
+/// Great-circle distance between two coordinates, in kilometres, by the
+/// haversine formula (adequate at census-block scales; error < 0.5 %).
+pub fn haversine_km(a: LatLon, b: LatLon) -> f64 {
+    let (lat1, lon1) = (a.lat_deg.to_radians(), a.lon_deg.to_radians());
+    let (lat2, lon2) = (b.lat_deg.to_radians(), b.lon_deg.to_radians());
+    let dlat = lat2 - lat1;
+    let dlon = lon2 - lon1;
+    let h = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+    2.0 * EARTH_RADIUS_KM * h.sqrt().asin()
+}
+
+/// Great-circle distance in statute miles (population density in the paper
+/// is reported per square mile).
+pub fn haversine_miles(a: LatLon, b: LatLon) -> f64 {
+    haversine_km(a, b) / KM_PER_MILE
+}
+
+/// An axis-aligned latitude/longitude bounding box.
+///
+/// Longitude wrap-around is not supported: every state in the study lies
+/// comfortably within the western hemisphere.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundingBox {
+    min: LatLon,
+    max: LatLon,
+}
+
+impl BoundingBox {
+    /// Creates a box from its south-west and north-east corners.
+    pub fn new(min: LatLon, max: LatLon) -> Result<Self, GeoError> {
+        if min.lat() > max.lat() || min.lon() > max.lon() {
+            return Err(GeoError::EmptyBoundingBox);
+        }
+        Ok(BoundingBox { min, max })
+    }
+
+    /// Convenience constructor from raw degrees.
+    pub fn from_degrees(
+        min_lat: f64,
+        min_lon: f64,
+        max_lat: f64,
+        max_lon: f64,
+    ) -> Result<Self, GeoError> {
+        BoundingBox::new(LatLon::new(min_lat, min_lon)?, LatLon::new(max_lat, max_lon)?)
+    }
+
+    /// South-west corner.
+    pub fn min(self) -> LatLon {
+        self.min
+    }
+
+    /// North-east corner.
+    pub fn max(self) -> LatLon {
+        self.max
+    }
+
+    /// Whether `p` lies inside the box (inclusive on all edges).
+    pub fn contains(self, p: LatLon) -> bool {
+        (self.min.lat()..=self.max.lat()).contains(&p.lat())
+            && (self.min.lon()..=self.max.lon()).contains(&p.lon())
+    }
+
+    /// The box centre.
+    pub fn center(self) -> LatLon {
+        LatLon::new(
+            (self.min.lat() + self.max.lat()) / 2.0,
+            (self.min.lon() + self.max.lon()) / 2.0,
+        )
+        .expect("midpoint of valid corners is valid")
+    }
+
+    /// Latitude extent in degrees.
+    pub fn lat_span(self) -> f64 {
+        self.max.lat() - self.min.lat()
+    }
+
+    /// Longitude extent in degrees.
+    pub fn lon_span(self) -> f64 {
+        self.max.lon() - self.min.lon()
+    }
+
+    /// Approximate area in square miles, treating the box as a spherical
+    /// rectangle (sufficient for density classification).
+    pub fn area_sq_miles(self) -> f64 {
+        let mid_lat = self.center().lat().to_radians();
+        let km_per_deg_lat = EARTH_RADIUS_KM * std::f64::consts::PI / 180.0;
+        let km_per_deg_lon = km_per_deg_lat * mid_lat.cos();
+        let h_km = self.lat_span() * km_per_deg_lat;
+        let w_km = self.lon_span() * km_per_deg_lon;
+        (h_km / KM_PER_MILE) * (w_km / KM_PER_MILE)
+    }
+
+    /// Returns the sub-box at grid position (`row`, `col`) of an `rows`×`cols`
+    /// subdivision. Rows count northward from the southern edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `cols` is zero or the indices are out of range.
+    pub fn cell(self, rows: usize, cols: usize, row: usize, col: usize) -> BoundingBox {
+        assert!(rows > 0 && cols > 0, "grid must have at least one cell");
+        assert!(row < rows && col < cols, "cell index out of range");
+        let dlat = self.lat_span() / rows as f64;
+        let dlon = self.lon_span() / cols as f64;
+        let min = LatLon::new(
+            self.min.lat() + dlat * row as f64,
+            self.min.lon() + dlon * col as f64,
+        )
+        .expect("subdivided corner stays in range");
+        let max = LatLon::new(min.lat() + dlat, min.lon() + dlon)
+            .expect("subdivided corner stays in range");
+        BoundingBox { min, max }
+    }
+
+    /// Grid coordinates of the cell containing `p`, for an `rows`×`cols`
+    /// subdivision, or `None` if `p` is outside the box. Points on the
+    /// northern/eastern edge map to the last row/column.
+    pub fn locate(self, rows: usize, cols: usize, p: LatLon) -> Option<(usize, usize)> {
+        if rows == 0 || cols == 0 || !self.contains(p) {
+            return None;
+        }
+        let fr = (p.lat() - self.min.lat()) / self.lat_span().max(f64::MIN_POSITIVE);
+        let fc = (p.lon() - self.min.lon()) / self.lon_span().max(f64::MIN_POSITIVE);
+        let row = ((fr * rows as f64) as usize).min(rows - 1);
+        let col = ((fc * cols as f64) as usize).min(cols - 1);
+        Some((row, col))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(lat: f64, lon: f64) -> LatLon {
+        LatLon::new(lat, lon).unwrap()
+    }
+
+    #[test]
+    fn rejects_out_of_range_coordinates() {
+        assert!(LatLon::new(90.1, 0.0).is_err());
+        assert!(LatLon::new(-90.1, 0.0).is_err());
+        assert!(LatLon::new(0.0, 180.1).is_err());
+        assert!(LatLon::new(f64::NAN, 0.0).is_err());
+        assert!(LatLon::new(0.0, f64::INFINITY).is_err());
+        assert!(LatLon::new(90.0, -180.0).is_ok());
+    }
+
+    #[test]
+    fn haversine_known_distance() {
+        // Santa Barbara (34.42, -119.70) to Los Angeles (34.05, -118.24):
+        // roughly 140 km.
+        let sb = p(34.42, -119.70);
+        let la = p(34.05, -118.24);
+        let d = haversine_km(sb, la);
+        assert!((135.0..145.0).contains(&d), "got {d}");
+        // Symmetry and identity.
+        assert!((haversine_km(la, sb) - d).abs() < 1e-9);
+        assert_eq!(haversine_km(sb, sb), 0.0);
+    }
+
+    #[test]
+    fn miles_conversion_consistent() {
+        let a = p(40.0, -100.0);
+        let b = p(41.0, -100.0);
+        assert!((haversine_miles(a, b) * KM_PER_MILE - haversine_km(a, b)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bounding_box_contains_and_center() {
+        let bb = BoundingBox::from_degrees(30.0, -120.0, 40.0, -110.0).unwrap();
+        assert!(bb.contains(p(35.0, -115.0)));
+        assert!(bb.contains(p(30.0, -120.0))); // inclusive
+        assert!(!bb.contains(p(29.9, -115.0)));
+        assert_eq!(bb.center(), p(35.0, -115.0));
+        assert!(BoundingBox::from_degrees(40.0, -110.0, 30.0, -120.0).is_err());
+    }
+
+    #[test]
+    fn grid_cell_and_locate_are_inverse() {
+        let bb = BoundingBox::from_degrees(30.0, -120.0, 40.0, -110.0).unwrap();
+        let cell = bb.cell(10, 5, 3, 2);
+        let center = cell.center();
+        assert_eq!(bb.locate(10, 5, center), Some((3, 2)));
+        // Edge points clamp into the last cell rather than falling out.
+        assert_eq!(bb.locate(10, 5, p(40.0, -110.0)), Some((9, 4)));
+        assert_eq!(bb.locate(10, 5, p(29.0, -115.0)), None);
+    }
+
+    #[test]
+    fn area_of_one_degree_cell_is_plausible() {
+        // Near 35°N a 1°×1° cell is roughly 69 mi × 56 mi ≈ 3 900 sq mi.
+        let bb = BoundingBox::from_degrees(34.5, -115.5, 35.5, -114.5).unwrap();
+        let area = bb.area_sq_miles();
+        assert!((3_300.0..4_500.0).contains(&area), "got {area}");
+    }
+}

@@ -1,0 +1,205 @@
+//! Population-density grids and rural/urban classification.
+//!
+//! Figure 3 of the paper correlates AT&T's CBG-level serviceability rates
+//! with population density (people per square mile), and Figure 10 maps
+//! serviceability geospatially. Both need a way to go from scattered
+//! (coordinate, population) observations to per-cell densities. The Census
+//! Bureau's urban-area criteria motivate the [`DensityClass`] thresholds.
+
+use crate::coord::{BoundingBox, LatLon};
+use crate::error::GeoError;
+
+/// Census-style density classification of an area, in people per square
+/// mile.
+///
+/// The thresholds follow the Census Bureau's 2020 urban-area criteria in
+/// spirit: initial urban cores require ≈1 000 people/sq mi and qualifying
+/// territory ≈500. The paper observes that 96.7 % of CAF census blocks are
+/// rural (§2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DensityClass {
+    /// Fewer than 50 people per square mile: sparse, high-cost territory —
+    /// CAF's nominal target.
+    Remote,
+    /// 50–500 people per square mile.
+    Rural,
+    /// 500–1 000 people per square mile: exurban fringe.
+    Suburban,
+    /// Over 1 000 people per square mile.
+    Urban,
+}
+
+impl DensityClass {
+    /// Classifies a density in people per square mile.
+    pub fn from_density(people_per_sq_mile: f64) -> DensityClass {
+        if people_per_sq_mile < 50.0 {
+            DensityClass::Remote
+        } else if people_per_sq_mile < 500.0 {
+            DensityClass::Rural
+        } else if people_per_sq_mile < 1_000.0 {
+            DensityClass::Suburban
+        } else {
+            DensityClass::Urban
+        }
+    }
+
+    /// Whether the Census Bureau would call this territory rural.
+    pub fn is_rural(self) -> bool {
+        matches!(self, DensityClass::Remote | DensityClass::Rural)
+    }
+}
+
+/// A raster of population counts over a bounding box, from which per-cell
+/// and per-point densities are derived.
+#[derive(Debug, Clone)]
+pub struct DensityGrid {
+    bbox: BoundingBox,
+    rows: usize,
+    cols: usize,
+    population: Vec<f64>,
+}
+
+impl DensityGrid {
+    /// Creates an empty grid over `bbox` with the given resolution.
+    pub fn new(bbox: BoundingBox, rows: usize, cols: usize) -> Result<Self, GeoError> {
+        if rows == 0 || cols == 0 {
+            return Err(GeoError::EmptyGrid);
+        }
+        Ok(DensityGrid {
+            bbox,
+            rows,
+            cols,
+            population: vec![0.0; rows * cols],
+        })
+    }
+
+    /// Grid dimensions as (rows, cols).
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// The bounding box the grid covers.
+    pub fn bbox(&self) -> BoundingBox {
+        self.bbox
+    }
+
+    /// Adds `people` at `location`. Points outside the box are ignored and
+    /// reported as `false`.
+    pub fn deposit(&mut self, location: LatLon, people: f64) -> bool {
+        match self.bbox.locate(self.rows, self.cols, location) {
+            Some((r, c)) => {
+                self.population[r * self.cols + c] += people;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Total population deposited.
+    pub fn total_population(&self) -> f64 {
+        self.population.iter().sum()
+    }
+
+    /// Population of the cell at (`row`, `col`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn cell_population(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.rows && col < self.cols, "cell index out of range");
+        self.population[row * self.cols + col]
+    }
+
+    /// Density of the cell at (`row`, `col`), in people per square mile.
+    pub fn cell_density(&self, row: usize, col: usize) -> f64 {
+        let area = self
+            .bbox
+            .cell(self.rows, self.cols, row, col)
+            .area_sq_miles();
+        if area <= 0.0 {
+            0.0
+        } else {
+            self.cell_population(row, col) / area
+        }
+    }
+
+    /// Density of the cell containing `p`, or `None` if `p` is outside the
+    /// grid.
+    pub fn density_at(&self, p: LatLon) -> Option<f64> {
+        let (r, c) = self.bbox.locate(self.rows, self.cols, p)?;
+        Some(self.cell_density(r, c))
+    }
+
+    /// Density class of the cell containing `p`.
+    pub fn class_at(&self, p: LatLon) -> Option<DensityClass> {
+        self.density_at(p).map(DensityClass::from_density)
+    }
+
+    /// Iterates over `(row, col, density)` for every cell.
+    pub fn iter_densities(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.rows).flat_map(move |r| (0..self.cols).map(move |c| (r, c, self.cell_density(r, c))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> DensityGrid {
+        let bbox = BoundingBox::from_degrees(30.0, -120.0, 40.0, -110.0).unwrap();
+        DensityGrid::new(bbox, 10, 10).unwrap()
+    }
+
+    fn p(lat: f64, lon: f64) -> LatLon {
+        LatLon::new(lat, lon).unwrap()
+    }
+
+    #[test]
+    fn classification_thresholds() {
+        assert_eq!(DensityClass::from_density(0.0), DensityClass::Remote);
+        assert_eq!(DensityClass::from_density(49.9), DensityClass::Remote);
+        assert_eq!(DensityClass::from_density(50.0), DensityClass::Rural);
+        assert_eq!(DensityClass::from_density(499.9), DensityClass::Rural);
+        assert_eq!(DensityClass::from_density(500.0), DensityClass::Suburban);
+        assert_eq!(DensityClass::from_density(1_000.0), DensityClass::Urban);
+        assert!(DensityClass::Remote.is_rural());
+        assert!(DensityClass::Rural.is_rural());
+        assert!(!DensityClass::Suburban.is_rural());
+        assert!(!DensityClass::Urban.is_rural());
+    }
+
+    #[test]
+    fn deposit_accumulates_in_the_right_cell() {
+        let mut g = grid();
+        assert!(g.deposit(p(30.5, -119.5), 100.0));
+        assert!(g.deposit(p(30.5, -119.5), 50.0));
+        assert_eq!(g.cell_population(0, 0), 150.0);
+        assert_eq!(g.total_population(), 150.0);
+        // Outside the box: rejected, not silently clamped.
+        assert!(!g.deposit(p(29.0, -119.5), 10.0));
+        assert_eq!(g.total_population(), 150.0);
+    }
+
+    #[test]
+    fn density_at_reflects_cell_area() {
+        let mut g = grid();
+        g.deposit(p(30.5, -119.5), 10_000.0);
+        let d = g.density_at(p(30.5, -119.5)).unwrap();
+        // One 1°×1° cell near 30°N is ≈4 100 sq mi, so expect ~2.4 people/sq mi.
+        assert!((1.0..5.0).contains(&d), "got {d}");
+        assert_eq!(g.density_at(p(45.0, -115.0)), None);
+    }
+
+    #[test]
+    fn rejects_empty_grid() {
+        let bbox = BoundingBox::from_degrees(30.0, -120.0, 40.0, -110.0).unwrap();
+        assert!(DensityGrid::new(bbox, 0, 10).is_err());
+        assert!(DensityGrid::new(bbox, 10, 0).is_err());
+    }
+
+    #[test]
+    fn iter_densities_covers_all_cells() {
+        let g = grid();
+        assert_eq!(g.iter_densities().count(), 100);
+    }
+}

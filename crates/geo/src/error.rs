@@ -1,0 +1,85 @@
+//! Error type shared by the geography substrate.
+
+use std::fmt;
+
+/// Errors produced while constructing or parsing geographic entities.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GeoError {
+    /// A FIPS state code outside the `1..=78` range assigned by the Census
+    /// Bureau (56 is Wyoming; 60+ are territories).
+    InvalidStateFips(u16),
+    /// A county code outside `1..=999`.
+    InvalidCounty(u16),
+    /// A tract code outside `1..=999_999`.
+    InvalidTract(u32),
+    /// A block-group digit outside `0..=9`.
+    InvalidBlockGroup(u8),
+    /// A block suffix outside `0..=999` (the final three GEOID digits; the
+    /// leading fourth digit is the block-group digit).
+    InvalidBlockSuffix(u16),
+    /// A GEOID string of the wrong length or with non-digit characters.
+    MalformedGeoid {
+        /// The offending input, truncated for display.
+        input: String,
+        /// The number of digits the caller expected.
+        expected_len: usize,
+    },
+    /// A latitude outside `[-90, +90]` degrees.
+    InvalidLatitude(f64),
+    /// A longitude outside `[-180, +180]` degrees.
+    InvalidLongitude(f64),
+    /// A bounding box whose minimum corner exceeds its maximum corner.
+    EmptyBoundingBox,
+    /// A density grid with zero rows or columns.
+    EmptyGrid,
+    /// An unknown state abbreviation (e.g. `"ZZ"`).
+    UnknownStateAbbrev(String),
+}
+
+impl fmt::Display for GeoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeoError::InvalidStateFips(v) => write!(f, "invalid state FIPS code {v}"),
+            GeoError::InvalidCounty(v) => write!(f, "invalid county code {v}"),
+            GeoError::InvalidTract(v) => write!(f, "invalid tract code {v}"),
+            GeoError::InvalidBlockGroup(v) => write!(f, "invalid block-group digit {v}"),
+            GeoError::InvalidBlockSuffix(v) => write!(f, "invalid block suffix {v}"),
+            GeoError::MalformedGeoid {
+                input,
+                expected_len,
+            } => write!(
+                f,
+                "malformed GEOID {input:?}: expected {expected_len} decimal digits"
+            ),
+            GeoError::InvalidLatitude(v) => write!(f, "latitude {v} outside [-90, 90]"),
+            GeoError::InvalidLongitude(v) => write!(f, "longitude {v} outside [-180, 180]"),
+            GeoError::EmptyBoundingBox => write!(f, "bounding box has min corner > max corner"),
+            GeoError::EmptyGrid => write!(f, "density grid must have at least one cell"),
+            GeoError::UnknownStateAbbrev(s) => write!(f, "unknown state abbreviation {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for GeoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_human_readable() {
+        let e = GeoError::InvalidStateFips(99);
+        assert_eq!(e.to_string(), "invalid state FIPS code 99");
+        let e = GeoError::MalformedGeoid {
+            input: "12ab".to_string(),
+            expected_len: 15,
+        };
+        assert!(e.to_string().contains("15 decimal digits"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<GeoError>();
+    }
+}

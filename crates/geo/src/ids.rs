@@ -1,0 +1,356 @@
+//! Compact, validated Census GEOID types.
+//!
+//! The Census Bureau identifies geographic units by concatenated decimal
+//! codes ("GEOIDs"):
+//!
+//! | unit        | digits | layout                                   |
+//! |-------------|--------|------------------------------------------|
+//! | state       | 2      | `SS`                                     |
+//! | county      | 5      | `SS CCC`                                 |
+//! | tract       | 11     | `SS CCC TTTTTT`                          |
+//! | block group | 12     | `SS CCC TTTTTT G`                        |
+//! | block       | 15     | `SS CCC TTTTTT G BBB`                    |
+//!
+//! The first digit of a census block's 4-digit code *is* the block-group
+//! digit, so a block GEOID contains its block group's GEOID as a prefix.
+//! All types here exploit that: they store the full numeric GEOID in a
+//! single integer, making them `Copy`, hashable, and cheaply ordered —
+//! properties the campaign engine relies on when bucketing hundreds of
+//! thousands of addresses by CBG.
+
+use crate::error::GeoError;
+use std::fmt;
+use std::str::FromStr;
+
+/// A two-digit state FIPS code (`01` Alabama … `56` Wyoming, `72` Puerto
+/// Rico, `78` US Virgin Islands).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StateFips(u8);
+
+impl StateFips {
+    /// Creates a state FIPS code, validating the Census-assigned range.
+    pub fn new(code: u16) -> Result<Self, GeoError> {
+        if (1..=78).contains(&code) {
+            Ok(StateFips(code as u8))
+        } else {
+            Err(GeoError::InvalidStateFips(code))
+        }
+    }
+
+    /// The numeric code.
+    pub fn code(self) -> u16 {
+        u16::from(self.0)
+    }
+}
+
+impl fmt::Display for StateFips {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:02}", self.0)
+    }
+}
+
+/// A five-digit county GEOID (state FIPS × 1000 + county code).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CountyId(u32);
+
+impl CountyId {
+    /// Creates a county GEOID from its components.
+    pub fn new(state: StateFips, county: u16) -> Result<Self, GeoError> {
+        if (1..=999).contains(&county) {
+            Ok(CountyId(u32::from(state.code()) * 1_000 + u32::from(county)))
+        } else {
+            Err(GeoError::InvalidCounty(county))
+        }
+    }
+
+    /// The state this county belongs to.
+    pub fn state(self) -> StateFips {
+        StateFips((self.0 / 1_000) as u8)
+    }
+
+    /// The three-digit county code within the state.
+    pub fn county_code(self) -> u16 {
+        (self.0 % 1_000) as u16
+    }
+
+    /// The full numeric GEOID.
+    pub fn geoid(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for CountyId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:05}", self.0)
+    }
+}
+
+/// An eleven-digit census-tract GEOID.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TractId(u64);
+
+impl TractId {
+    /// Creates a tract GEOID from its parent county and six-digit tract code.
+    pub fn new(county: CountyId, tract: u32) -> Result<Self, GeoError> {
+        if (1..=999_999).contains(&tract) {
+            Ok(TractId(
+                u64::from(county.geoid()) * 1_000_000 + u64::from(tract),
+            ))
+        } else {
+            Err(GeoError::InvalidTract(tract))
+        }
+    }
+
+    /// The county containing this tract.
+    pub fn county(self) -> CountyId {
+        CountyId((self.0 / 1_000_000) as u32)
+    }
+
+    /// The state containing this tract.
+    pub fn state(self) -> StateFips {
+        self.county().state()
+    }
+
+    /// The six-digit tract code within the county.
+    pub fn tract_code(self) -> u32 {
+        (self.0 % 1_000_000) as u32
+    }
+
+    /// The full numeric GEOID.
+    pub fn geoid(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for TractId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:011}", self.0)
+    }
+}
+
+/// A twelve-digit census block-group GEOID.
+///
+/// A block group (CBG) typically covers 600–3 000 people with relatively
+/// homogeneous demographics — the paper's unit of sampling (§3.1) and of
+/// weighted aggregation (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockGroupId(u64);
+
+impl BlockGroupId {
+    /// Creates a block-group GEOID from its parent tract and single digit.
+    pub fn new(tract: TractId, block_group: u8) -> Result<Self, GeoError> {
+        if block_group <= 9 {
+            Ok(BlockGroupId(tract.geoid() * 10 + u64::from(block_group)))
+        } else {
+            Err(GeoError::InvalidBlockGroup(block_group))
+        }
+    }
+
+    /// The tract containing this block group.
+    pub fn tract(self) -> TractId {
+        TractId(self.0 / 10)
+    }
+
+    /// The county containing this block group.
+    pub fn county(self) -> CountyId {
+        self.tract().county()
+    }
+
+    /// The state containing this block group.
+    pub fn state(self) -> StateFips {
+        self.tract().state()
+    }
+
+    /// The single block-group digit.
+    pub fn group_digit(self) -> u8 {
+        (self.0 % 10) as u8
+    }
+
+    /// The full numeric GEOID.
+    pub fn geoid(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for BlockGroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:012}", self.0)
+    }
+}
+
+impl FromStr for BlockGroupId {
+    type Err = GeoError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let n = parse_digits(s, 12)?;
+        decompose_block_group(n)
+    }
+}
+
+/// A fifteen-digit census-block GEOID.
+///
+/// A block (CB) is the smallest census unit; the paper treats addresses in
+/// the same block as "neighbors" for the regulated-monopoly comparison
+/// (§4.3) because they share geospatial characteristics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(u64);
+
+impl BlockId {
+    /// Creates a block GEOID from its parent block group and the trailing
+    /// three digits of the four-digit block code (the leading digit is the
+    /// block-group digit and is implied by `group`).
+    pub fn new(group: BlockGroupId, block_suffix: u16) -> Result<Self, GeoError> {
+        if block_suffix <= 999 {
+            Ok(BlockId(group.geoid() * 1_000 + u64::from(block_suffix)))
+        } else {
+            Err(GeoError::InvalidBlockSuffix(block_suffix))
+        }
+    }
+
+    /// The block group containing this block.
+    pub fn block_group(self) -> BlockGroupId {
+        BlockGroupId(self.0 / 1_000)
+    }
+
+    /// The tract containing this block.
+    pub fn tract(self) -> TractId {
+        self.block_group().tract()
+    }
+
+    /// The state containing this block.
+    pub fn state(self) -> StateFips {
+        self.block_group().state()
+    }
+
+    /// The four-digit block code (block-group digit + suffix), as printed in
+    /// Census block GEOIDs.
+    pub fn block_code(self) -> u16 {
+        (self.0 % 10_000) as u16
+    }
+
+    /// The full numeric GEOID.
+    pub fn geoid(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:015}", self.0)
+    }
+}
+
+impl FromStr for BlockId {
+    type Err = GeoError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let n = parse_digits(s, 15)?;
+        decompose_block(n)
+    }
+}
+
+/// Parses a string of exactly `len` decimal digits into an integer.
+fn parse_digits(s: &str, len: usize) -> Result<u64, GeoError> {
+    let malformed = || GeoError::MalformedGeoid {
+        input: s.chars().take(24).collect(),
+        expected_len: len,
+    };
+    if s.len() != len || !s.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(malformed());
+    }
+    s.parse::<u64>().map_err(|_| malformed())
+}
+
+/// Validates a raw 12-digit integer as a block-group GEOID.
+fn decompose_block_group(n: u64) -> Result<BlockGroupId, GeoError> {
+    let group = (n % 10) as u8;
+    let tract = ((n / 10) % 1_000_000) as u32;
+    let county = ((n / 10_000_000) % 1_000) as u16;
+    let state = (n / 10_000_000_000) as u16;
+    let state = StateFips::new(state)?;
+    let county = CountyId::new(state, county)?;
+    let tract = TractId::new(county, tract)?;
+    BlockGroupId::new(tract, group)
+}
+
+/// Validates a raw 15-digit integer as a block GEOID.
+fn decompose_block(n: u64) -> Result<BlockId, GeoError> {
+    let suffix = (n % 1_000) as u16;
+    let group = decompose_block_group(n / 1_000)?;
+    BlockId::new(group, suffix)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_block() -> BlockId {
+        let state = StateFips::new(6).unwrap(); // California
+        let county = CountyId::new(state, 83).unwrap(); // Santa Barbara
+        let tract = TractId::new(county, 2_936).unwrap();
+        let group = BlockGroupId::new(tract, 2).unwrap();
+        BlockId::new(group, 17).unwrap()
+    }
+
+    #[test]
+    fn geoid_roundtrip_through_display_and_parse() {
+        let block = sample_block();
+        let s = block.to_string();
+        assert_eq!(s.len(), 15);
+        assert_eq!(s, "060830029362017");
+        let parsed: BlockId = s.parse().unwrap();
+        assert_eq!(parsed, block);
+    }
+
+    #[test]
+    fn block_group_roundtrip() {
+        let group = sample_block().block_group();
+        let s = group.to_string();
+        assert_eq!(s, "060830029362");
+        let parsed: BlockGroupId = s.parse().unwrap();
+        assert_eq!(parsed, group);
+    }
+
+    #[test]
+    fn hierarchy_accessors_agree() {
+        let block = sample_block();
+        assert_eq!(block.state().code(), 6);
+        assert_eq!(block.block_group().group_digit(), 2);
+        assert_eq!(block.tract().tract_code(), 2_936);
+        assert_eq!(block.tract().county().county_code(), 83);
+        assert_eq!(block.block_code(), 2_017);
+    }
+
+    #[test]
+    fn invalid_components_rejected() {
+        assert!(StateFips::new(0).is_err());
+        assert!(StateFips::new(79).is_err());
+        let state = StateFips::new(48).unwrap();
+        assert!(CountyId::new(state, 0).is_err());
+        assert!(CountyId::new(state, 1_000).is_err());
+        let county = CountyId::new(state, 1).unwrap();
+        assert!(TractId::new(county, 0).is_err());
+        assert!(TractId::new(county, 1_000_000).is_err());
+        let tract = TractId::new(county, 1).unwrap();
+        assert!(BlockGroupId::new(tract, 10).is_err());
+        let group = BlockGroupId::new(tract, 1).unwrap();
+        assert!(BlockId::new(group, 1_000).is_err());
+    }
+
+    #[test]
+    fn malformed_strings_rejected() {
+        assert!("".parse::<BlockId>().is_err());
+        assert!("06083002936201".parse::<BlockId>().is_err()); // 14 digits
+        assert!("06083002936201x".parse::<BlockId>().is_err());
+        // Valid length but invalid state FIPS (99).
+        assert!("990830029362017".parse::<BlockId>().is_err());
+    }
+
+    #[test]
+    fn ordering_matches_geoid_ordering() {
+        let a: BlockId = "010010201001000".parse().unwrap();
+        let b: BlockId = "010010201001001".parse().unwrap();
+        let c: BlockId = "060830029362017".parse().unwrap();
+        assert!(a < b && b < c);
+    }
+}

@@ -1,0 +1,41 @@
+//! # caf-geo — census geography substrate
+//!
+//! The CAF efficacy analysis operates on the US Census Bureau's geographic
+//! hierarchy: **state → county → tract → block group (CBG) → block (CB)**.
+//! Every metric in the paper is aggregated at one of these levels — the
+//! serviceability and compliance rates are CBG-weighted (§4.1–4.2), while
+//! the regulated-monopoly comparison (§4.3) treats addresses in the same
+//! census *block* as neighbors.
+//!
+//! This crate provides:
+//!
+//! * [`ids`] — compact, validated GEOID types ([`BlockId`], [`BlockGroupId`],
+//!   [`TractId`], [`CountyId`], [`StateFips`]) with lossless conversion up
+//!   the hierarchy and zero-padded display identical to Census GEOID strings.
+//! * [`coord`] — geodetic coordinates, haversine distance, bounding boxes.
+//! * [`address`] — street-level residential addresses as used by the
+//!   broadband-plan querying workflow.
+//! * [`density`] — population-density grids and the rural/urban
+//!   classification used in Figure 3 and Figure 10 of the paper.
+//! * [`state`] — a registry of US states with the attributes the synthetic
+//!   dataset generator needs (region, bounding box, population).
+//!
+//! The crate is `std`-only, allocation-light, and dependency-free: it is a
+//! substrate every other crate in the workspace builds on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod address;
+pub mod coord;
+pub mod density;
+pub mod error;
+pub mod ids;
+pub mod state;
+
+pub use address::{Address, AddressId, StreetAddress};
+pub use coord::{haversine_km, haversine_miles, BoundingBox, LatLon};
+pub use density::{DensityClass, DensityGrid};
+pub use error::GeoError;
+pub use ids::{BlockGroupId, BlockId, CountyId, StateFips, TractId};
+pub use state::{CensusRegion, StateInfo, UsState};

@@ -1,0 +1,73 @@
+//! Property-based tests for the geography substrate.
+
+use caf_geo::{BlockGroupId, BlockId, BoundingBox, LatLon, StateFips};
+use proptest::prelude::*;
+
+/// Strategy producing valid raw GEOID components.
+fn geoid_components() -> impl Strategy<Value = (u16, u16, u32, u8, u16)> {
+    (1u16..=56, 1u16..=999, 1u32..=999_999, 0u8..=9, 0u16..=999)
+}
+
+proptest! {
+    /// Display → parse is the identity for block GEOIDs.
+    #[test]
+    fn block_geoid_roundtrip((state, county, tract, group, suffix) in geoid_components()) {
+        let state = StateFips::new(state).unwrap();
+        let county = caf_geo::CountyId::new(state, county).unwrap();
+        let tract = caf_geo::TractId::new(county, tract).unwrap();
+        let group = BlockGroupId::new(tract, group).unwrap();
+        let block = BlockId::new(group, suffix).unwrap();
+
+        let parsed: BlockId = block.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, block);
+        prop_assert_eq!(parsed.block_group(), group);
+        prop_assert_eq!(parsed.state(), state);
+    }
+
+    /// The block-group GEOID is always a strict prefix of the block GEOID.
+    #[test]
+    fn block_group_is_prefix_of_block((state, county, tract, group, suffix) in geoid_components()) {
+        let state = StateFips::new(state).unwrap();
+        let county = caf_geo::CountyId::new(state, county).unwrap();
+        let tract = caf_geo::TractId::new(county, tract).unwrap();
+        let bg = BlockGroupId::new(tract, group).unwrap();
+        let block = BlockId::new(bg, suffix).unwrap();
+        prop_assert!(block.to_string().starts_with(&bg.to_string()));
+    }
+
+    /// Haversine distance is a symmetric, non-negative function bounded by
+    /// half the Earth's circumference.
+    #[test]
+    fn haversine_is_a_metric_like_function(
+        lat1 in -89.0f64..89.0, lon1 in -179.0f64..179.0,
+        lat2 in -89.0f64..89.0, lon2 in -179.0f64..179.0,
+    ) {
+        let a = LatLon::new(lat1, lon1).unwrap();
+        let b = LatLon::new(lat2, lon2).unwrap();
+        let d_ab = caf_geo::haversine_km(a, b);
+        let d_ba = caf_geo::haversine_km(b, a);
+        prop_assert!(d_ab >= 0.0);
+        prop_assert!((d_ab - d_ba).abs() < 1e-6);
+        // Half Earth circumference ≈ 20 015 km.
+        prop_assert!(d_ab <= 20_100.0);
+    }
+
+    /// Every point inside a box locates to a cell whose sub-box contains it.
+    #[test]
+    fn locate_and_cell_agree(
+        lat in 30.05f64..39.95, lon in -119.95f64..-110.05,
+        rows in 1usize..30, cols in 1usize..30,
+    ) {
+        let bb = BoundingBox::from_degrees(30.0, -120.0, 40.0, -110.0).unwrap();
+        let point = LatLon::new(lat, lon).unwrap();
+        let (r, c) = bb.locate(rows, cols, point).unwrap();
+        prop_assert!(r < rows && c < cols);
+        let cell = bb.cell(rows, cols, r, c);
+        // Tolerate boundary rounding by expanding the cell a hair.
+        let eps = 1e-9;
+        prop_assert!(point.lat() >= cell.min().lat() - eps);
+        prop_assert!(point.lat() <= cell.max().lat() + eps);
+        prop_assert!(point.lon() >= cell.min().lon() - eps);
+        prop_assert!(point.lon() <= cell.max().lon() + eps);
+    }
+}

@@ -1,0 +1,138 @@
+//! The FCC's "reasonably comparable" rate benchmark.
+//!
+//! Under the CAF rules, a rate is "reasonably comparable" to urban rates
+//! "if it is within two standard deviations of the average rate charged in
+//! urban locales for similar service, based on the FCC's annual survey of
+//! urban rates" (§2.2). For 2024 this produced a cap of ≈$89/month for
+//! 10/1 Mbps service (§2.2). This module reproduces that computation from
+//! a (synthetic) urban rate survey, so the compliance analysis can apply
+//! the same cap the FCC would.
+
+use crate::descriptive::{mean, population_variance};
+use crate::error::StatsError;
+
+/// A rate benchmark derived from an urban rate survey for one speed tier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UrbanRateBenchmark {
+    /// Download speed tier the survey rows describe, in Mbps.
+    pub download_mbps: f64,
+    /// Mean urban monthly rate in dollars.
+    pub mean_rate: f64,
+    /// Population standard deviation of urban rates.
+    pub stddev_rate: f64,
+    /// Number of survey observations.
+    pub n: usize,
+}
+
+impl UrbanRateBenchmark {
+    /// Builds the benchmark from survey rates (monthly dollars) for a tier.
+    ///
+    /// The survey is treated as the population of urban offers (as the FCC
+    /// does), so the population standard deviation is used.
+    pub fn from_survey(download_mbps: f64, rates: &[f64]) -> Result<Self, StatsError> {
+        if rates.len() < 2 {
+            return Err(StatsError::InsufficientData {
+                got: rates.len(),
+                need: 2,
+            });
+        }
+        if rates.iter().any(|r| !r.is_finite() || *r < 0.0) {
+            return Err(StatsError::NonFiniteInput);
+        }
+        Ok(UrbanRateBenchmark {
+            download_mbps,
+            mean_rate: mean(rates)?,
+            stddev_rate: population_variance(rates)?.sqrt(),
+            n: rates.len(),
+        })
+    }
+
+    /// The maximum "reasonably comparable" rate: mean + 2σ.
+    pub fn rate_cap(&self) -> f64 {
+        self.mean_rate + 2.0 * self.stddev_rate
+    }
+
+    /// Whether a monthly rate complies with the benchmark.
+    pub fn is_compliant(&self, monthly_rate: f64) -> bool {
+        monthly_rate.is_finite() && monthly_rate <= self.rate_cap()
+    }
+
+    /// The *minimum carriage value* (Mbps per dollar per month) the
+    /// benchmark implies: a plan at exactly the cap carries
+    /// `download_mbps / rate_cap()` Mbps per dollar. The paper notes this
+    /// is only ≈0.1 for 10 Mbps plans — far below the median of 15 in
+    /// competitive urban centers (§4.2).
+    pub fn min_carriage_value(&self) -> f64 {
+        let cap = self.rate_cap();
+        if cap <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.download_mbps / cap
+        }
+    }
+}
+
+/// Carriage value: Mbps of advertised download traffic per dollar per
+/// month — the consumer-value metric from the paper's predecessor work.
+pub fn carriage_value(download_mbps: f64, monthly_rate: f64) -> Result<f64, StatsError> {
+    if !download_mbps.is_finite() || !monthly_rate.is_finite() {
+        return Err(StatsError::NonFiniteInput);
+    }
+    if monthly_rate <= 0.0 {
+        return Err(StatsError::InvalidWeights);
+    }
+    Ok(download_mbps / monthly_rate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A survey shaped like the 2024 urban rate survey: mean ≈ $65,
+    /// σ ≈ $12, giving a cap near $89.
+    fn survey() -> Vec<f64> {
+        vec![
+            45.0, 50.0, 55.0, 55.0, 60.0, 60.0, 65.0, 65.0, 65.0, 70.0, 70.0, 75.0, 75.0, 80.0,
+            85.0,
+        ]
+    }
+
+    #[test]
+    fn cap_is_mean_plus_two_sigma() {
+        let b = UrbanRateBenchmark::from_survey(10.0, &survey()).unwrap();
+        let expected = b.mean_rate + 2.0 * b.stddev_rate;
+        assert_eq!(b.rate_cap(), expected);
+        // Shaped to land in the high-$80s like the FCC's 2024 figure.
+        assert!((80.0..95.0).contains(&b.rate_cap()), "cap {}", b.rate_cap());
+    }
+
+    #[test]
+    fn compliance_boundary() {
+        let b = UrbanRateBenchmark::from_survey(10.0, &survey()).unwrap();
+        let cap = b.rate_cap();
+        assert!(b.is_compliant(cap));
+        assert!(b.is_compliant(cap - 1.0));
+        assert!(!b.is_compliant(cap + 0.01));
+        assert!(!b.is_compliant(f64::NAN));
+    }
+
+    #[test]
+    fn min_carriage_value_is_low_as_the_paper_notes() {
+        let b = UrbanRateBenchmark::from_survey(10.0, &survey()).unwrap();
+        let mcv = b.min_carriage_value();
+        assert!((0.05..0.2).contains(&mcv), "got {mcv}");
+    }
+
+    #[test]
+    fn carriage_value_computation() {
+        assert_eq!(carriage_value(100.0, 50.0).unwrap(), 2.0);
+        assert!(carriage_value(100.0, 0.0).is_err());
+        assert!(carriage_value(f64::NAN, 50.0).is_err());
+    }
+
+    #[test]
+    fn survey_validation() {
+        assert!(UrbanRateBenchmark::from_survey(10.0, &[50.0]).is_err());
+        assert!(UrbanRateBenchmark::from_survey(10.0, &[50.0, -1.0]).is_err());
+    }
+}

@@ -1,0 +1,235 @@
+//! Seeded nonparametric bootstrap.
+//!
+//! The paper's sensitivity analysis (§9.1, Figure 9) asks how robust the
+//! serviceability estimates are to the sampling strategy. Bootstrap
+//! confidence intervals give the complementary view: how uncertain an
+//! estimate is given the sample actually collected. All resampling is
+//! driven by a caller-supplied seed so experiments are reproducible.
+
+use crate::error::{ensure_sample, StatsError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A percentile bootstrap confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BootstrapCi {
+    /// The statistic computed on the original sample.
+    pub point: f64,
+    /// Lower confidence bound.
+    pub lo: f64,
+    /// Upper confidence bound.
+    pub hi: f64,
+    /// Number of bootstrap replicates used.
+    pub replicates: usize,
+    /// Confidence level, e.g. `0.95`.
+    pub level: f64,
+}
+
+impl BootstrapCi {
+    /// Width of the interval.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Whether the interval contains `x`.
+    pub fn contains(&self, x: f64) -> bool {
+        (self.lo..=self.hi).contains(&x)
+    }
+}
+
+/// Computes a percentile-method bootstrap CI of `statistic` over `xs`.
+///
+/// * `replicates` — number of resamples (≥ 100 recommended).
+/// * `level` — confidence level in `(0, 1)`, e.g. `0.95`.
+/// * `seed` — RNG seed; identical inputs and seed give identical output.
+pub fn bootstrap_ci<F>(
+    xs: &[f64],
+    statistic: F,
+    replicates: usize,
+    level: f64,
+    seed: u64,
+) -> Result<BootstrapCi, StatsError>
+where
+    F: Fn(&[f64]) -> f64,
+{
+    ensure_sample(xs)?;
+    if replicates == 0 {
+        return Err(StatsError::InsufficientData { got: 0, need: 1 });
+    }
+    if !(0.0 < level && level < 1.0) {
+        return Err(StatsError::InvalidProbability(level));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = xs.len();
+    let mut resample = vec![0.0; n];
+    let mut stats = Vec::with_capacity(replicates);
+    for _ in 0..replicates {
+        for slot in resample.iter_mut() {
+            *slot = xs[rng.gen_range(0..n)];
+        }
+        let s = statistic(&resample);
+        if !s.is_finite() {
+            return Err(StatsError::NonFiniteInput);
+        }
+        stats.push(s);
+    }
+    stats.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    let alpha = (1.0 - level) / 2.0;
+    let lo = crate::quantile::quantile_sorted(&stats, alpha)?;
+    let hi = crate::quantile::quantile_sorted(&stats, 1.0 - alpha)?;
+    Ok(BootstrapCi {
+        point: statistic(xs),
+        lo,
+        hi,
+        replicates,
+        level,
+    })
+}
+
+/// Computes a percentile bootstrap CI for a statistic defined over *row
+/// indices* `0..n` — the general form needed when observations are
+/// structured (e.g. weighted CBG rates) rather than plain numbers. The
+/// statistic receives a resampled index multiset each replicate.
+pub fn bootstrap_indices_ci<F>(
+    n: usize,
+    statistic: F,
+    replicates: usize,
+    level: f64,
+    seed: u64,
+) -> Result<BootstrapCi, StatsError>
+where
+    F: Fn(&[usize]) -> f64,
+{
+    if n == 0 {
+        return Err(StatsError::EmptyInput);
+    }
+    if replicates == 0 {
+        return Err(StatsError::InsufficientData { got: 0, need: 1 });
+    }
+    if !(0.0 < level && level < 1.0) {
+        return Err(StatsError::InvalidProbability(level));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut resample = vec![0usize; n];
+    let mut stats = Vec::with_capacity(replicates);
+    for _ in 0..replicates {
+        for slot in resample.iter_mut() {
+            *slot = rng.gen_range(0..n);
+        }
+        let s = statistic(&resample);
+        if !s.is_finite() {
+            return Err(StatsError::NonFiniteInput);
+        }
+        stats.push(s);
+    }
+    stats.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    let alpha = (1.0 - level) / 2.0;
+    let lo = crate::quantile::quantile_sorted(&stats, alpha)?;
+    let hi = crate::quantile::quantile_sorted(&stats, 1.0 - alpha)?;
+    let identity: Vec<usize> = (0..n).collect();
+    Ok(BootstrapCi {
+        point: statistic(&identity),
+        lo,
+        hi,
+        replicates,
+        level,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptive::mean;
+
+    fn sample() -> Vec<f64> {
+        // Serviceability-rate-like values around 0.55.
+        (0..200)
+            .map(|i| 0.30 + 0.50 * ((i * 37 % 200) as f64 / 200.0))
+            .collect()
+    }
+
+    #[test]
+    fn ci_brackets_the_point_estimate() {
+        let xs = sample();
+        let ci = bootstrap_ci(&xs, |s| mean(s).unwrap(), 500, 0.95, 42).unwrap();
+        assert!(ci.lo <= ci.point && ci.point <= ci.hi);
+        assert!(ci.contains(ci.point));
+        assert!(ci.width() > 0.0 && ci.width() < 0.1);
+        assert_eq!(ci.replicates, 500);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let xs = sample();
+        let a = bootstrap_ci(&xs, |s| mean(s).unwrap(), 200, 0.9, 7).unwrap();
+        let b = bootstrap_ci(&xs, |s| mean(s).unwrap(), 200, 0.9, 7).unwrap();
+        assert_eq!(a, b);
+        let c = bootstrap_ci(&xs, |s| mean(s).unwrap(), 200, 0.9, 8).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn more_data_narrows_the_interval() {
+        let small: Vec<f64> = sample().into_iter().take(20).collect();
+        let big = sample();
+        let ci_small = bootstrap_ci(&small, |s| mean(s).unwrap(), 400, 0.95, 1).unwrap();
+        let ci_big = bootstrap_ci(&big, |s| mean(s).unwrap(), 400, 0.95, 1).unwrap();
+        assert!(ci_big.width() < ci_small.width());
+    }
+
+    #[test]
+    fn validation() {
+        assert!(bootstrap_ci(&[], |_| 0.0, 10, 0.9, 0).is_err());
+        assert!(bootstrap_ci(&[1.0], |_| 0.0, 0, 0.9, 0).is_err());
+        assert!(bootstrap_ci(&[1.0], |_| 0.0, 10, 1.0, 0).is_err());
+        assert!(bootstrap_ci(&[1.0], |_| f64::NAN, 10, 0.9, 0).is_err());
+    }
+
+    #[test]
+    fn indices_variant_matches_plain_variant_for_means() {
+        let xs = sample();
+        let plain = bootstrap_ci(&xs, |s| mean(s).unwrap(), 300, 0.95, 5).unwrap();
+        let indexed = bootstrap_indices_ci(
+            xs.len(),
+            |idx| idx.iter().map(|&i| xs[i]).sum::<f64>() / idx.len() as f64,
+            300,
+            0.95,
+            5,
+        )
+        .unwrap();
+        // Same point estimate; intervals similar in width (different RNG
+        // streams, so not byte-identical).
+        assert!((plain.point - indexed.point).abs() < 1e-12);
+        assert!((plain.width() - indexed.width()).abs() < plain.width());
+        assert!(indexed.contains(indexed.point));
+    }
+
+    #[test]
+    fn indices_variant_supports_weighted_statistics() {
+        // Weighted mean over (value, weight) rows — the CBG-rate use case.
+        let rows = [(1.0, 10.0), (0.0, 30.0), (0.5, 20.0)];
+        let ci = bootstrap_indices_ci(
+            rows.len(),
+            |idx| {
+                let (num, den) = idx.iter().fold((0.0, 0.0), |(n, d), &i| {
+                    (n + rows[i].0 * rows[i].1, d + rows[i].1)
+                });
+                num / den
+            },
+            400,
+            0.9,
+            7,
+        )
+        .unwrap();
+        assert!((ci.point - 20.0 / 60.0).abs() < 1e-12);
+        assert!(ci.lo >= 0.0 && ci.hi <= 1.0);
+    }
+
+    #[test]
+    fn indices_validation() {
+        assert!(bootstrap_indices_ci(0, |_| 0.0, 10, 0.9, 0).is_err());
+        assert!(bootstrap_indices_ci(3, |_| 0.0, 0, 0.9, 0).is_err());
+        assert!(bootstrap_indices_ci(3, |_| 0.0, 10, 0.0, 0).is_err());
+        assert!(bootstrap_indices_ci(3, |_| f64::NAN, 10, 0.9, 0).is_err());
+    }
+}

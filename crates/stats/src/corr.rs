@@ -1,0 +1,147 @@
+//! Correlation coefficients.
+//!
+//! Figure 3 of the paper reports "a strong correlation" between CBG
+//! serviceability rates and population density for AT&T in every state
+//! except Mississippi. We provide Pearson's r for linear association and
+//! Spearman's ρ (rank correlation with midrank tie handling) for the
+//! monotone association the figure actually shows.
+
+use crate::descriptive::mean;
+use crate::error::{ensure_finite, StatsError};
+
+fn validate_pair(xs: &[f64], ys: &[f64]) -> Result<(), StatsError> {
+    if xs.len() != ys.len() {
+        return Err(StatsError::LengthMismatch {
+            left: xs.len(),
+            right: ys.len(),
+        });
+    }
+    if xs.len() < 2 {
+        return Err(StatsError::InsufficientData {
+            got: xs.len(),
+            need: 2,
+        });
+    }
+    ensure_finite(xs)?;
+    ensure_finite(ys)
+}
+
+/// Pearson product-moment correlation coefficient.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Result<f64, StatsError> {
+    validate_pair(xs, ys)?;
+    let mx = mean(xs)?;
+    let my = mean(ys)?;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        let dx = x - mx;
+        let dy = y - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return Err(StatsError::ZeroVariance);
+    }
+    Ok(sxy / (sxx.sqrt() * syy.sqrt()))
+}
+
+/// Midranks of a sample: ties receive the average of the ranks they span.
+fn midranks(xs: &[f64]) -> Vec<f64> {
+    let n = xs.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("finite values compare"));
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && xs[order[j + 1]] == xs[order[i]] {
+            j += 1;
+        }
+        // Positions i..=j share the value; their midrank is the average of
+        // 1-based ranks i+1 ..= j+1.
+        let midrank = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = midrank;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Spearman rank correlation coefficient with midrank tie handling.
+pub fn spearman(xs: &[f64], ys: &[f64]) -> Result<f64, StatsError> {
+    validate_pair(xs, ys)?;
+    pearson(&midranks(xs), &midranks(ys))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_linear_correlation() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = ys.iter().map(|y| -y).collect();
+        assert!((pearson(&xs, &neg).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_sees_monotone_nonlinear_association() {
+        let xs: [f64; 5] = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys: Vec<f64> = xs.iter().map(|x| x.exp()).collect();
+        // Pearson < 1 for a convex curve; Spearman exactly 1.
+        assert!(pearson(&xs, &ys).unwrap() < 0.999);
+        assert!((spearman(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_handles_ties_with_midranks() {
+        let xs = [1.0, 1.0, 2.0, 3.0];
+        let ys = [10.0, 10.0, 20.0, 30.0];
+        assert!((spearman(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        // Midranks of [1,1,2,3] are [1.5, 1.5, 3, 4].
+        assert_eq!(midranks(&xs), vec![1.5, 1.5, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn uncorrelated_sample_near_zero() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [1.0, -1.0, 1.0, -1.0];
+        let r = pearson(&xs, &ys).unwrap();
+        assert!(r.abs() < 0.5, "got {r}");
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        assert!(matches!(
+            pearson(&[1.0], &[1.0]),
+            Err(StatsError::InsufficientData { .. })
+        ));
+        assert!(matches!(
+            pearson(&[1.0, 2.0], &[1.0]),
+            Err(StatsError::LengthMismatch { .. })
+        ));
+        assert_eq!(
+            pearson(&[1.0, 1.0], &[1.0, 2.0]),
+            Err(StatsError::ZeroVariance)
+        );
+        assert_eq!(
+            pearson(&[1.0, f64::NAN], &[1.0, 2.0]),
+            Err(StatsError::NonFiniteInput)
+        );
+    }
+
+    #[test]
+    fn correlation_bounded() {
+        let xs = [3.1, 4.7, 0.2, 9.9, 5.5, 2.2];
+        let ys = [0.5, 8.0, 3.3, 9.1, 1.0, 7.7];
+        let r = pearson(&xs, &ys).unwrap();
+        let rho = spearman(&xs, &ys).unwrap();
+        assert!((-1.0..=1.0).contains(&r));
+        assert!((-1.0..=1.0).contains(&rho));
+    }
+}

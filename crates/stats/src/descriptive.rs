@@ -1,0 +1,143 @@
+//! Descriptive statistics: means, variances, five-number summaries.
+
+use crate::error::{ensure_sample, StatsError};
+use crate::quantile::quantile;
+
+/// Arithmetic mean.
+pub fn mean(xs: &[f64]) -> Result<f64, StatsError> {
+    ensure_sample(xs)?;
+    Ok(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Sample variance (Bessel-corrected, `n - 1` denominator).
+///
+/// Uses Welford's online algorithm for numerical stability — speed values
+/// in the dataset span 0.5 to 5 000 Mbps and price sums can be large.
+pub fn variance(xs: &[f64]) -> Result<f64, StatsError> {
+    ensure_sample(xs)?;
+    if xs.len() < 2 {
+        return Err(StatsError::InsufficientData {
+            got: xs.len(),
+            need: 2,
+        });
+    }
+    let mut mean = 0.0;
+    let mut m2 = 0.0;
+    for (i, &x) in xs.iter().enumerate() {
+        let delta = x - mean;
+        mean += delta / (i as f64 + 1.0);
+        m2 += delta * (x - mean);
+    }
+    Ok(m2 / (xs.len() as f64 - 1.0))
+}
+
+/// Sample standard deviation.
+pub fn stddev(xs: &[f64]) -> Result<f64, StatsError> {
+    variance(xs).map(f64::sqrt)
+}
+
+/// Population variance (`n` denominator), used by the FCC-style benchmark
+/// where the urban rate survey is treated as the full population.
+pub fn population_variance(xs: &[f64]) -> Result<f64, StatsError> {
+    ensure_sample(xs)?;
+    let m = mean(xs)?;
+    Ok(xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64)
+}
+
+/// A five-number-plus summary of a sample, as printed in the repro
+/// harness's distribution rows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Minimum.
+    pub min: f64,
+    /// Lower quartile (p25).
+    pub q1: f64,
+    /// Median (p50).
+    pub median: f64,
+    /// Upper quartile (p75).
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl Summary {
+    /// Computes the summary of a sample.
+    pub fn of(xs: &[f64]) -> Result<Summary, StatsError> {
+        ensure_sample(xs)?;
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        Ok(Summary {
+            n: sorted.len(),
+            min: sorted[0],
+            q1: quantile(&sorted, 0.25)?,
+            median: quantile(&sorted, 0.5)?,
+            q3: quantile(&sorted, 0.75)?,
+            max: sorted[sorted.len() - 1],
+            mean: mean(&sorted)?,
+        })
+    }
+
+    /// Interquartile range.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_known_sample() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0, 4.0]).unwrap(), 2.5);
+        assert_eq!(mean(&[]), Err(StatsError::EmptyInput));
+    }
+
+    #[test]
+    fn variance_matches_textbook() {
+        // Var([2, 4, 4, 4, 5, 5, 7, 9]) sample = 32/7.
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((variance(&xs).unwrap() - 32.0 / 7.0).abs() < 1e-12);
+        assert!((population_variance(&xs).unwrap() - 4.0).abs() < 1e-12);
+        assert!((stddev(&xs).unwrap() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_needs_two_points() {
+        assert_eq!(
+            variance(&[1.0]),
+            Err(StatsError::InsufficientData { got: 1, need: 2 })
+        );
+    }
+
+    #[test]
+    fn variance_is_stable_for_large_offsets() {
+        // Classic catastrophic-cancellation case: tiny variance on a large
+        // offset. Welford keeps full precision.
+        let xs = [1e9 + 4.0, 1e9 + 7.0, 1e9 + 13.0, 1e9 + 16.0];
+        assert!((variance(&xs).unwrap() - 30.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn summary_of_unsorted_input() {
+        let s = Summary::of(&[5.0, 1.0, 3.0, 2.0, 4.0]).unwrap();
+        assert_eq!(s.n, 5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.q1, 2.0);
+        assert_eq!(s.q3, 4.0);
+        assert_eq!(s.iqr(), 2.0);
+    }
+
+    #[test]
+    fn nan_rejected() {
+        assert_eq!(mean(&[1.0, f64::NAN]), Err(StatsError::NonFiniteInput));
+        assert_eq!(Summary::of(&[f64::INFINITY]), Err(StatsError::NonFiniteInput));
+    }
+}

@@ -1,0 +1,158 @@
+//! Empirical cumulative distribution functions.
+//!
+//! Nine of the paper's figures are CDFs (addresses per census block,
+//! serviceability-rate distributions, speed distributions, query-time
+//! distributions, coverage fractions). [`Ecdf`] stores a sorted sample and
+//! answers `F(x)` queries; [`Ecdf::series`] emits the evenly-spaced
+//! `(x, F(x))` rows the repro harness prints for each figure.
+
+use crate::error::{ensure_sample, StatsError};
+use crate::quantile::quantile_sorted;
+
+/// An empirical CDF over a finite sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds an ECDF from a sample (unsorted, non-empty, finite).
+    pub fn new(xs: &[f64]) -> Result<Ecdf, StatsError> {
+        ensure_sample(xs)?;
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        Ok(Ecdf { sorted })
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Always false: construction rejects empty samples.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// `F(x)` — the fraction of observations `≤ x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        // partition_point returns the number of elements < the predicate
+        // boundary; we want count of elements <= x.
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// The inverse CDF (quantile function) at level `p`.
+    pub fn inverse(&self, p: f64) -> Result<f64, StatsError> {
+        quantile_sorted(&self.sorted, p)
+    }
+
+    /// Minimum observation.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Maximum observation.
+    pub fn max(&self) -> f64 {
+        self.sorted[self.sorted.len() - 1]
+    }
+
+    /// The sorted sample.
+    pub fn values(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Emits `points` evenly-spaced `(x, F(x))` pairs spanning the sample
+    /// range — the series a figure plots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points < 2`.
+    pub fn series(&self, points: usize) -> Vec<(f64, f64)> {
+        assert!(points >= 2, "a CDF series needs at least two points");
+        let (lo, hi) = (self.min(), self.max());
+        let span = hi - lo;
+        (0..points)
+            .map(|i| {
+                let x = lo + span * i as f64 / (points - 1) as f64;
+                (x, self.eval(x))
+            })
+            .collect()
+    }
+
+    /// Emits the exact step-function support: one `(x, F(x))` pair per
+    /// distinct observation. Preferred for small discrete samples (e.g.
+    /// speed tiers).
+    pub fn steps(&self) -> Vec<(f64, f64)> {
+        let mut out: Vec<(f64, f64)> = Vec::new();
+        for &x in &self.sorted {
+            match out.last_mut() {
+                Some(last) if last.0 == x => last.1 = self.eval(x),
+                _ => out.push((x, self.eval(x))),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_matches_definition() {
+        let e = Ecdf::new(&[1.0, 2.0, 2.0, 3.0]).unwrap();
+        assert_eq!(e.eval(0.5), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(2.0), 0.75);
+        assert_eq!(e.eval(2.5), 0.75);
+        assert_eq!(e.eval(3.0), 1.0);
+        assert_eq!(e.eval(99.0), 1.0);
+    }
+
+    #[test]
+    fn series_endpoints_cover_the_range() {
+        let e = Ecdf::new(&[10.0, 20.0, 30.0]).unwrap();
+        let s = e.series(5);
+        assert_eq!(s.len(), 5);
+        assert_eq!(s[0].0, 10.0);
+        assert_eq!(s[4].0, 30.0);
+        assert_eq!(s[4].1, 1.0);
+        // Monotone non-decreasing in both coordinates.
+        for w in s.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+            assert!(w[1].1 >= w[0].1);
+        }
+    }
+
+    #[test]
+    fn steps_deduplicates() {
+        let e = Ecdf::new(&[1.0, 1.0, 2.0]).unwrap();
+        let steps = e.steps();
+        assert_eq!(steps, vec![(1.0, 2.0 / 3.0), (2.0, 1.0)]);
+    }
+
+    #[test]
+    fn inverse_is_the_quantile_function() {
+        let e = Ecdf::new(&[4.0, 1.0, 3.0, 2.0]).unwrap();
+        assert_eq!(e.inverse(0.0).unwrap(), 1.0);
+        assert_eq!(e.inverse(1.0).unwrap(), 4.0);
+        assert_eq!(e.inverse(0.5).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert_eq!(Ecdf::new(&[]), Err(StatsError::EmptyInput));
+        assert_eq!(Ecdf::new(&[f64::NAN]), Err(StatsError::NonFiniteInput));
+    }
+
+    #[test]
+    fn degenerate_single_point_sample() {
+        let e = Ecdf::new(&[5.0]).unwrap();
+        assert_eq!(e.eval(5.0), 1.0);
+        assert_eq!(e.eval(4.9), 0.0);
+        let s = e.series(3);
+        assert_eq!(s.len(), 3);
+        assert!(s.iter().all(|&(x, f)| x == 5.0 && f == 1.0));
+    }
+}

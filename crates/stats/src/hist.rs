@@ -1,0 +1,192 @@
+//! Histograms.
+//!
+//! Used for the speed-tier tables (Table 1 buckets advertised speeds into
+//! `0`, `<10`, `10`, `11–99`, `100–999`, `1000+` Mbps bands) and for the
+//! density-decile analysis behind Figure 3.
+
+use crate::error::{ensure_finite, StatsError};
+
+/// A histogram over explicit, strictly-increasing bin edges.
+///
+/// With edges `[e0, e1, …, en]` there are `n` bins; bin `i` covers
+/// `[eᵢ, eᵢ₊₁)` except the last, which is closed: `[eₙ₋₁, eₙ]`. Values
+/// outside `[e0, eₙ]` are counted separately as underflow/overflow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    edges: Vec<f64>,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram with the given edges.
+    pub fn with_edges(edges: &[f64]) -> Result<Histogram, StatsError> {
+        ensure_finite(edges)?;
+        if edges.len() < 2 || edges.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(StatsError::InvalidBins);
+        }
+        Ok(Histogram {
+            edges: edges.to_vec(),
+            counts: vec![0; edges.len() - 1],
+            underflow: 0,
+            overflow: 0,
+        })
+    }
+
+    /// Creates an empty histogram with `bins` equal-width bins over
+    /// `[lo, hi]`.
+    pub fn uniform(lo: f64, hi: f64, bins: usize) -> Result<Histogram, StatsError> {
+        if bins == 0 || !lo.is_finite() || !hi.is_finite() || lo >= hi {
+            return Err(StatsError::InvalidBins);
+        }
+        let edges: Vec<f64> = (0..=bins)
+            .map(|i| lo + (hi - lo) * i as f64 / bins as f64)
+            .collect();
+        Histogram::with_edges(&edges)
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, x: f64) {
+        if !x.is_finite() {
+            // Non-finite observations are counted as overflow rather than
+            // silently dropped, so totals always reconcile.
+            self.overflow += 1;
+            return;
+        }
+        let n = self.edges.len();
+        if x < self.edges[0] {
+            self.underflow += 1;
+        } else if x > self.edges[n - 1] {
+            self.overflow += 1;
+        } else if x == self.edges[n - 1] {
+            // Last bin is closed on the right.
+            self.counts[n - 2] += 1;
+        } else {
+            // partition_point gives the index of the first edge > x; the bin
+            // is one before it.
+            let idx = self.edges.partition_point(|&e| e <= x) - 1;
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Adds every observation in `xs`.
+    pub fn extend(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.add(x);
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Bin edges.
+    pub fn edges(&self) -> &[f64] {
+        &self.edges
+    }
+
+    /// Observations below the first edge.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations above the last edge (including non-finite inputs).
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations, including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Per-bin fractions of in-range observations. Returns zeros if the
+    /// histogram is empty.
+    pub fn fractions(&self) -> Vec<f64> {
+        let in_range: u64 = self.counts.iter().sum();
+        if in_range == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / in_range as f64)
+            .collect()
+    }
+
+    /// Iterates over `(lo, hi, count)` for every bin.
+    pub fn iter_bins(&self) -> impl Iterator<Item = (f64, f64, u64)> + '_ {
+        self.edges
+            .windows(2)
+            .zip(self.counts.iter())
+            .map(|(w, &c)| (w[0], w[1], c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_are_half_open_except_last() {
+        let mut h = Histogram::with_edges(&[0.0, 10.0, 100.0]).unwrap();
+        h.extend(&[0.0, 9.999, 10.0, 50.0, 100.0]);
+        assert_eq!(h.counts(), &[2, 3]);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn under_and_overflow_tracked() {
+        let mut h = Histogram::with_edges(&[0.0, 1.0]).unwrap();
+        h.extend(&[-1.0, 0.5, 2.0, f64::NAN]);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.counts(), &[1]);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn uniform_edges() {
+        let h = Histogram::uniform(0.0, 10.0, 5).unwrap();
+        assert_eq!(h.edges(), &[0.0, 2.0, 4.0, 6.0, 8.0, 10.0]);
+        assert!(Histogram::uniform(0.0, 0.0, 5).is_err());
+        assert!(Histogram::uniform(0.0, 1.0, 0).is_err());
+    }
+
+    #[test]
+    fn speed_tier_bucketing_like_table_1() {
+        // The Table-1 bands: 0, (0,10), [10,11), [11,100), [100,1000), 1000+.
+        let mut h =
+            Histogram::with_edges(&[0.0, 0.001, 10.0, 11.0, 100.0, 1_000.0, 10_000.0]).unwrap();
+        for speed in [0.0, 0.768, 5.0, 10.0, 25.0, 100.0, 5_000.0] {
+            h.add(speed);
+        }
+        assert_eq!(h.counts(), &[1, 2, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn fractions_sum_to_one_when_in_range() {
+        let mut h = Histogram::uniform(0.0, 1.0, 4).unwrap();
+        h.extend(&[0.1, 0.3, 0.6, 0.9]);
+        let f = h.fractions();
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_edges_rejected() {
+        assert!(Histogram::with_edges(&[]).is_err());
+        assert!(Histogram::with_edges(&[1.0]).is_err());
+        assert!(Histogram::with_edges(&[1.0, 1.0]).is_err());
+        assert!(Histogram::with_edges(&[2.0, 1.0]).is_err());
+        assert!(Histogram::with_edges(&[0.0, f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn iter_bins_matches_layout() {
+        let mut h = Histogram::with_edges(&[0.0, 1.0, 2.0]).unwrap();
+        h.add(0.5);
+        let bins: Vec<_> = h.iter_bins().collect();
+        assert_eq!(bins, vec![(0.0, 1.0, 1), (1.0, 2.0, 0)]);
+    }
+}

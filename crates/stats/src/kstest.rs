@@ -1,0 +1,155 @@
+//! Two-sample Kolmogorov–Smirnov test.
+//!
+//! Figure 6a of the paper contrasts the *distributions* of CAF speeds in
+//! Type A vs Type B blocks; "the medians differ" is a weaker statement
+//! than "the distributions differ". The two-sample KS test supplies the
+//! quantitative version: the maximum ECDF gap plus an asymptotic p-value
+//! (Smirnov's series), adequate at the paper's sample sizes.
+
+use crate::error::{ensure_sample, StatsError};
+
+/// The result of a two-sample KS test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KsTest {
+    /// The KS statistic: the supremum distance between the two ECDFs.
+    pub statistic: f64,
+    /// Asymptotic two-sided p-value.
+    pub p_value: f64,
+    /// Sizes of the two samples.
+    pub n: (usize, usize),
+}
+
+impl KsTest {
+    /// Whether the distributions differ at the given significance level.
+    pub fn rejects_equality(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Runs the two-sample KS test on unsorted samples.
+pub fn ks_two_sample(xs: &[f64], ys: &[f64]) -> Result<KsTest, StatsError> {
+    ensure_sample(xs)?;
+    ensure_sample(ys)?;
+    let mut a = xs.to_vec();
+    let mut b = ys.to_vec();
+    a.sort_by(|p, q| p.partial_cmp(q).expect("finite values compare"));
+    b.sort_by(|p, q| p.partial_cmp(q).expect("finite values compare"));
+
+    // Sweep the merged order, tracking the ECDF gap.
+    let (n, m) = (a.len(), b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    while i < n && j < m {
+        let x = a[i].min(b[j]);
+        while i < n && a[i] <= x {
+            i += 1;
+        }
+        while j < m && b[j] <= x {
+            j += 1;
+        }
+        let fa = i as f64 / n as f64;
+        let fb = j as f64 / m as f64;
+        d = d.max((fa - fb).abs());
+    }
+
+    // Asymptotic p-value: Q_KS(sqrt(en) * d) with the Smirnov series,
+    // using the standard finite-sample correction.
+    let en = ((n * m) as f64 / (n + m) as f64).sqrt();
+    let lambda = (en + 0.12 + 0.11 / en) * d;
+    let p_value = smirnov_q(lambda);
+    Ok(KsTest {
+        statistic: d,
+        p_value,
+        n: (n, m),
+    })
+}
+
+/// The Kolmogorov–Smirnov survival function
+/// `Q(λ) = 2 Σ_{k≥1} (-1)^{k-1} e^{-2 k² λ²}`.
+fn smirnov_q(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64).powi(2) * lambda * lambda).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-12 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64)
+            .collect()
+    }
+
+    #[test]
+    fn identical_samples_do_not_reject() {
+        let xs = linspace(0.0, 1.0, 200);
+        let t = ks_two_sample(&xs, &xs).unwrap();
+        assert!(t.statistic < 1e-9);
+        assert!(t.p_value > 0.99);
+        assert!(!t.rejects_equality(0.05));
+        assert_eq!(t.n, (200, 200));
+    }
+
+    #[test]
+    fn shifted_samples_reject() {
+        let xs = linspace(0.0, 1.0, 300);
+        let ys = linspace(0.5, 1.5, 300);
+        let t = ks_two_sample(&xs, &ys).unwrap();
+        assert!(t.statistic > 0.45, "D {}", t.statistic);
+        assert!(t.p_value < 1e-6);
+        assert!(t.rejects_equality(0.01));
+    }
+
+    #[test]
+    fn small_shift_needs_big_samples() {
+        let xs = linspace(0.0, 1.0, 30);
+        let ys = linspace(0.05, 1.05, 30);
+        let small = ks_two_sample(&xs, &ys).unwrap();
+        assert!(!small.rejects_equality(0.01), "p {}", small.p_value);
+        let xs = linspace(0.0, 1.0, 3_000);
+        let ys = linspace(0.05, 1.05, 3_000);
+        let big = ks_two_sample(&xs, &ys).unwrap();
+        assert!(big.rejects_equality(0.01), "p {}", big.p_value);
+    }
+
+    #[test]
+    fn statistic_is_symmetric_and_bounded() {
+        let xs = [1.0, 5.0, 9.0, 2.0];
+        let ys = [3.0, 3.5, 10.0];
+        let a = ks_two_sample(&xs, &ys).unwrap();
+        let b = ks_two_sample(&ys, &xs).unwrap();
+        assert!((a.statistic - b.statistic).abs() < 1e-12);
+        assert!((0.0..=1.0).contains(&a.statistic));
+        assert!((0.0..=1.0).contains(&a.p_value));
+    }
+
+    #[test]
+    fn known_value_spot_check() {
+        // Disjoint supports: D must be 1.0 and p tiny for decent n.
+        let xs = linspace(0.0, 1.0, 50);
+        let ys = linspace(2.0, 3.0, 50);
+        let t = ks_two_sample(&xs, &ys).unwrap();
+        assert!((t.statistic - 1.0).abs() < 1e-12);
+        assert!(t.p_value < 1e-9);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(ks_two_sample(&[], &[1.0]).is_err());
+        assert!(ks_two_sample(&[1.0], &[]).is_err());
+        assert!(ks_two_sample(&[f64::NAN], &[1.0]).is_err());
+    }
+}

@@ -1,0 +1,129 @@
+//! Interpolated quantiles.
+//!
+//! The paper reports medians and 80th percentiles of download-speed
+//! improvements (Figure 4c: "the median percentage increase is 75 % and the
+//! 80th percentile … is 400 %"). We use the linear-interpolation definition
+//! (Hyndman–Fan type 7, the default in R and NumPy) so results are
+//! comparable with the Python analyses the paper's scripts would have used.
+
+use crate::error::{ensure_sample, StatsError};
+
+/// The `p`-quantile of a sample by linear interpolation (type 7).
+///
+/// Accepts unsorted input; `p` must lie in `[0, 1]`.
+pub fn quantile(xs: &[f64], p: f64) -> Result<f64, StatsError> {
+    ensure_sample(xs)?;
+    if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+        return Err(StatsError::InvalidProbability(p));
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    Ok(quantile_sorted_unchecked(&sorted, p))
+}
+
+/// The `p`-quantile of an already-sorted sample; skips sorting.
+///
+/// Used in inner loops (per-CBG aggregation over hundreds of thousands of
+/// addresses) where the caller maintains sort order.
+pub fn quantile_sorted(sorted: &[f64], p: f64) -> Result<f64, StatsError> {
+    ensure_sample(sorted)?;
+    if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+        return Err(StatsError::InvalidProbability(p));
+    }
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "quantile_sorted requires sorted input"
+    );
+    Ok(quantile_sorted_unchecked(sorted, p))
+}
+
+fn quantile_sorted_unchecked(sorted: &[f64], p: f64) -> f64 {
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let h = p * (n as f64 - 1.0);
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = h - lo as f64;
+        sorted[lo] + frac * (sorted[hi] - sorted[lo])
+    }
+}
+
+/// The sample median.
+pub fn median(xs: &[f64]) -> Result<f64, StatsError> {
+    quantile(xs, 0.5)
+}
+
+/// Evaluates the quantile function at each of `levels`, sorting once.
+pub fn quantiles(xs: &[f64], levels: &[f64]) -> Result<Vec<f64>, StatsError> {
+    ensure_sample(xs)?;
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    levels
+        .iter()
+        .map(|&p| quantile_sorted(&sorted, p))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]).unwrap(), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]).unwrap(), 2.5);
+        assert_eq!(median(&[7.0]).unwrap(), 7.0);
+    }
+
+    #[test]
+    fn matches_numpy_type7() {
+        // numpy.percentile([1,2,3,4], 30) == 1.9
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((quantile(&xs, 0.30).unwrap() - 1.9).abs() < 1e-12);
+        assert_eq!(quantile(&xs, 0.0).unwrap(), 1.0);
+        assert_eq!(quantile(&xs, 1.0).unwrap(), 4.0);
+    }
+
+    #[test]
+    fn invalid_levels_rejected() {
+        let xs = [1.0, 2.0];
+        assert!(matches!(
+            quantile(&xs, -0.1),
+            Err(StatsError::InvalidProbability(_))
+        ));
+        assert!(matches!(
+            quantile(&xs, 1.1),
+            Err(StatsError::InvalidProbability(_))
+        ));
+        assert!(matches!(
+            quantile(&xs, f64::NAN),
+            Err(StatsError::InvalidProbability(_))
+        ));
+    }
+
+    #[test]
+    fn quantiles_batch_matches_single() {
+        let xs = [5.0, 3.0, 8.0, 1.0, 9.0, 2.0];
+        let levels = [0.1, 0.5, 0.8];
+        let batch = quantiles(&xs, &levels).unwrap();
+        for (i, &p) in levels.iter().enumerate() {
+            assert_eq!(batch[i], quantile(&xs, p).unwrap());
+        }
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_p() {
+        let xs = [2.0, 7.0, 1.0, 9.0, 4.0, 4.0, 6.0];
+        let mut last = f64::NEG_INFINITY;
+        for i in 0..=20 {
+            let q = quantile(&xs, i as f64 / 20.0).unwrap();
+            assert!(q >= last);
+            last = q;
+        }
+    }
+}

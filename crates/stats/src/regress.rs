@@ -1,0 +1,127 @@
+//! Simple ordinary-least-squares regression.
+//!
+//! Supports the density-vs-serviceability trend lines of Figure 3. A full
+//! linear-model framework is out of scope; the paper only needs slope,
+//! intercept, and goodness of fit for a single predictor.
+
+use crate::corr::pearson;
+use crate::descriptive::mean;
+use crate::error::{ensure_finite, StatsError};
+
+/// The result of fitting `y ≈ slope · x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OlsFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination (square of Pearson's r).
+    pub r_squared: f64,
+    /// Number of observations.
+    pub n: usize,
+}
+
+impl OlsFit {
+    /// The fitted value at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// Fits a univariate OLS regression of `ys` on `xs`.
+pub fn ols(xs: &[f64], ys: &[f64]) -> Result<OlsFit, StatsError> {
+    if xs.len() != ys.len() {
+        return Err(StatsError::LengthMismatch {
+            left: xs.len(),
+            right: ys.len(),
+        });
+    }
+    if xs.len() < 2 {
+        return Err(StatsError::InsufficientData {
+            got: xs.len(),
+            need: 2,
+        });
+    }
+    ensure_finite(xs)?;
+    ensure_finite(ys)?;
+    let mx = mean(xs)?;
+    let my = mean(ys)?;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+    }
+    if sxx == 0.0 {
+        return Err(StatsError::ZeroVariance);
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    // r² is 0 when y is constant (the fit explains a degenerate target
+    // perfectly but r is undefined; report 1.0 for an exact constant fit).
+    let r_squared = match pearson(xs, ys) {
+        Ok(r) => r * r,
+        Err(StatsError::ZeroVariance) => 1.0,
+        Err(e) => return Err(e),
+    };
+    Ok(OlsFit {
+        slope,
+        intercept,
+        r_squared,
+        n: xs.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x - 2.0).collect();
+        let fit = ols(&xs, &ys).unwrap();
+        assert!((fit.slope - 3.0).abs() < 1e-12);
+        assert!((fit.intercept + 2.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+        assert_eq!(fit.n, 4);
+        assert!((fit.predict(10.0) - 28.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_has_lower_r_squared() {
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys = [0.1, 1.4, 1.8, 3.3, 3.9, 5.2];
+        let fit = ols(&xs, &ys).unwrap();
+        assert!(fit.r_squared > 0.95 && fit.r_squared < 1.0);
+        assert!((fit.slope - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn constant_y_is_a_perfect_flat_fit() {
+        let fit = ols(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]).unwrap();
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.intercept, 5.0);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+
+    #[test]
+    fn constant_x_rejected() {
+        assert_eq!(
+            ols(&[1.0, 1.0], &[1.0, 2.0]),
+            Err(StatsError::ZeroVariance)
+        );
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(matches!(
+            ols(&[1.0], &[1.0]),
+            Err(StatsError::InsufficientData { .. })
+        ));
+        assert!(matches!(
+            ols(&[1.0, 2.0, 3.0], &[1.0]),
+            Err(StatsError::LengthMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,146 @@
+//! Weighted statistics.
+//!
+//! The paper's headline rates are *weighted* aggregates: "when reporting
+//! results at coarser granularities … we weight the serviceability rate at
+//! the block group level with the total number of CAF addresses for the
+//! CBG" (§4.1). This module implements weighted means and weighted
+//! quantiles over `(value, weight)` samples.
+
+use crate::error::StatsError;
+
+/// A value paired with a non-negative weight.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightedSample {
+    /// The observed value (e.g. a CBG's serviceability rate).
+    pub value: f64,
+    /// The weight (e.g. the CBG's total CAF address count).
+    pub weight: f64,
+}
+
+impl WeightedSample {
+    /// Convenience constructor.
+    pub fn new(value: f64, weight: f64) -> WeightedSample {
+        WeightedSample { value, weight }
+    }
+}
+
+fn validate(samples: &[WeightedSample]) -> Result<f64, StatsError> {
+    if samples.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    let mut total = 0.0;
+    for s in samples {
+        if !s.value.is_finite() || !s.weight.is_finite() {
+            return Err(StatsError::NonFiniteInput);
+        }
+        if s.weight < 0.0 {
+            return Err(StatsError::InvalidWeights);
+        }
+        total += s.weight;
+    }
+    if total <= 0.0 {
+        return Err(StatsError::InvalidWeights);
+    }
+    Ok(total)
+}
+
+/// Weighted arithmetic mean: `Σ wᵢ xᵢ / Σ wᵢ`.
+///
+/// This is exactly the paper's aggregation of CBG-level rates into state,
+/// ISP, and national rates.
+pub fn weighted_mean(samples: &[WeightedSample]) -> Result<f64, StatsError> {
+    let total = validate(samples)?;
+    Ok(samples.iter().map(|s| s.value * s.weight).sum::<f64>() / total)
+}
+
+/// Weighted `p`-quantile using the cumulative-weight definition: the
+/// smallest value `x` such that the cumulative weight of samples `≤ x` is
+/// at least `p · Σw`. Zero-weight samples never influence the result.
+pub fn weighted_quantile(samples: &[WeightedSample], p: f64) -> Result<f64, StatsError> {
+    let total = validate(samples)?;
+    if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+        return Err(StatsError::InvalidProbability(p));
+    }
+    let mut sorted: Vec<WeightedSample> = samples.iter().copied().filter(|s| s.weight > 0.0).collect();
+    sorted.sort_by(|a, b| a.value.partial_cmp(&b.value).expect("finite values compare"));
+    let threshold = p * total;
+    let mut cum = 0.0;
+    for s in &sorted {
+        cum += s.weight;
+        if cum >= threshold {
+            return Ok(s.value);
+        }
+    }
+    Ok(sorted.last().expect("validated non-empty with positive weight").value)
+}
+
+/// Weighted median (`p = 0.5`).
+pub fn weighted_median(samples: &[WeightedSample]) -> Result<f64, StatsError> {
+    weighted_quantile(samples, 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws(pairs: &[(f64, f64)]) -> Vec<WeightedSample> {
+        pairs.iter().map(|&(v, w)| WeightedSample::new(v, w)).collect()
+    }
+
+    #[test]
+    fn weighted_mean_matches_hand_computation() {
+        // The paper's example shape: two CBGs, rates 100 % and 0 %, with
+        // 10 and 30 CAF addresses — aggregate must be 25 %, not 50 %.
+        let samples = ws(&[(1.0, 10.0), (0.0, 30.0)]);
+        assert!((weighted_mean(&samples).unwrap() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_weights_reduce_to_plain_mean() {
+        let samples = ws(&[(1.0, 1.0), (2.0, 1.0), (6.0, 1.0)]);
+        assert!((weighted_mean(&samples).unwrap() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_quantile_respects_weights() {
+        // 90 % of the weight sits at 1.0.
+        let samples = ws(&[(1.0, 90.0), (100.0, 10.0)]);
+        assert_eq!(weighted_median(&samples).unwrap(), 1.0);
+        assert_eq!(weighted_quantile(&samples, 0.95).unwrap(), 100.0);
+    }
+
+    #[test]
+    fn zero_weight_samples_are_ignored() {
+        let samples = ws(&[(5.0, 0.0), (1.0, 1.0)]);
+        assert_eq!(weighted_median(&samples).unwrap(), 1.0);
+        assert_eq!(weighted_quantile(&samples, 1.0).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        assert_eq!(weighted_mean(&[]), Err(StatsError::EmptyInput));
+        assert_eq!(
+            weighted_mean(&ws(&[(1.0, -1.0)])),
+            Err(StatsError::InvalidWeights)
+        );
+        assert_eq!(
+            weighted_mean(&ws(&[(1.0, 0.0)])),
+            Err(StatsError::InvalidWeights)
+        );
+        assert_eq!(
+            weighted_mean(&ws(&[(f64::NAN, 1.0)])),
+            Err(StatsError::NonFiniteInput)
+        );
+        assert!(matches!(
+            weighted_quantile(&ws(&[(1.0, 1.0)]), 2.0),
+            Err(StatsError::InvalidProbability(_))
+        ));
+    }
+
+    #[test]
+    fn quantile_extremes() {
+        let samples = ws(&[(3.0, 1.0), (1.0, 1.0), (2.0, 1.0)]);
+        assert_eq!(weighted_quantile(&samples, 0.0).unwrap(), 1.0);
+        assert_eq!(weighted_quantile(&samples, 1.0).unwrap(), 3.0);
+    }
+}

@@ -1,0 +1,268 @@
+//! Sampling from the distributions the synthetic world needs.
+//!
+//! The `rand` crate provides uniform sampling only; the distribution shapes
+//! the paper's data exhibits (heavy-tailed addresses-per-block counts,
+//! lognormal query times, beta-distributed per-CBG serviceability) are
+//! implemented here directly. All samplers take `&mut impl Rng` so they
+//! compose with the entity-keyed RNGs in [`crate::rng`].
+
+use rand::Rng;
+
+/// A standard normal draw via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid u1 == 0 which would take ln(0).
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// A normal draw with the given mean and standard deviation.
+///
+/// # Panics
+///
+/// Panics if `std_dev` is negative or non-finite.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    assert!(std_dev >= 0.0 && std_dev.is_finite(), "invalid std dev");
+    mean + std_dev * standard_normal(rng)
+}
+
+/// A lognormal draw: `exp(N(mu, sigma))`.
+///
+/// `mu`/`sigma` are the parameters of the underlying normal, so the median
+/// of the draw is `exp(mu)`.
+pub fn lognormal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+/// A Gamma(shape, 1) draw via the Marsaglia–Tsang squeeze method,
+/// with the Ahrens–Dieter boost for shape < 1.
+///
+/// # Panics
+///
+/// Panics if `shape` is not positive and finite.
+pub fn gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64) -> f64 {
+    assert!(shape > 0.0 && shape.is_finite(), "invalid gamma shape");
+    if shape < 1.0 {
+        // Boost: Gamma(a) = Gamma(a+1) * U^(1/a).
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        return gamma(rng, shape + 1.0) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+/// A Beta(alpha, beta) draw via two gamma draws.
+///
+/// # Panics
+///
+/// Panics if either parameter is not positive and finite.
+pub fn beta<R: Rng + ?Sized>(rng: &mut R, alpha: f64, b: f64) -> f64 {
+    let x = gamma(rng, alpha);
+    let y = gamma(rng, b);
+    x / (x + y)
+}
+
+/// A Beta draw parameterized by mean and concentration: alpha = mean·kappa,
+/// beta = (1 − mean)·kappa. Used for per-CBG serviceability rates around a
+/// state-ISP base rate. Means at the boundary return the boundary exactly.
+///
+/// # Panics
+///
+/// Panics if `mean` is outside `[0, 1]` or `kappa` is not positive.
+pub fn beta_mean_conc<R: Rng + ?Sized>(rng: &mut R, mean: f64, kappa: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&mean), "mean outside [0,1]");
+    assert!(kappa > 0.0 && kappa.is_finite(), "invalid concentration");
+    if mean == 0.0 {
+        return 0.0;
+    }
+    if mean == 1.0 {
+        return 1.0;
+    }
+    beta(rng, mean * kappa, (1.0 - mean) * kappa)
+}
+
+/// A draw from a discrete distribution given non-negative weights; returns
+/// the chosen index. Weights need not sum to one.
+///
+/// # Panics
+///
+/// Panics if `weights` is empty, contains a negative/non-finite value, or
+/// sums to zero.
+pub fn categorical<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    assert!(!weights.is_empty(), "empty categorical");
+    let total: f64 = weights
+        .iter()
+        .map(|&w| {
+            assert!(w >= 0.0 && w.is_finite(), "invalid categorical weight {w}");
+            w
+        })
+        .sum();
+    assert!(total > 0.0, "categorical weights sum to zero");
+    let mut t = rng.gen_range(0.0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if t < w {
+            return i;
+        }
+        t -= w;
+    }
+    weights.len() - 1 // floating-point slack lands on the last bucket
+}
+
+/// A draw from a bounded Pareto-like (power-law) distribution on
+/// `[min, max]` with tail exponent `alpha > 0`; heavier tails for smaller
+/// alpha. Matches the paper's addresses-per-census-block shape (range 1 to
+/// over 5 000, median in the tens).
+///
+/// # Panics
+///
+/// Panics if `min >= max`, `min <= 0`, or `alpha` is not positive.
+pub fn bounded_pareto<R: Rng + ?Sized>(rng: &mut R, min: f64, max: f64, alpha: f64) -> f64 {
+    assert!(min > 0.0 && min < max, "invalid pareto bounds");
+    assert!(alpha > 0.0 && alpha.is_finite(), "invalid pareto alpha");
+    let u: f64 = rng.gen_range(0.0..1.0);
+    let ha = max.powf(-alpha);
+    let la = min.powf(-alpha);
+    (ha + u * (la - ha)).powf(-1.0 / alpha)
+}
+
+/// A Bernoulli draw.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]`.
+pub fn bernoulli<R: Rng + ?Sized>(rng: &mut R, p: f64) -> bool {
+    assert!((0.0..=1.0).contains(&p), "probability outside [0,1]");
+    rng.gen_range(0.0..1.0) < p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(12345)
+    }
+
+    fn sample<F: FnMut(&mut StdRng) -> f64>(n: usize, mut f: F) -> Vec<f64> {
+        let mut r = rng();
+        (0..n).map(|_| f(&mut r)).collect()
+    }
+
+    fn mean_of(xs: &[f64]) -> f64 {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+
+    #[test]
+    fn normal_moments() {
+        let xs = sample(20_000, |r| normal(r, 5.0, 2.0));
+        let m = mean_of(&xs);
+        let v = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((m - 5.0).abs() < 0.06, "mean {m}");
+        assert!((v - 4.0).abs() < 0.2, "var {v}");
+    }
+
+    #[test]
+    fn lognormal_median_is_exp_mu() {
+        let mut xs = sample(20_000, |r| lognormal(r, 2.0, 0.8));
+        xs.sort_by(|a, b| a.total_cmp(b));
+        let median = xs[xs.len() / 2];
+        assert!((median - 2.0f64.exp()).abs() < 0.3, "median {median}");
+        assert!(xs.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn gamma_mean_equals_shape() {
+        for shape in [0.5, 1.0, 3.0, 10.0] {
+            let xs = sample(20_000, |r| gamma(r, shape));
+            let m = mean_of(&xs);
+            assert!((m - shape).abs() < 0.15 * shape.max(1.0), "shape {shape} mean {m}");
+            assert!(xs.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn beta_mean_and_bounds() {
+        let xs = sample(20_000, |r| beta(r, 2.0, 6.0));
+        let m = mean_of(&xs);
+        assert!((m - 0.25).abs() < 0.01, "mean {m}");
+        assert!(xs.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn beta_mean_conc_targets_mean() {
+        for target in [0.18, 0.55, 0.90] {
+            let xs = sample(20_000, |r| beta_mean_conc(r, target, 12.0));
+            let m = mean_of(&xs);
+            assert!((m - target).abs() < 0.02, "target {target} mean {m}");
+        }
+        assert_eq!(beta_mean_conc(&mut rng(), 0.0, 5.0), 0.0);
+        assert_eq!(beta_mean_conc(&mut rng(), 1.0, 5.0), 1.0);
+    }
+
+    #[test]
+    fn categorical_frequencies_match_weights() {
+        let weights = [1.0, 3.0, 6.0];
+        let mut counts = [0usize; 3];
+        let mut r = rng();
+        for _ in 0..30_000 {
+            counts[categorical(&mut r, &weights)] += 1;
+        }
+        assert!((counts[0] as f64 / 30_000.0 - 0.1).abs() < 0.01);
+        assert!((counts[1] as f64 / 30_000.0 - 0.3).abs() < 0.01);
+        assert!((counts[2] as f64 / 30_000.0 - 0.6).abs() < 0.01);
+    }
+
+    #[test]
+    fn categorical_zero_weight_never_chosen() {
+        let mut r = rng();
+        for _ in 0..1_000 {
+            assert_ne!(categorical(&mut r, &[1.0, 0.0, 1.0]), 1);
+        }
+    }
+
+    #[test]
+    fn bounded_pareto_respects_bounds_and_skew() {
+        let xs = sample(20_000, |r| bounded_pareto(r, 1.0, 5_000.0, 0.6));
+        assert!(xs.iter().all(|&x| (1.0..=5_000.0).contains(&x)));
+        let mut sorted = xs.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let median = sorted[sorted.len() / 2];
+        let mean = mean_of(&xs);
+        // Heavy right tail: mean far above median.
+        assert!(mean > 2.0 * median, "median {median} mean {mean}");
+    }
+
+    #[test]
+    fn bernoulli_frequency() {
+        let mut r = rng();
+        let hits = (0..20_000).filter(|_| bernoulli(&mut r, 0.3153)).count();
+        assert!((hits as f64 / 20_000.0 - 0.3153).abs() < 0.01);
+        assert!(!bernoulli(&mut r, 0.0));
+        assert!(bernoulli(&mut r, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid gamma shape")]
+    fn gamma_rejects_zero_shape() {
+        gamma(&mut rng(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "categorical weights sum to zero")]
+    fn categorical_rejects_all_zero() {
+        categorical(&mut rng(), &[0.0, 0.0]);
+    }
+}

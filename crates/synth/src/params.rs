@@ -1,0 +1,668 @@
+//! Calibration parameters: the paper's published marginals, encoded.
+//!
+//! Everything the synthetic world needs to look like the paper's data is
+//! concentrated here: the Table-3 presence matrix (which ISP was queried
+//! in which state, and how many addresses), per-(ISP, state) serviceability
+//! bases tuned so the weighted aggregates land on the paper's §4.1 rates,
+//! the Table-1 advertised-tier distributions, the Table-2 error mixes, the
+//! Figure-11 query-time parameters, and the §4.3 census-block outcome
+//! splits. Calibration tests in `caf-core` assert the pipeline recovers
+//! these targets.
+
+use crate::isp::Isp;
+use caf_geo::UsState;
+
+/// Global configuration of the synthetic world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SynthConfig {
+    /// Master seed; every stochastic decision derives from it.
+    pub seed: u64,
+    /// Scale denominator: paper-scale counts are divided by this. `1`
+    /// reproduces the paper's 537 k-address campaign; the default of `10`
+    /// (≈54 k addresses) keeps the full pipeline under a minute.
+    pub scale: u32,
+}
+
+impl SynthConfig {
+    /// A config with the given seed at the default 1:10 scale.
+    pub fn with_seed(seed: u64) -> SynthConfig {
+        SynthConfig { seed, scale: 10 }
+    }
+
+    /// Scales a paper-scale count down, keeping at least 1 for non-zero
+    /// inputs so small state-ISP cells never vanish.
+    pub fn scaled(&self, paper_count: u64) -> u64 {
+        if paper_count == 0 {
+            0
+        } else {
+            (paper_count / u64::from(self.scale)).max(1)
+        }
+    }
+}
+
+impl Default for SynthConfig {
+    fn default() -> SynthConfig {
+        SynthConfig {
+            seed: 0xCAF_2024,
+            scale: 10,
+        }
+    }
+}
+
+/// One cell of the Table-3 presence matrix: how many CAF street addresses,
+/// census blocks, and census block groups the paper queried for an
+/// (ISP, state) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PresenceTarget {
+    /// CAF street addresses queried (paper scale).
+    pub addresses: u64,
+    /// Census blocks those addresses span.
+    pub blocks: u64,
+    /// Census block groups those addresses span.
+    pub cbgs: u64,
+}
+
+/// One cell of the Table-4 matrix: CAF and non-CAF addresses queried for
+/// the Q3 analysis per (ISP, state).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Q3Target {
+    /// CAF addresses queried (paper scale).
+    pub caf: u64,
+    /// Non-CAF addresses queried (paper scale).
+    pub non_caf: u64,
+}
+
+/// A named traceback error category (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorCategory {
+    /// "Select Drop-down Address" — the address never appeared in the
+    /// site's dropdown resolver.
+    SelectDropdown,
+    /// "Analyzing Result" — the result page could not be classified.
+    AnalyzingResult,
+    /// "Empty traceback" — the query died without diagnostics.
+    EmptyTraceback,
+    /// "Clicking Button" — a page element could not be driven.
+    ClickingButton,
+    /// Anything else.
+    Other,
+}
+
+impl ErrorCategory {
+    /// All categories, in Table 2's column order.
+    pub fn all() -> [ErrorCategory; 5] {
+        [
+            ErrorCategory::SelectDropdown,
+            ErrorCategory::AnalyzingResult,
+            ErrorCategory::EmptyTraceback,
+            ErrorCategory::ClickingButton,
+            ErrorCategory::Other,
+        ]
+    }
+
+    /// The paper's column header.
+    pub fn label(self) -> &'static str {
+        match self {
+            ErrorCategory::SelectDropdown => "Select Drop-down Address",
+            ErrorCategory::AnalyzingResult => "Analyzing Result",
+            ErrorCategory::EmptyTraceback => "Empty traceback",
+            ErrorCategory::ClickingButton => "Clicking Button",
+            ErrorCategory::Other => "Other Error",
+        }
+    }
+}
+
+/// Static access to every calibration constant.
+pub struct CalibrationParams;
+
+impl CalibrationParams {
+    /// The Table-3 presence matrix at paper scale. `None` means the ISP was
+    /// not queried in that state.
+    pub fn presence(state: UsState, isp: Isp) -> Option<PresenceTarget> {
+        use Isp::*;
+        use UsState::*;
+        let t = |addresses: u64, blocks: u64, cbgs: u64| {
+            Some(PresenceTarget {
+                addresses,
+                blocks,
+                cbgs,
+            })
+        };
+        match (state, isp) {
+            (California, Att) => t(69_711, 10_707, 1_759),
+            (California, Frontier) => t(48_447, 8_786, 664),
+            (Georgia, Att) => t(37_772, 6_344, 753),
+            (Georgia, CenturyLink) => t(464, 74, 19),
+            (Georgia, Frontier) => t(850, 82, 14),
+            (Illinois, Att) => t(8_745, 2_124, 303),
+            (Illinois, CenturyLink) => t(1_461, 478, 66),
+            (Illinois, Consolidated) => t(1_332, 480, 39),
+            (Illinois, Frontier) => t(33_260, 8_394, 681),
+            (NewHampshire, Consolidated) => t(7_229, 1_154, 175),
+            (NorthCarolina, Att) => t(12_525, 1_153, 215),
+            (NorthCarolina, CenturyLink) => t(28_411, 3_623, 812),
+            (NorthCarolina, Frontier) => t(7_834, 591, 106),
+            (Ohio, Att) => t(22_185, 3_711, 542),
+            (Ohio, CenturyLink) => t(25_780, 5_083, 639),
+            (Ohio, Frontier) => t(49_631, 6_665, 558),
+            (Utah, CenturyLink) => t(1_749, 498, 178),
+            (Utah, Frontier) => t(2_332, 531, 28),
+            (Alabama, Att) => t(23_862, 4_869, 669),
+            (Alabama, CenturyLink) => t(10_083, 3_211, 427),
+            (Alabama, Consolidated) => t(295, 57, 5),
+            (Alabama, Frontier) => t(4_401, 670, 56),
+            (Florida, Att) => t(11_029, 1_829, 344),
+            (Florida, CenturyLink) => t(10_104, 2_845, 625),
+            (Florida, Consolidated) => t(4_010, 535, 49),
+            (Florida, Frontier) => t(578, 136, 5),
+            (Iowa, CenturyLink) => t(9_757, 3_700, 624),
+            (Iowa, Frontier) => t(4_092, 1_720, 89),
+            (Mississippi, Att) => t(38_069, 9_208, 950),
+            (Mississippi, CenturyLink) => t(2, 1, 1),
+            (Mississippi, Frontier) => t(1_237, 197, 20),
+            (Nebraska, CenturyLink) => t(3_986, 1_666, 261),
+            (Nebraska, Frontier) => t(2_648, 1_208, 63),
+            (NewJersey, CenturyLink) => t(980, 269, 88),
+            (Vermont, Consolidated) => t(9_940, 1_502, 201),
+            (Wisconsin, Att) => t(9_349, 2_287, 303),
+            (Wisconsin, CenturyLink) => t(19_064, 7_850, 686),
+            (Wisconsin, Frontier) => t(14_456, 2_621, 224),
+            _ => None,
+        }
+    }
+
+    /// The states an ISP serves in the study (derived from the presence
+    /// matrix), in study-state order.
+    pub fn states_for(isp: Isp) -> Vec<UsState> {
+        UsState::study_states()
+            .into_iter()
+            .filter(|&s| Self::presence(s, isp).is_some())
+            .collect()
+    }
+
+    /// Latent base serviceability for an (ISP, state): the probability
+    /// that a certified address is genuinely served, before CBG-level
+    /// variation. Tuned so the address-weighted per-ISP aggregates land on
+    /// §4.1's 31.53 / 90.42 / 70.71 / 83.95 %, with the outlier pairs the
+    /// paper calls out (CenturyLink–New Jersey, Frontier–Florida).
+    pub fn serviceability_base(isp: Isp, state: UsState) -> f64 {
+        use UsState::*;
+        match isp {
+            Isp::Att => match state {
+                California => 0.30,
+                Georgia => 0.26,
+                Mississippi => 0.38,
+                Alabama => 0.40,
+                Ohio => 0.33,
+                NorthCarolina => 0.18,
+                Florida => 0.42,
+                Wisconsin => 0.30,
+                Illinois => 0.30,
+                _ => 0.30,
+            },
+            Isp::CenturyLink => match state {
+                NewJersey => 0.40,
+                _ => 0.91,
+            },
+            Isp::Frontier => match state {
+                Florida => 0.25,
+                _ => 0.71,
+            },
+            Isp::Consolidated => 0.84,
+            // Not audited; plausible defaults for completeness.
+            Isp::Windstream => 0.75,
+            Isp::Xfinity | Isp::Spectrum => 0.97,
+        }
+    }
+
+    /// CBG-level spread of serviceability around the base rate: the
+    /// concentration (kappa) of the Beta distribution. Lower kappa gives
+    /// the wide inter-quartile ranges visible in Figure 2.
+    pub fn serviceability_concentration(isp: Isp) -> f64 {
+        match isp {
+            Isp::Att => 8.0,
+            Isp::Frontier => 4.0,
+            Isp::CenturyLink => 8.0,
+            Isp::Consolidated => 7.0,
+            _ => 10.0,
+        }
+    }
+
+    /// Strength of the population-density → serviceability coupling for an
+    /// (ISP, state): the CBG's base rate is multiplied by
+    /// `1 + coupling · (density_percentile − 0.5)`. The paper observes a
+    /// strong positive correlation for AT&T in every state *except
+    /// Mississippi* (§4.1, Figure 3).
+    pub fn density_coupling(isp: Isp, state: UsState) -> f64 {
+        match (isp, state) {
+            (Isp::Att, UsState::Mississippi) => 0.0,
+            (Isp::Att, _) => 1.4,
+            _ => 0.15,
+        }
+    }
+
+    /// The advertised *maximum* speed-tier distribution for served
+    /// addresses, as `(catalog tier label, relative weight)`. Weights are
+    /// Table 1's advertised column conditioned on being served, with the
+    /// coarse `11–99` / `100–999` / `1000+` bands split across the ISP's
+    /// catalog tiers in those bands.
+    pub fn advertised_tier_weights(isp: Isp) -> &'static [(&'static str, f64)] {
+        match isp {
+            Isp::Att => &[
+                ("AT&T Internet Air", 15.62),
+                ("DSL 768k", 3.57),
+                ("DSL 1", 3.02),
+                ("DSL 3", 5.52),
+                ("DSL 5", 7.67),
+                ("Internet 10", 9.69),
+                ("Internet 25", 14.89),
+                ("Internet 50", 14.88),
+                ("Fiber 300", 1.11),
+                ("Fiber 1000", 20.02),
+                ("Fiber 5000", 4.00),
+            ],
+            Isp::CenturyLink => &[
+                ("DSL 0.5", 0.33),
+                ("DSL 1.5", 2.18),
+                ("DSL 3", 16.44),
+                ("DSL 6", 6.19),
+                ("Simply Internet 10", 35.56),
+                ("Simply Internet 40", 18.67),
+                ("Simply Internet 80", 18.67),
+                ("Fiber 200", 1.00),
+                ("Fiber 940", 0.96),
+            ],
+            Isp::Frontier => &[
+                ("Frontier Internet", 76.75),
+                ("Unknown Plan", 17.49),
+                ("Fiber 500", 0.14),
+                ("Fiber 1 Gig", 4.62),
+                ("Fiber 5 Gig", 1.00),
+            ],
+            Isp::Consolidated => &[
+                ("DSL 3", 0.03),
+                ("DSL 7", 0.21),
+                ("Internet 10", 14.60),
+                ("Internet 50", 49.52),
+                ("Internet 250", 1.36),
+                ("Fidium 1 Gig", 30.00),
+                ("Fidium 2 Gig", 4.28),
+            ],
+            Isp::Windstream => &[
+                ("Kinetic 25", 40.0),
+                ("Kinetic 100", 40.0),
+                ("Kinetic 1 Gig", 20.0),
+            ],
+            Isp::Xfinity => &[
+                ("Connect 150", 30.0),
+                ("Fast 400", 35.0),
+                ("Gigabit", 30.0),
+                ("Gigabit X2", 5.0),
+            ],
+            Isp::Spectrum => &[
+                ("Internet 300", 55.0),
+                ("Internet Ultra 500", 30.0),
+                ("Internet Gig", 15.0),
+            ],
+        }
+    }
+
+    /// The certified download-speed distribution ISPs report to USAC, as
+    /// `(Mbps, relative weight)` — Table 1's certified columns. Certified
+    /// speeds all satisfy the 10 Mbps floor, which is exactly the
+    /// discrepancy the paper exposes.
+    pub fn certified_tier_weights(isp: Isp) -> &'static [(f64, f64)] {
+        match isp {
+            Isp::Att => &[(10.0, 100.0)],
+            Isp::CenturyLink => &[(10.0, 100.0)],
+            Isp::Consolidated => &[
+                (10.0, 88.20),
+                (25.0, 10.434),
+                (100.0, 0.557),
+                (1000.0, 0.801),
+            ],
+            Isp::Frontier => &[(10.0, 99.957), (100.0, 0.042)],
+            Isp::Windstream => &[(10.0, 90.0), (25.0, 10.0)],
+            Isp::Xfinity | Isp::Spectrum => &[],
+        }
+    }
+
+    /// Per-attempt transient error probability for an ISP's website —
+    /// bot-detection walls, dropdown failures, human-verification pages.
+    /// Tuned so expected traceback-error counts land near Table 2.
+    pub fn transient_error_rate(isp: Isp) -> f64 {
+        match isp {
+            Isp::Att => 0.21,
+            Isp::Frontier => 0.13,
+            Isp::CenturyLink => 0.058,
+            Isp::Consolidated => 0.42,
+            Isp::Windstream => 0.10,
+            Isp::Xfinity | Isp::Spectrum => 0.05,
+        }
+    }
+
+    /// Fraction of addresses that can never be resolved on the ISP's site
+    /// (every retry fails — §5's "unavoidable errors"). These end as
+    /// Unknown and are excluded from serviceability.
+    pub fn hard_failure_rate(isp: Isp) -> f64 {
+        match isp {
+            Isp::Att => 0.010,
+            Isp::Frontier => 0.046,
+            Isp::CenturyLink => 0.016,
+            Isp::Consolidated => 0.185,
+            Isp::Windstream => 0.02,
+            Isp::Xfinity | Isp::Spectrum => 0.012,
+        }
+    }
+
+    /// Relative weights of traceback error categories per ISP (Table 2's
+    /// row, in [`ErrorCategory::all`] order).
+    pub fn error_category_weights(isp: Isp) -> [f64; 5] {
+        match isp {
+            Isp::Att => [43_781.0, 10_130.0, 7_606.0, 0.0, 14.0],
+            Isp::Frontier => [17_614.0, 0.0, 6_210.0, 2_967.0, 0.0],
+            Isp::CenturyLink => [0.0, 0.0, 6_939.0, 0.0, 0.0],
+            Isp::Consolidated => [15_510.0, 33.0, 0.0, 0.0, 8.0],
+            // Unreported ISPs: a generic dropdown-dominated mix.
+            _ => [10.0, 2.0, 3.0, 1.0, 1.0],
+        }
+    }
+
+    /// Fraction of served addresses where the site answers ambiguously
+    /// (AT&T's "Call to Order" page, §5) — excluded from the analysis and
+    /// resampled.
+    pub fn ambiguous_response_rate(isp: Isp) -> f64 {
+        match isp {
+            Isp::Att => 0.06,
+            Isp::Consolidated => 0.03,
+            _ => 0.01,
+        }
+    }
+
+    /// Lognormal query-time parameters `(mu of ln-seconds, sigma)` per ISP
+    /// (Figure 11). AT&T's anti-bot defenses give it the widest spread.
+    pub fn query_time_params(isp: Isp) -> (f64, f64) {
+        match isp {
+            Isp::Att => (25.0_f64.ln(), 1.00),
+            Isp::CenturyLink => (10.0_f64.ln(), 0.40),
+            Isp::Frontier => (12.0_f64.ln(), 0.50),
+            Isp::Consolidated => (15.0_f64.ln(), 0.55),
+            Isp::Windstream => (10.0_f64.ln(), 0.45),
+            Isp::Xfinity => (8.0_f64.ln(), 0.40),
+            Isp::Spectrum => (8.0_f64.ln(), 0.40),
+        }
+    }
+
+    /// The Table-4 Q3 matrix at paper scale: CAF / non-CAF addresses
+    /// queried per (state, ISP). Zero-valued cells mean "not queried".
+    pub fn q3_target(state: UsState, isp: Isp) -> Q3Target {
+        use Isp::*;
+        use UsState::*;
+        let t = |caf: u64, non_caf: u64| Q3Target { caf, non_caf };
+        match (state, isp) {
+            (California, Att) => t(39_894, 22_071),
+            (California, Frontier) => t(30_360, 8_843),
+            (California, CenturyLink) => t(0, 211),
+            (California, Consolidated) => t(0, 57),
+            (California, Xfinity) => t(0, 9_608),
+            (California, Spectrum) => t(0, 6_096),
+            (Georgia, Att) => t(20_303, 12_034),
+            (Georgia, Frontier) => t(494, 444),
+            (Georgia, CenturyLink) => t(306, 675),
+            (Georgia, Consolidated) => t(0, 7),
+            (Georgia, Xfinity) => t(0, 2_158),
+            (Georgia, Spectrum) => t(0, 1_066),
+            (Illinois, Att) => t(2_824, 1_452),
+            (Illinois, Frontier) => t(14_345, 6_988),
+            (Illinois, CenturyLink) => t(373, 422),
+            (Illinois, Consolidated) => t(0, 137),
+            (Illinois, Xfinity) => t(406, 163),
+            (Illinois, Spectrum) => t(0, 249),
+            (NorthCarolina, Att) => t(8_716, 5_530),
+            (NorthCarolina, Frontier) => t(3_878, 3_045),
+            (NorthCarolina, CenturyLink) => t(21_757, 22_341),
+            (NorthCarolina, Xfinity) => t(0, 186),
+            (NorthCarolina, Spectrum) => t(0, 7_067),
+            (NewHampshire, Consolidated) => t(2_665, 1_570),
+            (NewHampshire, Xfinity) => t(0, 112),
+            (NewHampshire, Spectrum) => t(0, 447),
+            (Ohio, Att) => t(13_852, 4_691),
+            (Ohio, Frontier) => t(36_710, 16_206),
+            (Ohio, CenturyLink) => t(18_356, 7_553),
+            (Ohio, Consolidated) => t(0, 892),
+            (Ohio, Xfinity) => t(0, 503),
+            (Ohio, Spectrum) => t(0, 5_673),
+            (Utah, Frontier) => t(741, 193),
+            (Utah, CenturyLink) => t(603, 517),
+            (Utah, Xfinity) => t(0, 573),
+            _ => Q3Target::default(),
+        }
+    }
+
+    /// The census-block type mix for the Q3 analysis at paper scale:
+    /// `(Type A, Type B, Type C)` block counts (§4.3: 8.76 k / 0.56 k /
+    /// 0.10 k).
+    pub fn q3_block_mix() -> (u64, u64, u64) {
+        (8_760, 560, 100)
+    }
+
+    /// Type-A outcome split: probability that a block's CAF addresses are
+    /// offered (better, identical, worse) plans than its monopoly-served
+    /// neighbors (§4.3: 27 % / 54 % / 17 %, normalized).
+    pub fn type_a_outcome_split() -> [f64; 3] {
+        [0.2755, 0.5510, 0.1735]
+    }
+
+    /// Type-B outcome split: (CAF better, tie, competition better)
+    /// (§4.3: 32.1 % / 37.2 % / 30.7 %). The generator enforces the drawn
+    /// relation against tier quantization (see `q3::escape_tier_above`),
+    /// so measured splits track these draws.
+    pub fn type_b_outcome_split() -> [f64; 3] {
+        [0.321, 0.372, 0.307]
+    }
+
+    /// Lognormal parameters of the *relative* CAF speed uplift in blocks
+    /// where CAF wins: median +75 %, 80th percentile +400 % (Figure 4c).
+    /// sigma = ln(4.00 / 0.75) / z_0.8.
+    pub fn caf_uplift_params() -> (f64, f64) {
+        let mu = 0.75_f64.ln();
+        let sigma = (4.00_f64 / 0.75).ln() / 0.841_621;
+        (mu, sigma)
+    }
+
+    /// Lognormal parameters of block base average download speed in Q3
+    /// blocks: median ≈ 10 Mbps with ≈90 % of blocks under 100 Mbps
+    /// (Figures 4b/5b).
+    pub fn q3_base_speed_params() -> (f64, f64) {
+        (10.0_f64.ln(), 1.60)
+    }
+
+    /// Fraction of Type-B blocks whose CAF speeds ride the competition
+    /// spillover (Figure 6a: in 20 % of blocks, Type-B CAF speeds exceed
+    /// Type-A by over 90 Mbps), and the lognormal boost parameters.
+    pub fn type_b_spillover() -> (f64, f64, f64) {
+        (0.25, 130.0_f64.ln(), 0.60)
+    }
+
+    /// FCC CAF service standard: minimum download / upload speeds in Mbps.
+    pub fn fcc_speed_floor() -> (f64, f64) {
+        (10.0, 1.0)
+    }
+
+    /// The FCC's 2024 benchmark rate cap for 10/1 Mbps service (§2.2).
+    pub fn fcc_rate_cap_usd() -> f64 {
+        89.0
+    }
+}
+
+#[cfg(test)]
+// The paper's Frontier serviceability (70.71 %) is coincidentally
+// 1/sqrt(2); it is published data, not an approximated math constant.
+#[allow(clippy::approx_constant)]
+mod tests {
+    use super::*;
+
+    /// Address-weighted aggregate of per-state bases for one ISP.
+    fn weighted_base(isp: Isp) -> f64 {
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for state in UsState::study_states() {
+            if let Some(p) = CalibrationParams::presence(state, isp) {
+                let w = p.addresses as f64;
+                num += w * CalibrationParams::serviceability_base(isp, state);
+                den += w;
+            }
+        }
+        num / den
+    }
+
+    #[test]
+    fn presence_totals_match_table_3() {
+        let mut totals = std::collections::HashMap::new();
+        for state in UsState::study_states() {
+            for isp in Isp::audited() {
+                if let Some(p) = CalibrationParams::presence(state, isp) {
+                    *totals.entry(isp).or_insert(0u64) += p.addresses;
+                }
+            }
+        }
+        assert_eq!(totals[&Isp::Att], 233_247);
+        assert_eq!(totals[&Isp::CenturyLink], 111_841);
+        assert_eq!(totals[&Isp::Consolidated], 22_806);
+        assert_eq!(totals[&Isp::Frontier], 169_766);
+        // Grand total: the paper's 537 k CAF addresses.
+        let grand: u64 = totals.values().sum();
+        assert_eq!(grand, 537_660);
+    }
+
+    #[test]
+    fn state_counts_match_paper() {
+        // AT&T serves 9 of the 15 states, CenturyLink 12, Frontier 12,
+        // Consolidated 5 (§9.2).
+        assert_eq!(CalibrationParams::states_for(Isp::Att).len(), 9);
+        assert_eq!(CalibrationParams::states_for(Isp::CenturyLink).len(), 12);
+        assert_eq!(CalibrationParams::states_for(Isp::Frontier).len(), 12);
+        assert_eq!(CalibrationParams::states_for(Isp::Consolidated).len(), 5);
+    }
+
+    #[test]
+    fn weighted_bases_land_on_section_4_1_rates() {
+        assert!((weighted_base(Isp::Att) - 0.3153).abs() < 0.02);
+        assert!((weighted_base(Isp::CenturyLink) - 0.9042).abs() < 0.02);
+        assert!((weighted_base(Isp::Frontier) - 0.7071).abs() < 0.02);
+        assert!((weighted_base(Isp::Consolidated) - 0.8395).abs() < 0.02);
+    }
+
+    #[test]
+    fn tier_weights_reference_real_catalog_labels() {
+        use crate::plans::PlanCatalog;
+        for isp in Isp::all() {
+            let cat = PlanCatalog::for_isp(isp);
+            for (label, weight) in CalibrationParams::advertised_tier_weights(isp) {
+                assert!(
+                    cat.tier_labeled(label).is_some(),
+                    "{isp}: unknown tier {label}"
+                );
+                assert!(*weight > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn advertised_compliance_shares_match_table_1() {
+        use crate::plans::PlanCatalog;
+        let (floor_down, floor_up) = CalibrationParams::fcc_speed_floor();
+        // Fraction of *served* addresses whose max advertised tier passes
+        // the FCC standard, per ISP.
+        let served_compliant = |isp: Isp| -> f64 {
+            let cat = PlanCatalog::for_isp(isp);
+            let weights = CalibrationParams::advertised_tier_weights(isp);
+            let total: f64 = weights.iter().map(|(_, w)| w).sum();
+            weights
+                .iter()
+                .filter(|(label, _)| {
+                    let tier = cat.tier_labeled(label).unwrap();
+                    cat.plan_from_tier(tier)
+                        .meets_service_standard(floor_down, floor_up)
+                })
+                .map(|(_, w)| w)
+                .sum::<f64>()
+                / total
+        };
+        // Multiply by serviceability to get overall compliance; compare to
+        // §4.2's per-ISP compliance ordering.
+        let att = served_compliant(Isp::Att) * 0.3153;
+        let cl = served_compliant(Isp::CenturyLink) * 0.9042;
+        let frontier = served_compliant(Isp::Frontier) * 0.7071;
+        let cons = served_compliant(Isp::Consolidated) * 0.8395;
+        assert!((0.12..0.25).contains(&att), "att {att}");
+        assert!((0.60..0.78).contains(&cl), "cl {cl}");
+        assert!(frontier < 0.16, "frontier {frontier}");
+        assert!((0.78..0.92).contains(&cons), "cons {cons}");
+        // Ordering: Consolidated > CenturyLink >> AT&T > Frontier.
+        assert!(cons > cl && cl > att && att > frontier);
+    }
+
+    #[test]
+    fn q3_table_4_totals() {
+        let mut caf = 0u64;
+        let mut non_caf = 0u64;
+        for state in UsState::q3_states() {
+            for isp in Isp::bqt_supported() {
+                let t = CalibrationParams::q3_target(state, isp);
+                caf += t.caf;
+                non_caf += t.non_caf;
+            }
+        }
+        // §4.3 reports "235 k CAF and 183 k non-CAF addresses to query";
+        // Table 4 itself sums slightly lower (≈217 k / ≈176 k) — the text
+        // total includes rows dropped before the table. We encode Table 4.
+        assert!((200_000..240_000).contains(&caf), "caf {caf}");
+        assert!((140_000..190_000).contains(&non_caf), "non_caf {non_caf}");
+    }
+
+    #[test]
+    fn outcome_splits_are_distributions() {
+        for split in [
+            CalibrationParams::type_a_outcome_split(),
+            CalibrationParams::type_b_outcome_split(),
+        ] {
+            let sum: f64 = split.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-3, "sum {sum}");
+            assert!(split.iter().all(|&p| p > 0.0));
+        }
+    }
+
+    #[test]
+    fn uplift_params_hit_the_figure_4c_quantiles() {
+        let (mu, sigma) = CalibrationParams::caf_uplift_params();
+        let median = mu.exp();
+        let p80 = (mu + 0.841_621 * sigma).exp();
+        assert!((median - 0.75).abs() < 1e-9);
+        assert!((p80 - 4.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn scaling_preserves_small_cells() {
+        let cfg = SynthConfig::default();
+        assert_eq!(cfg.scaled(0), 0);
+        assert_eq!(cfg.scaled(2), 1); // Mississippi CenturyLink survives
+        assert_eq!(cfg.scaled(69_711), 6_971);
+        let unit = SynthConfig {
+            seed: 1,
+            scale: 1,
+        };
+        assert_eq!(unit.scaled(69_711), 69_711);
+    }
+
+    #[test]
+    fn error_category_weights_match_table_2_rows() {
+        let att = CalibrationParams::error_category_weights(Isp::Att);
+        assert_eq!(att[0], 43_781.0);
+        let total: f64 = att.iter().sum();
+        assert!((total - 61_531.0).abs() < 1.0); // 61,768 minus the dash column
+        let cl = CalibrationParams::error_category_weights(Isp::CenturyLink);
+        assert_eq!(cl[2], 6_939.0);
+        assert_eq!(cl.iter().filter(|&&w| w > 0.0).count(), 1);
+    }
+}

@@ -1,0 +1,388 @@
+//! The latent deployment truth.
+//!
+//! The paper can only *estimate* whether an ISP serves a certified address
+//! by querying the ISP's website. The synthetic world makes that latent
+//! state explicit: for every (address, ISP) pair of interest, a
+//! [`AddressTruth`] records whether the ISP genuinely offers service, the
+//! plans its website would advertise, and the website pathologies the
+//! query will encounter (existing-subscriber flows, ambiguous "call to
+//! order" pages, addresses the site's resolver can never find).
+//!
+//! Only the simulated BQT in `caf-bqt` may read this table — exactly as
+//! the real BQT could only observe ISP websites. Analysis code receives
+//! query outcomes, never truth.
+//!
+//! ## Calibration
+//!
+//! Per-CBG serviceability is drawn from a Beta distribution whose mean is
+//! the (ISP, state) base rate of [`CalibrationParams::serviceability_base`]
+//! modulated by the CBG's population-density percentile (the Figure-3
+//! coupling — switched off for AT&T in Mississippi). Advertised plans for
+//! served addresses follow Table 1's conditional tier distribution.
+
+use crate::dist;
+use crate::geography::StateGeography;
+use crate::isp::Isp;
+use crate::params::CalibrationParams;
+use crate::params::SynthConfig;
+use crate::plans::{BroadbandPlan, PlanCatalog};
+use crate::rng::{mix2, scoped_rng};
+use crate::usac::UsacDataset;
+use caf_geo::AddressId;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// The latent state of one (address, ISP) pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AddressTruth {
+    /// Whether the ISP genuinely offers service here.
+    pub served: bool,
+    /// The plans the ISP's website advertises at this address (empty iff
+    /// unserved). The first plan is the maximum tier.
+    pub plans: Vec<BroadbandPlan>,
+    /// Whether the address already has an active subscription, which
+    /// changes the website flow (modify-service pages, Frontier's
+    /// tier-less "Unknown Plan" display).
+    pub existing_subscriber: bool,
+    /// Whether the site's address resolver can never find this address —
+    /// every query attempt fails (§5's unavoidable errors).
+    pub hard_failure: bool,
+    /// Whether the site answers ambiguously (AT&T's "Call to Order" page):
+    /// technically maybe serviceable, but excluded from analysis.
+    pub ambiguous: bool,
+}
+
+impl AddressTruth {
+    /// An unserved truth record.
+    pub fn unserved() -> AddressTruth {
+        AddressTruth {
+            served: false,
+            plans: Vec::new(),
+            existing_subscriber: false,
+            hard_failure: false,
+            ambiguous: false,
+        }
+    }
+
+    /// The maximum advertised download speed, if any plan specifies one.
+    pub fn max_download_mbps(&self) -> Option<f64> {
+        self.plans
+            .iter()
+            .filter_map(|p| p.download_mbps)
+            .fold(None, |acc, d| Some(acc.map_or(d, |a: f64| a.max(d))))
+    }
+
+    /// The highest-tier plan (first by construction).
+    pub fn max_tier_plan(&self) -> Option<&BroadbandPlan> {
+        self.plans.first()
+    }
+}
+
+/// The truth table: latent state for every (address, ISP) pair the
+/// campaigns can touch.
+#[derive(Debug, Clone, Default)]
+pub struct TruthTable {
+    entries: HashMap<(AddressId, Isp), AddressTruth>,
+}
+
+impl TruthTable {
+    /// An empty table.
+    pub fn new() -> TruthTable {
+        TruthTable::default()
+    }
+
+    /// Inserts (or replaces) an entry.
+    pub fn insert(&mut self, address: AddressId, isp: Isp, truth: AddressTruth) {
+        self.entries.insert((address, isp), truth);
+    }
+
+    /// Looks up the truth for an (address, ISP) pair.
+    pub fn get(&self, address: AddressId, isp: Isp) -> Option<&AddressTruth> {
+        self.entries.get(&(address, isp))
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Merges another table into this one (later entries win).
+    pub fn merge(&mut self, other: TruthTable) {
+        self.entries.extend(other.entries);
+    }
+
+    /// Builds the Q1/Q2 truth for a state: one entry per certified CAF
+    /// address, keyed by the certifying ISP.
+    pub fn build_q1(
+        config: &SynthConfig,
+        geo: &StateGeography,
+        usac: &UsacDataset,
+    ) -> TruthTable {
+        let mut table = TruthTable::new();
+        let state = geo.state;
+        for cbg in &geo.cbgs {
+            let isp = cbg.isp;
+            // Effective CBG serviceability: base rate, density-modulated,
+            // with Beta-distributed CBG-to-CBG spread.
+            let base = CalibrationParams::serviceability_base(isp, state);
+            let coupling = CalibrationParams::density_coupling(isp, state);
+            let kappa = CalibrationParams::serviceability_concentration(isp);
+            let modulated =
+                (base * (1.0 + coupling * (cbg.density_pct - 0.5))).clamp(0.02, 0.98);
+            let mut cbg_rng = scoped_rng(config.seed, "truth-cbg", cbg.id.geoid());
+            let cbg_rate = dist::beta_mean_conc(&mut cbg_rng, modulated, kappa);
+
+            let catalog = PlanCatalog::for_isp(isp);
+            for &record_idx in usac.records_in_cbg(isp, cbg.id) {
+                let record = &usac.records[record_idx];
+                let addr = record.address.id;
+                let mut rng =
+                    scoped_rng(config.seed, "truth-addr", mix2(addr.0, isp.id(), 1));
+                let truth = draw_truth(&mut rng, isp, &catalog, cbg_rate);
+                table.insert(addr, isp, truth);
+            }
+        }
+        table
+    }
+}
+
+/// Draws the truth for one address given its CBG's serviceability rate.
+pub(crate) fn draw_truth<R: Rng + ?Sized>(
+    rng: &mut R,
+    isp: Isp,
+    catalog: &PlanCatalog,
+    serviceability: f64,
+) -> AddressTruth {
+    let hard_failure = dist::bernoulli(rng, CalibrationParams::hard_failure_rate(isp));
+    if !dist::bernoulli(rng, serviceability) {
+        return AddressTruth {
+            hard_failure,
+            ..AddressTruth::unserved()
+        };
+    }
+    // Served: draw the maximum advertised tier from Table 1's conditional
+    // distribution, then attach up to two lower tiers from the catalog.
+    let weights = CalibrationParams::advertised_tier_weights(isp);
+    let idx = dist::categorical(rng, &weights.iter().map(|&(_, w)| w).collect::<Vec<_>>());
+    let max_label = weights[idx].0;
+    let max_tier = catalog
+        .tier_labeled(max_label)
+        .expect("calibration labels validated against catalogs");
+    let mut plans = vec![catalog.plan_from_tier(max_tier)];
+    // Guaranteed lower tiers are also advertised — but only where the
+    // best offer is itself a committed wireline tier. Addresses whose
+    // best offer is an unguaranteed product (Internet Air, Frontier
+    // Internet, tier-less subscriber pages) have no wireline alternative;
+    // that is exactly why the paper classifies them non-compliant (§4.2).
+    if max_tier.guaranteed {
+        let max_down = max_tier.download_mbps.unwrap_or(0.0);
+        let mut lower: Vec<&crate::plans::CatalogTier> = catalog
+            .tiers()
+            .iter()
+            .filter(|t| t.download_mbps.is_some_and(|d| d < max_down) && t.guaranteed)
+            .collect();
+        lower.sort_by(|a, b| {
+            b.download_mbps
+                .unwrap_or(0.0)
+                .total_cmp(&a.download_mbps.unwrap_or(0.0))
+        });
+        for tier in lower.into_iter().take(2) {
+            plans.push(catalog.plan_from_tier(tier));
+        }
+    }
+
+    // Frontier's tier-less "Unknown Plan" is shown for existing
+    // subscribers; for other ISPs subscription status is independent.
+    let existing_subscriber = if max_label == "Unknown Plan" {
+        true
+    } else {
+        dist::bernoulli(rng, 0.22)
+    };
+    let ambiguous = dist::bernoulli(rng, CalibrationParams::ambiguous_response_rate(isp));
+    AddressTruth {
+        served: true,
+        plans,
+        existing_subscriber,
+        hard_failure,
+        ambiguous,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geography::StateGeography;
+    use caf_geo::UsState;
+
+    fn cfg() -> SynthConfig {
+        SynthConfig {
+            seed: 5,
+            scale: 20,
+        }
+    }
+
+    fn truth_for(state: UsState) -> (StateGeography, UsacDataset, TruthTable) {
+        let geo = StateGeography::build(&cfg(), state);
+        let usac = UsacDataset::build(&cfg(), &geo);
+        let truth = TruthTable::build_q1(&cfg(), &geo, &usac);
+        (geo, usac, truth)
+    }
+
+    #[test]
+    fn every_record_has_truth() {
+        let (_, usac, truth) = truth_for(UsState::Vermont);
+        assert_eq!(truth.len(), usac.records.len());
+        for r in &usac.records {
+            assert!(truth.get(r.address.id, r.isp).is_some());
+        }
+    }
+
+    #[test]
+    fn served_iff_plans() {
+        let (_, usac, truth) = truth_for(UsState::Alabama);
+        for r in &usac.records {
+            let t = truth.get(r.address.id, r.isp).unwrap();
+            assert_eq!(t.served, !t.plans.is_empty());
+            if let Some(max) = t.max_download_mbps() {
+                // First plan is the max tier.
+                assert_eq!(t.max_tier_plan().unwrap().download_mbps, Some(max));
+            }
+        }
+    }
+
+    #[test]
+    fn state_isp_serviceability_lands_near_base() {
+        // The per-CBG rates average to the (ISP, state) base. Address-
+        // weighted rates are noisier at small scale because the CBG size
+        // distribution is heavy-tailed; the CBG-level mean is the stable
+        // calibration check (the pipeline-level weighted check lives in
+        // caf-core's calibration tests at larger scale).
+        let (geo, usac, truth) = truth_for(UsState::Alabama);
+        for isp in [Isp::Att, Isp::CenturyLink] {
+            let mut cbg_rates = Vec::new();
+            for cbg in geo.cbgs_for(isp) {
+                let idxs = usac.records_in_cbg(isp, cbg.id);
+                if idxs.is_empty() {
+                    continue;
+                }
+                let served = idxs
+                    .iter()
+                    .filter(|&&i| {
+                        truth
+                            .get(usac.records[i].address.id, isp)
+                            .unwrap()
+                            .served
+                    })
+                    .count();
+                cbg_rates.push(served as f64 / idxs.len() as f64);
+            }
+            let rate = cbg_rates.iter().sum::<f64>() / cbg_rates.len() as f64;
+            let base = CalibrationParams::serviceability_base(isp, UsState::Alabama);
+            assert!(
+                (rate - base).abs() < 0.10,
+                "{isp}: rate {rate} vs base {base}"
+            );
+        }
+    }
+
+    #[test]
+    fn att_density_coupling_visible() {
+        // Among AT&T CBGs in Georgia, the densest third must out-serve the
+        // sparsest third.
+        let (geo, usac, truth) = truth_for(UsState::Georgia);
+        let mut rates: Vec<(f64, f64)> = Vec::new(); // (density_pct, rate)
+        for cbg in geo.cbgs_for(Isp::Att) {
+            let idxs = usac.records_in_cbg(Isp::Att, cbg.id);
+            if idxs.len() < 5 {
+                continue;
+            }
+            let served = idxs
+                .iter()
+                .filter(|&&i| truth.get(usac.records[i].address.id, Isp::Att).unwrap().served)
+                .count();
+            rates.push((cbg.density_pct, served as f64 / idxs.len() as f64));
+        }
+        assert!(rates.len() > 20, "need enough CBGs, got {}", rates.len());
+        rates.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let third = rates.len() / 3;
+        let sparse: f64 =
+            rates[..third].iter().map(|r| r.1).sum::<f64>() / third as f64;
+        let dense: f64 =
+            rates[rates.len() - third..].iter().map(|r| r.1).sum::<f64>() / third as f64;
+        assert!(
+            dense > sparse + 0.08,
+            "dense {dense} should exceed sparse {sparse}"
+        );
+    }
+
+    #[test]
+    fn mississippi_att_has_no_density_coupling() {
+        let (geo, usac, truth) = truth_for(UsState::Mississippi);
+        let mut rates: Vec<(f64, f64)> = Vec::new();
+        for cbg in geo.cbgs_for(Isp::Att) {
+            let idxs = usac.records_in_cbg(Isp::Att, cbg.id);
+            if idxs.len() < 5 {
+                continue;
+            }
+            let served = idxs
+                .iter()
+                .filter(|&&i| truth.get(usac.records[i].address.id, Isp::Att).unwrap().served)
+                .count();
+            rates.push((cbg.density_pct, served as f64 / idxs.len() as f64));
+        }
+        rates.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let third = rates.len() / 3;
+        let sparse: f64 = rates[..third].iter().map(|r| r.1).sum::<f64>() / third as f64;
+        let dense: f64 =
+            rates[rates.len() - third..].iter().map(|r| r.1).sum::<f64>() / third as f64;
+        assert!(
+            (dense - sparse).abs() < 0.10,
+            "MS coupling should be flat: sparse {sparse} dense {dense}"
+        );
+    }
+
+    #[test]
+    fn frontier_unknown_plan_implies_subscriber() {
+        let (_, usac, truth) = truth_for(UsState::Ohio);
+        let mut saw_unknown = false;
+        for r in usac.records.iter().filter(|r| r.isp == Isp::Frontier) {
+            let t = truth.get(r.address.id, r.isp).unwrap();
+            if let Some(plan) = t.max_tier_plan() {
+                if plan.name == "Unknown Plan" {
+                    saw_unknown = true;
+                    assert!(t.existing_subscriber);
+                }
+            }
+        }
+        assert!(saw_unknown, "expected some Unknown Plan draws in Ohio");
+    }
+
+    #[test]
+    fn truth_is_deterministic_and_order_independent() {
+        let (_, usac, truth_a) = truth_for(UsState::Utah);
+        let (_, _, truth_b) = truth_for(UsState::Utah);
+        for r in &usac.records {
+            assert_eq!(
+                truth_a.get(r.address.id, r.isp),
+                truth_b.get(r.address.id, r.isp)
+            );
+        }
+    }
+
+    #[test]
+    fn merge_combines_tables() {
+        let (_, _, a) = truth_for(UsState::Utah);
+        let (_, _, b) = truth_for(UsState::Vermont);
+        let mut merged = TruthTable::new();
+        let (la, lb) = (a.len(), b.len());
+        merged.merge(a);
+        merged.merge(b);
+        assert_eq!(merged.len(), la + lb);
+        assert!(!merged.is_empty());
+    }
+}

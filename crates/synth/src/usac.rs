@@ -1,0 +1,508 @@
+//! The synthetic USAC CAF-Map dataset.
+//!
+//! USAC's open-data CAF Map lists every ISP-certified deployment location:
+//! street address, coordinates, census identifiers, certifying ISP,
+//! last-mile technology, and the certified service quality (§2.3). This
+//! module materializes that dataset from the synthetic geography — one
+//! [`CafRecord`] per certified address — plus the national-scale marginals
+//! behind Figure 1.
+
+use crate::dist;
+use crate::geography::StateGeography;
+use crate::isp::Isp;
+use crate::params::{CalibrationParams, SynthConfig};
+use crate::rng::scoped_rng;
+use caf_dataframe::{Column, DataFrame};
+use caf_geo::{Address, AddressId, BlockGroupId, LatLon, StreetAddress, UsState};
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// Last-mile technology codes used in the CAF Map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Technology {
+    /// Copper DSL.
+    Dsl,
+    /// Fiber to the premises.
+    Fiber,
+    /// Licensed fixed wireless.
+    FixedWireless,
+}
+
+impl Technology {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Technology::Dsl => "DSL",
+            Technology::Fiber => "Fiber",
+            Technology::FixedWireless => "Fixed Wireless",
+        }
+    }
+}
+
+/// One certified deployment location: a row of the CAF Map.
+#[derive(Debug, Clone)]
+pub struct CafRecord {
+    /// The residential address.
+    pub address: Address,
+    /// The certifying (subsidized) ISP.
+    pub isp: Isp,
+    /// Download speed the ISP certified to USAC, in Mbps.
+    pub certified_down_mbps: f64,
+    /// Upload speed the ISP certified, in Mbps.
+    pub certified_up_mbps: f64,
+    /// Certified last-mile technology.
+    pub technology: Technology,
+    /// Certified round-trip latency in milliseconds.
+    pub latency_ms: f64,
+}
+
+/// The CAF-Map slice for one state: every certified address of every
+/// audited ISP, with a by-CBG index for the sampling stage.
+#[derive(Debug, Clone)]
+pub struct UsacDataset {
+    /// The state this slice covers.
+    pub state: UsState,
+    /// All records, ordered by (ISP, CBG, address id).
+    pub records: Vec<CafRecord>,
+    by_cbg: BTreeMap<(Isp, BlockGroupId), Vec<usize>>,
+}
+
+/// Street-name lexicon for synthesized addresses.
+const STREET_NAMES: &[&str] = &[
+    "County Road 12", "State Route 9", "Old Mill Rd", "Cedar Ln", "Maple St",
+    "Church Rd", "Lakeview Dr", "Pine Hollow Rd", "Ridge Rd", "Valley View Ln",
+    "Farm-to-Market Rd", "Quarry Rd", "Orchard Ave", "Prairie Trl", "Hickory Ln",
+];
+
+/// City-name lexicon (rural-flavored).
+const CITY_NAMES: &[&str] = &[
+    "Fairview", "Midway", "Oak Grove", "Pleasant Hill", "Cedar Springs",
+    "Riverton", "Milltown", "Georgetown", "Salem", "Clayton",
+];
+
+impl UsacDataset {
+    /// Materializes the CAF Map slice for a state from its geography.
+    ///
+    /// Address ids are dense and deterministic: the state FIPS code times
+    /// 10⁹ plus a running counter, so ids never collide across states and
+    /// regeneration yields identical ids.
+    pub fn build(config: &SynthConfig, geo: &StateGeography) -> UsacDataset {
+        let state = geo.state;
+        let fips = u64::from(state.fips().code());
+        let mut counter: u64 = 0;
+        let mut records: Vec<CafRecord> = Vec::new();
+        let mut by_cbg: BTreeMap<(Isp, BlockGroupId), Vec<usize>> = BTreeMap::new();
+
+        for cbg in &geo.cbgs {
+            let mut rng = scoped_rng(config.seed, "usac", cbg.id.geoid());
+            let certified = CalibrationParams::certified_tier_weights(cbg.isp);
+            let weights: Vec<f64> = certified.iter().map(|&(_, w)| w).collect();
+            for block in &cbg.blocks {
+                for _ in 0..block.caf_addresses {
+                    counter += 1;
+                    let id = AddressId(fips * 1_000_000_000 + counter);
+                    let jitter_lat = rng.gen_range(-0.004..0.004);
+                    let jitter_lon = rng.gen_range(-0.004..0.004);
+                    let location = LatLon::new(
+                        (block.centroid.lat() + jitter_lat).clamp(-90.0, 90.0),
+                        (block.centroid.lon() + jitter_lon).clamp(-180.0, 180.0),
+                    )
+                    .expect("jittered location in range");
+                    let street = StreetAddress {
+                        number: rng.gen_range(100..9_999),
+                        street: STREET_NAMES[rng.gen_range(0..STREET_NAMES.len())].to_string(),
+                        city: CITY_NAMES[rng.gen_range(0..CITY_NAMES.len())].to_string(),
+                        state_abbrev: state.abbrev().to_string(),
+                        zip: 10_000 + (cbg.id.geoid() % 89_999) as u32,
+                    };
+                    let (down, up) = if certified.is_empty() {
+                        (10.0, 1.0)
+                    } else {
+                        let idx = dist::categorical(&mut rng, &weights);
+                        let down = certified[idx].0;
+                        (down, (down / 10.0).max(1.0))
+                    };
+                    let technology = if down >= 100.0 {
+                        Technology::Fiber
+                    } else if dist::bernoulli(&mut rng, 0.9) {
+                        Technology::Dsl
+                    } else {
+                        Technology::FixedWireless
+                    };
+                    let idx = records.len();
+                    records.push(CafRecord {
+                        address: Address {
+                            id,
+                            street,
+                            location,
+                            block: block.id,
+                        },
+                        isp: cbg.isp,
+                        certified_down_mbps: down,
+                        certified_up_mbps: up,
+                        technology,
+                        latency_ms: rng.gen_range(15.0..95.0),
+                    });
+                    by_cbg.entry((cbg.isp, cbg.id)).or_default().push(idx);
+                }
+            }
+        }
+        UsacDataset {
+            state,
+            records,
+            by_cbg,
+        }
+    }
+
+    /// Record indices for one (ISP, CBG) cell, in generation order.
+    pub fn records_in_cbg(&self, isp: Isp, cbg: BlockGroupId) -> &[usize] {
+        self.by_cbg
+            .get(&(isp, cbg))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Iterates over the (ISP, CBG) cells present in this slice.
+    pub fn cbg_cells(&self) -> impl Iterator<Item = (Isp, BlockGroupId, &[usize])> {
+        self.by_cbg
+            .iter()
+            .map(|(&(isp, cbg), idxs)| (isp, cbg, idxs.as_slice()))
+    }
+
+    /// Total certified addresses for one ISP in this state.
+    pub fn addresses_for(&self, isp: Isp) -> usize {
+        self.records.iter().filter(|r| r.isp == isp).count()
+    }
+
+    /// The dataset as a dataframe (one row per record) for relational
+    /// analysis: columns `addr_id, isp, state, cbg, block, lat, lon,
+    /// certified_down, certified_up, technology, latency_ms`.
+    pub fn to_dataframe(&self) -> DataFrame {
+        let n = self.records.len();
+        let mut addr_id = Vec::with_capacity(n);
+        let mut isp = Vec::with_capacity(n);
+        let mut cbg = Vec::with_capacity(n);
+        let mut block = Vec::with_capacity(n);
+        let mut lat = Vec::with_capacity(n);
+        let mut lon = Vec::with_capacity(n);
+        let mut down = Vec::with_capacity(n);
+        let mut up = Vec::with_capacity(n);
+        let mut tech = Vec::with_capacity(n);
+        let mut latency = Vec::with_capacity(n);
+        for r in &self.records {
+            addr_id.push(r.address.id.0 as i64);
+            isp.push(r.isp.name());
+            cbg.push(r.address.block_group().to_string());
+            block.push(r.address.block.to_string());
+            lat.push(r.address.location.lat());
+            lon.push(r.address.location.lon());
+            down.push(r.certified_down_mbps);
+            up.push(r.certified_up_mbps);
+            tech.push(r.technology.label());
+            latency.push(r.latency_ms);
+        }
+        DataFrame::new(vec![
+            ("addr_id", addr_id.into_iter().collect::<Column>()),
+            ("isp", isp.into_iter().collect::<Column>()),
+            (
+                "state",
+                std::iter::repeat_n(self.state.abbrev(), n)
+                    .collect::<Column>(),
+            ),
+            ("cbg", cbg.into_iter().collect::<Column>()),
+            ("block", block.into_iter().collect::<Column>()),
+            ("lat", lat.into_iter().collect::<Column>()),
+            ("lon", lon.into_iter().collect::<Column>()),
+            ("certified_down", down.into_iter().collect::<Column>()),
+            ("certified_up", up.into_iter().collect::<Column>()),
+            ("technology", tech.into_iter().collect::<Column>()),
+            ("latency_ms", latency.into_iter().collect::<Column>()),
+        ])
+        .expect("columns constructed with equal lengths")
+    }
+}
+
+/// National-scale marginals of the CAF program (Figure 1): per-state and
+/// per-ISP address/fund shares, plus samples of addresses-per-CB and
+/// addresses-per-CBG. Generated directly from the published aggregates
+/// (6.13 M locations, $10 B, 819 ISPs) rather than by materializing six
+/// million records.
+#[derive(Debug, Clone)]
+pub struct NationalCafSummary {
+    /// `(state, addresses, funds_usd)` for every registry state with CAF
+    /// presence, descending by addresses.
+    pub by_state: Vec<(UsState, u64, f64)>,
+    /// `(isp_name, addresses, funds_usd)` for the named top ISPs plus an
+    /// aggregated long tail, descending by addresses.
+    pub by_isp: Vec<(String, u64, f64)>,
+    /// Sampled CAF-addresses-per-census-block counts.
+    pub addresses_per_block: Vec<u32>,
+    /// Sampled CAF-addresses-per-CBG counts.
+    pub addresses_per_cbg: Vec<u32>,
+}
+
+impl NationalCafSummary {
+    /// Total program size (paper: 6.13 M locations).
+    pub const TOTAL_ADDRESSES: u64 = 6_130_000;
+    /// Total disbursement (paper: ≈$10 B).
+    pub const TOTAL_FUNDS_USD: f64 = 10.0e9;
+
+    /// Builds the national marginals, deterministic in the seed.
+    pub fn build(config: &SynthConfig) -> NationalCafSummary {
+        let mut rng = scoped_rng(config.seed, "national", 0);
+
+        // State shares: Texas, Wisconsin, Minnesota lead by addresses;
+        // Texas, Minnesota, Arkansas by funds (§2.3). Shares decay
+        // geometrically over the registry so the top-20 hold ≈73 %.
+        let mut states: Vec<UsState> = UsState::all().collect();
+        // Fixed leader order for the named top states.
+        let leaders = [
+            UsState::Texas,
+            UsState::Wisconsin,
+            UsState::Minnesota,
+            UsState::Arkansas,
+            UsState::California,
+            UsState::Missouri,
+        ];
+        states.sort_by_key(|s| {
+            leaders
+                .iter()
+                .position(|l| l == s)
+                .unwrap_or(usize::MAX)
+        });
+        let n = states.len();
+        let mut addr_weights: Vec<f64> = (0..n).map(|i| 0.95_f64.powi(i as i32)).collect();
+        // Mild noise in the tail so no two runs are byte-identical across
+        // seeds, while leaders stay fixed.
+        for w in addr_weights.iter_mut().skip(leaders.len()) {
+            *w *= rng.gen_range(0.8..1.2);
+        }
+        let addr_total: f64 = addr_weights.iter().sum();
+        // Funds track addresses but with a different leader permutation:
+        // swap Wisconsin and Arkansas fund weights so the fund top-3 is
+        // TX, MN, AR as published.
+        let mut fund_weights = addr_weights.clone();
+        let wi = states.iter().position(|&s| s == UsState::Wisconsin);
+        let mn = states.iter().position(|&s| s == UsState::Minnesota);
+        let ar = states.iter().position(|&s| s == UsState::Arkansas);
+        if let (Some(wi), Some(mn), Some(ar)) = (wi, mn, ar) {
+            fund_weights[mn] = addr_weights[wi] * 1.02;
+            fund_weights[ar] = addr_weights[mn] * 1.01;
+            fund_weights[wi] = addr_weights[ar];
+        }
+        let fund_total: f64 = fund_weights.iter().sum();
+
+        let by_state: Vec<(UsState, u64, f64)> = states
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| {
+                (
+                    s,
+                    (Self::TOTAL_ADDRESSES as f64 * addr_weights[i] / addr_total) as u64,
+                    Self::TOTAL_FUNDS_USD * fund_weights[i] / fund_total,
+                )
+            })
+            .collect();
+
+        // ISP shares: the named top recipients plus a geometric tail of
+        // "Rural Carrier #k" entries, 819 ISPs in total.
+        let named: Vec<(String, u64, f64)> = [
+            Isp::Att,
+            Isp::CenturyLink,
+            Isp::Frontier,
+            Isp::Windstream,
+            Isp::Consolidated,
+        ]
+        .iter()
+        .map(|i| {
+            (
+                i.name().to_string(),
+                i.caf_addresses_national(),
+                i.caf_funding_usd(),
+            )
+        })
+        .collect();
+        let named_addr: u64 = named.iter().map(|(_, a, _)| a).sum();
+        let named_funds: f64 = named.iter().map(|(_, _, f)| f).sum();
+        let tail_addr = Self::TOTAL_ADDRESSES - named_addr;
+        let tail_funds = Self::TOTAL_FUNDS_USD - named_funds;
+        let tail_n = 819 - named.len();
+        let tail_weights: Vec<f64> = (0..tail_n)
+            .map(|i| 0.992_f64.powi(i as i32) * rng.gen_range(0.7..1.3))
+            .collect();
+        let tw: f64 = tail_weights.iter().sum();
+        let mut by_isp = named;
+        for (i, w) in tail_weights.iter().enumerate() {
+            by_isp.push((
+                format!("Rural Carrier #{:03}", i + 1),
+                (tail_addr as f64 * w / tw) as u64,
+                tail_funds * w / tw,
+            ));
+        }
+        by_isp.sort_by_key(|entry| std::cmp::Reverse(entry.1));
+
+        // Addresses-per-CB: 6.13 M over 787 k blocks (mean ≈ 7.8, range 1
+        // to >5 k). Addresses-per-CBG: over 43 k CBGs (median 64).
+        let samples = 20_000;
+        let addresses_per_block: Vec<u32> = (0..samples)
+            .map(|_| {
+                dist::lognormal(&mut rng, 5.0_f64.ln(), 1.1)
+                    .round()
+                    .clamp(1.0, 5_500.0) as u32
+            })
+            .collect();
+        let addresses_per_cbg: Vec<u32> = (0..samples)
+            .map(|_| {
+                dist::lognormal(&mut rng, 64.0_f64.ln(), 2.0)
+                    .round()
+                    .clamp(1.0, 5_200.0) as u32
+            })
+            .collect();
+
+        NationalCafSummary {
+            by_state,
+            by_isp,
+            addresses_per_block,
+            addresses_per_cbg,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geography::StateGeography;
+
+    fn cfg() -> SynthConfig {
+        SynthConfig {
+            seed: 11,
+            scale: 20,
+        }
+    }
+
+    fn dataset(state: UsState) -> UsacDataset {
+        let geo = StateGeography::build(&cfg(), state);
+        UsacDataset::build(&cfg(), &geo)
+    }
+
+    #[test]
+    fn records_match_geography_totals() {
+        let geo = StateGeography::build(&cfg(), UsState::Alabama);
+        let ds = UsacDataset::build(&cfg(), &geo);
+        assert_eq!(ds.records.len() as u64, geo.total_caf_addresses());
+        // Every CBG cell is indexed and sums back to the record count.
+        let indexed: usize = ds.cbg_cells().map(|(_, _, idxs)| idxs.len()).sum();
+        assert_eq!(indexed, ds.records.len());
+    }
+
+    #[test]
+    fn address_ids_unique_and_state_scoped() {
+        let ds = dataset(UsState::Vermont);
+        let mut ids: Vec<u64> = ds.records.iter().map(|r| r.address.id.0).collect();
+        ids.sort_unstable();
+        let before = ids.len();
+        ids.dedup();
+        assert_eq!(ids.len(), before);
+        // Vermont FIPS 50: ids live in the 50-billion block.
+        assert!(ids.iter().all(|&id| id / 1_000_000_000 == 50));
+    }
+
+    #[test]
+    fn certified_speeds_meet_the_fcc_floor() {
+        // Figure 1f / Table 1: every certified tier is ≥ 10 Mbps — the
+        // self-reported picture is fully compliant.
+        for state in [UsState::Vermont, UsState::Alabama] {
+            for r in &dataset(state).records {
+                assert!(r.certified_down_mbps >= 10.0);
+                assert!(r.certified_up_mbps >= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn consolidated_certifies_a_tier_mix() {
+        // Table 1: Consolidated certifies 10/25/100/1000 Mbps tiers.
+        let ds = dataset(UsState::Vermont);
+        let mut tiers: Vec<f64> = ds
+            .records
+            .iter()
+            .filter(|r| r.isp == Isp::Consolidated)
+            .map(|r| r.certified_down_mbps)
+            .collect();
+        tiers.sort_by(|a, b| a.total_cmp(b));
+        tiers.dedup();
+        assert!(tiers.len() >= 2, "expected a tier mix, got {tiers:?}");
+        assert_eq!(tiers[0], 10.0);
+    }
+
+    #[test]
+    fn records_in_cbg_lookup() {
+        let ds = dataset(UsState::NewHampshire);
+        let (isp, cbg, idxs) = ds.cbg_cells().next().expect("at least one cell");
+        assert_eq!(ds.records_in_cbg(isp, cbg), idxs);
+        for &i in idxs {
+            assert_eq!(ds.records[i].address.block_group(), cbg);
+            assert_eq!(ds.records[i].isp, isp);
+        }
+        // Missing cell yields empty.
+        assert!(ds
+            .records_in_cbg(Isp::Att, cbg)
+            .is_empty() || isp == Isp::Att);
+    }
+
+    #[test]
+    fn dataframe_roundtrip_shape() {
+        let ds = dataset(UsState::NewHampshire);
+        let df = ds.to_dataframe();
+        assert_eq!(df.n_rows(), ds.records.len());
+        assert!(df.has_column("certified_down"));
+        assert_eq!(
+            df.row(0).str("state").unwrap(),
+            "NH"
+        );
+    }
+
+    #[test]
+    fn national_summary_shape() {
+        let s = NationalCafSummary::build(&cfg());
+        // Top-3 by addresses: TX, WI, MN (Figure 1a).
+        assert_eq!(s.by_state[0].0, UsState::Texas);
+        assert_eq!(s.by_state[1].0, UsState::Wisconsin);
+        assert_eq!(s.by_state[2].0, UsState::Minnesota);
+        // Top-3 by funds: TX, MN, AR (Figure 1d).
+        let mut by_funds = s.by_state.clone();
+        by_funds.sort_by(|a, b| b.2.total_cmp(&a.2));
+        assert_eq!(by_funds[0].0, UsState::Texas);
+        assert_eq!(by_funds[1].0, UsState::Minnesota);
+        assert_eq!(by_funds[2].0, UsState::Arkansas);
+        // 819 ISPs; AT&T leads by addresses; top-4 ≈ 62 % of addresses
+        // and ≈ 37.5 % of funds (§2.3).
+        assert_eq!(s.by_isp.len(), 819);
+        assert_eq!(s.by_isp[0].0, "AT&T");
+        let top4_addr: u64 = s.by_isp.iter().take(4).map(|(_, a, _)| a).sum();
+        let share = top4_addr as f64 / NationalCafSummary::TOTAL_ADDRESSES as f64;
+        assert!((0.55..0.68).contains(&share), "top4 share {share}");
+        let top4_funds: f64 = [Isp::Att, Isp::CenturyLink, Isp::Frontier, Isp::Windstream]
+            .iter()
+            .map(|i| i.caf_funding_usd())
+            .sum();
+        let fund_share = top4_funds / NationalCafSummary::TOTAL_FUNDS_USD;
+        assert!((0.33..0.45).contains(&fund_share), "fund share {fund_share}");
+        // Per-CB distribution: mean near 7.8, heavy tail.
+        let mean = s.addresses_per_block.iter().map(|&x| x as f64).sum::<f64>()
+            / s.addresses_per_block.len() as f64;
+        assert!((5.0..13.0).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = dataset(UsState::Utah);
+        let b = dataset(UsState::Utah);
+        assert_eq!(a.records.len(), b.records.len());
+        assert_eq!(a.records[0].address.street, b.records[0].address.street);
+        assert_eq!(
+            a.records[0].certified_down_mbps,
+            b.records[0].certified_down_mbps
+        );
+    }
+}

@@ -1,0 +1,129 @@
+//! The assembled synthetic world.
+//!
+//! [`World::generate`] is the single entry point the rest of the workspace
+//! uses: it builds, per study state, the census geography, the USAC
+//! CAF-Map slice, the Q3 block world, and one merged [`TruthTable`]
+//! covering every (address, ISP) pair a campaign can query.
+
+use crate::geography::StateGeography;
+use crate::params::SynthConfig;
+use crate::q3::Q3World;
+use crate::truth::TruthTable;
+use crate::usac::UsacDataset;
+use caf_geo::UsState;
+
+/// Everything generated for one state.
+#[derive(Debug, Clone)]
+pub struct StateWorld {
+    /// The state.
+    pub state: UsState,
+    /// Census geography (CBGs, blocks, densities).
+    pub geography: StateGeography,
+    /// The USAC CAF-Map slice (certified addresses).
+    pub usac: UsacDataset,
+    /// The Q3 block world (empty outside the seven Q3 states).
+    pub q3: Q3World,
+}
+
+/// The full synthetic world.
+#[derive(Debug, Clone)]
+pub struct World {
+    /// The configuration it was generated from.
+    pub config: SynthConfig,
+    /// Per-state worlds, in [`UsState::study_states`] order.
+    pub states: Vec<StateWorld>,
+    /// The latent truth for every queryable (address, ISP) pair.
+    /// **For `caf-bqt` only** — analysis code must not read it.
+    pub truth: TruthTable,
+}
+
+impl World {
+    /// Generates the world for all fifteen study states.
+    pub fn generate(config: SynthConfig) -> World {
+        Self::generate_states(config, &UsState::study_states())
+    }
+
+    /// Generates the world for a subset of states (cheaper for tests and
+    /// focused experiments).
+    pub fn generate_states(config: SynthConfig, states: &[UsState]) -> World {
+        let mut truth = TruthTable::new();
+        let state_worlds: Vec<StateWorld> = states
+            .iter()
+            .map(|&state| {
+                let geography = StateGeography::build(&config, state);
+                let usac = UsacDataset::build(&config, &geography);
+                truth.merge(TruthTable::build_q1(&config, &geography, &usac));
+                let q3 = Q3World::build(&config, state, &mut truth);
+                StateWorld {
+                    state,
+                    geography,
+                    usac,
+                    q3,
+                }
+            })
+            .collect();
+        World {
+            config,
+            states: state_worlds,
+            truth,
+        }
+    }
+
+    /// The per-state world for `state`, if generated.
+    pub fn state(&self, state: UsState) -> Option<&StateWorld> {
+        self.states.iter().find(|s| s.state == state)
+    }
+
+    /// Total certified CAF addresses across all generated states.
+    pub fn total_caf_addresses(&self) -> u64 {
+        self.states
+            .iter()
+            .map(|s| s.usac.records.len() as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isp::Isp;
+
+    #[test]
+    fn two_state_world_assembles() {
+        let config = SynthConfig {
+            seed: 21,
+            scale: 40,
+        };
+        let world =
+            World::generate_states(config, &[UsState::Vermont, UsState::Utah]);
+        assert_eq!(world.states.len(), 2);
+        let vt = world.state(UsState::Vermont).unwrap();
+        assert!(vt.q3.blocks.is_empty(), "Vermont is not a Q3 state");
+        let ut = world.state(UsState::Utah).unwrap();
+        assert!(!ut.q3.blocks.is_empty(), "Utah is a Q3 state");
+        assert!(world.total_caf_addresses() > 0);
+        // Truth covers at least every USAC record plus Q3 addresses.
+        let usac_total: usize = world.states.iter().map(|s| s.usac.records.len()).sum();
+        assert!(world.truth.len() >= usac_total);
+        assert!(world.state(UsState::Ohio).is_none());
+    }
+
+    #[test]
+    fn q1_and_q3_truth_coexist() {
+        let config = SynthConfig {
+            seed: 22,
+            scale: 60,
+        };
+        let world = World::generate_states(config, &[UsState::NewHampshire]);
+        let nh = world.state(UsState::NewHampshire).unwrap();
+        // A Q1 record's truth is present.
+        let r = &nh.usac.records[0];
+        assert!(world.truth.get(r.address.id, r.isp).is_some());
+        // A Q3 address's truth is present under the block's CAF ISP.
+        let block = &nh.q3.blocks[0];
+        let a = &block.addresses[0];
+        assert!(world.truth.get(a.address.id, block.caf_isp).is_some());
+        // NH's Q3 incumbent is Consolidated (Table 4).
+        assert_eq!(block.caf_isp, Isp::Consolidated);
+    }
+}
