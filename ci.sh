@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate for the caf-audit reproduction.
+#
+# Mirrors what reviewers run before merging: formatting, a release
+# build, the full test suite (unit + integration + doc), and clippy at
+# deny-warnings across every target (lib, bins, benches, tests).
+#
+# Usage: ./ci.sh
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --all -- --check"
+cargo fmt --all -- --check
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> ci.sh: all gates passed"

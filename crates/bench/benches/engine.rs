@@ -1,0 +1,83 @@
+//! Criterion benches for the execution layer introduced with the audit
+//! engine: audit wall-clock as a function of engine worker count (the
+//! scaling curve the ≥2×-at-4-workers acceptance bar is read from) and
+//! the one-time `AuditIndex` build cost next to the per-analysis
+//! grouping it amortizes away.
+
+use caf_bench::campaign_config;
+use caf_core::{
+    Audit, AuditConfig, AuditIndex, ComplianceAnalysis, EngineConfig, SamplingRule,
+    ServiceabilityAnalysis,
+};
+use caf_geo::UsState;
+use caf_synth::{SynthConfig, World};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+const SEED: u64 = 0xCAF_2024;
+/// The acceptance-criteria scale: `repro`'s default (`--scale 30`).
+const SCALE: u32 = 30;
+
+fn audit_at(scale: u32) -> (World, Audit) {
+    let synth = SynthConfig { seed: SEED, scale };
+    let world = World::generate_states(synth, &UsState::study_states());
+    let audit = Audit::new(AuditConfig {
+        synth,
+        campaign: campaign_config(SEED),
+        rule: SamplingRule::paper(),
+        resample_rounds: 2,
+    });
+    (world, audit)
+}
+
+/// Audit wall-clock vs engine worker count over all fifteen study
+/// states. Every run produces byte-identical output (the engine's
+/// determinism contract); only the wall-clock may move.
+fn bench_engine_scaling(c: &mut Criterion) {
+    let (world, audit) = audit_at(SCALE);
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_function(format!("audit_scale30_workers_{workers}"), |b| {
+            b.iter(|| {
+                let dataset = audit.run_with(&world, EngineConfig::with_workers(workers));
+                black_box(dataset.rows.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The index build plus the analyses projected from it, next to the
+/// legacy shape (each analysis building its own grouping) — the
+/// amortization argument for the shared index, in numbers.
+fn bench_index(c: &mut Criterion) {
+    let (world, audit) = audit_at(SCALE);
+    let dataset = audit.run_with(&world, EngineConfig::auto());
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(20);
+    group.bench_function("index_build_scale30", |b| {
+        b.iter(|| {
+            let index = AuditIndex::build(&dataset);
+            black_box(index.cells().len())
+        })
+    });
+    group.bench_function("analyses_from_shared_index", |b| {
+        b.iter(|| {
+            let index = AuditIndex::build(&dataset);
+            let s = ServiceabilityAnalysis::from_index(&index);
+            let c = ComplianceAnalysis::from_index(&dataset, &index);
+            black_box((s.overall_rate(), c.overall_rate()))
+        })
+    });
+    group.bench_function("analyses_each_building_own_index", |b| {
+        b.iter(|| {
+            let s = ServiceabilityAnalysis::compute(&dataset);
+            let c = ComplianceAnalysis::compute(&dataset);
+            black_box((s.overall_rate(), c.overall_rate()))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(engine, bench_engine_scaling, bench_index);
+criterion_main!(engine);

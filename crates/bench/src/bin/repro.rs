@@ -3,9 +3,14 @@
 //! Usage:
 //!
 //! ```text
-//! repro <experiment>... [--scale N] [--seed N]
+//! repro <experiment>... [--scale N] [--seed N] [--workers N]
 //! repro all [--scale N]
 //! ```
+//!
+//! `--workers` sets the audit engine's thread count (default: one per
+//! core, capped at 8). The engine's determinism contract guarantees the
+//! numbers below are identical at every worker count — only wall-clock
+//! time changes.
 //!
 //! Experiments: `fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11
 //! table1 table2 table3 table4 rates summary ablate-weights
@@ -22,13 +27,15 @@ use caf_core::coverage::CoverageSeries;
 use caf_core::q3::{BlockComparison, BlockType, ComparisonOutcome};
 use caf_core::sensitivity::SensitivityAnalysis;
 use caf_core::{
-    Audit, AuditConfig, EfficacyReport, Q3Analysis, SamplingRule, ServiceabilityAnalysis,
+    Audit, AuditConfig, EfficacyReport, EngineConfig, Q3Analysis, SamplingRule,
+    ServiceabilityAnalysis,
 };
 use caf_geo::{AddressId, BlockId, UsState};
 use caf_stats::{median, quantile, UrbanRateBenchmark};
 use caf_synth::params::{CalibrationParams, ErrorCategory};
 use caf_synth::usac::NationalCafSummary;
 use caf_synth::{Isp, SynthConfig, World};
+use std::cell::OnceCell;
 use std::collections::HashMap;
 
 const ALL: &[&str] = &[
@@ -44,6 +51,7 @@ struct Options {
     seed: u64,
     scale: u32,
     q3_scale: u32,
+    engine: EngineConfig,
 }
 
 fn parse_args() -> Options {
@@ -51,6 +59,7 @@ fn parse_args() -> Options {
     let mut seed = 0xCAF_2024;
     let mut scale = 30;
     let mut q3_scale = 10;
+    let mut engine = EngineConfig::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -73,9 +82,16 @@ fn parse_args() -> Options {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die("--q3-scale needs an integer"));
             }
+            "--workers" => {
+                engine = EngineConfig::with_workers(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--workers needs an integer")),
+                );
+            }
             "all" => experiments.extend(ALL.iter().map(|s| s.to_string())),
             "--help" | "-h" => {
-                println!("repro <experiment>... [--scale N] [--seed N]");
+                println!("repro <experiment>... [--scale N] [--seed N] [--workers N]");
                 println!("experiments: {}", ALL.join(" "));
                 std::process::exit(0);
             }
@@ -91,6 +107,7 @@ fn parse_args() -> Options {
         seed,
         scale,
         q3_scale,
+        engine,
     }
 }
 
@@ -99,48 +116,62 @@ fn die(msg: &str) -> ! {
     std::process::exit(2);
 }
 
-/// Lazily-built shared state so single-experiment runs stay fast.
+/// Lazily-built shared state so single-experiment runs stay fast. The
+/// fixtures live in `OnceCell`s, so every accessor takes `&self` — the
+/// experiments below can hold the Q3 fixture and the Q1/Q2 fixture at
+/// the same time without the `&mut` re-borrow dance the old
+/// `Option`-based cache forced, and nothing can accidentally rebuild a
+/// fixture that already exists.
 struct Lazy {
     seed: u64,
     scale: u32,
     q3_scale: u32,
-    fixture: Option<Fixture>,
-    q3: Option<(World, Q3Analysis)>,
+    engine: EngineConfig,
+    fixture: OnceCell<Fixture>,
+    q3: OnceCell<(World, Q3Analysis)>,
 }
 
 impl Lazy {
-    fn fixture(&mut self) -> &Fixture {
-        if self.fixture.is_none() {
-            eprintln!(
-                "[repro] building Q1/Q2 fixture (seed {}, scale 1:{}) ...",
-                self.seed, self.scale
-            );
-            self.fixture = Some(Fixture::build(self.seed, self.scale));
+    fn new(options: &Options) -> Lazy {
+        Lazy {
+            seed: options.seed,
+            scale: options.scale,
+            q3_scale: options.q3_scale,
+            engine: options.engine,
+            fixture: OnceCell::new(),
+            q3: OnceCell::new(),
         }
-        self.fixture.as_ref().expect("just built")
     }
 
-    fn q3(&mut self) -> &(World, Q3Analysis) {
-        if self.q3.is_none() {
+    fn fixture(&self) -> &Fixture {
+        self.fixture.get_or_init(|| {
+            eprintln!(
+                "[repro] building Q1/Q2 fixture (seed {}, scale 1:{}, {} engine workers) ...",
+                self.seed, self.scale, self.engine.workers
+            );
+            Fixture::build_tuned(
+                self.seed,
+                self.scale,
+                &UsState::study_states(),
+                self.engine,
+            )
+        })
+    }
+
+    fn q3(&self) -> &(World, Q3Analysis) {
+        self.q3.get_or_init(|| {
             eprintln!(
                 "[repro] building Q3 fixture (seed {}, scale 1:{}) ...",
                 self.seed, self.q3_scale
             );
-            self.q3 = Some(Fixture::build_q3(self.seed, self.q3_scale));
-        }
-        self.q3.as_ref().expect("just built")
+            Fixture::build_q3(self.seed, self.q3_scale)
+        })
     }
 }
 
 fn main() {
     let options = parse_args();
-    let mut lazy = Lazy {
-        seed: options.seed,
-        scale: options.scale,
-        q3_scale: options.q3_scale,
-        fixture: None,
-        q3: None,
-    };
+    let lazy = Lazy::new(&options);
     for experiment in &options.experiments {
         println!("\n################ {experiment} ################");
         match experiment.as_str() {
@@ -160,11 +191,11 @@ fn main() {
             "table2" => table2(lazy.fixture()),
             "fig9" => fig9(options.seed, options.scale),
             "fig11" => fig11(lazy.fixture()),
-            "summary" => summary(&mut lazy),
+            "summary" => summary(&lazy),
             "ablate-weights" => ablate_weights(lazy.fixture()),
-            "ablate-sampling" => ablate_sampling(options.seed, options.scale),
-            "ablate-retry" => ablate_retry(options.seed, options.scale),
-            "ablate-granularity" => ablate_granularity(&mut lazy),
+            "ablate-sampling" => ablate_sampling(&lazy),
+            "ablate-retry" => ablate_retry(&lazy),
+            "ablate-granularity" => ablate_granularity(&lazy),
             "ext-experienced" => ext_experienced(options.seed, options.scale),
             "ext-oversight" => ext_oversight(options.seed, options.scale),
             "ext-bead" => ext_bead(lazy.fixture()),
@@ -172,7 +203,7 @@ fn main() {
             "ext-ci" => ext_ci(lazy.fixture()),
             "ext-competition" => ext_competition(&lazy.q3().1),
             "dump" => dump(lazy.fixture()),
-            "validate" => validate(&mut lazy),
+            "validate" => validate(&lazy),
             other => die(&format!("unhandled experiment {other}")),
         }
     }
@@ -782,26 +813,21 @@ fn fig11(fixture: &Fixture) {
 
 // --------------------------------------------------------------- summary
 
-fn summary(lazy: &mut Lazy) {
-    // Borrow-friendly ordering: clone the pieces we need.
-    let report = {
-        let q3 = &lazy.q3().1;
-        let type_a = q3.type_a_outcomes();
-        let type_b = q3.type_b_outcomes();
-        let mut uplifts = q3.type_a_uplift_percents();
-        uplifts.sort_by(|a, b| a.total_cmp(b));
-        let median_uplift = if uplifts.is_empty() {
-            None
-        } else {
-            Some(uplifts[uplifts.len() / 2])
-        };
-        let fixture = lazy.fixture();
-        let mut report =
-            EfficacyReport::assemble(&fixture.serviceability, &fixture.compliance, None);
-        report.type_a_split = type_a;
-        report.type_b_split = type_b;
-        report.median_uplift_pct = median_uplift;
-        report
+fn summary(lazy: &Lazy) {
+    // Both fixtures can be borrowed simultaneously now that the cache is
+    // interior-mutable.
+    let q3 = &lazy.q3().1;
+    let fixture = lazy.fixture();
+    let mut uplifts = q3.type_a_uplift_percents();
+    uplifts.sort_by(|a, b| a.total_cmp(b));
+    let mut report =
+        EfficacyReport::assemble(&fixture.serviceability, &fixture.compliance, None);
+    report.type_a_split = q3.type_a_outcomes();
+    report.type_b_split = q3.type_b_outcomes();
+    report.median_uplift_pct = if uplifts.is_empty() {
+        None
+    } else {
+        Some(uplifts[uplifts.len() / 2])
     };
     println!("§7 headline summary (paper: 55.45 % serviceable, 44.55 % unserved,");
     println!("  33.03 % compliant, Type A 27/54/17, median uplift +75 %)\n");
@@ -841,18 +867,25 @@ fn ablate_weights(fixture: &Fixture) {
     println!("The weighting rule shifts the headline by {:.2} points.", 100.0 * (weighted - naive).abs());
 }
 
-fn ablate_sampling(seed: u64, scale: u32) {
+fn ablate_sampling(lazy: &Lazy) {
     println!("Ablation — paper sampling rule vs alternatives (§3.1 argument)");
-    let synth = SynthConfig { seed, scale };
-    let world = World::generate_states(synth, &[UsState::Alabama, UsState::Wisconsin]);
+    // The fixture's world already contains these states (per-state
+    // generation is keyed by (seed, state)); audit just the slice
+    // instead of regenerating a two-state world.
+    let fixture = lazy.fixture();
+    let states = [UsState::Alabama, UsState::Wisconsin];
+    let synth = SynthConfig {
+        seed: lazy.seed,
+        scale: lazy.scale,
+    };
     let run_rule = |label: &str, rule: SamplingRule| {
         let audit = Audit::new(AuditConfig {
             synth,
-            campaign: campaign_config(seed),
+            campaign: campaign_config(lazy.seed),
             rule,
             resample_rounds: 2,
         });
-        let dataset = audit.run(&world);
+        let dataset = audit.run_for(&fixture.world, &states, lazy.engine);
         let analysis = ServiceabilityAnalysis::compute(&dataset);
         println!(
             "  {label:<26} queried {:>7}  serviceability {}",
@@ -870,18 +903,22 @@ fn ablate_sampling(seed: u64, scale: u32) {
     println!("The floor buys small-CBG precision at a fraction of exhaustive cost.");
 }
 
-fn ablate_retry(seed: u64, scale: u32) {
+fn ablate_retry(lazy: &Lazy) {
     println!("Ablation — retry/resample policy vs coverage (Figures 7/8 driver)");
-    let synth = SynthConfig { seed, scale };
-    let world = World::generate_states(synth, &[UsState::Vermont, UsState::NewHampshire]);
+    let fixture = lazy.fixture();
+    let states = [UsState::Vermont, UsState::NewHampshire];
+    let synth = SynthConfig {
+        seed: lazy.seed,
+        scale: lazy.scale,
+    };
     for (label, rounds) in [("no resampling", 0u32), ("2 resample rounds", 2u32)] {
         let audit = Audit::new(AuditConfig {
             synth,
-            campaign: campaign_config(seed),
+            campaign: campaign_config(lazy.seed),
             rule: SamplingRule::paper(),
             resample_rounds: rounds,
         });
-        let dataset = audit.run(&world);
+        let dataset = audit.run_for(&fixture.world, &states, lazy.engine);
         let collected: usize = dataset.coverage.iter().map(|c| c.collected).sum();
         let queried: usize = dataset.coverage.iter().map(|c| c.queried).sum();
         let analysis = ServiceabilityAnalysis::compute(&dataset);
@@ -893,7 +930,7 @@ fn ablate_retry(seed: u64, scale: u32) {
     println!("(Consolidated's flaky site makes Vermont/New Hampshire the stress case.)");
 }
 
-fn ablate_granularity(lazy: &mut Lazy) {
+fn ablate_granularity(lazy: &Lazy) {
     println!("Ablation — census-block vs block-group granularity for Q3 neighbors");
     let analysis = &lazy.q3().1;
     let block_split = analysis.type_a_outcomes();
@@ -1036,10 +1073,12 @@ fn ext_bead(fixture: &Fixture) {
         print!(" {:>16}", r.name);
     }
     println!();
+    // Twelve rule×ISP scores plus three overalls off the fixture's one
+    // shared index — no per-score re-grouping.
     for isp in Isp::audited() {
         print!("{:<14}", isp.name());
         for r in &rules {
-            match r.compliance_rate_for(&fixture.dataset, isp) {
+            match r.compliance_rate_indexed(&fixture.dataset, &fixture.index, Some(isp)) {
                 Some(rate) => print!(" {:>16}", pct(rate)),
                 None => print!(" {:>16}", "-"),
             }
@@ -1050,7 +1089,9 @@ fn ext_bead(fixture: &Fixture) {
     for r in &rules {
         print!(
             " {:>16}",
-            r.compliance_rate(&fixture.dataset).map(pct).unwrap_or_default()
+            r.compliance_rate_indexed(&fixture.dataset, &fixture.index, None)
+                .map(pct)
+                .unwrap_or_default()
         );
     }
     println!();
@@ -1184,7 +1225,7 @@ fn dump(fixture: &Fixture) {
 /// Shape validation: re-asserts the headline paper-vs-measured checks of
 /// the calibration suite and prints PASS/FAIL per claim, exiting non-zero
 /// on any failure. A cheap smoke test for modified parameters or seeds.
-fn validate(lazy: &mut Lazy) {
+fn validate(lazy: &Lazy) {
     let mut failures = 0usize;
     let mut check = |label: &str, ok: bool, detail: String| {
         println!("  [{}] {label}: {detail}", if ok { "PASS" } else { "FAIL" });

@@ -5,29 +5,44 @@
 //! need the same thing: a deterministic end-to-end run at a chosen scale.
 //! This crate centralizes that fixture plus the text formatting the
 //! harness prints (aligned tables, CDF series, distribution rows).
+//!
+//! The fixture builds the [`AuditIndex`] exactly once and projects both
+//! the Q1 and Q2 analyses from it, so experiments sharing a fixture never
+//! re-group the audit rows. The audit itself runs on the parallel engine
+//! ([`EngineConfig`]); the engine's determinism contract guarantees the
+//! same fixture contents at any worker count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use caf_bqt::CampaignConfig;
 use caf_core::{
-    Audit, AuditConfig, AuditDataset, ComplianceAnalysis, Q3Analysis, SamplingRule,
-    ServiceabilityAnalysis,
+    Audit, AuditConfig, AuditDataset, AuditIndex, ComplianceAnalysis, EngineConfig, Q3Analysis,
+    SamplingRule, ServiceabilityAnalysis,
 };
 use caf_geo::UsState;
 use caf_stats::Ecdf;
 use caf_synth::{SynthConfig, World};
 
-/// A fully-run experiment fixture: world, audit dataset, and analyses.
+/// A fully-run experiment fixture: world, audit dataset, shared index,
+/// and analyses.
 pub struct Fixture {
     /// The synthetic world (Q1 states).
     pub world: World,
     /// The audit dataset over the world.
     pub dataset: AuditDataset,
+    /// The columnar index over `dataset` — built once, shared by every
+    /// analysis and experiment.
+    pub index: AuditIndex,
     /// The Q1 serviceability analysis.
     pub serviceability: ServiceabilityAnalysis,
     /// The Q2 compliance analysis.
     pub compliance: ComplianceAnalysis,
+    /// The audit configuration the dataset was produced with (reused by
+    /// experiments that re-run the audit over world subsets).
+    pub audit: Audit,
+    /// The engine configuration the audit ran with.
+    pub engine: EngineConfig,
 }
 
 impl Fixture {
@@ -38,6 +53,17 @@ impl Fixture {
 
     /// Runs the Q1/Q2 pipeline over a subset of states.
     pub fn build_states(seed: u64, scale: u32, states: &[UsState]) -> Fixture {
+        Fixture::build_tuned(seed, scale, states, EngineConfig::default())
+    }
+
+    /// Runs the Q1/Q2 pipeline over a subset of states with an explicit
+    /// engine configuration (the `--workers` knob of `repro`).
+    pub fn build_tuned(
+        seed: u64,
+        scale: u32,
+        states: &[UsState],
+        engine: EngineConfig,
+    ) -> Fixture {
         let synth = SynthConfig { seed, scale };
         let world = World::generate_states(synth, states);
         let audit = Audit::new(AuditConfig {
@@ -46,15 +72,26 @@ impl Fixture {
             rule: SamplingRule::paper(),
             resample_rounds: 2,
         });
-        let dataset = audit.run(&world);
-        let serviceability = ServiceabilityAnalysis::compute(&dataset);
-        let compliance = ComplianceAnalysis::compute(&dataset);
+        let dataset = audit.run_with(&world, engine);
+        let index = AuditIndex::build(&dataset);
+        let serviceability = ServiceabilityAnalysis::from_index(&index);
+        let compliance = ComplianceAnalysis::from_index(&dataset, &index);
         Fixture {
             world,
             dataset,
+            index,
             serviceability,
             compliance,
+            audit,
+            engine,
         }
+    }
+
+    /// Re-runs the fixture's audit over a subset of its world's states
+    /// (ablations restrict to two-state slices; the world is reused, not
+    /// regenerated).
+    pub fn audit_subset(&self, states: &[UsState]) -> AuditDataset {
+        self.audit.run_for(&self.world, states, self.engine)
     }
 
     /// Runs the Q3 pipeline (dedicated world over the seven Q3 states).
@@ -114,9 +151,14 @@ mod tests {
     fn fixture_builds_at_tiny_scale() {
         let f = Fixture::build_states(3, 120, &[UsState::Vermont]);
         assert!(!f.dataset.rows.is_empty());
+        assert_eq!(f.index.len(), f.dataset.rows.len());
         let rate = f.serviceability.overall_rate();
         assert!((0.0..=1.0).contains(&rate));
         let _ = f.compliance.overall_rate();
+        // The subset re-run over the fixture's only state reproduces the
+        // fixture's own dataset.
+        let again = f.audit_subset(&[UsState::Vermont]);
+        assert_eq!(again.records, f.dataset.records);
     }
 
     #[test]

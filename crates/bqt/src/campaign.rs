@@ -48,6 +48,26 @@ pub struct CampaignConfig {
     pub proxy_pool_size: usize,
 }
 
+impl CampaignConfig {
+    /// Returns the config with a different master seed. Outcomes are a
+    /// pure function of `(seed, address, ISP)`, so two configs sharing a
+    /// seed produce identical records regardless of every other knob.
+    pub fn with_seed(self, seed: u64) -> CampaignConfig {
+        CampaignConfig { seed, ..self }
+    }
+
+    /// Returns the config with a different worker count (clamped to at
+    /// least 1). Worker count only shapes wall-clock time, never results
+    /// — the audit engine uses this to split its thread budget between
+    /// state-level and campaign-level parallelism.
+    pub fn with_workers(self, workers: usize) -> CampaignConfig {
+        CampaignConfig {
+            workers: workers.max(1),
+            ..self
+        }
+    }
+}
+
 impl Default for CampaignConfig {
     fn default() -> CampaignConfig {
         CampaignConfig {
@@ -253,6 +273,27 @@ mod tests {
         let serial = run(1);
         let parallel = run(8);
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn config_builders_derive_without_touching_other_knobs() {
+        let base = CampaignConfig::default();
+        let tuned = base.with_seed(42).with_workers(9);
+        assert_eq!(tuned.seed, 42);
+        assert_eq!(tuned.workers, 9);
+        assert_eq!(tuned.max_attempts, base.max_attempts);
+        assert_eq!(tuned.proxy_pool_size, base.proxy_pool_size);
+        assert_eq!(base.with_workers(0).workers, 1);
+        // Same seed ⇒ same records, even across different worker counts.
+        let w = world();
+        let tasks = tasks_for(&w);
+        let a = Campaign::new(base.with_seed(w.config.seed))
+            .run(&w.truth, &tasks)
+            .records;
+        let b = Campaign::new(base.with_seed(w.config.seed).with_workers(7))
+            .run(&w.truth, &tasks)
+            .records;
+        assert_eq!(a, b);
     }
 
     #[test]

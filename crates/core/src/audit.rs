@@ -8,13 +8,21 @@
 //! of rounds (§3.2, §5). The output [`AuditDataset`] carries one analysis
 //! row per definitive query plus the raw query records and per-CBG
 //! coverage telemetry that Figures 7, 8, 11 and Table 2 consume.
+//!
+//! States are independent work units, so the loop runs on the
+//! [`engine`](crate::engine) worker pool: [`Audit::run_with`] picks the
+//! worker count, [`Audit::run_for`] restricts the audit to a state
+//! subset, and both merge per-state partials in caller order — output is
+//! byte-identical at any worker count (see the engine module's
+//! determinism contract).
 
 use caf_bqt::{Campaign, CampaignConfig, CampaignResult, QueryRecord, QueryTask};
 use caf_dataframe::{Column, DataFrame};
 use caf_geo::{AddressId, BlockGroupId, LatLon, UsState};
-use caf_synth::{BroadbandPlan, Isp, SynthConfig, World};
+use caf_synth::{BroadbandPlan, Isp, StateWorld, SynthConfig, TruthTable, World};
 use std::collections::HashMap;
 
+use crate::engine::{map_slice, EngineConfig};
 use crate::sampling::{SamplingPlan, SamplingRule};
 
 /// Configuration of a full audit.
@@ -188,125 +196,204 @@ impl Audit {
         &self.config
     }
 
-    /// Runs the audit over every state in the world.
+    /// Runs the audit over every state in the world, on the default
+    /// (auto-sized) engine. Equivalent to `run_with(world,
+    /// EngineConfig::default())` — and, by the engine's determinism
+    /// contract, to the sequential loop.
     pub fn run(&self, world: &World) -> AuditDataset {
-        let campaign = Campaign::new(self.config.campaign);
+        self.run_with(world, EngineConfig::default())
+    }
+
+    /// Runs the audit over every state in the world with an explicit
+    /// engine configuration. Output is byte-identical at any worker
+    /// count.
+    pub fn run_with(&self, world: &World, engine: EngineConfig) -> AuditDataset {
+        let units: Vec<&StateWorld> = world.states.iter().collect();
+        self.run_units(&units, &world.truth, engine)
+    }
+
+    /// Runs the audit over a subset of the world's states, in the order
+    /// given (states missing from the world are skipped). Because every
+    /// unit is a pure function of `(seed, state)`, this reproduces
+    /// exactly what a world generated from only those states would
+    /// yield — ablations reuse one shared world instead of regenerating
+    /// subset worlds.
+    pub fn run_for(
+        &self,
+        world: &World,
+        states: &[UsState],
+        engine: EngineConfig,
+    ) -> AuditDataset {
+        let units: Vec<&StateWorld> = states
+            .iter()
+            .filter_map(|&state| world.state(state))
+            .collect();
+        self.run_units(&units, &world.truth, engine)
+    }
+
+    /// Runs the per-state units on the engine pool and merges partials
+    /// in unit order.
+    fn run_units(
+        &self,
+        units: &[&StateWorld],
+        truth: &TruthTable,
+        engine: EngineConfig,
+    ) -> AuditDataset {
+        // Split the campaign's worker budget across engine workers so
+        // state-level parallelism does not multiply thread counts; the
+        // campaign's results are worker-count independent.
+        let campaign = Campaign::new(
+            self.config
+                .campaign
+                .with_workers(engine.nested_campaign_workers(self.config.campaign.workers)),
+        );
+        let partials = map_slice(engine.workers, units, |_, state_world| {
+            self.audit_state(&campaign, truth, state_world)
+        });
         let mut rows = Vec::new();
         let mut records = Vec::new();
         let mut coverage = Vec::new();
-
-        for state_world in &world.states {
-            let plan = SamplingPlan::draw(self.config.synth.seed, state_world, self.config.rule);
-
-            // CBG metadata lookup for row construction.
-            let mut cbg_meta: HashMap<(Isp, BlockGroupId), (usize, f64, f64, LatLon)> =
-                HashMap::new();
-            for cbg in &state_world.geography.cbgs {
-                cbg_meta.insert(
-                    (cbg.isp, cbg.id),
-                    (
-                        cbg.caf_addresses as usize,
-                        cbg.density,
-                        cbg.density_pct,
-                        cbg.centroid,
-                    ),
-                );
-            }
-
-            // Round 0: primaries. Later rounds: replacements for cells
-            // with non-definitive outcomes.
-            let mut cell_of: HashMap<AddressId, usize> = HashMap::new();
-            let mut tasks: Vec<QueryTask> = Vec::new();
-            for (cell_idx, cell) in plan.cells.iter().enumerate() {
-                for &addr in &cell.primary {
-                    cell_of.insert(addr, cell_idx);
-                    tasks.push(QueryTask {
-                        address: addr,
-                        isp: cell.isp,
-                    });
-                }
-            }
-            let mut queried_per_cell: Vec<usize> =
-                plan.cells.iter().map(|c| c.primary.len()).collect();
-            let mut collected_per_cell: Vec<usize> = vec![0; plan.cells.len()];
-            let mut replacement_cursor: Vec<usize> = vec![0; plan.cells.len()];
-
-            let mut round = 0;
-            while !tasks.is_empty() {
-                let result: CampaignResult = campaign.run(&world.truth, &tasks);
-                let mut next_tasks: Vec<QueryTask> = Vec::new();
-                for record in result.records {
-                    let cell_idx = cell_of[&record.address];
-                    let cell = &plan.cells[cell_idx];
-                    if record.outcome.is_definitive() {
-                        collected_per_cell[cell_idx] += 1;
-                        let (cbg_total, density, density_pct, centroid) =
-                            cbg_meta[&(cell.isp, cell.cbg)];
-                        let served = record.outcome.is_served().expect("definitive");
-                        let (max_down, max_plan, all_plans, subscriber) =
-                            match &record.outcome {
-                                caf_bqt::QueryOutcome::Serviceable {
-                                    plans,
-                                    existing_subscriber,
-                                } => (
-                                    record.outcome.max_download_mbps(),
-                                    plans.first().cloned(),
-                                    plans.clone(),
-                                    *existing_subscriber,
-                                ),
-                                _ => (None, None, Vec::new(), false),
-                            };
-                        rows.push(AuditRow {
-                            address: record.address,
-                            isp: cell.isp,
-                            state: state_world.state,
-                            cbg: cell.cbg,
-                            cbg_total,
-                            density,
-                            density_pct,
-                            centroid,
-                            served,
-                            max_down_mbps: max_down,
-                            max_plan,
-                            plans: all_plans,
-                            existing_subscriber: subscriber,
-                        });
-                    } else if round < self.config.resample_rounds {
-                        // Draw a replacement from the same CBG, if any left.
-                        let cursor = &mut replacement_cursor[cell_idx];
-                        if let Some(&replacement) = cell.replacements.get(*cursor) {
-                            *cursor += 1;
-                            queried_per_cell[cell_idx] += 1;
-                            cell_of.insert(replacement, cell_idx);
-                            next_tasks.push(QueryTask {
-                                address: replacement,
-                                isp: cell.isp,
-                            });
-                        }
-                    }
-                    records.push(record);
-                }
-                tasks = next_tasks;
-                round += 1;
-            }
-
-            for (cell_idx, cell) in plan.cells.iter().enumerate() {
-                coverage.push(CbgCoverage {
-                    isp: cell.isp,
-                    cbg: cell.cbg,
-                    total: cell.total_addresses,
-                    queried: queried_per_cell[cell_idx],
-                    collected: collected_per_cell[cell_idx],
-                });
-            }
+        for partial in partials {
+            rows.extend(partial.rows);
+            records.extend(partial.records);
+            coverage.extend(partial.coverage);
         }
-
         AuditDataset {
             rows,
             records,
             coverage,
         }
     }
+
+    /// One state's sample → query → resample unit — the body of the
+    /// paper's data-collection loop, scheduling-independent by
+    /// construction (every draw is keyed by seed + entity).
+    fn audit_state(
+        &self,
+        campaign: &Campaign,
+        truth: &TruthTable,
+        state_world: &StateWorld,
+    ) -> StatePartial {
+        let mut rows = Vec::new();
+        let mut records = Vec::new();
+        let mut coverage = Vec::new();
+        let plan = SamplingPlan::draw(self.config.synth.seed, state_world, self.config.rule);
+
+        // CBG metadata lookup for row construction.
+        let mut cbg_meta: HashMap<(Isp, BlockGroupId), (usize, f64, f64, LatLon)> =
+            HashMap::new();
+        for cbg in &state_world.geography.cbgs {
+            cbg_meta.insert(
+                (cbg.isp, cbg.id),
+                (
+                    cbg.caf_addresses as usize,
+                    cbg.density,
+                    cbg.density_pct,
+                    cbg.centroid,
+                ),
+            );
+        }
+
+        // Round 0: primaries. Later rounds: replacements for cells
+        // with non-definitive outcomes.
+        let mut cell_of: HashMap<AddressId, usize> = HashMap::new();
+        let mut tasks: Vec<QueryTask> = Vec::new();
+        for (cell_idx, cell) in plan.cells.iter().enumerate() {
+            for &addr in &cell.primary {
+                cell_of.insert(addr, cell_idx);
+                tasks.push(QueryTask {
+                    address: addr,
+                    isp: cell.isp,
+                });
+            }
+        }
+        let mut queried_per_cell: Vec<usize> =
+            plan.cells.iter().map(|c| c.primary.len()).collect();
+        let mut collected_per_cell: Vec<usize> = vec![0; plan.cells.len()];
+        let mut replacement_cursor: Vec<usize> = vec![0; plan.cells.len()];
+
+        let mut round = 0;
+        while !tasks.is_empty() {
+            let result: CampaignResult = campaign.run(truth, &tasks);
+            let mut next_tasks: Vec<QueryTask> = Vec::new();
+            for record in result.records {
+                let cell_idx = cell_of[&record.address];
+                let cell = &plan.cells[cell_idx];
+                if record.outcome.is_definitive() {
+                    collected_per_cell[cell_idx] += 1;
+                    let (cbg_total, density, density_pct, centroid) =
+                        cbg_meta[&(cell.isp, cell.cbg)];
+                    let served = record.outcome.is_served().expect("definitive");
+                    let (max_down, max_plan, all_plans, subscriber) =
+                        match &record.outcome {
+                            caf_bqt::QueryOutcome::Serviceable {
+                                plans,
+                                existing_subscriber,
+                            } => (
+                                record.outcome.max_download_mbps(),
+                                plans.first().cloned(),
+                                plans.clone(),
+                                *existing_subscriber,
+                            ),
+                            _ => (None, None, Vec::new(), false),
+                        };
+                    rows.push(AuditRow {
+                        address: record.address,
+                        isp: cell.isp,
+                        state: state_world.state,
+                        cbg: cell.cbg,
+                        cbg_total,
+                        density,
+                        density_pct,
+                        centroid,
+                        served,
+                        max_down_mbps: max_down,
+                        max_plan,
+                        plans: all_plans,
+                        existing_subscriber: subscriber,
+                    });
+                } else if round < self.config.resample_rounds {
+                    // Draw a replacement from the same CBG, if any left.
+                    let cursor = &mut replacement_cursor[cell_idx];
+                    if let Some(&replacement) = cell.replacements.get(*cursor) {
+                        *cursor += 1;
+                        queried_per_cell[cell_idx] += 1;
+                        cell_of.insert(replacement, cell_idx);
+                        next_tasks.push(QueryTask {
+                            address: replacement,
+                            isp: cell.isp,
+                        });
+                    }
+                }
+                records.push(record);
+            }
+            tasks = next_tasks;
+            round += 1;
+        }
+
+        for (cell_idx, cell) in plan.cells.iter().enumerate() {
+            coverage.push(CbgCoverage {
+                isp: cell.isp,
+                cbg: cell.cbg,
+                total: cell.total_addresses,
+                queried: queried_per_cell[cell_idx],
+                collected: collected_per_cell[cell_idx],
+            });
+        }
+
+        StatePartial {
+            rows,
+            records,
+            coverage,
+        }
+    }
+}
+
+/// One state unit's output, merged positionally by the engine.
+struct StatePartial {
+    rows: Vec<AuditRow>,
+    records: Vec<QueryRecord>,
+    coverage: Vec<CbgCoverage>,
 }
 
 #[cfg(test)]
@@ -403,5 +490,73 @@ mod tests {
             assert_eq!(x.served, y.served);
             assert_eq!(x.max_down_mbps, y.max_down_mbps);
         }
+    }
+
+    fn datasets_equal(a: &AuditDataset, b: &AuditDataset) {
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.to_dataframe().to_csv(), b.to_dataframe().to_csv());
+        assert_eq!(a.coverage.len(), b.coverage.len());
+        for (x, y) in a.coverage.iter().zip(&b.coverage) {
+            assert_eq!(
+                (x.isp, x.cbg, x.total, x.queried, x.collected),
+                (y.isp, y.cbg, y.total, y.queried, y.collected)
+            );
+        }
+    }
+
+    #[test]
+    fn engine_workers_do_not_change_output() {
+        let synth = SynthConfig {
+            seed: 55,
+            scale: 40,
+        };
+        let world = World::generate_states(synth, &[UsState::Vermont, UsState::Utah]);
+        let audit = Audit::new(AuditConfig {
+            synth,
+            campaign: CampaignConfig {
+                seed: synth.seed,
+                workers: 2,
+                ..CampaignConfig::default()
+            },
+            rule: SamplingRule::paper(),
+            resample_rounds: 2,
+        });
+        let serial = audit.run_with(&world, crate::engine::EngineConfig::serial());
+        let parallel = audit.run_with(&world, crate::engine::EngineConfig::with_workers(4));
+        datasets_equal(&serial, &parallel);
+    }
+
+    #[test]
+    fn run_for_matches_a_subset_world() {
+        let synth = SynthConfig {
+            seed: 55,
+            scale: 40,
+        };
+        let full = World::generate_states(synth, &[UsState::Vermont, UsState::Utah]);
+        let subset = World::generate_states(synth, &[UsState::Utah]);
+        let audit = Audit::new(AuditConfig {
+            synth,
+            campaign: CampaignConfig {
+                seed: synth.seed,
+                workers: 2,
+                ..CampaignConfig::default()
+            },
+            rule: SamplingRule::paper(),
+            resample_rounds: 2,
+        });
+        let via_run_for = audit.run_for(
+            &full,
+            &[UsState::Utah],
+            crate::engine::EngineConfig::serial(),
+        );
+        let via_subset_world = audit.run(&subset);
+        datasets_equal(&via_run_for, &via_subset_world);
+        // Unknown states are skipped, not errors.
+        let none = audit.run_for(
+            &full,
+            &[UsState::Georgia],
+            crate::engine::EngineConfig::serial(),
+        );
+        assert!(none.rows.is_empty() && none.records.is_empty());
     }
 }

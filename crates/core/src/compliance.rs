@@ -17,6 +17,7 @@ use caf_synth::Isp;
 use std::collections::HashMap;
 
 use crate::audit::{AuditDataset, AuditRow};
+use crate::index::AuditIndex;
 
 /// The advertised-speed band an address falls in, for Table 1's rows.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -136,31 +137,44 @@ pub struct ComplianceAnalysis {
 }
 
 impl ComplianceAnalysis {
-    /// Computes compliance rates and Table-1 band distributions.
+    /// Computes compliance rates and Table-1 band distributions by
+    /// building a throwaway [`AuditIndex`]. Callers holding a shared
+    /// index should use [`from_index`](ComplianceAnalysis::from_index).
     pub fn compute(dataset: &AuditDataset) -> ComplianceAnalysis {
-        let mut grouped: HashMap<(Isp, BlockGroupId), Vec<&AuditRow>> = HashMap::new();
+        ComplianceAnalysis::from_index(dataset, &AuditIndex::build(dataset))
+    }
+
+    /// Computes the analysis off a pre-built index. Per-cell compliance
+    /// counts walk the index's row ranges (compliance needs each row's
+    /// plan list, which the cell table deliberately does not duplicate);
+    /// the band tallies are order-independent counters over the raw rows.
+    pub fn from_index(dataset: &AuditDataset, index: &AuditIndex) -> ComplianceAnalysis {
+        index.check_dataset(dataset);
         let mut band_counts: HashMap<(Isp, SpeedBand), usize> = HashMap::new();
         let mut isp_totals: HashMap<Isp, usize> = HashMap::new();
         for row in &dataset.rows {
-            grouped.entry((row.isp, row.cbg)).or_default().push(row);
             *band_counts.entry((row.isp, SpeedBand::of(row))).or_insert(0) += 1;
             *isp_totals.entry(row.isp).or_insert(0) += 1;
         }
-        let mut cbg_rates: Vec<CbgCompliance> = grouped
-            .into_iter()
-            .map(|((isp, cbg), rows)| {
-                let compliant = rows.iter().filter(|r| row_is_compliant(r)).count();
+        let cbg_rates: Vec<CbgCompliance> = index
+            .cells()
+            .iter()
+            .map(|cell| {
+                let compliant = index
+                    .row_ids(cell)
+                    .iter()
+                    .filter(|&&i| row_is_compliant(&dataset.rows[i as usize]))
+                    .count();
                 CbgCompliance {
-                    isp,
-                    state: rows[0].state,
-                    cbg,
-                    rate: compliant as f64 / rows.len() as f64,
-                    weight: rows[0].cbg_total as f64,
-                    n: rows.len(),
+                    isp: cell.isp,
+                    state: cell.state,
+                    cbg: cell.cbg,
+                    rate: compliant as f64 / cell.len() as f64,
+                    weight: cell.weight,
+                    n: cell.len(),
                 }
             })
             .collect();
-        cbg_rates.sort_by_key(|r| (r.isp, r.cbg));
         ComplianceAnalysis {
             cbg_rates,
             band_counts,

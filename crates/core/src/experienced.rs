@@ -15,6 +15,8 @@ use caf_synth::usac::Technology;
 use caf_synth::Isp;
 use std::collections::HashMap;
 
+use crate::index::group_ranges;
+
 /// Per-address experienced-quality aggregation.
 #[derive(Debug, Clone)]
 pub struct ExperiencedAddress {
@@ -50,22 +52,22 @@ pub struct ExperiencedAnalysis {
 
 impl ExperiencedAnalysis {
     /// Aggregates raw speed tests per address (median of each address's
-    /// tests, so heavy testers don't dominate).
+    /// tests, so heavy testers don't dominate). Grouping uses the shared
+    /// sort-based [`group_ranges`] primitive, so the result is fully
+    /// deterministic down to tie order.
     pub fn compute(tests: &[SpeedTest]) -> ExperiencedAnalysis {
-        let mut grouped: HashMap<(u64, Isp), Vec<&SpeedTest>> = HashMap::new();
-        for t in tests {
-            grouped.entry((t.address.0, t.isp)).or_default().push(t);
-        }
+        let grouped = group_ranges(tests, |t| (t.address.0, t.isp));
         let mut addresses: Vec<ExperiencedAddress> = grouped
-            .into_values()
-            .map(|tests| {
-                let measured: Vec<f64> = tests.iter().map(|t| t.measured_mbps).collect();
-                let first = tests[0];
+            .iter()
+            .map(|(_, rows)| {
+                let measured: Vec<f64> =
+                    rows.iter().map(|&i| tests[i as usize].measured_mbps).collect();
+                let first = &tests[rows[0] as usize];
                 ExperiencedAddress {
                     isp: first.isp,
                     advertised_mbps: first.advertised_mbps,
                     median_measured_mbps: median(&measured).expect("group is non-empty"),
-                    tests: tests.len(),
+                    tests: rows.len(),
                     technology: first.technology,
                 }
             })

@@ -22,6 +22,13 @@
 //! (Figures 7/8), the §9.1 [`sensitivity`] analysis (Figure 9), and the
 //! headline [`report`].
 //!
+//! Two shared execution layers sit underneath: [`index`] builds the
+//! columnar [`AuditIndex`] once per dataset so every analysis consumes
+//! pre-grouped `(ISP, CBG)` slices instead of re-deriving HashMaps, and
+//! [`engine`] runs the per-state audit units on a scoped worker pool
+//! under a strict determinism contract (identical output at any worker
+//! count).
+//!
 //! The pipeline never reads the synthetic world's latent truth — only
 //! query outcomes — so the calibration tests in `tests/` are genuine
 //! end-to-end recovery checks.
@@ -33,7 +40,9 @@ pub mod audit;
 pub mod compliance;
 pub mod counterfactual;
 pub mod coverage;
+pub mod engine;
 pub mod experienced;
+pub mod index;
 pub mod oversight;
 pub mod program;
 pub mod q3;
@@ -45,7 +54,9 @@ pub mod serviceability;
 pub use audit::{Audit, AuditConfig, AuditDataset, AuditRow};
 pub use compliance::ComplianceAnalysis;
 pub use counterfactual::CompetitionCounterfactual;
+pub use engine::EngineConfig;
 pub use experienced::ExperiencedAnalysis;
+pub use index::{AuditIndex, CellMeta, RecordIndex};
 pub use oversight::{compare_oversight, OversightConfig};
 pub use program::ProgramRules;
 pub use q3::{BlockType, Q3Analysis};

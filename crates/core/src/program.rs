@@ -11,9 +11,9 @@
 use caf_stats::weighted::WeightedSample;
 use caf_stats::weighted_mean;
 use caf_synth::Isp;
-use std::collections::HashMap;
 
 use crate::audit::{AuditDataset, AuditRow};
+use crate::index::{AuditIndex, CellMeta};
 
 /// The rate-and-service conditions of a subsidy program.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -72,37 +72,44 @@ impl ProgramRules {
             })
     }
 
-    /// CBG-weighted compliance rate of an audit dataset under these rules.
+    /// CBG-weighted compliance rate of an audit dataset under these
+    /// rules, via a throwaway [`AuditIndex`]. Callers scoring several
+    /// rule sets over the same dataset (the BEAD extension does) should
+    /// build the index once and use
+    /// [`compliance_rate_indexed`](ProgramRules::compliance_rate_indexed).
     pub fn compliance_rate(&self, dataset: &AuditDataset) -> Option<f64> {
-        self.compliance_rate_filtered(dataset, None)
+        self.compliance_rate_indexed(dataset, &AuditIndex::build(dataset), None)
     }
 
     /// CBG-weighted compliance rate for one ISP under these rules.
     pub fn compliance_rate_for(&self, dataset: &AuditDataset, isp: Isp) -> Option<f64> {
-        self.compliance_rate_filtered(dataset, Some(isp))
+        self.compliance_rate_indexed(dataset, &AuditIndex::build(dataset), Some(isp))
     }
 
-    fn compliance_rate_filtered(
+    /// CBG-weighted compliance rate off a pre-built index, optionally
+    /// restricted to one ISP. Returns `None` when no cell matches the
+    /// filter (mirroring the empty-sample behaviour of the old grouping).
+    pub fn compliance_rate_indexed(
         &self,
         dataset: &AuditDataset,
+        index: &AuditIndex,
         isp: Option<Isp>,
     ) -> Option<f64> {
-        let mut grouped: HashMap<(Isp, u64), (usize, usize, f64)> = HashMap::new();
-        for row in &dataset.rows {
-            if isp.is_some_and(|i| row.isp != i) {
-                continue;
-            }
-            let entry = grouped
-                .entry((row.isp, row.cbg.geoid()))
-                .or_insert((0, 0, row.cbg_total as f64));
-            entry.0 += 1;
-            if self.row_complies(row) {
-                entry.1 += 1;
-            }
-        }
-        let samples: Vec<WeightedSample> = grouped
-            .into_values()
-            .map(|(n, ok, weight)| WeightedSample::new(ok as f64 / n as f64, weight))
+        index.check_dataset(dataset);
+        let cells: &[CellMeta] = match isp {
+            Some(isp) => index.cells_for(isp),
+            None => index.cells(),
+        };
+        let samples: Vec<WeightedSample> = cells
+            .iter()
+            .map(|cell| {
+                let ok = index
+                    .row_ids(cell)
+                    .iter()
+                    .filter(|&&i| self.row_complies(&dataset.rows[i as usize]))
+                    .count();
+                WeightedSample::new(ok as f64 / cell.len() as f64, cell.weight)
+            })
             .collect();
         weighted_mean(&samples).ok()
     }

@@ -14,10 +14,12 @@
 //! mode from the competitor outcomes; drop blocks with no served non-CAF
 //! address; then compare block-level averages.
 
-use caf_bqt::{Campaign, CampaignConfig, QueryRecord, QueryTask};
-use caf_geo::{AddressId, BlockId, UsState};
+use caf_bqt::{Campaign, CampaignConfig, QueryTask};
+use caf_geo::{BlockId, UsState};
 use caf_synth::{Isp, World};
 use std::collections::HashMap;
+
+use crate::index::RecordIndex;
 
 /// A block's derived type.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -153,11 +155,9 @@ impl Q3Analysis {
         }
 
         let result = campaign.run(&world.truth, &tasks);
-        let outcomes: HashMap<(AddressId, Isp), &QueryRecord> = result
-            .records
-            .iter()
-            .map(|r| ((r.address, r.isp), r))
-            .collect();
+        // The per-(address, ISP) outcome lookup — Q3's analogue of the
+        // audit's AuditIndex, binary-searched instead of hashed.
+        let outcomes = RecordIndex::build(&result.records);
 
         // Classify blocks.
         let mut blocks = Vec::new();
@@ -173,7 +173,9 @@ impl Q3Analysis {
                 let mut mono_cv: Vec<f64> = Vec::new();
                 let mut comp_cv: Vec<f64> = Vec::new();
                 for a in &block.addresses {
-                    let Some(record) = outcomes.get(&(a.address.id, block.caf_isp)) else {
+                    let Some(record) =
+                        outcomes.get(&result.records, a.address.id, block.caf_isp)
+                    else {
                         continue;
                     };
                     let served = matches!(record.outcome.is_served(), Some(true));
@@ -203,7 +205,7 @@ impl Q3Analysis {
                         // also serves this address.
                         let competitive = block.competitors.iter().any(|&comp| {
                             outcomes
-                                .get(&(a.address.id, comp))
+                                .get(&result.records, a.address.id, comp)
                                 .is_some_and(|r| r.outcome.is_served() == Some(true))
                         });
                         if let Some(s) = speed {

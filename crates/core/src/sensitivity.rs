@@ -12,7 +12,7 @@ use caf_geo::AddressId;
 use caf_synth::rng::scoped_rng;
 use caf_synth::{Isp, World};
 use rand::seq::SliceRandom;
-use std::collections::HashMap;
+use std::ops::Range;
 
 /// One sweep point: the mean absolute serviceability error at a sampling
 /// rate.
@@ -76,31 +76,50 @@ impl SensitivityAnalysis {
             }
         }
 
-        // Ground truth: query 75 % of each CBG (deterministic draw).
-        let mut truth_rate: Vec<f64> = Vec::with_capacity(cbg_addresses.len());
-        let mut outcome_of: HashMap<AddressId, bool> = HashMap::new();
+        // Ground truth: query 75 % of each CBG (deterministic draw). The
+        // per-CBG samples are concatenated into a single task list and
+        // run as ONE campaign — outcomes are keyed by (seed, address,
+        // ISP), so this yields exactly the records of the old
+        // one-campaign-per-CBG loop while paying the campaign's
+        // fan-out/teardown cost once. `ranges[ci]` slices CBG `ci`'s
+        // records back out (the campaign preserves task order).
+        let mut tasks: Vec<QueryTask> = Vec::new();
+        let mut ranges: Vec<Range<usize>> = Vec::with_capacity(cbg_addresses.len());
         for (ci, addresses) in cbg_addresses.iter().enumerate() {
             let mut pool = addresses.clone();
             let mut rng = scoped_rng(seed, "sensitivity-truth", ci as u64);
             pool.shuffle(&mut rng);
             let take = ((pool.len() as f64) * 0.75).ceil() as usize;
-            let sample = &pool[..take.max(1)];
-            let tasks: Vec<QueryTask> = sample
-                .iter()
-                .map(|&address| QueryTask { address, isp })
-                .collect();
-            let result = campaign.run(&world.truth, &tasks);
+            let start = tasks.len();
+            tasks.extend(
+                pool[..take.max(1)]
+                    .iter()
+                    .map(|&address| QueryTask { address, isp }),
+            );
+            ranges.push(start..tasks.len());
+        }
+        let result = campaign.run(&world.truth, &tasks);
+
+        // Per-CBG truth rates plus a sorted per-CBG outcome table (the
+        // sweep's lookup structure — binary-searched, no HashMap).
+        let mut truth_rate: Vec<f64> = Vec::with_capacity(cbg_addresses.len());
+        let mut cbg_outcomes: Vec<Vec<(AddressId, bool)>> =
+            Vec::with_capacity(cbg_addresses.len());
+        for range in &ranges {
             let mut served = 0usize;
             let mut definitive = 0usize;
-            for record in &result.records {
+            let mut outcomes: Vec<(AddressId, bool)> = Vec::new();
+            for record in &result.records[range.clone()] {
                 if let Some(s) = record.outcome.is_served() {
                     definitive += 1;
                     if s {
                         served += 1;
                     }
-                    outcome_of.insert(record.address, s);
+                    outcomes.push((record.address, s));
                 }
             }
+            outcomes.sort_unstable_by_key(|&(address, _)| address);
+            cbg_outcomes.push(outcomes);
             truth_rate.push(if definitive == 0 {
                 0.0
             } else {
@@ -115,10 +134,17 @@ impl SensitivityAnalysis {
         for (ri, &rate) in rates.iter().enumerate() {
             let mut errors: Vec<f64> = Vec::new();
             for (ci, addresses) in cbg_addresses.iter().enumerate() {
+                let outcomes = &cbg_outcomes[ci];
+                let outcome_of = |a: AddressId| -> Option<bool> {
+                    outcomes
+                        .binary_search_by_key(&a, |&(address, _)| address)
+                        .ok()
+                        .map(|i| outcomes[i].1)
+                };
                 let queried: Vec<AddressId> = addresses
                     .iter()
                     .copied()
-                    .filter(|a| outcome_of.contains_key(a))
+                    .filter(|&a| outcome_of(a).is_some())
                     .collect();
                 if queried.is_empty() {
                     continue;
@@ -133,7 +159,10 @@ impl SensitivityAnalysis {
                     pool.shuffle(&mut rng);
                     let take = ((pool.len() as f64) * rate).ceil() as usize;
                     let sample = &pool[..take.max(1)];
-                    let served = sample.iter().filter(|a| outcome_of[a]).count();
+                    let served = sample
+                        .iter()
+                        .filter(|&&a| outcome_of(a) == Some(true))
+                        .count();
                     let estimate = served as f64 / sample.len() as f64;
                     errors.push(100.0 * (estimate - truth_rate[ci]).abs());
                 }

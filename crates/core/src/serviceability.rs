@@ -5,14 +5,20 @@
 //! coarser granularity (ISP, state, state-ISP pair, national) weight each
 //! CBG's rate by the CBG's *total* CAF address count, so the varying
 //! per-CBG sampling rates of §3.1 cannot skew the result.
+//!
+//! The per-(ISP, CBG) grouping is read straight off a shared
+//! [`AuditIndex`] — [`ServiceabilityAnalysis::from_index`] is a cheap
+//! projection of the index's cell table, and [`compute`]
+//! (ServiceabilityAnalysis::compute) stays as the one-shot convenience
+//! that builds a throwaway index.
 
 use caf_geo::{BlockGroupId, LatLon, UsState};
 use caf_stats::weighted::WeightedSample;
 use caf_stats::{pearson, spearman, weighted_mean, Summary};
 use caf_synth::Isp;
-use std::collections::HashMap;
 
-use crate::audit::{AuditDataset, AuditRow};
+use crate::audit::AuditDataset;
+use crate::index::AuditIndex;
 
 /// A CBG's serviceability observation.
 #[derive(Debug, Clone, Copy)]
@@ -45,31 +51,34 @@ pub struct ServiceabilityAnalysis {
 }
 
 impl ServiceabilityAnalysis {
-    /// Computes per-CBG rates from the audit rows.
+    /// Computes per-CBG rates from the audit rows by building a
+    /// throwaway [`AuditIndex`]. Callers holding a shared index (the
+    /// bench fixture, the repro harness) should use [`from_index`]
+    /// (ServiceabilityAnalysis::from_index) instead.
     pub fn compute(dataset: &AuditDataset) -> ServiceabilityAnalysis {
-        let mut grouped: HashMap<(Isp, BlockGroupId), Vec<&AuditRow>> = HashMap::new();
-        for row in &dataset.rows {
-            grouped.entry((row.isp, row.cbg)).or_default().push(row);
-        }
-        let mut cbg_rates: Vec<CbgRate> = grouped
-            .into_iter()
-            .map(|((isp, cbg), rows)| {
-                let served = rows.iter().filter(|r| r.served).count();
-                let first = rows[0];
-                CbgRate {
-                    isp,
-                    state: first.state,
-                    cbg,
-                    rate: served as f64 / rows.len() as f64,
-                    weight: first.cbg_total as f64,
-                    density: first.density,
-                    density_pct: first.density_pct,
-                    centroid: first.centroid,
-                    n: rows.len(),
-                }
+        ServiceabilityAnalysis::from_index(&AuditIndex::build(dataset))
+    }
+
+    /// Projects the analysis off a pre-built index. The index's cell
+    /// table already carries every per-(ISP, CBG) aggregate Q1 needs, so
+    /// this is a single pass with no re-grouping; cell order is the old
+    /// `(isp, cbg)` sort order, byte-identical to the HashMap path.
+    pub fn from_index(index: &AuditIndex) -> ServiceabilityAnalysis {
+        let cbg_rates: Vec<CbgRate> = index
+            .cells()
+            .iter()
+            .map(|cell| CbgRate {
+                isp: cell.isp,
+                state: cell.state,
+                cbg: cell.cbg,
+                rate: cell.serviceability_rate(),
+                weight: cell.weight,
+                density: cell.density,
+                density_pct: cell.density_pct,
+                centroid: cell.centroid,
+                n: cell.len(),
             })
             .collect();
-        cbg_rates.sort_by_key(|r| (r.isp, r.cbg));
         ServiceabilityAnalysis { cbg_rates }
     }
 
@@ -266,6 +275,7 @@ impl ServiceabilityAnalysis {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::audit::AuditRow;
     use caf_geo::{BlockGroupId, CountyId, StateFips, TractId};
     use caf_synth::plans::PlanCatalog;
 

@@ -1,0 +1,239 @@
+//! Index-equivalence suite: the `AuditIndex`-based Q1/Q2 aggregates must
+//! be **bit-identical** to the pre-refactor HashMap grouping, across
+//! several seeds and scales.
+//!
+//! The oracle below is a faithful copy of the grouping the analyses used
+//! before the shared index existed (HashMap per (ISP, CBG), first-row
+//! metadata, final `(isp, cbg)` sort) — kept here, outside the library,
+//! so the production path can never quietly drift away from it. All
+//! floating-point comparisons go through `f64::to_bits`: the refactor's
+//! contract is *exact* equality, not tolerance.
+
+use caf_bqt::CampaignConfig;
+use caf_core::compliance::row_is_compliant;
+use caf_core::{
+    Audit, AuditConfig, AuditDataset, AuditIndex, ComplianceAnalysis, ProgramRules, SamplingRule,
+    ServiceabilityAnalysis,
+};
+use caf_geo::{BlockGroupId, UsState};
+use caf_stats::weighted::WeightedSample;
+use caf_stats::weighted_mean;
+use caf_synth::{Isp, SynthConfig, World};
+use std::collections::HashMap;
+
+/// The (seed, scale, states) grid the equivalence claims are checked on.
+const CASES: &[(u64, u32, &[UsState])] = &[
+    (11, 40, &[UsState::Vermont, UsState::Utah]),
+    (99, 60, &[UsState::Vermont]),
+    (0xCAF_2024, 25, &[UsState::Alabama, UsState::NewHampshire]),
+];
+
+fn dataset_for(seed: u64, scale: u32, states: &[UsState]) -> AuditDataset {
+    let synth = SynthConfig { seed, scale };
+    let world = World::generate_states(synth, states);
+    let audit = Audit::new(AuditConfig {
+        synth,
+        campaign: CampaignConfig {
+            seed,
+            workers: 4,
+            ..CampaignConfig::default()
+        },
+        rule: SamplingRule::paper(),
+        resample_rounds: 2,
+    });
+    audit.run(&world)
+}
+
+/// The pre-refactor Q1 grouping, verbatim: one HashMap bucket per
+/// (ISP, CBG), rate/weight/metadata from the bucket, sorted at the end.
+fn oracle_q1(dataset: &AuditDataset) -> Vec<(Isp, BlockGroupId, f64, f64, usize)> {
+    let mut grouped: HashMap<(Isp, BlockGroupId), Vec<usize>> = HashMap::new();
+    for (i, row) in dataset.rows.iter().enumerate() {
+        grouped.entry((row.isp, row.cbg)).or_default().push(i);
+    }
+    let mut rates: Vec<(Isp, BlockGroupId, f64, f64, usize)> = grouped
+        .into_iter()
+        .map(|((isp, cbg), rows)| {
+            let served = rows
+                .iter()
+                .filter(|&&i| dataset.rows[i].served)
+                .count();
+            let first = &dataset.rows[rows[0]];
+            (
+                isp,
+                cbg,
+                served as f64 / rows.len() as f64,
+                first.cbg_total as f64,
+                rows.len(),
+            )
+        })
+        .collect();
+    rates.sort_by_key(|&(isp, cbg, ..)| (isp, cbg));
+    rates
+}
+
+/// The pre-refactor Q2 grouping (same shape, compliance predicate).
+fn oracle_q2(dataset: &AuditDataset) -> Vec<(Isp, BlockGroupId, f64, f64, usize)> {
+    let mut grouped: HashMap<(Isp, BlockGroupId), Vec<usize>> = HashMap::new();
+    for (i, row) in dataset.rows.iter().enumerate() {
+        grouped.entry((row.isp, row.cbg)).or_default().push(i);
+    }
+    let mut rates: Vec<(Isp, BlockGroupId, f64, f64, usize)> = grouped
+        .into_iter()
+        .map(|((isp, cbg), rows)| {
+            let ok = rows
+                .iter()
+                .filter(|&&i| row_is_compliant(&dataset.rows[i]))
+                .count();
+            let first = &dataset.rows[rows[0]];
+            (
+                isp,
+                cbg,
+                ok as f64 / rows.len() as f64,
+                first.cbg_total as f64,
+                rows.len(),
+            )
+        })
+        .collect();
+    rates.sort_by_key(|&(isp, cbg, ..)| (isp, cbg));
+    rates
+}
+
+/// CBG-weighted mean over `(rate, weight)` pairs in slice order — the
+/// same fold every analysis applies.
+fn oracle_weighted(rates: &[(Isp, BlockGroupId, f64, f64, usize)], isp: Option<Isp>) -> Option<f64> {
+    let samples: Vec<WeightedSample> = rates
+        .iter()
+        .filter(|&&(i, ..)| isp.map_or(true, |want| i == want))
+        .map(|&(_, _, rate, weight, _)| WeightedSample::new(rate, weight))
+        .collect();
+    weighted_mean(&samples).ok()
+}
+
+fn bits(x: f64) -> u64 {
+    x.to_bits()
+}
+
+fn opt_bits(x: Option<f64>) -> Option<u64> {
+    x.map(f64::to_bits)
+}
+
+#[test]
+fn q1_index_aggregates_match_hashmap_oracle_bitwise() {
+    for &(seed, scale, states) in CASES {
+        let dataset = dataset_for(seed, scale, states);
+        let index = AuditIndex::build(&dataset);
+        let analysis = ServiceabilityAnalysis::from_index(&index);
+        let oracle = oracle_q1(&dataset);
+
+        assert_eq!(analysis.cbg_rates.len(), oracle.len(), "seed {seed}");
+        for (got, want) in analysis.cbg_rates.iter().zip(&oracle) {
+            assert_eq!((got.isp, got.cbg), (want.0, want.1), "seed {seed}");
+            assert_eq!(bits(got.rate), bits(want.2), "seed {seed} cbg {}", got.cbg);
+            assert_eq!(bits(got.weight), bits(want.3), "seed {seed}");
+            assert_eq!(got.n, want.4, "seed {seed}");
+        }
+        assert_eq!(
+            bits(analysis.overall_rate()),
+            bits(oracle_weighted(&oracle, None).expect("non-empty")),
+            "seed {seed}: overall rate must be bit-identical"
+        );
+        for isp in Isp::audited() {
+            assert_eq!(
+                opt_bits(analysis.rate_for_isp(isp)),
+                opt_bits(oracle_weighted(&oracle, Some(isp))),
+                "seed {seed} isp {isp:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn q2_index_aggregates_match_hashmap_oracle_bitwise() {
+    for &(seed, scale, states) in CASES {
+        let dataset = dataset_for(seed, scale, states);
+        let index = AuditIndex::build(&dataset);
+        let analysis = ComplianceAnalysis::from_index(&dataset, &index);
+        let oracle = oracle_q2(&dataset);
+
+        assert_eq!(analysis.cbg_rates.len(), oracle.len(), "seed {seed}");
+        for (got, want) in analysis.cbg_rates.iter().zip(&oracle) {
+            assert_eq!((got.isp, got.cbg), (want.0, want.1), "seed {seed}");
+            assert_eq!(bits(got.rate), bits(want.2), "seed {seed} cbg {}", got.cbg);
+            assert_eq!(bits(got.weight), bits(want.3), "seed {seed}");
+            assert_eq!(got.n, want.4, "seed {seed}");
+        }
+        assert_eq!(
+            bits(analysis.overall_rate()),
+            bits(oracle_weighted(&oracle, None).expect("non-empty")),
+            "seed {seed}"
+        );
+        for isp in Isp::audited() {
+            assert_eq!(
+                opt_bits(analysis.rate_for_isp(isp)),
+                opt_bits(oracle_weighted(&oracle, Some(isp))),
+                "seed {seed} isp {isp:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn compute_wrappers_equal_from_index() {
+    // The one-shot `compute` paths are thin wrappers over a throwaway
+    // index; their output must equal the shared-index projections field
+    // for field.
+    let dataset = dataset_for(11, 40, &[UsState::Vermont, UsState::Utah]);
+    let index = AuditIndex::build(&dataset);
+
+    let a = ServiceabilityAnalysis::compute(&dataset);
+    let b = ServiceabilityAnalysis::from_index(&index);
+    assert_eq!(a.cbg_rates.len(), b.cbg_rates.len());
+    for (x, y) in a.cbg_rates.iter().zip(&b.cbg_rates) {
+        assert_eq!((x.isp, x.cbg, x.n), (y.isp, y.cbg, y.n));
+        assert_eq!(bits(x.rate), bits(y.rate));
+    }
+
+    let a = ComplianceAnalysis::compute(&dataset);
+    let b = ComplianceAnalysis::from_index(&dataset, &index);
+    assert_eq!(bits(a.overall_rate()), bits(b.overall_rate()));
+    for isp in Isp::audited() {
+        assert_eq!(
+            a.advertised_band_percentages(isp)
+                .iter()
+                .map(|&(band, p)| (band, bits(p)))
+                .collect::<Vec<_>>(),
+            b.advertised_band_percentages(isp)
+                .iter()
+                .map(|&(band, p)| (band, bits(p)))
+                .collect::<Vec<_>>(),
+            "isp {isp:?}"
+        );
+    }
+}
+
+#[test]
+fn program_rules_indexed_path_matches_wrappers() {
+    let dataset = dataset_for(99, 60, &[UsState::Vermont]);
+    let index = AuditIndex::build(&dataset);
+    for rules in [
+        ProgramRules::caf_phase_ii(),
+        ProgramRules::fcc_25_3(),
+        ProgramRules::bead(),
+    ] {
+        assert_eq!(
+            opt_bits(rules.compliance_rate(&dataset)),
+            opt_bits(rules.compliance_rate_indexed(&dataset, &index, None)),
+            "{}",
+            rules.name
+        );
+        for isp in Isp::audited() {
+            assert_eq!(
+                opt_bits(rules.compliance_rate_for(&dataset, isp)),
+                opt_bits(rules.compliance_rate_indexed(&dataset, &index, Some(isp))),
+                "{} / {isp:?}",
+                rules.name
+            );
+        }
+    }
+}
