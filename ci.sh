@@ -2,8 +2,10 @@
 # Tier-1 verification gate for the caf-audit reproduction.
 #
 # Mirrors what reviewers run before merging: formatting, a release
-# build, the full test suite (unit + integration + doc), and clippy at
-# deny-warnings across every target (lib, bins, benches, tests).
+# build, the full test suite (unit + integration + doc), clippy at
+# deny-warnings across every target (lib, bins, benches, tests), and an
+# observability smoke run — a tiny repro experiment with `--metrics`
+# whose run report must pass the caf-obs schema gate (metrics_check).
 #
 # Usage: ./ci.sh
 set -euo pipefail
@@ -20,5 +22,12 @@ cargo test -q
 
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
+
+echo "==> observability smoke: repro --metrics + schema gate"
+smoke_report=$(mktemp /tmp/caf_obs_smoke.XXXXXX.json)
+trap 'rm -f "$smoke_report"' EXIT
+cargo run --release -q -p caf-bench --bin repro -- \
+  table2 --scale 150 --workers 2 --metrics "$smoke_report" --quiet
+cargo run --release -q -p caf-bench --bin metrics_check -- "$smoke_report"
 
 echo "==> ci.sh: all gates passed"

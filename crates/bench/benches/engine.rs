@@ -3,6 +3,12 @@
 //! scaling curve the ≥2×-at-4-workers acceptance bar is read from) and
 //! the one-time `AuditIndex` build cost next to the per-analysis
 //! grouping it amortizes away.
+//!
+//! After the criterion groups run, the harness performs one instrumented
+//! audit per worker count under the caf-obs telemetry layer and writes a
+//! one-line machine-readable summary (the run-report JSON) to
+//! `BENCH_engine.json` at the repository root, so CI and scripts can
+//! diff span timings without parsing criterion's output directory.
 
 use caf_bench::campaign_config;
 use caf_core::{
@@ -11,7 +17,7 @@ use caf_core::{
 };
 use caf_geo::UsState;
 use caf_synth::{SynthConfig, World};
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, Criterion};
 
 const SEED: u64 = 0xCAF_2024;
 /// The acceptance-criteria scale: `repro`'s default (`--scale 30`).
@@ -79,5 +85,39 @@ fn bench_index(c: &mut Criterion) {
     group.finish();
 }
 
+/// Runs one audit per worker count with telemetry enabled and writes the
+/// resulting run report as a single line of compact JSON to
+/// `BENCH_engine.json` at the repository root.
+fn write_bench_summary() {
+    caf_obs::set_enabled(true);
+    caf_obs::registry().reset();
+    let (world, audit) = audit_at(SCALE);
+    for workers in [1usize, 2, 4] {
+        let _span = caf_obs::span_with(|| format!("bench.audit.workers_{workers}"));
+        let dataset = audit.run_with(&world, EngineConfig::with_workers(workers));
+        black_box(dataset.rows.len());
+    }
+    caf_obs::set_enabled(false);
+
+    let mut meta = std::collections::BTreeMap::new();
+    meta.insert("tool".to_string(), "bench_engine".to_string());
+    meta.insert("seed".to_string(), SEED.to_string());
+    meta.insert("scale".to_string(), SCALE.to_string());
+    meta.insert("workers".to_string(), "1,2,4".to_string());
+    let report = caf_obs::RunReport::collect(meta);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    let mut line = report.to_json();
+    line.push('\n');
+    match std::fs::write(path, line) {
+        Ok(()) => eprintln!("wrote bench summary to {path}"),
+        Err(error) => eprintln!("cannot write {path}: {error}"),
+    }
+}
+
 criterion_group!(engine, bench_engine_scaling, bench_index);
-criterion_main!(engine);
+
+fn main() {
+    engine();
+    Criterion::default().configure_from_args().final_summary();
+    write_bench_summary();
+}

@@ -1,0 +1,77 @@
+//! # metrics_check — CI gate for the `repro --metrics` run report
+//!
+//! Reads a run-report JSON file produced by `repro --metrics FILE`,
+//! validates it against the caf-obs schema (exact key sets, sorted
+//! keys, ordered duration statistics), and then asserts the content the
+//! observability layer promises for an audit run:
+//!
+//! * at least one per-state engine span (`state.<ABBREV>`),
+//! * the `index.build` span,
+//! * a non-zero `caf.bqt.campaign.queries` counter,
+//! * the `caf.core.engine.workers.effective` gauge.
+//!
+//! Exits non-zero with a message on the first violation, so `ci.sh` can
+//! use it as a schema-drift gate.
+
+use caf_obs::json::Json;
+use caf_obs::validate_report_json;
+
+fn fail(message: &str) -> ! {
+    eprintln!("metrics_check: {message}");
+    std::process::exit(1);
+}
+
+/// Returns the sorted key/value pairs of `report.metrics.<section>`.
+fn section<'a>(report: &'a Json, name: &str) -> &'a [(String, Json)] {
+    report
+        .get("metrics")
+        .and_then(|m| m.get(name))
+        .and_then(Json::as_obj)
+        .unwrap_or_else(|| fail(&format!("report has no metrics.{name} object")))
+}
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| fail("usage: metrics_check <report.json>"));
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|error| fail(&format!("cannot read {path}: {error}")));
+    let report = validate_report_json(&text)
+        .unwrap_or_else(|error| fail(&format!("schema violation in {path}: {error}")));
+
+    let spans = report
+        .get("spans")
+        .and_then(Json::as_obj)
+        .unwrap_or_else(|| fail("report has no spans object"));
+    if !spans.iter().any(|(name, _)| name.contains("state.")) {
+        fail("no per-state engine span (expected a path containing `state.`)");
+    }
+    if !spans.iter().any(|(name, _)| name.contains("index.build")) {
+        fail("no `index.build` span");
+    }
+
+    let counters = section(&report, "counters");
+    let queries = counters
+        .iter()
+        .find(|(name, _)| name == "caf.bqt.campaign.queries")
+        .and_then(|(_, value)| value.as_u64())
+        .unwrap_or_else(|| fail("counter `caf.bqt.campaign.queries` missing"));
+    if queries == 0 {
+        fail("counter `caf.bqt.campaign.queries` is zero");
+    }
+
+    let gauges = section(&report, "gauges");
+    if !gauges
+        .iter()
+        .any(|(name, _)| name == "caf.core.engine.workers.effective")
+    {
+        fail("gauge `caf.core.engine.workers.effective` missing");
+    }
+
+    println!(
+        "metrics_check: OK ({path}: {} spans, {} counters, {} gauges)",
+        spans.len(),
+        counters.len(),
+        gauges.len()
+    );
+}

@@ -4,13 +4,21 @@
 //!
 //! ```text
 //! repro <experiment>... [--scale N] [--seed N] [--workers N]
+//!                       [--metrics FILE] [--quiet]
 //! repro all [--scale N]
 //! ```
 //!
 //! `--workers` sets the audit engine's thread count (default: one per
-//! core, capped at 8). The engine's determinism contract guarantees the
-//! numbers below are identical at every worker count — only wall-clock
-//! time changes.
+//! core; the engine clamps to the unit count at run time). The engine's
+//! determinism contract guarantees the numbers below are identical at
+//! every worker count — only wall-clock time changes.
+//!
+//! `--metrics FILE` turns on the `caf-obs` telemetry layer and writes a
+//! machine-readable run report (spans, counters, gauges, histograms —
+//! see DESIGN.md's Observability section) to `FILE` after the last
+//! experiment, plus a human-readable summary table on stderr. Telemetry
+//! is observation-only: outputs are byte-identical with or without it.
+//! `--quiet` suppresses progress lines and the summary table.
 //!
 //! Experiments: `fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11
 //! table1 table2 table3 table4 rates summary ablate-weights
@@ -31,6 +39,7 @@ use caf_core::{
     ServiceabilityAnalysis,
 };
 use caf_geo::{AddressId, BlockId, UsState};
+use caf_obs::RunReport;
 use caf_stats::{median, quantile, UrbanRateBenchmark};
 use caf_synth::params::{CalibrationParams, ErrorCategory};
 use caf_synth::usac::NationalCafSummary;
@@ -39,10 +48,34 @@ use std::cell::OnceCell;
 use std::collections::HashMap;
 
 const ALL: &[&str] = &[
-    "fig1", "table3", "fig2", "fig3", "fig10", "table1", "rates", "table4", "fig4", "fig5",
-    "fig6", "fig7", "fig8", "table2", "fig9", "fig11", "summary", "ablate-weights",
-    "ablate-sampling", "ablate-retry", "ablate-granularity", "ext-experienced",
-    "ext-oversight", "ext-bead", "ext-carriage", "ext-ci", "ext-competition", "dump",
+    "fig1",
+    "table3",
+    "fig2",
+    "fig3",
+    "fig10",
+    "table1",
+    "rates",
+    "table4",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "table2",
+    "fig9",
+    "fig11",
+    "summary",
+    "ablate-weights",
+    "ablate-sampling",
+    "ablate-retry",
+    "ablate-granularity",
+    "ext-experienced",
+    "ext-oversight",
+    "ext-bead",
+    "ext-carriage",
+    "ext-ci",
+    "ext-competition",
+    "dump",
     "validate",
 ];
 
@@ -52,6 +85,18 @@ struct Options {
     scale: u32,
     q3_scale: u32,
     engine: EngineConfig,
+    metrics: Option<std::path::PathBuf>,
+    quiet: bool,
+}
+
+/// Suppresses progress lines and the telemetry summary (`--quiet`).
+static QUIET: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// Prints a `[repro]` progress line on stderr unless `--quiet`.
+fn progress(message: std::fmt::Arguments<'_>) {
+    if !QUIET.load(std::sync::atomic::Ordering::Relaxed) {
+        eprintln!("[repro] {message}");
+    }
 }
 
 fn parse_args() -> Options {
@@ -60,6 +105,8 @@ fn parse_args() -> Options {
     let mut scale = 30;
     let mut q3_scale = 10;
     let mut engine = EngineConfig::default();
+    let mut metrics = None;
+    let mut quiet = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -89,9 +136,19 @@ fn parse_args() -> Options {
                         .unwrap_or_else(|| die("--workers needs an integer")),
                 );
             }
+            "--metrics" => {
+                metrics = Some(std::path::PathBuf::from(
+                    args.next()
+                        .unwrap_or_else(|| die("--metrics needs a file path")),
+                ));
+            }
+            "--quiet" => quiet = true,
             "all" => experiments.extend(ALL.iter().map(|s| s.to_string())),
             "--help" | "-h" => {
-                println!("repro <experiment>... [--scale N] [--seed N] [--workers N]");
+                println!(
+                    "repro <experiment>... [--scale N] [--seed N] [--workers N] \
+                     [--metrics FILE] [--quiet]"
+                );
                 println!("experiments: {}", ALL.join(" "));
                 std::process::exit(0);
             }
@@ -108,6 +165,8 @@ fn parse_args() -> Options {
         scale,
         q3_scale,
         engine,
+        metrics,
+        quiet,
     }
 }
 
@@ -145,25 +204,20 @@ impl Lazy {
 
     fn fixture(&self) -> &Fixture {
         self.fixture.get_or_init(|| {
-            eprintln!(
-                "[repro] building Q1/Q2 fixture (seed {}, scale 1:{}, {} engine workers) ...",
+            progress(format_args!(
+                "building Q1/Q2 fixture (seed {}, scale 1:{}, {} engine workers) ...",
                 self.seed, self.scale, self.engine.workers
-            );
-            Fixture::build_tuned(
-                self.seed,
-                self.scale,
-                &UsState::study_states(),
-                self.engine,
-            )
+            ));
+            Fixture::build_tuned(self.seed, self.scale, &UsState::study_states(), self.engine)
         })
     }
 
     fn q3(&self) -> &(World, Q3Analysis) {
         self.q3.get_or_init(|| {
-            eprintln!(
-                "[repro] building Q3 fixture (seed {}, scale 1:{}) ...",
+            progress(format_args!(
+                "building Q3 fixture (seed {}, scale 1:{}) ...",
                 self.seed, self.q3_scale
-            );
+            ));
             Fixture::build_q3(self.seed, self.q3_scale)
         })
     }
@@ -171,6 +225,10 @@ impl Lazy {
 
 fn main() {
     let options = parse_args();
+    QUIET.store(options.quiet, std::sync::atomic::Ordering::Relaxed);
+    if options.metrics.is_some() {
+        caf_obs::set_enabled(true);
+    }
     let lazy = Lazy::new(&options);
     for experiment in &options.experiments {
         println!("\n################ {experiment} ################");
@@ -207,6 +265,30 @@ fn main() {
             other => die(&format!("unhandled experiment {other}")),
         }
     }
+    if let Some(path) = &options.metrics {
+        write_metrics(path, &options);
+    }
+}
+
+/// Collects the telemetry gathered during the run into a [`RunReport`],
+/// writes it to `path` as pretty-printed JSON, and prints the
+/// human-readable summary table on stderr (unless `--quiet`).
+fn write_metrics(path: &std::path::Path, options: &Options) {
+    let mut meta = std::collections::BTreeMap::new();
+    meta.insert("tool".to_string(), "repro".to_string());
+    meta.insert("seed".to_string(), options.seed.to_string());
+    meta.insert("scale".to_string(), options.scale.to_string());
+    meta.insert("q3_scale".to_string(), options.q3_scale.to_string());
+    meta.insert("workers".to_string(), options.engine.workers.to_string());
+    meta.insert("experiments".to_string(), options.experiments.join(","));
+    let report = RunReport::collect(meta);
+    if let Err(error) = std::fs::write(path, report.to_json_pretty()) {
+        die(&format!("cannot write {}: {error}", path.display()));
+    }
+    progress(format_args!("wrote run report to {}", path.display()));
+    if !QUIET.load(std::sync::atomic::Ordering::Relaxed) {
+        eprint!("{}", report.summary_table());
+    }
 }
 
 // ---------------------------------------------------------------- fig 1
@@ -229,7 +311,10 @@ fn fig1(seed: u64) {
         pct(top20 as f64 / NationalCafSummary::TOTAL_ADDRESSES as f64)
     );
 
-    println!("\nFigure 1b/1e — top-10 ISPs by CAF addresses and funds ({} ISPs total)", summary.by_isp.len());
+    println!(
+        "\nFigure 1b/1e — top-10 ISPs by CAF addresses and funds ({} ISPs total)",
+        summary.by_isp.len()
+    );
     println!("{:<22} {:>12} {:>14}", "isp", "addresses", "funds ($M)");
     for (name, addresses, funds) in summary.by_isp.iter().take(10) {
         println!("{name:<22} {addresses:>12} {:>14.1}", funds / 1e6);
@@ -240,11 +325,25 @@ fn fig1(seed: u64) {
         pct(top4 as f64 / NationalCafSummary::TOTAL_ADDRESSES as f64)
     );
 
-    let per_block: Vec<f64> = summary.addresses_per_block.iter().map(|&x| x as f64).collect();
-    let per_cbg: Vec<f64> = summary.addresses_per_cbg.iter().map(|&x| x as f64).collect();
+    let per_block: Vec<f64> = summary
+        .addresses_per_block
+        .iter()
+        .map(|&x| x as f64)
+        .collect();
+    let per_cbg: Vec<f64> = summary
+        .addresses_per_cbg
+        .iter()
+        .map(|&x| x as f64)
+        .collect();
     println!("\nFigure 1c — CAF addresses per census block / block group");
-    print!("{}", format_cdf("addresses per census block", &per_block, 15));
-    print!("{}", format_cdf("addresses per census block group", &per_cbg, 15));
+    print!(
+        "{}",
+        format_cdf("addresses per census block", &per_block, 15)
+    );
+    print!(
+        "{}",
+        format_cdf("addresses per census block group", &per_cbg, 15)
+    );
     println!(
         "per-CBG min/median/max: {:.0} / {:.0} / {:.0}",
         per_cbg.iter().cloned().fold(f64::INFINITY, f64::min),
@@ -290,8 +389,11 @@ fn table3(fixture: &Fixture) {
             if rows.is_empty() {
                 continue;
             }
-            let mut blocks: Vec<BlockId> =
-                rows.iter().filter_map(|r| block_of.get(&r.address)).copied().collect();
+            let mut blocks: Vec<BlockId> = rows
+                .iter()
+                .filter_map(|r| block_of.get(&r.address))
+                .copied()
+                .collect();
             blocks.sort_unstable();
             blocks.dedup();
             let mut cbgs: Vec<_> = rows.iter().map(|r| r.cbg).collect();
@@ -359,7 +461,12 @@ fn fig2(fixture: &Fixture) {
         .flat_map(|sw| sw.geography.cbgs.iter())
         .filter(|c| caf_geo::DensityClass::from_density(c.density).is_rural())
         .count();
-    let total_cbgs: usize = fixture.world.states.iter().map(|sw| sw.geography.cbgs.len()).sum();
+    let total_cbgs: usize = fixture
+        .world
+        .states
+        .iter()
+        .map(|sw| sw.geography.cbgs.len())
+        .sum();
     println!(
         "rural share of audited CBGs: {} (paper: 96.7 % of CAF blocks rural)",
         pct(rural as f64 / total_cbgs.max(1) as f64)
@@ -409,13 +516,13 @@ fn fig2(fixture: &Fixture) {
 fn fig3(fixture: &Fixture) {
     println!("Figure 3 — population density vs AT&T serviceability");
     for state in [UsState::California, UsState::Georgia] {
-        let Some((r, rho)) = fixture
-            .serviceability
-            .density_correlation(Isp::Att, state)
-        else {
+        let Some((r, rho)) = fixture.serviceability.density_correlation(Isp::Att, state) else {
             continue;
         };
-        println!("\n{} — pearson(log density) {r:.3}, spearman {rho:.3}", state.name());
+        println!(
+            "\n{} — pearson(log density) {r:.3}, spearman {rho:.3}",
+            state.name()
+        );
         println!("{:>14} {:>14}", "density/sqmi", "serviceability");
         for (density, rate) in fixture
             .serviceability
@@ -436,7 +543,9 @@ fn fig3(fixture: &Fixture) {
 // --------------------------------------------------------------- fig 10
 
 fn fig10(fixture: &Fixture) {
-    println!("Figure 10 — geospatial AT&T serviceability (ASCII shade: . <25%, - <50%, + <75%, # >=75%)");
+    println!(
+        "Figure 10 — geospatial AT&T serviceability (ASCII shade: . <25%, - <50%, + <75%, # >=75%)"
+    );
     for state in [UsState::California, UsState::Georgia] {
         println!("\n{} (north at top):", state.name());
         let grid = fixture
@@ -491,7 +600,10 @@ fn table1(fixture: &Fixture) {
 fn rates(fixture: &Fixture) {
     println!("§4.2 rate analysis — price compliance and carriage values");
     let (fraction, range) = fixture.compliance.price_compliance(&fixture.dataset);
-    println!("addresses with a qualifying ≥10/1 plan priced ≤ FCC cap: {}", pct(fraction));
+    println!(
+        "addresses with a qualifying ≥10/1 plan priced ≤ FCC cap: {}",
+        pct(fraction)
+    );
     if let Some((lo, hi)) = range {
         println!("observed 10 Mbps tier prices: ${lo:.0} – ${hi:.0} per month");
     }
@@ -531,7 +643,10 @@ fn rates(fixture: &Fixture) {
 fn table4(q3: &(World, Q3Analysis)) {
     let (world, analysis) = q3;
     println!("Table 4 — Q3 addresses queried per ISP per state (CAF / non-CAF)");
-    println!("{:<16} {:<13} {:>8} {:>9}", "state", "caf isp", "CAF", "non-CAF");
+    println!(
+        "{:<16} {:<13} {:>8} {:>9}",
+        "state", "caf isp", "CAF", "non-CAF"
+    );
     for sw in &world.states {
         let mut per_isp: HashMap<Isp, (usize, usize)> = HashMap::new();
         for block in &sw.q3.blocks {
@@ -583,12 +698,18 @@ fn fig4(analysis: &Q3Analysis) {
     let winning = analysis.type_a_winning_speeds();
     let caf: Vec<f64> = winning.iter().map(|(c, _)| *c).collect();
     let mono: Vec<f64> = winning.iter().map(|(_, m)| *m).collect();
-    println!("\n4b: avg max download speeds where CAF wins ({} blocks)", winning.len());
+    println!(
+        "\n4b: avg max download speeds where CAF wins ({} blocks)",
+        winning.len()
+    );
     print!("{}", format_cdf("CAF speeds (Mbps)", &caf, 11));
     print!("{}", format_cdf("monopoly speeds (Mbps)", &mono, 11));
     if !caf.is_empty() {
         let under_100 = caf.iter().filter(|&&s| s < 100.0).count() as f64 / caf.len() as f64;
-        println!("fraction of winning blocks with CAF avg < 100 Mbps: {}", pct(under_100));
+        println!(
+            "fraction of winning blocks with CAF avg < 100 Mbps: {}",
+            pct(under_100)
+        );
     }
     let uplifts = analysis.type_a_uplift_percents();
     println!("\n4c: percent CAF speed increase over monopoly where CAF wins");
@@ -618,7 +739,10 @@ fn fig5(analysis: &Q3Analysis) {
     let winning = analysis.type_b_winning_speeds();
     let caf: Vec<f64> = winning.iter().map(|(c, _)| *c).collect();
     let comp: Vec<f64> = winning.iter().map(|(_, c)| *c).collect();
-    println!("\n5b: avg max download speeds where CAF wins ({} blocks)", winning.len());
+    println!(
+        "\n5b: avg max download speeds where CAF wins ({} blocks)",
+        winning.len()
+    );
     print!("{}", format_cdf("CAF speeds (Mbps)", &caf, 11));
     print!("{}", format_cdf("competitive speeds (Mbps)", &comp, 11));
 }
@@ -681,7 +805,11 @@ fn fig7(fixture: &Fixture) {
         if let Some(series) = CoverageSeries::extract(&fixture.dataset, isp) {
             print!(
                 "{}",
-                format_cdf(&format!("{} queried %", isp.name()), &series.queried_pct, 11)
+                format_cdf(
+                    &format!("{} queried %", isp.name()),
+                    &series.queried_pct,
+                    11
+                )
             );
         }
     }
@@ -744,7 +872,7 @@ fn table2(fixture: &Fixture) {
 fn fig9(seed: u64, scale: u32) {
     println!("Figure 9 — serviceability-estimate error vs sampling rate (AT&T)");
     let synth = SynthConfig { seed, scale };
-    eprintln!("[repro] building sensitivity world ...");
+    progress(format_args!("building sensitivity world ..."));
     let world = World::generate_states(
         synth,
         &[UsState::Mississippi, UsState::Georgia, UsState::Alabama],
@@ -758,7 +886,10 @@ fn fig9(seed: u64, scale: u32) {
         10,
     );
     println!("CBGs used (>30 addresses each): {}", analysis.cbgs_used);
-    println!("{:>8} {:>18} {:>18}", "rate", "mean |err| (pts)", "max |err| (pts)");
+    println!(
+        "{:>8} {:>18} {:>18}",
+        "rate", "mean |err| (pts)", "max |err| (pts)"
+    );
     for point in &analysis.sweep {
         println!(
             "{:>7.0}% {:>18.2} {:>18.2}",
@@ -782,9 +913,17 @@ fn fig11(fixture: &Fixture) {
             .filter(|r| r.isp == isp)
             .map(|r| r.duration_secs)
             .collect();
-        print!("{}", format_cdf(&format!("{} query time (s)", isp.name()), &times, 11));
+        print!(
+            "{}",
+            format_cdf(&format!("{} query time (s)", isp.name()), &times, 11)
+        );
     }
-    let total = fixture.dataset.records.iter().map(|r| r.duration_secs).sum::<f64>();
+    let total = fixture
+        .dataset
+        .records
+        .iter()
+        .map(|r| r.duration_secs)
+        .sum::<f64>();
     println!(
         "total simulated query time: {:.1} hours; at 40 workers: {:.1} hours wall-clock",
         total / 3_600.0,
@@ -820,8 +959,7 @@ fn summary(lazy: &Lazy) {
     let fixture = lazy.fixture();
     let mut uplifts = q3.type_a_uplift_percents();
     uplifts.sort_by(|a, b| a.total_cmp(b));
-    let mut report =
-        EfficacyReport::assemble(&fixture.serviceability, &fixture.compliance, None);
+    let mut report = EfficacyReport::assemble(&fixture.serviceability, &fixture.compliance, None);
     report.type_a_split = q3.type_a_outcomes();
     report.type_b_split = q3.type_b_outcomes();
     report.median_uplift_pct = if uplifts.is_empty() {
@@ -864,7 +1002,10 @@ fn ablate_weights(fixture: &Fixture) {
             ],
         )
     );
-    println!("The weighting rule shifts the headline by {:.2} points.", 100.0 * (weighted - naive).abs());
+    println!(
+        "The weighting rule shifts the headline by {:.2} points.",
+        100.0 * (weighted - naive).abs()
+    );
 }
 
 fn ablate_sampling(lazy: &Lazy) {
@@ -896,10 +1037,7 @@ fn ablate_sampling(lazy: &Lazy) {
     run_rule("max(30, 10%) (paper)", SamplingRule::paper());
     run_rule("10% only (no floor)", SamplingRule::fraction_only(0.10));
     run_rule("30% only", SamplingRule::fraction_only(0.30));
-    run_rule(
-        "exhaustive (100%)",
-        SamplingRule::fraction_only(1.0),
-    );
+    run_rule("exhaustive (100%)", SamplingRule::fraction_only(1.0));
     println!("The floor buys small-CBG precision at a fraction of exhaustive cost.");
 }
 
@@ -972,7 +1110,6 @@ fn ablate_granularity(lazy: &Lazy) {
     println!("Coarser neighborhoods blur the within-block contrast the paper relies on.");
 }
 
-
 // ------------------------------------------------------------ extensions
 
 /// §5 future work: advertised vs experienced service quality.
@@ -981,10 +1118,7 @@ fn ext_experienced(seed: u64, scale: u32) {
     use caf_synth::speedtest::generate_speedtests;
     println!("Extension — advertised vs experienced quality (§5 future work)");
     let synth = SynthConfig { seed, scale };
-    let world = World::generate_states(
-        synth,
-        &[UsState::Ohio, UsState::Alabama, UsState::Vermont],
-    );
+    let world = World::generate_states(synth, &[UsState::Ohio, UsState::Alabama, UsState::Vermont]);
     let mut tests = Vec::new();
     for sw in &world.states {
         tests.extend(generate_speedtests(seed, &sw.usac, &world.truth, 0.25));
@@ -1021,10 +1155,7 @@ fn ext_oversight(seed: u64, scale: u32) {
     use caf_core::{compare_oversight, OversightConfig};
     println!("Extension — the limits of existing oversight (§2.4)");
     let synth = SynthConfig { seed, scale };
-    let world = World::generate_states(
-        synth,
-        &[UsState::Mississippi, UsState::Georgia],
-    );
+    let world = World::generate_states(synth, &[UsState::Mississippi, UsState::Georgia]);
     println!(
         "{:<13} {:>8} {:>16} {:>16} {:>10}",
         "isp", "sampled", "USAC-found gap", "BQT-found gap", "detection"
@@ -1105,11 +1236,29 @@ fn ext_bead(fixture: &Fixture) {
 /// §4.3: the Q3 comparison on carriage value instead of speed.
 fn ext_carriage(analysis: &Q3Analysis) {
     println!("Extension — Q3 Type-A comparison on carriage value (§4.3's alternate metric)");
-    match (analysis.type_a_outcomes(), analysis.type_a_outcomes_by_carriage()) {
+    match (
+        analysis.type_a_outcomes(),
+        analysis.type_a_outcomes_by_carriage(),
+    ) {
         (Some([sb, st, sw]), Some([cb, ct, cw])) => {
-            println!("{:>22} {:>12} {:>12} {:>12}", "metric", "CAF better", "tie", "other better");
-            println!("{:>22} {:>12} {:>12} {:>12}", "download speed", pct(sb), pct(st), pct(sw));
-            println!("{:>22} {:>12} {:>12} {:>12}", "carriage value", pct(cb), pct(ct), pct(cw));
+            println!(
+                "{:>22} {:>12} {:>12} {:>12}",
+                "metric", "CAF better", "tie", "other better"
+            );
+            println!(
+                "{:>22} {:>12} {:>12} {:>12}",
+                "download speed",
+                pct(sb),
+                pct(st),
+                pct(sw)
+            );
+            println!(
+                "{:>22} {:>12} {:>12} {:>12}",
+                "carriage value",
+                pct(cb),
+                pct(ct),
+                pct(cw)
+            );
             println!("\nSimilar trends on both metrics, as the paper reports.");
         }
         _ => println!("(no Type A blocks at this scale)"),
@@ -1146,7 +1295,11 @@ fn ext_ci(fixture: &Fixture) {
                 let (num, den) = idx.iter().fold((0.0, 0.0), |(n, d), &i| {
                     (n + rates[i].0 * rates[i].1, d + rates[i].1)
                 });
-                if den > 0.0 { num / den } else { 0.0 }
+                if den > 0.0 {
+                    num / den
+                } else {
+                    0.0
+                }
             },
             800,
             0.95,
@@ -1163,7 +1316,6 @@ fn ext_ci(fixture: &Fixture) {
         }
     }
 }
-
 
 /// Writes the audit dataset and per-CBG serviceability rates as CSV
 /// artifacts under `repro_artifacts/`, for external plotting.
@@ -1191,8 +1343,7 @@ fn dump(fixture: &Fixture) {
         ));
     }
     let cbg_path = dir.join("cbg_serviceability.csv");
-    std::fs::write(&cbg_path, cbg_csv)
-        .unwrap_or_else(|e| die(&format!("write {cbg_path:?}: {e}")));
+    std::fs::write(&cbg_path, cbg_csv).unwrap_or_else(|e| die(&format!("write {cbg_path:?}: {e}")));
 
     let mut records_csv = String::from("addr_id,isp,outcome,attempts,errors,duration_secs\n");
     for r in &fixture.dataset.records {
@@ -1221,7 +1372,6 @@ fn dump(fixture: &Fixture) {
     );
 }
 
-
 /// Shape validation: re-asserts the headline paper-vs-measured checks of
 /// the calibration suite and prints PASS/FAIL per claim, exiting non-zero
 /// on any failure. A cheap smoke test for modified parameters or seeds.
@@ -1239,8 +1389,15 @@ fn validate(lazy: &Lazy) {
         if let Some([better, tie, worse]) = q3.type_a_outcomes() {
             check(
                 "Type A split ~ 27/54/17",
-                (better - 0.27).abs() < 0.10 && (tie - 0.54).abs() < 0.12 && (worse - 0.17).abs() < 0.10,
-                format!("{:.1}/{:.1}/{:.1}", 100.0 * better, 100.0 * tie, 100.0 * worse),
+                (better - 0.27).abs() < 0.10
+                    && (tie - 0.54).abs() < 0.12
+                    && (worse - 0.17).abs() < 0.10,
+                format!(
+                    "{:.1}/{:.1}/{:.1}",
+                    100.0 * better,
+                    100.0 * tie,
+                    100.0 * worse
+                ),
             );
         } else {
             check("Type A split ~ 27/54/17", false, "no Type A blocks".into());
@@ -1283,11 +1440,19 @@ fn validate(lazy: &Lazy) {
     let serv_order = s.rate_for_isp(Isp::CenturyLink) > s.rate_for_isp(Isp::Consolidated)
         && s.rate_for_isp(Isp::Consolidated) > s.rate_for_isp(Isp::Frontier)
         && s.rate_for_isp(Isp::Frontier) > s.rate_for_isp(Isp::Att);
-    check("serviceability ordering CL>Cons>Frontier>AT&T", serv_order, String::new());
+    check(
+        "serviceability ordering CL>Cons>Frontier>AT&T",
+        serv_order,
+        String::new(),
+    );
     let comp_order = c.rate_for_isp(Isp::Consolidated) > c.rate_for_isp(Isp::CenturyLink)
         && c.rate_for_isp(Isp::CenturyLink) > c.rate_for_isp(Isp::Att)
         && c.rate_for_isp(Isp::Att) > c.rate_for_isp(Isp::Frontier);
-    check("compliance ordering Cons>CL>AT&T>Frontier", comp_order, String::new());
+    check(
+        "compliance ordering Cons>CL>AT&T>Frontier",
+        comp_order,
+        String::new(),
+    );
     let overall_c = c.overall_rate();
     check(
         "overall compliance in the paper's 28-33 % band (±7)",
@@ -1297,8 +1462,16 @@ fn validate(lazy: &Lazy) {
     let (price_ok, _) = c.price_compliance(&fixture.dataset);
     check("price compliance ~ 100 %", price_ok > 0.999, pct(price_ok));
     match s.density_correlation(Isp::Att, UsState::Georgia) {
-        Some((r, _)) => check("AT&T GA density correlation > 0.15", r > 0.15, format!("r {r:.3}")),
-        None => check("AT&T GA density correlation > 0.15", false, "unavailable".into()),
+        Some((r, _)) => check(
+            "AT&T GA density correlation > 0.15",
+            r > 0.15,
+            format!("r {r:.3}"),
+        ),
+        None => check(
+            "AT&T GA density correlation > 0.15",
+            false,
+            "unavailable".into(),
+        ),
     }
 
     if failures == 0 {
@@ -1308,7 +1481,6 @@ fn validate(lazy: &Lazy) {
         std::process::exit(1);
     }
 }
-
 
 /// §7 policy counterfactual: foster competition in Type A blocks.
 fn ext_competition(analysis: &Q3Analysis) {
@@ -1332,7 +1504,10 @@ fn ext_competition(analysis: &Q3Analysis) {
         );
     }
     println!("\nIf policy induced competition in a fraction of Type A blocks:");
-    println!("{:>10} {:>16} {:>18}", "treated", "mean CAF Mbps", "median CAF Mbps");
+    println!(
+        "{:>10} {:>16} {:>18}",
+        "treated", "mean CAF Mbps", "median CAF Mbps"
+    );
     for point in cf.sweep(&[0.0, 0.1, 0.25, 0.5, 0.75, 1.0]) {
         println!(
             "{:>9.0}% {:>16.1} {:>18.1}",

@@ -58,24 +58,33 @@ impl Fixture {
 
     /// Runs the Q1/Q2 pipeline over a subset of states with an explicit
     /// engine configuration (the `--workers` knob of `repro`).
-    pub fn build_tuned(
-        seed: u64,
-        scale: u32,
-        states: &[UsState],
-        engine: EngineConfig,
-    ) -> Fixture {
+    pub fn build_tuned(seed: u64, scale: u32, states: &[UsState], engine: EngineConfig) -> Fixture {
         let synth = SynthConfig { seed, scale };
-        let world = World::generate_states(synth, states);
+        let world = {
+            let _span = caf_obs::span("fixture.world");
+            World::generate_states(synth, states)
+        };
         let audit = Audit::new(AuditConfig {
             synth,
             campaign: campaign_config(seed),
             rule: SamplingRule::paper(),
             resample_rounds: 2,
         });
-        let dataset = audit.run_with(&world, engine);
-        let index = AuditIndex::build(&dataset);
-        let serviceability = ServiceabilityAnalysis::from_index(&index);
-        let compliance = ComplianceAnalysis::from_index(&dataset, &index);
+        let dataset = {
+            let _span = caf_obs::span("fixture.audit");
+            audit.run_with(&world, engine)
+        };
+        let index = {
+            let _span = caf_obs::span("fixture.index");
+            AuditIndex::build(&dataset)
+        };
+        let (serviceability, compliance) = {
+            let _span = caf_obs::span("fixture.analyses");
+            (
+                ServiceabilityAnalysis::from_index(&index),
+                ComplianceAnalysis::from_index(&dataset, &index),
+            )
+        };
         Fixture {
             world,
             dataset,

@@ -22,8 +22,9 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 
 use crate::client::QueryClient;
-use crate::outcome::QueryRecord;
+use crate::outcome::{QueryOutcome, QueryRecord};
 use crate::proxy::ProxyPool;
+use crate::throttle::ThrottlePolicy;
 
 /// One unit of work: query one address on one ISP's site.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -46,6 +47,10 @@ pub struct CampaignConfig {
     pub max_attempts: u32,
     /// Proxy endpoints per worker.
     pub proxy_pool_size: usize,
+    /// The pacing policy the campaign models. Like `workers`, it shapes
+    /// the wall-clock estimate (and the throttle-wait statistic) only —
+    /// query outcomes never depend on it.
+    pub throttle: ThrottlePolicy,
 }
 
 impl CampaignConfig {
@@ -75,7 +80,105 @@ impl Default for CampaignConfig {
             workers: 4,
             max_attempts: 3,
             proxy_pool_size: 16,
+            throttle: ThrottlePolicy::polite(),
         }
+    }
+}
+
+/// Aggregate statistics of one campaign run, computed **post-hoc from
+/// the record list** — records are worker-count independent, so the
+/// stats are too (only `throttle_wait_secs` folds in the configured
+/// policy and worker count, both fixed by the config).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CampaignStats {
+    /// Tasks run (one record each).
+    pub queries: u64,
+    /// Site attempts across all tasks (first tries + retries).
+    pub attempts: u64,
+    /// Retry attempts only (`attempts - queries`).
+    pub retries: u64,
+    /// Transient error events observed (one per failed attempt).
+    pub error_events: u64,
+    /// Proxy endpoint rotations. The client rotates exactly once per
+    /// transient error, so this equals `error_events`; kept as its own
+    /// field because it is a distinct operational event.
+    pub proxy_rotations: u64,
+    /// Records whose outcome was `Serviceable`.
+    pub serviceable: u64,
+    /// Records whose outcome was `NoService`.
+    pub no_service: u64,
+    /// Records whose outcome was `AddressNotFound`.
+    pub address_not_found: u64,
+    /// Records whose outcome was `Unknown` (retry budget exhausted).
+    pub unknown: u64,
+    /// Records whose outcome was `CallToOrder`.
+    pub call_to_order: u64,
+    /// Total simulated in-query seconds.
+    pub total_query_secs: f64,
+    /// Seconds the pacing policy adds beyond pure query work: per ISP,
+    /// `max(0, pace_bound - work_bound)` under the effective concurrency,
+    /// summed over ISPs.
+    pub throttle_wait_secs: f64,
+}
+
+impl CampaignStats {
+    /// Computes the statistics for a finished record list under the
+    /// given pacing policy and worker count.
+    pub fn from_records(
+        records: &[QueryRecord],
+        throttle: ThrottlePolicy,
+        workers: usize,
+    ) -> CampaignStats {
+        let mut stats = CampaignStats::default();
+        let mut per_isp: HashMap<Isp, (f64, u64)> = HashMap::new();
+        for record in records {
+            stats.queries += 1;
+            stats.attempts += u64::from(record.attempts);
+            stats.error_events += record.errors.len() as u64;
+            stats.total_query_secs += record.duration_secs;
+            match &record.outcome {
+                QueryOutcome::Serviceable { .. } => stats.serviceable += 1,
+                QueryOutcome::NoService => stats.no_service += 1,
+                QueryOutcome::AddressNotFound => stats.address_not_found += 1,
+                QueryOutcome::Unknown(_) => stats.unknown += 1,
+                QueryOutcome::CallToOrder => stats.call_to_order += 1,
+            }
+            let entry = per_isp.entry(record.isp).or_insert((0.0, 0));
+            entry.0 += record.duration_secs;
+            entry.1 += 1;
+        }
+        stats.retries = stats.attempts - stats.queries;
+        stats.proxy_rotations = stats.error_events;
+        let concurrency = throttle.per_isp_concurrency.min(workers.max(1)).max(1) as f64;
+        for &(total_secs, queries) in per_isp.values() {
+            let work_bound = total_secs / concurrency;
+            let pace_bound = queries as f64 * throttle.min_gap_secs / concurrency;
+            stats.throttle_wait_secs += (pace_bound - work_bound).max(0.0);
+        }
+        stats
+    }
+
+    /// Publishes the statistics as `caf.bqt.campaign.*` counters in the
+    /// global telemetry registry. Counters accumulate, so repeated
+    /// campaigns (resample rounds, per-state runs) tally up.
+    pub fn publish(&self) {
+        caf_obs::count("caf.bqt.campaign.queries", self.queries);
+        caf_obs::count("caf.bqt.campaign.attempts", self.attempts);
+        caf_obs::count("caf.bqt.campaign.retries", self.retries);
+        caf_obs::count("caf.bqt.campaign.errors", self.error_events);
+        caf_obs::count("caf.bqt.campaign.proxy_rotations", self.proxy_rotations);
+        caf_obs::count("caf.bqt.campaign.outcome.serviceable", self.serviceable);
+        caf_obs::count("caf.bqt.campaign.outcome.no_service", self.no_service);
+        caf_obs::count(
+            "caf.bqt.campaign.outcome.address_not_found",
+            self.address_not_found,
+        );
+        caf_obs::count("caf.bqt.campaign.outcome.unknown", self.unknown);
+        caf_obs::count("caf.bqt.campaign.outcome.call_to_order", self.call_to_order);
+        caf_obs::count(
+            "caf.bqt.campaign.throttle_wait_us",
+            (self.throttle_wait_secs * 1e6) as u64,
+        );
     }
 }
 
@@ -86,6 +189,8 @@ pub struct CampaignResult {
     pub records: Vec<QueryRecord>,
     /// Aggregated proxy telemetry across workers.
     pub proxy: ProxyPool,
+    /// Aggregate run statistics (retry/outcome/throttle tallies).
+    pub stats: CampaignStats,
 }
 
 impl CampaignResult {
@@ -143,6 +248,7 @@ impl Campaign {
     /// task order. Deterministic for a fixed seed regardless of worker
     /// count.
     pub fn run(&self, truth: &TruthTable, tasks: &[QueryTask]) -> CampaignResult {
+        let _span = caf_obs::span("bqt.campaign");
         let cfg = self.config;
         let (task_tx, task_rx) = channel::unbounded::<(usize, QueryTask)>();
         for pair in tasks.iter().copied().enumerate() {
@@ -197,14 +303,25 @@ impl Campaign {
         for pool in &worker_pools {
             aggregate_pool.absorb(pool);
         }
-        let records = slots
+        let records: Vec<QueryRecord> = slots
             .into_inner()
             .into_iter()
             .map(|slot| slot.expect("every task produces a record"))
             .collect();
+        let stats = CampaignStats::from_records(&records, cfg.throttle, cfg.workers);
+        if caf_obs::enabled() {
+            stats.publish();
+            for record in &records {
+                caf_obs::observe(
+                    "caf.bqt.campaign.query_us",
+                    (record.duration_secs * 1e6) as u64,
+                );
+            }
+        }
         CampaignResult {
             records,
             proxy: aggregate_pool,
+            stats,
         }
     }
 }
@@ -351,6 +468,96 @@ mod tests {
             dropdown as f64 / total as f64 > 0.9,
             "dropdown {dropdown}/{total}"
         );
+    }
+
+    #[test]
+    fn stats_reconcile_with_records() {
+        let w = world();
+        let tasks = tasks_for(&w);
+        let result = Campaign::new(CampaignConfig {
+            seed: w.config.seed,
+            workers: 3,
+            ..CampaignConfig::default()
+        })
+        .run(&w.truth, &tasks);
+        let s = result.stats;
+        assert_eq!(s.queries, tasks.len() as u64);
+        assert_eq!(
+            s.attempts,
+            result
+                .records
+                .iter()
+                .map(|r| u64::from(r.attempts))
+                .sum::<u64>()
+        );
+        assert_eq!(s.retries, s.attempts - s.queries);
+        assert_eq!(
+            s.error_events,
+            result
+                .records
+                .iter()
+                .map(|r| r.errors.len() as u64)
+                .sum::<u64>()
+        );
+        assert_eq!(s.proxy_rotations, s.error_events);
+        let outcomes =
+            s.serviceable + s.no_service + s.address_not_found + s.unknown + s.call_to_order;
+        assert_eq!(outcomes, s.queries, "every record lands in one class");
+        assert!((s.total_query_secs - result.total_query_secs()).abs() < 1e-9);
+        assert!(s.throttle_wait_secs >= 0.0);
+    }
+
+    #[test]
+    fn stats_are_worker_count_independent() {
+        let w = world();
+        let tasks = tasks_for(&w);
+        let run = |workers: usize| {
+            Campaign::new(CampaignConfig {
+                seed: w.config.seed,
+                workers,
+                ..CampaignConfig::default()
+            })
+            .run(&w.truth, &tasks)
+            .stats
+        };
+        // `workers` feeds the throttle-wait bound, so pin it via a policy
+        // wider than both counts and compare the tallies directly.
+        let a = run(8);
+        let b = run(8);
+        assert_eq!(a, b, "same config reproduces identical stats");
+        let c = Campaign::new(CampaignConfig {
+            seed: w.config.seed,
+            workers: 1,
+            ..CampaignConfig::default()
+        })
+        .run(&w.truth, &tasks)
+        .stats;
+        assert_eq!(a.queries, c.queries);
+        assert_eq!(a.attempts, c.attempts);
+        assert_eq!(a.error_events, c.error_events);
+        assert_eq!(a.serviceable, c.serviceable);
+        assert_eq!(a.unknown, c.unknown);
+    }
+
+    #[test]
+    fn throttle_wait_grows_with_the_gap() {
+        let w = world();
+        let tasks = tasks_for(&w);
+        let with_gap = |min_gap_secs: f64| {
+            Campaign::new(CampaignConfig {
+                seed: w.config.seed,
+                throttle: ThrottlePolicy {
+                    per_isp_concurrency: 8,
+                    min_gap_secs,
+                },
+                ..CampaignConfig::default()
+            })
+            .run(&w.truth, &tasks)
+            .stats
+            .throttle_wait_secs
+        };
+        assert_eq!(with_gap(0.0), 0.0, "no gap, no pacing wait");
+        assert!(with_gap(1_000.0) > with_gap(2.0));
     }
 
     #[test]

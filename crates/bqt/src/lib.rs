@@ -42,7 +42,7 @@ pub mod throttle;
 pub mod timing;
 pub mod website;
 
-pub use campaign::{Campaign, CampaignConfig, CampaignResult, QueryTask};
+pub use campaign::{Campaign, CampaignConfig, CampaignResult, CampaignStats, QueryTask};
 pub use client::QueryClient;
 pub use outcome::{QueryOutcome, QueryRecord};
 pub use proxy::{ProxyKind, ProxyPool};

@@ -53,12 +53,7 @@ impl ProxyPool {
             .map(|i| {
                 let mixed = caf_synth::rng::mix(seed, i as u64);
                 // 10.x.y.z private-range synthetic addresses.
-                let ip = Ipv4Addr::new(
-                    10,
-                    (mixed >> 16) as u8,
-                    (mixed >> 8) as u8,
-                    mixed as u8,
-                );
+                let ip = Ipv4Addr::new(10, (mixed >> 16) as u8, (mixed >> 8) as u8, mixed as u8);
                 ProxyEndpoint {
                     ip,
                     kind: if i % 3 == 0 {

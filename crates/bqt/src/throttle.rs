@@ -154,10 +154,7 @@ mod tests {
         let per_isp_max = [Isp::Att, Isp::Xfinity]
             .iter()
             .map(|&isp| {
-                let total: f64 = result
-                    .records_for(isp)
-                    .map(|r| r.duration_secs)
-                    .sum();
+                let total: f64 = result.records_for(isp).map(|r| r.duration_secs).sum();
                 let queries = result.records_for(isp).count() as f64;
                 (total / 8.0).max(queries * 2.0 / 8.0)
             })

@@ -43,7 +43,9 @@ mod tests {
     fn att_is_slowest_and_widest() {
         let mut rng = StdRng::seed_from_u64(4);
         let sample = |isp: Isp, rng: &mut StdRng| -> Vec<f64> {
-            (0..4_000).map(|_| attempt_duration_secs(rng, isp)).collect()
+            (0..4_000)
+                .map(|_| attempt_duration_secs(rng, isp))
+                .collect()
         };
         let median = |xs: &mut Vec<f64>| -> f64 {
             xs.sort_by(|a, b| a.total_cmp(b));

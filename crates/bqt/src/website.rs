@@ -322,8 +322,7 @@ mod tests {
     #[test]
     fn unspecified_speed_plan_roundtrips() {
         let cat = PlanCatalog::for_isp(Isp::Frontier);
-        let unknown: BroadbandPlan =
-            cat.plan_from_tier(cat.tier_labeled("Unknown Plan").unwrap());
+        let unknown: BroadbandPlan = cat.plan_from_tier(cat.tier_labeled("Unknown Plan").unwrap());
         let truth = AddressTruth {
             served: true,
             plans: vec![unknown],

@@ -1,7 +1,7 @@
 //! Property-based tests for the BQT simulator.
 
+use caf_bqt::ProxyPool;
 use caf_bqt::{Campaign, CampaignConfig, QueryClient, QueryOutcome, QueryTask};
-use caf_bqt::{ProxyPool};
 use caf_geo::AddressId;
 use caf_synth::{AddressTruth, Isp, PlanCatalog, TruthTable};
 use proptest::prelude::*;
@@ -103,6 +103,7 @@ proptest! {
                 workers,
                 max_attempts: 3,
                 proxy_pool_size: 8,
+                ..CampaignConfig::default()
             })
             .run(&table, &tasks)
         };
@@ -140,6 +141,7 @@ proptest! {
             workers: 2,
             max_attempts: 4,
             proxy_pool_size: 4,
+            ..CampaignConfig::default()
         })
         .run(&table, &tasks);
         let attempts: u64 = result.records.iter().map(|r| u64::from(r.attempts)).sum();

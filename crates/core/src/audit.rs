@@ -168,10 +168,7 @@ impl AuditDataset {
             ("density", density.into_iter().collect::<Column>()),
             ("density_pct", density_pct.into_iter().collect::<Column>()),
             ("served", served.into_iter().collect::<Column>()),
-            (
-                "max_down",
-                Column::Float(max_down),
-            ),
+            ("max_down", Column::Float(max_down)),
             ("price", Column::Float(price)),
             ("guaranteed", Column::Bool(guaranteed)),
         ])
@@ -218,12 +215,7 @@ impl Audit {
     /// exactly what a world generated from only those states would
     /// yield — ablations reuse one shared world instead of regenerating
     /// subset worlds.
-    pub fn run_for(
-        &self,
-        world: &World,
-        states: &[UsState],
-        engine: EngineConfig,
-    ) -> AuditDataset {
+    pub fn run_for(&self, world: &World, states: &[UsState], engine: EngineConfig) -> AuditDataset {
         let units: Vec<&StateWorld> = states
             .iter()
             .filter_map(|&state| world.state(state))
@@ -239,6 +231,15 @@ impl Audit {
         truth: &TruthTable,
         engine: EngineConfig,
     ) -> AuditDataset {
+        // Clamp the pool to the actual unit count and report both sides
+        // of the clamp — `workers.configured` is what the caller asked
+        // for, `workers.effective` is what can actually run.
+        let configured = engine.workers;
+        let engine = engine.for_units(units.len());
+        caf_obs::gauge("caf.core.engine.workers.configured", configured as u64);
+        caf_obs::gauge("caf.core.engine.workers.effective", engine.workers as u64);
+        caf_obs::gauge("caf.core.engine.units", units.len() as u64);
+        let _audit_span = caf_obs::span("audit");
         // Split the campaign's worker budget across engine workers so
         // state-level parallelism does not multiply thread counts; the
         // campaign's results are worker-count independent.
@@ -250,6 +251,7 @@ impl Audit {
         let partials = map_slice(engine.workers, units, |_, state_world| {
             self.audit_state(&campaign, truth, state_world)
         });
+        let _merge_span = caf_obs::span("merge");
         let mut rows = Vec::new();
         let mut records = Vec::new();
         let mut coverage = Vec::new();
@@ -258,6 +260,8 @@ impl Audit {
             records.extend(partial.records);
             coverage.extend(partial.coverage);
         }
+        caf_obs::count("caf.core.audit.rows", rows.len() as u64);
+        caf_obs::count("caf.core.audit.records", records.len() as u64);
         AuditDataset {
             rows,
             records,
@@ -274,14 +278,20 @@ impl Audit {
         truth: &TruthTable,
         state_world: &StateWorld,
     ) -> StatePartial {
+        // On a pool worker the thread-local span stack is empty, so this
+        // roots a per-state hierarchy (`state.VT/sample`, ...) no matter
+        // which worker picked the unit up.
+        let _state_span = caf_obs::span_with(|| format!("state.{}", state_world.state.abbrev()));
         let mut rows = Vec::new();
         let mut records = Vec::new();
         let mut coverage = Vec::new();
-        let plan = SamplingPlan::draw(self.config.synth.seed, state_world, self.config.rule);
+        let plan = {
+            let _span = caf_obs::span("sample");
+            SamplingPlan::draw(self.config.synth.seed, state_world, self.config.rule)
+        };
 
         // CBG metadata lookup for row construction.
-        let mut cbg_meta: HashMap<(Isp, BlockGroupId), (usize, f64, f64, LatLon)> =
-            HashMap::new();
+        let mut cbg_meta: HashMap<(Isp, BlockGroupId), (usize, f64, f64, LatLon)> = HashMap::new();
         for cbg in &state_world.geography.cbgs {
             cbg_meta.insert(
                 (cbg.isp, cbg.id),
@@ -307,13 +317,13 @@ impl Audit {
                 });
             }
         }
-        let mut queried_per_cell: Vec<usize> =
-            plan.cells.iter().map(|c| c.primary.len()).collect();
+        let mut queried_per_cell: Vec<usize> = plan.cells.iter().map(|c| c.primary.len()).collect();
         let mut collected_per_cell: Vec<usize> = vec![0; plan.cells.len()];
         let mut replacement_cursor: Vec<usize> = vec![0; plan.cells.len()];
 
         let mut round = 0;
         while !tasks.is_empty() {
+            let _round_span = caf_obs::span(if round == 0 { "campaign" } else { "resample" });
             let result: CampaignResult = campaign.run(truth, &tasks);
             let mut next_tasks: Vec<QueryTask> = Vec::new();
             for record in result.records {
@@ -324,19 +334,18 @@ impl Audit {
                     let (cbg_total, density, density_pct, centroid) =
                         cbg_meta[&(cell.isp, cell.cbg)];
                     let served = record.outcome.is_served().expect("definitive");
-                    let (max_down, max_plan, all_plans, subscriber) =
-                        match &record.outcome {
-                            caf_bqt::QueryOutcome::Serviceable {
-                                plans,
-                                existing_subscriber,
-                            } => (
-                                record.outcome.max_download_mbps(),
-                                plans.first().cloned(),
-                                plans.clone(),
-                                *existing_subscriber,
-                            ),
-                            _ => (None, None, Vec::new(), false),
-                        };
+                    let (max_down, max_plan, all_plans, subscriber) = match &record.outcome {
+                        caf_bqt::QueryOutcome::Serviceable {
+                            plans,
+                            existing_subscriber,
+                        } => (
+                            record.outcome.max_download_mbps(),
+                            plans.first().cloned(),
+                            plans.clone(),
+                            *existing_subscriber,
+                        ),
+                        _ => (None, None, Vec::new(), false),
+                    };
                     rows.push(AuditRow {
                         address: record.address,
                         isp: cell.isp,
@@ -358,6 +367,7 @@ impl Audit {
                     if let Some(&replacement) = cell.replacements.get(*cursor) {
                         *cursor += 1;
                         queried_per_cell[cell_idx] += 1;
+                        caf_obs::count("caf.core.audit.resampled", 1);
                         cell_of.insert(replacement, cell_idx);
                         next_tasks.push(QueryTask {
                             address: replacement,

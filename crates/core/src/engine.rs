@@ -31,8 +31,9 @@
 
 use caf_geo::UsState;
 use caf_synth::rng::{mix, mix_str};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// How the engine schedules per-state work units.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,12 +49,14 @@ impl EngineConfig {
         EngineConfig { workers: 1 }
     }
 
-    /// One worker per available core, capped at 8 (beyond the study's
-    /// fifteen states extra workers only idle).
+    /// One worker per available core. The count is *not* capped here:
+    /// the run-time clamp lives in [`EngineConfig::for_units`], which
+    /// knows the actual number of work units (a fixed cap of 8 starved
+    /// wide machines on large unit sets and oversubscribed small ones).
     pub fn auto() -> EngineConfig {
         EngineConfig {
             workers: std::thread::available_parallelism()
-                .map(|n| n.get().min(8))
+                .map(|n| n.get())
                 .unwrap_or(4),
         }
     }
@@ -68,6 +71,17 @@ impl EngineConfig {
     /// Whether units run on a worker pool rather than inline.
     pub fn is_parallel(self) -> bool {
         self.workers > 1
+    }
+
+    /// Clamps the worker count to the number of work units actually
+    /// being scheduled (at least 1) — workers beyond the unit count
+    /// would only idle. [`Audit::run`](crate::Audit::run) applies this
+    /// once the unit set is known and reports both the configured and
+    /// the effective count through the telemetry registry.
+    pub fn for_units(self, units: usize) -> EngineConfig {
+        EngineConfig {
+            workers: self.workers.min(units.max(1)),
+        }
     }
 
     /// The worker budget for a campaign nested *inside* a state unit:
@@ -99,7 +113,10 @@ impl Default for EngineConfig {
 /// it exists for engine-level decisions (see the module docs) and as the
 /// label under which unit-scoped diagnostics are reported.
 pub fn state_seed(seed: u64, state: UsState) -> u64 {
-    mix(mix_str(seed, "engine-state"), u64::from(state.fips().code()))
+    mix(
+        mix_str(seed, "engine-state"),
+        u64::from(state.fips().code()),
+    )
 }
 
 /// Applies `f` to every item on a pool of `workers` scoped threads and
@@ -120,32 +137,100 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
-    if workers <= 1 || items.len() <= 1 {
-        return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
-    }
-    let slots: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
-    let cursor = AtomicUsize::new(0);
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..workers.min(items.len()) {
-            scope.spawn(|_| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(item) = items.get(i) else {
-                    break;
-                };
-                let result = f(i, item);
-                *slots[i].lock().expect("slot lock poisoned") = Some(result);
-            });
+    // Telemetry is observation-only: timings feed gauges and histograms,
+    // never scheduling, so results stay byte-identical with it on or off.
+    let telemetry = caf_obs::enabled();
+    let _span = caf_obs::span("engine.map_slice");
+    let wall_start = telemetry.then(Instant::now);
+    let unit_ns: Vec<AtomicU64> = if telemetry {
+        (0..items.len()).map(|_| AtomicU64::new(0)).collect()
+    } else {
+        Vec::new()
+    };
+    let run_unit = |i: usize, item: &T| {
+        let start = telemetry.then(Instant::now);
+        let result = f(i, item);
+        if let Some(start) = start {
+            let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            unit_ns[i].store(nanos, Ordering::Relaxed);
+            caf_obs::observe("caf.core.engine.unit_us", nanos / 1_000);
         }
-    })
-    .expect("engine worker panicked");
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("slot lock poisoned")
-                .expect("every item produces a result")
+        result
+    };
+
+    let results = if workers <= 1 || items.len() <= 1 {
+        items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| run_unit(i, item))
+            .collect()
+    } else {
+        let slots: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        crossbeam::thread::scope(|scope| {
+            for worker in 0..workers.min(items.len()) {
+                let run_unit = &run_unit;
+                let slots = &slots;
+                let cursor = &cursor;
+                scope.spawn(move |_| {
+                    let worker_start = telemetry.then(Instant::now);
+                    let mut busy_ns: u64 = 0;
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else {
+                            break;
+                        };
+                        let unit_start = telemetry.then(Instant::now);
+                        let result = run_unit(i, item);
+                        if let Some(unit_start) = unit_start {
+                            busy_ns = busy_ns.saturating_add(
+                                u64::try_from(unit_start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                            );
+                        }
+                        *slots[i].lock().expect("slot lock poisoned") = Some(result);
+                    }
+                    if let Some(worker_start) = worker_start {
+                        let wall_ns =
+                            u64::try_from(worker_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                        caf_obs::gauge(
+                            &format!("caf.core.engine.worker.{worker}.busy_us"),
+                            busy_ns / 1_000,
+                        );
+                        caf_obs::gauge(
+                            &format!("caf.core.engine.worker.{worker}.wall_us"),
+                            wall_ns / 1_000,
+                        );
+                    }
+                });
+            }
         })
-        .collect()
+        .expect("engine worker panicked");
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("slot lock poisoned")
+                    .expect("every item produces a result")
+            })
+            .collect()
+    };
+
+    if let Some(wall_start) = wall_start {
+        let wall_ns = u64::try_from(wall_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        caf_obs::gauge("caf.core.engine.map_slice_wall_us", wall_ns / 1_000);
+        // Unit skew: how much slower the slowest unit ran than the
+        // fastest, as a percentage of the slowest. High skew flags a
+        // state whose unit dominates the merge barrier.
+        let slowest = unit_ns.iter().map(|d| d.load(Ordering::Relaxed)).max();
+        let fastest = unit_ns.iter().map(|d| d.load(Ordering::Relaxed)).min();
+        if let (Some(max), Some(min)) = (slowest, fastest) {
+            let spread = u128::from(max.saturating_sub(min)) * 100;
+            if let Some(skew) = spread.checked_div(u128::from(max)) {
+                caf_obs::gauge("caf.core.engine.unit_skew_pct", skew as u64);
+            }
+        }
+    }
+    results
 }
 
 #[cfg(test)]
@@ -177,7 +262,10 @@ mod tests {
             seen.lock().unwrap().insert(std::thread::current().id());
             std::thread::sleep(std::time::Duration::from_millis(1));
         });
-        assert!(seen.lock().unwrap().len() > 1, "expected parallel execution");
+        assert!(
+            seen.lock().unwrap().len() > 1,
+            "expected parallel execution"
+        );
     }
 
     #[test]
@@ -201,8 +289,16 @@ mod tests {
         assert_eq!(EngineConfig::with_workers(0).workers, 1);
         assert_eq!(EngineConfig::with_workers(6).workers, 6);
         assert!(EngineConfig::with_workers(6).is_parallel());
-        assert!((1..=8).contains(&EngineConfig::auto().workers));
+        assert!(EngineConfig::auto().workers >= 1);
         assert_eq!(EngineConfig::default(), EngineConfig::auto());
+    }
+
+    #[test]
+    fn for_units_clamps_workers_to_the_unit_count() {
+        assert_eq!(EngineConfig::with_workers(16).for_units(4).workers, 4);
+        assert_eq!(EngineConfig::with_workers(2).for_units(15).workers, 2);
+        assert_eq!(EngineConfig::with_workers(8).for_units(0).workers, 1);
+        assert_eq!(EngineConfig::serial().for_units(100).workers, 1);
     }
 
     #[test]

@@ -106,6 +106,8 @@ pub struct AuditIndex {
 impl AuditIndex {
     /// Builds the index from an audit dataset.
     pub fn build(dataset: &AuditDataset) -> AuditIndex {
+        let _span = caf_obs::span("index.build");
+        caf_obs::count("caf.core.index.builds", 1);
         let rows = &dataset.rows;
         let mut order: Vec<u32> = (0..rows.len() as u32).collect();
         // Stable key: ties broken by original position so the sorted
@@ -152,6 +154,8 @@ impl AuditIndex {
             }
         }
         state_cells.sort_by_key(|(state, _)| *state);
+        caf_obs::count("caf.core.index.rows", rows.len() as u64);
+        caf_obs::count("caf.core.index.cells", cells.len() as u64);
 
         AuditIndex {
             n_rows: rows.len(),
@@ -181,6 +185,7 @@ impl AuditIndex {
     /// The contiguous cell slice of one ISP (empty if the ISP was not
     /// audited).
     pub fn cells_for(&self, isp: Isp) -> &[CellMeta] {
+        caf_obs::count("caf.core.index.lookups", 1);
         self.isp_cells
             .iter()
             .find(|(i, _)| *i == isp)
@@ -202,6 +207,7 @@ impl AuditIndex {
     /// contiguous (state nests under ISP in the sort), so this walks a
     /// precomputed id list rather than a slice.
     pub fn cells_for_state(&self, state: UsState) -> impl Iterator<Item = &CellMeta> + '_ {
+        caf_obs::count("caf.core.index.lookups", 1);
         self.state_cells
             .iter()
             .find(|(s, _)| *s == state)
@@ -395,8 +401,7 @@ mod tests {
         let ds = dataset();
         let index = AuditIndex::build(&ds);
         assert_eq!(index.len(), 7);
-        let keys: Vec<(Isp, BlockGroupId)> =
-            index.cells().iter().map(|c| (c.isp, c.cbg)).collect();
+        let keys: Vec<(Isp, BlockGroupId)> = index.cells().iter().map(|c| (c.isp, c.cbg)).collect();
         let mut sorted = keys.clone();
         sorted.sort();
         sorted.dedup();
@@ -449,7 +454,10 @@ mod tests {
         assert_eq!(index.cells_for_state(UsState::Ohio).count(), 4);
         assert_eq!(index.cells_for_state(UsState::Vermont).count(), 1);
         assert_eq!(index.cells_for_state(UsState::Iowa).count(), 0);
-        let total: usize = index.states().map(|s| index.cells_for_state(s).count()).sum();
+        let total: usize = index
+            .states()
+            .map(|s| index.cells_for_state(s).count())
+            .sum();
         assert_eq!(total, index.cells().len());
     }
 
@@ -474,7 +482,10 @@ mod tests {
         use caf_bqt::{Campaign, CampaignConfig, QueryTask};
         use caf_synth::{SynthConfig, World};
         let world = World::generate_states(
-            SynthConfig { seed: 21, scale: 80 },
+            SynthConfig {
+                seed: 21,
+                scale: 80,
+            },
             &[UsState::Vermont],
         );
         let vt = world.state(UsState::Vermont).unwrap();

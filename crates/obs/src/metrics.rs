@@ -1,0 +1,440 @@
+//! The metrics registry: named counters, gauges, and histograms behind
+//! plain atomics.
+//!
+//! Instruments are created on first use and shared via `Arc`, so hot
+//! paths can hold an instrument handle and skip the name lookup. All
+//! mutation is `Ordering::Relaxed` atomics — instruments never
+//! synchronize pipeline threads, they only count. Snapshots return
+//! name-sorted vectors so downstream serialization is stable.
+//!
+//! Naming convention: `caf.<crate>.<subsystem>.<name>`, e.g.
+//! `caf.bqt.campaign.retries` (see DESIGN.md's Observability section).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `delta`.
+    pub fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins instantaneous value.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, value: u64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: bucket 0 holds zeros, bucket `b ≥ 1`
+/// holds values in `[2^(b-1), 2^b)` (the last bucket's upper edge
+/// saturates at `u64::MAX`).
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A fixed-bucket (power-of-two edges) histogram with exact count, sum,
+/// min, and max. Quantiles are bucket-midpoint estimates clamped to the
+/// observed `[min, max]`, so they are order-of-magnitude accurate at any
+/// scale without per-value storage.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// The bucket index a value lands in: 0 for 0, else `floor(log2(v)) + 1`.
+pub fn bucket_index(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// The inclusive `[lo, hi]` value range of a bucket.
+pub fn bucket_range(bucket: usize) -> (u64, u64) {
+    match bucket {
+        0 => (0, 0),
+        64 => (1 << 63, u64::MAX),
+        b => (1 << (b - 1), (1 << b) - 1),
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A consistent-enough point-in-time copy (individual fields are read
+    /// atomically; concurrent writers may land between reads, which only
+    /// matters for live snapshots, never for end-of-run reports).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        let min = self.min.load(Ordering::Relaxed);
+        let max = self.max.load(Ordering::Relaxed);
+        let (min, max) = if count == 0 { (0, 0) } else { (min, max) };
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let quantile = |q: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+            let mut seen = 0u64;
+            for (i, &n) in buckets.iter().enumerate() {
+                seen += n;
+                if seen >= target {
+                    let (lo, hi) = bucket_range(i);
+                    return (lo + (hi - lo) / 2).clamp(min, max);
+                }
+            }
+            max
+        };
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min,
+            max,
+            p50: quantile(0.50),
+            p99: quantile(0.99),
+        }
+    }
+}
+
+/// A point-in-time view of a [`Histogram`] (or of a span aggregate,
+/// which is a histogram of nanosecond durations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Exact sum of all observations.
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation (0 when empty).
+    pub max: u64,
+    /// Estimated median (bucket midpoint, clamped to `[min, max]`).
+    pub p50: u64,
+    /// Estimated 99th percentile (bucket midpoint, clamped).
+    pub p99: u64,
+}
+
+/// A point-in-time view of every instrument in a registry, name-sorted.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` per counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` per gauge.
+    pub gauges: Vec<(String, u64)>,
+    /// `(name, snapshot)` per histogram.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+/// The instrument registry. One global instance lives behind
+/// [`registry`](crate::registry); tests construct private ones.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+    spans: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+/// Gets or creates the named instrument in one of the registry's maps.
+fn intern<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
+    if let Some(found) = map.read().expect("registry lock poisoned").get(name) {
+        return Arc::clone(found);
+    }
+    Arc::clone(
+        map.write()
+            .expect("registry lock poisoned")
+            .entry(name.to_string())
+            .or_default(),
+    )
+}
+
+fn sorted_values<T, V>(
+    map: &RwLock<BTreeMap<String, Arc<T>>>,
+    read: impl Fn(&T) -> V,
+) -> Vec<(String, V)> {
+    map.read()
+        .expect("registry lock poisoned")
+        .iter()
+        .map(|(name, v)| (name.clone(), read(v)))
+        .collect()
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The named counter, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        intern(&self.counters, name)
+    }
+
+    /// The named gauge, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        intern(&self.gauges, name)
+    }
+
+    /// The named histogram, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        intern(&self.histograms, name)
+    }
+
+    /// Adds `delta` to the named counter.
+    pub fn count(&self, name: &str, delta: u64) {
+        self.counter(name).add(delta);
+    }
+
+    /// Sets the named gauge.
+    pub fn set_gauge(&self, name: &str, value: u64) {
+        self.gauge(name).set(value);
+    }
+
+    /// Records one observation into the named histogram.
+    pub fn observe(&self, name: &str, value: u64) {
+        self.histogram(name).record(value);
+    }
+
+    /// Folds a completed span's duration into its per-path aggregate.
+    /// Called by [`SpanGuard`](crate::span::SpanGuard) on drop.
+    pub fn record_span(&self, path: &str, nanos: u64) {
+        intern(&self.spans, path).record(nanos);
+    }
+
+    /// Every counter, gauge, and histogram, name-sorted.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: sorted_values(&self.counters, |c| c.get()),
+            gauges: sorted_values(&self.gauges, |g| g.get()),
+            histograms: sorted_values(&self.histograms, |h| h.snapshot()),
+        }
+    }
+
+    /// Every span aggregate (nanosecond histograms), path-sorted.
+    pub fn span_snapshot(&self) -> Vec<(String, HistogramSnapshot)> {
+        sorted_values(&self.spans, |h| h.snapshot())
+    }
+
+    /// Clears every instrument — used between runs that share the global
+    /// registry (benches, repeated reports).
+    pub fn reset(&self) {
+        self.counters
+            .write()
+            .expect("registry lock poisoned")
+            .clear();
+        self.gauges.write().expect("registry lock poisoned").clear();
+        self.histograms
+            .write()
+            .expect("registry lock poisoned")
+            .clear();
+        self.spans.write().expect("registry lock poisoned").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let reg = Registry::new();
+        reg.count("caf.test.metrics.c", 3);
+        reg.count("caf.test.metrics.c", 4);
+        reg.set_gauge("caf.test.metrics.g", 9);
+        reg.set_gauge("caf.test.metrics.g", 2);
+        let snap = reg.metrics_snapshot();
+        assert_eq!(snap.counters, vec![("caf.test.metrics.c".to_string(), 7)]);
+        assert_eq!(snap.gauges, vec![("caf.test.metrics.g".to_string(), 2)]);
+        // Handles are shared, not duplicated.
+        assert!(Arc::ptr_eq(
+            &reg.counter("caf.test.metrics.c"),
+            &reg.counter("caf.test.metrics.c")
+        ));
+    }
+
+    #[test]
+    fn bucket_edges_are_powers_of_two() {
+        // The fixed edges: 0 → bucket 0; [2^(b-1), 2^b) → bucket b.
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for b in 0..HISTOGRAM_BUCKETS {
+            let (lo, hi) = bucket_range(b);
+            assert!(lo <= hi);
+            assert_eq!(bucket_index(lo), b, "lower edge of bucket {b}");
+            assert_eq!(bucket_index(hi), b, "upper edge of bucket {b}");
+            if b >= 2 {
+                // Edges tile the u64 range with no gap or overlap.
+                let (_, prev_hi) = bucket_range(b - 1);
+                assert_eq!(prev_hi + 1, lo);
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_tracks_exact_count_sum_min_max() {
+        let h = Histogram::new();
+        for v in [5u64, 1, 100, 1] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 107);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 100);
+        assert!(s.p50 >= s.min && s.p50 <= s.max);
+        assert!(s.p99 >= s.p50 && s.p99 <= s.max);
+    }
+
+    #[test]
+    fn empty_histogram_snapshots_to_zeros() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(
+            s,
+            HistogramSnapshot {
+                count: 0,
+                sum: 0,
+                min: 0,
+                max: 0,
+                p50: 0,
+                p99: 0
+            }
+        );
+    }
+
+    #[test]
+    fn quantiles_separate_a_skewed_distribution() {
+        let h = Histogram::new();
+        // 99 fast observations (~8) and one slow outlier (~100 000).
+        for _ in 0..99 {
+            h.record(8);
+        }
+        h.record(100_000);
+        let s = h.snapshot();
+        // Bucket-midpoint estimates: both ranks land in the [8, 15]
+        // bucket, far below the outlier.
+        assert!(s.p50 <= 15, "median sits in the fast bucket, got {}", s.p50);
+        assert!(
+            s.p99 <= 15,
+            "rank 99 still lands among the fast 99, got {}",
+            s.p99
+        );
+        let h2 = Histogram::new();
+        for _ in 0..50 {
+            h2.record(8);
+        }
+        for _ in 0..50 {
+            h2.record(100_000);
+        }
+        let s2 = h2.snapshot();
+        assert!(
+            s2.p99 > 50_000,
+            "p99 must reach the slow mode, got {}",
+            s2.p99
+        );
+    }
+
+    #[test]
+    fn single_value_quantiles_clamp_to_the_value() {
+        let h = Histogram::new();
+        h.record(1_000);
+        let s = h.snapshot();
+        // Bucket midpoint estimation would say ~1 535; clamping to the
+        // observed range pins the degenerate case exactly.
+        assert_eq!(s.p50, 1_000);
+        assert_eq!(s.p99, 1_000);
+    }
+
+    #[test]
+    fn snapshots_are_name_sorted_and_reset_clears() {
+        let reg = Registry::new();
+        reg.count("b.second", 1);
+        reg.count("a.first", 1);
+        reg.observe("z.hist", 5);
+        reg.record_span("root/child", 10);
+        let snap = reg.metrics_snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["a.first", "b.second"]);
+        assert_eq!(reg.span_snapshot().len(), 1);
+        reg.reset();
+        let snap = reg.metrics_snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.histograms.is_empty());
+        assert!(reg.span_snapshot().is_empty());
+    }
+
+    #[test]
+    fn registry_is_thread_safe() {
+        let reg = Registry::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for i in 0..1_000u64 {
+                        reg.count("caf.test.metrics.racing", 1);
+                        reg.observe("caf.test.metrics.racing_hist", i);
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.counter("caf.test.metrics.racing").get(), 4_000);
+        assert_eq!(reg.histogram("caf.test.metrics.racing_hist").count(), 4_000);
+    }
+}

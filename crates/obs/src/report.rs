@@ -1,0 +1,496 @@
+//! Machine-readable run reports.
+//!
+//! A [`RunReport`] is a point-in-time snapshot of a [`Registry`] plus
+//! free-form run metadata, serialized to a **stable** JSON schema:
+//!
+//! ```text
+//! {
+//!   "meta":    { "<key>": "<string>", ... },          // sorted keys
+//!   "metrics": {
+//!     "counters":   { "<name>": <u64>, ... },          // sorted names
+//!     "gauges":     { "<name>": <u64>, ... },
+//!     "histograms": { "<name>": {count,max,min,p50,p99,sum}, ... }
+//!   },
+//!   "spans":   { "<path>": {count,max_us,min_us,p50_us,p99_us,total_us}, ... }
+//! }
+//! ```
+//!
+//! Every object's keys are emitted in sorted order, and the inner field
+//! names are fixed, so two runs of the same build produce key-identical
+//! documents — diffs show only value changes. [`validate_report_json`]
+//! enforces the schema (including the sortedness) and is what the CI
+//! smoke step runs against `repro --metrics` output; loosening the
+//! schema without updating the validator fails the gate.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::json::{self, Json};
+use crate::metrics::{HistogramSnapshot, Registry};
+
+/// A snapshot of a registry's spans and metrics plus run metadata,
+/// ready to serialize.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Free-form run metadata (tool name, seed, worker count, ...).
+    /// Reports written by `repro` always carry `tool`, `seed`, and
+    /// `workers`; the validator requires them.
+    pub meta: BTreeMap<String, String>,
+    /// Counter values, name-sorted.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values, name-sorted.
+    pub gauges: Vec<(String, u64)>,
+    /// Histogram snapshots, name-sorted.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// Span aggregates (durations in nanoseconds), path-sorted.
+    pub spans: Vec<(String, HistogramSnapshot)>,
+}
+
+impl RunReport {
+    /// Snapshots `registry` under the given metadata.
+    pub fn collect_from(registry: &Registry, meta: BTreeMap<String, String>) -> RunReport {
+        let metrics = registry.metrics_snapshot();
+        RunReport {
+            meta,
+            counters: metrics.counters,
+            gauges: metrics.gauges,
+            histograms: metrics.histograms,
+            spans: registry.span_snapshot(),
+        }
+    }
+
+    /// Snapshots the global registry under the given metadata.
+    pub fn collect(meta: BTreeMap<String, String>) -> RunReport {
+        RunReport::collect_from(crate::registry(), meta)
+    }
+
+    /// The report as a [`Json`] tree (sorted keys, fixed field names).
+    pub fn to_json_value(&self) -> Json {
+        let meta = Json::Obj(
+            self.meta
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                .collect(),
+        );
+        let uint_obj = |pairs: &[(String, u64)]| {
+            Json::Obj(
+                pairs
+                    .iter()
+                    .map(|(name, value)| (name.clone(), Json::UInt(*value)))
+                    .collect(),
+            )
+        };
+        let histograms = Json::Obj(
+            self.histograms
+                .iter()
+                .map(|(name, h)| {
+                    (
+                        name.clone(),
+                        Json::Obj(vec![
+                            ("count".to_string(), Json::UInt(h.count)),
+                            ("max".to_string(), Json::UInt(h.max)),
+                            ("min".to_string(), Json::UInt(h.min)),
+                            ("p50".to_string(), Json::UInt(h.p50)),
+                            ("p99".to_string(), Json::UInt(h.p99)),
+                            ("sum".to_string(), Json::UInt(h.sum)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        let spans = Json::Obj(
+            self.spans
+                .iter()
+                .map(|(path, h)| {
+                    // Span durations aggregate in nanoseconds; the report
+                    // publishes microseconds. Floor division preserves the
+                    // schema's ordering invariants (min ≤ p50 ≤ p99 ≤ max
+                    // ≤ total, since count ≥ 1 implies max ≤ sum).
+                    (
+                        path.clone(),
+                        Json::Obj(vec![
+                            ("count".to_string(), Json::UInt(h.count)),
+                            ("max_us".to_string(), Json::UInt(h.max / 1_000)),
+                            ("min_us".to_string(), Json::UInt(h.min / 1_000)),
+                            ("p50_us".to_string(), Json::UInt(h.p50 / 1_000)),
+                            ("p99_us".to_string(), Json::UInt(h.p99 / 1_000)),
+                            ("total_us".to_string(), Json::UInt(h.sum / 1_000)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        Json::Obj(vec![
+            ("meta".to_string(), meta),
+            (
+                "metrics".to_string(),
+                Json::Obj(vec![
+                    ("counters".to_string(), uint_obj(&self.counters)),
+                    ("gauges".to_string(), uint_obj(&self.gauges)),
+                    ("histograms".to_string(), histograms),
+                ]),
+            ),
+            ("spans".to_string(), spans),
+        ])
+    }
+
+    /// Compact single-line JSON (the bench summary format).
+    pub fn to_json(&self) -> String {
+        self.to_json_value().to_compact()
+    }
+
+    /// Pretty-printed JSON (the `--metrics` file format).
+    pub fn to_json_pretty(&self) -> String {
+        let mut out = self.to_json_value().to_pretty();
+        out.push('\n');
+        out
+    }
+
+    /// A human-readable summary: metadata, the slowest span paths by
+    /// total time, and all counters/gauges. Printed by `repro` after a
+    /// `--metrics` run unless `--quiet`.
+    pub fn summary_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "telemetry summary");
+        for (key, value) in &self.meta {
+            let _ = writeln!(out, "  meta  {key:<28} {value}");
+        }
+        let mut by_total: Vec<&(String, HistogramSnapshot)> = self.spans.iter().collect();
+        by_total.sort_by(|a, b| b.1.sum.cmp(&a.1.sum).then_with(|| a.0.cmp(&b.0)));
+        if !by_total.is_empty() {
+            let _ = writeln!(
+                out,
+                "  {:<44} {:>7} {:>12} {:>10} {:>10}",
+                "span", "count", "total_ms", "p50_us", "max_us"
+            );
+            for (path, h) in by_total.iter().take(16) {
+                let _ = writeln!(
+                    out,
+                    "  {:<44} {:>7} {:>12.3} {:>10} {:>10}",
+                    path,
+                    h.count,
+                    h.sum as f64 / 1e6,
+                    h.p50 / 1_000,
+                    h.max / 1_000
+                );
+            }
+            if by_total.len() > 16 {
+                let _ = writeln!(
+                    out,
+                    "  ... {} more spans in the report",
+                    by_total.len() - 16
+                );
+            }
+        }
+        for (name, value) in &self.counters {
+            let _ = writeln!(out, "  counter  {name:<40} {value}");
+        }
+        for (name, value) in &self.gauges {
+            let _ = writeln!(out, "  gauge    {name:<40} {value}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "  hist     {name:<40} count={} p50={} p99={} max={}",
+                h.count, h.p50, h.p99, h.max
+            );
+        }
+        out
+    }
+}
+
+/// Fields of a span entry, in required (sorted) order.
+const SPAN_FIELDS: [&str; 6] = ["count", "max_us", "min_us", "p50_us", "p99_us", "total_us"];
+/// Fields of a histogram entry, in required (sorted) order.
+const HIST_FIELDS: [&str; 6] = ["count", "max", "min", "p50", "p99", "sum"];
+/// Metadata keys every report must carry.
+const REQUIRED_META: [&str; 3] = ["seed", "tool", "workers"];
+
+/// Validates that `text` is a schema-conforming run report and returns
+/// the parsed document.
+///
+/// Checks structure (root is exactly `{meta, metrics, spans}`, metrics is
+/// exactly `{counters, gauges, histograms}`), field shapes, the duration
+/// ordering invariants, required metadata, a non-empty span set, and that
+/// every object's keys appear in sorted order — the stable-output
+/// guarantee CI gates on.
+pub fn validate_report_json(text: &str) -> Result<Json, String> {
+    let root = json::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    expect_keys(&root, "root", &["meta", "metrics", "spans"])?;
+
+    let meta = root.get("meta").expect("checked");
+    let meta_entries = meta.as_obj().ok_or("meta: expected an object")?;
+    check_sorted(meta_entries, "meta")?;
+    for (key, value) in meta_entries {
+        if value.as_str().is_none() {
+            return Err(format!("meta.{key}: expected a string"));
+        }
+    }
+    for required in REQUIRED_META {
+        if meta.get(required).is_none() {
+            return Err(format!("meta: missing required key {required:?}"));
+        }
+    }
+
+    let metrics = root.get("metrics").expect("checked");
+    expect_keys(metrics, "metrics", &["counters", "gauges", "histograms"])?;
+    for section in ["counters", "gauges"] {
+        let entries = metrics
+            .get(section)
+            .and_then(Json::as_obj)
+            .ok_or_else(|| format!("metrics.{section}: expected an object"))?;
+        check_sorted(entries, section)?;
+        for (name, value) in entries {
+            if value.as_u64().is_none() {
+                return Err(format!(
+                    "metrics.{section}.{name}: expected an unsigned integer"
+                ));
+            }
+        }
+    }
+    let histograms = metrics
+        .get("histograms")
+        .and_then(Json::as_obj)
+        .ok_or("metrics.histograms: expected an object")?;
+    check_sorted(histograms, "metrics.histograms")?;
+    for (name, entry) in histograms {
+        let h = check_stat_entry(entry, &HIST_FIELDS, &format!("metrics.histograms.{name}"))?;
+        check_ordering(
+            &h,
+            &HIST_FIELDS,
+            &format!("metrics.histograms.{name}"),
+            false,
+        )?;
+    }
+
+    let spans = root
+        .get("spans")
+        .and_then(Json::as_obj)
+        .ok_or("spans: expected an object")?;
+    if spans.is_empty() {
+        return Err("spans: expected at least one recorded span".to_string());
+    }
+    check_sorted(spans, "spans")?;
+    for (path, entry) in spans {
+        let s = check_stat_entry(entry, &SPAN_FIELDS, &format!("spans.{path}"))?;
+        if s[0] == 0 {
+            return Err(format!("spans.{path}: count must be >= 1"));
+        }
+        check_ordering(&s, &SPAN_FIELDS, &format!("spans.{path}"), true)?;
+    }
+    Ok(root)
+}
+
+/// Asserts `value` is an object with exactly `expected` keys in order.
+fn expect_keys(value: &Json, what: &str, expected: &[&str]) -> Result<(), String> {
+    let entries = value
+        .as_obj()
+        .ok_or_else(|| format!("{what}: expected an object"))?;
+    let keys: Vec<&str> = entries.iter().map(|(k, _)| k.as_str()).collect();
+    if keys != expected {
+        return Err(format!(
+            "{what}: expected keys {expected:?}, found {keys:?}"
+        ));
+    }
+    Ok(())
+}
+
+fn check_sorted(entries: &[(String, Json)], what: &str) -> Result<(), String> {
+    for pair in entries.windows(2) {
+        if pair[0].0 >= pair[1].0 {
+            return Err(format!(
+                "{what}: keys out of sorted order ({:?} before {:?})",
+                pair[0].0, pair[1].0
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Checks a span/histogram entry has exactly `fields` (sorted order) with
+/// unsigned-integer values; returns them in field order.
+fn check_stat_entry(entry: &Json, fields: &[&str; 6], what: &str) -> Result<[u64; 6], String> {
+    expect_keys(entry, what, fields)?;
+    let mut out = [0u64; 6];
+    for (slot, field) in out.iter_mut().zip(fields) {
+        *slot = entry
+            .get(field)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("{what}.{field}: expected an unsigned integer"))?;
+    }
+    Ok(out)
+}
+
+/// Enforces `min <= p50 <= p99 <= max` (and `max <= total` for spans,
+/// where the last field is a sum). Skipped for empty histograms.
+fn check_ordering(
+    values: &[u64; 6],
+    fields: &[&str; 6],
+    what: &str,
+    sum_dominates: bool,
+) -> Result<(), String> {
+    let field = |name: &str| values[fields.iter().position(|f| *f == name).expect("field")];
+    let count = field("count");
+    if count == 0 {
+        return Ok(());
+    }
+    let (min, p50, p99, max) = if sum_dominates {
+        (
+            field("min_us"),
+            field("p50_us"),
+            field("p99_us"),
+            field("max_us"),
+        )
+    } else {
+        (field("min"), field("p50"), field("p99"), field("max"))
+    };
+    let mut chain = vec![("min", min), ("p50", p50), ("p99", p99), ("max", max)];
+    if sum_dominates {
+        chain.push(("total", field("total_us")));
+    }
+    for pair in chain.windows(2) {
+        if pair[0].1 > pair[1].1 {
+            return Err(format!(
+                "{what}: {} ({}) > {} ({})",
+                pair[0].0, pair[0].1, pair[1].0, pair[1].1
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    fn meta() -> BTreeMap<String, String> {
+        BTreeMap::from([
+            ("tool".to_string(), "test".to_string()),
+            ("seed".to_string(), "42".to_string()),
+            ("workers".to_string(), "4".to_string()),
+        ])
+    }
+
+    fn sample_registry() -> Registry {
+        let registry = Registry::new();
+        registry.count("caf.test.report.queries", 12);
+        registry.set_gauge("caf.test.report.workers", 4);
+        for v in [10, 20, 30] {
+            registry.observe("caf.test.report.latency", v);
+        }
+        registry.record_span("audit", 5_000_000);
+        registry.record_span("audit/merge", 1_000_000);
+        registry.record_span("audit", 7_000_000);
+        registry
+    }
+
+    #[test]
+    fn report_serializes_to_a_valid_schema() {
+        let registry = sample_registry();
+        let report = RunReport::collect_from(&registry, meta());
+        for text in [report.to_json(), report.to_json_pretty()] {
+            validate_report_json(&text).expect("schema-valid");
+        }
+    }
+
+    #[test]
+    fn key_order_is_stable_across_runs() {
+        // Two registries fed in different orders serialize identically in
+        // structure: same keys, same order. This is the stable-schema
+        // guarantee downstream diff tooling relies on.
+        let a = Registry::new();
+        a.count("caf.z", 1);
+        a.count("caf.a", 1);
+        a.record_span("beta", 10);
+        a.record_span("alpha", 10);
+        let b = Registry::new();
+        b.count("caf.a", 1);
+        b.count("caf.z", 1);
+        b.record_span("alpha", 10);
+        b.record_span("beta", 10);
+        let text_a = RunReport::collect_from(&a, meta()).to_json();
+        let text_b = RunReport::collect_from(&b, meta()).to_json();
+        assert_eq!(text_a, text_b);
+        let keys: Vec<String> = json::parse(&text_a)
+            .unwrap()
+            .get("metrics")
+            .unwrap()
+            .get("counters")
+            .unwrap()
+            .as_obj()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.clone())
+            .collect();
+        assert_eq!(keys, vec!["caf.a".to_string(), "caf.z".to_string()]);
+    }
+
+    #[test]
+    fn validator_rejects_schema_drift() {
+        let registry = sample_registry();
+        let report = RunReport::collect_from(&registry, meta());
+        let good = report.to_json();
+        validate_report_json(&good).expect("baseline valid");
+
+        // Each mutation drifts the schema in a way the gate must catch.
+        let missing_meta = good.replace("\"seed\":\"42\",", "");
+        assert!(validate_report_json(&missing_meta)
+            .unwrap_err()
+            .contains("seed"));
+
+        let renamed_field = good.replace("\"total_us\"", "\"total\"");
+        assert!(validate_report_json(&renamed_field).is_err());
+
+        let extra_root = good.replacen("{\"meta\"", "{\"extra\":1,\"meta\"", 1);
+        assert!(validate_report_json(&extra_root).is_err());
+
+        let no_spans = {
+            let idx = good.rfind("\"spans\":").unwrap();
+            format!("{}\"spans\":{{}}}}", &good[..idx])
+        };
+        assert!(validate_report_json(&no_spans)
+            .unwrap_err()
+            .contains("spans"));
+
+        assert!(validate_report_json("not json").is_err());
+    }
+
+    #[test]
+    fn validator_rejects_unsorted_keys() {
+        let registry = Registry::new();
+        registry.record_span("only", 1_000);
+        let report = RunReport::collect_from(&registry, meta());
+        let good = report.to_json();
+        // Manually swap two meta keys out of order.
+        let swapped = good.replacen(
+            "\"seed\":\"42\",\"tool\":\"test\"",
+            "\"tool\":\"test\",\"seed\":\"42\"",
+            1,
+        );
+        assert_ne!(good, swapped, "replacement must hit");
+        assert!(validate_report_json(&swapped)
+            .unwrap_err()
+            .contains("sorted"));
+    }
+
+    #[test]
+    fn validator_rejects_inverted_durations() {
+        let text = concat!(
+            r#"{"meta":{"seed":"1","tool":"t","workers":"1"},"#,
+            r#""metrics":{"counters":{},"gauges":{},"histograms":{}},"#,
+            r#""spans":{"s":{"count":1,"max_us":5,"min_us":9,"p50_us":6,"p99_us":7,"total_us":9}}}"#
+        );
+        assert!(validate_report_json(text).is_err());
+    }
+
+    #[test]
+    fn summary_table_mentions_spans_and_counters() {
+        let registry = sample_registry();
+        let report = RunReport::collect_from(&registry, meta());
+        let table = report.summary_table();
+        assert!(table.contains("audit/merge"));
+        assert!(table.contains("caf.test.report.queries"));
+        assert!(table.contains("workers"));
+    }
+}

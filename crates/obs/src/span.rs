@@ -1,0 +1,203 @@
+//! Hierarchical scoped timers.
+//!
+//! A span measures the wall-clock of a lexical scope and files it under
+//! a `/`-joined path built from the spans currently open **on the same
+//! thread**: `span("audit")` containing `span("merge")` records under
+//! `"audit/merge"`. Worker threads start with an empty stack, so a span
+//! opened inside a pool worker roots a fresh hierarchy — per-unit spans
+//! like `state.VT` aggregate under their own path regardless of which
+//! worker ran them, keeping the aggregation schedule-independent.
+//!
+//! Aggregation is per path: every completed span folds its duration into
+//! a [`Histogram`](crate::metrics::Histogram) (count, total, min, max,
+//! log-bucket quantiles) in the global registry. Guards are `!Send` by
+//! construction (they hold a position in a thread-local stack), so a
+//! span cannot close on a different thread than it opened on.
+
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::time::Instant;
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An open span. Created by [`span`] / [`span_with`]; records its
+/// duration under its path when dropped. When telemetry is disabled the
+/// guard is inert (no clock read, no allocation).
+#[derive(Debug)]
+pub struct SpanGuard {
+    /// The full `/`-joined path, captured at open time; `None` for the
+    /// inert (telemetry-off) guard.
+    path: Option<String>,
+    start: Instant,
+    /// Pins the guard to its thread: the path stack is thread-local, so
+    /// dropping on another thread would pop someone else's frame.
+    _not_send: PhantomData<*const ()>,
+}
+
+/// Opens a span named `name` under the current thread's span path.
+///
+/// The returned guard records on drop; bind it (`let _span = ...`) so it
+/// lives to the end of the scope. With telemetry disabled this is one
+/// relaxed atomic load.
+pub fn span(name: &str) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard::inert();
+    }
+    SpanGuard::open(name)
+}
+
+/// Like [`span`], but the name is built lazily — use this when the name
+/// is formatted (`span_with(|| format!("state.{abbrev}"))`) so the
+/// telemetry-off path never allocates.
+pub fn span_with<F: FnOnce() -> String>(name: F) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard::inert();
+    }
+    SpanGuard::open(&name())
+}
+
+impl SpanGuard {
+    fn inert() -> SpanGuard {
+        SpanGuard {
+            path: None,
+            start: Instant::now(),
+            _not_send: PhantomData,
+        }
+    }
+
+    fn open(name: &str) -> SpanGuard {
+        let path = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let path = if stack.is_empty() {
+                name.to_string()
+            } else {
+                format!("{}/{}", stack.join("/"), name)
+            };
+            stack.push(name.to_string());
+            path
+        });
+        SpanGuard {
+            path: Some(path),
+            start: Instant::now(),
+            _not_send: PhantomData,
+        }
+    }
+
+    /// The span's full path, or `None` for an inert guard.
+    pub fn path(&self) -> Option<&str> {
+        self.path.as_deref()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(path) = self.path.take() {
+            let nanos = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            SPAN_STACK.with(|stack| {
+                stack.borrow_mut().pop();
+            });
+            // Record even if telemetry was switched off mid-span: the
+            // frame was pushed, so the pop (and its aggregate) must land.
+            crate::registry().record_span(&path, nanos);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Runs `f` with telemetry enabled under the shared flag lock,
+    /// restoring the previous state.
+    fn with_telemetry<T>(f: impl FnOnce() -> T) -> T {
+        let _lock = crate::flag_lock();
+        crate::set_enabled(true);
+        let out = f();
+        crate::set_enabled(false);
+        out
+    }
+
+    #[test]
+    fn spans_nest_into_slash_paths() {
+        with_telemetry(|| {
+            let outer = span("caf_obs_test_outer");
+            assert_eq!(outer.path(), Some("caf_obs_test_outer"));
+            {
+                let inner = span("caf_obs_test_inner");
+                assert_eq!(inner.path(), Some("caf_obs_test_outer/caf_obs_test_inner"));
+                let third = span_with(|| "leaf".to_string());
+                assert_eq!(
+                    third.path(),
+                    Some("caf_obs_test_outer/caf_obs_test_inner/leaf")
+                );
+            }
+            // Siblings after the nested scope re-attach to the outer span.
+            let sibling = span("caf_obs_test_sibling");
+            assert_eq!(
+                sibling.path(),
+                Some("caf_obs_test_outer/caf_obs_test_sibling")
+            );
+            drop(sibling);
+            drop(outer);
+        });
+        let spans = crate::registry().span_snapshot();
+        let get = |p: &str| {
+            spans
+                .iter()
+                .find(|(path, _)| path == p)
+                .map(|(_, h)| h.count)
+                .unwrap_or(0)
+        };
+        assert!(get("caf_obs_test_outer") >= 1);
+        assert!(get("caf_obs_test_outer/caf_obs_test_inner") >= 1);
+        assert!(get("caf_obs_test_outer/caf_obs_test_inner/leaf") >= 1);
+        assert!(get("caf_obs_test_outer/caf_obs_test_sibling") >= 1);
+    }
+
+    #[test]
+    fn worker_threads_root_fresh_hierarchies() {
+        with_telemetry(|| {
+            let _outer = span("caf_obs_test_thread_outer");
+            std::thread::scope(|scope| {
+                scope.spawn(|| {
+                    let inner = span("caf_obs_test_thread_inner");
+                    // Fresh stack on the new thread: no outer prefix.
+                    assert_eq!(inner.path(), Some("caf_obs_test_thread_inner"));
+                });
+            });
+        });
+    }
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        let _lock = crate::flag_lock();
+        crate::set_enabled(false);
+        let guard = span("caf_obs_test_never_recorded");
+        assert_eq!(guard.path(), None);
+        drop(guard);
+        let spans = crate::registry().span_snapshot();
+        assert!(!spans
+            .iter()
+            .any(|(path, _)| path.contains("caf_obs_test_never_recorded")));
+    }
+
+    #[test]
+    fn durations_aggregate_per_path() {
+        with_telemetry(|| {
+            for _ in 0..3 {
+                let _s = span("caf_obs_test_repeat");
+                std::hint::black_box(0u64);
+            }
+        });
+        let spans = crate::registry().span_snapshot();
+        let (_, h) = spans
+            .iter()
+            .find(|(path, _)| path == "caf_obs_test_repeat")
+            .expect("span recorded");
+        assert!(h.count >= 3);
+        assert!(h.sum >= h.max);
+        assert!(h.min <= h.max);
+    }
+}

@@ -134,6 +134,43 @@ fn worker_count_does_not_change_audit_output() {
 }
 
 #[test]
+fn telemetry_does_not_change_audit_output() {
+    // The caf-obs layer is observation-only: enabling it must not move a
+    // byte of audit output, at any worker count. Run the same audit with
+    // telemetry off and on, serial and parallel, and compare artifact
+    // hashes. (The enabled flag is process-global; restore it before the
+    // final assertions so a panic path can't leak state into other tests
+    // in this binary — none of which read it.)
+    let (world, audit) = audit_at(SEED);
+
+    caf_obs::set_enabled(false);
+    let baseline = hash_of(&dump_csv(&audit.run_with(&world, EngineConfig::serial())));
+
+    let mut instrumented = Vec::new();
+    caf_obs::set_enabled(true);
+    for workers in [1usize, 4] {
+        let dataset = audit.run_with(&world, EngineConfig::with_workers(workers));
+        instrumented.push((workers, hash_of(&dump_csv(&dataset))));
+    }
+    caf_obs::set_enabled(false);
+
+    for (workers, hash) in instrumented {
+        assert_eq!(
+            hash, baseline,
+            "telemetry changed the audit artifact at {workers} workers"
+        );
+    }
+
+    // The instrumented runs actually recorded telemetry — otherwise this
+    // test would vacuously pass with a disabled registry.
+    let spans = caf_obs::registry().span_snapshot();
+    assert!(
+        spans.iter().any(|(path, _)| path.contains("state.")),
+        "instrumented audit recorded no per-state spans"
+    );
+}
+
+#[test]
 fn different_seeds_still_differ() {
     // Guard against the degenerate explanation for the test above (an
     // audit that ignores its inputs would also be "deterministic").

@@ -15,6 +15,7 @@ fn campaign(seed: u64) -> Campaign {
         workers: 2,
         max_attempts: 3,
         proxy_pool_size: 4,
+        ..CampaignConfig::default()
     })
 }
 
@@ -55,6 +56,70 @@ fn all_hard_failures_yield_all_unknown() {
             .unwrap_or(0),
         150
     );
+
+    // The campaign's stats tally the same story: 50 queries, all three
+    // attempts consumed (so two retries each), every error rotating the
+    // proxy, every outcome Unknown.
+    let stats = result.stats;
+    assert_eq!(stats.queries, 50);
+    assert_eq!(stats.attempts, 150);
+    assert_eq!(stats.retries, 100);
+    assert_eq!(stats.error_events, 150);
+    assert_eq!(stats.proxy_rotations, 150);
+    assert_eq!(stats.unknown, 50);
+    assert_eq!(stats.serviceable, 0);
+    assert_eq!(stats.no_service, 0);
+    assert_eq!(stats.address_not_found, 0);
+    assert_eq!(stats.call_to_order, 0);
+    assert!(stats.total_query_secs > 0.0);
+    assert!(stats.throttle_wait_secs >= 0.0);
+}
+
+#[test]
+fn campaign_stats_reach_the_metrics_registry() {
+    // With telemetry enabled, a campaign run publishes its stats as
+    // `caf.bqt.campaign.*` counters. The registry is process-global and
+    // other tests in this binary run campaigns concurrently, so assert
+    // on ≥ deltas rather than exact values.
+    let mut truth = TruthTable::new();
+    let tasks: Vec<QueryTask> = (0..30)
+        .map(|i| {
+            truth.insert(
+                AddressId(i),
+                Isp::Frontier,
+                AddressTruth {
+                    hard_failure: true,
+                    ..AddressTruth::unserved()
+                },
+            );
+            QueryTask {
+                address: AddressId(i),
+                isp: Isp::Frontier,
+            }
+        })
+        .collect();
+
+    let read = |name: &str| -> u64 {
+        caf_obs::registry()
+            .metrics_snapshot()
+            .counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    };
+
+    caf_obs::set_enabled(true);
+    let queries_before = read("caf.bqt.campaign.queries");
+    let retries_before = read("caf.bqt.campaign.retries");
+    let unknown_before = read("caf.bqt.campaign.outcome.unknown");
+    let result = campaign(7).run(&truth, &tasks);
+    caf_obs::set_enabled(false);
+
+    assert_eq!(result.stats.queries, 30);
+    assert!(read("caf.bqt.campaign.queries") >= queries_before + 30);
+    assert!(read("caf.bqt.campaign.retries") >= retries_before + 60);
+    assert!(read("caf.bqt.campaign.outcome.unknown") >= unknown_before + 30);
 }
 
 #[test]

@@ -2,9 +2,7 @@
 //! for *any* seed and scale, not just the calibrated defaults.
 
 use caf_bqt::{Campaign, CampaignConfig, QueryTask};
-use caf_core::{
-    Audit, AuditConfig, ComplianceAnalysis, SamplingRule, ServiceabilityAnalysis,
-};
+use caf_core::{Audit, AuditConfig, ComplianceAnalysis, SamplingRule, ServiceabilityAnalysis};
 use caf_geo::UsState;
 use caf_synth::{SynthConfig, World};
 use proptest::prelude::*;
@@ -71,6 +69,7 @@ proptest! {
                 workers,
                 max_attempts: 3,
                 proxy_pool_size: pool,
+                ..CampaignConfig::default()
             })
             .run(&world.truth, &tasks)
             .records
