@@ -3,9 +3,12 @@
 #
 # Mirrors what reviewers run before merging: formatting, a release
 # build, the full test suite (unit + integration + doc), clippy at
-# deny-warnings across every target (lib, bins, benches, tests), and an
-# observability smoke run — a tiny repro experiment with `--metrics`
-# whose run report must pass the caf-obs schema gate (metrics_check).
+# deny-warnings across every target (lib, bins, benches, tests), the
+# cold-path equivalence suite at two different worker-pool shapes, a
+# quick world-bench run whose `BENCH_world.json` must pass the caf-obs
+# schema gate, and an observability smoke run — a tiny repro experiment
+# with `--metrics` whose run report must pass the full metrics_check
+# gate.
 #
 # Usage: ./ci.sh
 set -euo pipefail
@@ -22,6 +25,14 @@ cargo test -q
 
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
+
+echo "==> cold-path equivalence at two pool shapes (2 and 5 workers)"
+CAF_EQUIV_WORKERS=2 cargo test -q -p caf-tests --test parallel_cold_paths
+CAF_EQUIV_WORKERS=5 cargo test -q -p caf-tests --test parallel_cold_paths
+
+echo "==> world bench smoke: BENCH_world.json + schema gate"
+CAF_BENCH_WORLD_QUICK=1 cargo bench -q -p caf-bench --bench world
+cargo run --release -q -p caf-bench --bin metrics_check -- --schema-only BENCH_world.json
 
 echo "==> observability smoke: repro --metrics + schema gate"
 smoke_report=$(mktemp /tmp/caf_obs_smoke.XXXXXX.json)

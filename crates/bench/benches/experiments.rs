@@ -149,5 +149,11 @@ fn bench_pipeline(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(experiments, bench_experiments, bench_q3, bench_fig9, bench_pipeline);
+criterion_group!(
+    experiments,
+    bench_experiments,
+    bench_q3,
+    bench_fig9,
+    bench_pipeline
+);
 criterion_main!(experiments);

@@ -77,10 +77,7 @@ fn bench_geo(c: &mut Criterion) {
         b.iter(|| black_box(haversine_km(black_box(a), black_box(b_point))))
     });
     c.bench_function("geo/state_geography_build", |b| {
-        let cfg = SynthConfig {
-            seed: 7,
-            scale: 60,
-        };
+        let cfg = SynthConfig { seed: 7, scale: 60 };
         b.iter(|| {
             let geo = caf_synth::geography::StateGeography::build(&cfg, UsState::Iowa);
             black_box(geo.cbgs.len())
@@ -125,5 +122,11 @@ fn bench_bqt(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(substrates, bench_dataframe, bench_stats, bench_geo, bench_bqt);
+criterion_group!(
+    substrates,
+    bench_dataframe,
+    bench_stats,
+    bench_geo,
+    bench_bqt
+);
 criterion_main!(substrates);

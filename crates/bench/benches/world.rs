@@ -1,0 +1,152 @@
+//! Criterion benches for the cold paths moved onto the `caf-exec` pool:
+//! world generation wall-clock as a function of worker count (the
+//! 1.5×-at-4-workers acceptance bar is read from here) and the
+//! engine-aware bootstrap next to its serial form.
+//!
+//! After the criterion groups run, the harness performs one instrumented
+//! world build per worker count (plus a bootstrap pass) under the
+//! caf-obs telemetry layer and writes a one-line machine-readable
+//! summary to `BENCH_world.json` at the repository root — the same
+//! run-report format as `BENCH_engine.json`, so the same tooling parses
+//! both.
+//!
+//! Setting `CAF_BENCH_WORLD_QUICK=1` skips the criterion groups and only
+//! writes the summary: CI uses this as a cheap smoke test that the
+//! bench target builds, runs, and emits parseable JSON.
+
+use caf_core::EngineConfig;
+use caf_geo::UsState;
+use caf_stats::{bootstrap_indices_ci, bootstrap_indices_ci_on};
+use caf_synth::{SynthConfig, World};
+use criterion::{black_box, criterion_group, Criterion};
+use std::time::Instant;
+
+const SEED: u64 = 0xCAF_2024;
+/// The acceptance-criteria scale: `repro`'s default (`--scale 30`).
+const SCALE: u32 = 30;
+/// Replicates for the bootstrap benches — the `repro ext-ci` budget.
+const REPLICATES: usize = 1_000;
+
+fn synth() -> SynthConfig {
+    SynthConfig {
+        seed: SEED,
+        scale: SCALE,
+    }
+}
+
+/// World-generation wall-clock vs worker count over all fifteen study
+/// states. Every run produces an identical world (the exec layer's
+/// determinism contract); only the wall-clock may move.
+fn bench_world_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("world");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_function(format!("generate_scale30_workers_{workers}"), |b| {
+            b.iter(|| {
+                let world = World::generate_states_on(
+                    synth(),
+                    &UsState::study_states(),
+                    EngineConfig::with_workers(workers),
+                );
+                black_box(world.truth.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// A representative resampling workload: the weighted-mean bootstrap at
+/// the `ext-ci` replicate budget, serial vs the engine pool.
+fn bench_bootstrap(c: &mut Criterion) {
+    let sample: Vec<f64> = (0..4096).map(|i| ((i * 37) % 101) as f64).collect();
+    let stat = |idx: &[usize]| idx.iter().map(|&i| sample[i]).sum::<f64>() / idx.len() as f64;
+    let mut group = c.benchmark_group("world");
+    group.sample_size(20);
+    group.bench_function("bootstrap_1000_serial", |b| {
+        b.iter(|| {
+            black_box(bootstrap_indices_ci(sample.len(), stat, REPLICATES, 0.95, SEED).unwrap())
+        })
+    });
+    group.bench_function("bootstrap_1000_auto", |b| {
+        b.iter(|| {
+            black_box(
+                bootstrap_indices_ci_on(
+                    EngineConfig::auto(),
+                    sample.len(),
+                    stat,
+                    REPLICATES,
+                    0.95,
+                    SEED,
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+/// Runs one world build per worker count (and one bootstrap pass) with
+/// telemetry enabled and writes the resulting run report as a single
+/// line of compact JSON to `BENCH_world.json` at the repository root.
+/// The measured 1-vs-4-worker speedup lands in the report metadata.
+fn write_bench_summary() {
+    caf_obs::set_enabled(true);
+    caf_obs::registry().reset();
+    let mut wall = std::collections::BTreeMap::new();
+    for workers in [1usize, 2, 4] {
+        let _span = caf_obs::span_with(|| format!("bench.world.workers_{workers}"));
+        let start = Instant::now();
+        let world = World::generate_states_on(
+            synth(),
+            &UsState::study_states(),
+            EngineConfig::with_workers(workers),
+        );
+        wall.insert(workers, start.elapsed().as_secs_f64());
+        black_box(world.truth.len());
+    }
+    {
+        let _span = caf_obs::span("bench.world.bootstrap_auto");
+        let sample: Vec<f64> = (0..4096).map(|i| ((i * 37) % 101) as f64).collect();
+        let ci = bootstrap_indices_ci_on(
+            EngineConfig::auto(),
+            sample.len(),
+            |idx| idx.iter().map(|&i| sample[i]).sum::<f64>() / idx.len() as f64,
+            REPLICATES,
+            0.95,
+            SEED,
+        )
+        .unwrap();
+        black_box(ci);
+    }
+    caf_obs::set_enabled(false);
+
+    let speedup_4w = wall[&1] / wall[&4].max(f64::EPSILON);
+    let mut meta = std::collections::BTreeMap::new();
+    meta.insert("tool".to_string(), "bench_world".to_string());
+    meta.insert("seed".to_string(), SEED.to_string());
+    meta.insert("scale".to_string(), SCALE.to_string());
+    meta.insert("workers".to_string(), "1,2,4".to_string());
+    meta.insert("replicates".to_string(), REPLICATES.to_string());
+    meta.insert(
+        "world_speedup_4_workers".to_string(),
+        format!("{speedup_4w:.2}"),
+    );
+    let report = caf_obs::RunReport::collect(meta);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_world.json");
+    let mut line = report.to_json();
+    line.push('\n');
+    match std::fs::write(path, line) {
+        Ok(()) => eprintln!("wrote bench summary to {path} (4-worker speedup {speedup_4w:.2}x)"),
+        Err(error) => eprintln!("cannot write {path}: {error}"),
+    }
+}
+
+criterion_group!(world, bench_world_scaling, bench_bootstrap);
+
+fn main() {
+    if std::env::var_os("CAF_BENCH_WORLD_QUICK").is_none() {
+        world();
+        Criterion::default().configure_from_args().final_summary();
+    }
+    write_bench_summary();
+}

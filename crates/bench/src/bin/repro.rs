@@ -3,15 +3,17 @@
 //! Usage:
 //!
 //! ```text
-//! repro <experiment>... [--scale N] [--seed N] [--workers N]
+//! repro <experiment>... [--scale N] [--seed N] [--workers N|auto]
 //!                       [--metrics FILE] [--quiet]
 //! repro all [--scale N]
 //! ```
 //!
-//! `--workers` sets the audit engine's thread count (default: one per
-//! core; the engine clamps to the unit count at run time). The engine's
-//! determinism contract guarantees the numbers below are identical at
-//! every worker count — only wall-clock time changes.
+//! `--workers` sets the worker budget for every engine-driven stage —
+//! world generation, the per-state audit, the sensitivity sweep, and
+//! bootstrap resampling (default: one per core via `auto`; each stage
+//! clamps to its unit count at run time). The engine's determinism
+//! contract guarantees the numbers below are identical at every worker
+//! count — only wall-clock time changes.
 //!
 //! `--metrics FILE` turns on the `caf-obs` telemetry layer and writes a
 //! machine-readable run report (spans, counters, gauges, histograms —
@@ -130,11 +132,18 @@ fn parse_args() -> Options {
                     .unwrap_or_else(|| die("--q3-scale needs an integer"));
             }
             "--workers" => {
-                engine = EngineConfig::with_workers(
-                    args.next()
-                        .and_then(|v| v.parse().ok())
-                        .unwrap_or_else(|| die("--workers needs an integer")),
-                );
+                let value = args
+                    .next()
+                    .unwrap_or_else(|| die("--workers needs an integer or `auto`"));
+                engine = if value == "auto" {
+                    EngineConfig::auto()
+                } else {
+                    EngineConfig::with_workers(
+                        value
+                            .parse()
+                            .unwrap_or_else(|_| die("--workers needs an integer or `auto`")),
+                    )
+                };
             }
             "--metrics" => {
                 metrics = Some(std::path::PathBuf::from(
@@ -146,7 +155,7 @@ fn parse_args() -> Options {
             "all" => experiments.extend(ALL.iter().map(|s| s.to_string())),
             "--help" | "-h" => {
                 println!(
-                    "repro <experiment>... [--scale N] [--seed N] [--workers N] \
+                    "repro <experiment>... [--scale N] [--seed N] [--workers N|auto] \
                      [--metrics FILE] [--quiet]"
                 );
                 println!("experiments: {}", ALL.join(" "));
@@ -218,7 +227,7 @@ impl Lazy {
                 "building Q3 fixture (seed {}, scale 1:{}) ...",
                 self.seed, self.q3_scale
             ));
-            Fixture::build_q3(self.seed, self.q3_scale)
+            Fixture::build_q3_tuned(self.seed, self.q3_scale, self.engine)
         })
     }
 }
@@ -247,15 +256,15 @@ fn main() {
             "fig7" => fig7(lazy.fixture()),
             "fig8" => fig8(lazy.fixture()),
             "table2" => table2(lazy.fixture()),
-            "fig9" => fig9(options.seed, options.scale),
+            "fig9" => fig9(options.seed, options.scale, options.engine),
             "fig11" => fig11(lazy.fixture()),
             "summary" => summary(&lazy),
             "ablate-weights" => ablate_weights(lazy.fixture()),
             "ablate-sampling" => ablate_sampling(&lazy),
             "ablate-retry" => ablate_retry(&lazy),
             "ablate-granularity" => ablate_granularity(&lazy),
-            "ext-experienced" => ext_experienced(options.seed, options.scale),
-            "ext-oversight" => ext_oversight(options.seed, options.scale),
+            "ext-experienced" => ext_experienced(options.seed, options.scale, options.engine),
+            "ext-oversight" => ext_oversight(options.seed, options.scale, options.engine),
             "ext-bead" => ext_bead(lazy.fixture()),
             "ext-carriage" => ext_carriage(&lazy.q3().1),
             "ext-ci" => ext_ci(lazy.fixture()),
@@ -869,21 +878,23 @@ fn table2(fixture: &Fixture) {
 
 // ---------------------------------------------------------------- fig 9
 
-fn fig9(seed: u64, scale: u32) {
+fn fig9(seed: u64, scale: u32, engine: EngineConfig) {
     println!("Figure 9 — serviceability-estimate error vs sampling rate (AT&T)");
     let synth = SynthConfig { seed, scale };
     progress(format_args!("building sensitivity world ..."));
-    let world = World::generate_states(
+    let world = World::generate_states_on(
         synth,
         &[UsState::Mississippi, UsState::Georgia, UsState::Alabama],
+        engine,
     );
-    let analysis = SensitivityAnalysis::run(
+    let analysis = SensitivityAnalysis::run_on(
         &world,
         Isp::Att,
         campaign_config(seed),
         46,
         &[0.10, 0.20, 0.30, 0.40, 0.50, 0.60, 0.75],
         10,
+        engine,
     );
     println!("CBGs used (>30 addresses each): {}", analysis.cbgs_used);
     println!(
@@ -1113,12 +1124,16 @@ fn ablate_granularity(lazy: &Lazy) {
 // ------------------------------------------------------------ extensions
 
 /// §5 future work: advertised vs experienced service quality.
-fn ext_experienced(seed: u64, scale: u32) {
+fn ext_experienced(seed: u64, scale: u32, engine: EngineConfig) {
     use caf_core::ExperiencedAnalysis;
     use caf_synth::speedtest::generate_speedtests;
     println!("Extension — advertised vs experienced quality (§5 future work)");
     let synth = SynthConfig { seed, scale };
-    let world = World::generate_states(synth, &[UsState::Ohio, UsState::Alabama, UsState::Vermont]);
+    let world = World::generate_states_on(
+        synth,
+        &[UsState::Ohio, UsState::Alabama, UsState::Vermont],
+        engine,
+    );
     let mut tests = Vec::new();
     for sw in &world.states {
         tests.extend(generate_speedtests(seed, &sw.usac, &world.truth, 0.25));
@@ -1151,11 +1166,11 @@ fn ext_experienced(seed: u64, scale: u32) {
 }
 
 /// §2.4: simulate USAC's light-touch verification next to the BQT audit.
-fn ext_oversight(seed: u64, scale: u32) {
+fn ext_oversight(seed: u64, scale: u32, engine: EngineConfig) {
     use caf_core::{compare_oversight, OversightConfig};
     println!("Extension — the limits of existing oversight (§2.4)");
     let synth = SynthConfig { seed, scale };
-    let world = World::generate_states(synth, &[UsState::Mississippi, UsState::Georgia]);
+    let world = World::generate_states_on(synth, &[UsState::Mississippi, UsState::Georgia], engine);
     println!(
         "{:<13} {:>8} {:>16} {:>16} {:>10}",
         "isp", "sampled", "USAC-found gap", "BQT-found gap", "detection"
@@ -1268,7 +1283,10 @@ fn ext_carriage(analysis: &Q3Analysis) {
 /// Bootstrap confidence intervals on the headline rates.
 fn ext_ci(fixture: &Fixture) {
     println!("Extension — bootstrap CIs on the headline rates (CBG-level resampling)");
-    match fixture.serviceability.overall_rate_ci(1_000, 0.95, 99) {
+    match fixture
+        .serviceability
+        .overall_rate_ci_on(fixture.engine, 1_000, 0.95, 99)
+    {
         Ok(ci) => println!(
             "serviceability: {} (95 % CI {} – {}, {} CBG clusters)",
             pct(ci.point),
@@ -1277,6 +1295,19 @@ fn ext_ci(fixture: &Fixture) {
             fixture.serviceability.cbg_rates.len()
         ),
         Err(e) => println!("serviceability CI unavailable: {e}"),
+    }
+    match fixture
+        .compliance
+        .overall_rate_ci_on(fixture.engine, 1_000, 0.95, 99)
+    {
+        Ok(ci) => println!(
+            "compliance:     {} (95 % CI {} – {}, {} CBG clusters)",
+            pct(ci.point),
+            pct(ci.lo),
+            pct(ci.hi),
+            fixture.compliance.cbg_rates.len()
+        ),
+        Err(e) => println!("compliance CI unavailable: {e}"),
     }
     for isp in Isp::audited() {
         let rates: Vec<(f64, f64)> = fixture
@@ -1289,7 +1320,8 @@ fn ext_ci(fixture: &Fixture) {
         if rates.len() < 3 {
             continue;
         }
-        let ci = caf_stats::bootstrap_indices_ci(
+        let ci = caf_stats::bootstrap_indices_ci_on(
+            fixture.engine,
             rates.len(),
             |idx| {
                 let (num, den) = idx.iter().fold((0.0, 0.0), |(n, d), &i| {

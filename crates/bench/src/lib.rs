@@ -62,7 +62,7 @@ impl Fixture {
         let synth = SynthConfig { seed, scale };
         let world = {
             let _span = caf_obs::span("fixture.world");
-            World::generate_states(synth, states)
+            World::generate_states_on(synth, states, engine)
         };
         let audit = Audit::new(AuditConfig {
             synth,
@@ -105,8 +105,14 @@ impl Fixture {
 
     /// Runs the Q3 pipeline (dedicated world over the seven Q3 states).
     pub fn build_q3(seed: u64, scale: u32) -> (World, Q3Analysis) {
+        Fixture::build_q3_tuned(seed, scale, EngineConfig::default())
+    }
+
+    /// Runs the Q3 pipeline with an explicit engine configuration for
+    /// the world build (the analysis itself is campaign-driven).
+    pub fn build_q3_tuned(seed: u64, scale: u32, engine: EngineConfig) -> (World, Q3Analysis) {
         let synth = SynthConfig { seed, scale };
-        let world = World::generate_states(synth, &UsState::q3_states());
+        let world = World::generate_states_on(synth, &UsState::q3_states(), engine);
         let q3 = Q3Analysis::run(&world, campaign_config(seed));
         (world, q3)
     }

@@ -17,6 +17,7 @@ use caf_synth::Isp;
 use std::collections::HashMap;
 
 use crate::audit::{AuditDataset, AuditRow};
+use crate::engine::EngineConfig;
 use crate::index::AuditIndex;
 
 /// The advertised-speed band an address falls in, for Table 1's rows.
@@ -105,9 +106,9 @@ pub fn row_is_compliant(row: &AuditRow) -> bool {
     }
     let (floor_down, floor_up) = CalibrationParams::fcc_speed_floor();
     let cap = CalibrationParams::fcc_rate_cap_usd();
-    row.plans.iter().any(|plan| {
-        plan.meets_service_standard(floor_down, floor_up) && plan.monthly_usd <= cap
-    })
+    row.plans
+        .iter()
+        .any(|plan| plan.meets_service_standard(floor_down, floor_up) && plan.monthly_usd <= cap)
 }
 
 /// A CBG's compliance observation.
@@ -153,7 +154,9 @@ impl ComplianceAnalysis {
         let mut band_counts: HashMap<(Isp, SpeedBand), usize> = HashMap::new();
         let mut isp_totals: HashMap<Isp, usize> = HashMap::new();
         for row in &dataset.rows {
-            *band_counts.entry((row.isp, SpeedBand::of(row))).or_insert(0) += 1;
+            *band_counts
+                .entry((row.isp, SpeedBand::of(row)))
+                .or_insert(0) += 1;
             *isp_totals.entry(row.isp).or_insert(0) += 1;
         }
         let cbg_rates: Vec<CbgCompliance> = index
@@ -183,8 +186,7 @@ impl ComplianceAnalysis {
     }
 
     fn weighted(rates: impl Iterator<Item = (f64, f64)>) -> Option<f64> {
-        let samples: Vec<WeightedSample> =
-            rates.map(|(r, w)| WeightedSample::new(r, w)).collect();
+        let samples: Vec<WeightedSample> = rates.map(|(r, w)| WeightedSample::new(r, w)).collect();
         weighted_mean(&samples).ok()
     }
 
@@ -193,6 +195,48 @@ impl ComplianceAnalysis {
     pub fn overall_rate(&self) -> f64 {
         Self::weighted(self.cbg_rates.iter().map(|r| (r.rate, r.weight)))
             .expect("analysis requires at least one CBG")
+    }
+
+    /// A bootstrap confidence interval on the overall compliance rate,
+    /// resampling census block groups — the same clustering unit as the
+    /// serviceability CI.
+    pub fn overall_rate_ci(
+        &self,
+        replicates: usize,
+        level: f64,
+        seed: u64,
+    ) -> Result<caf_stats::BootstrapCi, caf_stats::StatsError> {
+        self.overall_rate_ci_on(EngineConfig::serial(), replicates, level, seed)
+    }
+
+    /// [`overall_rate_ci`](ComplianceAnalysis::overall_rate_ci) with the
+    /// replicates chunked across an engine worker pool. Bit-identical to
+    /// the serial variant at any worker count.
+    pub fn overall_rate_ci_on(
+        &self,
+        engine: EngineConfig,
+        replicates: usize,
+        level: f64,
+        seed: u64,
+    ) -> Result<caf_stats::BootstrapCi, caf_stats::StatsError> {
+        let rows: Vec<(f64, f64)> = self.cbg_rates.iter().map(|r| (r.rate, r.weight)).collect();
+        caf_stats::bootstrap_indices_ci_on(
+            engine,
+            rows.len(),
+            |idx| {
+                let (num, den) = idx.iter().fold((0.0, 0.0), |(n, d), &i| {
+                    (n + rows[i].0 * rows[i].1, d + rows[i].1)
+                });
+                if den > 0.0 {
+                    num / den
+                } else {
+                    0.0
+                }
+            },
+            replicates,
+            level,
+            seed,
+        )
     }
 
     /// The weighted compliance rate for one ISP (§4.2: 16.58 % AT&T,
@@ -250,10 +294,7 @@ impl ComplianceAnalysis {
     /// per-tier, so a premium gigabit price is irrelevant when a cheaper
     /// qualifying tier exists), plus the observed price range of
     /// guaranteed ~10 Mbps tiers.
-    pub fn price_compliance(
-        &self,
-        dataset: &AuditDataset,
-    ) -> (f64, Option<(f64, f64)>) {
+    pub fn price_compliance(&self, dataset: &AuditDataset) -> (f64, Option<(f64, f64)>) {
         let (floor_down, floor_up) = CalibrationParams::fcc_speed_floor();
         let cap = CalibrationParams::fcc_rate_cap_usd();
         let mut eligible = 0usize;
@@ -288,7 +329,10 @@ impl ComplianceAnalysis {
         let range = if ten_mbps_prices.is_empty() {
             None
         } else {
-            let lo = ten_mbps_prices.iter().cloned().fold(f64::INFINITY, f64::min);
+            let lo = ten_mbps_prices
+                .iter()
+                .cloned()
+                .fold(f64::INFINITY, f64::min);
             let hi = ten_mbps_prices
                 .iter()
                 .cloned()
@@ -410,7 +454,9 @@ mod tests {
             .unwrap()
             .1;
         assert!((unserved - 25.0).abs() < 1e-9);
-        assert!(analysis.advertised_band_percentages(Isp::Xfinity).is_empty());
+        assert!(analysis
+            .advertised_band_percentages(Isp::Xfinity)
+            .is_empty());
     }
 
     #[test]

@@ -60,11 +60,7 @@ impl CoverageSeries {
     /// Fraction of CBGs where at least `pct` percent of addresses were
     /// collected — the §5 "10 % per CBG" goal check.
     pub fn fraction_meeting(&self, pct: f64) -> f64 {
-        let met = self
-            .collected_pct
-            .iter()
-            .filter(|&&p| p >= pct)
-            .count();
+        let met = self.collected_pct.iter().filter(|&&p| p >= pct).count();
         met as f64 / self.collected_pct.len() as f64
     }
 }

@@ -60,8 +60,10 @@ impl ExperiencedAnalysis {
         let mut addresses: Vec<ExperiencedAddress> = grouped
             .iter()
             .map(|(_, rows)| {
-                let measured: Vec<f64> =
-                    rows.iter().map(|&i| tests[i as usize].measured_mbps).collect();
+                let measured: Vec<f64> = rows
+                    .iter()
+                    .map(|&i| tests[i as usize].measured_mbps)
+                    .collect();
                 let first = &tests[rows[0] as usize];
                 ExperiencedAddress {
                     isp: first.isp,
@@ -190,10 +192,10 @@ mod tests {
     #[test]
     fn optimism_gap_counts_advertised_pass_measured_fail() {
         let tests = vec![
-            test(1, 10.0, 6.0, Technology::Dsl),   // advertised ok, measured fails
-            test(2, 10.0, 12.0, Technology::Dsl),  // both ok (over-delivery)
-            test(3, 25.0, 20.0, Technology::Dsl),  // both ok
-            test(4, 5.0, 3.0, Technology::Dsl),    // advertised already fails: excluded
+            test(1, 10.0, 6.0, Technology::Dsl), // advertised ok, measured fails
+            test(2, 10.0, 12.0, Technology::Dsl), // both ok (over-delivery)
+            test(3, 25.0, 20.0, Technology::Dsl), // both ok
+            test(4, 5.0, 3.0, Technology::Dsl),  // advertised already fails: excluded
         ];
         let analysis = ExperiencedAnalysis::compute(&tests);
         let gap = analysis.optimism_gap();

@@ -124,8 +124,7 @@ pub fn compare_oversight(
         // with probability evidence_acceptance; speed testing happens
         // only at subscribers, so it flags nothing extra here.
         if !genuinely_served {
-            let mut evidence_rng =
-                scoped_rng(config.seed, "usac-evidence", record.address.0);
+            let mut evidence_rng = scoped_rng(config.seed, "usac-evidence", record.address.0);
             if !evidence_rng.gen_bool(config.evidence_acceptance) {
                 flagged_by_usac += 1;
             }
@@ -142,7 +141,11 @@ pub fn compare_oversight(
         sampled: sample.len(),
         usac_reported_gap: usac_gap,
         bqt_estimated_gap: bqt_gap,
-        detection_ratio: if bqt_gap > 0.0 { usac_gap / bqt_gap } else { 1.0 },
+        detection_ratio: if bqt_gap > 0.0 {
+            usac_gap / bqt_gap
+        } else {
+            1.0
+        },
     }
 }
 

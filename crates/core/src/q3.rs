@@ -173,8 +173,7 @@ impl Q3Analysis {
                 let mut mono_cv: Vec<f64> = Vec::new();
                 let mut comp_cv: Vec<f64> = Vec::new();
                 for a in &block.addresses {
-                    let Some(record) =
-                        outcomes.get(&result.records, a.address.id, block.caf_isp)
+                    let Some(record) = outcomes.get(&result.records, a.address.id, block.caf_isp)
                     else {
                         continue;
                     };
@@ -350,9 +349,7 @@ impl Q3Analysis {
         self.blocks_of(BlockType::A)
             .filter_map(|b| {
                 let mono = b.monopoly_speed?;
-                if compare_speeds(b.caf_speed, mono) == ComparisonOutcome::CafBetter
-                    && mono > 0.0
-                {
+                if compare_speeds(b.caf_speed, mono) == ComparisonOutcome::CafBetter && mono > 0.0 {
                     Some(100.0 * (b.caf_speed - mono) / mono)
                 } else {
                     None
@@ -430,10 +427,7 @@ mod tests {
             seed: 77,
             scale: 25,
         };
-        let world = World::generate_states(
-            synth,
-            &[UsState::Ohio, UsState::California],
-        );
+        let world = World::generate_states(synth, &[UsState::Ohio, UsState::California]);
         Q3Analysis::run(
             &world,
             CampaignConfig {
@@ -494,7 +488,10 @@ mod tests {
         let [better, tie, worse] = q3.type_a_outcomes().expect("type A blocks exist");
         assert!((better + tie + worse - 1.0).abs() < 1e-9);
         // Tie is the modal outcome; CAF-better beats CAF-worse (§4.3).
-        assert!(tie > better && tie > worse, "tie {tie} better {better} worse {worse}");
+        assert!(
+            tie > better && tie > worse,
+            "tie {tie} better {better} worse {worse}"
+        );
         assert!(better > worse, "better {better} vs worse {worse}");
     }
 

@@ -156,13 +156,17 @@ mod tests {
             centroid: LatLon::new(40.0, -82.0).unwrap(),
             served,
             max_down_mbps: served.then_some(if compliant { 1000.0 } else { 1.0 }),
-            plans: if served { {
+            plans: if served {
+                {
                     if compliant {
                         vec![good.clone()]
                     } else {
                         vec![cat.plan_from_tier(cat.tier_labeled("DSL 1").unwrap())]
                     }
-                } } else { Default::default() },
+                }
+            } else {
+                Default::default()
+            },
             max_plan: served.then(|| {
                 if compliant {
                     good.clone()
@@ -173,7 +177,12 @@ mod tests {
             existing_subscriber: false,
         };
         AuditDataset {
-            rows: vec![mk(1, true, true), mk(2, true, false), mk(3, false, false), mk(4, false, false)],
+            rows: vec![
+                mk(1, true, true),
+                mk(2, true, false),
+                mk(3, false, false),
+                mk(4, false, false),
+            ],
             records: Vec::new(),
             coverage: Vec::new(),
         }

@@ -7,6 +7,7 @@
 //! random samples at varying rates. Errors stay under 5 percentage points
 //! at every rate, evidencing diminishing returns from extra queries.
 
+use crate::engine::{map_slice, EngineConfig};
 use caf_bqt::{Campaign, CampaignConfig, QueryTask};
 use caf_geo::AddressId;
 use caf_synth::rng::scoped_rng;
@@ -49,6 +50,32 @@ impl SensitivityAnalysis {
         cbg_budget: usize,
         rates: &[f64],
         repeats: usize,
+    ) -> SensitivityAnalysis {
+        Self::run_on(
+            world,
+            isp,
+            campaign_config,
+            cbg_budget,
+            rates,
+            repeats,
+            EngineConfig::serial(),
+        )
+    }
+
+    /// [`run`](SensitivityAnalysis::run) with the per-rate sweep fanned
+    /// out across an engine worker pool. The sweep's redraws are keyed
+    /// by `(rate index, CBG index, repeat)`, so the result is identical
+    /// at any worker count; the ground-truth campaign itself runs once,
+    /// before the sweep, on the campaign's own worker budget.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_on(
+        world: &World,
+        isp: Isp,
+        campaign_config: CampaignConfig,
+        cbg_budget: usize,
+        rates: &[f64],
+        repeats: usize,
+        engine: EngineConfig,
     ) -> SensitivityAnalysis {
         assert!(repeats >= 1, "need at least one repeat");
         let campaign = Campaign::new(campaign_config);
@@ -103,8 +130,7 @@ impl SensitivityAnalysis {
         // Per-CBG truth rates plus a sorted per-CBG outcome table (the
         // sweep's lookup structure — binary-searched, no HashMap).
         let mut truth_rate: Vec<f64> = Vec::with_capacity(cbg_addresses.len());
-        let mut cbg_outcomes: Vec<Vec<(AddressId, bool)>> =
-            Vec::with_capacity(cbg_addresses.len());
+        let mut cbg_outcomes: Vec<Vec<(AddressId, bool)>> = Vec::with_capacity(cbg_addresses.len());
         for range in &ranges {
             let mut served = 0usize;
             let mut definitive = 0usize;
@@ -129,9 +155,12 @@ impl SensitivityAnalysis {
 
         // Sweep: estimate serviceability from sub-samples *of the already
         // queried addresses* (re-querying would be free here but was not
-        // in the paper; sub-sampling matches its method).
-        let mut sweep = Vec::with_capacity(rates.len());
-        for (ri, &rate) in rates.iter().enumerate() {
+        // in the paper; sub-sampling matches its method). Each rate is an
+        // independent work unit — its redraws are keyed by
+        // `(ri, ci, rep)`, never by a shared stream — so the sweep fans
+        // out on the engine pool with byte-identical results.
+        let sweep_workers = engine.for_units(rates.len()).workers;
+        let sweep = map_slice(sweep_workers, rates, |ri, &rate| {
             let mut errors: Vec<f64> = Vec::new();
             for (ci, addresses) in cbg_addresses.iter().enumerate() {
                 let outcomes = &cbg_outcomes[ci];
@@ -169,12 +198,12 @@ impl SensitivityAnalysis {
             }
             let mean = errors.iter().sum::<f64>() / errors.len().max(1) as f64;
             let max = errors.iter().cloned().fold(0.0, f64::max);
-            sweep.push(SweepPoint {
+            SweepPoint {
                 rate,
                 mean_abs_error_pct: mean,
                 max_abs_error_pct: max,
-            });
-        }
+            }
+        });
 
         SensitivityAnalysis {
             cbgs_used: cbg_addresses.len(),
@@ -228,6 +257,33 @@ mod tests {
             );
             assert!(point.max_abs_error_pct >= point.mean_abs_error_pct);
         }
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial() {
+        let synth = SynthConfig {
+            seed: 88,
+            scale: 25,
+        };
+        let world = World::generate_states(synth, &[UsState::Mississippi]);
+        let config = CampaignConfig {
+            seed: synth.seed,
+            workers: 2,
+            ..CampaignConfig::default()
+        };
+        let rates = [0.10, 0.30, 0.60];
+        let serial = SensitivityAnalysis::run(&world, Isp::Att, config, 8, &rates, 3);
+        let parallel = SensitivityAnalysis::run_on(
+            &world,
+            Isp::Att,
+            config,
+            8,
+            &rates,
+            3,
+            EngineConfig::with_workers(4),
+        );
+        assert_eq!(serial.cbgs_used, parallel.cbgs_used);
+        assert_eq!(serial.sweep, parallel.sweep);
     }
 
     #[test]

@@ -18,6 +18,7 @@ use caf_stats::{pearson, spearman, weighted_mean, Summary};
 use caf_synth::Isp;
 
 use crate::audit::AuditDataset;
+use crate::engine::EngineConfig;
 use crate::index::AuditIndex;
 
 /// A CBG's serviceability observation.
@@ -104,12 +105,23 @@ impl ServiceabilityAnalysis {
         level: f64,
         seed: u64,
     ) -> Result<caf_stats::BootstrapCi, caf_stats::StatsError> {
-        let rows: Vec<(f64, f64)> = self
-            .cbg_rates
-            .iter()
-            .map(|r| (r.rate, r.weight))
-            .collect();
-        caf_stats::bootstrap_indices_ci(
+        self.overall_rate_ci_on(EngineConfig::serial(), replicates, level, seed)
+    }
+
+    /// [`overall_rate_ci`](ServiceabilityAnalysis::overall_rate_ci) with
+    /// the replicates chunked across an engine worker pool. Bit-identical
+    /// to the serial variant at any worker count (the bootstrap keys each
+    /// replicate's stream by its index).
+    pub fn overall_rate_ci_on(
+        &self,
+        engine: EngineConfig,
+        replicates: usize,
+        level: f64,
+        seed: u64,
+    ) -> Result<caf_stats::BootstrapCi, caf_stats::StatsError> {
+        let rows: Vec<(f64, f64)> = self.cbg_rates.iter().map(|r| (r.rate, r.weight)).collect();
+        caf_stats::bootstrap_indices_ci_on(
+            engine,
             rows.len(),
             |idx| {
                 let (num, den) = idx.iter().fold((0.0, 0.0), |(n, d), &i| {
@@ -299,7 +311,11 @@ mod tests {
             centroid: LatLon::new(44.0, -72.5).unwrap(),
             served,
             max_down_mbps: if served { Some(50.0) } else { None },
-            plans: if served { vec![plan.clone()] } else { Vec::new() },
+            plans: if served {
+                vec![plan.clone()]
+            } else {
+                Vec::new()
+            },
             max_plan: if served { Some(plan.clone()) } else { None },
             existing_subscriber: false,
         };
@@ -325,10 +341,7 @@ mod tests {
         // 0.5. This is exactly the §4.1 weighting rule.
         let overall = analysis.overall_rate();
         assert!((overall - 0.25).abs() < 1e-12, "got {overall}");
-        assert_eq!(
-            analysis.rate_for_isp(Isp::Consolidated).unwrap(),
-            overall
-        );
+        assert_eq!(analysis.rate_for_isp(Isp::Consolidated).unwrap(), overall);
         assert_eq!(analysis.rate_for_isp(Isp::Att), None);
         assert!((analysis.rate_for_state(UsState::Vermont).unwrap() - 0.25).abs() < 1e-12);
         assert!(
@@ -360,8 +373,7 @@ mod tests {
             analysis.density_correlation(Isp::Consolidated, UsState::Vermont),
             None
         );
-        let series =
-            analysis.density_decile_series(Isp::Consolidated, UsState::Vermont);
+        let series = analysis.density_decile_series(Isp::Consolidated, UsState::Vermont);
         assert_eq!(series.len(), 2);
         assert!(series[0].0 < series[1].0);
         assert!(series[0].1 < series[1].1);
@@ -371,11 +383,7 @@ mod tests {
     fn geospatial_grid_buckets_cbgs() {
         let analysis = ServiceabilityAnalysis::compute(&hand_dataset());
         let grid = analysis.geospatial_grid(Isp::Consolidated, UsState::Vermont, 4, 4);
-        let filled: usize = grid
-            .iter()
-            .flatten()
-            .filter(|c| c.is_some())
-            .count();
+        let filled: usize = grid.iter().flatten().filter(|c| c.is_some()).count();
         assert_eq!(filled, 1, "both CBGs share one centroid cell");
         let value = grid.iter().flatten().flatten().next().copied().unwrap();
         assert!((value - 0.5).abs() < 1e-12); // mean of 1.0 and 0.0

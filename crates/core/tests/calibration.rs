@@ -86,7 +86,10 @@ fn q1_per_isp_serviceability_matches_section_4_1() {
     const FRONTIER_TARGET: f64 = 0.7071;
     assert!((att - 0.3153).abs() < 0.08, "AT&T {att}");
     assert!((cl - 0.9042).abs() < 0.08, "CenturyLink {cl}");
-    assert!((frontier - FRONTIER_TARGET).abs() < 0.08, "Frontier {frontier}");
+    assert!(
+        (frontier - FRONTIER_TARGET).abs() < 0.08,
+        "Frontier {frontier}"
+    );
     assert!((cons - 0.8395).abs() < 0.08, "Consolidated {cons}");
     // Ordering is the paper's strongest claim.
     assert!(cl > cons && cons > frontier && frontier > att);
@@ -111,10 +114,7 @@ fn q1_att_lowest_in_every_shared_state() {
         };
         for other in [Isp::CenturyLink, Isp::Consolidated] {
             if let Some(rate) = s.rate_for_pair(state, other) {
-                assert!(
-                    att < rate + 0.12,
-                    "{state}: AT&T {att} vs {other} {rate}"
-                );
+                assert!(att < rate + 0.12, "{state}: AT&T {att} vs {other} {rate}");
             }
         }
     }
@@ -125,7 +125,9 @@ fn q1_outlier_pairs_visible() {
     let f = fixture();
     let s = &f.serviceability;
     // CenturyLink's New Jersey rate diverges far below its other states.
-    let nj = s.rate_for_pair(UsState::NewJersey, Isp::CenturyLink).unwrap();
+    let nj = s
+        .rate_for_pair(UsState::NewJersey, Isp::CenturyLink)
+        .unwrap();
     let nc = s
         .rate_for_pair(UsState::NorthCarolina, Isp::CenturyLink)
         .unwrap();
@@ -149,8 +151,12 @@ fn q1_density_correlation_except_mississippi() {
     // Mississippi shows no *significant* correlation: with only ~30 MS
     // CBGs at this scale the point estimate carries ±0.18 of noise, so
     // the faithful check is the contrast against the coupled states.
-    let (ms, _) = s.density_correlation(Isp::Att, UsState::Mississippi).unwrap();
-    let (ca, _) = s.density_correlation(Isp::Att, UsState::California).unwrap();
+    let (ms, _) = s
+        .density_correlation(Isp::Att, UsState::Mississippi)
+        .unwrap();
+    let (ca, _) = s
+        .density_correlation(Isp::Att, UsState::California)
+        .unwrap();
     assert!(ms.abs() < 0.35, "MS pearson {ms} should be weak");
     assert!(ca > ms + 0.10, "CA {ca} should exceed MS {ms}");
 }

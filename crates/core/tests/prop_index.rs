@@ -54,10 +54,7 @@ fn oracle_q1(dataset: &AuditDataset) -> Vec<(Isp, BlockGroupId, f64, f64, usize)
     let mut rates: Vec<(Isp, BlockGroupId, f64, f64, usize)> = grouped
         .into_iter()
         .map(|((isp, cbg), rows)| {
-            let served = rows
-                .iter()
-                .filter(|&&i| dataset.rows[i].served)
-                .count();
+            let served = rows.iter().filter(|&&i| dataset.rows[i].served).count();
             let first = &dataset.rows[rows[0]];
             (
                 isp,
@@ -101,10 +98,13 @@ fn oracle_q2(dataset: &AuditDataset) -> Vec<(Isp, BlockGroupId, f64, f64, usize)
 
 /// CBG-weighted mean over `(rate, weight)` pairs in slice order — the
 /// same fold every analysis applies.
-fn oracle_weighted(rates: &[(Isp, BlockGroupId, f64, f64, usize)], isp: Option<Isp>) -> Option<f64> {
+fn oracle_weighted(
+    rates: &[(Isp, BlockGroupId, f64, f64, usize)],
+    isp: Option<Isp>,
+) -> Option<f64> {
     let samples: Vec<WeightedSample> = rates
         .iter()
-        .filter(|&&(i, ..)| isp.map_or(true, |want| i == want))
+        .filter(|&&(i, ..)| isp.is_none_or(|want| i == want))
         .map(|&(_, _, rate, weight, _)| WeightedSample::new(rate, weight))
         .collect();
     weighted_mean(&samples).ok()

@@ -53,7 +53,9 @@ impl DataFrame {
     pub fn from_csv(text: &str) -> Result<DataFrame, FrameError> {
         let rows = parse_csv(text)?;
         let mut iter = rows.into_iter();
-        let header = iter.next().ok_or_else(|| FrameError::Csv("empty input".into()))?;
+        let header = iter
+            .next()
+            .ok_or_else(|| FrameError::Csv("empty input".into()))?;
         let records: Vec<Vec<String>> = iter.collect();
         for (i, rec) in records.iter().enumerate() {
             if rec.len() != header.len() {

@@ -77,10 +77,7 @@ impl fmt::Display for FrameError {
                 expected,
                 got,
             } => match got {
-                Some(got) => write!(
-                    f,
-                    "column {column:?} expects {expected}, got a {got} value"
-                ),
+                Some(got) => write!(f, "column {column:?} expects {expected}, got a {got} value"),
                 None => write!(f, "column {column:?} expects {expected}"),
             },
             FrameError::NonNumericAggregate { column, dtype } => {

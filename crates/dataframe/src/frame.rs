@@ -160,7 +160,12 @@ impl DataFrame {
         F: Fn(RowView<'_>) -> bool,
     {
         let indices: Vec<usize> = (0..self.n_rows())
-            .filter(|&i| predicate(RowView { frame: self, row: i }))
+            .filter(|&i| {
+                predicate(RowView {
+                    frame: self,
+                    row: i,
+                })
+            })
             .collect();
         self.take(&indices)
     }
@@ -311,7 +316,10 @@ mod tests {
 
     fn sample() -> DataFrame {
         DataFrame::new(vec![
-            ("isp", ["att", "frontier", "att", "lumen"].into_iter().collect()),
+            (
+                "isp",
+                ["att", "frontier", "att", "lumen"].into_iter().collect(),
+            ),
             ("speed", [10.0, 25.0, 0.768, 100.0].into_iter().collect()),
             ("served", [true, true, false, true].into_iter().collect()),
         ])
@@ -345,16 +353,18 @@ mod tests {
     #[test]
     fn push_row_validates_atomically() {
         let mut df = DataFrame::with_schema(&[("n", DataType::Int), ("s", DataType::Str)]).unwrap();
-        df.push_row(vec![Value::Int(1), Value::Str("x".into())]).unwrap();
+        df.push_row(vec![Value::Int(1), Value::Str("x".into())])
+            .unwrap();
         // Second cell bad: first column must not grow.
-        let err = df
-            .push_row(vec![Value::Int(2), Value::Int(3)])
-            .unwrap_err();
+        let err = df.push_row(vec![Value::Int(2), Value::Int(3)]).unwrap_err();
         assert!(matches!(err, FrameError::TypeMismatch { .. }));
         assert_eq!(df.n_rows(), 1);
         assert!(matches!(
             df.push_row(vec![Value::Int(1)]),
-            Err(FrameError::RowArity { got: 1, expected: 2 })
+            Err(FrameError::RowArity {
+                got: 1,
+                expected: 2
+            })
         ));
     }
 
@@ -386,7 +396,9 @@ mod tests {
         let extra: Column = [1i64, 2, 3, 4].into_iter().collect();
         let wider = df.with_column("rank", extra).unwrap();
         assert_eq!(wider.n_cols(), 4);
-        assert!(wider.with_column("rank", Column::empty(DataType::Int)).is_err());
+        assert!(wider
+            .with_column("rank", Column::empty(DataType::Int))
+            .is_err());
 
         let stacked = df.vstack(&df).unwrap();
         assert_eq!(stacked.n_rows(), 8);

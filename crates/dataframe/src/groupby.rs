@@ -136,10 +136,7 @@ impl DataFrame {
         let mut out_cols: Vec<(String, Column)> = Vec::new();
         for (ki, &key_name) in keys.iter().enumerate() {
             let src = self.column(key_name).expect("validated");
-            let representative: Vec<usize> = order
-                .iter()
-                .map(|key| buckets[key][0])
-                .collect();
+            let representative: Vec<usize> = order.iter().map(|key| buckets[key][0]).collect();
             let _ = ki;
             out_cols.push((key_name.to_string(), src.take(&representative)));
         }
@@ -196,9 +193,7 @@ impl Agg {
     fn compute(&self, frame: &DataFrame, rows: &[usize]) -> Result<Value, FrameError> {
         let numeric = |name: &str| -> Vec<f64> {
             let col = frame.column(name).expect("validated");
-            rows.iter()
-                .filter_map(|&r| col.get(r).as_f64())
-                .collect()
+            rows.iter().filter_map(|&r| col.get(r).as_f64()).collect()
         };
         Ok(match self {
             Agg::Count => Value::Int(rows.len() as i64),
@@ -276,10 +271,7 @@ mod tests {
                 "speed",
                 [10.0, 50.0, 25.0, 0.0, 100.0].into_iter().collect(),
             ),
-            (
-                "weight",
-                [1.0, 3.0, 1.0, 2.0, 1.0].into_iter().collect(),
-            ),
+            ("weight", [1.0, 3.0, 1.0, 2.0, 1.0].into_iter().collect()),
             (
                 "served",
                 [true, true, false, false, true].into_iter().collect(),
@@ -342,7 +334,10 @@ mod tests {
     fn fraction_true_is_the_serviceability_shape() {
         let df = sample();
         let g = df
-            .group_by(&["isp"], &[AggSpec::new(Agg::FractionTrue("served".into()), "rate")])
+            .group_by(
+                &["isp"],
+                &[AggSpec::new(Agg::FractionTrue("served".into()), "rate")],
+            )
             .unwrap();
         assert!((g.row(0).f64("rate").unwrap() - 2.0 / 3.0).abs() < 1e-12);
         assert!((g.row(1).f64("rate").unwrap() - 0.5).abs() < 1e-12);

@@ -149,7 +149,9 @@ impl DataFrame {
 
     /// Internal iterator over columns in order (used by join).
     pub(crate) fn columns_iter(&self) -> impl Iterator<Item = &Column> {
-        self.names().iter().map(move |n| self.column(n).expect("own name"))
+        self.names()
+            .iter()
+            .map(move |n| self.column(n).expect("own name"))
     }
 }
 
@@ -160,7 +162,10 @@ mod tests {
     fn addresses() -> DataFrame {
         DataFrame::new(vec![
             ("addr", [1i64, 2, 3, 4].into_iter().collect()),
-            ("isp", ["att", "att", "frontier", "lumen"].into_iter().collect()),
+            (
+                "isp",
+                ["att", "att", "frontier", "lumen"].into_iter().collect(),
+            ),
         ])
         .unwrap()
     }
@@ -215,11 +220,7 @@ mod tests {
 
     #[test]
     fn null_keys_never_match() {
-        let left = DataFrame::new(vec![(
-            "k",
-            Column::Int(vec![Some(1), None]),
-        )])
-        .unwrap();
+        let left = DataFrame::new(vec![("k", Column::Int(vec![Some(1), None]))]).unwrap();
         let right = DataFrame::new(vec![
             ("k", Column::Int(vec![Some(1), None])),
             ("x", [true, false].into_iter().collect()),

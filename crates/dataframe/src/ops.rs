@@ -21,10 +21,7 @@ impl DataFrame {
             .iter()
             .map(|name| {
                 let out_name = if name == old { new } else { name.as_str() };
-                Ok((
-                    out_name.to_string(),
-                    self.column(name)?.clone(),
-                ))
+                Ok((out_name.to_string(), self.column(name)?.clone()))
             })
             .collect::<Result<Vec<_>, FrameError>>()?;
         DataFrame::new(cols)

@@ -1,0 +1,324 @@
+//! # caf-exec — the deterministic parallel execution engine
+//!
+//! A scoped worker pool with a byte-identical-output determinism
+//! contract, shared by every layer that fans independent work units out
+//! across threads: per-state world generation (`caf-synth`), bootstrap
+//! replicate chunks (`caf-stats`), and the per-state audit
+//! (`caf-core::audit`). The crate sits *below* the synth and stats
+//! layers in the dependency graph — only `caf-geo` (the leaf vocabulary
+//! crate), `caf-obs` (the zero-dependency telemetry layer), and
+//! `crossbeam` — which is exactly what lets the cold paths beneath
+//! `caf-core` use the same pool the audit does. `caf_core::engine`
+//! re-exports everything here, so audit-level callers are unaffected by
+//! the extraction.
+//!
+//! # The determinism contract
+//!
+//! Parallelism may change wall-clock time only, never results. Three
+//! properties uphold the contract, and the regression tests in
+//! `crates/tests/tests/determinism.rs` and
+//! `crates/tests/tests/parallel_cold_paths.rs` pin it end-to-end:
+//!
+//! 1. **Entity-keyed randomness.** Every stochastic decision inside a
+//!    unit is keyed by the entity it concerns — sampling draws by
+//!    `(seed, CBG, ISP)`, query outcomes by `(seed, address, ISP)`,
+//!    bootstrap draws by `(seed, replicate index)` — so a unit's output
+//!    is a pure function of its inputs, independent of scheduling. The
+//!    key mixers live in [`rng`].
+//! 2. **Unit isolation.** Units share only immutable inputs. Nothing a
+//!    unit computes feeds another unit.
+//! 3. **Ordered merge.** [`map_slice`] returns results positionally, so
+//!    concatenating partials reproduces the sequential loop's output
+//!    exactly.
+//!
+//! Engine-level stochastic decisions (none exist today; e.g. a future
+//! per-unit retry jitter) must derive their stream from [`state_seed`],
+//! never from a shared counter or thread id — that would re-introduce
+//! schedule dependence and break property 1.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod rng;
+
+use caf_geo::UsState;
+use rng::{mix, mix_str};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// How the engine schedules independent work units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Worker threads for work units. `1` runs the plain sequential
+    /// loop on the caller's thread.
+    pub workers: usize,
+}
+
+impl EngineConfig {
+    /// Sequential execution on the calling thread.
+    pub fn serial() -> EngineConfig {
+        EngineConfig { workers: 1 }
+    }
+
+    /// One worker per available core. The count is *not* capped here:
+    /// the run-time clamp lives in [`EngineConfig::for_units`], which
+    /// knows the actual number of work units (a fixed cap of 8 starved
+    /// wide machines on large unit sets and oversubscribed small ones).
+    pub fn auto() -> EngineConfig {
+        EngineConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+        }
+    }
+
+    /// A fixed worker count (clamped to at least 1).
+    pub fn with_workers(workers: usize) -> EngineConfig {
+        EngineConfig {
+            workers: workers.max(1),
+        }
+    }
+
+    /// Whether units run on a worker pool rather than inline.
+    pub fn is_parallel(self) -> bool {
+        self.workers > 1
+    }
+
+    /// Clamps the worker count to the number of work units actually
+    /// being scheduled (at least 1) — workers beyond the unit count
+    /// would only idle. Callers apply this once the unit set is known;
+    /// the audit additionally reports both the configured and the
+    /// effective count through the telemetry registry.
+    pub fn for_units(self, units: usize) -> EngineConfig {
+        EngineConfig {
+            workers: self.workers.min(units.max(1)),
+        }
+    }
+
+    /// The worker budget for a campaign nested *inside* a work unit:
+    /// the configured count when the engine is serial, otherwise an even
+    /// split so `engine workers × campaign workers` stays near the
+    /// configured total instead of multiplying. Campaign results are
+    /// worker-count independent, so this only shapes wall-clock time.
+    pub fn nested_campaign_workers(self, configured: usize) -> usize {
+        if self.is_parallel() {
+            (configured / self.workers).max(1)
+        } else {
+            configured.max(1)
+        }
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig::auto()
+    }
+}
+
+/// Derives the seed of one state's work unit from the run seed — the
+/// engine's `(config.seed, state)` keying, using the state's FIPS code
+/// so the value is stable across enum reorderings.
+///
+/// Existing pipeline streams (sampling, queries) are *already* keyed by
+/// entities that embed the state, so they do not reroute through this;
+/// it exists for engine-level decisions (see the crate docs) and as the
+/// label under which unit-scoped diagnostics are reported.
+pub fn state_seed(seed: u64, state: UsState) -> u64 {
+    mix(
+        mix_str(seed, "engine-state"),
+        u64::from(state.fips().code()),
+    )
+}
+
+/// Applies `f` to every item on a pool of `workers` scoped threads and
+/// returns the results **in item order** — the ordered-merge primitive
+/// behind the audit engine, parallel world generation, and chunked
+/// bootstrap resampling.
+///
+/// With `workers <= 1` (or fewer than two items) this is a plain
+/// sequential map on the calling thread. Otherwise workers pull item
+/// indices from a shared atomic cursor, so scheduling is dynamic but the
+/// result placement is positional and therefore deterministic.
+///
+/// # Panics
+///
+/// Propagates panics from `f` (the scope joins all workers first).
+pub fn map_slice<T, R, F>(workers: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    // Telemetry is observation-only: timings feed gauges and histograms,
+    // never scheduling, so results stay byte-identical with it on or off.
+    let telemetry = caf_obs::enabled();
+    let _span = caf_obs::span("engine.map_slice");
+    let wall_start = telemetry.then(Instant::now);
+    let unit_ns: Vec<AtomicU64> = if telemetry {
+        (0..items.len()).map(|_| AtomicU64::new(0)).collect()
+    } else {
+        Vec::new()
+    };
+    let run_unit = |i: usize, item: &T| {
+        let start = telemetry.then(Instant::now);
+        let result = f(i, item);
+        if let Some(start) = start {
+            let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            unit_ns[i].store(nanos, Ordering::Relaxed);
+            caf_obs::observe("caf.exec.unit_us", nanos / 1_000);
+        }
+        result
+    };
+
+    let results = if workers <= 1 || items.len() <= 1 {
+        items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| run_unit(i, item))
+            .collect()
+    } else {
+        let slots: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        crossbeam::thread::scope(|scope| {
+            for worker in 0..workers.min(items.len()) {
+                let run_unit = &run_unit;
+                let slots = &slots;
+                let cursor = &cursor;
+                scope.spawn(move |_| {
+                    let worker_start = telemetry.then(Instant::now);
+                    let mut busy_ns: u64 = 0;
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else {
+                            break;
+                        };
+                        let unit_start = telemetry.then(Instant::now);
+                        let result = run_unit(i, item);
+                        if let Some(unit_start) = unit_start {
+                            busy_ns = busy_ns.saturating_add(
+                                u64::try_from(unit_start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                            );
+                        }
+                        *slots[i].lock().expect("slot lock poisoned") = Some(result);
+                    }
+                    if let Some(worker_start) = worker_start {
+                        let wall_ns =
+                            u64::try_from(worker_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                        caf_obs::gauge(
+                            &format!("caf.exec.worker.{worker}.busy_us"),
+                            busy_ns / 1_000,
+                        );
+                        caf_obs::gauge(
+                            &format!("caf.exec.worker.{worker}.wall_us"),
+                            wall_ns / 1_000,
+                        );
+                    }
+                });
+            }
+        })
+        .expect("engine worker panicked");
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("slot lock poisoned")
+                    .expect("every item produces a result")
+            })
+            .collect()
+    };
+
+    if let Some(wall_start) = wall_start {
+        let wall_ns = u64::try_from(wall_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        caf_obs::gauge("caf.exec.map_slice_wall_us", wall_ns / 1_000);
+        // Unit skew: how much slower the slowest unit ran than the
+        // fastest, as a percentage of the slowest. High skew flags a
+        // unit that dominates the merge barrier.
+        let slowest = unit_ns.iter().map(|d| d.load(Ordering::Relaxed)).max();
+        let fastest = unit_ns.iter().map(|d| d.load(Ordering::Relaxed)).min();
+        if let (Some(max), Some(min)) = (slowest, fastest) {
+            let spread = u128::from(max.saturating_sub(min)) * 100;
+            if let Some(skew) = spread.checked_div(u128::from(max)) {
+                caf_obs::gauge("caf.exec.unit_skew_pct", skew as u64);
+            }
+        }
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_slice_preserves_order_at_any_worker_count() {
+        let items: Vec<u64> = (0..97).collect();
+        let expected: Vec<u64> = items.iter().map(|&x| x * x).collect();
+        for workers in [1, 2, 3, 8, 128] {
+            let got = map_slice(workers, &items, |i, &x| {
+                assert_eq!(i as u64, x);
+                x * x
+            });
+            assert_eq!(got, expected, "workers = {workers}");
+        }
+        let empty: Vec<u64> = Vec::new();
+        assert!(map_slice(4, &empty, |_, &x: &u64| x).is_empty());
+    }
+
+    #[test]
+    fn map_slice_runs_on_multiple_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex as StdMutex;
+        let seen: StdMutex<HashSet<std::thread::ThreadId>> = StdMutex::new(HashSet::new());
+        let items: Vec<u32> = (0..64).collect();
+        map_slice(4, &items, |_, _| {
+            seen.lock().unwrap().insert(std::thread::current().id());
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        });
+        assert!(
+            seen.lock().unwrap().len() > 1,
+            "expected parallel execution"
+        );
+    }
+
+    #[test]
+    fn state_seed_is_stable_and_state_sensitive() {
+        let a = state_seed(0xCAF_2024, UsState::Alabama);
+        assert_eq!(a, state_seed(0xCAF_2024, UsState::Alabama));
+        let mut seeds: Vec<u64> = UsState::study_states()
+            .iter()
+            .map(|&s| state_seed(0xCAF_2024, s))
+            .collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), UsState::study_states().len(), "no collisions");
+        assert_ne!(a, state_seed(0xCAF_2025, UsState::Alabama));
+    }
+
+    #[test]
+    fn engine_config_constructors() {
+        assert_eq!(EngineConfig::serial().workers, 1);
+        assert!(!EngineConfig::serial().is_parallel());
+        assert_eq!(EngineConfig::with_workers(0).workers, 1);
+        assert_eq!(EngineConfig::with_workers(6).workers, 6);
+        assert!(EngineConfig::with_workers(6).is_parallel());
+        assert!(EngineConfig::auto().workers >= 1);
+        assert_eq!(EngineConfig::default(), EngineConfig::auto());
+    }
+
+    #[test]
+    fn for_units_clamps_workers_to_the_unit_count() {
+        assert_eq!(EngineConfig::with_workers(16).for_units(4).workers, 4);
+        assert_eq!(EngineConfig::with_workers(2).for_units(15).workers, 2);
+        assert_eq!(EngineConfig::with_workers(8).for_units(0).workers, 1);
+        assert_eq!(EngineConfig::serial().for_units(100).workers, 1);
+    }
+
+    #[test]
+    fn nested_campaign_workers_split_the_budget() {
+        assert_eq!(EngineConfig::serial().nested_campaign_workers(8), 8);
+        assert_eq!(EngineConfig::with_workers(4).nested_campaign_workers(8), 2);
+        assert_eq!(EngineConfig::with_workers(8).nested_campaign_workers(4), 1);
+        assert_eq!(EngineConfig::serial().nested_campaign_workers(0), 1);
+    }
+}

@@ -98,7 +98,10 @@ impl BoundingBox {
         max_lat: f64,
         max_lon: f64,
     ) -> Result<Self, GeoError> {
-        BoundingBox::new(LatLon::new(min_lat, min_lon)?, LatLon::new(max_lat, max_lon)?)
+        BoundingBox::new(
+            LatLon::new(min_lat, min_lon)?,
+            LatLon::new(max_lat, max_lon)?,
+        )
     }
 
     /// South-west corner.

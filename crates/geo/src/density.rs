@@ -106,7 +106,10 @@ impl DensityGrid {
     ///
     /// Panics if the indices are out of range.
     pub fn cell_population(&self, row: usize, col: usize) -> f64 {
-        assert!(row < self.rows && col < self.cols, "cell index out of range");
+        assert!(
+            row < self.rows && col < self.cols,
+            "cell index out of range"
+        );
         self.population[row * self.cols + col]
     }
 
@@ -137,7 +140,8 @@ impl DensityGrid {
 
     /// Iterates over `(row, col, density)` for every cell.
     pub fn iter_densities(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
-        (0..self.rows).flat_map(move |r| (0..self.cols).map(move |c| (r, c, self.cell_density(r, c))))
+        (0..self.rows)
+            .flat_map(move |r| (0..self.cols).map(move |c| (r, c, self.cell_density(r, c))))
     }
 }
 

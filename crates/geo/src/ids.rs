@@ -57,7 +57,9 @@ impl CountyId {
     /// Creates a county GEOID from its components.
     pub fn new(state: StateFips, county: u16) -> Result<Self, GeoError> {
         if (1..=999).contains(&county) {
-            Ok(CountyId(u32::from(state.code()) * 1_000 + u32::from(county)))
+            Ok(CountyId(
+                u32::from(state.code()) * 1_000 + u32::from(county),
+            ))
         } else {
             Err(GeoError::InvalidCounty(county))
         }

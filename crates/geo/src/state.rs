@@ -104,40 +104,346 @@ pub struct StateInfo {
 
 /// One row per known state. Ordered by FIPS code.
 const REGISTRY: &[StateInfo] = &[
-    StateInfo { state: UsState::Alabama, fips: 1, abbrev: "AL", name: "Alabama", region: CensusRegion::South, population: 5_024_279, land_area_sq_miles: 50_645.0, bbox_deg: (30.2, -88.5, 35.0, -84.9) },
-    StateInfo { state: UsState::Arkansas, fips: 5, abbrev: "AR", name: "Arkansas", region: CensusRegion::South, population: 3_011_524, land_area_sq_miles: 52_035.0, bbox_deg: (33.0, -94.6, 36.5, -89.6) },
-    StateInfo { state: UsState::California, fips: 6, abbrev: "CA", name: "California", region: CensusRegion::West, population: 39_538_223, land_area_sq_miles: 155_779.0, bbox_deg: (32.5, -124.4, 42.0, -114.1) },
-    StateInfo { state: UsState::Colorado, fips: 8, abbrev: "CO", name: "Colorado", region: CensusRegion::West, population: 5_773_714, land_area_sq_miles: 103_642.0, bbox_deg: (37.0, -109.1, 41.0, -102.0) },
-    StateInfo { state: UsState::Florida, fips: 12, abbrev: "FL", name: "Florida", region: CensusRegion::South, population: 21_538_187, land_area_sq_miles: 53_625.0, bbox_deg: (24.5, -87.6, 31.0, -80.0) },
-    StateInfo { state: UsState::Georgia, fips: 13, abbrev: "GA", name: "Georgia", region: CensusRegion::South, population: 10_711_908, land_area_sq_miles: 57_513.0, bbox_deg: (30.4, -85.6, 35.0, -80.8) },
-    StateInfo { state: UsState::Illinois, fips: 17, abbrev: "IL", name: "Illinois", region: CensusRegion::Midwest, population: 12_812_508, land_area_sq_miles: 55_519.0, bbox_deg: (37.0, -91.5, 42.5, -87.0) },
-    StateInfo { state: UsState::Indiana, fips: 18, abbrev: "IN", name: "Indiana", region: CensusRegion::Midwest, population: 6_785_528, land_area_sq_miles: 35_826.0, bbox_deg: (37.8, -88.1, 41.8, -84.8) },
-    StateInfo { state: UsState::Iowa, fips: 19, abbrev: "IA", name: "Iowa", region: CensusRegion::Midwest, population: 3_190_369, land_area_sq_miles: 55_857.0, bbox_deg: (40.4, -96.6, 43.5, -90.1) },
-    StateInfo { state: UsState::Kansas, fips: 20, abbrev: "KS", name: "Kansas", region: CensusRegion::Midwest, population: 2_937_880, land_area_sq_miles: 81_759.0, bbox_deg: (37.0, -102.1, 40.0, -94.6) },
-    StateInfo { state: UsState::Kentucky, fips: 21, abbrev: "KY", name: "Kentucky", region: CensusRegion::South, population: 4_505_836, land_area_sq_miles: 39_486.0, bbox_deg: (36.5, -89.6, 39.1, -81.9) },
-    StateInfo { state: UsState::Louisiana, fips: 22, abbrev: "LA", name: "Louisiana", region: CensusRegion::South, population: 4_657_757, land_area_sq_miles: 43_204.0, bbox_deg: (29.0, -94.0, 33.0, -89.0) },
-    StateInfo { state: UsState::Michigan, fips: 26, abbrev: "MI", name: "Michigan", region: CensusRegion::Midwest, population: 10_077_331, land_area_sq_miles: 56_539.0, bbox_deg: (41.7, -90.4, 48.2, -82.4) },
-    StateInfo { state: UsState::Minnesota, fips: 27, abbrev: "MN", name: "Minnesota", region: CensusRegion::Midwest, population: 5_706_494, land_area_sq_miles: 79_627.0, bbox_deg: (43.5, -97.2, 49.4, -89.5) },
-    StateInfo { state: UsState::Mississippi, fips: 28, abbrev: "MS", name: "Mississippi", region: CensusRegion::South, population: 2_961_279, land_area_sq_miles: 46_923.0, bbox_deg: (30.2, -91.7, 35.0, -88.1) },
-    StateInfo { state: UsState::Missouri, fips: 29, abbrev: "MO", name: "Missouri", region: CensusRegion::Midwest, population: 6_154_913, land_area_sq_miles: 68_742.0, bbox_deg: (36.0, -95.8, 40.6, -89.1) },
-    StateInfo { state: UsState::Nebraska, fips: 31, abbrev: "NE", name: "Nebraska", region: CensusRegion::Midwest, population: 1_961_504, land_area_sq_miles: 76_824.0, bbox_deg: (40.0, -104.1, 43.0, -95.3) },
-    StateInfo { state: UsState::NewHampshire, fips: 33, abbrev: "NH", name: "New Hampshire", region: CensusRegion::Northeast, population: 1_377_529, land_area_sq_miles: 8_953.0, bbox_deg: (42.7, -72.6, 45.3, -70.6) },
-    StateInfo { state: UsState::NewJersey, fips: 34, abbrev: "NJ", name: "New Jersey", region: CensusRegion::Northeast, population: 9_288_994, land_area_sq_miles: 7_354.0, bbox_deg: (38.9, -75.6, 41.4, -73.9) },
-    StateInfo { state: UsState::NewMexico, fips: 35, abbrev: "NM", name: "New Mexico", region: CensusRegion::West, population: 2_117_522, land_area_sq_miles: 121_298.0, bbox_deg: (31.3, -109.1, 37.0, -103.0) },
-    StateInfo { state: UsState::NewYork, fips: 36, abbrev: "NY", name: "New York", region: CensusRegion::Northeast, population: 20_201_249, land_area_sq_miles: 47_126.0, bbox_deg: (40.5, -79.8, 45.0, -71.9) },
-    StateInfo { state: UsState::NorthCarolina, fips: 37, abbrev: "NC", name: "North Carolina", region: CensusRegion::South, population: 10_439_388, land_area_sq_miles: 48_618.0, bbox_deg: (33.8, -84.3, 36.6, -75.5) },
-    StateInfo { state: UsState::Ohio, fips: 39, abbrev: "OH", name: "Ohio", region: CensusRegion::Midwest, population: 11_799_448, land_area_sq_miles: 40_861.0, bbox_deg: (38.4, -84.8, 42.0, -80.5) },
-    StateInfo { state: UsState::Oklahoma, fips: 40, abbrev: "OK", name: "Oklahoma", region: CensusRegion::South, population: 3_959_353, land_area_sq_miles: 68_595.0, bbox_deg: (33.6, -103.0, 37.0, -94.4) },
-    StateInfo { state: UsState::Pennsylvania, fips: 42, abbrev: "PA", name: "Pennsylvania", region: CensusRegion::Northeast, population: 13_002_700, land_area_sq_miles: 44_743.0, bbox_deg: (39.7, -80.5, 42.3, -74.7) },
-    StateInfo { state: UsState::SouthCarolina, fips: 45, abbrev: "SC", name: "South Carolina", region: CensusRegion::South, population: 5_118_425, land_area_sq_miles: 30_061.0, bbox_deg: (32.0, -83.4, 35.2, -78.5) },
-    StateInfo { state: UsState::Tennessee, fips: 47, abbrev: "TN", name: "Tennessee", region: CensusRegion::South, population: 6_910_840, land_area_sq_miles: 41_235.0, bbox_deg: (35.0, -90.3, 36.7, -81.6) },
-    StateInfo { state: UsState::Texas, fips: 48, abbrev: "TX", name: "Texas", region: CensusRegion::South, population: 29_145_505, land_area_sq_miles: 261_232.0, bbox_deg: (25.8, -106.6, 36.5, -93.5) },
-    StateInfo { state: UsState::Utah, fips: 49, abbrev: "UT", name: "Utah", region: CensusRegion::West, population: 3_271_616, land_area_sq_miles: 82_170.0, bbox_deg: (37.0, -114.1, 42.0, -109.0) },
-    StateInfo { state: UsState::Vermont, fips: 50, abbrev: "VT", name: "Vermont", region: CensusRegion::Northeast, population: 643_077, land_area_sq_miles: 9_217.0, bbox_deg: (42.7, -73.4, 45.0, -71.5) },
-    StateInfo { state: UsState::Virginia, fips: 51, abbrev: "VA", name: "Virginia", region: CensusRegion::South, population: 8_631_393, land_area_sq_miles: 39_490.0, bbox_deg: (36.5, -83.7, 39.5, -75.2) },
-    StateInfo { state: UsState::Washington, fips: 53, abbrev: "WA", name: "Washington", region: CensusRegion::West, population: 7_705_281, land_area_sq_miles: 66_456.0, bbox_deg: (45.5, -124.8, 49.0, -116.9) },
-    StateInfo { state: UsState::WestVirginia, fips: 54, abbrev: "WV", name: "West Virginia", region: CensusRegion::South, population: 1_793_716, land_area_sq_miles: 24_038.0, bbox_deg: (37.2, -82.6, 40.6, -77.7) },
-    StateInfo { state: UsState::Wisconsin, fips: 55, abbrev: "WI", name: "Wisconsin", region: CensusRegion::Midwest, population: 5_893_718, land_area_sq_miles: 54_158.0, bbox_deg: (42.5, -92.9, 47.1, -86.8) },
+    StateInfo {
+        state: UsState::Alabama,
+        fips: 1,
+        abbrev: "AL",
+        name: "Alabama",
+        region: CensusRegion::South,
+        population: 5_024_279,
+        land_area_sq_miles: 50_645.0,
+        bbox_deg: (30.2, -88.5, 35.0, -84.9),
+    },
+    StateInfo {
+        state: UsState::Arkansas,
+        fips: 5,
+        abbrev: "AR",
+        name: "Arkansas",
+        region: CensusRegion::South,
+        population: 3_011_524,
+        land_area_sq_miles: 52_035.0,
+        bbox_deg: (33.0, -94.6, 36.5, -89.6),
+    },
+    StateInfo {
+        state: UsState::California,
+        fips: 6,
+        abbrev: "CA",
+        name: "California",
+        region: CensusRegion::West,
+        population: 39_538_223,
+        land_area_sq_miles: 155_779.0,
+        bbox_deg: (32.5, -124.4, 42.0, -114.1),
+    },
+    StateInfo {
+        state: UsState::Colorado,
+        fips: 8,
+        abbrev: "CO",
+        name: "Colorado",
+        region: CensusRegion::West,
+        population: 5_773_714,
+        land_area_sq_miles: 103_642.0,
+        bbox_deg: (37.0, -109.1, 41.0, -102.0),
+    },
+    StateInfo {
+        state: UsState::Florida,
+        fips: 12,
+        abbrev: "FL",
+        name: "Florida",
+        region: CensusRegion::South,
+        population: 21_538_187,
+        land_area_sq_miles: 53_625.0,
+        bbox_deg: (24.5, -87.6, 31.0, -80.0),
+    },
+    StateInfo {
+        state: UsState::Georgia,
+        fips: 13,
+        abbrev: "GA",
+        name: "Georgia",
+        region: CensusRegion::South,
+        population: 10_711_908,
+        land_area_sq_miles: 57_513.0,
+        bbox_deg: (30.4, -85.6, 35.0, -80.8),
+    },
+    StateInfo {
+        state: UsState::Illinois,
+        fips: 17,
+        abbrev: "IL",
+        name: "Illinois",
+        region: CensusRegion::Midwest,
+        population: 12_812_508,
+        land_area_sq_miles: 55_519.0,
+        bbox_deg: (37.0, -91.5, 42.5, -87.0),
+    },
+    StateInfo {
+        state: UsState::Indiana,
+        fips: 18,
+        abbrev: "IN",
+        name: "Indiana",
+        region: CensusRegion::Midwest,
+        population: 6_785_528,
+        land_area_sq_miles: 35_826.0,
+        bbox_deg: (37.8, -88.1, 41.8, -84.8),
+    },
+    StateInfo {
+        state: UsState::Iowa,
+        fips: 19,
+        abbrev: "IA",
+        name: "Iowa",
+        region: CensusRegion::Midwest,
+        population: 3_190_369,
+        land_area_sq_miles: 55_857.0,
+        bbox_deg: (40.4, -96.6, 43.5, -90.1),
+    },
+    StateInfo {
+        state: UsState::Kansas,
+        fips: 20,
+        abbrev: "KS",
+        name: "Kansas",
+        region: CensusRegion::Midwest,
+        population: 2_937_880,
+        land_area_sq_miles: 81_759.0,
+        bbox_deg: (37.0, -102.1, 40.0, -94.6),
+    },
+    StateInfo {
+        state: UsState::Kentucky,
+        fips: 21,
+        abbrev: "KY",
+        name: "Kentucky",
+        region: CensusRegion::South,
+        population: 4_505_836,
+        land_area_sq_miles: 39_486.0,
+        bbox_deg: (36.5, -89.6, 39.1, -81.9),
+    },
+    StateInfo {
+        state: UsState::Louisiana,
+        fips: 22,
+        abbrev: "LA",
+        name: "Louisiana",
+        region: CensusRegion::South,
+        population: 4_657_757,
+        land_area_sq_miles: 43_204.0,
+        bbox_deg: (29.0, -94.0, 33.0, -89.0),
+    },
+    StateInfo {
+        state: UsState::Michigan,
+        fips: 26,
+        abbrev: "MI",
+        name: "Michigan",
+        region: CensusRegion::Midwest,
+        population: 10_077_331,
+        land_area_sq_miles: 56_539.0,
+        bbox_deg: (41.7, -90.4, 48.2, -82.4),
+    },
+    StateInfo {
+        state: UsState::Minnesota,
+        fips: 27,
+        abbrev: "MN",
+        name: "Minnesota",
+        region: CensusRegion::Midwest,
+        population: 5_706_494,
+        land_area_sq_miles: 79_627.0,
+        bbox_deg: (43.5, -97.2, 49.4, -89.5),
+    },
+    StateInfo {
+        state: UsState::Mississippi,
+        fips: 28,
+        abbrev: "MS",
+        name: "Mississippi",
+        region: CensusRegion::South,
+        population: 2_961_279,
+        land_area_sq_miles: 46_923.0,
+        bbox_deg: (30.2, -91.7, 35.0, -88.1),
+    },
+    StateInfo {
+        state: UsState::Missouri,
+        fips: 29,
+        abbrev: "MO",
+        name: "Missouri",
+        region: CensusRegion::Midwest,
+        population: 6_154_913,
+        land_area_sq_miles: 68_742.0,
+        bbox_deg: (36.0, -95.8, 40.6, -89.1),
+    },
+    StateInfo {
+        state: UsState::Nebraska,
+        fips: 31,
+        abbrev: "NE",
+        name: "Nebraska",
+        region: CensusRegion::Midwest,
+        population: 1_961_504,
+        land_area_sq_miles: 76_824.0,
+        bbox_deg: (40.0, -104.1, 43.0, -95.3),
+    },
+    StateInfo {
+        state: UsState::NewHampshire,
+        fips: 33,
+        abbrev: "NH",
+        name: "New Hampshire",
+        region: CensusRegion::Northeast,
+        population: 1_377_529,
+        land_area_sq_miles: 8_953.0,
+        bbox_deg: (42.7, -72.6, 45.3, -70.6),
+    },
+    StateInfo {
+        state: UsState::NewJersey,
+        fips: 34,
+        abbrev: "NJ",
+        name: "New Jersey",
+        region: CensusRegion::Northeast,
+        population: 9_288_994,
+        land_area_sq_miles: 7_354.0,
+        bbox_deg: (38.9, -75.6, 41.4, -73.9),
+    },
+    StateInfo {
+        state: UsState::NewMexico,
+        fips: 35,
+        abbrev: "NM",
+        name: "New Mexico",
+        region: CensusRegion::West,
+        population: 2_117_522,
+        land_area_sq_miles: 121_298.0,
+        bbox_deg: (31.3, -109.1, 37.0, -103.0),
+    },
+    StateInfo {
+        state: UsState::NewYork,
+        fips: 36,
+        abbrev: "NY",
+        name: "New York",
+        region: CensusRegion::Northeast,
+        population: 20_201_249,
+        land_area_sq_miles: 47_126.0,
+        bbox_deg: (40.5, -79.8, 45.0, -71.9),
+    },
+    StateInfo {
+        state: UsState::NorthCarolina,
+        fips: 37,
+        abbrev: "NC",
+        name: "North Carolina",
+        region: CensusRegion::South,
+        population: 10_439_388,
+        land_area_sq_miles: 48_618.0,
+        bbox_deg: (33.8, -84.3, 36.6, -75.5),
+    },
+    StateInfo {
+        state: UsState::Ohio,
+        fips: 39,
+        abbrev: "OH",
+        name: "Ohio",
+        region: CensusRegion::Midwest,
+        population: 11_799_448,
+        land_area_sq_miles: 40_861.0,
+        bbox_deg: (38.4, -84.8, 42.0, -80.5),
+    },
+    StateInfo {
+        state: UsState::Oklahoma,
+        fips: 40,
+        abbrev: "OK",
+        name: "Oklahoma",
+        region: CensusRegion::South,
+        population: 3_959_353,
+        land_area_sq_miles: 68_595.0,
+        bbox_deg: (33.6, -103.0, 37.0, -94.4),
+    },
+    StateInfo {
+        state: UsState::Pennsylvania,
+        fips: 42,
+        abbrev: "PA",
+        name: "Pennsylvania",
+        region: CensusRegion::Northeast,
+        population: 13_002_700,
+        land_area_sq_miles: 44_743.0,
+        bbox_deg: (39.7, -80.5, 42.3, -74.7),
+    },
+    StateInfo {
+        state: UsState::SouthCarolina,
+        fips: 45,
+        abbrev: "SC",
+        name: "South Carolina",
+        region: CensusRegion::South,
+        population: 5_118_425,
+        land_area_sq_miles: 30_061.0,
+        bbox_deg: (32.0, -83.4, 35.2, -78.5),
+    },
+    StateInfo {
+        state: UsState::Tennessee,
+        fips: 47,
+        abbrev: "TN",
+        name: "Tennessee",
+        region: CensusRegion::South,
+        population: 6_910_840,
+        land_area_sq_miles: 41_235.0,
+        bbox_deg: (35.0, -90.3, 36.7, -81.6),
+    },
+    StateInfo {
+        state: UsState::Texas,
+        fips: 48,
+        abbrev: "TX",
+        name: "Texas",
+        region: CensusRegion::South,
+        population: 29_145_505,
+        land_area_sq_miles: 261_232.0,
+        bbox_deg: (25.8, -106.6, 36.5, -93.5),
+    },
+    StateInfo {
+        state: UsState::Utah,
+        fips: 49,
+        abbrev: "UT",
+        name: "Utah",
+        region: CensusRegion::West,
+        population: 3_271_616,
+        land_area_sq_miles: 82_170.0,
+        bbox_deg: (37.0, -114.1, 42.0, -109.0),
+    },
+    StateInfo {
+        state: UsState::Vermont,
+        fips: 50,
+        abbrev: "VT",
+        name: "Vermont",
+        region: CensusRegion::Northeast,
+        population: 643_077,
+        land_area_sq_miles: 9_217.0,
+        bbox_deg: (42.7, -73.4, 45.0, -71.5),
+    },
+    StateInfo {
+        state: UsState::Virginia,
+        fips: 51,
+        abbrev: "VA",
+        name: "Virginia",
+        region: CensusRegion::South,
+        population: 8_631_393,
+        land_area_sq_miles: 39_490.0,
+        bbox_deg: (36.5, -83.7, 39.5, -75.2),
+    },
+    StateInfo {
+        state: UsState::Washington,
+        fips: 53,
+        abbrev: "WA",
+        name: "Washington",
+        region: CensusRegion::West,
+        population: 7_705_281,
+        land_area_sq_miles: 66_456.0,
+        bbox_deg: (45.5, -124.8, 49.0, -116.9),
+    },
+    StateInfo {
+        state: UsState::WestVirginia,
+        fips: 54,
+        abbrev: "WV",
+        name: "West Virginia",
+        region: CensusRegion::South,
+        population: 1_793_716,
+        land_area_sq_miles: 24_038.0,
+        bbox_deg: (37.2, -82.6, 40.6, -77.7),
+    },
+    StateInfo {
+        state: UsState::Wisconsin,
+        fips: 55,
+        abbrev: "WI",
+        name: "Wisconsin",
+        region: CensusRegion::Midwest,
+        population: 5_893_718,
+        land_area_sq_miles: 54_158.0,
+        bbox_deg: (42.5, -92.9, 47.1, -86.8),
+    },
 ];
 
 impl UsState {

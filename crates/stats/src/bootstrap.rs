@@ -5,10 +5,27 @@
 //! confidence intervals give the complementary view: how uncertain an
 //! estimate is given the sample actually collected. All resampling is
 //! driven by a caller-supplied seed so experiments are reproducible.
+//!
+//! # Replicate streams and parallelism
+//!
+//! Each replicate draws from its own RNG stream keyed by
+//! `mix(mix_str(seed, "bootstrap"), replicate_index)` — the same
+//! entity-keyed philosophy as the synth layer — so replicate `k` draws
+//! the same index multiset whether it runs first, last, or on worker 7.
+//! That makes the engine-aware variants ([`bootstrap_ci_on`],
+//! [`bootstrap_indices_ci_on`]) bit-identical to the serial ones at any
+//! worker count: replicates are split into contiguous chunks, chunks run
+//! on the [`caf_exec::map_slice`] pool, and the per-chunk statistic
+//! vectors are concatenated in replicate order before the percentile
+//! step.
 
 use crate::error::{ensure_sample, StatsError};
+use caf_exec::rng::{mix, mix_str};
+use caf_exec::EngineConfig;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::ops::Range;
+use std::time::Instant;
 
 /// A percentile bootstrap confidence interval.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -37,11 +54,104 @@ impl BootstrapCi {
     }
 }
 
+/// Shared argument validation for the index-space variants.
+fn validate(n: usize, replicates: usize, level: f64) -> Result<(), StatsError> {
+    if n == 0 {
+        return Err(StatsError::EmptyInput);
+    }
+    if replicates == 0 {
+        return Err(StatsError::InsufficientData { got: 0, need: 1 });
+    }
+    if !(0.0 < level && level < 1.0) {
+        return Err(StatsError::InvalidProbability(level));
+    }
+    Ok(())
+}
+
+/// The RNG seed of one replicate: keyed by the replicate index, never by
+/// a shared sequential stream, so the replicate sequence is independent
+/// of chunking and scheduling.
+fn replicate_seed(seed: u64, replicate: usize) -> u64 {
+    mix(mix_str(seed, "bootstrap"), replicate as u64)
+}
+
+/// Runs the replicates in `range`, returning their statistics in
+/// replicate order. Each replicate resamples `n` indices from its own
+/// keyed stream.
+fn replicate_stats<F>(
+    n: usize,
+    range: Range<usize>,
+    statistic: &F,
+    seed: u64,
+) -> Result<Vec<f64>, StatsError>
+where
+    F: Fn(&[usize]) -> f64,
+{
+    let mut resample = vec![0usize; n];
+    let mut stats = Vec::with_capacity(range.len());
+    for replicate in range {
+        let mut rng = StdRng::seed_from_u64(replicate_seed(seed, replicate));
+        for slot in resample.iter_mut() {
+            *slot = rng.gen_range(0..n);
+        }
+        let s = statistic(&resample);
+        if !s.is_finite() {
+            return Err(StatsError::NonFiniteInput);
+        }
+        stats.push(s);
+    }
+    Ok(stats)
+}
+
+/// The percentile step: sorts the replicate statistics and reads the
+/// interval off, with the point estimate evaluated on the identity
+/// index multiset (i.e. the original sample).
+fn percentile_ci<F>(
+    n: usize,
+    statistic: &F,
+    mut stats: Vec<f64>,
+    replicates: usize,
+    level: f64,
+) -> Result<BootstrapCi, StatsError>
+where
+    F: Fn(&[usize]) -> f64,
+{
+    stats.sort_by(f64::total_cmp);
+    let alpha = (1.0 - level) / 2.0;
+    let lo = crate::quantile::quantile_sorted(&stats, alpha)?;
+    let hi = crate::quantile::quantile_sorted(&stats, 1.0 - alpha)?;
+    let identity: Vec<usize> = (0..n).collect();
+    Ok(BootstrapCi {
+        point: statistic(&identity),
+        lo,
+        hi,
+        replicates,
+        level,
+    })
+}
+
+/// Telemetry for one bootstrap run (observation-only; never affects the
+/// resampling).
+fn record_run(replicates: usize, workers: usize, wall_start: Option<Instant>) {
+    if let Some(start) = wall_start {
+        let micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        caf_obs::count("caf.stats.bootstrap.runs", 1);
+        caf_obs::count("caf.stats.bootstrap.replicates", replicates as u64);
+        caf_obs::gauge("caf.stats.bootstrap.workers", workers as u64);
+        caf_obs::observe("caf.stats.bootstrap.wall_us", micros);
+    }
+}
+
 /// Computes a percentile-method bootstrap CI of `statistic` over `xs`.
 ///
 /// * `replicates` — number of resamples (≥ 100 recommended).
 /// * `level` — confidence level in `(0, 1)`, e.g. `0.95`.
 /// * `seed` — RNG seed; identical inputs and seed give identical output.
+///
+/// A thin wrapper over [`bootstrap_indices_ci`]: the value resample is
+/// the index resample gathered through `xs`, so the two variants share
+/// one replicate-stream definition and return identical intervals for
+/// equivalent statistics.
 pub fn bootstrap_ci<F>(
     xs: &[f64],
     statistic: F,
@@ -53,37 +163,48 @@ where
     F: Fn(&[f64]) -> f64,
 {
     ensure_sample(xs)?;
-    if replicates == 0 {
-        return Err(StatsError::InsufficientData { got: 0, need: 1 });
-    }
-    if !(0.0 < level && level < 1.0) {
-        return Err(StatsError::InvalidProbability(level));
-    }
-    let mut rng = StdRng::seed_from_u64(seed);
-    let n = xs.len();
-    let mut resample = vec![0.0; n];
-    let mut stats = Vec::with_capacity(replicates);
-    for _ in 0..replicates {
-        for slot in resample.iter_mut() {
-            *slot = xs[rng.gen_range(0..n)];
-        }
-        let s = statistic(&resample);
-        if !s.is_finite() {
-            return Err(StatsError::NonFiniteInput);
-        }
-        stats.push(s);
-    }
-    stats.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
-    let alpha = (1.0 - level) / 2.0;
-    let lo = crate::quantile::quantile_sorted(&stats, alpha)?;
-    let hi = crate::quantile::quantile_sorted(&stats, 1.0 - alpha)?;
-    Ok(BootstrapCi {
-        point: statistic(xs),
-        lo,
-        hi,
+    let scratch = std::cell::RefCell::new(vec![0.0; xs.len()]);
+    bootstrap_indices_ci(
+        xs.len(),
+        |idx| {
+            let mut buf = scratch.borrow_mut();
+            for (slot, &i) in buf.iter_mut().zip(idx) {
+                *slot = xs[i];
+            }
+            statistic(&buf)
+        },
         replicates,
         level,
-    })
+        seed,
+    )
+}
+
+/// [`bootstrap_ci`] on an engine worker pool. Bit-identical to the
+/// serial variant at any worker count (see the module docs); requires a
+/// `Sync` statistic.
+pub fn bootstrap_ci_on<F>(
+    engine: EngineConfig,
+    xs: &[f64],
+    statistic: F,
+    replicates: usize,
+    level: f64,
+    seed: u64,
+) -> Result<BootstrapCi, StatsError>
+where
+    F: Fn(&[f64]) -> f64 + Sync,
+{
+    ensure_sample(xs)?;
+    bootstrap_indices_ci_on(
+        engine,
+        xs.len(),
+        |idx| {
+            let resample: Vec<f64> = idx.iter().map(|&i| xs[i]).collect();
+            statistic(&resample)
+        },
+        replicates,
+        level,
+        seed,
+    )
 }
 
 /// Computes a percentile bootstrap CI for a statistic defined over *row
@@ -100,40 +221,54 @@ pub fn bootstrap_indices_ci<F>(
 where
     F: Fn(&[usize]) -> f64,
 {
-    if n == 0 {
-        return Err(StatsError::EmptyInput);
-    }
-    if replicates == 0 {
-        return Err(StatsError::InsufficientData { got: 0, need: 1 });
-    }
-    if !(0.0 < level && level < 1.0) {
-        return Err(StatsError::InvalidProbability(level));
-    }
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut resample = vec![0usize; n];
-    let mut stats = Vec::with_capacity(replicates);
-    for _ in 0..replicates {
-        for slot in resample.iter_mut() {
-            *slot = rng.gen_range(0..n);
+    validate(n, replicates, level)?;
+    let _span = caf_obs::span("stats.bootstrap");
+    let wall_start = caf_obs::enabled().then(Instant::now);
+    let stats = replicate_stats(n, 0..replicates, &statistic, seed)?;
+    record_run(replicates, 1, wall_start);
+    percentile_ci(n, &statistic, stats, replicates, level)
+}
+
+/// [`bootstrap_indices_ci`] on an engine worker pool: the replicate
+/// range is split into one contiguous chunk per worker, chunks run on
+/// [`caf_exec::map_slice`], and the per-chunk statistics are
+/// concatenated in replicate order. Because every replicate draws from
+/// its own keyed stream, the result is bit-identical to the serial
+/// variant at any worker count and fixed seed.
+pub fn bootstrap_indices_ci_on<F>(
+    engine: EngineConfig,
+    n: usize,
+    statistic: F,
+    replicates: usize,
+    level: f64,
+    seed: u64,
+) -> Result<BootstrapCi, StatsError>
+where
+    F: Fn(&[usize]) -> f64 + Sync,
+{
+    validate(n, replicates, level)?;
+    let _span = caf_obs::span("stats.bootstrap");
+    let wall_start = caf_obs::enabled().then(Instant::now);
+    let workers = engine.for_units(replicates).workers;
+    let stats = if workers <= 1 {
+        replicate_stats(n, 0..replicates, &statistic, seed)?
+    } else {
+        let chunk = replicates.div_ceil(workers);
+        let ranges: Vec<Range<usize>> = (0..workers)
+            .map(|w| (w * chunk).min(replicates)..((w + 1) * chunk).min(replicates))
+            .filter(|r| !r.is_empty())
+            .collect();
+        let partials = caf_exec::map_slice(workers, &ranges, |_, range| {
+            replicate_stats(n, range.clone(), &statistic, seed)
+        });
+        let mut stats = Vec::with_capacity(replicates);
+        for partial in partials {
+            stats.extend(partial?);
         }
-        let s = statistic(&resample);
-        if !s.is_finite() {
-            return Err(StatsError::NonFiniteInput);
-        }
-        stats.push(s);
-    }
-    stats.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
-    let alpha = (1.0 - level) / 2.0;
-    let lo = crate::quantile::quantile_sorted(&stats, alpha)?;
-    let hi = crate::quantile::quantile_sorted(&stats, 1.0 - alpha)?;
-    let identity: Vec<usize> = (0..n).collect();
-    Ok(BootstrapCi {
-        point: statistic(&identity),
-        lo,
-        hi,
-        replicates,
-        level,
-    })
+        stats
+    };
+    record_run(replicates, workers, wall_start);
+    percentile_ci(n, &statistic, stats, replicates, level)
 }
 
 #[cfg(test)]
@@ -197,10 +332,10 @@ mod tests {
             5,
         )
         .unwrap();
-        // Same point estimate; intervals similar in width (different RNG
-        // streams, so not byte-identical).
-        assert!((plain.point - indexed.point).abs() < 1e-12);
-        assert!((plain.width() - indexed.width()).abs() < plain.width());
+        // `bootstrap_ci` is a wrapper over the index variant, so the two
+        // now share one replicate-stream definition: identical intervals,
+        // not merely similar ones.
+        assert_eq!(plain, indexed);
         assert!(indexed.contains(indexed.point));
     }
 
@@ -231,5 +366,77 @@ mod tests {
         assert!(bootstrap_indices_ci(3, |_| 0.0, 0, 0.9, 0).is_err());
         assert!(bootstrap_indices_ci(3, |_| 0.0, 10, 0.0, 0).is_err());
         assert!(bootstrap_indices_ci(3, |_| f64::NAN, 10, 0.9, 0).is_err());
+    }
+
+    #[test]
+    fn engine_variant_is_bit_identical_at_any_worker_count() {
+        let xs = sample();
+        let serial = bootstrap_ci(&xs, |s| mean(s).unwrap(), 301, 0.95, 11).unwrap();
+        let serial_idx = bootstrap_indices_ci(
+            xs.len(),
+            |idx| idx.iter().map(|&i| xs[i]).sum::<f64>() / idx.len() as f64,
+            301,
+            0.95,
+            11,
+        )
+        .unwrap();
+        for workers in [1usize, 2, 3, 7, 64] {
+            let engine = EngineConfig::with_workers(workers);
+            let on = bootstrap_ci_on(engine, &xs, |s| mean(s).unwrap(), 301, 0.95, 11).unwrap();
+            assert_eq!(serial, on, "bootstrap_ci_on at {workers} workers");
+            let on_idx = bootstrap_indices_ci_on(
+                engine,
+                xs.len(),
+                |idx| idx.iter().map(|&i| xs[i]).sum::<f64>() / idx.len() as f64,
+                301,
+                0.95,
+                11,
+            )
+            .unwrap();
+            assert_eq!(
+                serial_idx, on_idx,
+                "bootstrap_indices_ci_on at {workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn engine_variant_propagates_statistic_errors() {
+        // A statistic that goes non-finite only in late replicates must
+        // still surface the error through the chunked path.
+        let count = std::sync::atomic::AtomicUsize::new(0);
+        let result = bootstrap_indices_ci_on(
+            EngineConfig::with_workers(4),
+            5,
+            |_| {
+                let k = count.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if k > 90 {
+                    f64::NAN
+                } else {
+                    1.0
+                }
+            },
+            100,
+            0.9,
+            3,
+        );
+        assert_eq!(result.unwrap_err(), StatsError::NonFiniteInput);
+        assert!(bootstrap_ci_on(EngineConfig::serial(), &[], |_| 0.0, 10, 0.9, 0).is_err());
+    }
+
+    #[test]
+    fn replicate_streams_are_keyed_not_sequential() {
+        // Replicate k's draw must not depend on how many replicates run
+        // before it: a run of 100 and a run of 50 share their first 50
+        // replicate statistics, so the 50-replicate interval can be
+        // reproduced from the longer run's prefix.
+        let xs = sample();
+        let idx_stat = |idx: &[usize]| idx.iter().map(|&i| xs[i]).sum::<f64>() / idx.len() as f64;
+        let long = replicate_stats(xs.len(), 0..100, &idx_stat, 9).unwrap();
+        let short = replicate_stats(xs.len(), 0..50, &idx_stat, 9).unwrap();
+        assert_eq!(&long[..50], &short[..]);
+        // And a mid-range chunk reproduces the same slice of the run.
+        let tail = replicate_stats(xs.len(), 50..100, &idx_stat, 9).unwrap();
+        assert_eq!(&long[50..], &tail[..]);
     }
 }

@@ -51,7 +51,7 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> Result<f64, StatsError> {
 fn midranks(xs: &[f64]) -> Vec<f64> {
     let n = xs.len();
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("finite values compare"));
+    order.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]));
     let mut ranks = vec![0.0; n];
     let mut i = 0;
     while i < n {

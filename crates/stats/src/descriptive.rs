@@ -69,7 +69,7 @@ impl Summary {
     pub fn of(xs: &[f64]) -> Result<Summary, StatsError> {
         ensure_sample(xs)?;
         let mut sorted = xs.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        sorted.sort_by(f64::total_cmp);
         Ok(Summary {
             n: sorted.len(),
             min: sorted[0],
@@ -138,6 +138,9 @@ mod tests {
     #[test]
     fn nan_rejected() {
         assert_eq!(mean(&[1.0, f64::NAN]), Err(StatsError::NonFiniteInput));
-        assert_eq!(Summary::of(&[f64::INFINITY]), Err(StatsError::NonFiniteInput));
+        assert_eq!(
+            Summary::of(&[f64::INFINITY]),
+            Err(StatsError::NonFiniteInput)
+        );
     }
 }

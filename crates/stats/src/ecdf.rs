@@ -20,7 +20,7 @@ impl Ecdf {
     pub fn new(xs: &[f64]) -> Result<Ecdf, StatsError> {
         ensure_sample(xs)?;
         let mut sorted = xs.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        sorted.sort_by(f64::total_cmp);
         Ok(Ecdf { sorted })
     }
 

@@ -41,15 +41,22 @@ impl fmt::Display for StatsError {
             StatsError::EmptyInput => write!(f, "empty input sample"),
             StatsError::NonFiniteInput => write!(f, "input contains NaN or infinite values"),
             StatsError::InvalidProbability(p) => write!(f, "probability {p} outside [0, 1]"),
-            StatsError::InvalidWeights => write!(f, "weights must be non-negative with a positive sum"),
+            StatsError::InvalidWeights => {
+                write!(f, "weights must be non-negative with a positive sum")
+            }
             StatsError::LengthMismatch { left, right } => {
-                write!(f, "paired inputs have different lengths ({left} vs {right})")
+                write!(
+                    f,
+                    "paired inputs have different lengths ({left} vs {right})"
+                )
             }
             StatsError::InsufficientData { got, need } => {
                 write!(f, "need at least {need} observations, got {got}")
             }
             StatsError::ZeroVariance => write!(f, "statistic undefined for constant input"),
-            StatsError::InvalidBins => write!(f, "bin edges must be strictly increasing and non-empty"),
+            StatsError::InvalidBins => {
+                write!(f, "bin edges must be strictly increasing and non-empty")
+            }
         }
     }
 }
@@ -88,7 +95,10 @@ mod tests {
     #[test]
     fn ensure_sample_rules() {
         assert_eq!(ensure_sample(&[]), Err(StatsError::EmptyInput));
-        assert_eq!(ensure_sample(&[1.0, f64::NAN]), Err(StatsError::NonFiniteInput));
+        assert_eq!(
+            ensure_sample(&[1.0, f64::NAN]),
+            Err(StatsError::NonFiniteInput)
+        );
         assert_eq!(ensure_sample(&[1.0]), Ok(()));
     }
 }

@@ -32,8 +32,8 @@ pub fn ks_two_sample(xs: &[f64], ys: &[f64]) -> Result<KsTest, StatsError> {
     ensure_sample(ys)?;
     let mut a = xs.to_vec();
     let mut b = ys.to_vec();
-    a.sort_by(|p, q| p.partial_cmp(q).expect("finite values compare"));
-    b.sort_by(|p, q| p.partial_cmp(q).expect("finite values compare"));
+    a.sort_by(f64::total_cmp);
+    b.sort_by(f64::total_cmp);
 
     // Sweep the merged order, tracking the ECDF gap.
     let (n, m) = (a.len(), b.len());

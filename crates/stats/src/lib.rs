@@ -40,7 +40,9 @@ pub mod regress;
 pub mod weighted;
 
 pub use benchmark::UrbanRateBenchmark;
-pub use bootstrap::{bootstrap_ci, bootstrap_indices_ci, BootstrapCi};
+pub use bootstrap::{
+    bootstrap_ci, bootstrap_ci_on, bootstrap_indices_ci, bootstrap_indices_ci_on, BootstrapCi,
+};
 pub use corr::{pearson, spearman};
 pub use descriptive::{mean, stddev, variance, Summary};
 pub use ecdf::Ecdf;

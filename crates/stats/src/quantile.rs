@@ -17,7 +17,7 @@ pub fn quantile(xs: &[f64], p: f64) -> Result<f64, StatsError> {
         return Err(StatsError::InvalidProbability(p));
     }
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    sorted.sort_by(f64::total_cmp);
     Ok(quantile_sorted_unchecked(&sorted, p))
 }
 
@@ -62,7 +62,7 @@ pub fn median(xs: &[f64]) -> Result<f64, StatsError> {
 pub fn quantiles(xs: &[f64], levels: &[f64]) -> Result<Vec<f64>, StatsError> {
     ensure_sample(xs)?;
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    sorted.sort_by(f64::total_cmp);
     levels
         .iter()
         .map(|&p| quantile_sorted(&sorted, p))

@@ -107,10 +107,7 @@ mod tests {
 
     #[test]
     fn constant_x_rejected() {
-        assert_eq!(
-            ols(&[1.0, 1.0], &[1.0, 2.0]),
-            Err(StatsError::ZeroVariance)
-        );
+        assert_eq!(ols(&[1.0, 1.0], &[1.0, 2.0]), Err(StatsError::ZeroVariance));
     }
 
     #[test]

@@ -61,8 +61,9 @@ pub fn weighted_quantile(samples: &[WeightedSample], p: f64) -> Result<f64, Stat
     if !(0.0..=1.0).contains(&p) || !p.is_finite() {
         return Err(StatsError::InvalidProbability(p));
     }
-    let mut sorted: Vec<WeightedSample> = samples.iter().copied().filter(|s| s.weight > 0.0).collect();
-    sorted.sort_by(|a, b| a.value.partial_cmp(&b.value).expect("finite values compare"));
+    let mut sorted: Vec<WeightedSample> =
+        samples.iter().copied().filter(|s| s.weight > 0.0).collect();
+    sorted.sort_by(|a, b| a.value.total_cmp(&b.value));
     let threshold = p * total;
     let mut cum = 0.0;
     for s in &sorted {
@@ -71,7 +72,10 @@ pub fn weighted_quantile(samples: &[WeightedSample], p: f64) -> Result<f64, Stat
             return Ok(s.value);
         }
     }
-    Ok(sorted.last().expect("validated non-empty with positive weight").value)
+    Ok(sorted
+        .last()
+        .expect("validated non-empty with positive weight")
+        .value)
 }
 
 /// Weighted median (`p = 0.5`).
@@ -84,7 +88,10 @@ mod tests {
     use super::*;
 
     fn ws(pairs: &[(f64, f64)]) -> Vec<WeightedSample> {
-        pairs.iter().map(|&(v, w)| WeightedSample::new(v, w)).collect()
+        pairs
+            .iter()
+            .map(|&(v, w)| WeightedSample::new(v, w))
+            .collect()
     }
 
     #[test]

@@ -188,7 +188,10 @@ mod tests {
         for shape in [0.5, 1.0, 3.0, 10.0] {
             let xs = sample(20_000, |r| gamma(r, shape));
             let m = mean_of(&xs);
-            assert!((m - shape).abs() < 0.15 * shape.max(1.0), "shape {shape} mean {m}");
+            assert!(
+                (m - shape).abs() < 0.15 * shape.max(1.0),
+                "shape {shape} mean {m}"
+            );
             assert!(xs.iter().all(|&x| x >= 0.0));
         }
     }

@@ -14,9 +14,7 @@ use crate::dist;
 use crate::isp::Isp;
 use crate::params::{CalibrationParams, SynthConfig};
 use crate::rng::{mix2, scoped_rng};
-use caf_geo::{
-    BlockGroupId, BlockId, BoundingBox, CountyId, LatLon, StateFips, TractId, UsState,
-};
+use caf_geo::{BlockGroupId, BlockId, BoundingBox, CountyId, LatLon, StateFips, TractId, UsState};
 use rand::Rng;
 
 /// A census block with its CAF address count.
@@ -124,17 +122,13 @@ fn urban_centers(config: &SynthConfig, state: UsState) -> Vec<LatLon> {
     let mut rng = scoped_rng(config.seed, "urban-centers", state.fips().code() as u64);
     let bbox = state.bbox();
     let count = 2 + (rng.gen_range(0..3)) as usize;
-    (0..count)
-        .map(|_| point_in(&mut rng, bbox, 0.15))
-        .collect()
+    (0..count).map(|_| point_in(&mut rng, bbox, 0.15)).collect()
 }
 
 /// A uniform point inside `bbox`, inset by `margin` (fraction of span).
 fn point_in<R: Rng + ?Sized>(rng: &mut R, bbox: BoundingBox, margin: f64) -> LatLon {
-    let lat = bbox.min().lat()
-        + bbox.lat_span() * rng.gen_range(margin..1.0 - margin);
-    let lon = bbox.min().lon()
-        + bbox.lon_span() * rng.gen_range(margin..1.0 - margin);
+    let lat = bbox.min().lat() + bbox.lat_span() * rng.gen_range(margin..1.0 - margin);
+    let lon = bbox.min().lon() + bbox.lon_span() * rng.gen_range(margin..1.0 - margin);
     LatLon::new(lat, lon).expect("inset point stays inside a valid bbox")
 }
 
@@ -240,10 +234,7 @@ mod tests {
     use super::*;
 
     fn small_config() -> SynthConfig {
-        SynthConfig {
-            seed: 7,
-            scale: 20,
-        }
+        SynthConfig { seed: 7, scale: 20 }
     }
 
     #[test]
@@ -304,10 +295,7 @@ mod tests {
     #[test]
     fn address_distribution_has_the_figure_1c_shape() {
         // Aggregate over a few states for sample size.
-        let cfg = SynthConfig {
-            seed: 3,
-            scale: 5,
-        };
+        let cfg = SynthConfig { seed: 3, scale: 5 };
         let mut counts: Vec<f64> = Vec::new();
         for state in [UsState::California, UsState::Ohio, UsState::Wisconsin] {
             let geo = StateGeography::build(&cfg, state);
@@ -319,8 +307,14 @@ mod tests {
         let frac_under_300 = counts.iter().filter(|&&c| c < 300.0).count() as f64 / n;
         let median = counts[counts.len() / 2];
         // Paper: 38 % under 30, 83 % under 300, median 64.
-        assert!((0.25..0.50).contains(&frac_under_30), "under30 {frac_under_30}");
-        assert!((0.72..0.92).contains(&frac_under_300), "under300 {frac_under_300}");
+        assert!(
+            (0.25..0.50).contains(&frac_under_30),
+            "under30 {frac_under_30}"
+        );
+        assert!(
+            (0.72..0.92).contains(&frac_under_300),
+            "under300 {frac_under_300}"
+        );
         assert!((35.0..110.0).contains(&median), "median {median}");
         assert!(*counts.last().unwrap() > 1_000.0, "tail too light");
     }
@@ -365,20 +359,8 @@ mod tests {
 
     #[test]
     fn different_seeds_give_different_worlds() {
-        let a = StateGeography::build(
-            &SynthConfig {
-                seed: 1,
-                scale: 20,
-            },
-            UsState::Iowa,
-        );
-        let b = StateGeography::build(
-            &SynthConfig {
-                seed: 2,
-                scale: 20,
-            },
-            UsState::Iowa,
-        );
+        let a = StateGeography::build(&SynthConfig { seed: 1, scale: 20 }, UsState::Iowa);
+        let b = StateGeography::build(&SynthConfig { seed: 2, scale: 20 }, UsState::Iowa);
         let diff = a
             .cbgs
             .iter()

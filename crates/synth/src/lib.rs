@@ -29,19 +29,16 @@
 pub mod dist;
 
 pub mod geography;
-pub mod truth;
-pub mod usac;
 pub mod isp;
 pub mod params;
 pub mod q3;
+pub mod truth;
+pub mod usac;
 pub mod world;
 
 pub mod plans;
 pub mod rng;
 pub mod speedtest;
-
-
-
 
 pub use isp::Isp;
 pub use params::{CalibrationParams, SynthConfig};
@@ -49,6 +46,3 @@ pub use plans::{BroadbandPlan, PlanCatalog};
 pub use truth::{AddressTruth, TruthTable};
 pub use usac::{CafRecord, UsacDataset};
 pub use world::{StateWorld, World};
-
-
-

@@ -648,10 +648,7 @@ mod tests {
         assert_eq!(cfg.scaled(0), 0);
         assert_eq!(cfg.scaled(2), 1); // Mississippi CenturyLink survives
         assert_eq!(cfg.scaled(69_711), 6_971);
-        let unit = SynthConfig {
-            seed: 1,
-            scale: 1,
-        };
+        let unit = SynthConfig { seed: 1, scale: 1 };
         assert_eq!(unit.scaled(69_711), 69_711);
     }
 

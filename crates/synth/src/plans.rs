@@ -58,7 +58,11 @@ impl fmt::Display for BroadbandPlan {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.download_mbps {
             Some(d) => write!(f, "{} ({} Mbps, ${:.2}/mo)", self.name, d, self.monthly_usd),
-            None => write!(f, "{} (unspecified speed, ${:.2}/mo)", self.name, self.monthly_usd),
+            None => write!(
+                f,
+                "{} (unspecified speed, ${:.2}/mo)",
+                self.name, self.monthly_usd
+            ),
         }
     }
 }
@@ -93,65 +97,347 @@ impl PlanCatalog {
     pub fn for_isp(isp: Isp) -> PlanCatalog {
         let tiers: Vec<CatalogTier> = match isp {
             Isp::Att => vec![
-                CatalogTier { label: "AT&T Internet Air", download_mbps: Some(40.0), upload_mbps: None, monthly_usd: 55.0, guaranteed: false },
-                CatalogTier { label: "DSL 768k", download_mbps: Some(0.768), upload_mbps: Some(0.128), monthly_usd: 40.0, guaranteed: true },
-                CatalogTier { label: "DSL 1", download_mbps: Some(1.0), upload_mbps: Some(0.128), monthly_usd: 40.0, guaranteed: true },
-                CatalogTier { label: "DSL 3", download_mbps: Some(3.0), upload_mbps: Some(0.384), monthly_usd: 45.0, guaranteed: true },
-                CatalogTier { label: "DSL 5", download_mbps: Some(5.0), upload_mbps: Some(0.6), monthly_usd: 45.0, guaranteed: true },
-                CatalogTier { label: "Internet 10", download_mbps: Some(10.0), upload_mbps: Some(1.0), monthly_usd: 55.0, guaranteed: true },
-                CatalogTier { label: "Internet 25", download_mbps: Some(25.0), upload_mbps: Some(2.0), monthly_usd: 55.0, guaranteed: true },
-                CatalogTier { label: "Internet 50", download_mbps: Some(50.0), upload_mbps: Some(10.0), monthly_usd: 55.0, guaranteed: true },
-                CatalogTier { label: "Fiber 300", download_mbps: Some(300.0), upload_mbps: Some(300.0), monthly_usd: 55.0, guaranteed: true },
-                CatalogTier { label: "Fiber 500", download_mbps: Some(500.0), upload_mbps: Some(500.0), monthly_usd: 65.0, guaranteed: true },
-                CatalogTier { label: "Fiber 1000", download_mbps: Some(1000.0), upload_mbps: Some(1000.0), monthly_usd: 80.0, guaranteed: true },
-                CatalogTier { label: "Fiber 2000", download_mbps: Some(2000.0), upload_mbps: Some(2000.0), monthly_usd: 110.0, guaranteed: true },
-                CatalogTier { label: "Fiber 5000", download_mbps: Some(5000.0), upload_mbps: Some(5000.0), monthly_usd: 180.0, guaranteed: true },
+                CatalogTier {
+                    label: "AT&T Internet Air",
+                    download_mbps: Some(40.0),
+                    upload_mbps: None,
+                    monthly_usd: 55.0,
+                    guaranteed: false,
+                },
+                CatalogTier {
+                    label: "DSL 768k",
+                    download_mbps: Some(0.768),
+                    upload_mbps: Some(0.128),
+                    monthly_usd: 40.0,
+                    guaranteed: true,
+                },
+                CatalogTier {
+                    label: "DSL 1",
+                    download_mbps: Some(1.0),
+                    upload_mbps: Some(0.128),
+                    monthly_usd: 40.0,
+                    guaranteed: true,
+                },
+                CatalogTier {
+                    label: "DSL 3",
+                    download_mbps: Some(3.0),
+                    upload_mbps: Some(0.384),
+                    monthly_usd: 45.0,
+                    guaranteed: true,
+                },
+                CatalogTier {
+                    label: "DSL 5",
+                    download_mbps: Some(5.0),
+                    upload_mbps: Some(0.6),
+                    monthly_usd: 45.0,
+                    guaranteed: true,
+                },
+                CatalogTier {
+                    label: "Internet 10",
+                    download_mbps: Some(10.0),
+                    upload_mbps: Some(1.0),
+                    monthly_usd: 55.0,
+                    guaranteed: true,
+                },
+                CatalogTier {
+                    label: "Internet 25",
+                    download_mbps: Some(25.0),
+                    upload_mbps: Some(2.0),
+                    monthly_usd: 55.0,
+                    guaranteed: true,
+                },
+                CatalogTier {
+                    label: "Internet 50",
+                    download_mbps: Some(50.0),
+                    upload_mbps: Some(10.0),
+                    monthly_usd: 55.0,
+                    guaranteed: true,
+                },
+                CatalogTier {
+                    label: "Fiber 300",
+                    download_mbps: Some(300.0),
+                    upload_mbps: Some(300.0),
+                    monthly_usd: 55.0,
+                    guaranteed: true,
+                },
+                CatalogTier {
+                    label: "Fiber 500",
+                    download_mbps: Some(500.0),
+                    upload_mbps: Some(500.0),
+                    monthly_usd: 65.0,
+                    guaranteed: true,
+                },
+                CatalogTier {
+                    label: "Fiber 1000",
+                    download_mbps: Some(1000.0),
+                    upload_mbps: Some(1000.0),
+                    monthly_usd: 80.0,
+                    guaranteed: true,
+                },
+                CatalogTier {
+                    label: "Fiber 2000",
+                    download_mbps: Some(2000.0),
+                    upload_mbps: Some(2000.0),
+                    monthly_usd: 110.0,
+                    guaranteed: true,
+                },
+                CatalogTier {
+                    label: "Fiber 5000",
+                    download_mbps: Some(5000.0),
+                    upload_mbps: Some(5000.0),
+                    monthly_usd: 180.0,
+                    guaranteed: true,
+                },
             ],
             Isp::CenturyLink => vec![
-                CatalogTier { label: "DSL 0.5", download_mbps: Some(0.5), upload_mbps: Some(0.128), monthly_usd: 30.0, guaranteed: true },
-                CatalogTier { label: "DSL 1.5", download_mbps: Some(1.5), upload_mbps: Some(0.256), monthly_usd: 30.0, guaranteed: true },
-                CatalogTier { label: "DSL 3", download_mbps: Some(3.0), upload_mbps: Some(0.384), monthly_usd: 35.0, guaranteed: true },
-                CatalogTier { label: "DSL 6", download_mbps: Some(6.0), upload_mbps: Some(0.768), monthly_usd: 40.0, guaranteed: true },
-                CatalogTier { label: "Simply Internet 10", download_mbps: Some(10.0), upload_mbps: Some(1.0), monthly_usd: 50.0, guaranteed: true },
-                CatalogTier { label: "Simply Internet 40", download_mbps: Some(40.0), upload_mbps: Some(5.0), monthly_usd: 50.0, guaranteed: true },
-                CatalogTier { label: "Simply Internet 80", download_mbps: Some(80.0), upload_mbps: Some(10.0), monthly_usd: 50.0, guaranteed: true },
-                CatalogTier { label: "Fiber 200", download_mbps: Some(200.0), upload_mbps: Some(200.0), monthly_usd: 50.0, guaranteed: true },
-                CatalogTier { label: "Fiber 940", download_mbps: Some(940.0), upload_mbps: Some(940.0), monthly_usd: 75.0, guaranteed: true },
+                CatalogTier {
+                    label: "DSL 0.5",
+                    download_mbps: Some(0.5),
+                    upload_mbps: Some(0.128),
+                    monthly_usd: 30.0,
+                    guaranteed: true,
+                },
+                CatalogTier {
+                    label: "DSL 1.5",
+                    download_mbps: Some(1.5),
+                    upload_mbps: Some(0.256),
+                    monthly_usd: 30.0,
+                    guaranteed: true,
+                },
+                CatalogTier {
+                    label: "DSL 3",
+                    download_mbps: Some(3.0),
+                    upload_mbps: Some(0.384),
+                    monthly_usd: 35.0,
+                    guaranteed: true,
+                },
+                CatalogTier {
+                    label: "DSL 6",
+                    download_mbps: Some(6.0),
+                    upload_mbps: Some(0.768),
+                    monthly_usd: 40.0,
+                    guaranteed: true,
+                },
+                CatalogTier {
+                    label: "Simply Internet 10",
+                    download_mbps: Some(10.0),
+                    upload_mbps: Some(1.0),
+                    monthly_usd: 50.0,
+                    guaranteed: true,
+                },
+                CatalogTier {
+                    label: "Simply Internet 40",
+                    download_mbps: Some(40.0),
+                    upload_mbps: Some(5.0),
+                    monthly_usd: 50.0,
+                    guaranteed: true,
+                },
+                CatalogTier {
+                    label: "Simply Internet 80",
+                    download_mbps: Some(80.0),
+                    upload_mbps: Some(10.0),
+                    monthly_usd: 50.0,
+                    guaranteed: true,
+                },
+                CatalogTier {
+                    label: "Fiber 200",
+                    download_mbps: Some(200.0),
+                    upload_mbps: Some(200.0),
+                    monthly_usd: 50.0,
+                    guaranteed: true,
+                },
+                CatalogTier {
+                    label: "Fiber 940",
+                    download_mbps: Some(940.0),
+                    upload_mbps: Some(940.0),
+                    monthly_usd: 75.0,
+                    guaranteed: true,
+                },
             ],
             Isp::Frontier => vec![
-                CatalogTier { label: "Frontier Internet", download_mbps: Some(6.0), upload_mbps: None, monthly_usd: 50.0, guaranteed: false },
-                CatalogTier { label: "Unknown Plan", download_mbps: None, upload_mbps: None, monthly_usd: 50.0, guaranteed: false },
-                CatalogTier { label: "DSL 10", download_mbps: Some(10.0), upload_mbps: Some(1.0), monthly_usd: 45.0, guaranteed: true },
-                CatalogTier { label: "Internet 25", download_mbps: Some(25.0), upload_mbps: Some(2.0), monthly_usd: 45.0, guaranteed: true },
-                CatalogTier { label: "Fiber 500", download_mbps: Some(500.0), upload_mbps: Some(500.0), monthly_usd: 45.0, guaranteed: true },
-                CatalogTier { label: "Fiber 1 Gig", download_mbps: Some(1000.0), upload_mbps: Some(1000.0), monthly_usd: 70.0, guaranteed: true },
-                CatalogTier { label: "Fiber 2 Gig", download_mbps: Some(2000.0), upload_mbps: Some(2000.0), monthly_usd: 100.0, guaranteed: true },
-                CatalogTier { label: "Fiber 5 Gig", download_mbps: Some(5000.0), upload_mbps: Some(5000.0), monthly_usd: 155.0, guaranteed: true },
+                CatalogTier {
+                    label: "Frontier Internet",
+                    download_mbps: Some(6.0),
+                    upload_mbps: None,
+                    monthly_usd: 50.0,
+                    guaranteed: false,
+                },
+                CatalogTier {
+                    label: "Unknown Plan",
+                    download_mbps: None,
+                    upload_mbps: None,
+                    monthly_usd: 50.0,
+                    guaranteed: false,
+                },
+                CatalogTier {
+                    label: "DSL 10",
+                    download_mbps: Some(10.0),
+                    upload_mbps: Some(1.0),
+                    monthly_usd: 45.0,
+                    guaranteed: true,
+                },
+                CatalogTier {
+                    label: "Internet 25",
+                    download_mbps: Some(25.0),
+                    upload_mbps: Some(2.0),
+                    monthly_usd: 45.0,
+                    guaranteed: true,
+                },
+                CatalogTier {
+                    label: "Fiber 500",
+                    download_mbps: Some(500.0),
+                    upload_mbps: Some(500.0),
+                    monthly_usd: 45.0,
+                    guaranteed: true,
+                },
+                CatalogTier {
+                    label: "Fiber 1 Gig",
+                    download_mbps: Some(1000.0),
+                    upload_mbps: Some(1000.0),
+                    monthly_usd: 70.0,
+                    guaranteed: true,
+                },
+                CatalogTier {
+                    label: "Fiber 2 Gig",
+                    download_mbps: Some(2000.0),
+                    upload_mbps: Some(2000.0),
+                    monthly_usd: 100.0,
+                    guaranteed: true,
+                },
+                CatalogTier {
+                    label: "Fiber 5 Gig",
+                    download_mbps: Some(5000.0),
+                    upload_mbps: Some(5000.0),
+                    monthly_usd: 155.0,
+                    guaranteed: true,
+                },
             ],
             Isp::Consolidated => vec![
-                CatalogTier { label: "DSL 3", download_mbps: Some(3.0), upload_mbps: Some(0.384), monthly_usd: 35.0, guaranteed: true },
-                CatalogTier { label: "DSL 7", download_mbps: Some(7.0), upload_mbps: Some(0.768), monthly_usd: 40.0, guaranteed: true },
-                CatalogTier { label: "Internet 10", download_mbps: Some(10.0), upload_mbps: Some(1.0), monthly_usd: 45.0, guaranteed: true },
-                CatalogTier { label: "Internet 50", download_mbps: Some(50.0), upload_mbps: Some(5.0), monthly_usd: 50.0, guaranteed: true },
-                CatalogTier { label: "Internet 250", download_mbps: Some(250.0), upload_mbps: Some(200.0), monthly_usd: 55.0, guaranteed: true },
-                CatalogTier { label: "Fidium 1 Gig", download_mbps: Some(1000.0), upload_mbps: Some(1000.0), monthly_usd: 70.0, guaranteed: true },
-                CatalogTier { label: "Fidium 2 Gig", download_mbps: Some(2000.0), upload_mbps: Some(2000.0), monthly_usd: 95.0, guaranteed: true },
+                CatalogTier {
+                    label: "DSL 3",
+                    download_mbps: Some(3.0),
+                    upload_mbps: Some(0.384),
+                    monthly_usd: 35.0,
+                    guaranteed: true,
+                },
+                CatalogTier {
+                    label: "DSL 7",
+                    download_mbps: Some(7.0),
+                    upload_mbps: Some(0.768),
+                    monthly_usd: 40.0,
+                    guaranteed: true,
+                },
+                CatalogTier {
+                    label: "Internet 10",
+                    download_mbps: Some(10.0),
+                    upload_mbps: Some(1.0),
+                    monthly_usd: 45.0,
+                    guaranteed: true,
+                },
+                CatalogTier {
+                    label: "Internet 50",
+                    download_mbps: Some(50.0),
+                    upload_mbps: Some(5.0),
+                    monthly_usd: 50.0,
+                    guaranteed: true,
+                },
+                CatalogTier {
+                    label: "Internet 250",
+                    download_mbps: Some(250.0),
+                    upload_mbps: Some(200.0),
+                    monthly_usd: 55.0,
+                    guaranteed: true,
+                },
+                CatalogTier {
+                    label: "Fidium 1 Gig",
+                    download_mbps: Some(1000.0),
+                    upload_mbps: Some(1000.0),
+                    monthly_usd: 70.0,
+                    guaranteed: true,
+                },
+                CatalogTier {
+                    label: "Fidium 2 Gig",
+                    download_mbps: Some(2000.0),
+                    upload_mbps: Some(2000.0),
+                    monthly_usd: 95.0,
+                    guaranteed: true,
+                },
             ],
             Isp::Windstream => vec![
-                CatalogTier { label: "Kinetic 25", download_mbps: Some(25.0), upload_mbps: Some(3.0), monthly_usd: 40.0, guaranteed: true },
-                CatalogTier { label: "Kinetic 100", download_mbps: Some(100.0), upload_mbps: Some(10.0), monthly_usd: 45.0, guaranteed: true },
-                CatalogTier { label: "Kinetic 1 Gig", download_mbps: Some(1000.0), upload_mbps: Some(1000.0), monthly_usd: 70.0, guaranteed: true },
+                CatalogTier {
+                    label: "Kinetic 25",
+                    download_mbps: Some(25.0),
+                    upload_mbps: Some(3.0),
+                    monthly_usd: 40.0,
+                    guaranteed: true,
+                },
+                CatalogTier {
+                    label: "Kinetic 100",
+                    download_mbps: Some(100.0),
+                    upload_mbps: Some(10.0),
+                    monthly_usd: 45.0,
+                    guaranteed: true,
+                },
+                CatalogTier {
+                    label: "Kinetic 1 Gig",
+                    download_mbps: Some(1000.0),
+                    upload_mbps: Some(1000.0),
+                    monthly_usd: 70.0,
+                    guaranteed: true,
+                },
             ],
             Isp::Xfinity => vec![
-                CatalogTier { label: "Connect 150", download_mbps: Some(150.0), upload_mbps: Some(10.0), monthly_usd: 40.0, guaranteed: true },
-                CatalogTier { label: "Fast 400", download_mbps: Some(400.0), upload_mbps: Some(20.0), monthly_usd: 55.0, guaranteed: true },
-                CatalogTier { label: "Gigabit", download_mbps: Some(1000.0), upload_mbps: Some(35.0), monthly_usd: 70.0, guaranteed: true },
-                CatalogTier { label: "Gigabit X2", download_mbps: Some(2000.0), upload_mbps: Some(200.0), monthly_usd: 100.0, guaranteed: true },
+                CatalogTier {
+                    label: "Connect 150",
+                    download_mbps: Some(150.0),
+                    upload_mbps: Some(10.0),
+                    monthly_usd: 40.0,
+                    guaranteed: true,
+                },
+                CatalogTier {
+                    label: "Fast 400",
+                    download_mbps: Some(400.0),
+                    upload_mbps: Some(20.0),
+                    monthly_usd: 55.0,
+                    guaranteed: true,
+                },
+                CatalogTier {
+                    label: "Gigabit",
+                    download_mbps: Some(1000.0),
+                    upload_mbps: Some(35.0),
+                    monthly_usd: 70.0,
+                    guaranteed: true,
+                },
+                CatalogTier {
+                    label: "Gigabit X2",
+                    download_mbps: Some(2000.0),
+                    upload_mbps: Some(200.0),
+                    monthly_usd: 100.0,
+                    guaranteed: true,
+                },
             ],
             Isp::Spectrum => vec![
-                CatalogTier { label: "Internet 300", download_mbps: Some(300.0), upload_mbps: Some(10.0), monthly_usd: 50.0, guaranteed: true },
-                CatalogTier { label: "Internet Ultra 500", download_mbps: Some(500.0), upload_mbps: Some(20.0), monthly_usd: 70.0, guaranteed: true },
-                CatalogTier { label: "Internet Gig", download_mbps: Some(1000.0), upload_mbps: Some(35.0), monthly_usd: 90.0, guaranteed: true },
+                CatalogTier {
+                    label: "Internet 300",
+                    download_mbps: Some(300.0),
+                    upload_mbps: Some(10.0),
+                    monthly_usd: 50.0,
+                    guaranteed: true,
+                },
+                CatalogTier {
+                    label: "Internet Ultra 500",
+                    download_mbps: Some(500.0),
+                    upload_mbps: Some(20.0),
+                    monthly_usd: 70.0,
+                    guaranteed: true,
+                },
+                CatalogTier {
+                    label: "Internet Gig",
+                    download_mbps: Some(1000.0),
+                    upload_mbps: Some(35.0),
+                    monthly_usd: 90.0,
+                    guaranteed: true,
+                },
             ],
         };
         PlanCatalog { isp, tiers }

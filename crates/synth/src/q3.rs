@@ -23,8 +23,8 @@ use crate::plans::PlanCatalog;
 use crate::rng::{mix2, scoped_rng};
 use crate::truth::{AddressTruth, TruthTable};
 use caf_geo::{
-    Address, AddressId, BlockGroupId, BlockId, CountyId, LatLon, StateFips, StreetAddress,
-    TractId, UsState,
+    Address, AddressId, BlockGroupId, BlockId, CountyId, LatLon, StateFips, StreetAddress, TractId,
+    UsState,
 };
 use rand::Rng;
 
@@ -155,11 +155,7 @@ impl Q3World {
 
     /// Total CAF / non-CAF addresses across blocks.
     pub fn address_totals(&self) -> (usize, usize) {
-        let caf = self
-            .blocks
-            .iter()
-            .map(|b| b.caf_addresses().count())
-            .sum();
+        let caf = self.blocks.iter().map(|b| b.caf_addresses().count()).sum();
         let non_caf = self
             .blocks
             .iter()
@@ -192,7 +188,6 @@ fn latent_type_weights() -> [(LatentBlockType, f64); 4] {
     ]
 }
 
-
 /// Sorted distinct specified-speed tiers of a catalog, ascending.
 fn tier_grid(catalog: &PlanCatalog) -> Vec<f64> {
     let mut grid: Vec<f64> = catalog
@@ -209,8 +204,14 @@ fn tier_grid(catalog: &PlanCatalog) -> Vec<f64> {
 /// tier; if it would collapse onto the same tier, returns the next tier
 /// down (or half the reference if already at the bottom).
 fn escape_tier_below(catalog: &PlanCatalog, reference: f64, candidate: f64) -> f64 {
-    let ref_tier = catalog.tier_near(reference).download_mbps.expect("specified");
-    let cand_tier = catalog.tier_near(candidate).download_mbps.expect("specified");
+    let ref_tier = catalog
+        .tier_near(reference)
+        .download_mbps
+        .expect("specified");
+    let cand_tier = catalog
+        .tier_near(candidate)
+        .download_mbps
+        .expect("specified");
     if cand_tier < ref_tier {
         return candidate;
     }
@@ -226,8 +227,14 @@ fn escape_tier_below(catalog: &PlanCatalog, reference: f64, candidate: f64) -> f
 /// tier; if it would collapse, returns the next tier up (or double the
 /// reference if already at the top).
 fn escape_tier_above(catalog: &PlanCatalog, reference: f64, candidate: f64) -> f64 {
-    let ref_tier = catalog.tier_near(reference).download_mbps.expect("specified");
-    let cand_tier = catalog.tier_near(candidate).download_mbps.expect("specified");
+    let ref_tier = catalog
+        .tier_near(reference)
+        .download_mbps
+        .expect("specified");
+    let cand_tier = catalog
+        .tier_near(candidate)
+        .download_mbps
+        .expect("specified");
     if cand_tier > ref_tier {
         return candidate;
     }
@@ -259,8 +266,8 @@ fn build_block(
     let fips = StateFips::new(state.fips().code()).expect("registry fips valid");
     let county_code = 800 + ((counter / 81) / 999_999) as u16;
     let county = CountyId::new(fips, county_code).expect("county in range");
-    let tract = TractId::new(county, 1 + ((counter / 81) % 999_999) as u32)
-        .expect("tract in range");
+    let tract =
+        TractId::new(county, 1 + ((counter / 81) % 999_999) as u32).expect("tract in range");
     let group = BlockGroupId::new(tract, 1 + ((counter / 9) % 9) as u8).expect("digit in range");
     let id = BlockId::new(group, 1 + (counter % 9) as u16).expect("suffix in range");
 
@@ -281,10 +288,7 @@ fn build_block(
 
     // Figure 6a: competition-adjacent blocks ride an infrastructure
     // spillover.
-    let has_competition = matches!(
-        latent_type,
-        LatentBlockType::TypeB | LatentBlockType::TypeC
-    );
+    let has_competition = matches!(latent_type, LatentBlockType::TypeB | LatentBlockType::TypeC);
     if has_competition {
         let (p, boost_mu, boost_sigma) = CalibrationParams::type_b_spillover();
         if dist::bernoulli(&mut rng, p) {
@@ -358,9 +362,7 @@ fn build_block(
     let mut addresses: Vec<Q3Address> = Vec::with_capacity((caf_n + non_caf_n) as usize);
     // Id space: state FIPS · 10⁹ + 5·10⁸ offset keeps Q3 ids disjoint
     // from the Q1 USAC ids.
-    let id_base = u64::from(state.fips().code()) * 1_000_000_000
-        + 500_000_000
-        + counter * 4_000;
+    let id_base = u64::from(state.fips().code()) * 1_000_000_000 + 500_000_000 + counter * 4_000;
 
     let make_address = |rng: &mut rand::rngs::StdRng, i: u64| -> Address {
         let jitter_lat = rng.gen_range(-0.005..0.005);
@@ -478,10 +480,7 @@ mod tests {
     use super::*;
 
     fn cfg() -> SynthConfig {
-        SynthConfig {
-            seed: 9,
-            scale: 40,
-        }
+        SynthConfig { seed: 9, scale: 40 }
     }
 
     fn world(state: UsState) -> (Q3World, TruthTable) {
@@ -551,7 +550,11 @@ mod tests {
     #[test]
     fn type_b_blocks_have_no_monopoly_mode() {
         let (w, truth) = world(UsState::Ohio);
-        for block in w.blocks.iter().filter(|b| b.latent_type == LatentBlockType::TypeB) {
+        for block in w
+            .blocks
+            .iter()
+            .filter(|b| b.latent_type == LatentBlockType::TypeB)
+        {
             let comp = block.competitors[0];
             for a in block.non_caf_addresses() {
                 let caf_truth = truth.get(a.address.id, block.caf_isp).unwrap();

@@ -95,7 +95,11 @@ pub fn generate_speedtests(
         let Some(advertised) = address_truth.max_download_mbps() else {
             continue; // tier-less plans advertise nothing to measure against
         };
-        let mut rng = scoped_rng(seed, "speedtest", mix2(record.address.id.0, record.isp.id(), 3));
+        let mut rng = scoped_rng(
+            seed,
+            "speedtest",
+            mix2(record.address.id.0, record.isp.id(), 3),
+        );
         if !dist::bernoulli(&mut rng, participation) {
             continue;
         }
@@ -127,10 +131,7 @@ mod tests {
     use caf_geo::UsState;
 
     fn world_bits() -> (UsacDataset, TruthTable) {
-        let cfg = SynthConfig {
-            seed: 3,
-            scale: 30,
-        };
+        let cfg = SynthConfig { seed: 3, scale: 30 };
         let geo = StateGeography::build(&cfg, UsState::Vermont);
         let usac = UsacDataset::build(&cfg, &geo);
         let truth = TruthTable::build_q1(&cfg, &geo, &usac);
@@ -155,8 +156,7 @@ mod tests {
     fn experienced_falls_short_of_advertised_on_average() {
         let (usac, truth) = world_bits();
         let tests = generate_speedtests(3, &usac, &truth, 0.8);
-        let mean_ratio =
-            tests.iter().map(|t| t.delivery_ratio()).sum::<f64>() / tests.len() as f64;
+        let mean_ratio = tests.iter().map(|t| t.delivery_ratio()).sum::<f64>() / tests.len() as f64;
         assert!(
             (0.5..0.95).contains(&mean_ratio),
             "mean delivery ratio {mean_ratio}"

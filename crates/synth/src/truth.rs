@@ -118,11 +118,7 @@ impl TruthTable {
 
     /// Builds the Q1/Q2 truth for a state: one entry per certified CAF
     /// address, keyed by the certifying ISP.
-    pub fn build_q1(
-        config: &SynthConfig,
-        geo: &StateGeography,
-        usac: &UsacDataset,
-    ) -> TruthTable {
+    pub fn build_q1(config: &SynthConfig, geo: &StateGeography, usac: &UsacDataset) -> TruthTable {
         let mut table = TruthTable::new();
         let state = geo.state;
         for cbg in &geo.cbgs {
@@ -132,8 +128,7 @@ impl TruthTable {
             let base = CalibrationParams::serviceability_base(isp, state);
             let coupling = CalibrationParams::density_coupling(isp, state);
             let kappa = CalibrationParams::serviceability_concentration(isp);
-            let modulated =
-                (base * (1.0 + coupling * (cbg.density_pct - 0.5))).clamp(0.02, 0.98);
+            let modulated = (base * (1.0 + coupling * (cbg.density_pct - 0.5))).clamp(0.02, 0.98);
             let mut cbg_rng = scoped_rng(config.seed, "truth-cbg", cbg.id.geoid());
             let cbg_rate = dist::beta_mean_conc(&mut cbg_rng, modulated, kappa);
 
@@ -141,8 +136,7 @@ impl TruthTable {
             for &record_idx in usac.records_in_cbg(isp, cbg.id) {
                 let record = &usac.records[record_idx];
                 let addr = record.address.id;
-                let mut rng =
-                    scoped_rng(config.seed, "truth-addr", mix2(addr.0, isp.id(), 1));
+                let mut rng = scoped_rng(config.seed, "truth-addr", mix2(addr.0, isp.id(), 1));
                 let truth = draw_truth(&mut rng, isp, &catalog, cbg_rate);
                 table.insert(addr, isp, truth);
             }
@@ -220,10 +214,7 @@ mod tests {
     use caf_geo::UsState;
 
     fn cfg() -> SynthConfig {
-        SynthConfig {
-            seed: 5,
-            scale: 20,
-        }
+        SynthConfig { seed: 5, scale: 20 }
     }
 
     fn truth_for(state: UsState) -> (StateGeography, UsacDataset, TruthTable) {
@@ -272,12 +263,7 @@ mod tests {
                 }
                 let served = idxs
                     .iter()
-                    .filter(|&&i| {
-                        truth
-                            .get(usac.records[i].address.id, isp)
-                            .unwrap()
-                            .served
-                    })
+                    .filter(|&&i| truth.get(usac.records[i].address.id, isp).unwrap().served)
                     .count();
                 cbg_rates.push(served as f64 / idxs.len() as f64);
             }
@@ -303,17 +289,24 @@ mod tests {
             }
             let served = idxs
                 .iter()
-                .filter(|&&i| truth.get(usac.records[i].address.id, Isp::Att).unwrap().served)
+                .filter(|&&i| {
+                    truth
+                        .get(usac.records[i].address.id, Isp::Att)
+                        .unwrap()
+                        .served
+                })
                 .count();
             rates.push((cbg.density_pct, served as f64 / idxs.len() as f64));
         }
         assert!(rates.len() > 20, "need enough CBGs, got {}", rates.len());
         rates.sort_by(|a, b| a.0.total_cmp(&b.0));
         let third = rates.len() / 3;
-        let sparse: f64 =
-            rates[..third].iter().map(|r| r.1).sum::<f64>() / third as f64;
-        let dense: f64 =
-            rates[rates.len() - third..].iter().map(|r| r.1).sum::<f64>() / third as f64;
+        let sparse: f64 = rates[..third].iter().map(|r| r.1).sum::<f64>() / third as f64;
+        let dense: f64 = rates[rates.len() - third..]
+            .iter()
+            .map(|r| r.1)
+            .sum::<f64>()
+            / third as f64;
         assert!(
             dense > sparse + 0.08,
             "dense {dense} should exceed sparse {sparse}"
@@ -331,15 +324,23 @@ mod tests {
             }
             let served = idxs
                 .iter()
-                .filter(|&&i| truth.get(usac.records[i].address.id, Isp::Att).unwrap().served)
+                .filter(|&&i| {
+                    truth
+                        .get(usac.records[i].address.id, Isp::Att)
+                        .unwrap()
+                        .served
+                })
                 .count();
             rates.push((cbg.density_pct, served as f64 / idxs.len() as f64));
         }
         rates.sort_by(|a, b| a.0.total_cmp(&b.0));
         let third = rates.len() / 3;
         let sparse: f64 = rates[..third].iter().map(|r| r.1).sum::<f64>() / third as f64;
-        let dense: f64 =
-            rates[rates.len() - third..].iter().map(|r| r.1).sum::<f64>() / third as f64;
+        let dense: f64 = rates[rates.len() - third..]
+            .iter()
+            .map(|r| r.1)
+            .sum::<f64>()
+            / third as f64;
         assert!(
             (dense - sparse).abs() < 0.10,
             "MS coupling should be flat: sparse {sparse} dense {dense}"

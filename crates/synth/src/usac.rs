@@ -69,15 +69,35 @@ pub struct UsacDataset {
 
 /// Street-name lexicon for synthesized addresses.
 const STREET_NAMES: &[&str] = &[
-    "County Road 12", "State Route 9", "Old Mill Rd", "Cedar Ln", "Maple St",
-    "Church Rd", "Lakeview Dr", "Pine Hollow Rd", "Ridge Rd", "Valley View Ln",
-    "Farm-to-Market Rd", "Quarry Rd", "Orchard Ave", "Prairie Trl", "Hickory Ln",
+    "County Road 12",
+    "State Route 9",
+    "Old Mill Rd",
+    "Cedar Ln",
+    "Maple St",
+    "Church Rd",
+    "Lakeview Dr",
+    "Pine Hollow Rd",
+    "Ridge Rd",
+    "Valley View Ln",
+    "Farm-to-Market Rd",
+    "Quarry Rd",
+    "Orchard Ave",
+    "Prairie Trl",
+    "Hickory Ln",
 ];
 
 /// City-name lexicon (rural-flavored).
 const CITY_NAMES: &[&str] = &[
-    "Fairview", "Midway", "Oak Grove", "Pleasant Hill", "Cedar Springs",
-    "Riverton", "Milltown", "Georgetown", "Salem", "Clayton",
+    "Fairview",
+    "Midway",
+    "Oak Grove",
+    "Pleasant Hill",
+    "Cedar Springs",
+    "Riverton",
+    "Milltown",
+    "Georgetown",
+    "Salem",
+    "Clayton",
 ];
 
 impl UsacDataset {
@@ -206,8 +226,7 @@ impl UsacDataset {
             ("isp", isp.into_iter().collect::<Column>()),
             (
                 "state",
-                std::iter::repeat_n(self.state.abbrev(), n)
-                    .collect::<Column>(),
+                std::iter::repeat_n(self.state.abbrev(), n).collect::<Column>(),
             ),
             ("cbg", cbg.into_iter().collect::<Column>()),
             ("block", block.into_iter().collect::<Column>()),
@@ -264,12 +283,7 @@ impl NationalCafSummary {
             UsState::California,
             UsState::Missouri,
         ];
-        states.sort_by_key(|s| {
-            leaders
-                .iter()
-                .position(|l| l == s)
-                .unwrap_or(usize::MAX)
-        });
+        states.sort_by_key(|s| leaders.iter().position(|l| l == s).unwrap_or(usize::MAX));
         let n = states.len();
         let mut addr_weights: Vec<f64> = (0..n).map(|i| 0.95_f64.powi(i as i32)).collect();
         // Mild noise in the tail so no two runs are byte-identical across
@@ -445,9 +459,7 @@ mod tests {
             assert_eq!(ds.records[i].isp, isp);
         }
         // Missing cell yields empty.
-        assert!(ds
-            .records_in_cbg(Isp::Att, cbg)
-            .is_empty() || isp == Isp::Att);
+        assert!(ds.records_in_cbg(Isp::Att, cbg).is_empty() || isp == Isp::Att);
     }
 
     #[test]
@@ -456,10 +468,7 @@ mod tests {
         let df = ds.to_dataframe();
         assert_eq!(df.n_rows(), ds.records.len());
         assert!(df.has_column("certified_down"));
-        assert_eq!(
-            df.row(0).str("state").unwrap(),
-            "NH"
-        );
+        assert_eq!(df.row(0).str("state").unwrap(), "NH");
     }
 
     #[test]
@@ -487,7 +496,10 @@ mod tests {
             .map(|i| i.caf_funding_usd())
             .sum();
         let fund_share = top4_funds / NationalCafSummary::TOTAL_FUNDS_USD;
-        assert!((0.33..0.45).contains(&fund_share), "fund share {fund_share}");
+        assert!(
+            (0.33..0.45).contains(&fund_share),
+            "fund share {fund_share}"
+        );
         // Per-CB distribution: mean near 7.8, heavy tail.
         let mean = s.addresses_per_block.iter().map(|&x| x as f64).sum::<f64>()
             / s.addresses_per_block.len() as f64;

@@ -10,7 +10,9 @@ use crate::params::SynthConfig;
 use crate::q3::Q3World;
 use crate::truth::TruthTable;
 use crate::usac::UsacDataset;
+use caf_exec::EngineConfig;
 use caf_geo::UsState;
+use std::time::Instant;
 
 /// Everything generated for one state.
 #[derive(Debug, Clone)]
@@ -43,25 +45,72 @@ impl World {
         Self::generate_states(config, &UsState::study_states())
     }
 
+    /// Generates the world for all fifteen study states on a worker
+    /// pool (the `--workers` budget of the repro harness).
+    pub fn generate_on(config: SynthConfig, engine: EngineConfig) -> World {
+        Self::generate_states_on(config, &UsState::study_states(), engine)
+    }
+
     /// Generates the world for a subset of states (cheaper for tests and
     /// focused experiments).
     pub fn generate_states(config: SynthConfig, states: &[UsState]) -> World {
-        let mut truth = TruthTable::new();
-        let state_worlds: Vec<StateWorld> = states
-            .iter()
-            .map(|&state| {
+        Self::generate_states_on(config, states, EngineConfig::serial())
+    }
+
+    /// Generates the world for a subset of states across an engine
+    /// worker pool, fanning out per state.
+    ///
+    /// Output is **byte-identical at any worker count**: every stream in
+    /// the generators is entity-keyed (`crate::rng`), each state's unit
+    /// builds into its own local [`TruthTable`], and the partial tables
+    /// are merged in fixed state order. Truth keys are `(address, ISP)`
+    /// pairs and address ids are disjoint across states, so the merged
+    /// map's contents do not depend on scheduling. The contract is
+    /// pinned by `crates/tests/tests/parallel_cold_paths.rs`.
+    pub fn generate_states_on(
+        config: SynthConfig,
+        states: &[UsState],
+        engine: EngineConfig,
+    ) -> World {
+        let telemetry = caf_obs::enabled();
+        let _span = caf_obs::span("synth.world");
+        let wall_start = telemetry.then(Instant::now);
+        let workers = engine.for_units(states.len()).workers;
+        let partials: Vec<(StateWorld, TruthTable)> =
+            caf_exec::map_slice(workers, states, |_, &state| {
+                let _span = caf_obs::span_with(|| format!("world.{}", state.abbrev()));
+                let unit_start = telemetry.then(Instant::now);
                 let geography = StateGeography::build(&config, state);
                 let usac = UsacDataset::build(&config, &geography);
-                truth.merge(TruthTable::build_q1(&config, &geography, &usac));
+                let mut truth = TruthTable::build_q1(&config, &geography, &usac);
                 let q3 = Q3World::build(&config, state, &mut truth);
-                StateWorld {
-                    state,
-                    geography,
-                    usac,
-                    q3,
+                if let Some(start) = unit_start {
+                    let micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+                    caf_obs::observe("caf.synth.world.state_us", micros);
                 }
-            })
-            .collect();
+                (
+                    StateWorld {
+                        state,
+                        geography,
+                        usac,
+                        q3,
+                    },
+                    truth,
+                )
+            });
+        let mut truth = TruthTable::new();
+        let mut state_worlds = Vec::with_capacity(partials.len());
+        for (state_world, partial) in partials {
+            truth.merge(partial);
+            state_worlds.push(state_world);
+        }
+        if let Some(start) = wall_start {
+            let micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+            caf_obs::gauge("caf.synth.world.wall_us", micros);
+            caf_obs::gauge("caf.synth.world.workers", workers as u64);
+            caf_obs::gauge("caf.synth.world.states", states.len() as u64);
+            caf_obs::gauge("caf.synth.world.truth_entries", truth.len() as u64);
+        }
         World {
             config,
             states: state_worlds,
@@ -94,8 +143,7 @@ mod tests {
             seed: 21,
             scale: 40,
         };
-        let world =
-            World::generate_states(config, &[UsState::Vermont, UsState::Utah]);
+        let world = World::generate_states(config, &[UsState::Vermont, UsState::Utah]);
         assert_eq!(world.states.len(), 2);
         let vt = world.state(UsState::Vermont).unwrap();
         assert!(vt.q3.blocks.is_empty(), "Vermont is not a Q3 state");
@@ -106,6 +154,30 @@ mod tests {
         let usac_total: usize = world.states.iter().map(|s| s.usac.records.len()).sum();
         assert!(world.truth.len() >= usac_total);
         assert!(world.state(UsState::Ohio).is_none());
+    }
+
+    #[test]
+    fn parallel_generation_matches_serial() {
+        let config = SynthConfig {
+            seed: 23,
+            scale: 30,
+        };
+        let states = &UsState::study_states()[..4];
+        let serial = World::generate_states(config, states);
+        let parallel = World::generate_states_on(config, states, EngineConfig::with_workers(4));
+        assert_eq!(serial.truth.len(), parallel.truth.len());
+        assert_eq!(
+            format!("{:?}", serial.states),
+            format!("{:?}", parallel.states)
+        );
+        for sw in &serial.states {
+            for r in &sw.usac.records {
+                assert_eq!(
+                    format!("{:?}", serial.truth.get(r.address.id, r.isp)),
+                    format!("{:?}", parallel.truth.get(r.address.id, r.isp)),
+                );
+            }
+        }
     }
 
     #[test]

@@ -90,9 +90,7 @@ fn pipeline_is_deterministic_and_seed_sensitive() {
     let (_, a) = run_audit(4, 60, &[UsState::Utah]);
     let (_, b) = run_audit(4, 60, &[UsState::Utah]);
     let (_, c) = run_audit(5, 60, &[UsState::Utah]);
-    let rate = |ds: &caf_core::AuditDataset| {
-        ServiceabilityAnalysis::compute(ds).overall_rate()
-    };
+    let rate = |ds: &caf_core::AuditDataset| ServiceabilityAnalysis::compute(ds).overall_rate();
     assert_eq!(rate(&a), rate(&b), "same seed, same result");
     assert_eq!(a.rows.len(), b.rows.len());
     assert_ne!(rate(&a), rate(&c), "different seed, different draw");
@@ -130,8 +128,7 @@ fn geography_identifiers_flow_through_the_whole_pipeline() {
             row.cbg
         );
         // And the GEOID string round-trips through the display format.
-        let parsed: caf_geo::BlockGroupId =
-            row.cbg.to_string().parse().expect("GEOID parses");
+        let parsed: caf_geo::BlockGroupId = row.cbg.to_string().parse().expect("GEOID parses");
         assert_eq!(parsed, row.cbg);
     }
 }

@@ -1,0 +1,165 @@
+//! Cold-path determinism regression: world generation and bootstrap
+//! resampling must produce **identical** output at any engine worker
+//! count, mirroring what `determinism.rs` pins for the audit hot path.
+//!
+//! Both paths run on `caf_exec::map_slice` with entity-keyed randomness
+//! (per-state seeds for world generation, per-replicate streams for the
+//! bootstrap), so the worker count can only move wall-clock time, never
+//! bytes. The worker count for the parallel side is taken from the
+//! `CAF_EQUIV_WORKERS` environment variable (default 4) so CI can
+//! exercise two different pool shapes against the same pinned serial
+//! fingerprint.
+
+use caf_core::{EngineConfig, ServiceabilityAnalysis};
+use caf_geo::UsState;
+use caf_stats::{bootstrap_ci, bootstrap_ci_on, bootstrap_indices_ci, bootstrap_indices_ci_on};
+use caf_synth::{SynthConfig, World};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+const SEED: u64 = 0xCAF_C01D;
+const SCALE: u32 = 40;
+
+/// Worker count for the parallel side of every equivalence check.
+fn equiv_workers() -> usize {
+    std::env::var("CAF_EQUIV_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4)
+}
+
+fn states() -> [UsState; 4] {
+    [
+        UsState::Alabama,
+        UsState::Mississippi,
+        UsState::NewHampshire,
+        UsState::Vermont,
+    ]
+}
+
+/// A content fingerprint of a generated world: the full Debug rendering
+/// of every state (geography, USAC records, Q3 blocks) plus a truth
+/// probe for every (address, ISP) pair the state worlds reference. The
+/// truth table is a HashMap, so it is fingerprinted through keyed
+/// lookups rather than iteration order.
+fn world_fingerprint(world: &World) -> u64 {
+    let mut h = DefaultHasher::new();
+    format!("{:?}", world.states).hash(&mut h);
+    world.truth.len().hash(&mut h);
+    for sw in &world.states {
+        for r in &sw.usac.records {
+            format!("{:?}", world.truth.get(r.address.id, r.isp)).hash(&mut h);
+        }
+        for block in &sw.q3.blocks {
+            for a in &block.addresses {
+                format!("{:?}", world.truth.get(a.address.id, block.caf_isp)).hash(&mut h);
+            }
+        }
+    }
+    h.finish()
+}
+
+#[test]
+fn worker_count_does_not_change_generated_world() {
+    let config = SynthConfig {
+        seed: SEED,
+        scale: SCALE,
+    };
+    let serial = World::generate_states(config, &states());
+    let serial_print = world_fingerprint(&serial);
+
+    let workers = equiv_workers();
+    let parallel =
+        World::generate_states_on(config, &states(), EngineConfig::with_workers(workers));
+    assert_eq!(
+        world_fingerprint(&parallel),
+        serial_print,
+        "world fingerprint diverged at {workers} workers"
+    );
+
+    // Guard against the degenerate explanation (a fingerprint blind to
+    // its input would also be "deterministic").
+    let other = World::generate_states(
+        SynthConfig {
+            seed: SEED ^ 0x5DEECE66D,
+            scale: SCALE,
+        },
+        &states(),
+    );
+    assert_ne!(
+        world_fingerprint(&other),
+        serial_print,
+        "distinct seeds must produce distinct worlds"
+    );
+}
+
+#[test]
+fn worker_count_does_not_change_bootstrap_cis() {
+    let workers = equiv_workers();
+
+    // Synthetic but non-trivial sample: a deterministic sawtooth with a
+    // heavy tail, so the replicate means actually spread.
+    let sample: Vec<f64> = (0..257)
+        .map(|i| ((i * 37 % 101) as f64) + if i % 11 == 0 { 50.0 } else { 0.0 })
+        .collect();
+    let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+
+    let serial = bootstrap_ci(&sample, mean, 500, 0.95, SEED).unwrap();
+    for w in [1usize, workers] {
+        let engine = EngineConfig::with_workers(w);
+        let parallel = bootstrap_ci_on(engine, &sample, mean, 500, 0.95, SEED).unwrap();
+        assert_eq!(serial, parallel, "bootstrap_ci diverged at {w} workers");
+    }
+
+    // The index variant shares the same replicate streams.
+    let indexed = bootstrap_indices_ci(
+        sample.len(),
+        |idx| idx.iter().map(|&i| sample[i]).sum::<f64>() / idx.len() as f64,
+        500,
+        0.95,
+        SEED,
+    )
+    .unwrap();
+    assert_eq!(serial, indexed);
+    let indexed_parallel = bootstrap_indices_ci_on(
+        EngineConfig::with_workers(workers),
+        sample.len(),
+        |idx| idx.iter().map(|&i| sample[i]).sum::<f64>() / idx.len() as f64,
+        500,
+        0.95,
+        SEED,
+    )
+    .unwrap();
+    assert_eq!(serial, indexed_parallel);
+}
+
+#[test]
+fn worker_count_does_not_change_pipeline_cis() {
+    // End to end: the Q1 serviceability CI resamples real audit rows
+    // through the engine-aware bootstrap. Serial and parallel runs of
+    // the full world → audit → CI pipeline must agree to the bit.
+    let workers = equiv_workers();
+    let synth = SynthConfig { seed: 7, scale: 30 };
+    let run = |engine: EngineConfig| {
+        let world = World::generate_states_on(synth, &states()[..2], engine);
+        let audit = caf_core::Audit::new(caf_core::AuditConfig {
+            synth,
+            campaign: caf_bqt::CampaignConfig {
+                seed: synth.seed,
+                workers: 2,
+                ..caf_bqt::CampaignConfig::default()
+            },
+            rule: caf_core::SamplingRule::paper(),
+            resample_rounds: 1,
+        });
+        let dataset = audit.run_with(&world, engine);
+        let analysis = ServiceabilityAnalysis::compute(&dataset);
+        analysis.overall_rate_ci_on(engine, 400, 0.95, 99).unwrap()
+    };
+    let serial = run(EngineConfig::serial());
+    let parallel = run(EngineConfig::with_workers(workers));
+    assert_eq!(
+        serial, parallel,
+        "pipeline CI diverged at {workers} workers"
+    );
+}

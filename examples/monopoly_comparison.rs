@@ -47,7 +47,12 @@ fn main() {
 
     if let Some([better, tie, worse]) = analysis.type_a_outcomes() {
         println!("\nRegulated vs unregulated monopoly (Type A blocks):");
-        println!("  CAF better {:5.1} %   identical {:5.1} %   monopoly better {:5.1} %", 100.0 * better, 100.0 * tie, 100.0 * worse);
+        println!(
+            "  CAF better {:5.1} %   identical {:5.1} %   monopoly better {:5.1} %",
+            100.0 * better,
+            100.0 * tie,
+            100.0 * worse
+        );
         println!("  (paper: 27 % / 54 % / 17 % — regulation helps, inconsistently)");
     }
 

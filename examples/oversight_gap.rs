@@ -26,7 +26,10 @@ fn main() {
         workers: 4,
         ..CampaignConfig::default()
     };
-    println!("Building AT&T's worst states (MS, GA) at 1:{} scale ...\n", synth.scale);
+    println!(
+        "Building AT&T's worst states (MS, GA) at 1:{} scale ...\n",
+        synth.scale
+    );
     let world = World::generate_states(synth, &[UsState::Mississippi, UsState::Georgia]);
 
     // Layer 1: what the ISP certifies (always compliant, by construction).
@@ -68,7 +71,12 @@ fn main() {
     // Layer 4: what subscribers actually measure.
     let mut tests = Vec::new();
     for sw in &world.states {
-        tests.extend(generate_speedtests(synth.seed, &sw.usac, &world.truth, 0.25));
+        tests.extend(generate_speedtests(
+            synth.seed,
+            &sw.usac,
+            &world.truth,
+            0.25,
+        ));
     }
     let experienced = ExperiencedAnalysis::compute(&tests);
     println!(

@@ -22,7 +22,10 @@ fn main() {
         workers: 4,
         ..CampaignConfig::default()
     };
-    println!("Building AT&T territory (MS, GA, AL) at 1:{} scale ...\n", synth.scale);
+    println!(
+        "Building AT&T territory (MS, GA, AL) at 1:{} scale ...\n",
+        synth.scale
+    );
     let world = World::generate_states(
         synth,
         &[UsState::Mississippi, UsState::Georgia, UsState::Alabama],
@@ -42,7 +45,10 @@ fn main() {
         "Figure 9 — estimate error vs sampling rate ({} qualifying CBGs):",
         sweep.cbgs_used
     );
-    println!("  {:>6} {:>16} {:>16}", "rate", "mean |err| pts", "max |err| pts");
+    println!(
+        "  {:>6} {:>16} {:>16}",
+        "rate", "mean |err| pts", "max |err| pts"
+    );
     for point in &sweep.sweep {
         println!(
             "  {:>5.0}% {:>16.2} {:>16.2}",

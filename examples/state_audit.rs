@@ -10,9 +10,7 @@
 
 use caf_bqt::CampaignConfig;
 use caf_core::coverage::CoverageSeries;
-use caf_core::{
-    Audit, AuditConfig, ComplianceAnalysis, SamplingRule, ServiceabilityAnalysis,
-};
+use caf_core::{Audit, AuditConfig, ComplianceAnalysis, SamplingRule, ServiceabilityAnalysis};
 use caf_geo::UsState;
 use caf_synth::{Isp, SynthConfig, World};
 
@@ -26,10 +24,7 @@ fn main() {
         std::process::exit(2);
     }
 
-    let synth = SynthConfig {
-        seed: 7,
-        scale: 30,
-    };
+    let synth = SynthConfig { seed: 7, scale: 30 };
     println!("Auditing {} at 1:{} scale ...\n", state.name(), synth.scale);
     let world = World::generate_states(synth, &[state]);
     let audit = Audit::new(AuditConfig {
@@ -65,7 +60,10 @@ fn main() {
     println!("\n== Density coupling (Figure 3's analysis) ==");
     for isp in Isp::audited() {
         if let Some((r, rho)) = serviceability.density_correlation(isp, state) {
-            println!("  {:<13} pearson(log density) {r:+.3}   spearman {rho:+.3}", isp.name());
+            println!(
+                "  {:<13} pearson(log density) {r:+.3}   spearman {rho:+.3}",
+                isp.name()
+            );
         }
     }
 
