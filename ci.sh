@@ -6,9 +6,10 @@
 # deny-warnings across every target (lib, bins, benches, tests), the
 # cold-path equivalence suite at two different worker-pool shapes, a
 # quick world-bench run whose `BENCH_world.json` must pass the caf-obs
-# schema gate, and an observability smoke run — a tiny repro experiment
-# with `--metrics` whose run report must pass the full metrics_check
-# gate.
+# schema gate (and, on hosts with >= 4 cores, the shard scheduler's
+# 4-worker speedup gate), and an observability smoke run — a tiny repro
+# experiment with `--metrics` whose run report must pass the full
+# metrics_check gate.
 #
 # Usage: ./ci.sh
 set -euo pipefail
@@ -33,6 +34,18 @@ CAF_EQUIV_WORKERS=5 cargo test -q -p caf-tests --test parallel_cold_paths
 echo "==> world bench smoke: BENCH_world.json + schema gate"
 CAF_BENCH_WORLD_QUICK=1 cargo bench -q -p caf-bench --bench world
 cargo run --release -q -p caf-bench --bin metrics_check -- --schema-only BENCH_world.json
+
+# Speedup regression gate for the cost-aware shard scheduler: the
+# 4-worker world build must not be slower than the 1-worker build.
+# Only meaningful with real parallelism, so skip on small hosts.
+cores=$(nproc 2>/dev/null || echo 1)
+if [ "$cores" -ge 4 ]; then
+  echo "==> world bench speedup gate (host has $cores cores)"
+  cargo run --release -q -p caf-bench --bin metrics_check -- \
+    --schema-only --min-world-speedup 1.0 BENCH_world.json
+else
+  echo "==> skipping world bench speedup gate (host has $cores cores, need 4)"
+fi
 
 echo "==> observability smoke: repro --metrics + schema gate"
 smoke_report=$(mktemp /tmp/caf_obs_smoke.XXXXXX.json)

@@ -4,7 +4,7 @@
 //! engine-aware bootstrap next to its serial form.
 //!
 //! After the criterion groups run, the harness performs one instrumented
-//! world build per worker count (plus a bootstrap pass) under the
+//! bootstrap pass and one world build per worker count under the
 //! caf-obs telemetry layer and writes a one-line machine-readable
 //! summary to `BENCH_world.json` at the repository root — the same
 //! run-report format as `BENCH_engine.json`, so the same tooling parses
@@ -85,13 +85,39 @@ fn bench_bootstrap(c: &mut Criterion) {
     group.finish();
 }
 
-/// Runs one world build per worker count (and one bootstrap pass) with
+/// Runs one bootstrap pass and one world build per worker count with
 /// telemetry enabled and writes the resulting run report as a single
 /// line of compact JSON to `BENCH_world.json` at the repository root.
-/// The measured 1-vs-4-worker speedup lands in the report metadata.
+/// The measured 1-vs-4-worker speedups land in the report metadata.
+///
+/// The bootstrap sweep runs *before* the world sweep so the
+/// last-written gauges describe the runs the metadata names: the
+/// `caf.stats.bootstrap.workers` gauge is left by the sweep's final
+/// (4-worker) bootstrap — it used to read `1` here because a single
+/// trailing auto-sized bootstrap overwrote the sweep's gauge on 1-core
+/// CI boxes — and the `caf.exec.*` gauges (shard count, estimated
+/// makespan, post-shard skew) are left by the 4-worker world build the
+/// speedup metadata quotes.
 fn write_bench_summary() {
     caf_obs::set_enabled(true);
     caf_obs::registry().reset();
+    let sample: Vec<f64> = (0..4096).map(|i| ((i * 37) % 101) as f64).collect();
+    let mut bootstrap_wall = std::collections::BTreeMap::new();
+    for workers in [1usize, 2, 4] {
+        let _span = caf_obs::span_with(|| format!("bench.world.bootstrap_workers_{workers}"));
+        let start = Instant::now();
+        let ci = bootstrap_indices_ci_on(
+            EngineConfig::with_workers(workers),
+            sample.len(),
+            |idx| idx.iter().map(|&i| sample[i]).sum::<f64>() / idx.len() as f64,
+            REPLICATES,
+            0.95,
+            SEED,
+        )
+        .unwrap();
+        bootstrap_wall.insert(workers, start.elapsed().as_secs_f64());
+        black_box(ci);
+    }
     let mut wall = std::collections::BTreeMap::new();
     for workers in [1usize, 2, 4] {
         let _span = caf_obs::span_with(|| format!("bench.world.workers_{workers}"));
@@ -104,23 +130,10 @@ fn write_bench_summary() {
         wall.insert(workers, start.elapsed().as_secs_f64());
         black_box(world.truth.len());
     }
-    {
-        let _span = caf_obs::span("bench.world.bootstrap_auto");
-        let sample: Vec<f64> = (0..4096).map(|i| ((i * 37) % 101) as f64).collect();
-        let ci = bootstrap_indices_ci_on(
-            EngineConfig::auto(),
-            sample.len(),
-            |idx| idx.iter().map(|&i| sample[i]).sum::<f64>() / idx.len() as f64,
-            REPLICATES,
-            0.95,
-            SEED,
-        )
-        .unwrap();
-        black_box(ci);
-    }
     caf_obs::set_enabled(false);
 
     let speedup_4w = wall[&1] / wall[&4].max(f64::EPSILON);
+    let bootstrap_speedup_4w = bootstrap_wall[&1] / bootstrap_wall[&4].max(f64::EPSILON);
     let mut meta = std::collections::BTreeMap::new();
     meta.insert("tool".to_string(), "bench_world".to_string());
     meta.insert("seed".to_string(), SEED.to_string());
@@ -131,6 +144,16 @@ fn write_bench_summary() {
         "world_speedup_4_workers".to_string(),
         format!("{speedup_4w:.2}"),
     );
+    meta.insert(
+        "bootstrap_speedup_4_workers".to_string(),
+        format!("{bootstrap_speedup_4w:.2}"),
+    );
+    for (workers, seconds) in &wall {
+        meta.insert(
+            format!("world_wall_s_workers_{workers}"),
+            format!("{seconds:.3}"),
+        );
+    }
     let report = caf_obs::RunReport::collect(meta);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_world.json");
     let mut line = report.to_json();

@@ -16,6 +16,13 @@
 //! different pipeline (e.g. `BENCH_world.json`, which records world
 //! generation and bootstrap spans, not an audit).
 //!
+//! `--min-world-speedup X` additionally reads the
+//! `world_speedup_4_workers` metadata that the world bench records
+//! (1-worker wall over 4-worker wall) and fails if it is below `X` —
+//! the CI regression gate for the cost-aware shard scheduler. `ci.sh`
+//! only passes the flag on hosts with at least 4 cores, where the
+//! speedup is meaningful.
+//!
 //! Exits non-zero with a message on the first violation, so `ci.sh` can
 //! use it as a schema-drift gate.
 
@@ -38,15 +45,26 @@ fn section<'a>(report: &'a Json, name: &str) -> &'a [(String, Json)] {
 
 fn main() {
     let mut schema_only = false;
+    let mut min_world_speedup: Option<f64> = None;
     let mut path: Option<String> = None;
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--schema-only" => schema_only = true,
+            "--min-world-speedup" => {
+                min_world_speedup = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| fail("--min-world-speedup needs a number")),
+                );
+            }
             other if path.is_none() => path = Some(other.to_string()),
             other => fail(&format!("unexpected argument {other:?}")),
         }
     }
-    let path = path.unwrap_or_else(|| fail("usage: metrics_check [--schema-only] <report.json>"));
+    let path = path.unwrap_or_else(|| {
+        fail("usage: metrics_check [--schema-only] [--min-world-speedup X] <report.json>")
+    });
     let text = std::fs::read_to_string(&path)
         .unwrap_or_else(|error| fail(&format!("cannot read {path}: {error}")));
     let report = validate_report_json(&text)
@@ -82,6 +100,26 @@ fn main() {
         {
             fail("gauge `caf.core.engine.workers.effective` missing");
         }
+    }
+
+    if let Some(min) = min_world_speedup {
+        let meta = report
+            .get("meta")
+            .and_then(Json::as_obj)
+            .unwrap_or_else(|| fail("report has no meta object"));
+        let speedup = meta
+            .iter()
+            .find(|(name, _)| name == "world_speedup_4_workers")
+            .and_then(|(_, value)| value.as_str())
+            .and_then(|s| s.parse::<f64>().ok())
+            .unwrap_or_else(|| fail("meta `world_speedup_4_workers` missing or not a number"));
+        if speedup < min {
+            fail(&format!(
+                "world_speedup_4_workers {speedup:.2} is below the required {min:.2} \
+                 — the shard scheduler regressed (see DESIGN.md §2.1)"
+            ));
+        }
+        println!("metrics_check: world_speedup_4_workers {speedup:.2} >= {min:.2}");
     }
 
     let mode = if schema_only { " [schema only]" } else { "" };

@@ -22,7 +22,7 @@ use caf_geo::{AddressId, BlockGroupId, LatLon, UsState};
 use caf_synth::{BroadbandPlan, Isp, StateWorld, SynthConfig, TruthTable, World};
 use std::collections::HashMap;
 
-use crate::engine::{map_slice, EngineConfig};
+use crate::engine::{map_units, CostHint, EngineConfig};
 use crate::sampling::{SamplingPlan, SamplingRule};
 
 /// Configuration of a full audit.
@@ -223,19 +223,44 @@ impl Audit {
         self.run_units(&units, &world.truth, engine)
     }
 
-    /// Runs the per-state units on the engine pool and merges partials
-    /// in unit order.
+    /// Runs the per-state units on the engine pool — sharded by
+    /// contiguous (ISP, CBG) cell ranges when a state's estimated query
+    /// volume dominates the per-worker share — and merges partials in
+    /// unit order.
+    ///
+    /// Reassembly reproduces the unsharded record stream exactly: the
+    /// full-state loop emits records *round-major* (all of round 0 in
+    /// cell order, then round 1, ...), every query record is a pure
+    /// function of (seed, address, ISP), and replacements are drawn
+    /// per cell — so concatenating the shards' per-round groups within
+    /// each round, rounds in order, is byte-identical to the whole-state
+    /// run at any worker count or shard policy.
     fn run_units(
         &self,
         units: &[&StateWorld],
         truth: &TruthTable,
         engine: EngineConfig,
     ) -> AuditDataset {
-        // Clamp the pool to the actual unit count and report both sides
-        // of the clamp — `workers.configured` is what the caller asked
-        // for, `workers.effective` is what can actually run.
+        // Cost hints: a cell's cost is its primary sample size — the
+        // query volume the campaign will push through it.
+        let hints: Vec<CostHint> = units
+            .iter()
+            .map(|state_world| {
+                CostHint::PerElement(
+                    state_world
+                        .usac
+                        .cbg_cells()
+                        .map(|(_, _, indices)| self.config.rule.sample_size(indices.len()) as u64)
+                        .collect(),
+                )
+            })
+            .collect();
+        let plan = engine.plan(&hints);
+        // Report both sides of the clamp — `workers.configured` is what
+        // the caller asked for, `workers.effective` is what the shard
+        // count can actually keep busy.
         let configured = engine.workers;
-        let engine = engine.for_units(units.len());
+        let engine = engine.for_plan(&plan);
         caf_obs::gauge("caf.core.engine.workers.configured", configured as u64);
         caf_obs::gauge("caf.core.engine.workers.effective", engine.workers as u64);
         caf_obs::gauge("caf.core.engine.units", units.len() as u64);
@@ -248,17 +273,33 @@ impl Audit {
                 .campaign
                 .with_workers(engine.nested_campaign_workers(self.config.campaign.workers)),
         );
-        let partials = map_slice(engine.workers, units, |_, state_world| {
-            self.audit_state(&campaign, truth, state_world)
+        let unit_partials = map_units(&plan, |shard| {
+            self.audit_cells(&campaign, truth, units[shard.unit], shard.range.clone())
         });
         let _merge_span = caf_obs::span("merge");
         let mut rows = Vec::new();
         let mut records = Vec::new();
         let mut coverage = Vec::new();
-        for partial in partials {
-            rows.extend(partial.rows);
-            records.extend(partial.records);
-            coverage.extend(partial.coverage);
+        for partials in unit_partials {
+            let rounds = partials
+                .iter()
+                .map(|p| p.rows_by_round.len())
+                .max()
+                .unwrap_or(0);
+            let mut partials: Vec<StatePartial> = partials;
+            for round in 0..rounds {
+                for partial in &mut partials {
+                    if let Some(round_rows) = partial.rows_by_round.get_mut(round) {
+                        rows.append(round_rows);
+                    }
+                    if let Some(round_records) = partial.records_by_round.get_mut(round) {
+                        records.append(round_records);
+                    }
+                }
+            }
+            for partial in partials {
+                coverage.extend(partial.coverage);
+            }
         }
         caf_obs::count("caf.core.audit.rows", rows.len() as u64);
         caf_obs::count("caf.core.audit.records", records.len() as u64);
@@ -269,25 +310,29 @@ impl Audit {
         }
     }
 
-    /// One state's sample → query → resample unit — the body of the
-    /// paper's data-collection loop, scheduling-independent by
-    /// construction (every draw is keyed by seed + entity).
-    fn audit_state(
+    /// One shard of a state's sample → query → resample loop, covering
+    /// a contiguous (ISP, CBG) cell range — the whole state when the
+    /// scheduler left the unit unsplit. Scheduling-independent by
+    /// construction (every draw is keyed by seed + entity), with rows
+    /// and records grouped per resample round so [`Audit::run_units`]
+    /// can reassemble the state's round-major stream across shards.
+    fn audit_cells(
         &self,
         campaign: &Campaign,
         truth: &TruthTable,
         state_world: &StateWorld,
+        cells: std::ops::Range<usize>,
     ) -> StatePartial {
         // On a pool worker the thread-local span stack is empty, so this
         // roots a per-state hierarchy (`state.VT/sample`, ...) no matter
-        // which worker picked the unit up.
+        // which worker picked the unit (or shard) up.
         let _state_span = caf_obs::span_with(|| format!("state.{}", state_world.state.abbrev()));
-        let mut rows = Vec::new();
-        let mut records = Vec::new();
+        let mut rows_by_round: Vec<Vec<AuditRow>> = Vec::new();
+        let mut records_by_round: Vec<Vec<QueryRecord>> = Vec::new();
         let mut coverage = Vec::new();
         let plan = {
             let _span = caf_obs::span("sample");
-            SamplingPlan::draw(self.config.synth.seed, state_world, self.config.rule)
+            SamplingPlan::draw_cells(self.config.synth.seed, state_world, self.config.rule, cells)
         };
 
         // CBG metadata lookup for row construction.
@@ -325,6 +370,8 @@ impl Audit {
         while !tasks.is_empty() {
             let _round_span = caf_obs::span(if round == 0 { "campaign" } else { "resample" });
             let result: CampaignResult = campaign.run(truth, &tasks);
+            let mut rows: Vec<AuditRow> = Vec::new();
+            let mut records: Vec<QueryRecord> = Vec::new();
             let mut next_tasks: Vec<QueryTask> = Vec::new();
             for record in result.records {
                 let cell_idx = cell_of[&record.address];
@@ -377,6 +424,8 @@ impl Audit {
                 }
                 records.push(record);
             }
+            rows_by_round.push(rows);
+            records_by_round.push(records);
             tasks = next_tasks;
             round += 1;
         }
@@ -392,17 +441,19 @@ impl Audit {
         }
 
         StatePartial {
-            rows,
-            records,
+            rows_by_round,
+            records_by_round,
             coverage,
         }
     }
 }
 
-/// One state unit's output, merged positionally by the engine.
+/// One shard's output: rows and records grouped by resample round (the
+/// unsharded stream is round-major, so shards must be re-interleaved
+/// per round), coverage per cell in cell order.
 struct StatePartial {
-    rows: Vec<AuditRow>,
-    records: Vec<QueryRecord>,
+    rows_by_round: Vec<Vec<AuditRow>>,
+    records_by_round: Vec<Vec<QueryRecord>>,
     coverage: Vec<CbgCoverage>,
 }
 
@@ -534,6 +585,39 @@ mod tests {
         let serial = audit.run_with(&world, crate::engine::EngineConfig::serial());
         let parallel = audit.run_with(&world, crate::engine::EngineConfig::with_workers(4));
         datasets_equal(&serial, &parallel);
+    }
+
+    #[test]
+    fn shard_policies_do_not_change_output() {
+        use crate::engine::ShardPolicy;
+        let synth = SynthConfig {
+            seed: 55,
+            scale: 40,
+        };
+        let world = World::generate_states(synth, &[UsState::Vermont, UsState::Utah]);
+        let audit = Audit::new(AuditConfig {
+            synth,
+            campaign: CampaignConfig {
+                seed: synth.seed,
+                workers: 2,
+                ..CampaignConfig::default()
+            },
+            rule: SamplingRule::paper(),
+            resample_rounds: 2,
+        });
+        let baseline = audit.run_with(
+            &world,
+            crate::engine::EngineConfig::serial().with_shard_policy(ShardPolicy::disabled()),
+        );
+        for policy in [ShardPolicy::default_policy(), ShardPolicy::finest()] {
+            for workers in [1usize, 4] {
+                let sharded = audit.run_with(
+                    &world,
+                    crate::engine::EngineConfig::with_workers(workers).with_shard_policy(policy),
+                );
+                datasets_equal(&baseline, &sharded);
+            }
+        }
     }
 
     #[test]

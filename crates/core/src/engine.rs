@@ -16,4 +16,6 @@
 //! callers keep importing `crate::engine::{map_slice, EngineConfig}`
 //! exactly as before the extraction.
 
-pub use caf_exec::{map_slice, state_seed, EngineConfig};
+pub use caf_exec::{
+    map_slice, map_units, state_seed, CostHint, EngineConfig, Shard, ShardPolicy, UnitPlan,
+};

@@ -54,7 +54,7 @@ pub mod serviceability;
 pub use audit::{Audit, AuditConfig, AuditDataset, AuditRow};
 pub use compliance::ComplianceAnalysis;
 pub use counterfactual::CompetitionCounterfactual;
-pub use engine::EngineConfig;
+pub use engine::{CostHint, EngineConfig, Shard, ShardPolicy, UnitPlan};
 pub use experienced::ExperiencedAnalysis;
 pub use index::{AuditIndex, CellMeta, RecordIndex};
 pub use oversight::{compare_oversight, OversightConfig};

@@ -81,8 +81,29 @@ impl SamplingPlan {
     /// keyed by (seed, CBG), so plans are stable across runs and
     /// independent of iteration order.
     pub fn draw(seed: u64, world: &StateWorld, rule: SamplingRule) -> SamplingPlan {
-        let mut cells = Vec::new();
-        for (isp, cbg, indices) in world.usac.cbg_cells() {
+        Self::draw_cells(seed, world, rule, 0..Self::cell_count(world))
+    }
+
+    /// How many (ISP, CBG) cells [`SamplingPlan::draw`] would produce
+    /// for this state — the index space of [`SamplingPlan::draw_cells`].
+    pub fn cell_count(world: &StateWorld) -> usize {
+        world.usac.cbg_cells().count()
+    }
+
+    /// Draws the plan restricted to a contiguous cell range (cells
+    /// indexed in the deterministic (ISP, CBG) iteration order). Each
+    /// cell's shuffle is keyed by (seed, CBG, ISP), never by position,
+    /// so `draw_cells(.., lo..hi).cells` equals `draw(..).cells[lo..hi]`
+    /// — the invariant that lets the audit engine shard a state by cell
+    /// ranges without changing a single drawn address.
+    pub fn draw_cells(
+        seed: u64,
+        world: &StateWorld,
+        rule: SamplingRule,
+        range: std::ops::Range<usize>,
+    ) -> SamplingPlan {
+        let mut cells = Vec::with_capacity(range.len());
+        for (isp, cbg, indices) in world.usac.cbg_cells().skip(range.start).take(range.len()) {
             let mut addresses: Vec<AddressId> = indices
                 .iter()
                 .map(|&i| world.usac.records[i].address.id)
@@ -201,6 +222,32 @@ mod tests {
             .filter(|(x, y)| x.primary == y.primary)
             .count();
         assert!(same < a.cells.len());
+    }
+
+    #[test]
+    fn range_draws_are_slices_of_the_full_draw() {
+        let w = world();
+        let sw = w.state(UsState::NewHampshire).unwrap();
+        let full = SamplingPlan::draw(w.config.seed, sw, SamplingRule::paper());
+        let n = SamplingPlan::cell_count(sw);
+        assert_eq!(full.cells.len(), n);
+        for splits in [2usize, 5] {
+            let chunk = n.div_ceil(splits);
+            let mut cells = Vec::new();
+            for s in 0..splits {
+                let lo = (s * chunk).min(n);
+                let hi = ((s + 1) * chunk).min(n);
+                cells.extend(
+                    SamplingPlan::draw_cells(w.config.seed, sw, SamplingRule::paper(), lo..hi)
+                        .cells,
+                );
+            }
+            assert_eq!(
+                format!("{cells:?}"),
+                format!("{:?}", full.cells),
+                "splits = {splits}"
+            );
+        }
     }
 
     #[test]

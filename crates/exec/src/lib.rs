@@ -12,6 +12,15 @@
 //! re-exports everything here, so audit-level callers are unaffected by
 //! the extraction.
 //!
+//! Two scheduling granularities share one executor:
+//!
+//! - [`map_slice`] schedules whole units (one item = one task) — the
+//!   right tool when units are roughly even.
+//! - [`map_units`] schedules *shards* of units from a cost-hinted
+//!   [`UnitPlan`] — the right tool when the unit cost distribution is
+//!   heavy-tailed (one giant state dominating the merge barrier). See
+//!   the [`plan`] module for the splitting/LPT policy.
+//!
 //! # The determinism contract
 //!
 //! Parallelism may change wall-clock time only, never results. Three
@@ -22,14 +31,16 @@
 //! 1. **Entity-keyed randomness.** Every stochastic decision inside a
 //!    unit is keyed by the entity it concerns — sampling draws by
 //!    `(seed, CBG, ISP)`, query outcomes by `(seed, address, ISP)`,
-//!    bootstrap draws by `(seed, replicate index)` — so a unit's output
-//!    is a pure function of its inputs, independent of scheduling. The
-//!    key mixers live in [`rng`].
+//!    bootstrap draws by `(seed, replicate index)` — so a unit's (and
+//!    therefore a shard's) output is a pure function of its inputs,
+//!    independent of scheduling. The key mixers live in [`rng`].
 //! 2. **Unit isolation.** Units share only immutable inputs. Nothing a
-//!    unit computes feeds another unit.
-//! 3. **Ordered merge.** [`map_slice`] returns results positionally, so
-//!    concatenating partials reproduces the sequential loop's output
-//!    exactly.
+//!    unit computes feeds another unit. Shards additionally cover
+//!    *contiguous, disjoint* element ranges of their unit.
+//! 3. **Ordered merge.** Both entry points return results positionally
+//!    — [`map_slice`] in item order, [`map_units`] grouped per unit
+//!    with shards in ascending element order — so concatenating
+//!    partials reproduces the sequential loop's output exactly.
 //!
 //! Engine-level stochastic decisions (none exist today; e.g. a future
 //! per-unit retry jitter) must derive their stream from [`state_seed`],
@@ -39,12 +50,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod plan;
 pub mod rng;
+
+pub use plan::{CostHint, Shard, ShardPolicy, UnitPlan};
 
 use caf_geo::UsState;
 use rng::{mix, mix_str};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
 use std::time::Instant;
 
 /// How the engine schedules independent work units.
@@ -53,12 +66,22 @@ pub struct EngineConfig {
     /// Worker threads for work units. `1` runs the plain sequential
     /// loop on the caller's thread.
     pub workers: usize,
+    /// When (and how finely) cost-hinted units are split into shards by
+    /// [`EngineConfig::plan`]. Purely a wall-clock knob: results are
+    /// byte-identical under every policy. Constructors resolve it from
+    /// the `CAF_SHARD_THRESHOLD` environment variable (an integer
+    /// percentage; `0` disables sharding), defaulting to
+    /// [`ShardPolicy::default_policy`].
+    pub shard: ShardPolicy,
 }
 
 impl EngineConfig {
     /// Sequential execution on the calling thread.
     pub fn serial() -> EngineConfig {
-        EngineConfig { workers: 1 }
+        EngineConfig {
+            workers: 1,
+            shard: ShardPolicy::resolve(),
+        }
     }
 
     /// One worker per available core. The count is *not* capped here:
@@ -70,6 +93,7 @@ impl EngineConfig {
             workers: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(4),
+            shard: ShardPolicy::resolve(),
         }
     }
 
@@ -77,7 +101,14 @@ impl EngineConfig {
     pub fn with_workers(workers: usize) -> EngineConfig {
         EngineConfig {
             workers: workers.max(1),
+            shard: ShardPolicy::resolve(),
         }
+    }
+
+    /// Replaces the shard policy (the `repro --shard-threshold` flag
+    /// and the bit-identity tests route through this).
+    pub fn with_shard_policy(self, shard: ShardPolicy) -> EngineConfig {
+        EngineConfig { shard, ..self }
     }
 
     /// Whether units run on a worker pool rather than inline.
@@ -89,21 +120,41 @@ impl EngineConfig {
     /// being scheduled (at least 1) — workers beyond the unit count
     /// would only idle. Callers apply this once the unit set is known;
     /// the audit additionally reports both the configured and the
-    /// effective count through the telemetry registry.
+    /// effective count through the telemetry registry. Note the clamp
+    /// is by *unit* count: shard-scheduling callers clamp by shard
+    /// count instead via [`EngineConfig::for_plan`].
     pub fn for_units(self, units: usize) -> EngineConfig {
         EngineConfig {
             workers: self.workers.min(units.max(1)),
+            ..self
         }
     }
 
+    /// Builds a shard plan for cost-hinted units under this engine's
+    /// worker budget and shard policy.
+    pub fn plan(self, hints: &[CostHint]) -> UnitPlan {
+        UnitPlan::build(self.workers, hints, self.shard)
+    }
+
+    /// Clamps the worker count to a plan's shard count — the sharded
+    /// analogue of [`EngineConfig::for_units`].
+    pub fn for_plan(self, plan: &UnitPlan) -> EngineConfig {
+        self.for_units(plan.shard_count())
+    }
+
     /// The worker budget for a campaign nested *inside* a work unit:
-    /// the configured count when the engine is serial, otherwise an even
+    /// the configured count when the engine is serial, otherwise a
     /// split so `engine workers × campaign workers` stays near the
-    /// configured total instead of multiplying. Campaign results are
+    /// configured total instead of multiplying. The split rounds *up* —
+    /// rounding down starved the nested campaign to a single thread
+    /// whenever the engine worker count slightly exceeded the
+    /// configured budget (e.g. 4 configured across 3 engine workers
+    /// gave each unit 1 campaign worker while engine threads
+    /// idle-waited on I/O-shaped query latencies). Campaign results are
     /// worker-count independent, so this only shapes wall-clock time.
     pub fn nested_campaign_workers(self, configured: usize) -> usize {
         if self.is_parallel() {
-            (configured / self.workers).max(1)
+            configured.div_ceil(self.workers).max(1)
         } else {
             configured.max(1)
         }
@@ -131,38 +182,41 @@ pub fn state_seed(seed: u64, state: UsState) -> u64 {
     )
 }
 
-/// Applies `f` to every item on a pool of `workers` scoped threads and
-/// returns the results **in item order** — the ordered-merge primitive
-/// behind the audit engine, parallel world generation, and chunked
-/// bootstrap resampling.
+/// The shared executor behind [`map_slice`] and [`map_units`]: runs
+/// task indices `0..n` (pulling from `dispatch` order when parallel)
+/// and returns results **positionally** — slot `i` holds `run(i)`.
 ///
-/// With `workers <= 1` (or fewer than two items) this is a plain
-/// sequential map on the calling thread. Otherwise workers pull item
-/// indices from a shared atomic cursor, so scheduling is dynamic but the
-/// result placement is positional and therefore deterministic.
-///
-/// # Panics
-///
-/// Propagates panics from `f` (the scope joins all workers first).
-pub fn map_slice<T, R, F>(workers: usize, items: &[T], f: F) -> Vec<R>
+/// Parallel result placement goes through a single `(index, result)`
+/// mpsc channel drained into positional slots after the scope joins
+/// (one allocation and no per-slot locking, replacing the former
+/// per-slot `Mutex<Option<R>>` grid). The serial path runs indices in
+/// ascending order on the calling thread.
+fn execute<R, F>(
+    span_name: &'static str,
+    wall_gauge: &'static str,
+    workers: usize,
+    dispatch: &[usize],
+    n: usize,
+    run: F,
+) -> Vec<R>
 where
-    T: Sync,
     R: Send,
-    F: Fn(usize, &T) -> R + Sync,
+    F: Fn(usize) -> R + Sync,
 {
+    debug_assert_eq!(dispatch.len(), n);
     // Telemetry is observation-only: timings feed gauges and histograms,
     // never scheduling, so results stay byte-identical with it on or off.
     let telemetry = caf_obs::enabled();
-    let _span = caf_obs::span("engine.map_slice");
+    let _span = caf_obs::span(span_name);
     let wall_start = telemetry.then(Instant::now);
     let unit_ns: Vec<AtomicU64> = if telemetry {
-        (0..items.len()).map(|_| AtomicU64::new(0)).collect()
+        (0..n).map(|_| AtomicU64::new(0)).collect()
     } else {
         Vec::new()
     };
-    let run_unit = |i: usize, item: &T| {
+    let run_task = |i: usize| {
         let start = telemetry.then(Instant::now);
-        let result = f(i, item);
+        let result = run(i);
         if let Some(start) = start {
             let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
             unit_ns[i].store(nanos, Ordering::Relaxed);
@@ -171,36 +225,34 @@ where
         result
     };
 
-    let results = if workers <= 1 || items.len() <= 1 {
-        items
-            .iter()
-            .enumerate()
-            .map(|(i, item)| run_unit(i, item))
-            .collect()
+    let results: Vec<R> = if workers <= 1 || n <= 1 {
+        (0..n).map(run_task).collect()
     } else {
-        let slots: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
         let cursor = AtomicUsize::new(0);
+        let (sender, receiver) = std::sync::mpsc::channel::<(usize, R)>();
         crossbeam::thread::scope(|scope| {
-            for worker in 0..workers.min(items.len()) {
-                let run_unit = &run_unit;
-                let slots = &slots;
+            for worker in 0..workers.min(n) {
+                let sender = sender.clone();
+                let run_task = &run_task;
                 let cursor = &cursor;
                 scope.spawn(move |_| {
                     let worker_start = telemetry.then(Instant::now);
                     let mut busy_ns: u64 = 0;
                     loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(item) = items.get(i) else {
+                        let pos = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(&i) = dispatch.get(pos) else {
                             break;
                         };
-                        let unit_start = telemetry.then(Instant::now);
-                        let result = run_unit(i, item);
-                        if let Some(unit_start) = unit_start {
+                        let task_start = telemetry.then(Instant::now);
+                        let result = run_task(i);
+                        if let Some(task_start) = task_start {
                             busy_ns = busy_ns.saturating_add(
-                                u64::try_from(unit_start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                                u64::try_from(task_start.elapsed().as_nanos()).unwrap_or(u64::MAX),
                             );
                         }
-                        *slots[i].lock().expect("slot lock poisoned") = Some(result);
+                        sender
+                            .send((i, result))
+                            .expect("result receiver outlives the scope");
                     }
                     if let Some(worker_start) = worker_start {
                         let wall_ns =
@@ -218,22 +270,27 @@ where
             }
         })
         .expect("engine worker panicked");
+        drop(sender);
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        // All workers have joined, so the channel holds exactly one
+        // result per task and iteration ends at disconnect.
+        for (i, result) in receiver {
+            slots[i] = Some(result);
+        }
         slots
             .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("slot lock poisoned")
-                    .expect("every item produces a result")
-            })
+            .map(|slot| slot.expect("every task produces a result"))
             .collect()
     };
 
     if let Some(wall_start) = wall_start {
         let wall_ns = u64::try_from(wall_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        caf_obs::gauge("caf.exec.map_slice_wall_us", wall_ns / 1_000);
-        // Unit skew: how much slower the slowest unit ran than the
+        caf_obs::gauge(wall_gauge, wall_ns / 1_000);
+        // Task skew: how much slower the slowest task ran than the
         // fastest, as a percentage of the slowest. High skew flags a
-        // unit that dominates the merge barrier.
+        // task that dominates the merge barrier; sharding exists to
+        // push this down, so the same gauge doubles as the post-shard
+        // skew once callers schedule through a plan.
         let slowest = unit_ns.iter().map(|d| d.load(Ordering::Relaxed)).max();
         let fastest = unit_ns.iter().map(|d| d.load(Ordering::Relaxed)).min();
         if let (Some(max), Some(min)) = (slowest, fastest) {
@@ -244,6 +301,83 @@ where
         }
     }
     results
+}
+
+/// Applies `f` to every item on a pool of `workers` scoped threads and
+/// returns the results **in item order** — the ordered-merge primitive
+/// for roughly even work units.
+///
+/// With `workers <= 1` (or fewer than two items) this is a plain
+/// sequential map on the calling thread. Otherwise workers pull item
+/// indices from a shared atomic cursor, so scheduling is dynamic but the
+/// result placement is positional and therefore deterministic. For
+/// heavy-tailed unit costs, prefer [`map_units`] over a cost-hinted
+/// [`UnitPlan`].
+///
+/// # Panics
+///
+/// Propagates panics from `f` (the scope joins all workers first).
+pub fn map_slice<T, R, F>(workers: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let dispatch: Vec<usize> = (0..items.len()).collect();
+    execute(
+        "engine.map_slice",
+        "caf.exec.map_slice_wall_us",
+        workers,
+        &dispatch,
+        items.len(),
+        |i| f(i, &items[i]),
+    )
+}
+
+/// Applies `f` to every [`Shard`] of a [`UnitPlan`] on a pool of scoped
+/// threads and returns the results **grouped per unit**, shards in
+/// ascending element order — the cost-aware scheduling primitive for
+/// heavy-tailed unit distributions.
+///
+/// Shards are dispatched in the plan's precomputed LPT order through
+/// the shared atomic cursor; reassembly is positional, so the returned
+/// `Vec<Vec<R>>` is byte-for-byte the output of the sequential
+/// unit-by-unit loop regardless of worker count or shard policy. The
+/// caller concatenates each unit's shard results to reconstruct the
+/// whole-unit value (`result[unit].len() == 1` whenever the unit was
+/// not split).
+///
+/// Telemetry: `caf.exec.shards` and `caf.exec.plan.est_makespan_us`
+/// gauges describe the plan; per-shard timings land in
+/// `caf.exec.unit_us` and the post-shard skew in
+/// `caf.exec.unit_skew_pct`.
+///
+/// # Panics
+///
+/// Propagates panics from `f` (the scope joins all workers first).
+pub fn map_units<R, F>(plan: &UnitPlan, f: F) -> Vec<Vec<R>>
+where
+    R: Send,
+    F: Fn(&Shard) -> R + Sync,
+{
+    if caf_obs::enabled() {
+        caf_obs::gauge("caf.exec.shards", plan.shard_count() as u64);
+        caf_obs::gauge("caf.exec.plan.est_makespan_us", plan.est_makespan());
+    }
+    let shards = plan.shards();
+    let flat = execute(
+        "engine.map_units",
+        "caf.exec.map_units_wall_us",
+        plan.workers(),
+        plan.dispatch_order(),
+        shards.len(),
+        |i| f(&shards[i]),
+    );
+    let mut flat = flat.into_iter();
+    plan.unit_ranges()
+        .iter()
+        .map(|range| flat.by_ref().take(range.len()).collect())
+        .collect()
 }
 
 #[cfg(test)]
@@ -268,8 +402,8 @@ mod tests {
     #[test]
     fn map_slice_runs_on_multiple_threads() {
         use std::collections::HashSet;
-        use std::sync::Mutex as StdMutex;
-        let seen: StdMutex<HashSet<std::thread::ThreadId>> = StdMutex::new(HashSet::new());
+        use std::sync::Mutex;
+        let seen: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
         let items: Vec<u32> = (0..64).collect();
         map_slice(4, &items, |_, _| {
             seen.lock().unwrap().insert(std::thread::current().id());
@@ -279,6 +413,70 @@ mod tests {
             seen.lock().unwrap().len() > 1,
             "expected parallel execution"
         );
+    }
+
+    #[test]
+    fn map_units_reassembles_shards_positionally() {
+        // Three units of different sizes; the middle one dominates.
+        // Expected output: for each unit, its elements doubled — shard
+        // boundaries must be invisible after reassembly.
+        let units: Vec<Vec<u64>> = vec![
+            (0..5).collect(),
+            (100..180).collect(),
+            (1_000..1_010).collect(),
+        ];
+        let hints: Vec<CostHint> = units
+            .iter()
+            .map(|u| CostHint::Uniform {
+                cost: u.len() as u64,
+                elements: u.len(),
+            })
+            .collect();
+        let expected: Vec<Vec<u64>> = units
+            .iter()
+            .map(|u| u.iter().map(|&x| x * 2).collect())
+            .collect();
+        for workers in [1usize, 2, 4, 16] {
+            for policy in [
+                ShardPolicy::disabled(),
+                ShardPolicy::default_policy(),
+                ShardPolicy::finest(),
+            ] {
+                let plan = UnitPlan::build(workers, &hints, policy);
+                let grouped = map_units(&plan, |shard| {
+                    units[shard.unit][shard.range.clone()]
+                        .iter()
+                        .map(|&x| x * 2)
+                        .collect::<Vec<u64>>()
+                });
+                assert_eq!(grouped.len(), units.len());
+                let merged: Vec<Vec<u64>> = grouped
+                    .into_iter()
+                    .map(|shards| shards.into_iter().flatten().collect())
+                    .collect();
+                assert_eq!(merged, expected, "workers = {workers}, policy = {policy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn map_units_shards_the_giant_unit() {
+        let hints = vec![
+            CostHint::Uniform {
+                cost: 900,
+                elements: 900,
+            },
+            CostHint::Uniform {
+                cost: 30,
+                elements: 30,
+            },
+        ];
+        let plan = UnitPlan::build(4, &hints, ShardPolicy::default_policy());
+        assert!(plan.is_sharded());
+        let grouped = map_units(&plan, |shard| shard.range.len());
+        assert!(grouped[0].len() > 1, "giant unit ran as multiple shards");
+        assert_eq!(grouped[0].iter().sum::<usize>(), 900);
+        assert_eq!(grouped[1].iter().sum::<usize>(), 30);
     }
 
     #[test]
@@ -304,6 +502,9 @@ mod tests {
         assert!(EngineConfig::with_workers(6).is_parallel());
         assert!(EngineConfig::auto().workers >= 1);
         assert_eq!(EngineConfig::default(), EngineConfig::auto());
+        let custom = EngineConfig::serial().with_shard_policy(ShardPolicy::finest());
+        assert_eq!(custom.shard, ShardPolicy::finest());
+        assert_eq!(custom.workers, 1);
     }
 
     #[test]
@@ -315,10 +516,22 @@ mod tests {
     }
 
     #[test]
+    fn for_plan_clamps_workers_to_the_shard_count() {
+        let hints = vec![CostHint::opaque(10), CostHint::opaque(10)];
+        let plan = UnitPlan::build(16, &hints, ShardPolicy::disabled());
+        assert_eq!(EngineConfig::with_workers(16).for_plan(&plan).workers, 2);
+    }
+
+    #[test]
     fn nested_campaign_workers_split_the_budget() {
         assert_eq!(EngineConfig::serial().nested_campaign_workers(8), 8);
         assert_eq!(EngineConfig::with_workers(4).nested_campaign_workers(8), 2);
         assert_eq!(EngineConfig::with_workers(8).nested_campaign_workers(4), 1);
         assert_eq!(EngineConfig::serial().nested_campaign_workers(0), 1);
+        // The split rounds up: 4 configured across 3 engine workers
+        // keeps 2 campaign threads per unit instead of starving the
+        // nested campaign down to 1 while engine workers idle-wait.
+        assert_eq!(EngineConfig::with_workers(3).nested_campaign_workers(4), 2);
+        assert_eq!(EngineConfig::with_workers(5).nested_campaign_workers(4), 1);
     }
 }

@@ -1,0 +1,564 @@
+//! Cost-aware shard planning: the scheduling layer behind
+//! [`map_units`](crate::map_units).
+//!
+//! The paper's Fig. 1 marginals give CAF deployments a heavy-tailed
+//! state distribution, and per-state work units inherit it: one unit
+//! (California) can cost ~15× the median, so whole-unit scheduling
+//! leaves every other worker idling at the merge barrier while the
+//! giant unit finishes (`BENCH_world.json` recorded a 0.62× "speedup"
+//! at 4 workers). A [`UnitPlan`] breaks that barrier:
+//!
+//! 1. Callers describe each unit with a [`CostHint`] — a quantity they
+//!    already know that is roughly proportional to the unit's runtime
+//!    (certified-address counts for world generation, per-cell sample
+//!    sizes for the audit, replicate counts for the bootstrap).
+//! 2. [`UnitPlan::build`] deterministically splits any unit whose
+//!    estimated cost exceeds [`ShardPolicy::threshold_pct`] percent of
+//!    the ideal per-worker share (`total / workers`) into contiguous
+//!    element-range [`Shard`]s of roughly that size.
+//! 3. Shards are dispatched in precomputed longest-processing-time
+//!    (LPT) order through the engine's atomic cursor, so the expensive
+//!    shards start first and the small ones backfill the stragglers.
+//! 4. Results are reassembled positionally (shards of a unit stay in
+//!    ascending element order), so output is byte-identical with the
+//!    whole-unit `map_slice` at every worker count and every policy —
+//!    the plan is a pure function of `(workers, hints, policy)` and
+//!    never consults the clock, thread ids, or element values.
+
+use std::cmp::Reverse;
+use std::ops::Range;
+
+/// Controls when (and how finely) a work unit is split into shards.
+///
+/// The split threshold is expressed as a percentage of the ideal
+/// per-worker share of the total estimated cost: with `threshold_pct =
+/// 25` and 4 workers, any unit costing more than 25% of `total / 4` is
+/// split into shards of roughly that size. Lower thresholds shard more
+/// aggressively; `0` disables sharding (whole units only, the pre-plan
+/// behavior). Sharding never changes results — only the wall clock —
+/// so the policy is a pure performance knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPolicy {
+    /// Split threshold as a percentage of the ideal per-worker cost
+    /// share. `0` disables sharding.
+    pub threshold_pct: u32,
+    /// Upper bound on how many shards one unit may be split into
+    /// (guards against pathological hint distributions producing
+    /// thousands of micro-shards).
+    pub max_shards_per_unit: usize,
+}
+
+impl ShardPolicy {
+    /// The default policy: split units above 25% of the per-worker
+    /// share, at most 64 shards per unit.
+    pub fn default_policy() -> ShardPolicy {
+        ShardPolicy {
+            threshold_pct: 25,
+            max_shards_per_unit: 64,
+        }
+    }
+
+    /// Sharding disabled: every unit is a single shard (the pre-plan
+    /// whole-unit scheduling).
+    pub fn disabled() -> ShardPolicy {
+        ShardPolicy {
+            threshold_pct: 0,
+            max_shards_per_unit: 1,
+        }
+    }
+
+    /// The finest useful granularity: shard targets shrink to ~1% of
+    /// the per-worker share with no per-unit shard cap, so per-element
+    /// hints degenerate to (nearly) one element per shard. Used by the
+    /// bit-identity tests to stress reassembly, not for production.
+    pub fn finest() -> ShardPolicy {
+        ShardPolicy {
+            threshold_pct: 1,
+            max_shards_per_unit: usize::MAX,
+        }
+    }
+
+    /// Resolves the policy from an optional `CAF_SHARD_THRESHOLD`
+    /// environment value (an integer percentage; `0` disables). Invalid
+    /// or absent values fall back to [`ShardPolicy::default_policy`].
+    /// Split out from the env read so it is unit-testable without
+    /// mutating process state.
+    pub fn from_env_value(value: Option<&str>) -> ShardPolicy {
+        match value.and_then(|v| v.trim().parse::<u32>().ok()) {
+            Some(0) => ShardPolicy::disabled(),
+            Some(pct) => ShardPolicy {
+                threshold_pct: pct,
+                ..ShardPolicy::default_policy()
+            },
+            None => ShardPolicy::default_policy(),
+        }
+    }
+
+    /// Reads `CAF_SHARD_THRESHOLD` from the environment (the `repro`
+    /// `--shard-threshold` flag takes precedence over this at the CLI).
+    pub fn resolve() -> ShardPolicy {
+        ShardPolicy::from_env_value(std::env::var("CAF_SHARD_THRESHOLD").ok().as_deref())
+    }
+}
+
+impl Default for ShardPolicy {
+    fn default() -> ShardPolicy {
+        ShardPolicy::default_policy()
+    }
+}
+
+/// A caller-supplied estimate of one unit's cost, used only for
+/// scheduling (shard boundaries and dispatch order) — never for
+/// results. Hints need not be accurate; a hint that is merely
+/// *proportional* to runtime is enough for LPT to help, and a wrong
+/// hint only costs wall-clock time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CostHint {
+    /// A unit of `elements` equally-expensive elements costing `cost`
+    /// in total. Splits into equal element ranges.
+    Uniform {
+        /// Total estimated cost of the unit (any consistent scale).
+        cost: u64,
+        /// How many splittable elements the unit contains.
+        elements: usize,
+    },
+    /// Per-element costs; `len()` is the element count. Splits along
+    /// balanced prefix sums so shard costs stay even when elements are
+    /// themselves skewed.
+    PerElement(Vec<u64>),
+}
+
+impl CostHint {
+    /// A unit that cannot be split (one opaque element).
+    pub fn opaque(cost: u64) -> CostHint {
+        CostHint::Uniform { cost, elements: 1 }
+    }
+
+    /// Total estimated cost of the unit.
+    pub fn total(&self) -> u64 {
+        match self {
+            CostHint::Uniform { cost, .. } => *cost,
+            CostHint::PerElement(costs) => costs.iter().fold(0u64, |acc, &c| acc.saturating_add(c)),
+        }
+    }
+
+    /// Number of splittable elements in the unit.
+    pub fn elements(&self) -> usize {
+        match self {
+            CostHint::Uniform { elements, .. } => *elements,
+            CostHint::PerElement(costs) => costs.len(),
+        }
+    }
+
+    /// Splits the unit into `k` contiguous element ranges with roughly
+    /// equal cost, returning `(range, est_cost)` pairs covering
+    /// `0..elements` in order. `k` is clamped to `1..=elements`
+    /// (a zero-element unit yields one empty shard so the unit keeps a
+    /// positional slot in the reassembled output).
+    fn split(&self, k: usize) -> Vec<(Range<usize>, u64)> {
+        let n = self.elements();
+        if n == 0 {
+            return vec![(0..0, self.total())];
+        }
+        let k = k.clamp(1, n);
+        match self {
+            CostHint::Uniform { cost, elements } => {
+                let base = elements / k;
+                let extra = elements % k;
+                let mut out = Vec::with_capacity(k);
+                let mut start = 0usize;
+                for shard in 0..k {
+                    let len = base + usize::from(shard < extra);
+                    let est = (u128::from(*cost) * len as u128 / *elements as u128) as u64;
+                    out.push((start..start + len, est));
+                    start += len;
+                }
+                out
+            }
+            CostHint::PerElement(costs) => {
+                let mut prefix: Vec<u128> = Vec::with_capacity(n + 1);
+                prefix.push(0);
+                for &c in costs {
+                    prefix.push(prefix.last().unwrap() + u128::from(c));
+                }
+                let total = *prefix.last().unwrap();
+                let mut bounds = vec![0usize; k + 1];
+                bounds[k] = n;
+                for j in 1..k {
+                    let target = total * j as u128 / k as u128;
+                    let i = prefix.partition_point(|&p| p < target);
+                    // Keep boundaries strictly increasing and leave room
+                    // for the remaining shards, so every shard is
+                    // non-empty.
+                    bounds[j] = i.clamp(bounds[j - 1] + 1, n - (k - j));
+                }
+                (0..k)
+                    .map(|j| {
+                        let range = bounds[j]..bounds[j + 1];
+                        let est = (prefix[range.end] - prefix[range.start]) as u64;
+                        (range, est)
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+/// One schedulable slice of a unit: a contiguous element range plus the
+/// planner's cost estimate for it. Unsharded units appear as a single
+/// shard covering `0..elements`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Shard {
+    /// Index of the unit this shard belongs to (position in the hint
+    /// slice the plan was built from).
+    pub unit: usize,
+    /// The contiguous element range of the unit this shard covers.
+    pub range: Range<usize>,
+    /// The planner's cost estimate for this range (scheduling only).
+    pub est_cost: u64,
+}
+
+/// A deterministic shard schedule over a set of cost-hinted units —
+/// built once, then executed by [`map_units`](crate::map_units).
+///
+/// Shards are stored unit-major (all shards of unit 0, then unit 1, …)
+/// with ascending element ranges, which is also the reassembly order.
+/// The dispatch order is a separate permutation (LPT: heaviest shard
+/// first, ties broken by shard index) that workers pull through the
+/// atomic cursor; it affects wall-clock time only.
+#[derive(Debug, Clone)]
+pub struct UnitPlan {
+    workers: usize,
+    shards: Vec<Shard>,
+    /// Shard-index range per unit (into `shards`).
+    unit_ranges: Vec<Range<usize>>,
+    /// Shard indices in LPT dispatch order.
+    dispatch: Vec<usize>,
+    est_makespan: u64,
+    total_cost: u64,
+}
+
+impl UnitPlan {
+    /// Plans a shard schedule for `hints` across `workers` threads
+    /// under `policy`. Pure function of its arguments: the same inputs
+    /// always produce the same plan.
+    pub fn build(workers: usize, hints: &[CostHint], policy: ShardPolicy) -> UnitPlan {
+        let workers = workers.max(1);
+        let total_cost: u128 = hints.iter().map(|h| u128::from(h.total())).sum();
+        // The split target: `threshold_pct`% of the ideal per-worker
+        // share. Units at or below it stay whole; units above it split
+        // into shards of roughly the target size.
+        let target: u128 = if policy.threshold_pct == 0 || total_cost == 0 {
+            u128::MAX
+        } else {
+            (total_cost * u128::from(policy.threshold_pct) / (100 * workers as u128)).max(1)
+        };
+        let mut shards = Vec::with_capacity(hints.len());
+        let mut unit_ranges = Vec::with_capacity(hints.len());
+        for (unit, hint) in hints.iter().enumerate() {
+            let cost = u128::from(hint.total());
+            let want = if cost > target {
+                usize::try_from(cost.div_ceil(target)).unwrap_or(usize::MAX)
+            } else {
+                1
+            };
+            let k = want.clamp(1, policy.max_shards_per_unit.max(1));
+            let first = shards.len();
+            for (range, est_cost) in hint.split(k) {
+                shards.push(Shard {
+                    unit,
+                    range,
+                    est_cost,
+                });
+            }
+            unit_ranges.push(first..shards.len());
+        }
+
+        // LPT dispatch order: heaviest first, shard index breaks ties
+        // (so uniform costs degrade to plain index order).
+        let mut dispatch: Vec<usize> = (0..shards.len()).collect();
+        dispatch.sort_by_key(|&i| (Reverse(shards[i].est_cost), i));
+
+        // Estimated makespan: simulate greedy assignment of the LPT
+        // sequence to the least-loaded worker. An estimate of the
+        // post-shard critical path in cost-hint units.
+        let lanes = workers.min(shards.len()).max(1);
+        let mut loads = vec![0u64; lanes];
+        for &i in &dispatch {
+            let lane = (0..lanes).min_by_key(|&l| loads[l]).unwrap_or(0);
+            loads[lane] = loads[lane].saturating_add(shards[i].est_cost);
+        }
+        let est_makespan = loads.into_iter().max().unwrap_or(0);
+
+        UnitPlan {
+            workers,
+            shards,
+            unit_ranges,
+            dispatch,
+            est_makespan,
+            total_cost: u64::try_from(total_cost).unwrap_or(u64::MAX),
+        }
+    }
+
+    /// The worker count the plan was built for.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// All shards, unit-major with ascending element ranges (the
+    /// reassembly order).
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// Number of shards in the plan.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of units the plan covers.
+    pub fn unit_count(&self) -> usize {
+        self.unit_ranges.len()
+    }
+
+    /// The shards of one unit, in ascending element order.
+    pub fn unit_shards(&self, unit: usize) -> &[Shard] {
+        &self.shards[self.unit_ranges[unit].clone()]
+    }
+
+    /// Shard-index ranges per unit (into [`UnitPlan::shards`]).
+    pub fn unit_ranges(&self) -> &[Range<usize>] {
+        &self.unit_ranges
+    }
+
+    /// Shard indices in LPT dispatch order.
+    pub fn dispatch_order(&self) -> &[usize] {
+        &self.dispatch
+    }
+
+    /// Greedy LPT makespan estimate, in the same units as the cost
+    /// hints (reported as `caf.exec.plan.est_makespan_us` — literal
+    /// microseconds only when callers hint with measured time).
+    pub fn est_makespan(&self) -> u64 {
+        self.est_makespan
+    }
+
+    /// Sum of all unit cost hints.
+    pub fn total_cost(&self) -> u64 {
+        self.total_cost
+    }
+
+    /// Whether any unit was actually split.
+    pub fn is_sharded(&self) -> bool {
+        self.shards.len() > self.unit_ranges.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ranges(plan: &UnitPlan, unit: usize) -> Vec<Range<usize>> {
+        plan.unit_shards(unit)
+            .iter()
+            .map(|s| s.range.clone())
+            .collect()
+    }
+
+    #[test]
+    fn disabled_policy_keeps_units_whole() {
+        let hints = vec![
+            CostHint::Uniform {
+                cost: 1_000,
+                elements: 50,
+            },
+            CostHint::opaque(10),
+        ];
+        let plan = UnitPlan::build(4, &hints, ShardPolicy::disabled());
+        assert_eq!(plan.shard_count(), 2);
+        assert!(!plan.is_sharded());
+        assert_eq!(ranges(&plan, 0), vec![0..50]);
+        assert_eq!(ranges(&plan, 1), vec![0..1]);
+    }
+
+    #[test]
+    fn giant_unit_splits_and_small_units_stay_whole() {
+        // One unit holds ~90% of the cost: with 4 workers and the
+        // default 25% threshold it must split; the small ones must not.
+        let hints = vec![
+            CostHint::Uniform {
+                cost: 900,
+                elements: 90,
+            },
+            CostHint::Uniform {
+                cost: 50,
+                elements: 5,
+            },
+            CostHint::Uniform {
+                cost: 50,
+                elements: 5,
+            },
+        ];
+        let plan = UnitPlan::build(4, &hints, ShardPolicy::default_policy());
+        assert!(plan.unit_shards(0).len() > 1, "giant unit must shard");
+        assert_eq!(plan.unit_shards(1).len(), 1);
+        assert_eq!(plan.unit_shards(2).len(), 1);
+        // Shards of the giant unit tile 0..90 contiguously in order.
+        let r = ranges(&plan, 0);
+        assert_eq!(r[0].start, 0);
+        assert_eq!(r.last().unwrap().end, 90);
+        for w in r.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+        // Shards of a unit are disjoint from other units' slots only by
+        // the unit index, which every shard carries.
+        assert!(plan.shards().iter().all(|s| s.unit < 3));
+    }
+
+    #[test]
+    fn per_element_split_balances_skewed_costs() {
+        // 10 cheap elements then one huge one: balanced prefix-sum
+        // splitting must isolate the huge element rather than cutting
+        // at equal element counts.
+        let mut costs = vec![1u64; 10];
+        costs.push(1_000);
+        let hints = vec![CostHint::PerElement(costs)];
+        let plan = UnitPlan::build(
+            2,
+            &hints,
+            ShardPolicy {
+                threshold_pct: 50,
+                max_shards_per_unit: 4,
+            },
+        );
+        let shards = plan.unit_shards(0);
+        assert!(shards.len() > 1);
+        let last = shards.last().unwrap();
+        assert_eq!(last.range, 10..11, "the huge element gets its own shard");
+        // Ranges tile the unit.
+        assert_eq!(shards[0].range.start, 0);
+        assert_eq!(shards.last().unwrap().range.end, 11);
+    }
+
+    #[test]
+    fn finest_policy_approaches_one_element_per_shard() {
+        let hints = vec![CostHint::PerElement(vec![5; 16])];
+        let plan = UnitPlan::build(4, &hints, ShardPolicy::finest());
+        assert_eq!(plan.shard_count(), 16, "every element its own shard");
+        for (i, s) in plan.unit_shards(0).iter().enumerate() {
+            assert_eq!(s.range, i..i + 1);
+            assert_eq!(s.est_cost, 5);
+        }
+    }
+
+    #[test]
+    fn dispatch_is_lpt_with_stable_ties() {
+        let hints = vec![
+            CostHint::opaque(10),
+            CostHint::opaque(30),
+            CostHint::opaque(10),
+            CostHint::opaque(20),
+        ];
+        let plan = UnitPlan::build(2, &hints, ShardPolicy::disabled());
+        assert_eq!(plan.dispatch_order(), &[1, 3, 0, 2]);
+        // Uniform costs degrade to index order.
+        let uniform = vec![CostHint::opaque(7); 4];
+        let plan = UnitPlan::build(2, &uniform, ShardPolicy::disabled());
+        assert_eq!(plan.dispatch_order(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn makespan_estimate_tracks_the_critical_path() {
+        // Whole units at 2 workers: LPT packs {30} and {20, 10, 10}.
+        let hints = vec![
+            CostHint::opaque(10),
+            CostHint::opaque(30),
+            CostHint::opaque(10),
+            CostHint::opaque(20),
+        ];
+        let whole = UnitPlan::build(2, &hints, ShardPolicy::disabled());
+        assert_eq!(whole.total_cost(), 70);
+        assert_eq!(whole.est_makespan(), 40);
+        // Sharding the giant unit lowers the estimated makespan toward
+        // the ideal total/workers = 35.
+        let sharded = UnitPlan::build(
+            2,
+            &[
+                CostHint::Uniform {
+                    cost: 10,
+                    elements: 2,
+                },
+                CostHint::Uniform {
+                    cost: 30,
+                    elements: 6,
+                },
+                CostHint::Uniform {
+                    cost: 10,
+                    elements: 2,
+                },
+                CostHint::Uniform {
+                    cost: 20,
+                    elements: 4,
+                },
+            ],
+            ShardPolicy::default_policy(),
+        );
+        assert!(sharded.is_sharded());
+        assert!(
+            sharded.est_makespan() < whole.est_makespan(),
+            "sharding must improve the estimated critical path: {} vs {}",
+            sharded.est_makespan(),
+            whole.est_makespan()
+        );
+    }
+
+    #[test]
+    fn zero_element_units_keep_their_positional_slot() {
+        let hints = vec![
+            CostHint::Uniform {
+                cost: 0,
+                elements: 0,
+            },
+            CostHint::opaque(5),
+            CostHint::PerElement(Vec::new()),
+        ];
+        let plan = UnitPlan::build(4, &hints, ShardPolicy::default_policy());
+        assert_eq!(plan.unit_count(), 3);
+        assert_eq!(plan.shard_count(), 3);
+        assert_eq!(ranges(&plan, 0), vec![0..0]);
+        assert_eq!(ranges(&plan, 2), vec![0..0]);
+    }
+
+    #[test]
+    fn plans_are_pure_functions_of_their_inputs() {
+        let hints = vec![
+            CostHint::PerElement((0..40).map(|i| (i * 13 % 17) + 1).collect()),
+            CostHint::Uniform {
+                cost: 300,
+                elements: 12,
+            },
+        ];
+        let a = UnitPlan::build(4, &hints, ShardPolicy::default_policy());
+        let b = UnitPlan::build(4, &hints, ShardPolicy::default_policy());
+        assert_eq!(a.shards(), b.shards());
+        assert_eq!(a.dispatch_order(), b.dispatch_order());
+        assert_eq!(a.est_makespan(), b.est_makespan());
+    }
+
+    #[test]
+    fn policy_env_value_parsing() {
+        assert_eq!(
+            ShardPolicy::from_env_value(None),
+            ShardPolicy::default_policy()
+        );
+        assert_eq!(
+            ShardPolicy::from_env_value(Some("0")),
+            ShardPolicy::disabled()
+        );
+        assert_eq!(ShardPolicy::from_env_value(Some("40")).threshold_pct, 40);
+        assert_eq!(
+            ShardPolicy::from_env_value(Some("not-a-number")),
+            ShardPolicy::default_policy()
+        );
+    }
+}

@@ -14,14 +14,15 @@
 //! the same index multiset whether it runs first, last, or on worker 7.
 //! That makes the engine-aware variants ([`bootstrap_ci_on`],
 //! [`bootstrap_indices_ci_on`]) bit-identical to the serial ones at any
-//! worker count: replicates are split into contiguous chunks, chunks run
-//! on the [`caf_exec::map_slice`] pool, and the per-chunk statistic
-//! vectors are concatenated in replicate order before the percentile
-//! step.
+//! worker count: the replicate range is one cost-uniform unit in a
+//! [`caf_exec::UnitPlan`], the engine's shard policy splits it into
+//! contiguous chunks sized off the worker budget, chunks run on the
+//! [`caf_exec::map_units`] pool, and the per-chunk statistic vectors
+//! are concatenated in replicate order before the percentile step.
 
 use crate::error::{ensure_sample, StatsError};
 use caf_exec::rng::{mix, mix_str};
-use caf_exec::EngineConfig;
+use caf_exec::{CostHint, EngineConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::ops::Range;
@@ -230,11 +231,16 @@ where
 }
 
 /// [`bootstrap_indices_ci`] on an engine worker pool: the replicate
-/// range is split into one contiguous chunk per worker, chunks run on
-/// [`caf_exec::map_slice`], and the per-chunk statistics are
-/// concatenated in replicate order. Because every replicate draws from
-/// its own keyed stream, the result is bit-identical to the serial
-/// variant at any worker count and fixed seed.
+/// range is a single cost-uniform unit in the engine's [`UnitPlan`] —
+/// the shard policy splits it into contiguous replicate chunks sized
+/// off the worker budget, chunks run on [`caf_exec::map_units`], and
+/// the per-chunk statistics are concatenated in replicate order.
+/// Because every replicate draws from its own keyed stream, the result
+/// is bit-identical to the serial variant at any worker count and
+/// shard policy for a fixed seed. (With sharding disabled the plan is
+/// one whole-range shard, so the run degenerates to the serial path.)
+///
+/// [`UnitPlan`]: caf_exec::UnitPlan
 pub fn bootstrap_indices_ci_on<F>(
     engine: EngineConfig,
     n: usize,
@@ -249,20 +255,19 @@ where
     validate(n, replicates, level)?;
     let _span = caf_obs::span("stats.bootstrap");
     let wall_start = caf_obs::enabled().then(Instant::now);
-    let workers = engine.for_units(replicates).workers;
-    let stats = if workers <= 1 {
+    let plan = engine.plan(&[CostHint::Uniform {
+        cost: replicates as u64,
+        elements: replicates,
+    }]);
+    let workers = engine.for_plan(&plan).workers;
+    let stats = if workers <= 1 || plan.shard_count() <= 1 {
         replicate_stats(n, 0..replicates, &statistic, seed)?
     } else {
-        let chunk = replicates.div_ceil(workers);
-        let ranges: Vec<Range<usize>> = (0..workers)
-            .map(|w| (w * chunk).min(replicates)..((w + 1) * chunk).min(replicates))
-            .filter(|r| !r.is_empty())
-            .collect();
-        let partials = caf_exec::map_slice(workers, &ranges, |_, range| {
-            replicate_stats(n, range.clone(), &statistic, seed)
+        let partials = caf_exec::map_units(&plan, |shard| {
+            replicate_stats(n, shard.range.clone(), &statistic, seed)
         });
         let mut stats = Vec::with_capacity(replicates);
-        for partial in partials {
+        for partial in partials.into_iter().flatten() {
             stats.extend(partial?);
         }
         stats
@@ -397,6 +402,24 @@ mod tests {
                 serial_idx, on_idx,
                 "bootstrap_indices_ci_on at {workers} workers"
             );
+        }
+    }
+
+    #[test]
+    fn shard_policies_do_not_change_intervals() {
+        use caf_exec::ShardPolicy;
+        let xs = sample();
+        let serial = bootstrap_ci(&xs, |s| mean(s).unwrap(), 301, 0.95, 11).unwrap();
+        for policy in [
+            ShardPolicy::disabled(),
+            ShardPolicy::default_policy(),
+            ShardPolicy::finest(),
+        ] {
+            for workers in [1usize, 4] {
+                let engine = EngineConfig::with_workers(workers).with_shard_policy(policy);
+                let on = bootstrap_ci_on(engine, &xs, |s| mean(s).unwrap(), 301, 0.95, 11).unwrap();
+                assert_eq!(serial, on, "policy {policy:?} workers {workers}");
+            }
         }
     }
 

@@ -65,28 +65,76 @@ pub struct StateGeography {
 impl StateGeography {
     /// Builds the geography of `state` for every audited ISP present in
     /// the Table-3 matrix, deterministically from the config seed.
+    /// Equivalent to building the full CBG range in one shard and
+    /// assembling it (which is exactly how it is implemented, so the
+    /// sharded world generator and this entry point share one code
+    /// path).
     pub fn build(config: &SynthConfig, state: UsState) -> StateGeography {
+        let n = Self::cbg_count(config, state);
+        Self::assemble(config, state, Self::build_range(config, state, 0..n))
+    }
+
+    /// How many CBGs [`StateGeography::build`] will generate for
+    /// `state` — the cheap cost hint the sharded world generator feeds
+    /// the scheduler, computed without building anything.
+    pub fn cbg_count(config: &SynthConfig, state: UsState) -> usize {
+        Isp::audited()
+            .iter()
+            .filter_map(|&isp| CalibrationParams::presence(state, isp))
+            .map(|target| config.scaled(target.cbgs) as usize)
+            .sum()
+    }
+
+    /// Builds a contiguous range of the state's CBGs, indexed in the
+    /// canonical enumeration order (audited ISPs in `Isp::audited`
+    /// order, each ISP's CBGs by local index). Every CBG is a pure
+    /// function of `(seed, state, isp, local)`, so disjoint ranges
+    /// concatenate to exactly what one full-range build produces —
+    /// except for `density_pct`, which is a whole-state statistic
+    /// finalized by [`StateGeography::assemble`].
+    pub fn build_range(
+        config: &SynthConfig,
+        state: UsState,
+        range: std::ops::Range<usize>,
+    ) -> Vec<CbgInfo> {
         let urban_centers = urban_centers(config, state);
-        let mut cbgs: Vec<CbgInfo> = Vec::new();
-        let mut tract_counter: u32 = 0;
+        let mut cbgs: Vec<CbgInfo> = Vec::with_capacity(range.len());
+        let mut offset: usize = 0;
         for isp in Isp::audited() {
             let Some(target) = CalibrationParams::presence(state, isp) else {
                 continue;
             };
             let n_cbgs = config.scaled(target.cbgs) as usize;
-            for local in 0..n_cbgs {
-                tract_counter += 1;
-                let cbg = build_cbg(
+            let lo = range.start.clamp(offset, offset + n_cbgs);
+            let hi = range.end.clamp(offset, offset + n_cbgs);
+            for global in lo..hi {
+                let local = global - offset;
+                // The tract counter equals the global CBG index + 1 (it
+                // incremented once per CBG in the original single loop).
+                let tract_counter = (global + 1) as u32;
+                cbgs.push(build_cbg(
                     config,
                     state,
                     isp,
                     tract_counter,
                     local as u64,
                     &urban_centers,
-                );
-                cbgs.push(cbg);
+                ));
             }
+            offset += n_cbgs;
         }
+        cbgs
+    }
+
+    /// Assembles range-built CBGs (concatenated in enumeration order)
+    /// into the state geography, finalizing the whole-state density
+    /// percentiles that individual ranges cannot know.
+    pub fn assemble(
+        config: &SynthConfig,
+        state: UsState,
+        mut cbgs: Vec<CbgInfo>,
+    ) -> StateGeography {
+        let urban_centers = urban_centers(config, state);
         // Compute within-state density percentiles over all CBGs.
         let mut order: Vec<usize> = (0..cbgs.len()).collect();
         order.sort_by(|&a, &b| cbgs[a].density.total_cmp(&cbgs[b].density));
@@ -246,6 +294,33 @@ mod tests {
             assert_eq!(x.id, y.id);
             assert_eq!(x.caf_addresses, y.caf_addresses);
             assert_eq!(x.centroid, y.centroid);
+        }
+    }
+
+    #[test]
+    fn range_builds_concatenate_to_the_full_build() {
+        let cfg = small_config();
+        let full = StateGeography::build(&cfg, UsState::California);
+        let n = StateGeography::cbg_count(&cfg, UsState::California);
+        assert_eq!(full.cbgs.len(), n);
+        for splits in [1usize, 3, 7] {
+            let chunk = n.div_ceil(splits);
+            let mut cbgs = Vec::new();
+            for s in 0..splits {
+                let lo = (s * chunk).min(n);
+                let hi = ((s + 1) * chunk).min(n);
+                cbgs.extend(StateGeography::build_range(
+                    &cfg,
+                    UsState::California,
+                    lo..hi,
+                ));
+            }
+            let assembled = StateGeography::assemble(&cfg, UsState::California, cbgs);
+            assert_eq!(
+                format!("{:?}", assembled.cbgs),
+                format!("{:?}", full.cbgs),
+                "splits = {splits}"
+            );
         }
     }
 

@@ -103,21 +103,54 @@ pub struct Q3World {
     pub blocks: Vec<Q3Block>,
 }
 
+/// The precomputed parameters of one Q3 block: everything
+/// [`Q3World::build`]'s budget-splitting loop decides *before* any
+/// random draw happens. Pure arithmetic on the Table-4 budgets, so the
+/// full spec list is cheap to enumerate up front — which is what lets
+/// the sharded world generator build any contiguous block range
+/// independently (each block's randomness is keyed by `(state, isp,
+/// counter)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Q3BlockSpec {
+    /// The CAF incumbent.
+    pub isp: Isp,
+    /// The state-wide block counter (1-based) keying the block's RNG
+    /// stream and GEOID.
+    pub counter: u64,
+    /// CAF addresses in this block.
+    pub caf_n: u32,
+    /// Non-CAF parcels in this block.
+    pub non_caf_n: u32,
+}
+
+impl Q3BlockSpec {
+    /// The block's address count — the scheduler's cost hint.
+    pub fn addresses(&self) -> u64 {
+        u64::from(self.caf_n) + u64::from(self.non_caf_n)
+    }
+}
+
 impl Q3World {
     /// Builds the Q3 world for `state`, inserting truth entries for every
     /// (address, ISP) pair a campaign may query into `truth`.
     ///
     /// Returns an empty world for states outside the seven-state Q3 scope.
     pub fn build(config: &SynthConfig, state: UsState, truth: &mut TruthTable) -> Q3World {
-        if !UsState::q3_states().contains(&state) {
-            return Q3World {
-                state,
-                blocks: Vec::new(),
-            };
-        }
+        let specs = Q3World::block_specs(config, state);
+        let blocks = Q3World::build_specs(config, state, &specs, truth);
+        Q3World { state, blocks }
+    }
 
+    /// Enumerates the per-block specs for `state` (empty outside the
+    /// seven-state Q3 scope): the per-ISP Table-4 budgets split across
+    /// blocks exactly as the generation loop does, without drawing
+    /// anything.
+    pub fn block_specs(config: &SynthConfig, state: UsState) -> Vec<Q3BlockSpec> {
+        if !UsState::q3_states().contains(&state) {
+            return Vec::new();
+        }
         // Per-ISP address budgets for this state (Table 4, scaled).
-        let mut blocks: Vec<Q3Block> = Vec::new();
+        let mut specs: Vec<Q3BlockSpec> = Vec::new();
         let mut counter: u64 = 0;
         for isp in [Isp::Att, Isp::CenturyLink, Isp::Frontier, Isp::Consolidated] {
             let target = CalibrationParams::q3_target(state, isp);
@@ -138,19 +171,42 @@ impl Q3World {
                 let non_caf_n = per_block_share(non_caf_left, blocks_left);
                 caf_left -= caf_n;
                 non_caf_left -= non_caf_n;
-                let block = build_block(
-                    config,
-                    state,
+                specs.push(Q3BlockSpec {
                     isp,
                     counter,
-                    caf_n.max(1) as u32,
-                    non_caf_n.max(1) as u32,
-                    truth,
-                );
-                blocks.push(block);
+                    caf_n: caf_n.max(1) as u32,
+                    non_caf_n: non_caf_n.max(1) as u32,
+                });
             }
         }
-        Q3World { state, blocks }
+        specs
+    }
+
+    /// Materializes a contiguous slice of block specs, inserting the
+    /// blocks' truth entries into `truth`. Each block's randomness is
+    /// keyed by its spec's counter and its address ids by a
+    /// counter-derived base, so disjoint slices concatenate (and their
+    /// truth tables merge) to exactly what one full build produces.
+    pub fn build_specs(
+        config: &SynthConfig,
+        state: UsState,
+        specs: &[Q3BlockSpec],
+        truth: &mut TruthTable,
+    ) -> Vec<Q3Block> {
+        specs
+            .iter()
+            .map(|spec| {
+                build_block(
+                    config,
+                    state,
+                    spec.isp,
+                    spec.counter,
+                    spec.caf_n,
+                    spec.non_caf_n,
+                    truth,
+                )
+            })
+            .collect()
     }
 
     /// Total CAF / non-CAF addresses across blocks.
@@ -603,6 +659,30 @@ mod tests {
             assert_eq!(a.id, b.id);
             assert_eq!(a.latent_type, b.latent_type);
             assert_eq!(a.addresses.len(), b.addresses.len());
+        }
+    }
+
+    #[test]
+    fn spec_slice_builds_concatenate_to_the_full_build() {
+        let config = cfg();
+        let state = UsState::Illinois;
+        let (full, full_truth) = world(state);
+        let specs = Q3World::block_specs(&config, state);
+        assert_eq!(specs.len(), full.blocks.len());
+
+        for splits in [2usize, 5] {
+            let mut blocks: Vec<Q3Block> = Vec::new();
+            let mut truth = TruthTable::new();
+            let chunk = specs.len().div_ceil(splits);
+            for slice in specs.chunks(chunk) {
+                blocks.extend(Q3World::build_specs(&config, state, slice, &mut truth));
+            }
+            assert_eq!(
+                format!("{blocks:?}"),
+                format!("{:?}", full.blocks),
+                "{splits}-way spec build must match the full build"
+            );
+            assert_eq!(truth.len(), full_truth.len());
         }
     }
 }

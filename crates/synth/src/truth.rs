@@ -119,9 +119,26 @@ impl TruthTable {
     /// Builds the Q1/Q2 truth for a state: one entry per certified CAF
     /// address, keyed by the certifying ISP.
     pub fn build_q1(config: &SynthConfig, geo: &StateGeography, usac: &UsacDataset) -> TruthTable {
+        Self::build_q1_for_cbgs(config, geo.state, &geo.cbgs, &usac.records)
+    }
+
+    /// [`TruthTable::build_q1`] over a contiguous CBG slice: `records`
+    /// must be the slice's own records in CBG generation order (each
+    /// CBG contributes exactly `caf_addresses` consecutive records —
+    /// the invariant `UsacDataset::build_for_cbgs` establishes). CBG
+    /// rates are keyed by GEOID and address draws by address id, so
+    /// shard-local tables merge to exactly the full build's table. Note
+    /// the CBGs must carry *finalized* `density_pct` values — the one
+    /// whole-state input the rate modulation consumes.
+    pub fn build_q1_for_cbgs(
+        config: &SynthConfig,
+        state: caf_geo::UsState,
+        cbgs: &[crate::geography::CbgInfo],
+        records: &[crate::usac::CafRecord],
+    ) -> TruthTable {
         let mut table = TruthTable::new();
-        let state = geo.state;
-        for cbg in &geo.cbgs {
+        let mut offset: usize = 0;
+        for cbg in cbgs {
             let isp = cbg.isp;
             // Effective CBG serviceability: base rate, density-modulated,
             // with Beta-distributed CBG-to-CBG spread.
@@ -133,13 +150,13 @@ impl TruthTable {
             let cbg_rate = dist::beta_mean_conc(&mut cbg_rng, modulated, kappa);
 
             let catalog = PlanCatalog::for_isp(isp);
-            for &record_idx in usac.records_in_cbg(isp, cbg.id) {
-                let record = &usac.records[record_idx];
+            for record in &records[offset..offset + cbg.caf_addresses as usize] {
                 let addr = record.address.id;
                 let mut rng = scoped_rng(config.seed, "truth-addr", mix2(addr.0, isp.id(), 1));
                 let truth = draw_truth(&mut rng, isp, &catalog, cbg_rate);
                 table.insert(addr, isp, truth);
             }
+            offset += cbg.caf_addresses as usize;
         }
         table
     }

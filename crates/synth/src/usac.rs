@@ -107,13 +107,29 @@ impl UsacDataset {
     /// 10⁹ plus a running counter, so ids never collide across states and
     /// regeneration yields identical ids.
     pub fn build(config: &SynthConfig, geo: &StateGeography) -> UsacDataset {
-        let state = geo.state;
-        let fips = u64::from(state.fips().code());
-        let mut counter: u64 = 0;
-        let mut records: Vec<CafRecord> = Vec::new();
-        let mut by_cbg: BTreeMap<(Isp, BlockGroupId), Vec<usize>> = BTreeMap::new();
+        Self::assemble(
+            geo.state,
+            Self::build_for_cbgs(config, geo.state, &geo.cbgs, 0),
+        )
+    }
 
-        for cbg in &geo.cbgs {
+    /// Materializes the records of a contiguous CBG slice. `base` is the
+    /// number of CAF addresses in all CBGs *before* the slice (the
+    /// state's address-id counter is dense across CBGs, so a shard must
+    /// know its prefix total to mint the same ids as a full build).
+    /// Every per-record draw comes from the CBG's keyed stream, so
+    /// disjoint slices concatenate to exactly the full build's records.
+    pub fn build_for_cbgs(
+        config: &SynthConfig,
+        state: UsState,
+        cbgs: &[crate::geography::CbgInfo],
+        base: u64,
+    ) -> Vec<CafRecord> {
+        let fips = u64::from(state.fips().code());
+        let mut counter: u64 = base;
+        let mut records: Vec<CafRecord> = Vec::new();
+
+        for cbg in cbgs {
             let mut rng = scoped_rng(config.seed, "usac", cbg.id.geoid());
             let certified = CalibrationParams::certified_tier_weights(cbg.isp);
             let weights: Vec<f64> = certified.iter().map(|&(_, w)| w).collect();
@@ -149,7 +165,6 @@ impl UsacDataset {
                     } else {
                         Technology::FixedWireless
                     };
-                    let idx = records.len();
                     records.push(CafRecord {
                         address: Address {
                             id,
@@ -163,9 +178,23 @@ impl UsacDataset {
                         technology,
                         latency_ms: rng.gen_range(15.0..95.0),
                     });
-                    by_cbg.entry((cbg.isp, cbg.id)).or_default().push(idx);
                 }
             }
+        }
+        records
+    }
+
+    /// Assembles range-built records (concatenated in CBG order) into a
+    /// dataset, rebuilding the by-CBG index from each record's own
+    /// (ISP, block group) — index contents depend only on the records,
+    /// never on how they were chunked.
+    pub fn assemble(state: UsState, records: Vec<CafRecord>) -> UsacDataset {
+        let mut by_cbg: BTreeMap<(Isp, BlockGroupId), Vec<usize>> = BTreeMap::new();
+        for (idx, record) in records.iter().enumerate() {
+            by_cbg
+                .entry((record.isp, record.address.block_group()))
+                .or_default()
+                .push(idx);
         }
         UsacDataset {
             state,
@@ -407,6 +436,42 @@ mod tests {
         // Every CBG cell is indexed and sums back to the record count.
         let indexed: usize = ds.cbg_cells().map(|(_, _, idxs)| idxs.len()).sum();
         assert_eq!(indexed, ds.records.len());
+    }
+
+    #[test]
+    fn cbg_slice_builds_concatenate_to_the_full_build() {
+        let geo = StateGeography::build(&cfg(), UsState::Ohio);
+        let full = UsacDataset::build(&cfg(), &geo);
+        for splits in [2usize, 5] {
+            let chunk = geo.cbgs.len().div_ceil(splits);
+            let mut records = Vec::new();
+            let mut base: u64 = 0;
+            for s in 0..splits {
+                let lo = (s * chunk).min(geo.cbgs.len());
+                let hi = ((s + 1) * chunk).min(geo.cbgs.len());
+                let slice = &geo.cbgs[lo..hi];
+                records.extend(UsacDataset::build_for_cbgs(&cfg(), geo.state, slice, base));
+                base += slice
+                    .iter()
+                    .map(|c| u64::from(c.caf_addresses))
+                    .sum::<u64>();
+            }
+            let sharded = UsacDataset::assemble(geo.state, records);
+            assert_eq!(
+                format!("{:?}", sharded.records),
+                format!("{:?}", full.records),
+                "splits = {splits}"
+            );
+            let full_cells: Vec<_> = full
+                .cbg_cells()
+                .map(|(i, c, x)| (i, c, x.to_vec()))
+                .collect();
+            let shard_cells: Vec<_> = sharded
+                .cbg_cells()
+                .map(|(i, c, x)| (i, c, x.to_vec()))
+                .collect();
+            assert_eq!(full_cells, shard_cells);
+        }
     }
 
     #[test]

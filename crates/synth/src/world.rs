@@ -7,10 +7,10 @@
 
 use crate::geography::StateGeography;
 use crate::params::SynthConfig;
-use crate::q3::Q3World;
+use crate::q3::{Q3Block, Q3World};
 use crate::truth::TruthTable;
-use crate::usac::UsacDataset;
-use caf_exec::EngineConfig;
+use crate::usac::{CafRecord, UsacDataset};
+use caf_exec::{CostHint, EngineConfig};
 use caf_geo::UsState;
 use std::time::Instant;
 
@@ -58,15 +58,30 @@ impl World {
     }
 
     /// Generates the world for a subset of states across an engine
-    /// worker pool, fanning out per state.
+    /// worker pool, fanning out in cost-hinted shards so a giant state
+    /// (California is ~40 % of the total) no longer caps the speedup at
+    /// its own build time.
     ///
-    /// Output is **byte-identical at any worker count**: every stream in
-    /// the generators is entity-keyed (`crate::rng`), each state's unit
-    /// builds into its own local [`TruthTable`], and the partial tables
-    /// are merged in fixed state order. Truth keys are `(address, ISP)`
-    /// pairs and address ids are disjoint across states, so the merged
-    /// map's contents do not depend on scheduling. The contract is
-    /// pinned by `crates/tests/tests/parallel_cold_paths.rs`.
+    /// Generation runs as two [`caf_exec::map_units`] passes:
+    ///
+    /// 1. **Geography** — per-state units hinted by
+    ///    [`StateGeography::cbg_count`]; big states split into
+    ///    contiguous CBG ranges ([`StateGeography::build_range`]) and
+    ///    reassemble via [`StateGeography::assemble`], which finalizes
+    ///    the whole-state density percentiles the later passes consume.
+    /// 2. **USAC + truth + Q3** — two units per state: a Q1 unit hinted
+    ///    by per-CBG certified-address counts (shards build records and
+    ///    truth for a CBG range, offset by the range's address-id
+    ///    prefix), and a Q3 unit hinted by per-block address counts
+    ///    over [`Q3World::block_specs`].
+    ///
+    /// Output is **byte-identical at any worker count and shard
+    /// policy**: every stream in the generators is entity-keyed
+    /// (`crate::rng`), shards cover disjoint contiguous element ranges,
+    /// and partial results are reassembled positionally — records and
+    /// blocks concatenate in shard order, truth tables (disjoint
+    /// `(address, ISP)` keys) merge in fixed state order. The contract
+    /// is pinned by `crates/tests/tests/parallel_cold_paths.rs`.
     pub fn generate_states_on(
         config: SynthConfig,
         states: &[UsState],
@@ -75,34 +90,115 @@ impl World {
         let telemetry = caf_obs::enabled();
         let _span = caf_obs::span("synth.world");
         let wall_start = telemetry.then(Instant::now);
-        let workers = engine.for_units(states.len()).workers;
-        let partials: Vec<(StateWorld, TruthTable)> =
-            caf_exec::map_slice(workers, states, |_, &state| {
-                let _span = caf_obs::span_with(|| format!("world.{}", state.abbrev()));
-                let unit_start = telemetry.then(Instant::now);
-                let geography = StateGeography::build(&config, state);
-                let usac = UsacDataset::build(&config, &geography);
-                let mut truth = TruthTable::build_q1(&config, &geography, &usac);
-                let q3 = Q3World::build(&config, state, &mut truth);
-                if let Some(start) = unit_start {
-                    let micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
-                    caf_obs::observe("caf.synth.world.state_us", micros);
+
+        // Pass 1: geography, sharded by contiguous CBG ranges. The cost
+        // hint (CBG count) is known without building anything.
+        let geo_hints: Vec<CostHint> = states
+            .iter()
+            .map(|&state| {
+                let n = StateGeography::cbg_count(&config, state);
+                CostHint::Uniform {
+                    cost: n as u64,
+                    elements: n,
                 }
-                (
-                    StateWorld {
-                        state,
-                        geography,
-                        usac,
-                        q3,
-                    },
-                    truth,
-                )
-            });
+            })
+            .collect();
+        let geo_plan = engine.plan(&geo_hints);
+        let geo_parts = caf_exec::map_units(&geo_plan, |shard| {
+            let state = states[shard.unit];
+            let _span = caf_obs::span_with(|| format!("world.{}.geo", state.abbrev()));
+            StateGeography::build_range(&config, state, shard.range.clone())
+        });
+        let geographies: Vec<StateGeography> = geo_parts
+            .into_iter()
+            .zip(states)
+            .map(|(parts, &state)| {
+                StateGeography::assemble(&config, state, parts.into_iter().flatten().collect())
+            })
+            .collect();
+
+        // Pass 2: USAC records, Q1 truth, and the Q3 world — two units
+        // per state (2i = Q1 over CBG ranges, 2i+1 = Q3 over block-spec
+        // ranges), each shard building into its own local truth table.
+        enum Part {
+            Q1(Vec<CafRecord>, TruthTable),
+            Q3(Vec<Q3Block>, TruthTable),
+        }
+        let q3_specs: Vec<_> = states
+            .iter()
+            .map(|&state| Q3World::block_specs(&config, state))
+            .collect();
+        let mut hints: Vec<CostHint> = Vec::with_capacity(states.len() * 2);
+        for (geo, specs) in geographies.iter().zip(&q3_specs) {
+            hints.push(CostHint::PerElement(
+                geo.cbgs
+                    .iter()
+                    .map(|c| u64::from(c.caf_addresses))
+                    .collect(),
+            ));
+            hints.push(CostHint::PerElement(
+                specs.iter().map(|s| s.addresses()).collect(),
+            ));
+        }
+        let plan = engine.plan(&hints);
+        let workers = engine.for_plan(&plan).workers;
+        let parts = caf_exec::map_units(&plan, |shard| {
+            let state = states[shard.unit / 2];
+            let _span = caf_obs::span_with(|| format!("world.{}", state.abbrev()));
+            let unit_start = telemetry.then(Instant::now);
+            let part = if shard.unit % 2 == 0 {
+                let geo = &geographies[shard.unit / 2];
+                let cbgs = &geo.cbgs[shard.range.clone()];
+                let base: u64 = geo.cbgs[..shard.range.start]
+                    .iter()
+                    .map(|c| u64::from(c.caf_addresses))
+                    .sum();
+                let records = UsacDataset::build_for_cbgs(&config, state, cbgs, base);
+                let truth = TruthTable::build_q1_for_cbgs(&config, state, cbgs, &records);
+                Part::Q1(records, truth)
+            } else {
+                let specs = &q3_specs[shard.unit / 2][shard.range.clone()];
+                let mut truth = TruthTable::new();
+                let blocks = Q3World::build_specs(&config, state, specs, &mut truth);
+                Part::Q3(blocks, truth)
+            };
+            if let Some(start) = unit_start {
+                let micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+                caf_obs::observe("caf.synth.world.state_us", micros);
+            }
+            part
+        });
+
+        // Reassemble per state: shard results concatenate in element
+        // order, truth merges in fixed state order (keys are disjoint).
         let mut truth = TruthTable::new();
-        let mut state_worlds = Vec::with_capacity(partials.len());
-        for (state_world, partial) in partials {
-            truth.merge(partial);
-            state_worlds.push(state_world);
+        let mut state_worlds = Vec::with_capacity(states.len());
+        let mut parts = parts.into_iter();
+        for (geography, &state) in geographies.into_iter().zip(states) {
+            let mut records: Vec<CafRecord> = Vec::new();
+            for part in parts.next().expect("one Q1 unit per state") {
+                let Part::Q1(shard_records, shard_truth) = part else {
+                    unreachable!("even units are Q1");
+                };
+                records.extend(shard_records);
+                truth.merge(shard_truth);
+            }
+            let usac = UsacDataset::assemble(state, records);
+            let mut blocks: Vec<Q3Block> = Vec::new();
+            for part in parts.next().expect("one Q3 unit per state") {
+                let Part::Q3(shard_blocks, shard_truth) = part else {
+                    unreachable!("odd units are Q3");
+                };
+                blocks.extend(shard_blocks);
+                truth.merge(shard_truth);
+            }
+            let q3 = Q3World { state, blocks };
+            state_worlds.push(StateWorld {
+                state,
+                geography,
+                usac,
+                q3,
+            });
         }
         if let Some(start) = wall_start {
             let micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
@@ -176,6 +272,37 @@ mod tests {
                     format!("{:?}", serial.truth.get(r.address.id, r.isp)),
                     format!("{:?}", parallel.truth.get(r.address.id, r.isp)),
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_generation_matches_serial_at_any_policy() {
+        use caf_exec::ShardPolicy;
+        let config = SynthConfig {
+            seed: 23,
+            scale: 30,
+        };
+        // Includes Q3 states so block-spec sharding is exercised.
+        let states = &[UsState::California, UsState::Vermont, UsState::Ohio];
+        let baseline = World::generate_states_on(
+            config,
+            states,
+            EngineConfig::serial().with_shard_policy(ShardPolicy::disabled()),
+        );
+        for policy in [ShardPolicy::default_policy(), ShardPolicy::finest()] {
+            for workers in [1usize, 4] {
+                let world = World::generate_states_on(
+                    config,
+                    states,
+                    EngineConfig::with_workers(workers).with_shard_policy(policy),
+                );
+                assert_eq!(
+                    format!("{:?}", baseline.states),
+                    format!("{:?}", world.states),
+                    "policy {policy:?} workers {workers}"
+                );
+                assert_eq!(baseline.truth.len(), world.truth.len());
             }
         }
     }

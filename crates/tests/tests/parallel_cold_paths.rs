@@ -2,15 +2,17 @@
 //! resampling must produce **identical** output at any engine worker
 //! count, mirroring what `determinism.rs` pins for the audit hot path.
 //!
-//! Both paths run on `caf_exec::map_slice` with entity-keyed randomness
-//! (per-state seeds for world generation, per-replicate streams for the
-//! bootstrap), so the worker count can only move wall-clock time, never
-//! bytes. The worker count for the parallel side is taken from the
+//! Both paths run on `caf_exec::map_units` shard plans with
+//! entity-keyed randomness (per-CBG and per-block streams for world
+//! generation, per-replicate streams for the bootstrap), so neither the
+//! worker count nor the shard policy can move anything but wall-clock
+//! time. The worker count for the parallel side is taken from the
 //! `CAF_EQUIV_WORKERS` environment variable (default 4) so CI can
 //! exercise two different pool shapes against the same pinned serial
-//! fingerprint.
+//! fingerprint; the shard-policy matrix is pinned explicitly via
+//! `EngineConfig::with_shard_policy`.
 
-use caf_core::{EngineConfig, ServiceabilityAnalysis};
+use caf_core::{EngineConfig, ServiceabilityAnalysis, ShardPolicy};
 use caf_geo::UsState;
 use caf_stats::{bootstrap_ci, bootstrap_ci_on, bootstrap_indices_ci, bootstrap_indices_ci_on};
 use caf_synth::{SynthConfig, World};
@@ -131,6 +133,54 @@ fn worker_count_does_not_change_bootstrap_cis() {
     )
     .unwrap();
     assert_eq!(serial, indexed_parallel);
+}
+
+/// Shard-policy bit-identity: world, audit, and bootstrap artifacts
+/// must hash identically whether giant units are split to the bone
+/// (one element per shard), split by the default cost threshold, or
+/// not split at all — at every worker count. This is the acceptance
+/// contract of the cost-aware scheduler: shard boundaries move wall
+/// clock, never bytes.
+#[test]
+fn shard_policy_does_not_change_any_artifact() {
+    let synth = SynthConfig { seed: 7, scale: 30 };
+    let run = |engine: EngineConfig| {
+        let world = World::generate_states_on(synth, &states()[..2], engine);
+        let audit = caf_core::Audit::new(caf_core::AuditConfig {
+            synth,
+            campaign: caf_bqt::CampaignConfig {
+                seed: synth.seed,
+                workers: 2,
+                ..caf_bqt::CampaignConfig::default()
+            },
+            rule: caf_core::SamplingRule::paper(),
+            resample_rounds: 1,
+        });
+        let dataset = audit.run_with(&world, engine);
+        let ci = ServiceabilityAnalysis::compute(&dataset)
+            .overall_rate_ci_on(engine, 400, 0.95, 99)
+            .unwrap();
+        let mut h = DefaultHasher::new();
+        world_fingerprint(&world).hash(&mut h);
+        format!("{:?}", dataset.rows).hash(&mut h);
+        format!("{:?}", dataset.records).hash(&mut h);
+        format!("{ci:?}").hash(&mut h);
+        h.finish()
+    };
+    let baseline = run(EngineConfig::serial().with_shard_policy(ShardPolicy::disabled()));
+    for policy in [
+        ShardPolicy::finest(),
+        ShardPolicy::default_policy(),
+        ShardPolicy::disabled(),
+    ] {
+        for workers in [1usize, 2, 4] {
+            let hash = run(EngineConfig::with_workers(workers).with_shard_policy(policy));
+            assert_eq!(
+                hash, baseline,
+                "artifacts diverged under {policy:?} at {workers} workers"
+            );
+        }
+    }
 }
 
 #[test]
