@@ -7,13 +7,50 @@
 # cold-path equivalence suite at two different worker-pool shapes, a
 # quick world-bench run whose `BENCH_world.json` must pass the caf-obs
 # schema gate (and, on hosts with >= 4 cores, the shard scheduler's
-# 4-worker speedup gate), and an observability smoke run — a tiny repro
-# experiment with `--metrics` whose run report must pass the full
-# metrics_check gate.
+# 4-worker speedup gate), an observability smoke run (a tiny repro
+# experiment whose run report must pass the full metrics_check gate),
+# and the serving-layer gate: `caf-serve` is started on an ephemeral
+# port at two HTTP worker counts, its `/v1/table2` response is
+# byte-compared against the golden artifact the same repro run wrote,
+# its `/metrics` report must pass the full metrics_check gate, and it
+# must shut down cleanly via `/quitquitquit` (a leaked thread or hung
+# process fails the gate). A supply-chain check (`cargo deny`) runs
+# when the tool is installed, and the script fails if any gate left
+# the git worktree dirtier than it found it.
+#
+# All generated reports/artifacts land in $CAF_CI_OUT (a temp dir by
+# default; CI sets it to a workspace path and uploads it), never in
+# tracked files.
 #
 # Usage: ./ci.sh
 set -euo pipefail
 cd "$(dirname "$0")"
+
+# Snapshot worktree state up front: the final gate asserts that no CI
+# step modified tracked files (e.g. a bench overwriting its committed
+# baseline).
+status_before=""
+if command -v git >/dev/null && git rev-parse --is-inside-work-tree >/dev/null 2>&1; then
+  status_before=$(git status --porcelain)
+fi
+
+ci_out=${CAF_CI_OUT:-}
+cleanup_out=""
+if [ -z "$ci_out" ]; then
+  ci_out=$(mktemp -d /tmp/caf_ci.XXXXXX)
+  cleanup_out="$ci_out"
+fi
+mkdir -p "$ci_out"
+serve_pid=""
+cleanup() {
+  if [ -n "$serve_pid" ] && kill -0 "$serve_pid" 2>/dev/null; then
+    kill -9 "$serve_pid" 2>/dev/null || true
+  fi
+  if [ -n "$cleanup_out" ]; then
+    rm -rf "$cleanup_out"
+  fi
+}
+trap cleanup EXIT
 
 echo "==> cargo fmt --all -- --check"
 cargo fmt --all -- --check
@@ -32,8 +69,8 @@ CAF_EQUIV_WORKERS=2 cargo test -q -p caf-tests --test parallel_cold_paths
 CAF_EQUIV_WORKERS=5 cargo test -q -p caf-tests --test parallel_cold_paths
 
 echo "==> world bench smoke: BENCH_world.json + schema gate"
-CAF_BENCH_WORLD_QUICK=1 cargo bench -q -p caf-bench --bench world
-cargo run --release -q -p caf-bench --bin metrics_check -- --schema-only BENCH_world.json
+CAF_BENCH_WORLD_QUICK=1 CAF_BENCH_DIR="$ci_out" cargo bench -q -p caf-bench --bench world
+cargo run --release -q -p caf-bench --bin metrics_check -- --schema-only "$ci_out/BENCH_world.json"
 
 # Speedup regression gate for the cost-aware shard scheduler: the
 # 4-worker world build must not be slower than the 1-worker build.
@@ -42,16 +79,89 @@ cores=$(nproc 2>/dev/null || echo 1)
 if [ "$cores" -ge 4 ]; then
   echo "==> world bench speedup gate (host has $cores cores)"
   cargo run --release -q -p caf-bench --bin metrics_check -- \
-    --schema-only --min-world-speedup 1.0 BENCH_world.json
+    --schema-only --min-world-speedup 1.0 "$ci_out/BENCH_world.json"
 else
   echo "==> skipping world bench speedup gate (host has $cores cores, need 4)"
 fi
 
-echo "==> observability smoke: repro --metrics + schema gate"
-smoke_report=$(mktemp /tmp/caf_obs_smoke.XXXXXX.json)
-trap 'rm -f "$smoke_report"' EXIT
+echo "==> observability smoke: repro --metrics + golden artifacts + full gate"
+golden="$ci_out/golden"
 cargo run --release -q -p caf-bench --bin repro -- \
-  table2 --scale 150 --workers 2 --metrics "$smoke_report" --quiet
-cargo run --release -q -p caf-bench --bin metrics_check -- "$smoke_report"
+  table2 --scale 150 --workers 2 --metrics "$ci_out/obs_smoke.json" \
+  --artifacts "$golden" --quiet
+cargo run --release -q -p caf-bench --bin metrics_check -- "$ci_out/obs_smoke.json"
+
+# The serving-layer gate. The /v1/table2 bytes must equal the golden
+# artifact repro just wrote — the determinism contract extended across
+# the network boundary — at both 1 and 4 HTTP workers.
+serve_seed=212803620 # 0xCAF_2024, the repro default
+for http_workers in 1 4; do
+  echo "==> serve gate: caf-serve with $http_workers HTTP worker(s)"
+  port_file="$ci_out/serve_port.$http_workers"
+  rm -f "$port_file"
+  ./target/release/caf-serve --addr 127.0.0.1:0 --workers "$http_workers" \
+    --engine-workers 2 --port-file "$port_file" --quiet &
+  serve_pid=$!
+  for _ in $(seq 1 100); do
+    [ -s "$port_file" ] && break
+    if ! kill -0 "$serve_pid" 2>/dev/null; then
+      echo "caf-serve exited before startup" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  [ -s "$port_file" ] || { echo "caf-serve never wrote its port file" >&2; exit 1; }
+  addr=$(cat "$port_file")
+
+  health=$(curl -fsS "http://$addr/healthz")
+  [ "$health" = "ok" ] || { echo "unexpected /healthz body: $health" >&2; exit 1; }
+
+  curl -fsS "http://$addr/v1/table2?seed=$serve_seed&scale=150" \
+    -o "$ci_out/served_table2.$http_workers.json"
+  cmp "$ci_out/served_table2.$http_workers.json" "$golden/table2.json"
+  echo "    /v1/table2 is byte-identical to the repro golden"
+
+  curl -fsS "http://$addr/metrics" -o "$ci_out/serve_metrics.$http_workers.json"
+  cargo run --release -q -p caf-bench --bin metrics_check -- \
+    "$ci_out/serve_metrics.$http_workers.json"
+
+  curl -fsS "http://$addr/quitquitquit" >/dev/null
+  for _ in $(seq 1 100); do
+    kill -0 "$serve_pid" 2>/dev/null || break
+    sleep 0.1
+  done
+  if kill -0 "$serve_pid" 2>/dev/null; then
+    echo "caf-serve did not exit within 10s of /quitquitquit (leaked threads?)" >&2
+    exit 1
+  fi
+  wait "$serve_pid"
+  serve_pid=""
+  echo "    clean shutdown"
+done
+
+echo "==> serve bench smoke: BENCH_serve.json + schema gate"
+CAF_BENCH_SERVE_QUICK=1 CAF_BENCH_DIR="$ci_out" \
+  cargo run --release -q -p caf-serve --bin serve_bench
+cargo run --release -q -p caf-bench --bin metrics_check -- --schema-only "$ci_out/BENCH_serve.json"
+# The committed baseline must stay schema-valid too.
+cargo run --release -q -p caf-bench --bin metrics_check -- --schema-only BENCH_serve.json
+
+echo "==> supply-chain gate: cargo deny"
+if command -v cargo-deny >/dev/null; then
+  cargo deny check
+else
+  echo "==> skipping cargo deny (not installed; CI installs it)"
+fi
+
+if [ -n "${status_before+x}" ] && command -v git >/dev/null \
+  && git rev-parse --is-inside-work-tree >/dev/null 2>&1; then
+  echo "==> worktree hygiene: no gate may modify tracked files"
+  status_after=$(git status --porcelain)
+  if [ "$status_after" != "$status_before" ]; then
+    echo "ci.sh modified the worktree:" >&2
+    diff <(printf '%s\n' "$status_before") <(printf '%s\n' "$status_after") >&2 || true
+    exit 1
+  fi
+fi
 
 echo "==> ci.sh: all gates passed"

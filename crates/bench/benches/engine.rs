@@ -87,7 +87,7 @@ fn bench_index(c: &mut Criterion) {
 
 /// Runs one audit per worker count with telemetry enabled and writes the
 /// resulting run report as a single line of compact JSON to
-/// `BENCH_engine.json` at the repository root.
+/// `BENCH_engine.json` at the repository root (or `$CAF_BENCH_DIR`).
 fn write_bench_summary() {
     caf_obs::set_enabled(true);
     caf_obs::registry().reset();
@@ -105,12 +105,16 @@ fn write_bench_summary() {
     meta.insert("scale".to_string(), SCALE.to_string());
     meta.insert("workers".to_string(), "1,2,4".to_string());
     let report = caf_obs::RunReport::collect(meta);
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    // CAF_BENCH_DIR redirects the summary (CI points it at an artifact
+    // directory so smoke runs never dirty the committed baseline).
+    let dir = std::env::var("CAF_BENCH_DIR")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../..").to_string());
+    let path = std::path::Path::new(&dir).join("BENCH_engine.json");
     let mut line = report.to_json();
     line.push('\n');
-    match std::fs::write(path, line) {
-        Ok(()) => eprintln!("wrote bench summary to {path}"),
-        Err(error) => eprintln!("cannot write {path}: {error}"),
+    match std::fs::write(&path, line) {
+        Ok(()) => eprintln!("wrote bench summary to {}", path.display()),
+        Err(error) => eprintln!("cannot write {}: {error}", path.display()),
     }
 }
 

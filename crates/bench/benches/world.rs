@@ -87,7 +87,8 @@ fn bench_bootstrap(c: &mut Criterion) {
 
 /// Runs one bootstrap pass and one world build per worker count with
 /// telemetry enabled and writes the resulting run report as a single
-/// line of compact JSON to `BENCH_world.json` at the repository root.
+/// line of compact JSON to `BENCH_world.json` at the repository root
+/// (or `$CAF_BENCH_DIR` when set).
 /// The measured 1-vs-4-worker speedups land in the report metadata.
 ///
 /// The bootstrap sweep runs *before* the world sweep so the
@@ -155,12 +156,19 @@ fn write_bench_summary() {
         );
     }
     let report = caf_obs::RunReport::collect(meta);
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_world.json");
+    // CAF_BENCH_DIR redirects the summary (CI points it at an artifact
+    // directory so smoke runs never dirty the committed baseline).
+    let dir = std::env::var("CAF_BENCH_DIR")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../..").to_string());
+    let path = std::path::Path::new(&dir).join("BENCH_world.json");
     let mut line = report.to_json();
     line.push('\n');
-    match std::fs::write(path, line) {
-        Ok(()) => eprintln!("wrote bench summary to {path} (4-worker speedup {speedup_4w:.2}x)"),
-        Err(error) => eprintln!("cannot write {path}: {error}"),
+    match std::fs::write(&path, line) {
+        Ok(()) => eprintln!(
+            "wrote bench summary to {} (4-worker speedup {speedup_4w:.2}x)",
+            path.display()
+        ),
+        Err(error) => eprintln!("cannot write {}: {error}", path.display()),
     }
 }
 

@@ -4,7 +4,8 @@
 //!
 //! ```text
 //! repro <experiment>... [--scale N] [--seed N] [--workers N|auto]
-//!                       [--shard-threshold N] [--metrics FILE] [--quiet]
+//!                       [--shard-threshold N] [--metrics FILE]
+//!                       [--artifacts DIR] [--quiet]
 //! repro all [--scale N]
 //! ```
 //!
@@ -28,6 +29,11 @@
 //! experiment, plus a human-readable summary table on stderr. Telemetry
 //! is observation-only: outputs are byte-identical with or without it.
 //! `--quiet` suppresses progress lines and the summary table.
+//!
+//! `--artifacts DIR` additionally writes the canonical JSON artifacts
+//! (`caf_core::artifact`) for every fixture the run built. `caf-serve`
+//! returns these exact bytes over HTTP; the `ci.sh` serve gate diffs
+//! the two.
 //!
 //! Experiments: `fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11
 //! table1 table2 table3 table4 rates summary ablate-weights
@@ -95,6 +101,7 @@ struct Options {
     q3_scale: u32,
     engine: EngineConfig,
     metrics: Option<std::path::PathBuf>,
+    artifacts: Option<std::path::PathBuf>,
     quiet: bool,
 }
 
@@ -116,6 +123,7 @@ fn parse_args() -> Options {
     let mut engine = EngineConfig::default();
     let mut shard: Option<ShardPolicy> = None;
     let mut metrics = None;
+    let mut artifacts = None;
     let mut quiet = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -168,12 +176,18 @@ fn parse_args() -> Options {
                         .unwrap_or_else(|| die("--metrics needs a file path")),
                 ));
             }
+            "--artifacts" => {
+                artifacts =
+                    Some(std::path::PathBuf::from(args.next().unwrap_or_else(|| {
+                        die("--artifacts needs a directory path")
+                    })));
+            }
             "--quiet" => quiet = true,
             "all" => experiments.extend(ALL.iter().map(|s| s.to_string())),
             "--help" | "-h" => {
                 println!(
                     "repro <experiment>... [--scale N] [--seed N] [--workers N|auto] \
-                     [--shard-threshold N] [--metrics FILE] [--quiet]"
+                     [--shard-threshold N] [--metrics FILE] [--artifacts DIR] [--quiet]"
                 );
                 println!("experiments: {}", ALL.join(" "));
                 std::process::exit(0);
@@ -197,6 +211,7 @@ fn parse_args() -> Options {
         q3_scale,
         engine,
         metrics,
+        artifacts,
         quiet,
     }
 }
@@ -296,8 +311,53 @@ fn main() {
             other => die(&format!("unhandled experiment {other}")),
         }
     }
+    if let Some(dir) = &options.artifacts {
+        write_artifacts(dir, &options, &lazy);
+    }
     if let Some(path) = &options.metrics {
         write_metrics(path, &options);
+    }
+}
+
+/// Writes the canonical JSON artifacts (see `caf_core::artifact`) for
+/// every fixture the run materialized: `serviceability.json`,
+/// `compliance.json`, and `table2.json` when the Q1/Q2 fixture was
+/// built, `q3.json` when the Q3 fixture was. These are the golden files
+/// the `ci.sh` serve gate byte-diffs against `caf-serve` responses —
+/// the determinism-over-HTTP contract.
+fn write_artifacts(dir: &std::path::Path, options: &Options, lazy: &Lazy) {
+    use caf_core::artifact;
+    std::fs::create_dir_all(dir).unwrap_or_else(|e| die(&format!("create {dir:?}: {e}")));
+    let meta = artifact::ScenarioMeta {
+        seed: options.seed,
+        scale: options.scale,
+        q3_scale: options.q3_scale,
+    };
+    let write = |name: &str, body: caf_obs::json::Json| {
+        let path = dir.join(format!("{name}.json"));
+        let bytes = artifact::to_canonical_bytes(&meta.wrap(body));
+        std::fs::write(&path, bytes).unwrap_or_else(|e| die(&format!("write {path:?}: {e}")));
+        progress(format_args!("wrote artifact {}", path.display()));
+    };
+    if let Some(fixture) = lazy.fixture.get() {
+        write(
+            "serviceability",
+            artifact::serviceability(&fixture.serviceability, None),
+        );
+        write(
+            "compliance",
+            artifact::compliance(&fixture.compliance, &fixture.dataset, None),
+        );
+        write("table2", artifact::table2(&fixture.dataset));
+    }
+    if let Some((_, q3)) = lazy.q3.get() {
+        write("q3", artifact::q3(q3));
+    }
+    if lazy.fixture.get().is_none() && lazy.q3.get().is_none() {
+        progress(format_args!(
+            "no fixtures were built; nothing to write under {}",
+            dir.display()
+        ));
     }
 }
 

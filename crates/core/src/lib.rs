@@ -36,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod audit;
 pub mod compliance;
 pub mod counterfactual;
@@ -51,6 +52,7 @@ pub mod sampling;
 pub mod sensitivity;
 pub mod serviceability;
 
+pub use artifact::ScenarioMeta;
 pub use audit::{Audit, AuditConfig, AuditDataset, AuditRow};
 pub use compliance::ComplianceAnalysis;
 pub use counterfactual::CompetitionCounterfactual;

@@ -142,6 +142,24 @@ impl EngineConfig {
         self.for_units(plan.shard_count())
     }
 
+    /// The worker budget for one of `ways` concurrent engine-driven
+    /// computations sharing this configuration — the sizing rule for
+    /// *persistent* pools (a serving layer keeps the process-wide
+    /// budget fixed while N scenario computations run at once, so each
+    /// gets `ceil(workers / ways)` instead of multiplying the machine
+    /// by the in-flight count). Rounds up for the same reason as
+    /// [`nested_campaign_workers`](EngineConfig::nested_campaign_workers):
+    /// starving a computation to zero threads wastes wall-clock that
+    /// the budget owner is already paying for. Like every worker knob,
+    /// this only moves wall-clock time — results are byte-identical at
+    /// any share.
+    pub fn share(self, ways: usize) -> EngineConfig {
+        EngineConfig {
+            workers: self.workers.div_ceil(ways.max(1)).max(1),
+            ..self
+        }
+    }
+
     /// The worker budget for a campaign nested *inside* a work unit:
     /// the configured count when the engine is serial, otherwise a
     /// split so `engine workers × campaign workers` stays near the
@@ -520,6 +538,20 @@ mod tests {
         let hints = vec![CostHint::opaque(10), CostHint::opaque(10)];
         let plan = UnitPlan::build(16, &hints, ShardPolicy::disabled());
         assert_eq!(EngineConfig::with_workers(16).for_plan(&plan).workers, 2);
+    }
+
+    #[test]
+    fn share_splits_a_persistent_pool_budget() {
+        assert_eq!(EngineConfig::with_workers(8).share(1).workers, 8);
+        assert_eq!(EngineConfig::with_workers(8).share(2).workers, 4);
+        assert_eq!(EngineConfig::with_workers(8).share(3).workers, 3);
+        assert_eq!(EngineConfig::with_workers(2).share(16).workers, 1);
+        assert_eq!(EngineConfig::serial().share(0).workers, 1);
+        // The shard policy rides along unchanged.
+        let shared = EngineConfig::with_workers(8)
+            .with_shard_policy(ShardPolicy::finest())
+            .share(2);
+        assert_eq!(shared.shard, ShardPolicy::finest());
     }
 
     #[test]

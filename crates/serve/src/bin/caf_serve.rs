@@ -1,0 +1,136 @@
+//! `caf-serve` — serve cached audit-pipeline scenarios over HTTP.
+//!
+//! ```text
+//! caf-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
+//!           [--engine-workers N|auto] [--seed N] [--scale N]
+//!           [--timeout-ms N] [--min-scale N] [--port-file PATH] [--quiet]
+//! ```
+//!
+//! * `--addr` defaults to `127.0.0.1:0` (ephemeral port); the bound
+//!   address is printed on stdout and, with `--port-file`, written to a
+//!   file so scripts can wait for startup without parsing logs.
+//! * `--workers` sizes the HTTP worker pool; `--engine-workers` is the
+//!   *compute* budget that concurrent scenario builds share.
+//! * There is no signal handler (std-only, `forbid(unsafe_code)`):
+//!   stop the server with `GET /quitquitquit`.
+
+use caf_core::EngineConfig;
+use caf_serve::{App, AppConfig, ServeConfig, Server};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn die(message: &str) -> ! {
+    eprintln!("caf-serve: {message}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut serve = ServeConfig::default();
+    let mut app = AppConfig::default();
+    let mut port_file: Option<std::path::PathBuf> = None;
+    let mut quiet = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| die(&format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--addr" => serve.addr = value("--addr"),
+            "--workers" => {
+                serve.workers = value("--workers")
+                    .parse()
+                    .unwrap_or_else(|_| die("--workers needs an integer"));
+            }
+            "--queue" => {
+                serve.queue = value("--queue")
+                    .parse()
+                    .unwrap_or_else(|_| die("--queue needs an integer"));
+            }
+            "--cache" => {
+                app.cache_capacity = value("--cache")
+                    .parse()
+                    .unwrap_or_else(|_| die("--cache needs an integer"));
+            }
+            "--engine-workers" => {
+                let raw = value("--engine-workers");
+                app.engine = if raw == "auto" {
+                    EngineConfig::auto()
+                } else {
+                    EngineConfig::with_workers(
+                        raw.parse()
+                            .unwrap_or_else(|_| die("--engine-workers needs an integer or auto")),
+                    )
+                };
+            }
+            "--seed" => {
+                app.default_seed = value("--seed")
+                    .parse()
+                    .unwrap_or_else(|_| die("--seed needs an integer"));
+            }
+            "--scale" => {
+                app.default_scale = value("--scale")
+                    .parse()
+                    .unwrap_or_else(|_| die("--scale needs an integer"));
+            }
+            "--timeout-ms" => {
+                let ms: u64 = value("--timeout-ms")
+                    .parse()
+                    .unwrap_or_else(|_| die("--timeout-ms needs an integer"));
+                app.compute_timeout = Duration::from_millis(ms);
+                serve.io_timeout = Duration::from_millis(ms.max(1_000));
+            }
+            "--min-scale" => {
+                app.min_scale = value("--min-scale")
+                    .parse()
+                    .unwrap_or_else(|_| die("--min-scale needs an integer"));
+            }
+            "--port-file" => port_file = Some(value("--port-file").into()),
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                println!(
+                    "caf-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N] \
+                     [--engine-workers N|auto] [--seed N] [--scale N] [--timeout-ms N] \
+                     [--min-scale N] [--port-file PATH] [--quiet]"
+                );
+                return;
+            }
+            other => die(&format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+
+    caf_obs::set_enabled(true);
+    let _startup = caf_obs::span("serve.startup");
+    let handler = Arc::new(App::new(app.clone()));
+    let server = Server::start(serve.clone(), handler)
+        .unwrap_or_else(|e| die(&format!("bind {}: {e}", serve.addr)));
+    let addr = server.addr();
+    drop(_startup);
+
+    if let Some(path) = &port_file {
+        // Write-then-rename so a watcher never reads a partial file.
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, format!("{addr}\n"))
+            .and_then(|()| std::fs::rename(&tmp, path))
+            .unwrap_or_else(|e| die(&format!("write port file {path:?}: {e}")));
+    }
+    if !quiet {
+        println!(
+            "caf-serve: listening on http://{addr} (http workers {}, queue {}, \
+             engine workers {}, cache {}, default seed {:#x} scale {})",
+            serve.workers,
+            serve.queue,
+            app.engine.workers,
+            app.cache_capacity,
+            app.default_seed,
+            app.default_scale,
+        );
+        println!("caf-serve: GET /quitquitquit to stop (no signal handler)");
+    }
+
+    server.join();
+    if !quiet {
+        println!("caf-serve: shut down cleanly");
+    }
+}

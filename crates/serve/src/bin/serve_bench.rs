@@ -1,0 +1,128 @@
+//! `serve_bench` — throughput/latency benchmark for the serving layer.
+//!
+//! Starts an in-process `caf-serve` on an ephemeral port, fires a
+//! fixed number of concurrent HTTP clients at a single scenario, and
+//! writes a one-line `caf-obs` run report to `BENCH_serve.json`
+//! (validated by `metrics_check --schema-only` in CI):
+//!
+//! * `throughput_rps`, `p50_ms` / `p95_ms` / `p99_ms` over all
+//!   requests (via `caf_stats::quantile`);
+//! * `cold_ms` — wall time of the first, cache-missing request;
+//! * `cache_hit_ratio` — warm fraction; the burst also sanity-checks
+//!   the single-flight invariant (exactly one computation ran).
+//!
+//! `CAF_BENCH_DIR` overrides the output directory (CI points it at an
+//! artifact dir so the committed baseline stays clean);
+//! `CAF_BENCH_SERVE_QUICK=1` shrinks the run for smoke testing.
+
+use caf_core::EngineConfig;
+use caf_serve::{client, App, AppConfig, ServeConfig, Server};
+use std::sync::Arc;
+use std::time::Instant;
+
+const SEED: u64 = 0xCAF_2024;
+const SCALE: u32 = 150;
+
+fn main() {
+    let quick = std::env::var_os("CAF_BENCH_SERVE_QUICK").is_some();
+    let clients: usize = if quick { 4 } else { 16 };
+    let per_client: usize = if quick { 4 } else { 25 };
+
+    caf_obs::set_enabled(true);
+    let app = Arc::new(App::new(AppConfig {
+        default_seed: SEED,
+        default_scale: SCALE,
+        engine: EngineConfig::auto(),
+        ..AppConfig::default()
+    }));
+    let server = Server::start(
+        ServeConfig {
+            workers: clients,
+            queue: clients * 2,
+            ..ServeConfig::default()
+        },
+        Arc::clone(&app) as Arc<dyn caf_serve::Handler>,
+    )
+    .expect("bind ephemeral port");
+    let addr = server.addr();
+    let path = format!("/v1/table2?seed={SEED}&scale={SCALE}");
+
+    // Cold request first: it pays the full scenario build.
+    let cold_start = Instant::now();
+    let (status, reference) = client::get(addr, &path).expect("cold request");
+    let cold = cold_start.elapsed();
+    assert_eq!(status, 200, "cold request failed");
+
+    // Warm burst: `clients` threads, `per_client` sequential requests
+    // each, all against the now-cached scenario.
+    let burst_start = Instant::now();
+    let reference = Arc::new(reference);
+    let handles: Vec<_> = (0..clients)
+        .map(|_| {
+            let reference = Arc::clone(&reference);
+            let path = path.clone();
+            std::thread::spawn(move || {
+                let mut latencies = Vec::with_capacity(per_client);
+                for _ in 0..per_client {
+                    let start = Instant::now();
+                    let (status, body) = client::get(addr, &path).expect("warm request");
+                    latencies.push(start.elapsed().as_secs_f64() * 1e3);
+                    assert_eq!(status, 200);
+                    assert_eq!(body, *reference, "response bytes diverged");
+                }
+                latencies
+            })
+        })
+        .collect();
+    let mut latencies_ms: Vec<f64> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("client thread"))
+        .collect();
+    let wall = burst_start.elapsed();
+    server.shutdown();
+
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let quantile = |p: f64| caf_stats::quantile(&latencies_ms, p).expect("non-empty");
+    let stats = app.cache_stats();
+    let total = latencies_ms.len() as u64 + 1; // + the cold request
+    let warm = stats.hits + stats.joins;
+    assert_eq!(stats.misses, 1, "single-flight broken: {stats:?}");
+    let hit_ratio = warm as f64 / total as f64;
+    let throughput = latencies_ms.len() as f64 / wall.as_secs_f64();
+
+    let mut meta = std::collections::BTreeMap::new();
+    let mut put = |k: &str, v: String| {
+        meta.insert(k.to_string(), v);
+    };
+    put("tool", "serve_bench".to_string());
+    put("seed", SEED.to_string());
+    put("scale", SCALE.to_string());
+    put("workers", clients.to_string());
+    put("clients", clients.to_string());
+    put("requests_per_client", per_client.to_string());
+    put("total_requests", total.to_string());
+    put("cold_ms", format!("{:.1}", cold.as_secs_f64() * 1e3));
+    put("wall_s", format!("{:.3}", wall.as_secs_f64()));
+    put("throughput_rps", format!("{throughput:.1}"));
+    put("p50_ms", format!("{:.2}", quantile(0.50)));
+    put("p95_ms", format!("{:.2}", quantile(0.95)));
+    put("p99_ms", format!("{:.2}", quantile(0.99)));
+    put("cache_hit_ratio", format!("{hit_ratio:.3}"));
+
+    let report = caf_obs::RunReport::collect(meta);
+    let default_dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let dir = std::env::var("CAF_BENCH_DIR").unwrap_or_else(|_| default_dir.to_string());
+    let path = std::path::Path::new(&dir).join("BENCH_serve.json");
+    let mut line = report.to_json();
+    line.push('\n');
+    match std::fs::write(&path, line) {
+        Ok(()) => eprintln!(
+            "wrote bench summary to {} ({throughput:.0} req/s warm, p99 {:.2} ms, \
+             cold {:.0} ms, hit ratio {hit_ratio:.3})",
+            path.display(),
+            quantile(0.99),
+            cold.as_secs_f64() * 1e3,
+        ),
+        Err(error) => eprintln!("cannot write {}: {error}", path.display()),
+    }
+}

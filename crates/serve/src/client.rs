@@ -1,0 +1,94 @@
+//! A minimal blocking HTTP/1.1 client — just enough for the
+//! integration tests, `serve_bench`, and the CI gate to talk to a
+//! local `caf-serve` without external dependencies.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Sends `GET path` to `addr` and returns `(status, body)`.
+pub fn get(addr: SocketAddr, path: &str) -> Result<(u16, Vec<u8>), String> {
+    request(
+        addr,
+        &format!("GET {path} HTTP/1.1\r\nHost: caf-serve\r\n\r\n"),
+    )
+}
+
+/// Response headers as (lowercased name, value) pairs.
+pub type Headers = Vec<(String, String)>;
+
+/// Like [`get`], but also returns the response headers so callers can
+/// inspect `ETag`, `Retry-After`, etc.
+pub fn get_full(addr: SocketAddr, path: &str) -> Result<(u16, Headers, Vec<u8>), String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .map_err(|e| e.to_string())?;
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: caf-serve\r\n\r\n").as_bytes())
+        .map_err(|e| format!("write: {e}"))?;
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| format!("read: {e}"))?;
+    let (status, body) = parse_response(&raw)?;
+    let split = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("parse_response found the separator");
+    let head = std::str::from_utf8(&raw[..split]).map_err(|e| e.to_string())?;
+    let headers = head
+        .lines()
+        .skip(1)
+        .filter_map(|line| line.split_once(':'))
+        .map(|(name, value)| (name.to_ascii_lowercase(), value.trim().to_string()))
+        .collect();
+    Ok((status, headers, body))
+}
+
+/// Sends a raw request head and returns `(status, body)`. The
+/// connection is `Connection: close`, so the body is everything after
+/// the blank line.
+pub fn request(addr: SocketAddr, head: &str) -> Result<(u16, Vec<u8>), String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .map_err(|e| e.to_string())?;
+    stream
+        .write_all(head.as_bytes())
+        .map_err(|e| format!("write: {e}"))?;
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| format!("read: {e}"))?;
+    parse_response(&raw)
+}
+
+fn parse_response(raw: &[u8]) -> Result<(u16, Vec<u8>), String> {
+    let split = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| "no header/body separator in response".to_string())?;
+    let head = std::str::from_utf8(&raw[..split]).map_err(|e| e.to_string())?;
+    let status_line = head.lines().next().unwrap_or_default();
+    let status = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| format!("malformed status line: {status_line:?}"))?;
+    Ok((status, raw[split + 4..].to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_closed_connection_response() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 3\r\n\r\nabc";
+        let (status, body) = parse_response(raw).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, b"abc");
+        assert!(parse_response(b"garbage").is_err());
+    }
+}

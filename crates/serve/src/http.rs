@@ -1,0 +1,306 @@
+//! A deliberately small HTTP/1.1 subset: enough to parse the GET
+//! requests the serving API accepts and to write deterministic
+//! responses, with no external dependencies.
+//!
+//! Every response is `Connection: close` — one request per connection
+//! keeps the worker loop trivially bounded and makes the byte-identity
+//! contract easy to state: the response *body* for a `/v1/*` endpoint
+//! is exactly the artifact file `repro --artifacts` writes.
+
+use std::io::{BufRead, Write};
+
+/// Maximum accepted size of the request head (request line + headers).
+/// Anything longer is rejected with `431`.
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// A parsed request: method, decoded path, and decoded query pairs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method (`GET` for every supported endpoint).
+    pub method: String,
+    /// Percent-decoded path, e.g. `/v1/table2`.
+    pub path: String,
+    /// Percent-decoded query pairs in request order.
+    pub query: Vec<(String, String)>,
+}
+
+impl Request {
+    /// The last value for query parameter `name`, if present.
+    pub fn param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .rev()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A parse failure, carrying the HTTP status the server should answer
+/// with (`400` or `431`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Status code to respond with.
+    pub status: u16,
+    /// Human-readable reason, echoed in the error body.
+    pub message: String,
+}
+
+fn bad(message: impl Into<String>) -> ParseError {
+    ParseError {
+        status: 400,
+        message: message.into(),
+    }
+}
+
+/// Reads and parses one request head from `stream`.
+///
+/// The body (if any) is ignored — every supported endpoint is a GET.
+pub fn parse_request(stream: &mut impl BufRead) -> Result<Request, ParseError> {
+    let mut line = String::new();
+    let mut total = 0usize;
+    let mut read_line = |stream: &mut dyn BufRead, line: &mut String| -> Result<(), ParseError> {
+        line.clear();
+        let n = stream
+            .read_line(line)
+            .map_err(|e| bad(format!("read: {e}")))?;
+        if n == 0 {
+            return Err(bad("connection closed before a full request"));
+        }
+        total += n;
+        if total > MAX_HEAD_BYTES {
+            return Err(ParseError {
+                status: 431,
+                message: "request head too large".to_string(),
+            });
+        }
+        Ok(())
+    };
+
+    read_line(stream, &mut line)?;
+    let request_line = line.trim_end_matches(['\r', '\n']).to_string();
+    let mut parts = request_line.split(' ');
+    let method = parts.next().unwrap_or_default().to_string();
+    let target = parts.next().ok_or_else(|| bad("missing request target"))?;
+    let version = parts.next().ok_or_else(|| bad("missing HTTP version"))?;
+    if parts.next().is_some() || !version.starts_with("HTTP/1.") {
+        return Err(bad(format!("malformed request line: {request_line:?}")));
+    }
+    if method.is_empty() {
+        return Err(bad("empty method"));
+    }
+
+    // Drain headers until the blank line; their contents are irrelevant
+    // to routing, but the loop enforces the head-size bound.
+    loop {
+        read_line(stream, &mut line)?;
+        if line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    let path = percent_decode(raw_path, false)?;
+    let mut query = Vec::new();
+    if let Some(raw_query) = raw_query {
+        for pair in raw_query.split('&').filter(|p| !p.is_empty()) {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            query.push((percent_decode(k, true)?, percent_decode(v, true)?));
+        }
+    }
+    Ok(Request {
+        method,
+        path,
+        query,
+    })
+}
+
+/// Decodes `%XX` escapes (and, in query components, `+` as space).
+fn percent_decode(raw: &str, plus_is_space: bool) -> Result<String, ParseError> {
+    let bytes = raw.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes
+                    .get(i + 1..i + 3)
+                    .ok_or_else(|| bad(format!("truncated percent escape in {raw:?}")))?;
+                let hex = std::str::from_utf8(hex).map_err(|_| bad("non-ASCII escape"))?;
+                let byte = u8::from_str_radix(hex, 16)
+                    .map_err(|_| bad(format!("invalid percent escape %{hex}")))?;
+                out.push(byte);
+                i += 3;
+            }
+            b'+' if plus_is_space => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).map_err(|_| bad(format!("target is not UTF-8: {raw:?}")))
+}
+
+/// A response ready to serialize. Responses are always
+/// `Connection: close`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Extra headers (name, value), written in order.
+    pub headers: Vec<(String, String)>,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+    /// When true, the server initiates graceful shutdown after this
+    /// response is written (the `/quitquitquit` path).
+    pub shutdown: bool,
+}
+
+impl Response {
+    /// A `200` JSON response; `body` must already be canonical bytes.
+    pub fn json(body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status: 200,
+            content_type: "application/json",
+            headers: Vec::new(),
+            body: body.into(),
+            shutdown: false,
+        }
+    }
+
+    /// A `200` plain-text response.
+    pub fn text(body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status: 200,
+            content_type: "text/plain; charset=utf-8",
+            headers: Vec::new(),
+            body: body.into(),
+            shutdown: false,
+        }
+    }
+
+    /// An error response with a one-object JSON body
+    /// `{"error": "<message>"}`.
+    pub fn error(status: u16, message: &str) -> Response {
+        let mut body = String::from("{\"error\": ");
+        body.push_str(&caf_obs::json::Json::Str(message.to_string()).to_compact());
+        body.push_str("}\n");
+        Response {
+            status,
+            content_type: "application/json",
+            headers: Vec::new(),
+            body: body.into_bytes(),
+            shutdown: false,
+        }
+    }
+
+    /// Adds a header (builder style).
+    pub fn with_header(mut self, name: &str, value: String) -> Response {
+        self.headers.push((name.to_string(), value));
+        self
+    }
+
+    /// Serializes the response to `out` (status line, headers, body).
+    pub fn write_to(&self, out: &mut impl Write) -> std::io::Result<()> {
+        let reason = reason_phrase(self.status);
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            self.status,
+            reason,
+            self.content_type,
+            self.body.len()
+        );
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        out.write_all(head.as_bytes())?;
+        out.write_all(&self.body)?;
+        out.flush()
+    }
+}
+
+fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, ParseError> {
+        parse_request(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_path_query_and_escapes() {
+        let req = parse(
+            "GET /v1/serviceability?seed=123&isp=AT%26T&note=a+b HTTP/1.1\r\nHost: x\r\n\r\n",
+        )
+        .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/v1/serviceability");
+        assert_eq!(req.param("seed"), Some("123"));
+        assert_eq!(req.param("isp"), Some("AT&T"));
+        assert_eq!(req.param("note"), Some("a b"));
+        assert_eq!(req.param("absent"), None);
+    }
+
+    #[test]
+    fn rejects_malformed_heads() {
+        assert_eq!(parse("GARBAGE\r\n\r\n").unwrap_err().status, 400);
+        assert_eq!(parse("GET /x SPDY/3\r\n\r\n").unwrap_err().status, 400);
+        assert_eq!(
+            parse("GET /x?b=%zz HTTP/1.1\r\n\r\n").unwrap_err().status,
+            400
+        );
+        assert_eq!(parse("").unwrap_err().status, 400);
+        let huge = format!(
+            "GET /x HTTP/1.1\r\nA: {}\r\n\r\n",
+            "y".repeat(MAX_HEAD_BYTES)
+        );
+        assert_eq!(parse(&huge).unwrap_err().status, 431);
+    }
+
+    #[test]
+    fn response_bytes_are_exact() {
+        let mut out = Vec::new();
+        Response::json(b"{}\n".to_vec())
+            .with_header("ETag", "\"abc\"".to_string())
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(
+            text,
+            "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 3\r\nConnection: close\r\nETag: \"abc\"\r\n\r\n{}\n"
+        );
+        let mut err = Vec::new();
+        Response::error(503, "queue full")
+            .write_to(&mut err)
+            .unwrap();
+        let text = String::from_utf8(err).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.ends_with("{\"error\": \"queue full\"}\n"));
+    }
+}

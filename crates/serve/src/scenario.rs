@@ -1,0 +1,398 @@
+//! The application handler: routes HTTP requests to cached scenario
+//! computations and renders canonical artifact bytes.
+//!
+//! The cache key is the *canonical scenario identity* — the parameters
+//! that change the result. Compute-side knobs (`workers=`) are
+//! deliberately excluded: asking for the same scenario at a different
+//! worker count must hit the same entry, and — by the engine's
+//! determinism contract — would have produced byte-identical artifacts
+//! anyway. That contract is what lets `/v1/*` responses be compared
+//! byte-for-byte against `repro --artifacts` goldens in CI.
+
+use crate::cache::{CacheError, ScenarioCache};
+use crate::http::{Request, Response};
+use crate::server::Handler;
+use caf_bench::Fixture;
+use caf_core::{artifact, EngineConfig, Q3Analysis, ScenarioMeta};
+use caf_geo::UsState;
+use caf_synth::{Isp, World};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Which pipeline a cache entry materializes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Kind {
+    /// The Q1/Q2 fixture: world + campaign + serviceability/compliance.
+    Q12,
+    /// The Q3 monopoly/competitive analysis (its own world build).
+    Q3,
+}
+
+/// Canonical scenario identity: result-changing parameters only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct ScenarioKey {
+    kind: Kind,
+    seed: u64,
+    scale: u32,
+}
+
+/// A materialized scenario bundle held by the cache.
+enum Bundle {
+    Q12(Box<Fixture>),
+    Q3(Box<(World, Q3Analysis)>),
+}
+
+/// Tuning for [`App`].
+#[derive(Debug, Clone)]
+pub struct AppConfig {
+    /// Seed used when a request omits `seed=`.
+    pub default_seed: u64,
+    /// Downscale factor used when a request omits `scale=`.
+    pub default_scale: u32,
+    /// Base engine budget for scenario computation; concurrent
+    /// computations split it via [`EngineConfig::share`].
+    pub engine: EngineConfig,
+    /// Ready entries the scenario cache retains (LRU beyond this).
+    pub cache_capacity: usize,
+    /// How long a request waits on another request's in-flight
+    /// computation before giving up with `503`.
+    pub compute_timeout: Duration,
+    /// Smallest accepted `scale=` (a low downscale factor means a huge
+    /// world; this bounds per-request memory/CPU).
+    pub min_scale: u32,
+}
+
+impl Default for AppConfig {
+    fn default() -> AppConfig {
+        AppConfig {
+            default_seed: 0xCAF_2024,
+            default_scale: 150,
+            engine: EngineConfig::auto(),
+            cache_capacity: 4,
+            compute_timeout: Duration::from_secs(120),
+            min_scale: 1,
+        }
+    }
+}
+
+/// The serving application: endpoint routing + scenario cache.
+pub struct App {
+    config: AppConfig,
+    cache: ScenarioCache<ScenarioKey, Bundle>,
+    active_computes: Arc<AtomicUsize>,
+}
+
+/// RAII share of the compute budget; see [`App::compute_engine`].
+struct ActiveGuard(Arc<AtomicUsize>);
+
+impl Drop for ActiveGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+impl App {
+    /// Creates the application with the given tuning.
+    pub fn new(config: AppConfig) -> App {
+        let cache = ScenarioCache::new(config.cache_capacity);
+        App {
+            config,
+            cache,
+            active_computes: Arc::new(AtomicUsize::new(0)),
+        }
+    }
+
+    /// Exact cache counters (used by `serve_bench` for the hit ratio).
+    pub fn cache_stats(&self) -> crate::cache::StatsSnapshot {
+        self.cache.stats()
+    }
+
+    /// The `/metrics` report for this server process.
+    fn metrics_response(&self) -> Response {
+        let mut meta = BTreeMap::new();
+        meta.insert("tool".to_string(), "caf-serve".to_string());
+        meta.insert("seed".to_string(), self.config.default_seed.to_string());
+        meta.insert(
+            "workers".to_string(),
+            self.config.engine.workers.to_string(),
+        );
+        meta.insert("scale".to_string(), self.config.default_scale.to_string());
+        meta.insert(
+            "cache_capacity".to_string(),
+            self.config.cache_capacity.to_string(),
+        );
+        let mut body = caf_obs::RunReport::collect(meta).to_json_pretty();
+        body.push('\n');
+        Response::json(body.into_bytes())
+    }
+
+    /// Claims a share of the engine budget for one computation. The
+    /// split is `base.share(active)` so two concurrent cold scenarios
+    /// each get half the workers instead of oversubscribing the host.
+    fn compute_engine(&self, base: EngineConfig) -> (EngineConfig, ActiveGuard) {
+        let active = self.active_computes.fetch_add(1, Ordering::SeqCst) + 1;
+        caf_obs::gauge("caf.serve.computes.active", active as u64);
+        (
+            base.share(active),
+            ActiveGuard(Arc::clone(&self.active_computes)),
+        )
+    }
+
+    fn scenario_response(&self, route: &str, request: &Request) -> Response {
+        let params = match ScenarioParams::from_request(self, request) {
+            Ok(params) => params,
+            Err(response) => return *response,
+        };
+        if params.isp.is_some() && !matches!(route, "serviceability" | "compliance") {
+            return Response::error(
+                400,
+                &format!("the isp filter is not supported on /v1/{route}"),
+            );
+        }
+
+        let key = match route {
+            "q3" => ScenarioKey {
+                kind: Kind::Q3,
+                seed: params.seed,
+                scale: params.meta.q3_scale,
+            },
+            _ => ScenarioKey {
+                kind: Kind::Q12,
+                seed: params.seed,
+                scale: params.meta.scale,
+            },
+        };
+        let result = self
+            .cache
+            .get_or_compute(key, self.config.compute_timeout, || {
+                let (engine, _guard) = self.compute_engine(params.engine);
+                let _span = caf_obs::span_with(|| format!("serve.compute.{:?}", key.kind));
+                match key.kind {
+                    Kind::Q12 => Ok(Bundle::Q12(Box::new(Fixture::build_tuned(
+                        key.seed,
+                        key.scale,
+                        &UsState::study_states(),
+                        engine,
+                    )))),
+                    Kind::Q3 => Ok(Bundle::Q3(Box::new(Fixture::build_q3_tuned(
+                        key.seed, key.scale, engine,
+                    )))),
+                }
+            });
+        let bundle = match result {
+            Ok((bundle, _outcome)) => bundle,
+            Err(CacheError::JoinTimeout) => {
+                return Response::error(503, "scenario computation still in flight; retry shortly")
+                    .with_header("Retry-After", "1".to_string());
+            }
+            Err(CacheError::Failed(message)) => {
+                return Response::error(500, &format!("scenario computation failed: {message}"));
+            }
+        };
+
+        let body = match (&*bundle, route) {
+            (Bundle::Q12(fixture), "serviceability") => {
+                artifact::serviceability(&fixture.serviceability, params.isp)
+            }
+            (Bundle::Q12(fixture), "compliance") => {
+                artifact::compliance(&fixture.compliance, &fixture.dataset, params.isp)
+            }
+            (Bundle::Q12(fixture), "table2") => artifact::table2(&fixture.dataset),
+            (Bundle::Q3(world_q3), "q3") => artifact::q3(&world_q3.1),
+            _ => return Response::error(500, "bundle/route mismatch"),
+        };
+        let bytes = artifact::to_canonical_bytes(&params.meta.wrap(body));
+        let etag = format!("\"{:016x}\"", fnv1a(bytes.as_bytes()));
+        Response::json(bytes.into_bytes()).with_header("ETag", etag)
+    }
+}
+
+/// 64-bit FNV-1a over the canonical body; deterministic across runs,
+/// so clients can revalidate artifacts cheaply.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Parsed and validated `/v1/*` query parameters.
+struct ScenarioParams {
+    seed: u64,
+    meta: ScenarioMeta,
+    engine: EngineConfig,
+    isp: Option<Isp>,
+}
+
+impl ScenarioParams {
+    fn from_request(app: &App, request: &Request) -> Result<ScenarioParams, Box<Response>> {
+        let seed = parse_or(request, "seed", app.config.default_seed)?;
+        let scale = parse_or(request, "scale", app.config.default_scale)?;
+        if scale < app.config.min_scale {
+            return Err(Box::new(Response::error(
+                400,
+                &format!(
+                    "scale={scale} is below the server's minimum of {}",
+                    app.config.min_scale
+                ),
+            )));
+        }
+        let mut meta = ScenarioMeta::new(seed, scale);
+        meta.q3_scale = parse_or(request, "q3_scale", meta.q3_scale)?;
+        let engine = match request.param("workers") {
+            None => app.config.engine,
+            Some(raw) => {
+                let workers: usize = raw.parse().map_err(|_| {
+                    Box::new(Response::error(400, &format!("invalid workers={raw:?}")))
+                })?;
+                if workers == 0 || workers > 512 {
+                    return Err(Box::new(Response::error(
+                        400,
+                        "workers must be between 1 and 512",
+                    )));
+                }
+                EngineConfig::with_workers(workers)
+            }
+        };
+        let isp = match request.param("isp") {
+            None => None,
+            Some(raw) => Some(parse_isp(raw).ok_or_else(|| {
+                let known: Vec<&str> = Isp::all().iter().map(|isp| isp.name()).collect();
+                Box::new(Response::error(
+                    400,
+                    &format!("unknown isp {raw:?}; known: {}", known.join(", ")),
+                ))
+            })?),
+        };
+        Ok(ScenarioParams {
+            seed,
+            meta,
+            engine,
+            isp,
+        })
+    }
+}
+
+fn parse_or<T: std::str::FromStr>(
+    request: &Request,
+    name: &str,
+    default: T,
+) -> Result<T, Box<Response>> {
+    match request.param(name) {
+        None => Ok(default),
+        Some(raw) => raw.parse().map_err(|_| {
+            Box::new(Response::error(
+                400,
+                &format!("invalid {name}={raw:?}: expected a non-negative integer"),
+            ))
+        }),
+    }
+}
+
+/// Case-insensitive match against the ISP registry names.
+fn parse_isp(raw: &str) -> Option<Isp> {
+    Isp::all()
+        .into_iter()
+        .find(|isp| isp.name().eq_ignore_ascii_case(raw))
+}
+
+impl Handler for App {
+    fn handle(&self, request: &Request) -> Response {
+        let _span = caf_obs::span_with(|| {
+            let route = request.path.trim_start_matches('/').replace('/', ".");
+            format!("serve.route.{route}")
+        });
+        match request.path.as_str() {
+            "/healthz" => Response::text("ok\n"),
+            "/metrics" => self.metrics_response(),
+            "/quitquitquit" => {
+                let mut response = Response::text("shutting down\n");
+                response.shutdown = true;
+                response
+            }
+            path => match path.strip_prefix("/v1/") {
+                Some(route @ ("serviceability" | "compliance" | "table2" | "q3")) => {
+                    self.scenario_response(route, request)
+                }
+                _ => Response::error(404, &format!("no such endpoint: {path}")),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(path: &str, query: &[(&str, &str)]) -> Request {
+        Request {
+            method: "GET".to_string(),
+            path: path.to_string(),
+            query: query
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+        }
+    }
+
+    fn tiny_app() -> App {
+        App::new(AppConfig {
+            default_scale: 2000,
+            engine: EngineConfig::serial(),
+            ..AppConfig::default()
+        })
+    }
+
+    #[test]
+    fn rejects_bad_parameters_with_400() {
+        let app = tiny_app();
+        for (path, query) in [
+            ("/v1/table2", vec![("seed", "not-a-number")]),
+            ("/v1/table2", vec![("scale", "-3")]),
+            ("/v1/table2", vec![("workers", "0")]),
+            ("/v1/table2", vec![("isp", "Nonexistent ISP")]),
+            ("/v1/table2", vec![("isp", "AT&T")]), // no filter on table2
+            ("/v1/q3", vec![("isp", "AT&T")]),
+        ] {
+            let response = app.handle(&request(path, &query));
+            assert_eq!(response.status, 400, "{path} {query:?}");
+        }
+        let response = app.handle(&request("/v1/nope", &[]));
+        assert_eq!(response.status, 404);
+        assert_eq!(app.cache_stats().misses, 0, "no computation was started");
+    }
+
+    #[test]
+    fn scale_floor_is_enforced() {
+        let app = App::new(AppConfig {
+            min_scale: 100,
+            ..AppConfig::default()
+        });
+        let response = app.handle(&request("/v1/table2", &[("scale", "99")]));
+        assert_eq!(response.status, 400);
+        let body = String::from_utf8(response.body).unwrap();
+        assert!(body.contains("minimum of 100"), "{body}");
+    }
+
+    #[test]
+    fn health_and_shutdown_routes() {
+        let app = tiny_app();
+        let health = app.handle(&request("/healthz", &[]));
+        assert_eq!((health.status, health.shutdown), (200, false));
+        assert_eq!(health.body, b"ok\n");
+        let quit = app.handle(&request("/quitquitquit", &[]));
+        assert_eq!((quit.status, quit.shutdown), (200, true));
+    }
+
+    #[test]
+    fn isp_names_parse_case_insensitively() {
+        assert_eq!(parse_isp("AT&T"), Some(Isp::Att));
+        assert_eq!(parse_isp("at&t"), Some(Isp::Att));
+        assert_eq!(parse_isp("CenturyLink"), Some(Isp::CenturyLink));
+        assert_eq!(parse_isp("Comcast"), None);
+    }
+}

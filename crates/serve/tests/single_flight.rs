@@ -1,0 +1,75 @@
+//! The single-flight acceptance test, in its own test binary so the
+//! global `caf-obs` registry holds *only* this burst's counters: a
+//! 16-client concurrent burst against one cold scenario must record
+//! exactly 1 cache miss and 15 single-flight joins.
+
+use caf_core::EngineConfig;
+use caf_serve::{client, App, AppConfig, Handler, ServeConfig, Server};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+const CLIENTS: usize = 16;
+
+#[test]
+fn sixteen_client_burst_computes_once_and_joins_fifteen_times() {
+    caf_obs::set_enabled(true);
+    let app = Arc::new(App::new(AppConfig {
+        default_seed: 0xCAF_2024,
+        default_scale: 150,
+        engine: EngineConfig::serial(),
+        cache_capacity: 4,
+        compute_timeout: Duration::from_secs(120),
+        min_scale: 1,
+    }));
+    // Enough HTTP workers that every client is in a handler at once —
+    // the burst must contend on the *cache*, not the accept queue.
+    let server = Server::start(
+        ServeConfig {
+            workers: CLIENTS,
+            queue: CLIENTS * 2,
+            ..ServeConfig::default()
+        },
+        Arc::clone(&app) as Arc<dyn Handler>,
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    // The scale-100 scenario takes long enough to build (hundreds of
+    // ms in debug builds) that all 16 requests — released together by
+    // the barrier, connected within a few ms — overlap the flight.
+    let path = "/v1/table2?seed=3&scale=100";
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                client::get(addr, path).unwrap()
+            })
+        })
+        .collect();
+    let mut bodies = Vec::new();
+    for thread in clients {
+        let (status, body) = thread.join().unwrap();
+        assert_eq!(status, 200);
+        bodies.push(body);
+    }
+    for body in &bodies[1..] {
+        assert_eq!(body, &bodies[0], "joined responses must be byte-identical");
+    }
+
+    let stats = app.cache_stats();
+    assert_eq!(stats.misses, 1, "exactly one computation: {stats:?}");
+    assert_eq!(stats.joins, 15, "fifteen single-flight joins: {stats:?}");
+    assert_eq!(stats.hits, 0, "no request should have come late: {stats:?}");
+
+    // The same invariant must be visible through the public telemetry.
+    let registry = caf_obs::registry();
+    assert_eq!(registry.counter("caf.serve.cache.misses").get(), 1);
+    assert_eq!(registry.counter("caf.serve.cache.joins").get(), 15);
+    assert_eq!(registry.counter("caf.serve.requests").get(), CLIENTS as u64);
+    assert_eq!(registry.counter("caf.serve.http.200").get(), CLIENTS as u64);
+    assert_eq!(registry.counter("caf.serve.shed").get(), 0);
+
+    server.shutdown();
+}
