@@ -7,7 +7,7 @@
 //! contract easy to state: the response *body* for a `/v1/*` endpoint
 //! is exactly the artifact file `repro --artifacts` writes.
 
-use std::io::{BufRead, Write};
+use std::io::{BufRead, Read, Write};
 
 /// Maximum accepted size of the request head (request line + headers).
 /// Anything longer is rejected with `431`.
@@ -56,6 +56,13 @@ fn bad(message: impl Into<String>) -> ParseError {
 ///
 /// The body (if any) is ignored — every supported endpoint is a GET.
 pub fn parse_request(stream: &mut impl BufRead) -> Result<Request, ParseError> {
+    // `read_line` buffers a whole line before returning, so the size
+    // check must bind the reader itself, not run after the fact: a
+    // client streaming bytes with no newline would otherwise grow the
+    // line buffer without bound. Capping at one byte past the limit
+    // means a truncated read is always detected as `total` exceeding
+    // `MAX_HEAD_BYTES` below.
+    let mut stream = stream.take(MAX_HEAD_BYTES as u64 + 1);
     let mut line = String::new();
     let mut total = 0usize;
     let mut read_line = |stream: &mut dyn BufRead, line: &mut String| -> Result<(), ParseError> {
@@ -76,7 +83,7 @@ pub fn parse_request(stream: &mut impl BufRead) -> Result<Request, ParseError> {
         Ok(())
     };
 
-    read_line(stream, &mut line)?;
+    read_line(&mut stream, &mut line)?;
     let request_line = line.trim_end_matches(['\r', '\n']).to_string();
     let mut parts = request_line.split(' ');
     let method = parts.next().unwrap_or_default().to_string();
@@ -92,7 +99,7 @@ pub fn parse_request(stream: &mut impl BufRead) -> Result<Request, ParseError> {
     // Drain headers until the blank line; their contents are irrelevant
     // to routing, but the loop enforces the head-size bound.
     loop {
-        read_line(stream, &mut line)?;
+        read_line(&mut stream, &mut line)?;
         if line == "\r\n" || line == "\n" {
             break;
         }
@@ -281,6 +288,16 @@ mod tests {
             "y".repeat(MAX_HEAD_BYTES)
         );
         assert_eq!(parse(&huge).unwrap_err().status, 431);
+    }
+
+    #[test]
+    fn endless_line_is_rejected_without_buffering_it() {
+        // No newline at all: the reader cap (not line buffering) must
+        // stop this at MAX_HEAD_BYTES + 1 bytes and answer 431.
+        let endless = "G".repeat(MAX_HEAD_BYTES * 4);
+        assert_eq!(parse(&endless).unwrap_err().status, 431);
+        let endless_header = format!("GET /x HTTP/1.1\r\nA: {}", "y".repeat(MAX_HEAD_BYTES * 4));
+        assert_eq!(parse(&endless_header).unwrap_err().status, 431);
     }
 
     #[test]

@@ -231,18 +231,14 @@ struct ScenarioParams {
 impl ScenarioParams {
     fn from_request(app: &App, request: &Request) -> Result<ScenarioParams, Box<Response>> {
         let seed = parse_or(request, "seed", app.config.default_seed)?;
+        // The floor is never below 1: a zero scale would divide by zero
+        // in `SynthConfig::scaled` and panic mid-computation.
+        let floor = app.config.min_scale.max(1);
         let scale = parse_or(request, "scale", app.config.default_scale)?;
-        if scale < app.config.min_scale {
-            return Err(Box::new(Response::error(
-                400,
-                &format!(
-                    "scale={scale} is below the server's minimum of {}",
-                    app.config.min_scale
-                ),
-            )));
-        }
+        check_scale_floor("scale", scale, floor)?;
         let mut meta = ScenarioMeta::new(seed, scale);
         meta.q3_scale = parse_or(request, "q3_scale", meta.q3_scale)?;
+        check_scale_floor("q3_scale", meta.q3_scale, floor)?;
         let engine = match request.param("workers") {
             None => app.config.engine,
             Some(raw) => {
@@ -277,6 +273,18 @@ impl ScenarioParams {
     }
 }
 
+/// Rejects scales below the server's floor (which is itself at least 1,
+/// so a divide-by-zero scale can never reach the synth pipeline).
+fn check_scale_floor(name: &str, value: u32, floor: u32) -> Result<(), Box<Response>> {
+    if value < floor {
+        return Err(Box::new(Response::error(
+            400,
+            &format!("{name}={value} is below the server's minimum of {floor}"),
+        )));
+    }
+    Ok(())
+}
+
 fn parse_or<T: std::str::FromStr>(
     request: &Request,
     name: &str,
@@ -302,10 +310,21 @@ fn parse_isp(raw: &str) -> Option<Isp> {
 
 impl Handler for App {
     fn handle(&self, request: &Request) -> Response {
-        let _span = caf_obs::span_with(|| {
-            let route = request.path.trim_start_matches('/').replace('/', ".");
-            format!("serve.route.{route}")
-        });
+        // Span names are interned forever by the caf-obs registry, so
+        // only recognized routes get their own label; every other path
+        // (arbitrary client input) shares one fixed name to keep the
+        // registry and the /metrics body bounded.
+        let label = match request.path.as_str() {
+            "/healthz" => "serve.route.healthz",
+            "/metrics" => "serve.route.metrics",
+            "/quitquitquit" => "serve.route.quitquitquit",
+            "/v1/serviceability" => "serve.route.v1.serviceability",
+            "/v1/compliance" => "serve.route.v1.compliance",
+            "/v1/table2" => "serve.route.v1.table2",
+            "/v1/q3" => "serve.route.v1.q3",
+            _ => "serve.route.not_found",
+        };
+        let _span = caf_obs::span(label);
         match request.path.as_str() {
             "/healthz" => Response::text("ok\n"),
             "/metrics" => self.metrics_response(),
@@ -353,6 +372,8 @@ mod tests {
         for (path, query) in [
             ("/v1/table2", vec![("seed", "not-a-number")]),
             ("/v1/table2", vec![("scale", "-3")]),
+            ("/v1/table2", vec![("scale", "0")]),
+            ("/v1/q3", vec![("q3_scale", "0")]), // would divide by zero
             ("/v1/table2", vec![("workers", "0")]),
             ("/v1/table2", vec![("isp", "Nonexistent ISP")]),
             ("/v1/table2", vec![("isp", "AT&T")]), // no filter on table2
@@ -376,6 +397,12 @@ mod tests {
         assert_eq!(response.status, 400);
         let body = String::from_utf8(response.body).unwrap();
         assert!(body.contains("minimum of 100"), "{body}");
+        // q3_scale is a world scale too; the same floor applies.
+        let response = app.handle(&request("/v1/q3", &[("q3_scale", "99")]));
+        assert_eq!(response.status, 400);
+        let body = String::from_utf8(response.body).unwrap();
+        assert!(body.contains("q3_scale=99"), "{body}");
+        assert_eq!(app.cache_stats().misses, 0, "no computation was started");
     }
 
     #[test]

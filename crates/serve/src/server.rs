@@ -136,10 +136,21 @@ impl Server {
                             Err(TrySendError::Full(stream)) => {
                                 depth.fetch_sub(1, Ordering::SeqCst);
                                 caf_obs::count("caf.serve.shed", 1);
-                                let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
-                                let mut stream = stream;
-                                let _ = Response::error(503, "server accept queue is full")
-                                    .write_to(&mut stream);
+                                // The 503 body is written off-thread: a slow
+                                // client must not stall the single acceptor
+                                // during overload, which is exactly when fast
+                                // shedding matters. The thread is detached but
+                                // bounded by the 1 s write timeout; if spawning
+                                // fails the connection is simply dropped.
+                                let _ = std::thread::Builder::new()
+                                    .name("serve-shed".to_string())
+                                    .spawn(move || {
+                                        let mut stream = stream;
+                                        let _ =
+                                            stream.set_write_timeout(Some(Duration::from_secs(1)));
+                                        let _ = Response::error(503, "server accept queue is full")
+                                            .write_to(&mut stream);
+                                    });
                             }
                             Err(TrySendError::Disconnected(_)) => {
                                 depth.fetch_sub(1, Ordering::SeqCst);
@@ -225,7 +236,17 @@ fn serve_connection(stream: TcpStream, handler: &dyn Handler, io_timeout: Durati
     let response = match parse_request(&mut reader) {
         Ok(request) => {
             if request.method == "GET" {
-                handler.handle(&request)
+                // A panicking handler must cost the client a 500, not the
+                // server a worker thread: an unwound worker never returns
+                // to the recv loop, and `Server::join` would panic on it.
+                // The app's shared state stays coherent across an unwind
+                // (the cache's FlightGuard fails the in-flight entry), so
+                // suppressing the UnwindSafe bound is sound here.
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handler.handle(&request)))
+                    .unwrap_or_else(|_| {
+                        caf_obs::count("caf.serve.handler_panics", 1);
+                        Response::error(500, "internal error: handler panicked")
+                    })
             } else {
                 Response::error(405, &format!("method {} not supported", request.method))
             }
@@ -321,6 +342,29 @@ mod tests {
         handle.trigger();
         handle.trigger(); // idempotent
         server.join();
+    }
+
+    #[test]
+    fn panicking_handler_returns_500_and_keeps_the_worker_alive() {
+        let handler: Arc<dyn Handler> = Arc::new(|request: &Request| {
+            if request.path == "/boom" {
+                panic!("handler exploded");
+            }
+            Response::text("ok\n")
+        });
+        let config = ServeConfig {
+            workers: 1, // one worker, so survival is actually exercised
+            ..ServeConfig::default()
+        };
+        let server = Server::start(config, handler).unwrap();
+        let addr = server.addr();
+        let (status, body) = client::get(addr, "/boom").unwrap();
+        assert_eq!(status, 500);
+        assert!(String::from_utf8(body).unwrap().contains("panicked"));
+        let (status, body) = client::get(addr, "/fine").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, b"ok\n");
+        server.shutdown(); // join would panic if the worker had died
     }
 
     #[test]
