@@ -14,9 +14,14 @@
 # byte-compared against the golden artifact the same repro run wrote,
 # its `/metrics` report must pass the full metrics_check gate, and it
 # must shut down cleanly via `/quitquitquit` (a leaked thread or hung
-# process fails the gate). A supply-chain check (`cargo deny`) runs
-# when the tool is installed, and the script fails if any gate left
-# the git worktree dirtier than it found it.
+# process fails the gate). The challenge-replay gate runs the committed
+# sample delta stream through `challenge_replay` in incremental and
+# full mode and byte-compares the artifact sets (the epoch-versioned
+# incremental-recompute determinism contract), and the challenge bench
+# smoke validates `BENCH_challenge.json` (with the >= 5x incremental
+# speedup gate on hosts with >= 4 cores). A supply-chain check
+# (`cargo deny`) runs when the tool is installed, and the script fails
+# if any gate left the git worktree dirtier than it found it.
 #
 # All generated reports/artifacts land in $CAF_CI_OUT (a temp dir by
 # default; CI sets it to a workspace path and uploads it), never in
@@ -145,6 +150,40 @@ CAF_BENCH_SERVE_QUICK=1 CAF_BENCH_DIR="$ci_out" \
 cargo run --release -q -p caf-bench --bin metrics_check -- --schema-only "$ci_out/BENCH_serve.json"
 # The committed baseline must stay schema-valid too.
 cargo run --release -q -p caf-bench --bin metrics_check -- --schema-only BENCH_serve.json
+
+# The challenge-replay gate: the committed sample delta stream must
+# produce byte-identical artifacts whether it is folded in batch-by-
+# batch through the incremental audit or applied in one shot to a
+# from-scratch re-audit — at different worker counts, to cross the
+# determinism contracts.
+echo "==> challenge replay gate: incremental vs full byte-identity"
+cargo run --release -q -p caf-serve --bin challenge_replay -- \
+  --deltas testdata/challenge_deltas.jsonl --scale 150 --batch 3 \
+  --mode incremental --workers 2 --out "$ci_out/replay_inc" --quiet
+cargo run --release -q -p caf-serve --bin challenge_replay -- \
+  --deltas testdata/challenge_deltas.jsonl --scale 150 \
+  --mode full --workers 4 --out "$ci_out/replay_full" --quiet
+for f in serviceability compliance table2; do
+  cmp "$ci_out/replay_inc/$f.json" "$ci_out/replay_full/$f.json"
+done
+echo "    incremental replay artifacts are byte-identical to the full rebuild"
+
+echo "==> challenge bench smoke: BENCH_challenge.json + schema gate"
+CAF_BENCH_CHALLENGE_QUICK=1 CAF_BENCH_DIR="$ci_out" \
+  cargo bench -q -p caf-bench --bench challenge
+cargo run --release -q -p caf-bench --bin metrics_check -- \
+  --schema-only "$ci_out/BENCH_challenge.json"
+# Incremental recompute must beat a full rebuild by >= 5x after a small
+# delta batch (the DESIGN.md §4 acceptance bar). The quick-mode wall
+# clocks are noisy on tiny shared hosts, so gate where the world bench
+# speedup gate also runs.
+if [ "$cores" -ge 4 ]; then
+  echo "==> incremental speedup gate (host has $cores cores)"
+  cargo run --release -q -p caf-bench --bin metrics_check -- \
+    --schema-only --min-incremental-speedup 5.0 "$ci_out/BENCH_challenge.json"
+else
+  echo "==> skipping incremental speedup gate (host has $cores cores, need 4)"
+fi
 
 echo "==> supply-chain gate: cargo deny"
 if command -v cargo-deny >/dev/null; then

@@ -23,6 +23,12 @@
 //! only passes the flag on hosts with at least 4 cores, where the
 //! speedup is meaningful.
 //!
+//! `--min-incremental-speedup X` does the same for the
+//! `incremental_speedup` metadata that the challenge bench records
+//! (full re-audit wall over incremental refresh wall after a small
+//! delta batch) — the regression gate for the epoch-versioned
+//! incremental recompute path.
+//!
 //! Exits non-zero with a message on the first violation, so `ci.sh` can
 //! use it as a schema-drift gate.
 
@@ -46,6 +52,7 @@ fn section<'a>(report: &'a Json, name: &str) -> &'a [(String, Json)] {
 fn main() {
     let mut schema_only = false;
     let mut min_world_speedup: Option<f64> = None;
+    let mut min_incremental_speedup: Option<f64> = None;
     let mut path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -58,12 +65,22 @@ fn main() {
                         .unwrap_or_else(|| fail("--min-world-speedup needs a number")),
                 );
             }
+            "--min-incremental-speedup" => {
+                min_incremental_speedup = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| fail("--min-incremental-speedup needs a number")),
+                );
+            }
             other if path.is_none() => path = Some(other.to_string()),
             other => fail(&format!("unexpected argument {other:?}")),
         }
     }
     let path = path.unwrap_or_else(|| {
-        fail("usage: metrics_check [--schema-only] [--min-world-speedup X] <report.json>")
+        fail(
+            "usage: metrics_check [--schema-only] [--min-world-speedup X] \
+             [--min-incremental-speedup X] <report.json>",
+        )
     });
     let text = std::fs::read_to_string(&path)
         .unwrap_or_else(|error| fail(&format!("cannot read {path}: {error}")));
@@ -120,6 +137,26 @@ fn main() {
             ));
         }
         println!("metrics_check: world_speedup_4_workers {speedup:.2} >= {min:.2}");
+    }
+
+    if let Some(min) = min_incremental_speedup {
+        let meta = report
+            .get("meta")
+            .and_then(Json::as_obj)
+            .unwrap_or_else(|| fail("report has no meta object"));
+        let speedup = meta
+            .iter()
+            .find(|(name, _)| name == "incremental_speedup")
+            .and_then(|(_, value)| value.as_str())
+            .and_then(|s| s.parse::<f64>().ok())
+            .unwrap_or_else(|| fail("meta `incremental_speedup` missing or not a number"));
+        if speedup < min {
+            fail(&format!(
+                "incremental_speedup {speedup:.2} is below the required {min:.2} \
+                 — the incremental recompute path regressed (see DESIGN.md §4)"
+            ));
+        }
+        println!("metrics_check: incremental_speedup {speedup:.2} >= {min:.2}");
     }
 
     let mode = if schema_only { " [schema only]" } else { "" };

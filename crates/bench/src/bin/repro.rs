@@ -332,6 +332,7 @@ fn write_artifacts(dir: &std::path::Path, options: &Options, lazy: &Lazy) {
         seed: options.seed,
         scale: options.scale,
         q3_scale: options.q3_scale,
+        epoch: 0,
     };
     let write = |name: &str, body: caf_obs::json::Json| {
         let path = dir.join(format!("{name}.json"));

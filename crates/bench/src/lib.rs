@@ -22,7 +22,7 @@ use caf_core::{
 };
 use caf_geo::UsState;
 use caf_stats::Ecdf;
-use caf_synth::{SynthConfig, World};
+use caf_synth::{ChallengeDelta, ChallengeError, SynthConfig, World};
 
 /// A fully-run experiment fixture: world, audit dataset, shared index,
 /// and analyses.
@@ -59,11 +59,33 @@ impl Fixture {
     /// Runs the Q1/Q2 pipeline over a subset of states with an explicit
     /// engine configuration (the `--workers` knob of `repro`).
     pub fn build_tuned(seed: u64, scale: u32, states: &[UsState], engine: EngineConfig) -> Fixture {
+        Fixture::build_tuned_at(seed, scale, states, engine, &[])
+            .expect("an empty delta stream cannot fail validation")
+    }
+
+    /// Like [`Fixture::build_tuned`], but applies a challenge delta
+    /// stream to the world before auditing — the from-scratch rebuild
+    /// at a given epoch. By the incremental-recompute determinism
+    /// contract, the result is byte-identical to an epoch-0 fixture
+    /// refreshed through [`caf_core::IncrementalAudit`] by the same
+    /// deltas, regardless of how the stream was batched.
+    pub fn build_tuned_at(
+        seed: u64,
+        scale: u32,
+        states: &[UsState],
+        engine: EngineConfig,
+        deltas: &[ChallengeDelta],
+    ) -> Result<Fixture, ChallengeError> {
         let synth = SynthConfig { seed, scale };
-        let world = {
+        let mut world = {
             let _span = caf_obs::span("fixture.world");
             World::generate_states_on(synth, states, engine)
         };
+        if !deltas.is_empty() {
+            let _span = caf_obs::span("fixture.challenges");
+            world.apply_deltas(deltas)?;
+        }
+        let world = world;
         let audit = Audit::new(AuditConfig {
             synth,
             campaign: campaign_config(seed),
@@ -76,7 +98,7 @@ impl Fixture {
         };
         let index = {
             let _span = caf_obs::span("fixture.index");
-            AuditIndex::build(&dataset)
+            AuditIndex::build_at(&dataset, world.epoch)
         };
         let (serviceability, compliance) = {
             let _span = caf_obs::span("fixture.analyses");
@@ -85,7 +107,7 @@ impl Fixture {
                 ComplianceAnalysis::from_index(&dataset, &index),
             )
         };
-        Fixture {
+        Ok(Fixture {
             world,
             dataset,
             index,
@@ -93,7 +115,7 @@ impl Fixture {
             compliance,
             audit,
             engine,
-        }
+        })
     }
 
     /// Re-runs the fixture's audit over a subset of its world's states

@@ -41,27 +41,39 @@ pub struct ScenarioMeta {
     pub scale: u32,
     /// The Q3 world scale.
     pub q3_scale: u32,
+    /// The challenge epoch the world was audited at (0 = pristine,
+    /// pre-challenge). Epochs change result bytes — a corrected cell
+    /// yields different rows — so the epoch is scenario identity.
+    pub epoch: u64,
 }
 
 impl ScenarioMeta {
     /// The `repro` defaults for a given seed/scale (`q3_scale` follows
-    /// `repro --scale`'s `scale.max(8)` derivation).
+    /// `repro --scale`'s `scale.max(8)` derivation), at epoch 0.
     pub fn new(seed: u64, scale: u32) -> ScenarioMeta {
         ScenarioMeta {
             seed,
             scale,
             q3_scale: scale.max(8),
+            epoch: 0,
         }
     }
 
+    /// The same scenario viewed at a later challenge epoch.
+    pub fn at_epoch(self, epoch: u64) -> ScenarioMeta {
+        ScenarioMeta { epoch, ..self }
+    }
+
     /// Wraps an artifact body in the canonical envelope:
-    /// `{"artifact": <body>, "scenario": {"q3_scale", "scale", "seed"}}`.
+    /// `{"artifact": <body>,
+    ///   "scenario": {"epoch", "q3_scale", "scale", "seed"}}`.
     pub fn wrap(&self, body: Json) -> Json {
         Json::Obj(vec![
             ("artifact".to_string(), body),
             (
                 "scenario".to_string(),
                 Json::Obj(vec![
+                    ("epoch".to_string(), Json::UInt(self.epoch)),
                     ("q3_scale".to_string(), Json::UInt(u64::from(self.q3_scale))),
                     ("scale".to_string(), Json::UInt(u64::from(self.scale))),
                     ("seed".to_string(), Json::UInt(self.seed)),

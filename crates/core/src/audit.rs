@@ -241,65 +241,27 @@ impl Audit {
         truth: &TruthTable,
         engine: EngineConfig,
     ) -> AuditDataset {
-        // Cost hints: a cell's cost is its primary sample size — the
-        // query volume the campaign will push through it.
-        let hints: Vec<CostHint> = units
-            .iter()
-            .map(|state_world| {
-                CostHint::PerElement(
-                    state_world
-                        .usac
-                        .cbg_cells()
-                        .map(|(_, _, indices)| self.config.rule.sample_size(indices.len()) as u64)
-                        .collect(),
-                )
-            })
-            .collect();
+        let hints = self.unit_hints(units);
         let plan = engine.plan(&hints);
-        // Report both sides of the clamp — `workers.configured` is what
-        // the caller asked for, `workers.effective` is what the shard
-        // count can actually keep busy.
         let configured = engine.workers;
         let engine = engine.for_plan(&plan);
-        caf_obs::gauge("caf.core.engine.workers.configured", configured as u64);
-        caf_obs::gauge("caf.core.engine.workers.effective", engine.workers as u64);
-        caf_obs::gauge("caf.core.engine.units", units.len() as u64);
+        Self::record_plan_gauges(configured, engine.workers, units.len());
         let _audit_span = caf_obs::span("audit");
-        // Split the campaign's worker budget across engine workers so
-        // state-level parallelism does not multiply thread counts; the
-        // campaign's results are worker-count independent.
-        let campaign = Campaign::new(
-            self.config
-                .campaign
-                .with_workers(engine.nested_campaign_workers(self.config.campaign.workers)),
-        );
+        let campaign = self.nested_campaign(&engine);
         let unit_partials = map_units(&plan, |shard| {
-            self.audit_cells(&campaign, truth, units[shard.unit], shard.range.clone())
+            self.audit_cells_each(&campaign, truth, units[shard.unit], shard.range.clone())
         });
         let _merge_span = caf_obs::span("merge");
         let mut rows = Vec::new();
         let mut records = Vec::new();
         let mut coverage = Vec::new();
-        for partials in unit_partials {
-            let rounds = partials
-                .iter()
-                .map(|p| p.rows_by_round.len())
-                .max()
-                .unwrap_or(0);
-            let mut partials: Vec<StatePartial> = partials;
-            for round in 0..rounds {
-                for partial in &mut partials {
-                    if let Some(round_rows) = partial.rows_by_round.get_mut(round) {
-                        rows.append(round_rows);
-                    }
-                    if let Some(round_records) = partial.records_by_round.get_mut(round) {
-                        records.append(round_records);
-                    }
-                }
-            }
-            for partial in partials {
-                coverage.extend(partial.coverage);
-            }
+        for shard_partials in unit_partials {
+            // Shards arrive in ascending cell order, each holding one
+            // partial per cell — flattening yields the unit's cells in
+            // order, and the round-major merge reproduces the unsharded
+            // record stream (see `audit_cells_each`).
+            let merged = merge_round_major(shard_partials.into_iter().flatten().collect());
+            flatten_partial(merged, &mut rows, &mut records, &mut coverage);
         }
         caf_obs::count("caf.core.audit.rows", rows.len() as u64);
         caf_obs::count("caf.core.audit.records", records.len() as u64);
@@ -310,26 +272,73 @@ impl Audit {
         }
     }
 
+    /// The per-unit cost hints `run_units` and the incremental audit
+    /// plan with: a cell's cost is its primary sample size — the query
+    /// volume the campaign will push through it.
+    pub(crate) fn unit_hints(&self, units: &[&StateWorld]) -> Vec<CostHint> {
+        units
+            .iter()
+            .map(|state_world| {
+                CostHint::PerElement(
+                    state_world
+                        .usac
+                        .cbg_cells()
+                        .map(|(_, _, indices)| self.config.rule.sample_size(indices.len()) as u64)
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
+    /// The shared BQT campaign for a planned engine: the campaign's
+    /// worker budget is divided across engine workers so state-level
+    /// parallelism does not multiply thread counts (the campaign's
+    /// results are worker-count independent).
+    pub(crate) fn nested_campaign(&self, engine: &EngineConfig) -> Campaign {
+        Campaign::new(
+            self.config
+                .campaign
+                .with_workers(engine.nested_campaign_workers(self.config.campaign.workers)),
+        )
+    }
+
+    /// Reports both sides of the worker clamp — `workers.configured` is
+    /// what the caller asked for, `workers.effective` is what the shard
+    /// count can actually keep busy.
+    pub(crate) fn record_plan_gauges(configured: usize, effective: usize, units: usize) {
+        caf_obs::gauge("caf.core.engine.workers.configured", configured as u64);
+        caf_obs::gauge("caf.core.engine.workers.effective", effective as u64);
+        caf_obs::gauge("caf.core.engine.units", units as u64);
+    }
+
     /// One shard of a state's sample → query → resample loop, covering
     /// a contiguous (ISP, CBG) cell range — the whole state when the
     /// scheduler left the unit unsplit. Scheduling-independent by
     /// construction (every draw is keyed by seed + entity), with rows
-    /// and records grouped per resample round so [`Audit::run_units`]
-    /// can reassemble the state's round-major stream across shards.
-    fn audit_cells(
+    /// and records grouped **per cell, then per resample round**, so
+    /// callers can reassemble the state's round-major stream across any
+    /// shard decomposition *and* retain or replace individual cells
+    /// (the incremental audit's unit of invalidation).
+    ///
+    /// Each cell's partial is independent of which shard computed it:
+    /// sampling, querying, and resampling are per-cell (the replacement
+    /// cursor never crosses cells), and within any round the shard's
+    /// task stream is cell-major — so concatenating per-cell round
+    /// groups in cell order reproduces the shard's record stream, and a
+    /// cell recomputed alone differs from its in-shard computation only
+    /// by absent trailing empty rounds, which the round-major merge
+    /// erases.
+    pub(crate) fn audit_cells_each(
         &self,
         campaign: &Campaign,
         truth: &TruthTable,
         state_world: &StateWorld,
         cells: std::ops::Range<usize>,
-    ) -> StatePartial {
+    ) -> Vec<StatePartial> {
         // On a pool worker the thread-local span stack is empty, so this
         // roots a per-state hierarchy (`state.VT/sample`, ...) no matter
         // which worker picked the unit (or shard) up.
         let _state_span = caf_obs::span_with(|| format!("state.{}", state_world.state.abbrev()));
-        let mut rows_by_round: Vec<Vec<AuditRow>> = Vec::new();
-        let mut records_by_round: Vec<Vec<QueryRecord>> = Vec::new();
-        let mut coverage = Vec::new();
         let plan = {
             let _span = caf_obs::span("sample");
             SamplingPlan::draw_cells(self.config.synth.seed, state_world, self.config.rule, cells)
@@ -351,6 +360,15 @@ impl Audit {
 
         // Round 0: primaries. Later rounds: replacements for cells
         // with non-definitive outcomes.
+        let mut partials: Vec<StatePartial> = plan
+            .cells
+            .iter()
+            .map(|_| StatePartial {
+                rows_by_round: Vec::new(),
+                records_by_round: Vec::new(),
+                coverage: Vec::new(),
+            })
+            .collect();
         let mut cell_of: HashMap<AddressId, usize> = HashMap::new();
         let mut tasks: Vec<QueryTask> = Vec::new();
         for (cell_idx, cell) in plan.cells.iter().enumerate() {
@@ -370,8 +388,10 @@ impl Audit {
         while !tasks.is_empty() {
             let _round_span = caf_obs::span(if round == 0 { "campaign" } else { "resample" });
             let result: CampaignResult = campaign.run(truth, &tasks);
-            let mut rows: Vec<AuditRow> = Vec::new();
-            let mut records: Vec<QueryRecord> = Vec::new();
+            for partial in &mut partials {
+                partial.rows_by_round.push(Vec::new());
+                partial.records_by_round.push(Vec::new());
+            }
             let mut next_tasks: Vec<QueryTask> = Vec::new();
             for record in result.records {
                 let cell_idx = cell_of[&record.address];
@@ -393,7 +413,7 @@ impl Audit {
                         ),
                         _ => (None, None, Vec::new(), false),
                     };
-                    rows.push(AuditRow {
+                    partials[cell_idx].rows_by_round[round].push(AuditRow {
                         address: record.address,
                         isp: cell.isp,
                         state: state_world.state,
@@ -408,7 +428,7 @@ impl Audit {
                         plans: all_plans,
                         existing_subscriber: subscriber,
                     });
-                } else if round < self.config.resample_rounds {
+                } else if (round as u32) < self.config.resample_rounds {
                     // Draw a replacement from the same CBG, if any left.
                     let cursor = &mut replacement_cursor[cell_idx];
                     if let Some(&replacement) = cell.replacements.get(*cursor) {
@@ -422,16 +442,14 @@ impl Audit {
                         });
                     }
                 }
-                records.push(record);
+                partials[cell_idx].records_by_round[round].push(record);
             }
-            rows_by_round.push(rows);
-            records_by_round.push(records);
             tasks = next_tasks;
             round += 1;
         }
 
         for (cell_idx, cell) in plan.cells.iter().enumerate() {
-            coverage.push(CbgCoverage {
+            partials[cell_idx].coverage.push(CbgCoverage {
                 isp: cell.isp,
                 cbg: cell.cbg,
                 total: cell.total_addresses,
@@ -440,21 +458,68 @@ impl Audit {
             });
         }
 
-        StatePartial {
-            rows_by_round,
-            records_by_round,
-            coverage,
-        }
+        partials
     }
 }
 
-/// One shard's output: rows and records grouped by resample round (the
-/// unsharded stream is round-major, so shards must be re-interleaved
-/// per round), coverage per cell in cell order.
-struct StatePartial {
-    rows_by_round: Vec<Vec<AuditRow>>,
-    records_by_round: Vec<Vec<QueryRecord>>,
-    coverage: Vec<CbgCoverage>,
+/// Merges per-cell (or per-shard) partials into one, preserving the
+/// round-major stream order: within each round, partials contribute in
+/// their given order; coverage concatenates in the same order. Partials
+/// may have differing round counts — a partial without round `r` simply
+/// contributes nothing to it, which is exactly how a cell that ran out
+/// of resample work early behaves inside a bigger shard.
+pub(crate) fn merge_round_major(mut partials: Vec<StatePartial>) -> StatePartial {
+    let rounds = partials
+        .iter()
+        .map(|p| p.rows_by_round.len())
+        .max()
+        .unwrap_or(0);
+    let mut rows_by_round: Vec<Vec<AuditRow>> = (0..rounds).map(|_| Vec::new()).collect();
+    let mut records_by_round: Vec<Vec<QueryRecord>> = (0..rounds).map(|_| Vec::new()).collect();
+    let mut coverage = Vec::new();
+    for partial in &mut partials {
+        for (round, rows) in partial.rows_by_round.iter_mut().enumerate() {
+            rows_by_round[round].append(rows);
+        }
+        for (round, records) in partial.records_by_round.iter_mut().enumerate() {
+            records_by_round[round].append(records);
+        }
+        coverage.append(&mut partial.coverage);
+    }
+    StatePartial {
+        rows_by_round,
+        records_by_round,
+        coverage,
+    }
+}
+
+/// Flattens one merged partial into dataset vectors: rounds in order
+/// (the round-major stream), coverage appended as-is.
+pub(crate) fn flatten_partial(
+    partial: StatePartial,
+    rows: &mut Vec<AuditRow>,
+    records: &mut Vec<QueryRecord>,
+    coverage: &mut Vec<CbgCoverage>,
+) {
+    for mut round_rows in partial.rows_by_round {
+        rows.append(&mut round_rows);
+    }
+    for mut round_records in partial.records_by_round {
+        records.append(&mut round_records);
+    }
+    coverage.extend(partial.coverage);
+}
+
+/// One cell's (or one merged shard's) output: rows and records grouped
+/// by resample round (the unsharded stream is round-major, so partials
+/// must be re-interleaved per round), coverage per cell in cell order.
+/// Cloneable so the incremental audit can retain clean cells across
+/// epochs and materialize datasets without recomputing them.
+#[derive(Debug, Clone)]
+pub(crate) struct StatePartial {
+    pub(crate) rows_by_round: Vec<Vec<AuditRow>>,
+    pub(crate) records_by_round: Vec<Vec<QueryRecord>>,
+    pub(crate) coverage: Vec<CbgCoverage>,
 }
 
 #[cfg(test)]

@@ -89,6 +89,9 @@ impl CellMeta {
 #[derive(Debug)]
 pub struct AuditIndex {
     n_rows: usize,
+    /// The world epoch the indexed dataset was computed at (0 for a
+    /// pristine, pre-challenge world).
+    epoch: u64,
     /// Sorted row ids: `order[pos]` is the dataset row at sorted
     /// position `pos`.
     order: Vec<u32>,
@@ -104,8 +107,18 @@ pub struct AuditIndex {
 }
 
 impl AuditIndex {
-    /// Builds the index from an audit dataset.
+    /// Builds the index from an audit dataset at epoch 0 (a pristine,
+    /// pre-challenge world). Use [`AuditIndex::build_at`] when the
+    /// dataset reflects applied challenge deltas.
     pub fn build(dataset: &AuditDataset) -> AuditIndex {
+        Self::build_at(dataset, 0)
+    }
+
+    /// Builds the index from an audit dataset computed at `epoch`. The
+    /// epoch is identity metadata: it changes nothing about the sort or
+    /// the cells, but rides along so downstream artifact envelopes (and
+    /// cache keys) can distinguish pre- from post-challenge views.
+    pub fn build_at(dataset: &AuditDataset, epoch: u64) -> AuditIndex {
         let _span = caf_obs::span("index.build");
         caf_obs::count("caf.core.index.builds", 1);
         let rows = &dataset.rows;
@@ -156,9 +169,11 @@ impl AuditIndex {
         state_cells.sort_by_key(|(state, _)| *state);
         caf_obs::count("caf.core.index.rows", rows.len() as u64);
         caf_obs::count("caf.core.index.cells", cells.len() as u64);
+        caf_obs::gauge("caf.core.index.epoch", epoch);
 
         AuditIndex {
             n_rows: rows.len(),
+            epoch,
             order,
             served,
             cells,
@@ -170,6 +185,11 @@ impl AuditIndex {
     /// Number of indexed rows.
     pub fn len(&self) -> usize {
         self.n_rows
+    }
+
+    /// The world epoch the indexed dataset was computed at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Whether the index is empty.

@@ -43,6 +43,7 @@ pub mod counterfactual;
 pub mod coverage;
 pub mod engine;
 pub mod experienced;
+pub mod incremental;
 pub mod index;
 pub mod oversight;
 pub mod program;
@@ -58,6 +59,7 @@ pub use compliance::ComplianceAnalysis;
 pub use counterfactual::CompetitionCounterfactual;
 pub use engine::{CostHint, EngineConfig, Shard, ShardPolicy, UnitPlan};
 pub use experienced::ExperiencedAnalysis;
+pub use incremental::IncrementalAudit;
 pub use index::{AuditIndex, CellMeta, RecordIndex};
 pub use oversight::{compare_oversight, OversightConfig};
 pub use program::ProgramRules;

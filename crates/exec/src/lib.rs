@@ -136,6 +136,14 @@ impl EngineConfig {
         UnitPlan::build(self.workers, hints, self.shard)
     }
 
+    /// Builds a [`UnitPlan`] covering only the given element runs of
+    /// each unit (see [`UnitPlan::build_subset`]) — the incremental
+    /// recompute path, where most elements are retained and only dirty
+    /// runs re-execute.
+    pub fn plan_subset(self, hints: &[CostHint], runs: &[Vec<std::ops::Range<usize>>]) -> UnitPlan {
+        UnitPlan::build_subset(self.workers, hints, self.shard, runs)
+    }
+
     /// Clamps the worker count to a plan's shard count — the sharded
     /// analogue of [`EngineConfig::for_units`].
     pub fn for_plan(self, plan: &UnitPlan) -> EngineConfig {

@@ -28,6 +28,28 @@
 use std::cmp::Reverse;
 use std::ops::Range;
 
+/// The split target: `threshold_pct`% of the ideal per-worker share.
+/// Units (or dirty runs) at or below it stay whole; above it they split
+/// into shards of roughly the target size.
+fn split_target(total_cost: u128, workers: usize, policy: ShardPolicy) -> u128 {
+    if policy.threshold_pct == 0 || total_cost == 0 {
+        u128::MAX
+    } else {
+        (total_cost * u128::from(policy.threshold_pct) / (100 * workers as u128)).max(1)
+    }
+}
+
+/// How many shards a unit (or run) of the given cost wants under the
+/// split target, clamped by the policy's per-unit cap.
+fn shard_count(cost: u128, target: u128, policy: ShardPolicy) -> usize {
+    let want = if cost > target {
+        usize::try_from(cost.div_ceil(target)).unwrap_or(usize::MAX)
+    } else {
+        1
+    };
+    want.clamp(1, policy.max_shards_per_unit.max(1))
+}
+
 /// Controls when (and how finely) a work unit is split into shards.
 ///
 /// The split threshold is expressed as a percentage of the ideal
@@ -245,24 +267,12 @@ impl UnitPlan {
     pub fn build(workers: usize, hints: &[CostHint], policy: ShardPolicy) -> UnitPlan {
         let workers = workers.max(1);
         let total_cost: u128 = hints.iter().map(|h| u128::from(h.total())).sum();
-        // The split target: `threshold_pct`% of the ideal per-worker
-        // share. Units at or below it stay whole; units above it split
-        // into shards of roughly the target size.
-        let target: u128 = if policy.threshold_pct == 0 || total_cost == 0 {
-            u128::MAX
-        } else {
-            (total_cost * u128::from(policy.threshold_pct) / (100 * workers as u128)).max(1)
-        };
+        let target = split_target(total_cost, workers, policy);
         let mut shards = Vec::with_capacity(hints.len());
         let mut unit_ranges = Vec::with_capacity(hints.len());
         for (unit, hint) in hints.iter().enumerate() {
             let cost = u128::from(hint.total());
-            let want = if cost > target {
-                usize::try_from(cost.div_ceil(target)).unwrap_or(usize::MAX)
-            } else {
-                1
-            };
-            let k = want.clamp(1, policy.max_shards_per_unit.max(1));
+            let k = shard_count(cost, target, policy);
             let first = shards.len();
             for (range, est_cost) in hint.split(k) {
                 shards.push(Shard {
@@ -273,7 +283,89 @@ impl UnitPlan {
             }
             unit_ranges.push(first..shards.len());
         }
+        Self::assemble(workers, shards, unit_ranges, total_cost)
+    }
 
+    /// Plans a shard schedule covering only the given element `runs` of
+    /// each unit — the incremental-recompute path, where a delta batch
+    /// invalidates a sparse set of cells and everything else is
+    /// retained. `runs[unit]` lists the unit's dirty element ranges
+    /// (ascending, disjoint); a unit with no runs contributes no shards
+    /// but keeps its positional slot, so
+    /// [`map_units`](crate::map_units) returns an empty group for it.
+    ///
+    /// Shard ranges stay in the unit's *original* element coordinates,
+    /// and big runs split exactly like whole units in
+    /// [`UnitPlan::build`] — the split target is computed from the dirty
+    /// cost only, so a large invalidation still fans out across the
+    /// pool. Like `build`, a pure function of its arguments.
+    pub fn build_subset(
+        workers: usize,
+        hints: &[CostHint],
+        policy: ShardPolicy,
+        runs: &[Vec<Range<usize>>],
+    ) -> UnitPlan {
+        assert_eq!(
+            hints.len(),
+            runs.len(),
+            "one run list per hinted unit ({} hints, {} run lists)",
+            hints.len(),
+            runs.len()
+        );
+        let workers = workers.max(1);
+        // Restrict a hint to one run, in run-local coordinates.
+        let restrict = |hint: &CostHint, run: &Range<usize>| -> CostHint {
+            match hint {
+                CostHint::Uniform { cost, elements } => CostHint::Uniform {
+                    cost: if *elements == 0 {
+                        0
+                    } else {
+                        (u128::from(*cost) * run.len() as u128 / *elements as u128) as u64
+                    },
+                    elements: run.len(),
+                },
+                CostHint::PerElement(costs) => CostHint::PerElement(costs[run.clone()].to_vec()),
+            }
+        };
+        let total_cost: u128 = hints
+            .iter()
+            .zip(runs)
+            .flat_map(|(hint, unit_runs)| {
+                unit_runs
+                    .iter()
+                    .map(|run| u128::from(restrict(hint, run).total()))
+            })
+            .sum();
+        let target = split_target(total_cost, workers, policy);
+        let mut shards = Vec::new();
+        let mut unit_ranges = Vec::with_capacity(hints.len());
+        for (unit, (hint, unit_runs)) in hints.iter().zip(runs).enumerate() {
+            let first = shards.len();
+            for run in unit_runs {
+                debug_assert!(run.end <= hint.elements(), "run outside unit");
+                let sub = restrict(hint, run);
+                let k = shard_count(u128::from(sub.total()), target, policy);
+                for (range, est_cost) in sub.split(k) {
+                    shards.push(Shard {
+                        unit,
+                        range: run.start + range.start..run.start + range.end,
+                        est_cost,
+                    });
+                }
+            }
+            unit_ranges.push(first..shards.len());
+        }
+        Self::assemble(workers, shards, unit_ranges, total_cost)
+    }
+
+    /// The shared plan tail: LPT dispatch order, greedy makespan
+    /// estimate, construction.
+    fn assemble(
+        workers: usize,
+        shards: Vec<Shard>,
+        unit_ranges: Vec<Range<usize>>,
+        total_cost: u128,
+    ) -> UnitPlan {
         // LPT dispatch order: heaviest first, shard index breaks ties
         // (so uniform costs degrade to plain index order).
         let mut dispatch: Vec<usize> = (0..shards.len()).collect();
@@ -543,6 +635,50 @@ mod tests {
         assert_eq!(a.shards(), b.shards());
         assert_eq!(a.dispatch_order(), b.dispatch_order());
         assert_eq!(a.est_makespan(), b.est_makespan());
+    }
+
+    #[test]
+    fn subset_plans_cover_only_dirty_runs() {
+        let hints = vec![
+            CostHint::PerElement((1..=20).collect()),
+            CostHint::PerElement(vec![3; 10]),
+        ];
+        let runs = vec![vec![2..5, 9..10], Vec::new()];
+        let plan = UnitPlan::build_subset(4, &hints, ShardPolicy::disabled(), &runs);
+        assert_eq!(plan.unit_count(), 2);
+        assert_eq!(plan.shard_count(), 2, "disabled policy: one shard per run");
+        assert!(
+            plan.unit_shards(1).is_empty(),
+            "clean units contribute no shards but keep their slot"
+        );
+        // Shards tile exactly the dirty runs, ascending, in unit
+        // coordinates.
+        let covered = ranges(&plan, 0);
+        let mut elements: Vec<usize> = Vec::new();
+        for r in &covered {
+            elements.extend(r.clone());
+        }
+        assert_eq!(elements, vec![2, 3, 4, 9]);
+        // Cost accounting covers only the dirty elements: (3+4+5) + 10.
+        assert_eq!(plan.total_cost(), 22);
+
+        // A big dirty run splits like a big unit would.
+        let fine = UnitPlan::build_subset(2, &hints, ShardPolicy::finest(), &runs);
+        assert!(fine.shard_count() > plan.shard_count());
+        let mut fine_elements: Vec<usize> = Vec::new();
+        for s in fine.unit_shards(0) {
+            fine_elements.extend(s.range.clone());
+        }
+        assert_eq!(fine_elements, elements, "splitting never changes coverage");
+
+        // Full-coverage runs reproduce the whole-unit plan exactly.
+        let full_runs: Vec<Vec<Range<usize>>> =
+            hints.iter().map(|h| vec![0..h.elements()]).collect();
+        let via_subset =
+            UnitPlan::build_subset(4, &hints, ShardPolicy::default_policy(), &full_runs);
+        let via_build = UnitPlan::build(4, &hints, ShardPolicy::default_policy());
+        assert_eq!(via_subset.shards(), via_build.shards());
+        assert_eq!(via_subset.dispatch_order(), via_build.dispatch_order());
     }
 
     #[test]

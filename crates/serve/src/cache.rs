@@ -64,6 +64,10 @@ pub struct StatsSnapshot {
     pub join_timeouts: u64,
     /// Ready entries evicted by the LRU cap.
     pub evictions: u64,
+    /// Entries materialized directly via [`ScenarioCache::insert`]
+    /// (e.g. a challenge ingest publishing an incrementally refreshed
+    /// view) rather than through a cache miss.
+    pub inserts: u64,
 }
 
 #[derive(Default)]
@@ -73,6 +77,7 @@ struct CacheStats {
     joins: AtomicU64,
     join_timeouts: AtomicU64,
     evictions: AtomicU64,
+    inserts: AtomicU64,
 }
 
 enum FlightState<V> {
@@ -216,27 +221,7 @@ impl<K: Eq + Hash + Clone, V> ScenarioCache<K, V> {
                 let value = Arc::new(value);
                 let mut inner = self.inner.lock().unwrap();
                 inner.pending.remove(&guard.key);
-                inner.tick += 1;
-                let tick = inner.tick;
-                inner.ready.insert(
-                    guard.key.clone(),
-                    ReadyEntry {
-                        value: Arc::clone(&value),
-                        last_used: tick,
-                    },
-                );
-                while inner.ready.len() > self.capacity {
-                    let oldest = inner
-                        .ready
-                        .iter()
-                        .min_by_key(|(_, entry)| entry.last_used)
-                        .map(|(k, _)| k.clone())
-                        .expect("non-empty map over capacity");
-                    inner.ready.remove(&oldest);
-                    self.stats.evictions.fetch_add(1, Ordering::Relaxed);
-                    caf_obs::count("caf.serve.cache.evictions", 1);
-                }
-                caf_obs::gauge("caf.serve.cache.size", inner.ready.len() as u64);
+                self.insert_ready(&mut inner, guard.key.clone(), Arc::clone(&value));
                 drop(inner);
                 let mut state = flight.state.lock().unwrap();
                 *state = FlightState::Done(Arc::clone(&value));
@@ -255,6 +240,49 @@ impl<K: Eq + Hash + Clone, V> ScenarioCache<K, V> {
                 Err(CacheError::Failed(message))
             }
         }
+    }
+
+    /// Materializes `value` for `key` directly, as if a computation for
+    /// it had just finished: the entry becomes the most recently used
+    /// and LRU eviction applies. Used by producers that *already hold*
+    /// a fresh result — the challenge ingest path publishes its
+    /// incrementally refreshed view here so subsequent reads hit
+    /// without recomputing. An in-flight computation for the same key
+    /// (if any) is left to finish and overwrite this entry with — by
+    /// the determinism contract — identical contents.
+    pub fn insert(&self, key: K, value: V) -> Arc<V> {
+        let value = Arc::new(value);
+        let mut inner = self.inner.lock().unwrap();
+        self.insert_ready(&mut inner, key, Arc::clone(&value));
+        self.stats.inserts.fetch_add(1, Ordering::Relaxed);
+        caf_obs::count("caf.serve.cache.inserts", 1);
+        value
+    }
+
+    /// Installs a ready entry at the current tick and enforces the LRU
+    /// cap (shared by [`ScenarioCache::insert`] and the miss path).
+    fn insert_ready(&self, inner: &mut Inner<K, V>, key: K, value: Arc<V>) {
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.ready.insert(
+            key,
+            ReadyEntry {
+                value,
+                last_used: tick,
+            },
+        );
+        while inner.ready.len() > self.capacity {
+            let oldest = inner
+                .ready
+                .iter()
+                .min_by_key(|(_, entry)| entry.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty map over capacity");
+            inner.ready.remove(&oldest);
+            self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+            caf_obs::count("caf.serve.cache.evictions", 1);
+        }
+        caf_obs::gauge("caf.serve.cache.size", inner.ready.len() as u64);
     }
 
     fn join_flight(
@@ -315,6 +343,7 @@ impl<K: Eq + Hash + Clone, V> ScenarioCache<K, V> {
             joins: self.stats.joins.load(Ordering::Relaxed),
             join_timeouts: self.stats.join_timeouts.load(Ordering::Relaxed),
             evictions: self.stats.evictions.load(Ordering::Relaxed),
+            inserts: self.stats.inserts.load(Ordering::Relaxed),
         }
     }
 }
@@ -463,6 +492,23 @@ mod tests {
         assert!(cache.contains(&3) && cache.contains(&4) && !cache.contains(&1));
         assert_eq!(cache.stats().evictions, 2);
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn direct_inserts_hit_and_participate_in_lru() {
+        let cache: ScenarioCache<u32, u32> = ScenarioCache::new(2);
+        let inserted = cache.insert(1, 10);
+        assert_eq!(*inserted, 10);
+        let (value, outcome) = cache.get_or_compute(1, LONG, || unreachable!()).unwrap();
+        assert_eq!(outcome, CacheOutcome::Hit);
+        assert!(Arc::ptr_eq(&value, &inserted));
+        // Inserts are recency-stamped like any other entry: fill to
+        // capacity, then overflow — the oldest insert is evicted.
+        cache.insert(2, 20);
+        cache.insert(3, 30);
+        assert!(!cache.contains(&1) && cache.contains(&2) && cache.contains(&3));
+        let stats = cache.stats();
+        assert_eq!((stats.inserts, stats.evictions, stats.hits), (3, 1, 1));
     }
 
     #[test]

@@ -1,5 +1,5 @@
-//! A deliberately small HTTP/1.1 subset: enough to parse the GET
-//! requests the serving API accepts and to write deterministic
+//! A deliberately small HTTP/1.1 subset: enough to parse the GET and
+//! POST requests the serving API accepts and to write deterministic
 //! responses, with no external dependencies.
 //!
 //! Every response is `Connection: close` — one request per connection
@@ -13,15 +13,25 @@ use std::io::{BufRead, Read, Write};
 /// Anything longer is rejected with `431`.
 pub const MAX_HEAD_BYTES: usize = 8 * 1024;
 
-/// A parsed request: method, decoded path, and decoded query pairs.
+/// Maximum accepted request body (`Content-Length`). Anything longer is
+/// rejected with `413` before a byte of the body is read.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A parsed request: method, decoded path, decoded query pairs, headers,
+/// and (for POST) the body.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
-    /// Request method (`GET` for every supported endpoint).
+    /// Request method (`GET` or `POST` for every supported endpoint).
     pub method: String,
     /// Percent-decoded path, e.g. `/v1/table2`.
     pub path: String,
     /// Percent-decoded query pairs in request order.
     pub query: Vec<(String, String)>,
+    /// Headers as (lowercased name, trimmed value) pairs, in request
+    /// order.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless the request carried `Content-Length`).
+    pub body: Vec<u8>,
 }
 
 impl Request {
@@ -31,6 +41,15 @@ impl Request {
             .iter()
             .rev()
             .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The last value for header `name` (case-insensitive), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .rev()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
             .map(|(_, v)| v.as_str())
     }
 }
@@ -52,9 +71,9 @@ fn bad(message: impl Into<String>) -> ParseError {
     }
 }
 
-/// Reads and parses one request head from `stream`.
-///
-/// The body (if any) is ignored — every supported endpoint is a GET.
+/// Reads and parses one request from `stream`: the head, plus — when
+/// the head carries `Content-Length` — a body of exactly that many
+/// bytes, bounded by [`MAX_BODY_BYTES`] (`413` beyond it).
 pub fn parse_request(stream: &mut impl BufRead) -> Result<Request, ParseError> {
     // `read_line` buffers a whole line before returning, so the size
     // check must bind the reader itself, not run after the fact: a
@@ -96,13 +115,44 @@ pub fn parse_request(stream: &mut impl BufRead) -> Result<Request, ParseError> {
         return Err(bad("empty method"));
     }
 
-    // Drain headers until the blank line; their contents are irrelevant
-    // to routing, but the loop enforces the head-size bound.
+    // Collect headers until the blank line; the loop enforces the
+    // head-size bound. Names are lowercased so lookups are
+    // case-insensitive; lines without a colon are ignored.
+    let mut headers: Vec<(String, String)> = Vec::new();
     loop {
         read_line(&mut stream, &mut line)?;
         if line == "\r\n" || line == "\n" {
             break;
         }
+        if let Some((name, value)) = line.trim_end_matches(['\r', '\n']).split_once(':') {
+            headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+
+    // The head cap no longer applies: read the body (if declared) from
+    // the raw stream, sized and bounded up front so a lying client
+    // cannot make the server buffer more than MAX_BODY_BYTES.
+    let stream = stream.into_inner();
+    let mut body = Vec::new();
+    if let Some(value) = headers
+        .iter()
+        .rev()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| v.as_str())
+    {
+        let len: usize = value
+            .parse()
+            .map_err(|_| bad(format!("invalid Content-Length {value:?}")))?;
+        if len > MAX_BODY_BYTES {
+            return Err(ParseError {
+                status: 413,
+                message: format!("request body of {len} bytes exceeds {MAX_BODY_BYTES}"),
+            });
+        }
+        body = vec![0u8; len];
+        stream
+            .read_exact(&mut body)
+            .map_err(|e| bad(format!("read body: {e}")))?;
     }
 
     let (raw_path, raw_query) = match target.split_once('?') {
@@ -121,6 +171,8 @@ pub fn parse_request(stream: &mut impl BufRead) -> Result<Request, ParseError> {
         method,
         path,
         query,
+        headers,
+        body,
     })
 }
 
@@ -194,6 +246,18 @@ impl Response {
         }
     }
 
+    /// A `304 Not Modified` response: no body, so the caller must still
+    /// attach the entity's `ETag` via [`Response::with_header`].
+    pub fn not_modified() -> Response {
+        Response {
+            status: 304,
+            content_type: "application/json",
+            headers: Vec::new(),
+            body: Vec::new(),
+            shutdown: false,
+        }
+    }
+
     /// An error response with a one-object JSON body
     /// `{"error": "<message>"}`.
     pub fn error(status: u16, message: &str) -> Response {
@@ -241,9 +305,11 @@ impl Response {
 fn reason_phrase(status: u16) -> &'static str {
     match status {
         200 => "OK",
+        304 => "Not Modified",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        413 => "Payload Too Large",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
@@ -272,6 +338,39 @@ mod tests {
         assert_eq!(req.param("isp"), Some("AT&T"));
         assert_eq!(req.param("note"), Some("a b"));
         assert_eq!(req.param("absent"), None);
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.header("HOST"), Some("x"));
+        assert_eq!(req.header("absent"), None);
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn reads_post_bodies_bounded_by_content_length() {
+        let req =
+            parse("POST /v1/challenge HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhelloEXTRA")
+                .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"hello");
+
+        // A declared body larger than the cap is rejected before any
+        // read; a truncated body is a 400.
+        let huge = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert_eq!(parse(&huge).unwrap_err().status, 413);
+        assert_eq!(
+            parse("POST /x HTTP/1.1\r\nContent-Length: 9\r\n\r\nshort")
+                .unwrap_err()
+                .status,
+            400
+        );
+        assert_eq!(
+            parse("POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n")
+                .unwrap_err()
+                .status,
+            400
+        );
     }
 
     #[test]

@@ -8,17 +8,47 @@
 //! determinism contract — would have produced byte-identical artifacts
 //! anyway. That contract is what lets `/v1/*` responses be compared
 //! byte-for-byte against `repro --artifacts` goldens in CI.
+//!
+//! ## Challenges and epochs
+//!
+//! The server is not just a batch cache: `POST /v1/challenge` ingests a
+//! JSONL stream of [`ChallengeDelta`]s against the server's *default*
+//! `(seed, scale)` scenario, advancing a live epoch-versioned world.
+//! Each accepted batch is applied via [`World::apply_deltas`] (atomic —
+//! an invalid delta rejects the whole batch with `400`) and recomputed
+//! incrementally via [`IncrementalAudit::refresh`], which re-audits only
+//! the invalidated (state, CBG, ISP) cells. The refreshed view is
+//! published into the scenario cache under its epoch, so reads are
+//! consistent without any cache flush:
+//!
+//! * `GET /v1/{serviceability,compliance,table2}?epoch=E` serves the
+//!   world after the first `E` deltas (`epoch` defaults to `0`, the
+//!   pristine pre-challenge world — existing clients and the CI goldens
+//!   are unaffected).
+//! * A historical epoch that has fallen out of the cache is rebuilt
+//!   from scratch from the delta log prefix; by the determinism
+//!   contract the bytes equal what the incremental path produced.
+//! * `/v1/q3` takes no `epoch`: challenges correct the Q1/Q2 CAF-Map
+//!   world, not the Q3 monopoly comparison's dedicated world.
+//!
+//! Conditional GETs: every `/v1/*` artifact response carries a
+//! deterministic FNV-1a `ETag`; a request presenting it back via
+//! `If-None-Match` is answered `304 Not Modified` with no body.
 
 use crate::cache::{CacheError, ScenarioCache};
 use crate::http::{Request, Response};
 use crate::server::Handler;
-use caf_bench::Fixture;
-use caf_core::{artifact, EngineConfig, Q3Analysis, ScenarioMeta};
+use caf_bench::{campaign_config, Fixture};
+use caf_core::{
+    artifact, Audit, AuditConfig, AuditDataset, AuditIndex, ComplianceAnalysis, EngineConfig,
+    IncrementalAudit, Q3Analysis, SamplingRule, ScenarioMeta, ServiceabilityAnalysis,
+};
 use caf_geo::UsState;
-use caf_synth::{Isp, World};
+use caf_synth::challenge::deltas_from_jsonl;
+use caf_synth::{ChallengeDelta, Isp, SynthConfig, World};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Which pipeline a cache entry materializes.
@@ -30,18 +60,50 @@ enum Kind {
     Q3,
 }
 
-/// Canonical scenario identity: result-changing parameters only.
+/// Canonical scenario identity: result-changing parameters only. The
+/// challenge epoch is identity — the same `(seed, scale)` before and
+/// after a correction batch are different results — which is exactly
+/// what lets pre- and post-challenge views coexist in the cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct ScenarioKey {
     kind: Kind,
     seed: u64,
     scale: u32,
+    epoch: u64,
+}
+
+/// The slice of a Q1/Q2 fixture the artifact routes actually read.
+/// (The world itself stays out of the cache; the live challenge
+/// scenario owns the only resident world.)
+struct Q12View {
+    dataset: AuditDataset,
+    serviceability: ServiceabilityAnalysis,
+    compliance: ComplianceAnalysis,
+}
+
+impl Q12View {
+    fn from_fixture(fixture: Fixture) -> Q12View {
+        Q12View {
+            dataset: fixture.dataset,
+            serviceability: fixture.serviceability,
+            compliance: fixture.compliance,
+        }
+    }
 }
 
 /// A materialized scenario bundle held by the cache.
 enum Bundle {
-    Q12(Box<Fixture>),
-    Q3(Box<(World, Q3Analysis)>),
+    Q12(Box<Q12View>),
+    Q3(Box<Q3Analysis>),
+}
+
+/// The live, epoch-versioned default scenario: the world of record, the
+/// incremental audit tracking it cell-by-cell, and the full delta log
+/// (the source of truth for rebuilding any historical epoch).
+struct Live {
+    world: World,
+    inc: IncrementalAudit,
+    log: Vec<ChallengeDelta>,
 }
 
 /// Tuning for [`App`].
@@ -77,11 +139,13 @@ impl Default for AppConfig {
     }
 }
 
-/// The serving application: endpoint routing + scenario cache.
+/// The serving application: endpoint routing + scenario cache + the
+/// live challenge scenario.
 pub struct App {
     config: AppConfig,
     cache: ScenarioCache<ScenarioKey, Bundle>,
     active_computes: Arc<AtomicUsize>,
+    live: Mutex<Option<Live>>,
 }
 
 /// RAII share of the compute budget; see [`App::compute_engine`].
@@ -101,12 +165,22 @@ impl App {
             config,
             cache,
             active_computes: Arc::new(AtomicUsize::new(0)),
+            live: Mutex::new(None),
         }
     }
 
     /// Exact cache counters (used by `serve_bench` for the hit ratio).
     pub fn cache_stats(&self) -> crate::cache::StatsSnapshot {
         self.cache.stats()
+    }
+
+    /// The live challenge epoch (0 until the first accepted batch).
+    pub fn live_epoch(&self) -> u64 {
+        self.live
+            .lock()
+            .unwrap()
+            .as_ref()
+            .map_or(0, |live| live.world.epoch)
     }
 
     /// The `/metrics` report for this server process.
@@ -123,6 +197,7 @@ impl App {
             "cache_capacity".to_string(),
             self.config.cache_capacity.to_string(),
         );
+        meta.insert("epoch".to_string(), self.live_epoch().to_string());
         let mut body = caf_obs::RunReport::collect(meta).to_json_pretty();
         body.push('\n');
         Response::json(body.into_bytes())
@@ -140,6 +215,105 @@ impl App {
         )
     }
 
+    /// The audit configuration the serving layer computes under — the
+    /// same one [`Fixture::build_tuned`] uses, so live incremental
+    /// refreshes and from-scratch fixture builds agree byte-for-byte.
+    fn audit_for(&self, seed: u64, scale: u32) -> Audit {
+        Audit::new(AuditConfig {
+            synth: SynthConfig { seed, scale },
+            campaign: campaign_config(seed),
+            rule: SamplingRule::paper(),
+            resample_rounds: 2,
+        })
+    }
+
+    /// Handles `POST /v1/challenge`: parses the JSONL delta batch,
+    /// applies it to the live world (atomically — any invalid delta
+    /// rejects the batch), refreshes the incremental audit over the
+    /// invalidated cells only, and publishes the refreshed view into
+    /// the scenario cache under the new epoch.
+    fn challenge_response(&self, request: &Request) -> Response {
+        let body = match std::str::from_utf8(&request.body) {
+            Ok(body) => body,
+            Err(_) => return Response::error(400, "challenge body must be UTF-8 JSONL"),
+        };
+        let deltas = match deltas_from_jsonl(body) {
+            Ok(deltas) => deltas,
+            Err(message) => {
+                return Response::error(400, &format!("invalid delta stream: {message}"))
+            }
+        };
+        if deltas.is_empty() {
+            return Response::error(400, "challenge batch contains no deltas");
+        }
+
+        let seed = self.config.default_seed;
+        let scale = self.config.default_scale;
+        let mut slot = self.live.lock().unwrap();
+        if slot.is_none() {
+            // First challenge: materialize the live scenario (one full
+            // build; every later batch is incremental). The mutex is
+            // the single-flight here — concurrent first batches queue.
+            let (engine, _guard) = self.compute_engine(self.config.engine);
+            let _span = caf_obs::span("serve.challenge.materialize");
+            let synth = SynthConfig { seed, scale };
+            let world = World::generate_states_on(synth, &UsState::study_states(), engine);
+            let inc = IncrementalAudit::build(self.audit_for(seed, scale), &world, engine);
+            *slot = Some(Live {
+                world,
+                inc,
+                log: Vec::new(),
+            });
+        }
+        let live = slot.as_mut().expect("just materialized");
+
+        let outcome = match live.world.apply_deltas(&deltas) {
+            Ok(outcome) => outcome,
+            Err(error) => return Response::error(400, &format!("challenge rejected: {error}")),
+        };
+        let dirty = outcome.dirty_cells();
+        {
+            let (engine, _guard) = self.compute_engine(self.config.engine);
+            let _span = caf_obs::span("serve.challenge.refresh");
+            live.inc.refresh(&live.world, &outcome, engine);
+        }
+        live.log.extend_from_slice(&deltas);
+        caf_obs::count("caf.serve.challenge.batches", 1);
+        caf_obs::count("caf.serve.challenge.applied", outcome.applied as u64);
+        caf_obs::gauge("caf.serve.challenge.epoch", outcome.epoch);
+
+        // Publish the refreshed view so reads at this epoch hit the
+        // cache instead of rebuilding from scratch.
+        let dataset = live.inc.dataset();
+        let index = AuditIndex::build_at(&dataset, live.world.epoch);
+        let view = Q12View {
+            serviceability: ServiceabilityAnalysis::from_index(&index),
+            compliance: ComplianceAnalysis::from_index(&dataset, &index),
+            dataset,
+        };
+        let epoch = live.world.epoch;
+        drop(slot);
+        self.cache.insert(
+            ScenarioKey {
+                kind: Kind::Q12,
+                seed,
+                scale,
+                epoch,
+            },
+            Bundle::Q12(Box::new(view)),
+        );
+
+        use caf_obs::json::Json;
+        let mut body = Json::Obj(vec![
+            ("applied".to_string(), Json::UInt(outcome.applied as u64)),
+            ("cells_refreshed".to_string(), Json::UInt(dirty as u64)),
+            ("epoch".to_string(), Json::UInt(epoch)),
+        ])
+        .to_compact();
+        body.push('\n');
+        Response::json(body.into_bytes())
+    }
+
     fn scenario_response(&self, route: &str, request: &Request) -> Response {
         let params = match ScenarioParams::from_request(self, request) {
             Ok(params) => params,
@@ -151,17 +325,59 @@ impl App {
                 &format!("the isp filter is not supported on /v1/{route}"),
             );
         }
+        if params.epoch > 0 && route == "q3" {
+            return Response::error(
+                400,
+                "challenges correct the Q1/Q2 world; /v1/q3 takes no epoch",
+            );
+        }
+        if params.epoch > 0
+            && (params.seed != self.config.default_seed
+                || params.meta.scale != self.config.default_scale)
+        {
+            return Response::error(
+                400,
+                "challenge epochs exist only for the server's default seed/scale scenario",
+            );
+        }
+
+        // The delta prefix that defines the requested epoch (empty at
+        // epoch 0). The epoch counts applied deltas, so epoch E is the
+        // first E entries of the log.
+        let deltas: Vec<ChallengeDelta> = if params.epoch == 0 {
+            Vec::new()
+        } else {
+            let live = self.live.lock().unwrap();
+            match live.as_ref() {
+                Some(live) if live.world.epoch >= params.epoch => {
+                    live.log[..params.epoch as usize].to_vec()
+                }
+                other => {
+                    let reached = other.map_or(0, |live| live.world.epoch);
+                    return Response::error(
+                        404,
+                        &format!(
+                            "epoch {} has not been reached (live epoch is {reached}; \
+                             apply challenges via POST /v1/challenge)",
+                            params.epoch
+                        ),
+                    );
+                }
+            }
+        };
 
         let key = match route {
             "q3" => ScenarioKey {
                 kind: Kind::Q3,
                 seed: params.seed,
                 scale: params.meta.q3_scale,
+                epoch: 0,
             },
             _ => ScenarioKey {
                 kind: Kind::Q12,
                 seed: params.seed,
                 scale: params.meta.scale,
+                epoch: params.epoch,
             },
         };
         let result = self
@@ -170,15 +386,18 @@ impl App {
                 let (engine, _guard) = self.compute_engine(params.engine);
                 let _span = caf_obs::span_with(|| format!("serve.compute.{:?}", key.kind));
                 match key.kind {
-                    Kind::Q12 => Ok(Bundle::Q12(Box::new(Fixture::build_tuned(
+                    Kind::Q12 => Fixture::build_tuned_at(
                         key.seed,
                         key.scale,
                         &UsState::study_states(),
                         engine,
-                    )))),
-                    Kind::Q3 => Ok(Bundle::Q3(Box::new(Fixture::build_q3_tuned(
-                        key.seed, key.scale, engine,
-                    )))),
+                        &deltas,
+                    )
+                    .map(|fixture| Bundle::Q12(Box::new(Q12View::from_fixture(fixture))))
+                    .map_err(|error| error.to_string()),
+                    Kind::Q3 => Ok(Bundle::Q3(Box::new(
+                        Fixture::build_q3_tuned(key.seed, key.scale, engine).1,
+                    ))),
                 }
             });
         let bundle = match result {
@@ -193,20 +412,33 @@ impl App {
         };
 
         let body = match (&*bundle, route) {
-            (Bundle::Q12(fixture), "serviceability") => {
-                artifact::serviceability(&fixture.serviceability, params.isp)
+            (Bundle::Q12(view), "serviceability") => {
+                artifact::serviceability(&view.serviceability, params.isp)
             }
-            (Bundle::Q12(fixture), "compliance") => {
-                artifact::compliance(&fixture.compliance, &fixture.dataset, params.isp)
+            (Bundle::Q12(view), "compliance") => {
+                artifact::compliance(&view.compliance, &view.dataset, params.isp)
             }
-            (Bundle::Q12(fixture), "table2") => artifact::table2(&fixture.dataset),
-            (Bundle::Q3(world_q3), "q3") => artifact::q3(&world_q3.1),
+            (Bundle::Q12(view), "table2") => artifact::table2(&view.dataset),
+            (Bundle::Q3(q3), "q3") => artifact::q3(q3),
             _ => return Response::error(500, "bundle/route mismatch"),
         };
-        let bytes = artifact::to_canonical_bytes(&params.meta.wrap(body));
+        let bytes = artifact::to_canonical_bytes(&params.meta.at_epoch(params.epoch).wrap(body));
         let etag = format!("\"{:016x}\"", fnv1a(bytes.as_bytes()));
+        if client_has(request, &etag) {
+            return Response::not_modified().with_header("ETag", etag);
+        }
         Response::json(bytes.into_bytes()).with_header("ETag", etag)
     }
+}
+
+/// Whether the request's `If-None-Match` header matches `etag` (exact
+/// entry in a comma-separated list, or `*`).
+fn client_has(request: &Request, etag: &str) -> bool {
+    request.header("if-none-match").is_some_and(|value| {
+        value
+            .split(',')
+            .any(|candidate| candidate.trim() == etag || candidate.trim() == "*")
+    })
 }
 
 /// 64-bit FNV-1a over the canonical body; deterministic across runs,
@@ -226,6 +458,7 @@ struct ScenarioParams {
     meta: ScenarioMeta,
     engine: EngineConfig,
     isp: Option<Isp>,
+    epoch: u64,
 }
 
 impl ScenarioParams {
@@ -239,6 +472,7 @@ impl ScenarioParams {
         let mut meta = ScenarioMeta::new(seed, scale);
         meta.q3_scale = parse_or(request, "q3_scale", meta.q3_scale)?;
         check_scale_floor("q3_scale", meta.q3_scale, floor)?;
+        let epoch = parse_or(request, "epoch", 0u64)?;
         let engine = match request.param("workers") {
             None => app.config.engine,
             Some(raw) => {
@@ -269,6 +503,7 @@ impl ScenarioParams {
             meta,
             engine,
             isp,
+            epoch,
         })
     }
 }
@@ -322,9 +557,28 @@ impl Handler for App {
             "/v1/compliance" => "serve.route.v1.compliance",
             "/v1/table2" => "serve.route.v1.table2",
             "/v1/q3" => "serve.route.v1.q3",
+            "/v1/challenge" => "serve.route.v1.challenge",
             _ => "serve.route.not_found",
         };
         let _span = caf_obs::span(label);
+        // The challenge ingest is the only POST endpoint; everything
+        // else is read-only.
+        if request.path == "/v1/challenge" {
+            return if request.method == "POST" {
+                self.challenge_response(request)
+            } else {
+                Response::error(405, "/v1/challenge accepts POST only")
+            };
+        }
+        if request.method != "GET" {
+            return Response::error(
+                405,
+                &format!(
+                    "method {} not supported on {}",
+                    request.method, request.path
+                ),
+            );
+        }
         match request.path.as_str() {
             "/healthz" => Response::text("ok\n"),
             "/metrics" => self.metrics_response(),
@@ -346,6 +600,8 @@ impl Handler for App {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use caf_synth::challenge::delta_to_json;
+    use caf_synth::Correction;
 
     fn request(path: &str, query: &[(&str, &str)]) -> Request {
         Request {
@@ -355,6 +611,18 @@ mod tests {
                 .iter()
                 .map(|(k, v)| (k.to_string(), v.to_string()))
                 .collect(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    fn post(path: &str, body: &str) -> Request {
+        Request {
+            method: "POST".to_string(),
+            path: path.to_string(),
+            query: Vec::new(),
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
         }
     }
 
@@ -378,11 +646,18 @@ mod tests {
             ("/v1/table2", vec![("isp", "Nonexistent ISP")]),
             ("/v1/table2", vec![("isp", "AT&T")]), // no filter on table2
             ("/v1/q3", vec![("isp", "AT&T")]),
+            ("/v1/table2", vec![("epoch", "x")]),
+            ("/v1/q3", vec![("epoch", "1")]), // q3 has no challenge stream
+            // Challenge epochs exist only for the default scenario.
+            ("/v1/table2", vec![("epoch", "1"), ("seed", "9")]),
         ] {
             let response = app.handle(&request(path, &query));
             assert_eq!(response.status, 400, "{path} {query:?}");
         }
         let response = app.handle(&request("/v1/nope", &[]));
+        assert_eq!(response.status, 404);
+        // An unreached epoch of the default scenario is a 404, not 400.
+        let response = app.handle(&request("/v1/table2", &[("epoch", "3")]));
         assert_eq!(response.status, 404);
         assert_eq!(app.cache_stats().misses, 0, "no computation was started");
     }
@@ -413,6 +688,11 @@ mod tests {
         assert_eq!(health.body, b"ok\n");
         let quit = app.handle(&request("/quitquitquit", &[]));
         assert_eq!((quit.status, quit.shutdown), (200, true));
+        // Read-only routes reject POST; the ingest route rejects GET.
+        let mut misdirected = request("/healthz", &[]);
+        misdirected.method = "POST".to_string();
+        assert_eq!(app.handle(&misdirected).status, 405);
+        assert_eq!(app.handle(&request("/v1/challenge", &[])).status, 405);
     }
 
     #[test]
@@ -421,5 +701,134 @@ mod tests {
         assert_eq!(parse_isp("at&t"), Some(Isp::Att));
         assert_eq!(parse_isp("CenturyLink"), Some(Isp::CenturyLink));
         assert_eq!(parse_isp("Comcast"), None);
+    }
+
+    /// The full challenge lifecycle over the handler: ingest advances
+    /// the epoch, the published view is served consistently at both
+    /// epochs, and the bytes equal a from-scratch rebuild at the same
+    /// epoch (the incremental-recompute determinism contract, crossed
+    /// with the HTTP layer).
+    #[test]
+    fn challenge_ingest_serves_consistent_epoch_views() {
+        let app = tiny_app();
+        let seed = app.config.default_seed;
+        let scale = app.config.default_scale;
+
+        // Find a valid (state, cbg, isp) address in the default world.
+        let probe = World::generate_states(SynthConfig { seed, scale }, &UsState::study_states());
+        let state = probe.states[0].state;
+        let isp = probe.states[0].geography.cbgs[0].isp;
+        let delta = ChallengeDelta {
+            state,
+            cbg: 0,
+            isp,
+            correction: Correction::Availability { rate_ppm: 50_000 },
+        };
+
+        // Pre-challenge view first, so epoch 0 is resident.
+        let before = app.handle(&request("/v1/table2", &[]));
+        assert_eq!(before.status, 200);
+
+        let accepted = app.handle(&post("/v1/challenge", &(delta_to_json(&delta) + "\n")));
+        assert_eq!(
+            accepted.status,
+            200,
+            "{}",
+            String::from_utf8_lossy(&accepted.body)
+        );
+        let reply =
+            caf_obs::json::parse(String::from_utf8(accepted.body).unwrap().trim_end()).unwrap();
+        assert_eq!(reply.get("epoch").and_then(|j| j.as_u64()), Some(1));
+        assert_eq!(reply.get("applied").and_then(|j| j.as_u64()), Some(1));
+        assert_eq!(app.live_epoch(), 1);
+
+        // The ingest published epoch 1 into the cache: serving it is a
+        // hit, and the epoch-0 view is still resident and unchanged.
+        let inserts_before = app.cache_stats().inserts;
+        assert_eq!(inserts_before, 1);
+        let hits_before = app.cache_stats().hits;
+        let after = app.handle(&request("/v1/table2", &[("epoch", "1")]));
+        assert_eq!(after.status, 200);
+        assert_eq!(app.cache_stats().hits, hits_before + 1);
+        let again = app.handle(&request("/v1/table2", &[]));
+        assert_eq!(again.body, before.body, "epoch 0 view must be unperturbed");
+
+        // Envelope carries the epoch.
+        let parsed =
+            caf_obs::json::parse(std::str::from_utf8(&after.body).unwrap().trim_end()).unwrap();
+        let envelope_epoch = parsed
+            .get("scenario")
+            .and_then(|s| s.get("epoch"))
+            .and_then(|e| e.as_u64());
+        assert_eq!(envelope_epoch, Some(1));
+
+        // Byte-identity against a from-scratch rebuild at epoch 1.
+        let fixture = Fixture::build_tuned_at(
+            seed,
+            scale,
+            &UsState::study_states(),
+            EngineConfig::serial(),
+            std::slice::from_ref(&delta),
+        )
+        .unwrap();
+        let expected = artifact::to_canonical_bytes(
+            &ScenarioMeta::new(seed, scale)
+                .at_epoch(1)
+                .wrap(artifact::table2(&fixture.dataset)),
+        );
+        assert_eq!(after.body, expected.into_bytes());
+
+        // Rejected batches are atomic: the epoch does not move.
+        let bogus = app.handle(&post("/v1/challenge", "{\"not\": \"a delta\"}\n"));
+        assert_eq!(bogus.status, 400);
+        let out_of_range = ChallengeDelta {
+            cbg: usize::MAX,
+            ..delta
+        };
+        let rejected = app.handle(&post(
+            "/v1/challenge",
+            &(delta_to_json(&out_of_range) + "\n"),
+        ));
+        assert_eq!(rejected.status, 400);
+        assert_eq!(app.live_epoch(), 1);
+    }
+
+    #[test]
+    fn if_none_match_revalidation_returns_304() {
+        let app = tiny_app();
+        let first = app.handle(&request("/v1/table2", &[]));
+        assert_eq!(first.status, 200);
+        let etag = first
+            .headers
+            .iter()
+            .find(|(name, _)| name == "ETag")
+            .map(|(_, value)| value.clone())
+            .expect("artifact responses carry an ETag");
+
+        let mut revalidate = request("/v1/table2", &[]);
+        revalidate
+            .headers
+            .push(("if-none-match".to_string(), etag.clone()));
+        let cached = app.handle(&revalidate);
+        assert_eq!(cached.status, 304);
+        assert!(cached.body.is_empty(), "304 carries no body");
+        assert_eq!(
+            cached.headers.iter().find(|(n, _)| n == "ETag"),
+            Some(&("ETag".to_string(), etag.clone()))
+        );
+
+        // A stale validator gets the full representation again.
+        let mut stale = request("/v1/table2", &[]);
+        stale
+            .headers
+            .push(("if-none-match".to_string(), "\"deadbeef\"".to_string()));
+        assert_eq!(app.handle(&stale).status, 200);
+
+        // Wildcard and list forms match too.
+        let mut wildcard = request("/v1/table2", &[]);
+        wildcard
+            .headers
+            .push(("if-none-match".to_string(), format!("\"x\", {etag}")));
+        assert_eq!(app.handle(&wildcard).status, 304);
     }
 }

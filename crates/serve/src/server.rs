@@ -235,7 +235,7 @@ fn serve_connection(stream: TcpStream, handler: &dyn Handler, io_timeout: Durati
     let mut reader = BufReader::new(stream);
     let response = match parse_request(&mut reader) {
         Ok(request) => {
-            if request.method == "GET" {
+            if matches!(request.method.as_str(), "GET" | "POST") {
                 // A panicking handler must cost the client a 500, not the
                 // server a worker thread: an unwound worker never returns
                 // to the recv loop, and `Server::join` would panic on it.
@@ -368,13 +368,16 @@ mod tests {
     }
 
     #[test]
-    fn non_get_methods_are_rejected() {
+    fn unsupported_methods_are_rejected() {
         let server = Server::start(ServeConfig::default(), echo_handler()).unwrap();
         let addr = server.addr();
         let (status, body) =
-            client::request(addr, "POST /hello HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+            client::request(addr, "PUT /hello HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
         assert_eq!(status, 405);
-        assert!(String::from_utf8(body).unwrap().contains("POST"));
+        assert!(String::from_utf8(body).unwrap().contains("PUT"));
+        // POST reaches the handler (the app layer decides per route).
+        let (status, _) = client::request(addr, "POST /hello HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(status, 200);
         server.shutdown();
     }
 }

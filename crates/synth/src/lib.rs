@@ -26,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod challenge;
 pub mod dist;
 
 pub mod geography;
@@ -40,6 +41,7 @@ pub mod plans;
 pub mod rng;
 pub mod speedtest;
 
+pub use challenge::{ChallengeDelta, ChallengeError, ChallengeSet, Correction, DeltaOutcome};
 pub use isp::Isp;
 pub use params::{CalibrationParams, SynthConfig};
 pub use plans::{BroadbandPlan, PlanCatalog};

@@ -5,6 +5,7 @@
 //! CAF-Map slice, the Q3 block world, and one merged [`TruthTable`]
 //! covering every (address, ISP) pair a campaign can query.
 
+use crate::challenge::{self, ChallengeDelta, ChallengeError, ChallengeSet, DeltaOutcome};
 use crate::geography::StateGeography;
 use crate::params::SynthConfig;
 use crate::q3::{Q3Block, Q3World};
@@ -37,6 +38,16 @@ pub struct World {
     /// The latent truth for every queryable (address, ISP) pair.
     /// **For `caf-bqt` only** — analysis code must not read it.
     pub truth: TruthTable,
+    /// The world's version: the cumulative number of challenge deltas
+    /// applied since generation. Epoch 0 is the pristine seeded world;
+    /// every [`World::apply_deltas`] batch advances it by the batch
+    /// size, so any decomposition of one delta stream into batches
+    /// lands on the same final epoch.
+    pub epoch: u64,
+    /// The merged effective corrections behind the current epoch (the
+    /// content-addressed state that makes incremental rebuilds converge
+    /// with from-scratch ones).
+    pub challenges: ChallengeSet,
 }
 
 impl World {
@@ -211,7 +222,122 @@ impl World {
             config,
             states: state_worlds,
             truth,
+            epoch: 0,
+            challenges: ChallengeSet::new(),
         }
+    }
+
+    /// Applies a batch of challenge deltas, rebuilding only the touched
+    /// (state, CBG, ISP) cells and advancing the epoch by the batch
+    /// size. The batch is atomic: every delta is validated against the
+    /// geography before anything mutates, so an `Err` leaves the world
+    /// untouched.
+    ///
+    /// Each touched cell is rebuilt from the seed baseline through the
+    /// same seams sharded generation uses — records via
+    /// [`UsacDataset::build_for_cbgs`] at the cell's address-id prefix,
+    /// truth via [`TruthTable::build_q1_cell`] — then the *effective*
+    /// corrections from the merged [`ChallengeSet`] are overlaid:
+    /// certified-tier overrides rewrite the records' certified speeds
+    /// (technology stays at the baseline draw — a restated tier does
+    /// not re-trench fiber), availability overrides replace the cell's
+    /// Beta-drawn serviceability rate before the address draws
+    /// threshold it. Because the rebuild starts from the baseline and
+    /// overlays only effective values, applying a delta stream in any
+    /// batch decomposition converges to a byte-identical world.
+    ///
+    /// Geometry is invariant: corrections never change the geography or
+    /// per-cell address counts, so rebuilt records splice into the
+    /// dataset's existing index slots and downstream row ranges stay
+    /// stable — the property the incremental audit's dirty-cell
+    /// invalidation relies on.
+    pub fn apply_deltas(
+        &mut self,
+        deltas: &[ChallengeDelta],
+    ) -> Result<DeltaOutcome, ChallengeError> {
+        // Validate the whole batch before mutating anything.
+        for delta in deltas {
+            let sw = self
+                .state(delta.state)
+                .ok_or(ChallengeError::UnknownState(delta.state))?;
+            challenge::validate_delta(delta, &sw.geography)?;
+        }
+
+        // Merge into the effective correction set, collecting the dirty
+        // cells per state index.
+        let mut touched_by_state: Vec<std::collections::BTreeSet<usize>> =
+            vec![std::collections::BTreeSet::new(); self.states.len()];
+        for delta in deltas {
+            self.challenges.merge_delta(delta);
+            let idx = self
+                .states
+                .iter()
+                .position(|s| s.state == delta.state)
+                .expect("validated above");
+            touched_by_state[idx].insert(delta.cbg);
+        }
+
+        // Rebuild each dirty cell from the seed baseline + effective
+        // corrections.
+        let config = self.config;
+        let mut cells_rebuilt: u64 = 0;
+        for (idx, cells) in touched_by_state.iter().enumerate() {
+            let sw = &mut self.states[idx];
+            let state = sw.state;
+            for &cell in cells {
+                let cbg = &sw.geography.cbgs[cell];
+                let base: u64 = sw.geography.cbgs[..cell]
+                    .iter()
+                    .map(|c| u64::from(c.caf_addresses))
+                    .sum();
+                let mut records =
+                    UsacDataset::build_for_cbgs(&config, state, std::slice::from_ref(cbg), base);
+                let effective = self
+                    .challenges
+                    .cell(state, cell)
+                    .copied()
+                    .unwrap_or_default();
+                if let Some((down, up)) = effective.certified {
+                    for record in &mut records {
+                        record.certified_down_mbps = f64::from(down);
+                        record.certified_up_mbps = f64::from(up);
+                    }
+                }
+                let rate_override = effective
+                    .availability_ppm
+                    .map(|ppm| f64::from(ppm) / 1_000_000.0);
+                let cell_truth =
+                    TruthTable::build_q1_cell(&config, state, cbg, &records, rate_override);
+
+                // Splice the rebuilt records into their existing slots
+                // (counts are invariant, see above) and overwrite the
+                // cell's truth entries (same (address, ISP) keys).
+                let slots: Vec<usize> = sw.usac.records_in_cbg(cbg.isp, cbg.id).to_vec();
+                debug_assert_eq!(slots.len(), records.len());
+                for (&slot, record) in slots.iter().zip(records) {
+                    sw.usac.records[slot] = record;
+                }
+                self.truth.merge(cell_truth);
+                cells_rebuilt += 1;
+            }
+        }
+
+        self.epoch += deltas.len() as u64;
+        if caf_obs::enabled() {
+            caf_obs::count("caf.challenge.applied", deltas.len() as u64);
+            caf_obs::count("caf.challenge.cells_rebuilt", cells_rebuilt);
+            caf_obs::gauge("caf.challenge.epoch", self.epoch);
+        }
+        Ok(DeltaOutcome {
+            epoch: self.epoch,
+            applied: deltas.len(),
+            touched: touched_by_state
+                .into_iter()
+                .enumerate()
+                .filter(|(_, cells)| !cells.is_empty())
+                .map(|(idx, cells)| (self.states[idx].state, cells.into_iter().collect()))
+                .collect(),
+        })
     }
 
     /// The per-state world for `state`, if generated.
@@ -305,6 +431,98 @@ mod tests {
                 assert_eq!(baseline.truth.len(), world.truth.len());
             }
         }
+    }
+
+    #[test]
+    fn apply_deltas_converges_across_batch_splits() {
+        use crate::challenge::{ChallengeDelta, Correction};
+        let config = SynthConfig {
+            seed: 21,
+            scale: 40,
+        };
+        let states = &[UsState::Vermont, UsState::Utah];
+        let make_deltas = |world: &World| {
+            let vt = world.state(UsState::Vermont).unwrap();
+            let isp0 = vt.geography.cbgs[0].isp;
+            let isp1 = vt.geography.cbgs[1].isp;
+            vec![
+                ChallengeDelta {
+                    state: UsState::Vermont,
+                    cbg: 0,
+                    isp: isp0,
+                    correction: Correction::Availability { rate_ppm: 50_000 },
+                },
+                ChallengeDelta {
+                    state: UsState::Vermont,
+                    cbg: 1,
+                    isp: isp1,
+                    correction: Correction::CertifiedTier {
+                        down_mbps: 10,
+                        up_mbps: 1,
+                    },
+                },
+                // Overwrites the first delta: last writer wins.
+                ChallengeDelta {
+                    state: UsState::Vermont,
+                    cbg: 0,
+                    isp: isp0,
+                    correction: Correction::Availability { rate_ppm: 900_000 },
+                },
+            ]
+        };
+
+        // One batch vs. three singleton batches.
+        let mut whole = World::generate_states(config, states);
+        let deltas = make_deltas(&whole);
+        let outcome = whole.apply_deltas(&deltas).expect("valid batch");
+        assert_eq!(outcome.epoch, 3);
+        assert_eq!(outcome.applied, 3);
+        assert_eq!(outcome.dirty_cells(), 2);
+
+        let mut split = World::generate_states(config, states);
+        for delta in &deltas {
+            split.apply_deltas(std::slice::from_ref(delta)).unwrap();
+        }
+        assert_eq!(split.epoch, 3);
+        assert_eq!(format!("{:?}", whole.states), format!("{:?}", split.states));
+        for sw in &whole.states {
+            for r in &sw.usac.records {
+                assert_eq!(
+                    format!("{:?}", whole.truth.get(r.address.id, r.isp)),
+                    format!("{:?}", split.truth.get(r.address.id, r.isp)),
+                );
+            }
+        }
+
+        // The corrections actually bit: certified tier rewritten in cell
+        // 1, and untouched cells match the pristine world.
+        let pristine = World::generate_states(config, states);
+        let vt = whole.state(UsState::Vermont).unwrap();
+        let cbg1 = &vt.geography.cbgs[1];
+        for &i in vt.usac.records_in_cbg(cbg1.isp, cbg1.id) {
+            assert_eq!(vt.usac.records[i].certified_down_mbps, 10.0);
+            assert_eq!(vt.usac.records[i].certified_up_mbps, 1.0);
+        }
+        let vt_pristine = pristine.state(UsState::Vermont).unwrap();
+        assert_eq!(
+            format!("{:?}", vt.usac.records[vt.usac.records.len() - 1]),
+            format!(
+                "{:?}",
+                vt_pristine.usac.records[vt_pristine.usac.records.len() - 1]
+            ),
+        );
+
+        // An invalid batch leaves the world untouched (atomicity).
+        let before = format!("{:?}", whole.states);
+        let bad = ChallengeDelta {
+            state: UsState::Vermont,
+            cbg: usize::MAX,
+            isp: crate::isp::Isp::Att,
+            correction: Correction::Availability { rate_ppm: 0 },
+        };
+        assert!(whole.apply_deltas(&[deltas[0], bad]).is_err());
+        assert_eq!(whole.epoch, 3);
+        assert_eq!(before, format!("{:?}", whole.states));
     }
 
     #[test]
