@@ -12,9 +12,12 @@
 # and the serving-layer gate: `caf-serve` is started on an ephemeral
 # port at two HTTP worker counts, its `/v1/table2` response is
 # byte-compared against the golden artifact the same repro run wrote,
-# its `/metrics` report must pass the full metrics_check gate, and it
-# must shut down cleanly via `/quitquitquit` (a leaked thread or hung
-# process fails the gate). The challenge-replay gate runs the committed
+# its `/v1/debug/traces` flight recorder must show the request's span
+# path (route -> cache lookup -> render), its `/metrics` report must
+# pass the full metrics_check gate including the per-route SLO burn
+# gate, its Prometheus exposition must render, and it must shut down
+# cleanly via `/quitquitquit` (a leaked thread or hung process fails
+# the gate). The challenge-replay gate runs the committed
 # sample delta stream through `challenge_replay` in incremental and
 # full mode and byte-compares the artifact sets (the epoch-versioned
 # incremental-recompute determinism contract), and the challenge bench
@@ -119,16 +122,45 @@ for http_workers in 1 4; do
   addr=$(cat "$port_file")
 
   health=$(curl -fsS "http://$addr/healthz")
-  [ "$health" = "ok" ] || { echo "unexpected /healthz body: $health" >&2; exit 1; }
+  case "$health" in
+    *'"status":"ok"'*) ;;
+    *) echo "unexpected /healthz body: $health" >&2; exit 1 ;;
+  esac
 
   curl -fsS "http://$addr/v1/table2?seed=$serve_seed&scale=150" \
     -o "$ci_out/served_table2.$http_workers.json"
   cmp "$ci_out/served_table2.$http_workers.json" "$golden/table2.json"
   echo "    /v1/table2 is byte-identical to the repro golden"
 
+  # Warm requests: the SLO burn gate below must see cheap cache hits,
+  # not just the one slow cold build.
+  for _ in 1 2 3; do
+    curl -fsS "http://$addr/v1/table2?seed=$serve_seed&scale=150" >/dev/null
+  done
+
+  # The request must be followable in the flight recorder: the route
+  # span, the cache lookup under it, and the artifact render.
+  traces=$(curl -fsS "http://$addr/v1/debug/traces?route=v1.table2")
+  for span_path in \
+    "serve.request/serve.route.v1.table2/cache.lookup" \
+    "serve.request/serve.route.v1.table2/render"; do
+    case "$traces" in
+      *"$span_path"*) ;;
+      *) echo "span path $span_path missing from /v1/debug/traces" >&2; exit 1 ;;
+    esac
+  done
+  echo "    /v1/debug/traces shows the route -> cache -> render span path"
+
+  prom=$(curl -fsS "http://$addr/metrics?format=prometheus")
+  case "$prom" in
+    *"# TYPE"*caf_span_duration_ns*) ;;
+    *) echo "Prometheus exposition did not render span families" >&2; exit 1 ;;
+  esac
+  echo "    /metrics?format=prometheus renders"
+
   curl -fsS "http://$addr/metrics" -o "$ci_out/serve_metrics.$http_workers.json"
   cargo run --release -q -p caf-bench --bin metrics_check -- \
-    "$ci_out/serve_metrics.$http_workers.json"
+    --max-slo-burn 0.5 "$ci_out/serve_metrics.$http_workers.json"
 
   curl -fsS "http://$addr/quitquitquit" >/dev/null
   for _ in $(seq 1 100); do
@@ -150,6 +182,17 @@ CAF_BENCH_SERVE_QUICK=1 CAF_BENCH_DIR="$ci_out" \
 cargo run --release -q -p caf-bench --bin metrics_check -- --schema-only "$ci_out/BENCH_serve.json"
 # The committed baseline must stay schema-valid too.
 cargo run --release -q -p caf-bench --bin metrics_check -- --schema-only BENCH_serve.json
+# Tracing must stay effectively free: warm p50 with the flight recorder
+# attached may not exceed the untraced p50 by more than 5%. Quick-mode
+# medians are scheduler noise on tiny shared hosts, so gate where the
+# other timing gates run.
+if [ "$cores" -ge 4 ]; then
+  echo "==> trace overhead gate (host has $cores cores)"
+  cargo run --release -q -p caf-bench --bin metrics_check -- \
+    --schema-only --max-trace-overhead-pct 5.0 "$ci_out/BENCH_serve.json"
+else
+  echo "==> skipping trace overhead gate (host has $cores cores, need 4)"
+fi
 
 # The challenge-replay gate: the committed sample delta stream must
 # produce byte-identical artifacts whether it is folded in batch-by-

@@ -29,6 +29,16 @@
 //! delta batch) — the regression gate for the epoch-versioned
 //! incremental recompute path.
 //!
+//! `--max-slo-burn FRAC` scans the `caf.slo.<route>.*` counters in a
+//! server `/metrics` report and fails if any route with traffic burned
+//! more than `FRAC` of its requests (latency target misses plus 5xx) —
+//! the SLO gate over the serving layer.
+//!
+//! `--max-trace-overhead-pct X` reads the `trace_overhead_pct` metadata
+//! that `serve_bench` records (warm p50 with the flight recorder
+//! attached vs. without) and fails above `X` — tracing must stay
+//! effectively free.
+//!
 //! Exits non-zero with a message on the first violation, so `ci.sh` can
 //! use it as a schema-drift gate.
 
@@ -53,6 +63,8 @@ fn main() {
     let mut schema_only = false;
     let mut min_world_speedup: Option<f64> = None;
     let mut min_incremental_speedup: Option<f64> = None;
+    let mut max_slo_burn: Option<f64> = None;
+    let mut max_trace_overhead_pct: Option<f64> = None;
     let mut path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -72,6 +84,20 @@ fn main() {
                         .unwrap_or_else(|| fail("--min-incremental-speedup needs a number")),
                 );
             }
+            "--max-slo-burn" => {
+                max_slo_burn = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| fail("--max-slo-burn needs a number")),
+                );
+            }
+            "--max-trace-overhead-pct" => {
+                max_trace_overhead_pct = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| fail("--max-trace-overhead-pct needs a number")),
+                );
+            }
             other if path.is_none() => path = Some(other.to_string()),
             other => fail(&format!("unexpected argument {other:?}")),
         }
@@ -79,7 +105,8 @@ fn main() {
     let path = path.unwrap_or_else(|| {
         fail(
             "usage: metrics_check [--schema-only] [--min-world-speedup X] \
-             [--min-incremental-speedup X] <report.json>",
+             [--min-incremental-speedup X] [--max-slo-burn FRAC] \
+             [--max-trace-overhead-pct X] <report.json>",
         )
     });
     let text = std::fs::read_to_string(&path)
@@ -157,6 +184,63 @@ fn main() {
             ));
         }
         println!("metrics_check: incremental_speedup {speedup:.2} >= {min:.2}");
+    }
+
+    if let Some(max) = max_slo_burn {
+        let counter = |name: &str| {
+            counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .and_then(|(_, value)| value.as_u64())
+                .unwrap_or(0)
+        };
+        let mut routes_with_traffic = 0u32;
+        for (name, value) in counters {
+            let Some(route) = name
+                .strip_prefix("caf.slo.")
+                .and_then(|rest| rest.strip_suffix(".requests"))
+            else {
+                continue;
+            };
+            let requests = value.as_u64().unwrap_or(0);
+            if requests == 0 {
+                continue;
+            }
+            routes_with_traffic += 1;
+            let burned = counter(&format!("caf.slo.{route}.latency_burn"))
+                + counter(&format!("caf.slo.{route}.error_burn"));
+            let burn = burned as f64 / requests as f64;
+            if burn > max {
+                fail(&format!(
+                    "route {route} burned {burn:.3} of its SLO budget \
+                     ({burned}/{requests} requests slow or 5xx; max {max:.3})"
+                ));
+            }
+        }
+        if routes_with_traffic == 0 {
+            fail("no caf.slo.<route>.requests counter saw traffic; nothing to gate");
+        }
+        println!("metrics_check: SLO burn <= {max:.3} across {routes_with_traffic} route(s)");
+    }
+
+    if let Some(max) = max_trace_overhead_pct {
+        let meta = report
+            .get("meta")
+            .and_then(Json::as_obj)
+            .unwrap_or_else(|| fail("report has no meta object"));
+        let overhead = meta
+            .iter()
+            .find(|(name, _)| name == "trace_overhead_pct")
+            .and_then(|(_, value)| value.as_str())
+            .and_then(|s| s.parse::<f64>().ok())
+            .unwrap_or_else(|| fail("meta `trace_overhead_pct` missing or not a number"));
+        if overhead > max {
+            fail(&format!(
+                "trace_overhead_pct {overhead:.1} exceeds the allowed {max:.1} \
+                 — per-request tracing is no longer effectively free (see DESIGN.md)"
+            ));
+        }
+        println!("metrics_check: trace_overhead_pct {overhead:.1} <= {max:.1}");
     }
 
     let mode = if schema_only { " [schema only]" } else { "" };

@@ -256,12 +256,19 @@ where
     } else {
         let cursor = AtomicUsize::new(0);
         let (sender, receiver) = std::sync::mpsc::channel::<(usize, R)>();
+        // Trace-context handoff: if the dispatching thread is serving a
+        // traced request, each pool worker re-enters the same context so
+        // unit spans attach to the originating request. Observation-only
+        // — the trace never influences dispatch order or results.
+        let trace = caf_obs::trace::current();
         crossbeam::thread::scope(|scope| {
             for worker in 0..workers.min(n) {
                 let sender = sender.clone();
                 let run_task = &run_task;
                 let cursor = &cursor;
+                let trace = trace.clone();
                 scope.spawn(move |_| {
+                    let _trace = trace.as_ref().map(|ctx| ctx.enter());
                     let worker_start = telemetry.then(Instant::now);
                     let mut busy_ns: u64 = 0;
                     loop {
@@ -439,6 +446,21 @@ mod tests {
             seen.lock().unwrap().len() > 1,
             "expected parallel execution"
         );
+    }
+
+    #[test]
+    fn trace_context_propagates_to_pool_workers() {
+        // A traced request dispatching into the pool hands its context
+        // to every worker; spans they open then attach to the request.
+        let id = caf_obs::TraceId::derive(0xCAF_2024, 42);
+        let ctx = caf_obs::TraceCtx::new(id);
+        let _guard = ctx.enter();
+        let items: Vec<u32> = (0..64).collect();
+        let seen = map_slice(4, &items, |_, _| {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            caf_obs::trace::current().map(|c| c.id())
+        });
+        assert!(seen.iter().all(|got| *got == Some(id)));
     }
 
     #[test]

@@ -16,6 +16,14 @@
 //!   sorted JSON schema (`{ meta, metrics, spans }`) plus a
 //!   human-readable summary table; `validate_report_json` is the schema
 //!   gate `ci.sh` runs against `repro --metrics` output.
+//! * [`trace`] — caf-trace: per-request trace contexts with explicit
+//!   cross-thread handoff, span-event capture, and a bounded
+//!   [`FlightRecorder`] (recent ring + slow/error keep list) behind
+//!   `caf-serve`'s `/v1/debug/traces`.
+//! * [`prometheus`] — [`render_prometheus`] text exposition of the
+//!   registry (`/metrics?format=prometheus`).
+//! * [`slo`] — per-route [`Slo`] objects whose burn counters
+//!   `metrics_check --max-slo-burn` gates in CI.
 //!
 //! # The zero-overhead contract
 //!
@@ -33,12 +41,18 @@
 
 pub mod json;
 pub mod metrics;
+pub mod prometheus;
 pub mod report;
+pub mod slo;
 pub mod span;
+pub mod trace;
 
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
+pub use prometheus::render_prometheus;
 pub use report::{validate_report_json, RunReport};
+pub use slo::Slo;
 pub use span::{span, span_with, SpanGuard};
+pub use trace::{FlightRecorder, TraceCtx, TraceGuard, TraceId};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;

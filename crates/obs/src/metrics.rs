@@ -110,6 +110,18 @@ impl Histogram {
         self.count.load(Ordering::Relaxed)
     }
 
+    /// Exact sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Raw per-bucket counts (bucket 0 = zeros, bucket `b` =
+    /// `[2^(b-1), 2^b)`). The Prometheus renderer re-accumulates these
+    /// into cumulative `le` buckets.
+    pub fn bucket_counts(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
     /// A consistent-enough point-in-time copy (individual fields are read
     /// atomically; concurrent writers may land between reads, which only
     /// matters for live snapshots, never for end-of-run reports).
@@ -132,8 +144,18 @@ impl Histogram {
             for (i, &n) in buckets.iter().enumerate() {
                 seen += n;
                 if seen >= target {
+                    // Estimate from the part of the bucket the data can
+                    // actually occupy: the raw bucket midpoint drifts at
+                    // the edges (a lone 1024 would read as ~1535, the
+                    // [1024, 2047] midpoint). Intersecting with the
+                    // observed [min, max] is exact for single values and
+                    // at bucket edges, and never leaves the bucket. A
+                    // non-empty bucket always overlaps [min, max], so
+                    // lo ≤ hi holds.
                     let (lo, hi) = bucket_range(i);
-                    return (lo + (hi - lo) / 2).clamp(min, max);
+                    let lo = lo.max(min);
+                    let hi = hi.min(max);
+                    return lo + (hi - lo) / 2;
                 }
             }
             max
@@ -266,6 +288,28 @@ impl Registry {
     /// Every span aggregate (nanosecond histograms), path-sorted.
     pub fn span_snapshot(&self) -> Vec<(String, HistogramSnapshot)> {
         sorted_values(&self.spans, |h| h.snapshot())
+    }
+
+    /// Histogram handles (with raw buckets), name-sorted — the
+    /// Prometheus renderer reads bucket counts the plain snapshot
+    /// deliberately collapses into quantile estimates.
+    pub fn histogram_entries(&self) -> Vec<(String, Arc<Histogram>)> {
+        self.histograms
+            .read()
+            .expect("registry lock poisoned")
+            .iter()
+            .map(|(name, h)| (name.clone(), Arc::clone(h)))
+            .collect()
+    }
+
+    /// Span-aggregate handles (with raw buckets), path-sorted.
+    pub fn span_entries(&self) -> Vec<(String, Arc<Histogram>)> {
+        self.spans
+            .read()
+            .expect("registry lock poisoned")
+            .iter()
+            .map(|(name, h)| (name.clone(), Arc::clone(h)))
+            .collect()
     }
 
     /// Clears every instrument — used between runs that share the global
@@ -401,6 +445,38 @@ mod tests {
         // observed range pins the degenerate case exactly.
         assert_eq!(s.p50, 1_000);
         assert_eq!(s.p99, 1_000);
+    }
+
+    #[test]
+    fn single_value_quantiles_are_exact_at_bucket_edges() {
+        // 1024 opens bucket 11 ([1024, 2047]); the raw midpoint (1535)
+        // used to leak through when [min, max] didn't pin it. The
+        // intersected-bounds estimate is exact for one observation at
+        // either bucket edge.
+        for v in [1u64, 1_024, 2_047, 1 << 62] {
+            let h = Histogram::new();
+            h.record(v);
+            let s = h.snapshot();
+            assert_eq!(s.p50, v, "p50 for single observation {v}");
+            assert_eq!(s.p99, v, "p99 for single observation {v}");
+        }
+    }
+
+    #[test]
+    fn quantile_estimates_stay_inside_the_occupied_bucket_slice() {
+        // Two near observations sharing bucket 10 ([512, 1023]): the
+        // estimate must fall inside [min, max], not at the raw bucket
+        // midpoint (767) below both.
+        let h = Histogram::new();
+        h.record(1_000);
+        h.record(1_012);
+        let s = h.snapshot();
+        assert!(
+            (1_000..=1_012).contains(&s.p50),
+            "p50 within observed range, got {}",
+            s.p50
+        );
+        assert!((1_000..=1_012).contains(&s.p99));
     }
 
     #[test]

@@ -1,0 +1,214 @@
+//! Prometheus text-exposition rendering over a [`Registry`].
+//!
+//! `GET /metrics?format=prometheus` in `caf-serve` calls
+//! [`render_prometheus`] to expose the existing registry — counters,
+//! gauges, histograms (cumulative `le` buckets re-accumulated from the
+//! power-of-two raw buckets), and span aggregates as one
+//! `caf_span_duration_ns` histogram family with a `path` label — in the
+//! Prometheus text format (version 0.0.4).
+//!
+//! Output is deterministic: sections render in a fixed order (counters,
+//! gauges, histograms, spans), each name-sorted by the registry
+//! snapshot, with dotted metric names sanitized to the Prometheus
+//! charset (`[a-zA-Z0-9_:]`, leading digit prefixed) and label values
+//! escaped per the spec (`\\`, `\"`, `\n`). A golden test pins the
+//! exact byte shape.
+
+use crate::metrics::{bucket_range, Histogram, Registry, HISTOGRAM_BUCKETS};
+
+/// Maps a dotted registry name (`caf.serve.requests`) onto the
+/// Prometheus metric-name charset (`caf_serve_requests`): every
+/// character outside `[a-zA-Z0-9_:]` becomes `_`, and a leading digit
+/// gets a `_` prefix.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+        }
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Escapes a label value per the text-format spec: backslash, double
+/// quote, and newline.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Writes one histogram's `_bucket`/`_sum`/`_count` series. `labels` is
+/// either empty or a rendered `key="value"` prefix for every series
+/// (the span family's `path`).
+fn render_histogram_series(out: &mut String, name: &str, labels: &str, h: &Histogram) {
+    let count = h.count();
+    let buckets = h.bucket_counts();
+    let highest = (0..HISTOGRAM_BUCKETS).rev().find(|&b| buckets[b] > 0);
+    let with_le = |le: &str| -> String {
+        if labels.is_empty() {
+            format!("{name}_bucket{{le=\"{le}\"}}")
+        } else {
+            format!("{name}_bucket{{{labels},le=\"{le}\"}}")
+        }
+    };
+    let mut cumulative = 0u64;
+    if let Some(highest) = highest {
+        // Leading all-zero buckets carry no information (cumulative 0);
+        // start at the first occupied bucket to keep the exposition
+        // compact for ns-scale span histograms.
+        let first = buckets.iter().position(|&n| n > 0).unwrap_or(0);
+        for (b, &n) in buckets.iter().enumerate().take(highest + 1).skip(first) {
+            cumulative += n;
+            let (_, hi) = bucket_range(b);
+            // The top bucket's inclusive edge is u64::MAX — `+Inf`
+            // below already covers it exactly.
+            if hi == u64::MAX {
+                break;
+            }
+            out.push_str(&with_le(&hi.to_string()));
+            out.push(' ');
+            out.push_str(&cumulative.to_string());
+            out.push('\n');
+        }
+    }
+    out.push_str(&with_le("+Inf"));
+    out.push(' ');
+    out.push_str(&count.to_string());
+    out.push('\n');
+    let suffix = |series: &str| -> String {
+        if labels.is_empty() {
+            format!("{name}_{series}")
+        } else {
+            format!("{name}_{series}{{{labels}}}")
+        }
+    };
+    out.push_str(&format!("{} {}\n", suffix("sum"), h.sum()));
+    out.push_str(&format!("{} {}\n", suffix("count"), count));
+}
+
+/// Renders the registry in the Prometheus text exposition format.
+/// Stable: fixed section order, name-sorted within each section.
+pub fn render_prometheus(registry: &Registry) -> String {
+    let snap = registry.metrics_snapshot();
+    let mut out = String::new();
+    for (name, value) in &snap.counters {
+        let name = sanitize_metric_name(name);
+        out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
+    }
+    for (name, value) in &snap.gauges {
+        let name = sanitize_metric_name(name);
+        out.push_str(&format!("# TYPE {name} gauge\n{name} {value}\n"));
+    }
+    for (name, h) in registry.histogram_entries() {
+        let name = sanitize_metric_name(&name);
+        out.push_str(&format!("# TYPE {name} histogram\n"));
+        render_histogram_series(&mut out, &name, "", &h);
+    }
+    let spans = registry.span_entries();
+    if !spans.is_empty() {
+        out.push_str("# TYPE caf_span_duration_ns histogram\n");
+        for (path, h) in spans {
+            let labels = format!("path=\"{}\"", escape_label_value(&path));
+            render_histogram_series(&mut out, "caf_span_duration_ns", &labels, &h);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_sanitize_onto_the_prometheus_charset() {
+        assert_eq!(
+            sanitize_metric_name("caf.serve.requests"),
+            "caf_serve_requests"
+        );
+        assert_eq!(sanitize_metric_name("caf.http.404"), "caf_http_404");
+        assert_eq!(sanitize_metric_name("9lives"), "_9lives");
+        assert_eq!(sanitize_metric_name("a:b_c-d"), "a:b_c_d");
+    }
+
+    #[test]
+    fn label_values_escape_backslash_quote_and_newline() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value("a\"b"), "a\\\"b");
+        assert_eq!(escape_label_value("a\\b"), "a\\\\b");
+        assert_eq!(escape_label_value("a\nb"), "a\\nb");
+    }
+
+    #[test]
+    fn exposition_golden_is_byte_stable() {
+        let reg = Registry::new();
+        reg.count("caf.test.promo.requests", 7);
+        reg.count("caf.test.promo.errors", 1);
+        reg.set_gauge("caf.test.promo.epoch", 3);
+        // Buckets: 0 → bucket 0; 1 → bucket 1 (le 1); 3 → bucket 2 (le 3).
+        for v in [0u64, 1, 3] {
+            reg.observe("caf.test.promo.lat_us", v);
+        }
+        reg.record_span("route/cache \"hit\"", 2);
+        let text = render_prometheus(&reg);
+        let expected = "\
+# TYPE caf_test_promo_errors counter
+caf_test_promo_errors 1
+# TYPE caf_test_promo_requests counter
+caf_test_promo_requests 7
+# TYPE caf_test_promo_epoch gauge
+caf_test_promo_epoch 3
+# TYPE caf_test_promo_lat_us histogram
+caf_test_promo_lat_us_bucket{le=\"0\"} 1
+caf_test_promo_lat_us_bucket{le=\"1\"} 2
+caf_test_promo_lat_us_bucket{le=\"3\"} 3
+caf_test_promo_lat_us_bucket{le=\"+Inf\"} 3
+caf_test_promo_lat_us_sum 4
+caf_test_promo_lat_us_count 3
+# TYPE caf_span_duration_ns histogram
+caf_span_duration_ns_bucket{path=\"route/cache \\\"hit\\\"\",le=\"3\"} 1
+caf_span_duration_ns_bucket{path=\"route/cache \\\"hit\\\"\",le=\"+Inf\"} 1
+caf_span_duration_ns_sum{path=\"route/cache \\\"hit\\\"\"} 2
+caf_span_duration_ns_count{path=\"route/cache \\\"hit\\\"\"} 1
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn empty_histograms_render_only_the_inf_bucket() {
+        let reg = Registry::new();
+        // Interning creates the histogram without observations.
+        let _ = reg.histogram("caf.test.promo.empty");
+        let text = render_prometheus(&reg);
+        assert_eq!(
+            text,
+            "# TYPE caf_test_promo_empty histogram\n\
+             caf_test_promo_empty_bucket{le=\"+Inf\"} 0\n\
+             caf_test_promo_empty_sum 0\n\
+             caf_test_promo_empty_count 0\n"
+        );
+    }
+
+    #[test]
+    fn top_bucket_defers_to_inf() {
+        let reg = Registry::new();
+        reg.observe("caf.test.promo.huge", u64::MAX);
+        let text = render_prometheus(&reg);
+        // No literal 18446744073709551615 `le` edge; +Inf carries the
+        // count (the `_sum` line legitimately holds the value itself).
+        assert!(!text.contains("le=\"18446744073709551615\""));
+        assert!(text.contains("caf_test_promo_huge_bucket{le=\"+Inf\"} 1"));
+    }
+}

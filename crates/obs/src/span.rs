@@ -101,6 +101,9 @@ impl Drop for SpanGuard {
             // Record even if telemetry was switched off mid-span: the
             // frame was pushed, so the pop (and its aggregate) must land.
             crate::registry().record_span(&path, nanos);
+            // File the event into the current trace, if one is active on
+            // this thread (caf-trace; no-op outside a traced request).
+            crate::trace::record_span(&path, self.start, nanos);
         }
     }
 }

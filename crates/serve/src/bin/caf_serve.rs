@@ -3,7 +3,8 @@
 //! ```text
 //! caf-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
 //!           [--engine-workers N|auto] [--seed N] [--scale N]
-//!           [--timeout-ms N] [--min-scale N] [--port-file PATH] [--quiet]
+//!           [--timeout-ms N] [--min-scale N] [--trace-capacity N]
+//!           [--slow-ms N] [--port-file PATH] [--quiet]
 //! ```
 //!
 //! * `--addr` defaults to `127.0.0.1:0` (ephemeral port); the bound
@@ -11,6 +12,9 @@
 //!   file so scripts can wait for startup without parsing logs.
 //! * `--workers` sizes the HTTP worker pool; `--engine-workers` is the
 //!   *compute* budget that concurrent scenario builds share.
+//! * `--trace-capacity` sizes the flight recorder behind
+//!   `GET /v1/debug/traces` (`0` disables trace capture); `--slow-ms`
+//!   is the always-keep threshold and per-route SLO latency target.
 //! * There is no signal handler (std-only, `forbid(unsafe_code)`):
 //!   stop the server with `GET /quitquitquit`.
 
@@ -86,13 +90,24 @@ fn main() {
                     .parse()
                     .unwrap_or_else(|_| die("--min-scale needs an integer"));
             }
+            "--trace-capacity" => {
+                app.trace_capacity = value("--trace-capacity")
+                    .parse()
+                    .unwrap_or_else(|_| die("--trace-capacity needs an integer"));
+            }
+            "--slow-ms" => {
+                app.slow_ms = value("--slow-ms")
+                    .parse()
+                    .unwrap_or_else(|_| die("--slow-ms needs an integer"));
+            }
             "--port-file" => port_file = Some(value("--port-file").into()),
             "--quiet" => quiet = true,
             "--help" | "-h" => {
                 println!(
                     "caf-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N] \
                      [--engine-workers N|auto] [--seed N] [--scale N] [--timeout-ms N] \
-                     [--min-scale N] [--port-file PATH] [--quiet]"
+                     [--min-scale N] [--trace-capacity N] [--slow-ms N] \
+                     [--port-file PATH] [--quiet]"
                 );
                 return;
             }
@@ -103,6 +118,13 @@ fn main() {
     caf_obs::set_enabled(true);
     let _startup = caf_obs::span("serve.startup");
     let handler = Arc::new(App::new(app.clone()));
+    // Trace IDs are minted from the scenario seed, so a rerun against
+    // the same seed produces the same request-id sequence — reproducing
+    // a trace from a bug report is a matter of replaying the requests.
+    serve.trace_seed = app.default_seed;
+    if app.trace_capacity > 0 {
+        serve.recorder = Some(handler.recorder());
+    }
     let server = Server::start(serve.clone(), handler)
         .unwrap_or_else(|e| die(&format!("bind {}: {e}", serve.addr)));
     let addr = server.addr();

@@ -9,7 +9,10 @@
 //!   requests (via `caf_stats::quantile`);
 //! * `cold_ms` — wall time of the first, cache-missing request;
 //! * `cache_hit_ratio` — warm fraction; the burst also sanity-checks
-//!   the single-flight invariant (exactly one computation ran).
+//!   the single-flight invariant (exactly one computation ran);
+//! * `trace_overhead_pct` — warm p50 with the flight recorder attached
+//!   vs. without, as a percentage (sub-noise differences clamp to 0);
+//!   `metrics_check --max-trace-overhead-pct` gates it in CI.
 //!
 //! `CAF_BENCH_DIR` overrides the output directory (CI points it at an
 //! artifact dir so the committed baseline stays clean);
@@ -22,6 +25,21 @@ use std::time::Instant;
 
 const SEED: u64 = 0xCAF_2024;
 const SCALE: u32 = 150;
+
+/// Sequential warm requests against `path`, returning sorted per-request
+/// latencies in milliseconds (the cache is already hot, so every request
+/// measures the serve path, not the scenario build).
+fn warm_latencies_ms(addr: std::net::SocketAddr, path: &str, n: usize) -> Vec<f64> {
+    let mut latencies = Vec::with_capacity(n);
+    for _ in 0..n {
+        let start = Instant::now();
+        let (status, _body) = client::get(addr, path).expect("warm request");
+        latencies.push(start.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(status, 200);
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    latencies
+}
 
 fn main() {
     let quick = std::env::var_os("CAF_BENCH_SERVE_QUICK").is_some();
@@ -79,11 +97,41 @@ fn main() {
         .flat_map(|h| h.join().expect("client thread"))
         .collect();
     let wall = burst_start.elapsed();
+    // Snapshot before the trace-overhead probe below adds extra hits.
+    let stats = app.cache_stats();
+
+    // Trace-overhead probe: warm p50 untraced (this server has no
+    // recorder) vs. traced (same app, so the same hot cache, behind a
+    // second listener with the flight recorder attached).
+    let probes: usize = if quick { 20 } else { 200 };
+    let plain = warm_latencies_ms(addr, &path, probes);
     server.shutdown();
+    let traced_server = Server::start(
+        ServeConfig {
+            workers: clients,
+            queue: clients * 2,
+            trace_seed: SEED,
+            recorder: Some(app.recorder()),
+            ..ServeConfig::default()
+        },
+        Arc::clone(&app) as Arc<dyn caf_serve::Handler>,
+    )
+    .expect("bind traced listener");
+    let traced = warm_latencies_ms(traced_server.addr(), &path, probes);
+    traced_server.shutdown();
+    let p50_plain = caf_stats::quantile(&plain, 0.50).expect("non-empty");
+    let p50_traced = caf_stats::quantile(&traced, 0.50).expect("non-empty");
+    // Differences under 50µs are scheduler noise on a localhost socket,
+    // not tracing cost; clamp them (and any negative diff) to zero.
+    let diff_ms = p50_traced - p50_plain;
+    let trace_overhead_pct = if diff_ms <= 0.05 {
+        0.0
+    } else {
+        diff_ms / p50_plain * 100.0
+    };
 
     latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
     let quantile = |p: f64| caf_stats::quantile(&latencies_ms, p).expect("non-empty");
-    let stats = app.cache_stats();
     let total = latencies_ms.len() as u64 + 1; // + the cold request
     let warm = stats.hits + stats.joins;
     assert_eq!(stats.misses, 1, "single-flight broken: {stats:?}");
@@ -108,6 +156,8 @@ fn main() {
     put("p95_ms", format!("{:.2}", quantile(0.95)));
     put("p99_ms", format!("{:.2}", quantile(0.99)));
     put("cache_hit_ratio", format!("{hit_ratio:.3}"));
+    put("trace_probe_requests", probes.to_string());
+    put("trace_overhead_pct", format!("{trace_overhead_pct:.1}"));
 
     let report = caf_obs::RunReport::collect(meta);
     let default_dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");

@@ -167,6 +167,10 @@ impl<K: Eq + Hash + Clone, V> ScenarioCache<K, V> {
     where
         F: FnOnce() -> Result<V, String>,
     {
+        // One span per lookup regardless of outcome: on a miss it also
+        // covers the compute, so trace durations show where the request
+        // actually spent its time.
+        let _span = caf_obs::span("cache.lookup");
         let flight = {
             let mut inner = self.inner.lock().unwrap();
             if let Some(entry) = inner.ready.get(&key) {

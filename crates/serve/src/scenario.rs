@@ -35,7 +35,7 @@
 //! deterministic FNV-1a `ETag`; a request presenting it back via
 //! `If-None-Match` is answered `304 Not Modified` with no body.
 
-use crate::cache::{CacheError, ScenarioCache};
+use crate::cache::{CacheError, CacheOutcome, ScenarioCache};
 use crate::http::{Request, Response};
 use crate::server::Handler;
 use caf_bench::{campaign_config, Fixture};
@@ -44,12 +44,14 @@ use caf_core::{
     IncrementalAudit, Q3Analysis, SamplingRule, ScenarioMeta, ServiceabilityAnalysis,
 };
 use caf_geo::UsState;
+use caf_obs::json::Json;
+use caf_obs::{FlightRecorder, Slo};
 use caf_synth::challenge::deltas_from_jsonl;
 use caf_synth::{ChallengeDelta, Isp, SynthConfig, World};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Which pipeline a cache entry materializes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -124,6 +126,13 @@ pub struct AppConfig {
     /// Smallest accepted `scale=` (a low downscale factor means a huge
     /// world; this bounds per-request memory/CPU).
     pub min_scale: u32,
+    /// Recent traces the flight recorder retains (and, separately, the
+    /// slow/error keep-list bound). `0` disables trace capture;
+    /// deterministic `X-Request-Id`s are minted either way.
+    pub trace_capacity: usize,
+    /// Requests slower than this are always kept by the flight
+    /// recorder; doubles as each route's SLO latency target.
+    pub slow_ms: u64,
 }
 
 impl Default for AppConfig {
@@ -135,8 +144,51 @@ impl Default for AppConfig {
             cache_capacity: 4,
             compute_timeout: Duration::from_secs(120),
             min_scale: 1,
+            trace_capacity: 256,
+            slow_ms: 500,
         }
     }
+}
+
+/// The fixed route table: request path, span label, and the short route
+/// name used for trace annotations and `caf.slo.<route>.*` counters.
+/// Only recognized paths get their own label — span names and SLO
+/// counters are interned forever, so arbitrary client paths (the empty
+/// sentinel path never matches a request) must all share `not_found`.
+const ROUTES: &[(&str, &str, &str)] = &[
+    ("/healthz", "serve.route.healthz", "healthz"),
+    ("/metrics", "serve.route.metrics", "metrics"),
+    ("/quitquitquit", "serve.route.quitquitquit", "quitquitquit"),
+    (
+        "/v1/serviceability",
+        "serve.route.v1.serviceability",
+        "v1.serviceability",
+    ),
+    (
+        "/v1/compliance",
+        "serve.route.v1.compliance",
+        "v1.compliance",
+    ),
+    ("/v1/table2", "serve.route.v1.table2", "v1.table2"),
+    ("/v1/q3", "serve.route.v1.q3", "v1.q3"),
+    ("/v1/challenge", "serve.route.v1.challenge", "v1.challenge"),
+    (
+        "/v1/debug/traces",
+        "serve.route.debug.traces",
+        "debug.traces",
+    ),
+    ("", "serve.route.not_found", "not_found"),
+];
+
+/// Resolves a request path to its `(span label, short name)` pair.
+fn route_entry(path: &str) -> (&'static str, &'static str) {
+    ROUTES
+        .iter()
+        .find(|&&(route_path, _, _)| !route_path.is_empty() && route_path == path)
+        .map_or(
+            ("serve.route.not_found", "not_found"),
+            |&(_, label, short)| (label, short),
+        )
 }
 
 /// The serving application: endpoint routing + scenario cache + the
@@ -146,6 +198,10 @@ pub struct App {
     cache: ScenarioCache<ScenarioKey, Bundle>,
     active_computes: Arc<AtomicUsize>,
     live: Mutex<Option<Live>>,
+    recorder: Arc<FlightRecorder>,
+    /// One SLO per fixed route, keyed by span label.
+    slos: BTreeMap<&'static str, Slo>,
+    started: Instant,
 }
 
 /// RAII share of the compute budget; see [`App::compute_engine`].
@@ -161,12 +217,31 @@ impl App {
     /// Creates the application with the given tuning.
     pub fn new(config: AppConfig) -> App {
         let cache = ScenarioCache::new(config.cache_capacity);
+        let slow_us = config.slow_ms.saturating_mul(1_000);
+        let recorder = Arc::new(FlightRecorder::new(config.trace_capacity, slow_us));
+        // Every route gets the same latency target (the slow-request
+        // threshold) and a 10% error budget; `metrics_check
+        // --max-slo-burn` turns the resulting burn fraction into a gate.
+        let slos = ROUTES
+            .iter()
+            .map(|&(_, label, short)| (label, Slo::new(short, slow_us, 100_000)))
+            .collect();
         App {
             config,
             cache,
             active_computes: Arc::new(AtomicUsize::new(0)),
             live: Mutex::new(None),
+            recorder,
+            slos,
+            started: Instant::now(),
         }
+    }
+
+    /// The flight recorder `/v1/debug/traces` reads; hand a clone to
+    /// [`crate::ServeConfig::recorder`] so the accept path files traces
+    /// into it.
+    pub fn recorder(&self) -> Arc<FlightRecorder> {
+        Arc::clone(&self.recorder)
     }
 
     /// Exact cache counters (used by `serve_bench` for the hit ratio).
@@ -183,8 +258,66 @@ impl App {
             .map_or(0, |live| live.world.epoch)
     }
 
-    /// The `/metrics` report for this server process.
-    fn metrics_response(&self) -> Response {
+    /// `GET /healthz`: liveness plus staleness — the live challenge
+    /// epoch, process uptime, and cache occupancy, as canonical
+    /// (sorted-key) JSON.
+    fn healthz_response(&self) -> Response {
+        let mut body = Json::Obj(vec![
+            (
+                "cache".to_string(),
+                Json::Obj(vec![
+                    (
+                        "capacity".to_string(),
+                        Json::UInt(self.cache.capacity() as u64),
+                    ),
+                    ("entries".to_string(), Json::UInt(self.cache.len() as u64)),
+                ]),
+            ),
+            ("epoch".to_string(), Json::UInt(self.live_epoch())),
+            ("status".to_string(), Json::Str("ok".to_string())),
+            (
+                "uptime_s".to_string(),
+                Json::UInt(self.started.elapsed().as_secs()),
+            ),
+        ])
+        .to_compact();
+        body.push('\n');
+        Response::json(body.into_bytes())
+    }
+
+    /// `GET /v1/debug/traces`: the flight recorder as canonical JSON —
+    /// top-`k` traces by duration (default 20), filterable by
+    /// `route=<short name>` and `epoch=<n>` annotations.
+    fn debug_traces_response(&self, request: &Request) -> Response {
+        let k = match parse_or(request, "k", 20usize) {
+            Ok(k) => k,
+            Err(response) => return *response,
+        };
+        let mut body = self
+            .recorder
+            .debug_json(request.param("route"), request.param("epoch"), k)
+            .to_pretty();
+        body.push('\n');
+        Response::json(body.into_bytes())
+    }
+
+    /// The `/metrics` report for this server process. `?format=prometheus`
+    /// switches to the text exposition rendered over the same registry;
+    /// the default (`format=json` or no parameter) is the RunReport.
+    fn metrics_response(&self, request: &Request) -> Response {
+        match request.param("format") {
+            None | Some("json") => self.metrics_report_response(),
+            Some("prometheus") => {
+                Response::text(caf_obs::render_prometheus(caf_obs::registry()).into_bytes())
+            }
+            Some(other) => Response::error(
+                400,
+                &format!("unknown format {other:?}; expected json or prometheus"),
+            ),
+        }
+    }
+
+    fn metrics_report_response(&self) -> Response {
         let mut meta = BTreeMap::new();
         meta.insert("tool".to_string(), "caf-serve".to_string());
         meta.insert("seed".to_string(), self.config.default_seed.to_string());
@@ -281,6 +414,7 @@ impl App {
         caf_obs::count("caf.serve.challenge.batches", 1);
         caf_obs::count("caf.serve.challenge.applied", outcome.applied as u64);
         caf_obs::gauge("caf.serve.challenge.epoch", outcome.epoch);
+        caf_obs::trace::annotate("epoch", &outcome.epoch.to_string());
 
         // Publish the refreshed view so reads at this epoch hit the
         // cache instead of rebuilding from scratch.
@@ -303,7 +437,6 @@ impl App {
             Bundle::Q12(Box::new(view)),
         );
 
-        use caf_obs::json::Json;
         let mut body = Json::Obj(vec![
             ("applied".to_string(), Json::UInt(outcome.applied as u64)),
             ("cells_refreshed".to_string(), Json::UInt(dirty as u64)),
@@ -319,6 +452,7 @@ impl App {
             Ok(params) => params,
             Err(response) => return *response,
         };
+        caf_obs::trace::annotate("epoch", &params.epoch.to_string());
         if params.isp.is_some() && !matches!(route, "serviceability" | "compliance") {
             return Response::error(
                 400,
@@ -401,8 +535,19 @@ impl App {
                 }
             });
         let bundle = match result {
-            Ok((bundle, _outcome)) => bundle,
+            Ok((bundle, outcome)) => {
+                caf_obs::trace::annotate(
+                    "cache",
+                    match outcome {
+                        CacheOutcome::Hit => "hit",
+                        CacheOutcome::Miss => "miss",
+                        CacheOutcome::Joined => "join",
+                    },
+                );
+                bundle
+            }
             Err(CacheError::JoinTimeout) => {
+                caf_obs::trace::annotate("cache", "join_timeout");
                 return Response::error(503, "scenario computation still in flight; retry shortly")
                     .with_header("Retry-After", "1".to_string());
             }
@@ -411,18 +556,21 @@ impl App {
             }
         };
 
-        let body = match (&*bundle, route) {
-            (Bundle::Q12(view), "serviceability") => {
-                artifact::serviceability(&view.serviceability, params.isp)
-            }
-            (Bundle::Q12(view), "compliance") => {
-                artifact::compliance(&view.compliance, &view.dataset, params.isp)
-            }
-            (Bundle::Q12(view), "table2") => artifact::table2(&view.dataset),
-            (Bundle::Q3(q3), "q3") => artifact::q3(q3),
-            _ => return Response::error(500, "bundle/route mismatch"),
+        let bytes = {
+            let _span = caf_obs::span("render");
+            let body = match (&*bundle, route) {
+                (Bundle::Q12(view), "serviceability") => {
+                    artifact::serviceability(&view.serviceability, params.isp)
+                }
+                (Bundle::Q12(view), "compliance") => {
+                    artifact::compliance(&view.compliance, &view.dataset, params.isp)
+                }
+                (Bundle::Q12(view), "table2") => artifact::table2(&view.dataset),
+                (Bundle::Q3(q3), "q3") => artifact::q3(q3),
+                _ => return Response::error(500, "bundle/route mismatch"),
+            };
+            artifact::to_canonical_bytes(&params.meta.at_epoch(params.epoch).wrap(body))
         };
-        let bytes = artifact::to_canonical_bytes(&params.meta.at_epoch(params.epoch).wrap(body));
         let etag = format!("\"{:016x}\"", fnv1a(bytes.as_bytes()));
         if client_has(request, &etag) {
             return Response::not_modified().with_header("ETag", etag);
@@ -549,17 +697,19 @@ impl Handler for App {
         // only recognized routes get their own label; every other path
         // (arbitrary client input) shares one fixed name to keep the
         // registry and the /metrics body bounded.
-        let label = match request.path.as_str() {
-            "/healthz" => "serve.route.healthz",
-            "/metrics" => "serve.route.metrics",
-            "/quitquitquit" => "serve.route.quitquitquit",
-            "/v1/serviceability" => "serve.route.v1.serviceability",
-            "/v1/compliance" => "serve.route.v1.compliance",
-            "/v1/table2" => "serve.route.v1.table2",
-            "/v1/q3" => "serve.route.v1.q3",
-            "/v1/challenge" => "serve.route.v1.challenge",
-            _ => "serve.route.not_found",
-        };
+        let (label, short) = route_entry(request.path.as_str());
+        caf_obs::trace::annotate("route", short);
+        let started = Instant::now();
+        let response = self.dispatch(label, request);
+        if let Some(slo) = self.slos.get(label) {
+            slo.observe(started.elapsed().as_micros() as u64, response.status >= 500);
+        }
+        response
+    }
+}
+
+impl App {
+    fn dispatch(&self, label: &'static str, request: &Request) -> Response {
         let _span = caf_obs::span(label);
         // The challenge ingest is the only POST endpoint; everything
         // else is read-only.
@@ -580,13 +730,14 @@ impl Handler for App {
             );
         }
         match request.path.as_str() {
-            "/healthz" => Response::text("ok\n"),
-            "/metrics" => self.metrics_response(),
+            "/healthz" => self.healthz_response(),
+            "/metrics" => self.metrics_response(request),
             "/quitquitquit" => {
                 let mut response = Response::text("shutting down\n");
                 response.shutdown = true;
                 response
             }
+            "/v1/debug/traces" => self.debug_traces_response(request),
             path => match path.strip_prefix("/v1/") {
                 Some(route @ ("serviceability" | "compliance" | "table2" | "q3")) => {
                     self.scenario_response(route, request)
@@ -685,7 +836,38 @@ mod tests {
         let app = tiny_app();
         let health = app.handle(&request("/healthz", &[]));
         assert_eq!((health.status, health.shutdown), (200, false));
-        assert_eq!(health.body, b"ok\n");
+        let body = String::from_utf8(health.body).unwrap();
+        let parsed = caf_obs::json::parse(body.trim_end()).unwrap();
+        assert_eq!(
+            parsed.get("status").and_then(|j| j.as_str()),
+            Some("ok"),
+            "{body}"
+        );
+        assert_eq!(parsed.get("epoch").and_then(|j| j.as_u64()), Some(0));
+        assert_eq!(
+            parsed
+                .get("cache")
+                .and_then(|c| c.get("capacity"))
+                .and_then(|j| j.as_u64()),
+            Some(AppConfig::default().cache_capacity as u64)
+        );
+        assert_eq!(
+            parsed
+                .get("cache")
+                .and_then(|c| c.get("entries"))
+                .and_then(|j| j.as_u64()),
+            Some(0)
+        );
+        assert!(
+            parsed.get("uptime_s").and_then(|j| j.as_u64()).is_some(),
+            "{body}"
+        );
+        // Canonical JSON: object keys appear in sorted order.
+        let key_order: Vec<usize> = ["\"cache\"", "\"epoch\"", "\"status\"", "\"uptime_s\""]
+            .iter()
+            .map(|key| body.find(key).expect(key))
+            .collect();
+        assert!(key_order.windows(2).all(|w| w[0] < w[1]), "{body}");
         let quit = app.handle(&request("/quitquitquit", &[]));
         assert_eq!((quit.status, quit.shutdown), (200, true));
         // Read-only routes reject POST; the ingest route rejects GET.

@@ -20,6 +20,7 @@
 //! proves no thread leaked — `ci.sh` gates on exactly that.
 
 use crate::http::{parse_request, Request, Response};
+use caf_obs::{FlightRecorder, TraceCtx, TraceId};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -39,6 +40,13 @@ pub struct ServeConfig {
     pub queue: usize,
     /// Per-socket read/write timeout (slow-client bound).
     pub io_timeout: Duration,
+    /// Seed for deterministic request IDs: the `seq`-th accepted
+    /// connection gets `TraceId::derive(trace_seed, seq)`, echoed as
+    /// `X-Request-Id` on every response.
+    pub trace_seed: u64,
+    /// Where finished request traces land (`/v1/debug/traces` reads the
+    /// same recorder). `None` keeps IDs but records no traces.
+    pub recorder: Option<Arc<FlightRecorder>>,
 }
 
 impl Default for ServeConfig {
@@ -48,6 +56,8 @@ impl Default for ServeConfig {
             workers: 4,
             queue: 64,
             io_timeout: Duration::from_secs(10),
+            trace_seed: 0,
+            recorder: None,
         }
     }
 }
@@ -109,16 +119,23 @@ impl Server {
         };
         let workers = config.workers.max(1);
         let queue = config.queue.max(1);
-        let (sender, receiver) = sync_channel::<TcpStream>(queue);
+        let (sender, receiver) = sync_channel::<(u64, TcpStream)>(queue);
         let receiver = Arc::new(Mutex::new(receiver));
         let depth = Arc::new(AtomicU64::new(0));
+        let trace_seed = config.trace_seed;
+        let recorder = config.recorder.clone();
 
         let acceptor = {
             let flag = Arc::clone(&flag);
             let depth = Arc::clone(&depth);
+            let recorder = recorder.clone();
             std::thread::Builder::new()
                 .name("serve-acceptor".to_string())
                 .spawn(move || {
+                    // Accept counter: request IDs are a pure function of
+                    // (trace_seed, seq), so accept order fixes identity —
+                    // shed connections consume a seq too.
+                    let mut accept_seq: u64 = 0;
                     for stream in listener.incoming() {
                         if flag.load(Ordering::SeqCst) {
                             break;
@@ -127,13 +144,15 @@ impl Server {
                             Ok(stream) => stream,
                             Err(_) => continue,
                         };
+                        let seq = accept_seq;
+                        accept_seq += 1;
                         // Count the slot before handing the stream over, so a
                         // fast worker's decrement can never race ahead of it.
                         let now = depth.fetch_add(1, Ordering::SeqCst) + 1;
                         caf_obs::gauge("caf.serve.queue.depth", now);
-                        match sender.try_send(stream) {
+                        match sender.try_send((seq, stream)) {
                             Ok(()) => {}
-                            Err(TrySendError::Full(stream)) => {
+                            Err(TrySendError::Full((seq, stream))) => {
                                 depth.fetch_sub(1, Ordering::SeqCst);
                                 caf_obs::count("caf.serve.shed", 1);
                                 // The 503 body is written off-thread: a slow
@@ -142,14 +161,30 @@ impl Server {
                                 // shedding matters. The thread is detached but
                                 // bounded by the 1 s write timeout; if spawning
                                 // fails the connection is simply dropped.
+                                let recorder = recorder.clone();
                                 let _ = std::thread::Builder::new()
                                     .name("serve-shed".to_string())
                                     .spawn(move || {
+                                        let request_id = TraceId::derive(trace_seed, seq);
+                                        // Shed 503s are always kept (5xx),
+                                        // so overload leaves a trail in the
+                                        // flight recorder.
+                                        let trace =
+                                            recorder.as_deref().map(|_| TraceCtx::new(request_id));
+                                        if let Some(trace) = &trace {
+                                            trace.annotate("route", "shed");
+                                        }
                                         let mut stream = stream;
                                         let _ =
                                             stream.set_write_timeout(Some(Duration::from_secs(1)));
                                         let _ = Response::error(503, "server accept queue is full")
+                                            .with_header("X-Request-Id", request_id.to_hex())
                                             .write_to(&mut stream);
+                                        if let (Some(recorder), Some(trace)) =
+                                            (recorder.as_deref(), &trace)
+                                        {
+                                            recorder.finish(trace, 503, "serve.request");
+                                        }
                                     });
                             }
                             Err(TrySendError::Disconnected(_)) => {
@@ -171,6 +206,7 @@ impl Server {
                 let shutdown = shutdown.clone();
                 let depth = Arc::clone(&depth);
                 let io_timeout = config.io_timeout;
+                let recorder = recorder.clone();
                 std::thread::Builder::new()
                     .name(format!("serve-worker-{i}"))
                     .spawn(move || loop {
@@ -178,13 +214,20 @@ impl Server {
                             let receiver = receiver.lock().unwrap();
                             receiver.recv()
                         };
-                        let stream = match next {
-                            Ok(stream) => stream,
+                        let (seq, stream) = match next {
+                            Ok(next) => next,
                             Err(_) => break,
                         };
                         let now = depth.fetch_sub(1, Ordering::SeqCst) - 1;
                         caf_obs::gauge("caf.serve.queue.depth", now);
-                        if serve_connection(stream, handler.as_ref(), io_timeout) {
+                        let request_id = TraceId::derive(trace_seed, seq);
+                        if serve_connection(
+                            stream,
+                            handler.as_ref(),
+                            io_timeout,
+                            request_id,
+                            recorder.as_deref(),
+                        ) {
                             shutdown.trigger();
                         }
                     })
@@ -227,33 +270,63 @@ impl Server {
 
 /// Serves one connection; returns true when the response requested
 /// server shutdown.
-fn serve_connection(stream: TcpStream, handler: &dyn Handler, io_timeout: Duration) -> bool {
+///
+/// Every response — parse errors, 405s, panic 500s included — carries
+/// `X-Request-Id: <request_id>`. With a recorder present the whole
+/// exchange runs under a `serve.request` root span inside a
+/// [`TraceCtx`], and the finished trace is filed *before* the response
+/// is written, so a client that reads its `X-Request-Id` can
+/// immediately find the trace in `/v1/debug/traces`.
+fn serve_connection(
+    stream: TcpStream,
+    handler: &dyn Handler,
+    io_timeout: Duration,
+    request_id: TraceId,
+    recorder: Option<&FlightRecorder>,
+) -> bool {
     let _ = stream.set_read_timeout(Some(io_timeout));
     let _ = stream.set_write_timeout(Some(io_timeout));
     let started = Instant::now();
     caf_obs::count("caf.serve.requests", 1);
-    let mut reader = BufReader::new(stream);
-    let response = match parse_request(&mut reader) {
-        Ok(request) => {
-            if matches!(request.method.as_str(), "GET" | "POST") {
-                // A panicking handler must cost the client a 500, not the
-                // server a worker thread: an unwound worker never returns
-                // to the recv loop, and `Server::join` would panic on it.
-                // The app's shared state stays coherent across an unwind
-                // (the cache's FlightGuard fails the in-flight entry), so
-                // suppressing the UnwindSafe bound is sound here.
-                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handler.handle(&request)))
+    let trace = recorder.map(|_| TraceCtx::new(request_id));
+    let response = {
+        let _trace_guard = trace.as_ref().map(|ctx| ctx.enter());
+        let _root = caf_obs::span("serve.request");
+        let mut reader = BufReader::new(stream);
+        let response = match parse_request(&mut reader) {
+            Ok(request) => {
+                if matches!(request.method.as_str(), "GET" | "POST") {
+                    // A panicking handler must cost the client a 500, not the
+                    // server a worker thread: an unwound worker never returns
+                    // to the recv loop, and `Server::join` would panic on it.
+                    // The app's shared state stays coherent across an unwind
+                    // (the cache's FlightGuard fails the in-flight entry), so
+                    // suppressing the UnwindSafe bound is sound here.
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        handler.handle(&request)
+                    }))
                     .unwrap_or_else(|_| {
                         caf_obs::count("caf.serve.handler_panics", 1);
+                        eprintln!(
+                            "caf-serve: handler panicked serving request {}",
+                            request_id.to_hex()
+                        );
                         Response::error(500, "internal error: handler panicked")
                     })
-            } else {
-                Response::error(405, &format!("method {} not supported", request.method))
+                } else {
+                    Response::error(405, &format!("method {} not supported", request.method))
+                }
             }
-        }
-        Err(err) => Response::error(err.status, &err.message),
+            Err(err) => Response::error(err.status, &err.message),
+        };
+        (reader, response)
     };
+    let (reader, response) = response;
     caf_obs::count(&format!("caf.serve.http.{}", response.status), 1);
+    if let (Some(recorder), Some(ctx)) = (recorder, trace.as_ref()) {
+        recorder.finish(ctx, response.status, "serve.request");
+    }
+    let response = response.with_header("X-Request-Id", request_id.to_hex());
     let mut stream = reader.into_inner();
     let _ = response.write_to(&mut stream);
     caf_obs::observe("caf.serve.request_us", started.elapsed().as_micros() as u64);
@@ -332,6 +405,51 @@ mod tests {
         release_tx.send(()).unwrap();
         assert_eq!(first.join().unwrap().0, 200);
         assert_eq!(second.join().unwrap().0, 200);
+        server.shutdown();
+    }
+
+    #[test]
+    fn responses_carry_deterministic_request_ids() {
+        let config = ServeConfig {
+            workers: 1, // serialize accept order == serve order
+            trace_seed: 0xCAF_2024,
+            ..ServeConfig::default()
+        };
+        let server = Server::start(config, echo_handler()).unwrap();
+        let addr = server.addr();
+        let header = |path: &str| {
+            let (_, headers, _) = client::get_full(addr, path).unwrap();
+            headers
+                .iter()
+                .find(|(name, _)| name == "x-request-id")
+                .map(|(_, value)| value.clone())
+                .expect("X-Request-Id on every response")
+        };
+        // IDs are a pure function of (trace_seed, accept counter).
+        assert_eq!(header("/a"), TraceId::derive(0xCAF_2024, 0).to_hex());
+        assert_eq!(header("/b"), TraceId::derive(0xCAF_2024, 1).to_hex());
+        server.shutdown();
+    }
+
+    #[test]
+    fn traces_land_in_the_flight_recorder_before_the_response() {
+        let recorder = Arc::new(FlightRecorder::new(8, u64::MAX));
+        let config = ServeConfig {
+            workers: 1,
+            trace_seed: 7,
+            recorder: Some(Arc::clone(&recorder)),
+            ..ServeConfig::default()
+        };
+        let server = Server::start(config, echo_handler()).unwrap();
+        let addr = server.addr();
+        let (status, _, _) = client::get_full(addr, "/traced").unwrap();
+        assert_eq!(status, 200);
+        // The response was written after the trace was filed, so the
+        // recorder must already hold it.
+        let recent = recorder.recent();
+        assert_eq!(recent.len(), 1);
+        assert_eq!(recent[0].id, TraceId::derive(7, 0));
+        assert_eq!(recent[0].status, 200);
         server.shutdown();
     }
 

@@ -20,6 +20,7 @@ fn start_server(http_workers: usize, engine: EngineConfig) -> (Server, Arc<App>)
         cache_capacity: 4,
         compute_timeout: Duration::from_secs(120),
         min_scale: 1,
+        ..AppConfig::default()
     }));
     let server = Server::start(
         ServeConfig {
@@ -117,7 +118,10 @@ fn health_metrics_and_errors_over_http() {
     let addr = server.addr();
 
     let (status, body) = client::get(addr, "/healthz").unwrap();
-    assert_eq!((status, body.as_slice()), (200, b"ok\n".as_slice()));
+    assert_eq!(status, 200);
+    let health = caf_obs::json::parse(String::from_utf8(body).unwrap().trim_end()).unwrap();
+    assert_eq!(health.get("status").and_then(|j| j.as_str()), Some("ok"));
+    assert_eq!(health.get("epoch").and_then(|j| j.as_u64()), Some(0));
 
     // A scenario request first, so the report has spans to validate.
     let (status, _) = client::get(addr, &format!("/v1/table2?scale={SCALE}")).unwrap();
@@ -148,6 +152,7 @@ fn compute_timeout_sheds_joiners_with_503() {
         cache_capacity: 4,
         compute_timeout: Duration::from_millis(10),
         min_scale: 1,
+        ..AppConfig::default()
     }));
     let server = Server::start(
         ServeConfig {

@@ -20,6 +20,7 @@ fn sixteen_client_burst_computes_once_and_joins_fifteen_times() {
         cache_capacity: 4,
         compute_timeout: Duration::from_secs(120),
         min_scale: 1,
+        ..AppConfig::default()
     }));
     // Enough HTTP workers that every client is in a handler at once —
     // the burst must contend on the *cache*, not the accept queue.

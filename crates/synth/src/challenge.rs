@@ -339,6 +339,7 @@ pub fn delta_from_json(line: &str) -> Result<ChallengeDelta, String> {
 /// Parses a whole JSONL document (blank lines and `#` comment lines are
 /// skipped), reporting the first malformed line by number.
 pub fn deltas_from_jsonl(text: &str) -> Result<Vec<ChallengeDelta>, String> {
+    let _span = caf_obs::span("challenge.parse");
     let mut deltas = Vec::new();
     for (number, line) in text.lines().enumerate() {
         let trimmed = line.trim();

@@ -255,12 +255,16 @@ impl World {
         &mut self,
         deltas: &[ChallengeDelta],
     ) -> Result<DeltaOutcome, ChallengeError> {
+        let _span = caf_obs::span("challenge.apply");
         // Validate the whole batch before mutating anything.
-        for delta in deltas {
-            let sw = self
-                .state(delta.state)
-                .ok_or(ChallengeError::UnknownState(delta.state))?;
-            challenge::validate_delta(delta, &sw.geography)?;
+        {
+            let _span = caf_obs::span("challenge.validate");
+            for delta in deltas {
+                let sw = self
+                    .state(delta.state)
+                    .ok_or(ChallengeError::UnknownState(delta.state))?;
+                challenge::validate_delta(delta, &sw.geography)?;
+            }
         }
 
         // Merge into the effective correction set, collecting the dirty
@@ -279,6 +283,7 @@ impl World {
 
         // Rebuild each dirty cell from the seed baseline + effective
         // corrections.
+        let _rebuild_span = caf_obs::span("challenge.rebuild");
         let config = self.config;
         let mut cells_rebuilt: u64 = 0;
         for (idx, cells) in touched_by_state.iter().enumerate() {
