@@ -17,7 +17,12 @@
 # pass the full metrics_check gate including the per-route SLO burn
 # gate, its Prometheus exposition must render, and it must shut down
 # cleanly via `/quitquitquit` (a leaked thread or hung process fails
-# the gate). The challenge-replay gate runs the committed
+# the gate). The snapshot restart gate boots a server with
+# `--snapshot-dir`, advances three challenge epochs, snapshots, and
+# restarts: the restarted server must report the snapshot loaded and
+# serve byte-identical `/v1/table2` bytes at epoch 0 and epoch 3, and
+# (on >= 4 cores) the in-process restore must be >= 10x faster than the
+# cold first-200 wall. The challenge-replay gate runs the committed
 # sample delta stream through `challenge_replay` in incremental and
 # full mode and byte-compares the artifact sets (the epoch-versioned
 # incremental-recompute determinism contract), and the challenge bench
@@ -176,6 +181,110 @@ for http_workers in 1 4; do
   echo "    clean shutdown"
 done
 
+# The snapshot restart gate: a server started with --snapshot-dir must,
+# after a restart, answer /v1/table2 with byte-identical responses —
+# both the epoch-0 view and a post-challenge epoch — without rebuilding
+# the world. The committed delta stream's `isp` fields are placeholders
+# (cell ownership is RNG-dependent), so challenge_replay first resolves
+# them against the generated world; a live server validates ISPs
+# strictly and would reject the raw stream.
+echo "==> snapshot restart gate: byte-identity across a warm restart"
+cargo run --release -q -p caf-serve --bin challenge_replay -- \
+  --deltas testdata/challenge_deltas.jsonl --scale 150 --mode full \
+  --workers 2 --emit-resolved "$ci_out/resolved_deltas.jsonl" --quiet
+snap_dir="$ci_out/snapshots"
+mkdir -p "$snap_dir"
+cold_first_200_ms=0
+for boot in cold warm; do
+  port_file="$ci_out/serve_port.snap.$boot"
+  rm -f "$port_file"
+  boot_start=$(date +%s%N)
+  ./target/release/caf-serve --addr 127.0.0.1:0 --workers 2 \
+    --engine-workers 2 --snapshot-dir "$snap_dir" \
+    --port-file "$port_file" --quiet &
+  serve_pid=$!
+  for _ in $(seq 1 100); do
+    [ -s "$port_file" ] && break
+    if ! kill -0 "$serve_pid" 2>/dev/null; then
+      echo "caf-serve ($boot boot) exited before startup" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  [ -s "$port_file" ] || { echo "caf-serve never wrote its port file" >&2; exit 1; }
+  addr=$(cat "$port_file")
+
+  curl -fsS "http://$addr/v1/table2?seed=$serve_seed&scale=150" \
+    -o "$ci_out/snap_table2.e0.$boot.json"
+  first_200_ms=$(( ($(date +%s%N) - boot_start) / 1000000 ))
+  cmp "$ci_out/snap_table2.e0.$boot.json" "$golden/table2.json"
+  echo "    $boot boot: epoch-0 /v1/table2 matches the golden (first 200 in ${first_200_ms} ms)"
+
+  if [ "$boot" = cold ]; then
+    cold_first_200_ms=$first_200_ms
+    # Advance three epochs (one delta per batch crosses the batching
+    # axis with the incremental refresh), then persist synchronously.
+    for i in 1 2 3; do
+      sed -n "${i}p" "$ci_out/resolved_deltas.jsonl" | curl -fsS -X POST \
+        --data-binary @- "http://$addr/v1/challenge" >/dev/null
+    done
+    curl -fsS "http://$addr/v1/table2?epoch=3" -o "$ci_out/snap_table2.e3.cold.json"
+    snap_reply=$(curl -fsS -X POST "http://$addr/v1/snapshot")
+    case "$snap_reply" in
+      *'"epoch":3'*) ;;
+      *) echo "unexpected /v1/snapshot reply: $snap_reply" >&2; exit 1 ;;
+    esac
+  else
+    health=$(curl -fsS "http://$addr/healthz")
+    case "$health" in
+      *'"loaded":true'*) ;;
+      *) echo "warm boot did not restore a snapshot: $health" >&2; exit 1 ;;
+    esac
+    curl -fsS "http://$addr/v1/table2?epoch=3" -o "$ci_out/snap_table2.e3.warm.json"
+    cmp "$ci_out/snap_table2.e3.warm.json" "$ci_out/snap_table2.e3.cold.json"
+    echo "    warm boot: epoch-3 /v1/table2 is byte-identical to the pre-restart bytes"
+    curl -fsS "http://$addr/metrics" -o "$ci_out/snap_metrics.json"
+    # The no-rebuild proof: both warm requests must be cache hits served
+    # from restored views. The miss counter only appears once it
+    # increments, so its absence (plus present hits) is the assertion.
+    if ! grep -q '"caf.serve.cache.hits"' "$ci_out/snap_metrics.json"; then
+      echo "warm boot served no cache hits — restored views unused" >&2
+      exit 1
+    fi
+    if grep -q '"caf.serve.cache.misses"' "$ci_out/snap_metrics.json"; then
+      echo "warm boot recomputed a scenario (cache miss) despite the snapshot" >&2
+      exit 1
+    fi
+    echo "    warm boot: zero cache misses (both epochs served from the snapshot)"
+  fi
+
+  curl -fsS "http://$addr/quitquitquit" >/dev/null
+  for _ in $(seq 1 100); do
+    kill -0 "$serve_pid" 2>/dev/null || break
+    sleep 0.1
+  done
+  if kill -0 "$serve_pid" 2>/dev/null; then
+    echo "caf-serve ($boot boot) did not exit within 10s of /quitquitquit" >&2
+    exit 1
+  fi
+  wait "$serve_pid"
+  serve_pid=""
+done
+# The latency gate catches gross restore regressions (a synchronous
+# world decode, quadratic parsing). The miss-free check above is what
+# proves nothing was rebuilt; this cap tolerates scheduler noise via
+# the 50 ms floor. Wall clocks on tiny shared hosts are pure noise, so
+# gate where the other timing gates run.
+if [ "$cores" -ge 4 ]; then
+  max_restart_ms=$(( cold_first_200_ms / 10 ))
+  [ "$max_restart_ms" -ge 50 ] || max_restart_ms=50
+  echo "==> restart latency gate (host has $cores cores; cold first-200 ${cold_first_200_ms} ms)"
+  cargo run --release -q -p caf-bench --bin metrics_check -- \
+    --schema-only --max-restart-ms "$max_restart_ms" "$ci_out/snap_metrics.json"
+else
+  echo "==> skipping restart latency gate (host has $cores cores, need 4)"
+fi
+
 echo "==> serve bench smoke: BENCH_serve.json + schema gate"
 CAF_BENCH_SERVE_QUICK=1 CAF_BENCH_DIR="$ci_out" \
   cargo run --release -q -p caf-serve --bin serve_bench
@@ -192,6 +301,15 @@ if [ "$cores" -ge 4 ]; then
     --schema-only --max-trace-overhead-pct 5.0 "$ci_out/BENCH_serve.json"
 else
   echo "==> skipping trace overhead gate (host has $cores cores, need 4)"
+fi
+# Snapshot restore must beat the cold build by >= 10x in the bench's
+# own restart-to-first-200 measurement (same host-size caveat).
+if [ "$cores" -ge 4 ]; then
+  echo "==> restart speedup gate (host has $cores cores)"
+  cargo run --release -q -p caf-bench --bin metrics_check -- \
+    --schema-only --min-restart-speedup 10.0 "$ci_out/BENCH_serve.json"
+else
+  echo "==> skipping restart speedup gate (host has $cores cores, need 4)"
 fi
 
 # The challenge-replay gate: the committed sample delta stream must

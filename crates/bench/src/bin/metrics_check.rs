@@ -39,6 +39,19 @@
 //! attached vs. without) and fails above `X` — tracing must stay
 //! effectively free.
 //!
+//! `--max-restart-ms X` reads the `caf.snap.restore_us` gauge from a
+//! server `/metrics` report and fails if the snapshot restore took
+//! longer than `X` milliseconds (or never happened) — the warm-restart
+//! latency gate.
+//!
+//! `--min-restart-speedup X` reads `cold_ms` and `snapshot_restore_ms`
+//! from the serve bench metadata and fails if the cold build is not at
+//! least `X`× slower than the snapshot restart — restoring must beat
+//! recomputing by a wide margin to be worth the disk.
+//!
+//! Metadata gates accept numbers in both forms: proper JSON numbers
+//! (current report writers) and quoted numeric strings (older reports).
+//!
 //! Exits non-zero with a message on the first violation, so `ci.sh` can
 //! use it as a schema-drift gate.
 
@@ -48,6 +61,17 @@ use caf_obs::validate_report_json;
 fn fail(message: &str) -> ! {
     eprintln!("metrics_check: {message}");
     std::process::exit(1);
+}
+
+/// Reads `meta.<name>` as a number, accepting both proper JSON numbers
+/// and quoted numeric strings.
+fn meta_number(report: &Json, name: &str) -> Option<f64> {
+    match report.get("meta").and_then(|m| m.get(name))? {
+        Json::UInt(v) => Some(*v as f64),
+        Json::Num(v) => Some(*v),
+        Json::Str(s) => s.parse().ok(),
+        _ => None,
+    }
 }
 
 /// Returns the sorted key/value pairs of `report.metrics.<section>`.
@@ -65,6 +89,8 @@ fn main() {
     let mut min_incremental_speedup: Option<f64> = None;
     let mut max_slo_burn: Option<f64> = None;
     let mut max_trace_overhead_pct: Option<f64> = None;
+    let mut max_restart_ms: Option<f64> = None;
+    let mut min_restart_speedup: Option<f64> = None;
     let mut path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -98,6 +124,20 @@ fn main() {
                         .unwrap_or_else(|| fail("--max-trace-overhead-pct needs a number")),
                 );
             }
+            "--max-restart-ms" => {
+                max_restart_ms = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| fail("--max-restart-ms needs a number")),
+                );
+            }
+            "--min-restart-speedup" => {
+                min_restart_speedup = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| fail("--min-restart-speedup needs a number")),
+                );
+            }
             other if path.is_none() => path = Some(other.to_string()),
             other => fail(&format!("unexpected argument {other:?}")),
         }
@@ -106,7 +146,8 @@ fn main() {
         fail(
             "usage: metrics_check [--schema-only] [--min-world-speedup X] \
              [--min-incremental-speedup X] [--max-slo-burn FRAC] \
-             [--max-trace-overhead-pct X] <report.json>",
+             [--max-trace-overhead-pct X] [--max-restart-ms X] \
+             [--min-restart-speedup X] <report.json>",
         )
     });
     let text = std::fs::read_to_string(&path)
@@ -147,15 +188,7 @@ fn main() {
     }
 
     if let Some(min) = min_world_speedup {
-        let meta = report
-            .get("meta")
-            .and_then(Json::as_obj)
-            .unwrap_or_else(|| fail("report has no meta object"));
-        let speedup = meta
-            .iter()
-            .find(|(name, _)| name == "world_speedup_4_workers")
-            .and_then(|(_, value)| value.as_str())
-            .and_then(|s| s.parse::<f64>().ok())
+        let speedup = meta_number(&report, "world_speedup_4_workers")
             .unwrap_or_else(|| fail("meta `world_speedup_4_workers` missing or not a number"));
         if speedup < min {
             fail(&format!(
@@ -167,15 +200,7 @@ fn main() {
     }
 
     if let Some(min) = min_incremental_speedup {
-        let meta = report
-            .get("meta")
-            .and_then(Json::as_obj)
-            .unwrap_or_else(|| fail("report has no meta object"));
-        let speedup = meta
-            .iter()
-            .find(|(name, _)| name == "incremental_speedup")
-            .and_then(|(_, value)| value.as_str())
-            .and_then(|s| s.parse::<f64>().ok())
+        let speedup = meta_number(&report, "incremental_speedup")
             .unwrap_or_else(|| fail("meta `incremental_speedup` missing or not a number"));
         if speedup < min {
             fail(&format!(
@@ -224,15 +249,7 @@ fn main() {
     }
 
     if let Some(max) = max_trace_overhead_pct {
-        let meta = report
-            .get("meta")
-            .and_then(Json::as_obj)
-            .unwrap_or_else(|| fail("report has no meta object"));
-        let overhead = meta
-            .iter()
-            .find(|(name, _)| name == "trace_overhead_pct")
-            .and_then(|(_, value)| value.as_str())
-            .and_then(|s| s.parse::<f64>().ok())
+        let overhead = meta_number(&report, "trace_overhead_pct")
             .unwrap_or_else(|| fail("meta `trace_overhead_pct` missing or not a number"));
         if overhead > max {
             fail(&format!(
@@ -241,6 +258,42 @@ fn main() {
             ));
         }
         println!("metrics_check: trace_overhead_pct {overhead:.1} <= {max:.1}");
+    }
+
+    if let Some(max) = max_restart_ms {
+        let restore_us = gauges
+            .iter()
+            .find(|(name, _)| name == "caf.snap.restore_us")
+            .and_then(|(_, value)| value.as_u64())
+            .unwrap_or_else(|| {
+                fail("gauge `caf.snap.restore_us` missing — the server did not restore a snapshot")
+            });
+        let restore_ms = restore_us as f64 / 1e3;
+        if restore_ms > max {
+            fail(&format!(
+                "snapshot restore took {restore_ms:.1} ms, above the allowed {max:.1} ms \
+                 — warm restarts regressed (see DESIGN.md)"
+            ));
+        }
+        println!("metrics_check: snapshot restore {restore_ms:.1} ms <= {max:.1} ms");
+    }
+
+    if let Some(min) = min_restart_speedup {
+        let cold_ms = meta_number(&report, "cold_ms")
+            .unwrap_or_else(|| fail("meta `cold_ms` missing or not a number"));
+        let restore_ms = meta_number(&report, "snapshot_restore_ms")
+            .unwrap_or_else(|| fail("meta `snapshot_restore_ms` missing or not a number"));
+        if restore_ms <= 0.0 {
+            fail("meta `snapshot_restore_ms` must be positive");
+        }
+        let speedup = cold_ms / restore_ms;
+        if speedup < min {
+            fail(&format!(
+                "restart speedup {speedup:.1}x (cold {cold_ms:.1} ms / restore {restore_ms:.1} ms) \
+                 is below the required {min:.1}x — snapshots no longer beat recomputing"
+            ));
+        }
+        println!("metrics_check: restart speedup {speedup:.1}x >= {min:.1}x");
     }
 
     let mode = if schema_only { " [schema only]" } else { "" };

@@ -38,6 +38,7 @@ pub mod campaign;
 pub mod client;
 pub mod outcome;
 pub mod proxy;
+pub mod snap;
 pub mod throttle;
 pub mod timing;
 pub mod website;

@@ -88,22 +88,22 @@ impl CellMeta {
 /// alongside.
 #[derive(Debug)]
 pub struct AuditIndex {
-    n_rows: usize,
+    pub(crate) n_rows: usize,
     /// The world epoch the indexed dataset was computed at (0 for a
     /// pristine, pre-challenge world).
-    epoch: u64,
+    pub(crate) epoch: u64,
     /// Sorted row ids: `order[pos]` is the dataset row at sorted
     /// position `pos`.
-    order: Vec<u32>,
+    pub(crate) order: Vec<u32>,
     /// The served flag per sorted position (SoA column).
-    served: Vec<bool>,
+    pub(crate) served: Vec<bool>,
     /// Cells in `(isp, state, cbg)` order.
-    cells: Vec<CellMeta>,
+    pub(crate) cells: Vec<CellMeta>,
     /// Per-ISP contiguous cell ranges, in ISP order.
-    isp_cells: Vec<(Isp, Range<usize>)>,
+    pub(crate) isp_cells: Vec<(Isp, Range<usize>)>,
     /// Per-state cell ids (cells of one state are *not* contiguous —
     /// state nests under ISP in the sort), in state order.
-    state_cells: Vec<(UsState, Vec<u32>)>,
+    pub(crate) state_cells: Vec<(UsState, Vec<u32>)>,
 }
 
 impl AuditIndex {

@@ -1,0 +1,395 @@
+//! [`Snap`] codecs for audit results: the dataset rows the artifact
+//! renderers read and the columnar [`AuditIndex`] over them.
+//!
+//! The index is the one structure decoded *without* a rebuilding
+//! constructor — its flat `Vec` columns are snapshot-shaped by design —
+//! so its decoder validates every structural invariant the analyses
+//! rely on (row counts agree across columns, every range is in bounds)
+//! before the value escapes. A snapshot that decodes is safe to drive
+//! `from_index` analyses; one that doesn't is a clean cold-build
+//! fallback.
+
+use crate::audit::{AuditDataset, AuditRow, CbgCoverage};
+use crate::index::{AuditIndex, CellMeta};
+use crate::q3::{BlockComparison, BlockType, Q3Analysis};
+use caf_snap::{Reader, Snap, SnapError, Writer};
+use caf_synth::Isp;
+
+impl Snap for AuditRow {
+    fn encode(&self, w: &mut Writer) {
+        w.put(&self.address);
+        w.put(&self.isp);
+        w.put(&self.state);
+        w.put(&self.cbg);
+        w.put_usize(self.cbg_total);
+        w.put_f64(self.density);
+        w.put_f64(self.density_pct);
+        w.put(&self.centroid);
+        w.put_bool(self.served);
+        w.put(&self.max_down_mbps);
+        w.put(&self.max_plan);
+        w.put_seq(&self.plans);
+        w.put_bool(self.existing_subscriber);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(AuditRow {
+            address: r.get()?,
+            isp: r.get()?,
+            state: r.get()?,
+            cbg: r.get()?,
+            cbg_total: r.usize()?,
+            density: r.f64()?,
+            density_pct: r.f64()?,
+            centroid: r.get()?,
+            served: r.bool()?,
+            max_down_mbps: r.get()?,
+            max_plan: r.get()?,
+            plans: r.get_seq()?,
+            existing_subscriber: r.bool()?,
+        })
+    }
+}
+
+impl Snap for CbgCoverage {
+    fn encode(&self, w: &mut Writer) {
+        w.put(&self.isp);
+        w.put(&self.cbg);
+        w.put_usize(self.total);
+        w.put_usize(self.queried);
+        w.put_usize(self.collected);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(CbgCoverage {
+            isp: r.get()?,
+            cbg: r.get()?,
+            total: r.usize()?,
+            queried: r.usize()?,
+            collected: r.usize()?,
+        })
+    }
+}
+
+impl Snap for AuditDataset {
+    fn encode(&self, w: &mut Writer) {
+        w.put_seq(&self.rows);
+        w.put_seq(&self.records);
+        w.put_seq(&self.coverage);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(AuditDataset {
+            rows: r.get_seq()?,
+            records: r.get_seq()?,
+            coverage: r.get_seq()?,
+        })
+    }
+}
+
+impl Snap for CellMeta {
+    fn encode(&self, w: &mut Writer) {
+        w.put(&self.isp);
+        w.put(&self.state);
+        w.put(&self.cbg);
+        w.put_f64(self.weight);
+        w.put_f64(self.density);
+        w.put_f64(self.density_pct);
+        w.put(&self.centroid);
+        w.put(&self.range);
+        w.put_usize(self.served_rows);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        let meta = CellMeta {
+            isp: r.get()?,
+            state: r.get()?,
+            cbg: r.get()?,
+            weight: r.f64()?,
+            density: r.f64()?,
+            density_pct: r.f64()?,
+            centroid: r.get()?,
+            range: r.get()?,
+            served_rows: r.usize()?,
+        };
+        if meta.served_rows > meta.range.len() {
+            return Err(SnapError::Malformed(format!(
+                "cell served_rows {} exceeds its {} rows",
+                meta.served_rows,
+                meta.range.len()
+            )));
+        }
+        Ok(meta)
+    }
+}
+
+impl Snap for AuditIndex {
+    fn encode(&self, w: &mut Writer) {
+        w.put_usize(self.n_rows);
+        w.put_u64(self.epoch);
+        w.put_seq(&self.order);
+        w.put_seq(&self.served);
+        w.put_seq(&self.cells);
+        w.put_seq(&self.isp_cells);
+        w.put_seq(&self.state_cells);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        let index = AuditIndex {
+            n_rows: r.usize()?,
+            epoch: r.u64()?,
+            order: r.get_seq()?,
+            served: r.get_seq()?,
+            cells: r.get_seq()?,
+            isp_cells: r.get_seq()?,
+            state_cells: r.get_seq()?,
+        };
+        let structural = |detail: String| SnapError::Malformed(format!("audit index: {detail}"));
+        if index.order.len() != index.n_rows || index.served.len() != index.n_rows {
+            return Err(structural(format!(
+                "column lengths (order {}, served {}) disagree with n_rows {}",
+                index.order.len(),
+                index.served.len(),
+                index.n_rows
+            )));
+        }
+        if let Some(&row) = index
+            .order
+            .iter()
+            .find(|&&row| row as usize >= index.n_rows)
+        {
+            return Err(structural(format!("row id {row} out of {}", index.n_rows)));
+        }
+        for cell in &index.cells {
+            if cell.range.end > index.n_rows {
+                return Err(structural(format!(
+                    "cell range {:?} exceeds {} rows",
+                    cell.range, index.n_rows
+                )));
+            }
+        }
+        for (isp, range) in &index.isp_cells {
+            if range.end > index.cells.len() {
+                return Err(structural(format!(
+                    "isp {isp:?} cell range {range:?} exceeds {} cells",
+                    index.cells.len()
+                )));
+            }
+        }
+        for (state, cell_ids) in &index.state_cells {
+            if let Some(&id) = cell_ids
+                .iter()
+                .find(|&&id| id as usize >= index.cells.len())
+            {
+                return Err(structural(format!(
+                    "state {state:?} cell id {id} out of {}",
+                    index.cells.len()
+                )));
+            }
+        }
+        Ok(index)
+    }
+}
+
+impl Snap for BlockType {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(match self {
+            BlockType::A => 0,
+            BlockType::B => 1,
+            BlockType::C => 2,
+        });
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.u8()? {
+            0 => BlockType::A,
+            1 => BlockType::B,
+            2 => BlockType::C,
+            other => {
+                return Err(SnapError::Malformed(format!(
+                    "block type: unknown tag {other}"
+                )))
+            }
+        })
+    }
+}
+
+impl Snap for BlockComparison {
+    fn encode(&self, w: &mut Writer) {
+        w.put(&self.block);
+        w.put(&self.state);
+        w.put(&self.caf_isp);
+        w.put(&self.block_type);
+        w.put_f64(self.caf_speed);
+        w.put(&self.monopoly_speed);
+        w.put(&self.competition_speed);
+        w.put(&self.caf_carriage);
+        w.put(&self.monopoly_carriage);
+        w.put(&self.competition_carriage);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(BlockComparison {
+            block: r.get()?,
+            state: r.get()?,
+            caf_isp: r.get()?,
+            block_type: r.get()?,
+            caf_speed: r.f64()?,
+            monopoly_speed: r.get()?,
+            competition_speed: r.get()?,
+            caf_carriage: r.get()?,
+            monopoly_carriage: r.get()?,
+            competition_carriage: r.get()?,
+        })
+    }
+}
+
+impl Snap for Q3Analysis {
+    fn encode(&self, w: &mut Writer) {
+        w.put_seq(&self.blocks);
+        w.put_usize(self.caf_queried);
+        w.put_usize(self.non_caf_queried);
+        w.put_usize(self.caf_served);
+        w.put_usize(self.non_caf_served);
+        w.put_usize(self.blocks_dropped);
+        // The per-ISP tallies live in a HashMap; the canonical encoding
+        // sorts them in registry order so identical analyses produce
+        // identical bytes.
+        let mut per_isp: Vec<(Isp, (usize, usize))> = self
+            .queries_per_isp
+            .iter()
+            .map(|(&isp, &counts)| (isp, counts))
+            .collect();
+        let rank = |isp: Isp| Isp::all().iter().position(|&i| i == isp).expect("known");
+        per_isp.sort_by_key(|&(isp, _)| rank(isp));
+        w.put_seq(&per_isp);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(Q3Analysis {
+            blocks: r.get_seq()?,
+            caf_queried: r.usize()?,
+            non_caf_queried: r.usize()?,
+            caf_served: r.usize()?,
+            non_caf_served: r.usize()?,
+            blocks_dropped: r.usize()?,
+            queries_per_isp: r.get_seq::<(Isp, (usize, usize))>()?.into_iter().collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ComplianceAnalysis, ServiceabilityAnalysis};
+    use caf_bqt::CampaignConfig;
+
+    fn sample_dataset() -> AuditDataset {
+        use crate::audit::{Audit, AuditConfig};
+        use crate::engine::EngineConfig;
+        use crate::sampling::SamplingRule;
+        use caf_geo::UsState;
+        use caf_synth::{SynthConfig, World};
+        let synth = SynthConfig {
+            seed: 0xCAF_2024,
+            scale: 2000,
+        };
+        let audit = Audit::new(AuditConfig {
+            synth,
+            campaign: CampaignConfig::default().with_seed(0xCAF_2024),
+            rule: SamplingRule::paper(),
+            resample_rounds: 1,
+        });
+        let world = World::generate_states(synth, &UsState::study_states());
+        audit.run_with(&world, EngineConfig::serial())
+    }
+
+    #[test]
+    fn dataset_and_index_round_trip_byte_identically() {
+        let dataset = sample_dataset();
+        let index = AuditIndex::build_at(&dataset, 3);
+
+        let mut w = Writer::new();
+        w.put(&dataset);
+        w.put(&index);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let dataset2: AuditDataset = r.get().unwrap();
+        let index2: AuditIndex = r.get().unwrap();
+        r.finish().unwrap();
+
+        // Canonical re-encode.
+        let mut w = Writer::new();
+        w.put(&dataset2);
+        w.put(&index2);
+        assert_eq!(w.into_bytes(), bytes);
+
+        // The decoded pair drives the same analyses to identical
+        // artifact bytes — the property the serving layer relies on.
+        let fresh = crate::artifact::table2(&dataset);
+        let restored = crate::artifact::table2(&dataset2);
+        assert_eq!(
+            crate::artifact::to_canonical_bytes(&fresh),
+            crate::artifact::to_canonical_bytes(&restored)
+        );
+        let s1 = ServiceabilityAnalysis::from_index(&index);
+        let s2 = ServiceabilityAnalysis::from_index(&index2);
+        assert_eq!(
+            crate::artifact::to_canonical_bytes(&crate::artifact::serviceability(&s1, None)),
+            crate::artifact::to_canonical_bytes(&crate::artifact::serviceability(&s2, None)),
+        );
+        let c1 = ComplianceAnalysis::from_index(&dataset, &index);
+        let c2 = ComplianceAnalysis::from_index(&dataset2, &index2);
+        assert_eq!(
+            crate::artifact::to_canonical_bytes(&crate::artifact::compliance(&c1, &dataset, None)),
+            crate::artifact::to_canonical_bytes(&crate::artifact::compliance(&c2, &dataset2, None)),
+        );
+        assert_eq!(index2.epoch(), 3);
+    }
+
+    #[test]
+    fn q3_analysis_round_trips_byte_identically() {
+        use caf_geo::UsState;
+        use caf_synth::{SynthConfig, World};
+        let world = World::generate_states(
+            SynthConfig {
+                seed: 0xCAF_2024,
+                scale: 400,
+            },
+            &UsState::q3_states(),
+        );
+        let q3 = Q3Analysis::run(&world, CampaignConfig::default().with_seed(0xCAF_2024));
+
+        let mut w = Writer::new();
+        w.put(&q3);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let q3b: Q3Analysis = r.get().unwrap();
+        r.finish().unwrap();
+
+        // Canonical re-encode (HashMap iteration order must not leak).
+        let mut w = Writer::new();
+        w.put(&q3b);
+        assert_eq!(w.into_bytes(), bytes);
+        assert_eq!(
+            crate::artifact::to_canonical_bytes(&crate::artifact::q3(&q3)),
+            crate::artifact::to_canonical_bytes(&crate::artifact::q3(&q3b)),
+        );
+        assert!(matches!(
+            Reader::new(&[9]).get::<BlockType>(),
+            Err(SnapError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn corrupt_index_structure_is_rejected() {
+        let dataset = sample_dataset();
+        let index = AuditIndex::build(&dataset);
+        let mut w = Writer::new();
+        w.put(&index);
+        let good = w.into_bytes();
+
+        // Claim one more row than the columns carry: the very first
+        // structural check fires.
+        let mut w = Writer::new();
+        w.put_usize(index.len() + 1);
+        w.put_raw(&good[8..]);
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            Reader::new(&bytes).get::<AuditIndex>(),
+            Err(SnapError::Malformed(_)) | Err(SnapError::UnexpectedEof { .. })
+        ));
+    }
+}

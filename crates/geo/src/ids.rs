@@ -264,7 +264,7 @@ fn parse_digits(s: &str, len: usize) -> Result<u64, GeoError> {
 }
 
 /// Validates a raw 12-digit integer as a block-group GEOID.
-fn decompose_block_group(n: u64) -> Result<BlockGroupId, GeoError> {
+pub(crate) fn decompose_block_group(n: u64) -> Result<BlockGroupId, GeoError> {
     let group = (n % 10) as u8;
     let tract = ((n / 10) % 1_000_000) as u32;
     let county = ((n / 10_000_000) % 1_000) as u16;
@@ -276,7 +276,7 @@ fn decompose_block_group(n: u64) -> Result<BlockGroupId, GeoError> {
 }
 
 /// Validates a raw 15-digit integer as a block GEOID.
-fn decompose_block(n: u64) -> Result<BlockId, GeoError> {
+pub(crate) fn decompose_block(n: u64) -> Result<BlockId, GeoError> {
     let suffix = (n % 1_000) as u16;
     let group = decompose_block_group(n / 1_000)?;
     BlockId::new(group, suffix)

@@ -20,8 +20,10 @@
 //! * [`state`] — a registry of US states with the attributes the synthetic
 //!   dataset generator needs (region, bounding box, population).
 //!
-//! The crate is `std`-only, allocation-light, and dependency-free: it is a
-//! substrate every other crate in the workspace builds on.
+//! The crate is `std`-only and allocation-light: a substrate every other
+//! crate in the workspace builds on. Its one (workspace-internal)
+//! dependency is `caf-snap`, whose [`mod@snap`] codecs give every geo type
+//! a validated binary snapshot encoding.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,6 +33,7 @@ pub mod coord;
 pub mod density;
 pub mod error;
 pub mod ids;
+pub mod snap;
 pub mod state;
 
 pub use address::{Address, AddressId, StreetAddress};

@@ -1,0 +1,217 @@
+//! [`Snap`] codecs for the geography substrate.
+//!
+//! Every type re-enters through its validating constructor: a decoded
+//! GEOID, coordinate, or enum discriminant that would be invalid to
+//! construct is a [`SnapError::Malformed`], never a live invalid value.
+//! That keeps the snapshot path inside the same invariants as the
+//! generators.
+
+use crate::address::{Address, AddressId, StreetAddress};
+use crate::coord::LatLon;
+use crate::density::DensityClass;
+use crate::ids::{decompose_block, decompose_block_group, BlockGroupId, BlockId, StateFips};
+use crate::state::UsState;
+use caf_snap::{Reader, Snap, SnapError, Writer};
+
+fn malformed(what: &str, detail: impl std::fmt::Display) -> SnapError {
+    SnapError::Malformed(format!("{what}: {detail}"))
+}
+
+impl Snap for StateFips {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u16(self.code());
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        let code = r.u16()?;
+        StateFips::new(code).map_err(|e| malformed("state fips", e))
+    }
+}
+
+impl Snap for UsState {
+    fn encode(&self, w: &mut Writer) {
+        w.put(&self.fips());
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        let fips: StateFips = r.get()?;
+        UsState::from_fips(fips)
+            .ok_or_else(|| malformed("us state", format_args!("unknown fips {}", fips.code())))
+    }
+}
+
+impl Snap for BlockGroupId {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.geoid());
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        let geoid = r.u64()?;
+        decompose_block_group(geoid).map_err(|e| malformed("block group geoid", e))
+    }
+}
+
+impl Snap for BlockId {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.geoid());
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        let geoid = r.u64()?;
+        decompose_block(geoid).map_err(|e| malformed("block geoid", e))
+    }
+}
+
+impl Snap for LatLon {
+    fn encode(&self, w: &mut Writer) {
+        w.put_f64(self.lat());
+        w.put_f64(self.lon());
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        let lat = r.f64()?;
+        let lon = r.f64()?;
+        LatLon::new(lat, lon).map_err(|e| malformed("coordinate", e))
+    }
+}
+
+impl Snap for DensityClass {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(match self {
+            DensityClass::Remote => 0,
+            DensityClass::Rural => 1,
+            DensityClass::Suburban => 2,
+            DensityClass::Urban => 3,
+        });
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.u8()? {
+            0 => DensityClass::Remote,
+            1 => DensityClass::Rural,
+            2 => DensityClass::Suburban,
+            3 => DensityClass::Urban,
+            other => return Err(malformed("density class", format_args!("tag {other}"))),
+        })
+    }
+}
+
+impl Snap for AddressId {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.0);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(AddressId(r.u64()?))
+    }
+}
+
+impl Snap for StreetAddress {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32(self.number);
+        w.put_str(&self.street);
+        w.put_str(&self.city);
+        w.put_str(&self.state_abbrev);
+        w.put_u32(self.zip);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(StreetAddress {
+            number: r.u32()?,
+            street: r.str()?,
+            city: r.str()?,
+            state_abbrev: r.str()?,
+            zip: r.u32()?,
+        })
+    }
+}
+
+impl Snap for Address {
+    fn encode(&self, w: &mut Writer) {
+        w.put(&self.id);
+        w.put(&self.street);
+        w.put(&self.location);
+        w.put(&self.block);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(Address {
+            id: r.get()?,
+            street: r.get()?,
+            location: r.get()?,
+            block: r.get()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{CountyId, TractId};
+
+    fn roundtrip<T: Snap + PartialEq + std::fmt::Debug>(value: &T) {
+        let mut w = Writer::new();
+        w.put(value);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(&r.get::<T>().unwrap(), value);
+        r.finish().unwrap();
+    }
+
+    fn sample_block() -> BlockId {
+        let state = StateFips::new(6).unwrap();
+        let county = CountyId::new(state, 83).unwrap();
+        let tract = TractId::new(county, 2_936).unwrap();
+        let group = BlockGroupId::new(tract, 2).unwrap();
+        BlockId::new(group, 17).unwrap()
+    }
+
+    #[test]
+    fn geo_types_round_trip() {
+        roundtrip(&StateFips::new(48).unwrap());
+        roundtrip(&UsState::Texas);
+        roundtrip(&sample_block());
+        roundtrip(&sample_block().block_group());
+        roundtrip(&LatLon::new(34.42, -119.7).unwrap());
+        for class in [
+            DensityClass::Remote,
+            DensityClass::Rural,
+            DensityClass::Suburban,
+            DensityClass::Urban,
+        ] {
+            roundtrip(&class);
+        }
+        roundtrip(&Address {
+            id: AddressId(42),
+            street: StreetAddress {
+                number: 123,
+                street: "Main St".to_string(),
+                city: "Lubbock".to_string(),
+                state_abbrev: "TX".to_string(),
+                zip: 79401,
+            },
+            location: LatLon::new(33.57, -101.88).unwrap(),
+            block: sample_block(),
+        });
+    }
+
+    #[test]
+    fn invalid_payloads_are_malformed_not_panics() {
+        // FIPS 99 is not a state.
+        let mut w = Writer::new();
+        w.put_u16(99);
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            Reader::new(&bytes).get::<StateFips>(),
+            Err(SnapError::Malformed(_))
+        ));
+        // An out-of-range latitude fails LatLon's constructor.
+        let mut w = Writer::new();
+        w.put_f64(200.0);
+        w.put_f64(0.0);
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            Reader::new(&bytes).get::<LatLon>(),
+            Err(SnapError::Malformed(_))
+        ));
+        // A garbage GEOID integer fails decomposition.
+        let mut w = Writer::new();
+        w.put_u64(u64::MAX);
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            Reader::new(&bytes).get::<BlockId>(),
+            Err(SnapError::Malformed(_))
+        ));
+    }
+}

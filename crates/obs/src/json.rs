@@ -64,6 +64,14 @@ impl Json {
         }
     }
 
+    /// The boolean value, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+
     /// Serializes compactly (no whitespace), keys in stored order.
     pub fn to_compact(&self) -> String {
         let mut out = String::new();

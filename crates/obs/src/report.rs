@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! {
-//!   "meta":    { "<key>": "<string>", ... },          // sorted keys
+//!   "meta":    { "<key>": <string|number>, ... },     // sorted keys
 //!   "metrics": {
 //!     "counters":   { "<name>": <u64>, ... },          // sorted names
 //!     "gauges":     { "<name>": <u64>, ... },
@@ -69,7 +69,7 @@ impl RunReport {
         let meta = Json::Obj(
             self.meta
                 .iter()
-                .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                .map(|(k, v)| (k.clone(), meta_value(v)))
                 .collect(),
         );
         let uint_obj = |pairs: &[(String, u64)]| {
@@ -199,6 +199,20 @@ impl RunReport {
     }
 }
 
+/// Meta values are recorded as strings but published as proper JSON
+/// numbers when they parse as one ("33.4" becomes 33.4, "42" becomes
+/// 42), so downstream gates compare numerically instead of re-parsing
+/// quoted strings. Anything non-numeric stays a string.
+fn meta_value(raw: &str) -> Json {
+    if let Ok(value) = raw.parse::<u64>() {
+        return Json::UInt(value);
+    }
+    match raw.parse::<f64>() {
+        Ok(value) if value.is_finite() => Json::Num(value),
+        _ => Json::Str(raw.to_string()),
+    }
+}
+
 /// Fields of a span entry, in required (sorted) order.
 const SPAN_FIELDS: [&str; 6] = ["count", "max_us", "min_us", "p50_us", "p99_us", "total_us"];
 /// Fields of a histogram entry, in required (sorted) order.
@@ -222,8 +236,15 @@ pub fn validate_report_json(text: &str) -> Result<Json, String> {
     let meta_entries = meta.as_obj().ok_or("meta: expected an object")?;
     check_sorted(meta_entries, "meta")?;
     for (key, value) in meta_entries {
-        if value.as_str().is_none() {
-            return Err(format!("meta.{key}: expected a string"));
+        // Meta values may be strings or numbers (older reports quoted
+        // everything; current writers emit proper JSON numbers).
+        let ok = match value {
+            Json::Str(_) | Json::UInt(_) => true,
+            Json::Num(n) => n.is_finite(),
+            _ => false,
+        };
+        if !ok {
+            return Err(format!("meta.{key}: expected a string or finite number"));
         }
     }
     for required in REQUIRED_META {
@@ -434,7 +455,7 @@ mod tests {
         validate_report_json(&good).expect("baseline valid");
 
         // Each mutation drifts the schema in a way the gate must catch.
-        let missing_meta = good.replace("\"seed\":\"42\",", "");
+        let missing_meta = good.replace("\"seed\":42,", "");
         assert!(validate_report_json(&missing_meta)
             .unwrap_err()
             .contains("seed"));
@@ -464,14 +485,32 @@ mod tests {
         let good = report.to_json();
         // Manually swap two meta keys out of order.
         let swapped = good.replacen(
-            "\"seed\":\"42\",\"tool\":\"test\"",
-            "\"tool\":\"test\",\"seed\":\"42\"",
+            "\"seed\":42,\"tool\":\"test\"",
+            "\"tool\":\"test\",\"seed\":42",
             1,
         );
         assert_ne!(good, swapped, "replacement must hit");
         assert!(validate_report_json(&swapped)
             .unwrap_err()
             .contains("sorted"));
+    }
+
+    #[test]
+    fn meta_numbers_publish_as_json_numbers() {
+        let registry = Registry::new();
+        registry.record_span("only", 1_000);
+        let mut m = meta();
+        m.insert("cold_ms".to_string(), "33.4".to_string());
+        m.insert("label".to_string(), "v1.2-rc".to_string());
+        let text = RunReport::collect_from(&registry, m).to_json();
+        // Integers and floats are unquoted; non-numeric strings stay
+        // quoted; string-form meta (older reports) still validates.
+        assert!(text.contains("\"seed\":42,"), "{text}");
+        assert!(text.contains("\"cold_ms\":33.4,"), "{text}");
+        assert!(text.contains("\"label\":\"v1.2-rc\","), "{text}");
+        validate_report_json(&text).expect("numeric meta validates");
+        let quoted = text.replacen("\"seed\":42,", "\"seed\":\"42\",", 1);
+        validate_report_json(&quoted).expect("string meta still validates");
     }
 
     #[test]

@@ -4,7 +4,8 @@
 //! caf-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
 //!           [--engine-workers N|auto] [--seed N] [--scale N]
 //!           [--timeout-ms N] [--min-scale N] [--trace-capacity N]
-//!           [--slow-ms N] [--port-file PATH] [--quiet]
+//!           [--slow-ms N] [--snapshot-dir PATH] [--disk-tier-capacity N]
+//!           [--port-file PATH] [--quiet]
 //! ```
 //!
 //! * `--addr` defaults to `127.0.0.1:0` (ephemeral port); the bound
@@ -12,6 +13,11 @@
 //!   file so scripts can wait for startup without parsing logs.
 //! * `--workers` sizes the HTTP worker pool; `--engine-workers` is the
 //!   *compute* budget that concurrent scenario builds share.
+//! * `--snapshot-dir` enables persistence: startup restores the newest
+//!   compatible snapshot in the directory (millisecond warm restarts),
+//!   every epoch advance writes a new snapshot in the background, and
+//!   cache evictions spill to a disk LRU tier under `PATH/tier/`
+//!   (`--disk-tier-capacity` bounds it, in entries).
 //! * `--trace-capacity` sizes the flight recorder behind
 //!   `GET /v1/debug/traces` (`0` disables trace capture); `--slow-ms`
 //!   is the always-keep threshold and per-route SLO latency target.
@@ -100,6 +106,12 @@ fn main() {
                     .parse()
                     .unwrap_or_else(|_| die("--slow-ms needs an integer"));
             }
+            "--snapshot-dir" => app.snapshot_dir = Some(value("--snapshot-dir").into()),
+            "--disk-tier-capacity" => {
+                app.disk_tier_capacity = value("--disk-tier-capacity")
+                    .parse()
+                    .unwrap_or_else(|_| die("--disk-tier-capacity needs an integer"));
+            }
             "--port-file" => port_file = Some(value("--port-file").into()),
             "--quiet" => quiet = true,
             "--help" | "-h" => {
@@ -107,6 +119,7 @@ fn main() {
                     "caf-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N] \
                      [--engine-workers N|auto] [--seed N] [--scale N] [--timeout-ms N] \
                      [--min-scale N] [--trace-capacity N] [--slow-ms N] \
+                     [--snapshot-dir PATH] [--disk-tier-capacity N] \
                      [--port-file PATH] [--quiet]"
                 );
                 return;
@@ -125,8 +138,11 @@ fn main() {
     if app.trace_capacity > 0 {
         serve.recorder = Some(handler.recorder());
     }
-    let server = Server::start(serve.clone(), handler)
-        .unwrap_or_else(|e| die(&format!("bind {}: {e}", serve.addr)));
+    let server = Server::start(
+        serve.clone(),
+        Arc::clone(&handler) as Arc<dyn caf_serve::Handler>,
+    )
+    .unwrap_or_else(|e| die(&format!("bind {}: {e}", serve.addr)));
     let addr = server.addr();
     drop(_startup);
 
@@ -148,6 +164,24 @@ fn main() {
             app.default_seed,
             app.default_scale,
         );
+        if let Some(dir) = &app.snapshot_dir {
+            let status = handler.snapshot_status();
+            if status.loaded {
+                println!(
+                    "caf-serve: restored snapshot {} (epoch {}) in {:.1} ms from {}",
+                    status.file.as_deref().unwrap_or("?"),
+                    status.epoch,
+                    status.restore_us as f64 / 1e3,
+                    dir.display(),
+                );
+            } else {
+                println!(
+                    "caf-serve: no compatible snapshot in {} (cold start); \
+                     snapshots will be written there after epoch advances",
+                    dir.display(),
+                );
+            }
+        }
         println!("caf-serve: GET /quitquitquit to stop (no signal handler)");
     }
 

@@ -4,7 +4,7 @@
 //! ```text
 //! challenge_replay --deltas FILE [--seed N] [--scale N] [--batch N]
 //!                  [--mode incremental|full] [--workers N|auto]
-//!                  [--out DIR] [--quiet]
+//!                  [--out DIR] [--emit-resolved FILE] [--quiet]
 //! ```
 //!
 //! Two modes, one contract:
@@ -25,6 +25,12 @@
 //! (each `(state, cbg)` cell belongs to exactly one ISP, and which one
 //! is RNG-dependent — resolving keeps committed streams valid across
 //! seeds and RNG implementations).
+//!
+//! `--emit-resolved FILE` writes the post-resolution stream back out as
+//! JSONL. A live `caf-serve` validates ISPs strictly, so the committed
+//! placeholder stream cannot be POSTed to `/v1/challenge` directly;
+//! the emitted stream can (ci.sh uses this for the snapshot restart
+//! gate).
 
 use caf_bench::campaign_config;
 use caf_core::{
@@ -55,6 +61,7 @@ fn main() {
     let mut mode = Mode::Incremental;
     let mut engine = EngineConfig::default();
     let mut out: Option<std::path::PathBuf> = None;
+    let mut emit_resolved: Option<std::path::PathBuf> = None;
     let mut quiet = false;
 
     let mut args = std::env::args().skip(1);
@@ -105,11 +112,13 @@ fn main() {
                 };
             }
             "--out" => out = Some(value("--out").into()),
+            "--emit-resolved" => emit_resolved = Some(value("--emit-resolved").into()),
             "--quiet" => quiet = true,
             "--help" | "-h" => {
                 println!(
                     "challenge_replay --deltas FILE [--seed N] [--scale N] [--batch N] \
-                     [--mode incremental|full] [--workers N|auto] [--out DIR] [--quiet]"
+                     [--mode incremental|full] [--workers N|auto] [--out DIR] \
+                     [--emit-resolved FILE] [--quiet]"
                 );
                 return;
             }
@@ -131,6 +140,21 @@ fn main() {
     let build_started = Instant::now();
     let mut world = World::generate_states_on(synth, &states, engine);
     let deltas = resolve_isps(&world, deltas);
+    if let Some(path) = &emit_resolved {
+        let mut lines = String::new();
+        for delta in &deltas {
+            lines.push_str(&caf_synth::challenge::delta_to_json(delta));
+            lines.push('\n');
+        }
+        std::fs::write(path, lines).unwrap_or_else(|e| die(&format!("write {path:?}: {e}")));
+        if !quiet {
+            println!(
+                "challenge_replay: wrote {} resolved delta(s) to {}",
+                deltas.len(),
+                path.display()
+            );
+        }
+    }
     let audit = Audit::new(AuditConfig {
         synth,
         campaign: campaign_config(seed),

@@ -13,6 +13,13 @@
 //! * `trace_overhead_pct` — warm p50 with the flight recorder attached
 //!   vs. without, as a percentage (sub-noise differences clamp to 0);
 //!   `metrics_check --max-trace-overhead-pct` gates it in CI.
+//! * `snapshot_restore_ms` — restart-to-first-200 from a snapshot
+//!   (fresh app + `--snapshot-dir`, byte-compared against the cold
+//!   build); `metrics_check --min-restart-speedup` gates the ratio
+//!   `cold_ms / snapshot_restore_ms` in CI.
+//! * `disk_tier_hit_ratio` — fraction of cache misses that the disk
+//!   LRU tier absorbed in an A/B/A eviction-promotion pass under a
+//!   capacity-1 cache.
 //!
 //! `CAF_BENCH_DIR` overrides the output directory (CI points it at an
 //! artifact dir so the committed baseline stays clean);
@@ -119,6 +126,95 @@ fn main() {
     .expect("bind traced listener");
     let traced = warm_latencies_ms(traced_server.addr(), &path, probes);
     traced_server.shutdown();
+    // Snapshot phase: write a snapshot from a persistence-enabled app,
+    // then measure restart-to-first-200 from it. The restored bytes
+    // must equal the cold build's — a fast restart that serves wrong
+    // bytes is not a restart.
+    let snap_dir = std::env::temp_dir().join(format!("caf-bench-snap-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&snap_dir);
+    let persist_config = AppConfig {
+        default_seed: SEED,
+        default_scale: SCALE,
+        engine: EngineConfig::auto(),
+        snapshot_dir: Some(snap_dir.clone()),
+        ..AppConfig::default()
+    };
+    {
+        let writer = Server::start(
+            ServeConfig::default(),
+            Arc::new(App::new(persist_config.clone())) as Arc<dyn caf_serve::Handler>,
+        )
+        .expect("bind snapshot writer");
+        let (status, _body) = client::get(writer.addr(), &path).expect("prime request");
+        assert_eq!(status, 200);
+        let (status, _body) = client::request(
+            writer.addr(),
+            "POST /v1/snapshot HTTP/1.1\r\nHost: bench\r\nContent-Length: 0\r\n\
+             Connection: close\r\n\r\n",
+        )
+        .expect("snapshot request");
+        assert_eq!(status, 200, "snapshot write failed");
+        writer.shutdown();
+    }
+    let restart_start = Instant::now();
+    let restored = Arc::new(App::new(persist_config));
+    let restored_server = Server::start(
+        ServeConfig::default(),
+        Arc::clone(&restored) as Arc<dyn caf_serve::Handler>,
+    )
+    .expect("bind restored listener");
+    let (status, restored_body) = client::get(restored_server.addr(), &path).expect("restored");
+    let snapshot_restore_ms = restart_start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(status, 200, "restored request failed");
+    assert!(
+        restored.snapshot_status().loaded,
+        "restart did not restore the snapshot"
+    );
+    assert_eq!(
+        restored_body, *reference,
+        "snapshot-restored bytes diverged from the cold build"
+    );
+    restored_server.shutdown();
+    let _ = std::fs::remove_dir_all(&snap_dir);
+
+    // Disk-tier phase: a capacity-1 cache with the tier enabled.
+    // Scenario A is computed, evicted by B (spilling to disk), then
+    // requested again — the tier must promote it byte-identically.
+    let tier_dir = std::env::temp_dir().join(format!("caf-bench-tier-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tier_dir);
+    let tiered = Arc::new(App::new(AppConfig {
+        default_seed: SEED,
+        default_scale: SCALE,
+        engine: EngineConfig::auto(),
+        cache_capacity: 1,
+        snapshot_dir: Some(tier_dir.clone()),
+        ..AppConfig::default()
+    }));
+    let tier_server = Server::start(
+        ServeConfig::default(),
+        Arc::clone(&tiered) as Arc<dyn caf_serve::Handler>,
+    )
+    .expect("bind tiered listener");
+    let tier_addr = tier_server.addr();
+    let other = format!("/v1/table2?seed={SEED}&scale={}", SCALE + 1);
+    let (status, tier_a1) = client::get(tier_addr, &path).expect("tier A");
+    assert_eq!(status, 200);
+    let (status, _b) = client::get(tier_addr, &other).expect("tier B");
+    assert_eq!(status, 200);
+    let (status, tier_a2) = client::get(tier_addr, &path).expect("tier A again");
+    assert_eq!(status, 200);
+    assert_eq!(tier_a1, tier_a2, "disk-tier promoted bytes diverged");
+    let tier_stats = tiered.cache_stats();
+    assert_eq!(
+        (tier_stats.misses, tier_stats.disk_hits, tier_stats.spills),
+        (2, 1, 2),
+        "unexpected tier behavior: {tier_stats:?}"
+    );
+    let disk_tier_hit_ratio =
+        tier_stats.disk_hits as f64 / (tier_stats.misses + tier_stats.disk_hits) as f64;
+    tier_server.shutdown();
+    let _ = std::fs::remove_dir_all(&tier_dir);
+
     let p50_plain = caf_stats::quantile(&plain, 0.50).expect("non-empty");
     let p50_traced = caf_stats::quantile(&traced, 0.50).expect("non-empty");
     // Differences under 50µs are scheduler noise on a localhost socket,
@@ -158,6 +254,8 @@ fn main() {
     put("cache_hit_ratio", format!("{hit_ratio:.3}"));
     put("trace_probe_requests", probes.to_string());
     put("trace_overhead_pct", format!("{trace_overhead_pct:.1}"));
+    put("snapshot_restore_ms", format!("{snapshot_restore_ms:.1}"));
+    put("disk_tier_hit_ratio", format!("{disk_tier_hit_ratio:.3}"));
 
     let report = caf_obs::RunReport::collect(meta);
     let default_dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
@@ -168,7 +266,8 @@ fn main() {
     match std::fs::write(&path, line) {
         Ok(()) => eprintln!(
             "wrote bench summary to {} ({throughput:.0} req/s warm, p99 {:.2} ms, \
-             cold {:.0} ms, hit ratio {hit_ratio:.3})",
+             cold {:.0} ms, hit ratio {hit_ratio:.3}, restore {snapshot_restore_ms:.1} ms, \
+             tier hit ratio {disk_tier_hit_ratio:.3})",
             path.display(),
             quantile(0.99),
             cold.as_secs_f64() * 1e3,

@@ -37,6 +37,23 @@ pub enum CacheOutcome {
     /// Another call was already computing this key; this call blocked
     /// on the in-flight entry and shares its result.
     Joined,
+    /// The value was promoted from the disk tier (a previously evicted
+    /// entry) instead of being recomputed.
+    DiskHit,
+}
+
+/// A second-chance tier under the in-memory LRU. Entries evicted from
+/// the ready map are offered to [`SpillHook::spill`]; a miss consults
+/// [`SpillHook::load`] before paying for a recomputation. The hook runs
+/// *outside* the cache lock on both paths, so implementations may do
+/// real I/O. A `load` implementation must return a value byte-for-byte
+/// equivalent to what was spilled, or `None` — never a guess; the
+/// serving layer's determinism contract rides on it.
+pub trait SpillHook<K, V>: Send + Sync {
+    /// Offers an evicted entry to the tier (e.g. serialize it to disk).
+    fn spill(&self, key: &K, value: &V);
+    /// Attempts to produce the value for `key` from the tier.
+    fn load(&self, key: &K) -> Option<V>;
 }
 
 /// Why a [`ScenarioCache::get_or_compute`] call failed.
@@ -68,6 +85,11 @@ pub struct StatsSnapshot {
     /// (e.g. a challenge ingest publishing an incrementally refreshed
     /// view) rather than through a cache miss.
     pub inserts: u64,
+    /// Misses satisfied by promoting a spilled entry from the disk
+    /// tier instead of recomputing.
+    pub disk_hits: u64,
+    /// Evicted entries offered to the disk tier.
+    pub spills: u64,
 }
 
 #[derive(Default)]
@@ -78,6 +100,8 @@ struct CacheStats {
     join_timeouts: AtomicU64,
     evictions: AtomicU64,
     inserts: AtomicU64,
+    disk_hits: AtomicU64,
+    spills: AtomicU64,
 }
 
 enum FlightState<V> {
@@ -112,6 +136,7 @@ pub struct ScenarioCache<K, V> {
     capacity: usize,
     inner: Mutex<Inner<K, V>>,
     stats: CacheStats,
+    spill: Option<Arc<dyn SpillHook<K, V>>>,
 }
 
 /// Marks the flight failed if the computing closure panics, so joiners
@@ -149,7 +174,17 @@ impl<K: Eq + Hash + Clone, V> ScenarioCache<K, V> {
                 tick: 0,
             }),
             stats: CacheStats::default(),
+            spill: None,
         }
+    }
+
+    /// Like [`ScenarioCache::new`], with a [`SpillHook`] backing the
+    /// LRU: evictions spill into the hook, and misses try
+    /// [`SpillHook::load`] before recomputing.
+    pub fn with_spill(capacity: usize, hook: Arc<dyn SpillHook<K, V>>) -> ScenarioCache<K, V> {
+        let mut cache = ScenarioCache::new(capacity);
+        cache.spill = Some(hook);
+        cache
     }
 
     /// Returns the cached value for `key`, or computes it.
@@ -190,9 +225,9 @@ impl<K: Eq + Hash + Clone, V> ScenarioCache<K, V> {
                     done: Condvar::new(),
                 });
                 inner.pending.insert(key.clone(), Arc::clone(&flight));
-                self.stats.misses.fetch_add(1, Ordering::Relaxed);
-                caf_obs::count("caf.serve.cache.misses", 1);
                 drop(inner);
+                // Miss vs disk-hit is decided inside the flight, after
+                // the disk tier has had its chance.
                 return self.run_flight(key, flight, compute);
             }
         };
@@ -218,19 +253,26 @@ impl<K: Eq + Hash + Clone, V> ScenarioCache<K, V> {
             flight: Arc::clone(&flight),
             armed: true,
         };
+        // Second chance before recomputing: a previously evicted entry
+        // may be sitting in the disk tier. The load runs with the
+        // flight registered (joiners queue on it either way) and the
+        // guard armed, so a panicking hook still fails joiners cleanly.
+        if let Some(hook) = &self.spill {
+            if let Some(value) = hook.load(&guard.key) {
+                guard.armed = false;
+                self.stats.disk_hits.fetch_add(1, Ordering::Relaxed);
+                caf_obs::count("caf.serve.cache.disk_hits", 1);
+                let value = self.land_flight(&guard.key, &flight, value);
+                return Ok((value, CacheOutcome::DiskHit));
+            }
+        }
+        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        caf_obs::count("caf.serve.cache.misses", 1);
         let result = compute();
         guard.armed = false;
         match result {
             Ok(value) => {
-                let value = Arc::new(value);
-                let mut inner = self.inner.lock().unwrap();
-                inner.pending.remove(&guard.key);
-                self.insert_ready(&mut inner, guard.key.clone(), Arc::clone(&value));
-                drop(inner);
-                let mut state = flight.state.lock().unwrap();
-                *state = FlightState::Done(Arc::clone(&value));
-                drop(state);
-                flight.done.notify_all();
+                let value = self.land_flight(&guard.key, &flight, value);
                 Ok((value, CacheOutcome::Miss))
             }
             Err(message) => {
@@ -246,6 +288,34 @@ impl<K: Eq + Hash + Clone, V> ScenarioCache<K, V> {
         }
     }
 
+    /// Publishes a flight's value: installs the ready entry, clears the
+    /// pending slot, wakes joiners, then spills whatever the LRU cap
+    /// evicted (outside the cache lock, since spilling may do I/O).
+    fn land_flight(&self, key: &K, flight: &Flight<V>, value: V) -> Arc<V> {
+        let value = Arc::new(value);
+        let mut inner = self.inner.lock().unwrap();
+        inner.pending.remove(key);
+        let evicted = self.insert_ready(&mut inner, key.clone(), Arc::clone(&value));
+        drop(inner);
+        let mut state = flight.state.lock().unwrap();
+        *state = FlightState::Done(Arc::clone(&value));
+        drop(state);
+        flight.done.notify_all();
+        self.spill_evicted(evicted);
+        value
+    }
+
+    /// Offers evicted entries to the spill hook, if one is configured.
+    /// Must be called with the cache lock released.
+    fn spill_evicted(&self, evicted: Vec<(K, Arc<V>)>) {
+        let Some(hook) = &self.spill else { return };
+        for (key, value) in evicted {
+            hook.spill(&key, &value);
+            self.stats.spills.fetch_add(1, Ordering::Relaxed);
+            caf_obs::count("caf.serve.cache.spills", 1);
+        }
+    }
+
     /// Materializes `value` for `key` directly, as if a computation for
     /// it had just finished: the entry becomes the most recently used
     /// and LRU eviction applies. Used by producers that *already hold*
@@ -257,15 +327,19 @@ impl<K: Eq + Hash + Clone, V> ScenarioCache<K, V> {
     pub fn insert(&self, key: K, value: V) -> Arc<V> {
         let value = Arc::new(value);
         let mut inner = self.inner.lock().unwrap();
-        self.insert_ready(&mut inner, key, Arc::clone(&value));
+        let evicted = self.insert_ready(&mut inner, key, Arc::clone(&value));
         self.stats.inserts.fetch_add(1, Ordering::Relaxed);
         caf_obs::count("caf.serve.cache.inserts", 1);
+        drop(inner);
+        self.spill_evicted(evicted);
         value
     }
 
     /// Installs a ready entry at the current tick and enforces the LRU
     /// cap (shared by [`ScenarioCache::insert`] and the miss path).
-    fn insert_ready(&self, inner: &mut Inner<K, V>, key: K, value: Arc<V>) {
+    /// Returns the entries the cap pushed out so the caller can offer
+    /// them to the spill hook *after* releasing the cache lock.
+    fn insert_ready(&self, inner: &mut Inner<K, V>, key: K, value: Arc<V>) -> Vec<(K, Arc<V>)> {
         inner.tick += 1;
         let tick = inner.tick;
         inner.ready.insert(
@@ -275,6 +349,7 @@ impl<K: Eq + Hash + Clone, V> ScenarioCache<K, V> {
                 last_used: tick,
             },
         );
+        let mut evicted = Vec::new();
         while inner.ready.len() > self.capacity {
             let oldest = inner
                 .ready
@@ -282,11 +357,13 @@ impl<K: Eq + Hash + Clone, V> ScenarioCache<K, V> {
                 .min_by_key(|(_, entry)| entry.last_used)
                 .map(|(k, _)| k.clone())
                 .expect("non-empty map over capacity");
-            inner.ready.remove(&oldest);
+            let entry = inner.ready.remove(&oldest).expect("oldest key present");
+            evicted.push((oldest, entry.value));
             self.stats.evictions.fetch_add(1, Ordering::Relaxed);
             caf_obs::count("caf.serve.cache.evictions", 1);
         }
         caf_obs::gauge("caf.serve.cache.size", inner.ready.len() as u64);
+        evicted
     }
 
     fn join_flight(
@@ -339,6 +416,18 @@ impl<K: Eq + Hash + Clone, V> ScenarioCache<K, V> {
         self.inner.lock().unwrap().ready.contains_key(key)
     }
 
+    /// Every currently ready entry, most-recently-used last. Used by
+    /// the snapshot writer to persist warm cache contents.
+    pub fn ready_entries(&self) -> Vec<(K, Arc<V>)> {
+        let inner = self.inner.lock().unwrap();
+        let mut entries: Vec<(&K, &ReadyEntry<V>)> = inner.ready.iter().collect();
+        entries.sort_by_key(|(_, entry)| entry.last_used);
+        entries
+            .into_iter()
+            .map(|(key, entry)| (key.clone(), Arc::clone(&entry.value)))
+            .collect()
+    }
+
     /// An exact snapshot of every outcome counter.
     pub fn stats(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -348,6 +437,8 @@ impl<K: Eq + Hash + Clone, V> ScenarioCache<K, V> {
             join_timeouts: self.stats.join_timeouts.load(Ordering::Relaxed),
             evictions: self.stats.evictions.load(Ordering::Relaxed),
             inserts: self.stats.inserts.load(Ordering::Relaxed),
+            disk_hits: self.stats.disk_hits.load(Ordering::Relaxed),
+            spills: self.stats.spills.load(Ordering::Relaxed),
         }
     }
 }
@@ -424,12 +515,19 @@ mod tests {
         assert_eq!(*leader_value, 42);
         for joiner in joiners {
             let (value, outcome) = joiner.join().unwrap();
-            assert_eq!(outcome, CacheOutcome::Joined);
+            // A joiner that is scheduled only after the leader lands
+            // sees a plain Hit; either way it must share the leader's
+            // Arc and must never have computed.
+            assert!(
+                matches!(outcome, CacheOutcome::Joined | CacheOutcome::Hit),
+                "unexpected joiner outcome {outcome:?}"
+            );
             assert!(Arc::ptr_eq(&value, &leader_value));
         }
         assert_eq!(computed.load(Ordering::SeqCst), 1);
         let stats = cache.stats();
-        assert_eq!((stats.misses, stats.joins, stats.hits), (1, 8, 0));
+        assert_eq!(stats.misses, 1, "single-flight broken: {stats:?}");
+        assert_eq!(stats.joins + stats.hits, 8, "{stats:?}");
     }
 
     #[test]
@@ -513,6 +611,73 @@ mod tests {
         assert!(!cache.contains(&1) && cache.contains(&2) && cache.contains(&3));
         let stats = cache.stats();
         assert_eq!((stats.inserts, stats.evictions, stats.hits), (3, 1, 1));
+    }
+
+    /// An in-memory stand-in for the disk tier: spills into a map,
+    /// loads back out of it.
+    struct MapSpill {
+        store: Mutex<HashMap<u32, u32>>,
+    }
+
+    impl SpillHook<u32, u32> for MapSpill {
+        fn spill(&self, key: &u32, value: &u32) {
+            self.store.lock().unwrap().insert(*key, *value);
+        }
+        fn load(&self, key: &u32) -> Option<u32> {
+            self.store.lock().unwrap().get(key).copied()
+        }
+    }
+
+    #[test]
+    fn evicted_entries_spill_and_promote_as_disk_hits() {
+        let hook = Arc::new(MapSpill {
+            store: Mutex::new(HashMap::new()),
+        });
+        let cache: ScenarioCache<u32, u32> =
+            ScenarioCache::with_spill(1, Arc::clone(&hook) as Arc<dyn SpillHook<u32, u32>>);
+        let fill = |key: u32| cache.get_or_compute(key, LONG, || Ok(key * 10)).unwrap();
+        assert_eq!(fill(1).1, CacheOutcome::Miss);
+        assert_eq!(fill(2).1, CacheOutcome::Miss); // evicts + spills 1
+        assert!(!cache.contains(&1));
+        assert_eq!(hook.store.lock().unwrap().get(&1), Some(&10));
+        // Re-requesting 1 promotes it from the tier without recomputing
+        // (the compute closure must never run), evicting + spilling 2.
+        let (value, outcome) = cache
+            .get_or_compute(1, LONG, || unreachable!("promoted, not recomputed"))
+            .unwrap();
+        assert_eq!((*value, outcome), (10, CacheOutcome::DiskHit));
+        assert!(cache.contains(&1) && !cache.contains(&2));
+        assert_eq!(hook.store.lock().unwrap().get(&2), Some(&20));
+        let stats = cache.stats();
+        assert_eq!((stats.misses, stats.disk_hits, stats.spills), (2, 1, 2));
+        // A disk hit lands in the ready map like any other entry.
+        let (again, outcome) = cache.get_or_compute(1, LONG, || unreachable!()).unwrap();
+        assert_eq!(outcome, CacheOutcome::Hit);
+        assert!(Arc::ptr_eq(&again, &value));
+    }
+
+    #[test]
+    fn direct_inserts_spill_their_evictions_too() {
+        let hook = Arc::new(MapSpill {
+            store: Mutex::new(HashMap::new()),
+        });
+        let cache: ScenarioCache<u32, u32> =
+            ScenarioCache::with_spill(1, Arc::clone(&hook) as Arc<dyn SpillHook<u32, u32>>);
+        cache.insert(7, 70);
+        cache.insert(8, 80);
+        assert_eq!(hook.store.lock().unwrap().get(&7), Some(&70));
+        assert_eq!(cache.stats().spills, 1);
+    }
+
+    #[test]
+    fn ready_entries_are_ordered_oldest_first() {
+        let cache: ScenarioCache<u32, u32> = ScenarioCache::new(4);
+        cache.insert(1, 10);
+        cache.insert(2, 20);
+        // Touch 1 so it becomes the most recently used.
+        cache.get_or_compute(1, LONG, || unreachable!()).unwrap();
+        let keys: Vec<u32> = cache.ready_entries().into_iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![2, 1]);
     }
 
     #[test]

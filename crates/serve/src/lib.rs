@@ -30,6 +30,19 @@
 //! an immediate `503` instead of queueing unboundedly, and
 //! single-flight joiners time out (also `503`) rather than waiting
 //! forever on a stuck computation.
+//!
+//! Two persistence layers extend the cache beyond process lifetime and
+//! RAM (both built on the `caf-snap` container format):
+//!
+//! * [`snapshot`] — versioned world snapshots on disk. With
+//!   `--snapshot-dir`, the server writes a snapshot after each epoch
+//!   advance and restores the newest compatible one at startup,
+//!   serving its first byte-identical response in milliseconds instead
+//!   of rebuilding the world.
+//! * [`tier`] — a disk LRU tier under the in-memory cache. Evicted
+//!   ready entries spill to disk keyed by scenario + epoch and are
+//!   promoted back on the next request, so the working set can exceed
+//!   the in-memory capacity without paying recomputation.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,6 +52,8 @@ pub mod client;
 pub mod http;
 pub mod scenario;
 pub mod server;
+pub mod snapshot;
+pub mod tier;
 
 pub use cache::{CacheOutcome, ScenarioCache};
 pub use http::{Request, Response};

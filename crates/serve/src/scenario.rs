@@ -34,10 +34,26 @@
 //! Conditional GETs: every `/v1/*` artifact response carries a
 //! deterministic FNV-1a `ETag`; a request presenting it back via
 //! `If-None-Match` is answered `304 Not Modified` with no body.
+//!
+//! ## Snapshots and the disk tier
+//!
+//! With [`AppConfig::snapshot_dir`] set, the app persists its state as
+//! `caf-snap` containers (see [`crate::snapshot`]): `POST /v1/snapshot`
+//! writes one synchronously, every accepted challenge batch writes one
+//! on a detached background thread, and startup restores the newest
+//! compatible snapshot. The restore is split for latency: warm cache
+//! views are decoded synchronously (milliseconds — the next `GET` is
+//! served from them without rebuilding the world), while the live
+//! world + challenge log decode on a background thread behind a
+//! condvar gate that epoch-dependent requests wait on. The same
+//! directory hosts the disk LRU tier (`tier/`): cache evictions spill
+//! there and are promoted back on demand, byte-identically.
 
-use crate::cache::{CacheError, CacheOutcome, ScenarioCache};
+use crate::cache::{CacheError, CacheOutcome, ScenarioCache, SpillHook};
 use crate::http::{Request, Response};
 use crate::server::Handler;
+use crate::snapshot::{self, SnapshotStatus, SECTION_LOG, SECTION_VIEWS, SECTION_WORLD};
+use crate::tier::DiskTier;
 use caf_bench::{campaign_config, Fixture};
 use caf_core::{
     artifact, Audit, AuditConfig, AuditDataset, AuditIndex, ComplianceAnalysis, EngineConfig,
@@ -46,12 +62,15 @@ use caf_core::{
 use caf_geo::UsState;
 use caf_obs::json::Json;
 use caf_obs::{FlightRecorder, Slo};
+use caf_snap::{write_atomic, Reader, Snap, SnapError, Snapshot, SnapshotBuilder, Writer};
 use caf_synth::challenge::deltas_from_jsonl;
 use caf_synth::{ChallengeDelta, Isp, SynthConfig, World};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant, SystemTime};
 
 /// Which pipeline a cache entry materializes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -79,6 +98,7 @@ struct ScenarioKey {
 /// scenario owns the only resident world.)
 struct Q12View {
     dataset: AuditDataset,
+    index: AuditIndex,
     serviceability: ServiceabilityAnalysis,
     compliance: ComplianceAnalysis,
 }
@@ -87,9 +107,31 @@ impl Q12View {
     fn from_fixture(fixture: Fixture) -> Q12View {
         Q12View {
             dataset: fixture.dataset,
+            index: fixture.index,
             serviceability: fixture.serviceability,
             compliance: fixture.compliance,
         }
+    }
+
+    /// Rebuilds a view from its serialized substrate. Only the dataset
+    /// and the columnar index are persisted; the derived analyses are
+    /// cheap linear passes over the index, so recomputing them on load
+    /// is faster than decoding them would be — and sidesteps
+    /// serializing their internals entirely.
+    fn from_parts(dataset: AuditDataset, index: AuditIndex) -> Result<Q12View, SnapError> {
+        if index.len() != dataset.rows.len() {
+            return Err(SnapError::Malformed(format!(
+                "index covers {} rows but dataset has {}",
+                index.len(),
+                dataset.rows.len()
+            )));
+        }
+        Ok(Q12View {
+            serviceability: ServiceabilityAnalysis::from_index(&index),
+            compliance: ComplianceAnalysis::from_index(&dataset, &index),
+            dataset,
+            index,
+        })
     }
 }
 
@@ -99,13 +141,231 @@ enum Bundle {
     Q3(Box<Q3Analysis>),
 }
 
+impl Bundle {
+    /// Serializes the bundle for the disk tier / snapshot `VIEWS`
+    /// section. Q1/Q2 persists `(dataset, index)`; Q3 persists the
+    /// analysis itself (its artifact reads every field).
+    fn encode_payload(&self, w: &mut Writer) {
+        match self {
+            Bundle::Q12(view) => {
+                w.put_u8(0);
+                // Rows and records dominate decode time, so they are
+                // written as independent byte chunks that restore can
+                // decode on parallel threads. The chunk split is a
+                // fixed constant — never derived from the runtime core
+                // count — so the encoded bytes stay identical across
+                // hosts and worker configurations.
+                put_chunked(w, &view.dataset.rows);
+                put_chunked(w, &view.dataset.records);
+                w.put_seq(&view.dataset.coverage);
+                w.put(&view.index);
+            }
+            Bundle::Q3(q3) => {
+                w.put_u8(1);
+                w.put(&**q3);
+            }
+        }
+    }
+
+    fn decode_payload(r: &mut Reader<'_>) -> Result<Bundle, SnapError> {
+        Ok(match r.u8()? {
+            0 => {
+                let rows = get_chunked(r)?;
+                let records = get_chunked(r)?;
+                let coverage = r.get_seq()?;
+                let dataset = AuditDataset {
+                    rows,
+                    records,
+                    coverage,
+                };
+                let index: AuditIndex = r.get()?;
+                Bundle::Q12(Box::new(Q12View::from_parts(dataset, index)?))
+            }
+            1 => Bundle::Q3(Box::new(r.get()?)),
+            other => {
+                return Err(SnapError::Malformed(format!(
+                    "bundle: unknown kind tag {other}"
+                )))
+            }
+        })
+    }
+}
+
+/// How many byte chunks [`put_chunked`] splits a sequence into. Fixed
+/// so encoded bytes are host-independent; 8 keeps per-chunk decode work
+/// worth a thread at serving scales without oversplitting tiny sets.
+const DECODE_CHUNKS: usize = 8;
+
+/// Writes `items` as a chunk-count-prefixed list of independently
+/// decodable byte blobs (each a standard `put_seq` encoding of its
+/// slice), enabling [`get_chunked`] to fan decode out across threads.
+fn put_chunked<T: Snap>(w: &mut Writer, items: &[T]) {
+    let chunk_len = items.len().div_ceil(DECODE_CHUNKS).max(1);
+    let chunks: Vec<&[T]> = items.chunks(chunk_len).collect();
+    w.put_u32(chunks.len() as u32);
+    for chunk in &chunks {
+        let mut inner = Writer::new();
+        inner.put_seq(chunk);
+        w.put_bytes(&inner.into_bytes());
+    }
+}
+
+/// Decodes a [`put_chunked`] sequence across a few scoped threads.
+/// Restore latency is the point of the snapshot subsystem, and chunk
+/// decode is its hot path. Thread spawns are ~50µs apiece — comparable
+/// to decoding a whole chunk — so chunks are striped over at most four
+/// workers (the calling thread takes the first stripe) instead of one
+/// thread per chunk. The workers borrow the payload; no extra copy.
+fn get_chunked<T: Snap + Send>(r: &mut Reader<'_>) -> Result<Vec<T>, SnapError> {
+    let count = r.u32()? as usize;
+    if count > 64 {
+        return Err(SnapError::Malformed(format!(
+            "chunked sequence: implausible chunk count {count}"
+        )));
+    }
+    let mut blobs = Vec::with_capacity(count);
+    for _ in 0..count {
+        blobs.push(r.bytes()?);
+    }
+    let decode_blob = |blob: &[u8]| -> Result<Vec<T>, SnapError> {
+        let mut r = Reader::new(blob);
+        let items: Vec<T> = r.get_seq()?;
+        r.finish()?;
+        Ok(items)
+    };
+    // Worker count is a runtime choice (it cannot affect the decoded
+    // value, only the wall clock), so sizing it to the host is safe —
+    // and on a single-core host spawning anything is pure overhead.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let workers = blobs.len().clamp(1, cores.min(4));
+    let mut results: Vec<Result<Vec<T>, SnapError>> =
+        blobs.iter().map(|_| Ok(Vec::new())).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (1..workers)
+            .map(|worker| {
+                let stripe: Vec<(usize, &[u8])> = blobs
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % workers == worker)
+                    .map(|(i, blob)| (i, *blob))
+                    .collect();
+                scope.spawn(move || {
+                    stripe
+                        .into_iter()
+                        .map(|(i, blob)| (i, decode_blob(blob)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for (i, blob) in blobs.iter().enumerate() {
+            if i % workers == 0 {
+                results[i] = decode_blob(blob);
+            }
+        }
+        for handle in handles {
+            for (i, result) in handle.join().expect("chunk decode thread") {
+                results[i] = result;
+            }
+        }
+    });
+    let mut items = Vec::new();
+    for result in results {
+        items.extend(result?);
+    }
+    Ok(items)
+}
+
 /// The live, epoch-versioned default scenario: the world of record, the
 /// incremental audit tracking it cell-by-cell, and the full delta log
 /// (the source of truth for rebuilding any historical epoch).
 struct Live {
     world: World,
-    inc: IncrementalAudit,
+    /// Built on first use: the fresh-boot path materializes it with the
+    /// world, but a snapshot restore leaves it `None` (building it is a
+    /// full audit — exactly the cost snapshots exist to avoid) and the
+    /// next challenge batch pays for it lazily.
+    inc: Option<IncrementalAudit>,
     log: Vec<ChallengeDelta>,
+}
+
+/// Blocks epoch-dependent requests while the background thread is still
+/// decoding the snapshot's world + challenge log. The gate starts open,
+/// closes for the duration of a restore, and reopens whether the decode
+/// succeeded or not (failure just means `live` stays empty — a 404 for
+/// historical epochs, exactly as on a cold boot).
+struct RestoreGate {
+    restoring: Mutex<bool>,
+    done: Condvar,
+}
+
+impl RestoreGate {
+    fn new() -> RestoreGate {
+        RestoreGate {
+            restoring: Mutex::new(false),
+            done: Condvar::new(),
+        }
+    }
+
+    fn begin(&self) {
+        *self.restoring.lock().unwrap() = true;
+    }
+
+    fn finish(&self) {
+        *self.restoring.lock().unwrap() = false;
+        self.done.notify_all();
+    }
+
+    fn wait(&self) {
+        let mut restoring = self.restoring.lock().unwrap();
+        while *restoring {
+            restoring = self.done.wait(restoring).unwrap();
+        }
+    }
+}
+
+/// Bridges cache evictions into the [`DiskTier`]: spilled bundles are
+/// serialized with [`Bundle::encode_payload`] under a key that carries
+/// the full scenario identity, and loads re-validate that identity
+/// against the tier file's header before decoding.
+struct TierSpill {
+    tier: Arc<DiskTier>,
+}
+
+/// The tier file key for a scenario: kind, seed, scale, epoch — the
+/// same identity the cache keys on, so a promoted entry is exactly the
+/// entry that was evicted.
+fn tier_key(key: &ScenarioKey) -> String {
+    let kind = match key.kind {
+        Kind::Q12 => "q12",
+        Kind::Q3 => "q3",
+    };
+    format!("{kind}-{:016x}-{}-{}", key.seed, key.scale, key.epoch)
+}
+
+impl SpillHook<ScenarioKey, Bundle> for TierSpill {
+    fn spill(&self, key: &ScenarioKey, bundle: &Bundle) {
+        let _span = caf_obs::span("snap.tier.spill");
+        let mut payload = Writer::new();
+        bundle.encode_payload(&mut payload);
+        self.tier.put(
+            &tier_key(key),
+            key.seed,
+            key.scale,
+            key.epoch,
+            &payload.into_bytes(),
+        );
+    }
+
+    fn load(&self, key: &ScenarioKey) -> Option<Bundle> {
+        let _span = caf_obs::span("snap.tier.load");
+        let payload = self
+            .tier
+            .load(&tier_key(key), key.seed, key.scale, key.epoch)?;
+        let mut r = Reader::new(&payload);
+        let bundle = Bundle::decode_payload(&mut r).ok()?;
+        r.finish().ok()?;
+        Some(bundle)
+    }
 }
 
 /// Tuning for [`App`].
@@ -133,6 +393,13 @@ pub struct AppConfig {
     /// Requests slower than this are always kept by the flight
     /// recorder; doubles as each route's SLO latency target.
     pub slow_ms: u64,
+    /// Directory for world snapshots and the disk tier. `None` (the
+    /// default) disables both: no files are written, evictions are
+    /// discarded, and every boot is a cold build.
+    pub snapshot_dir: Option<PathBuf>,
+    /// Spilled entries the disk tier retains (LRU deletion beyond
+    /// this). Only meaningful with `snapshot_dir` set.
+    pub disk_tier_capacity: usize,
 }
 
 impl Default for AppConfig {
@@ -146,6 +413,8 @@ impl Default for AppConfig {
             min_scale: 1,
             trace_capacity: 256,
             slow_ms: 500,
+            snapshot_dir: None,
+            disk_tier_capacity: 16,
         }
     }
 }
@@ -172,6 +441,7 @@ const ROUTES: &[(&str, &str, &str)] = &[
     ("/v1/table2", "serve.route.v1.table2", "v1.table2"),
     ("/v1/q3", "serve.route.v1.q3", "v1.q3"),
     ("/v1/challenge", "serve.route.v1.challenge", "v1.challenge"),
+    ("/v1/snapshot", "serve.route.v1.snapshot", "v1.snapshot"),
     (
         "/v1/debug/traces",
         "serve.route.debug.traces",
@@ -196,8 +466,19 @@ fn route_entry(path: &str) -> (&'static str, &'static str) {
 pub struct App {
     config: AppConfig,
     cache: ScenarioCache<ScenarioKey, Bundle>,
+    tier: Option<Arc<DiskTier>>,
     active_computes: Arc<AtomicUsize>,
-    live: Mutex<Option<Live>>,
+    live: Arc<Mutex<Option<Live>>>,
+    restore: Arc<RestoreGate>,
+    snap_status: SnapshotStatus,
+    /// At most one background snapshot write at a time; a batch that
+    /// lands while one is in flight skips its write (the next batch
+    /// will capture both).
+    snapshot_inflight: Arc<AtomicBool>,
+    /// Serializes all snapshot writes (background and `POST
+    /// /v1/snapshot`): two writers targeting the same epoch would race
+    /// on the same temp file.
+    snapshot_write_lock: Arc<Mutex<()>>,
     recorder: Arc<FlightRecorder>,
     /// One SLO per fixed route, keyed by span label.
     slos: BTreeMap<&'static str, Slo>,
@@ -214,9 +495,40 @@ impl Drop for ActiveGuard {
 }
 
 impl App {
-    /// Creates the application with the given tuning.
+    /// Creates the application with the given tuning. With
+    /// [`AppConfig::snapshot_dir`] set this also opens the disk tier
+    /// and restores the newest compatible snapshot: cache views are
+    /// installed synchronously (they are what makes the first request
+    /// fast), while the live world + challenge log decode on a
+    /// background thread behind [`RestoreGate`]. Any problem with the
+    /// snapshot — missing, truncated, corrupt, wrong version, wrong
+    /// scenario — degrades to a cold build, never to an error.
     pub fn new(config: AppConfig) -> App {
-        let cache = ScenarioCache::new(config.cache_capacity);
+        let tier = config.snapshot_dir.as_ref().and_then(|dir| {
+            match DiskTier::open(&dir.join("tier"), config.disk_tier_capacity) {
+                Ok(tier) => Some(Arc::new(tier)),
+                Err(error) => {
+                    eprintln!("caf-serve: disk tier disabled ({error})");
+                    None
+                }
+            }
+        });
+        let cache = match &tier {
+            Some(tier) => ScenarioCache::with_spill(
+                config.cache_capacity,
+                Arc::new(TierSpill {
+                    tier: Arc::clone(tier),
+                }) as Arc<dyn SpillHook<ScenarioKey, Bundle>>,
+            ),
+            None => ScenarioCache::new(config.cache_capacity),
+        };
+        let live: Arc<Mutex<Option<Live>>> = Arc::new(Mutex::new(None));
+        let restore = Arc::new(RestoreGate::new());
+        let snap_status = match &config.snapshot_dir {
+            Some(dir) => restore_snapshot(dir, &config, &cache, &live, &restore),
+            None => SnapshotStatus::default(),
+        };
+
         let slow_us = config.slow_ms.saturating_mul(1_000);
         let recorder = Arc::new(FlightRecorder::new(config.trace_capacity, slow_us));
         // Every route gets the same latency target (the slow-request
@@ -229,12 +541,22 @@ impl App {
         App {
             config,
             cache,
+            tier,
             active_computes: Arc::new(AtomicUsize::new(0)),
-            live: Mutex::new(None),
+            live,
+            restore,
+            snap_status,
+            snapshot_inflight: Arc::new(AtomicBool::new(false)),
+            snapshot_write_lock: Arc::new(Mutex::new(())),
             recorder,
             slos,
             started: Instant::now(),
         }
+    }
+
+    /// How this process started: cold, or restored from which snapshot.
+    pub fn snapshot_status(&self) -> &SnapshotStatus {
+        &self.snap_status
     }
 
     /// The flight recorder `/v1/debug/traces` reads; hand a clone to
@@ -250,18 +572,29 @@ impl App {
     }
 
     /// The live challenge epoch (0 until the first accepted batch).
+    /// While a snapshot's world is still decoding in the background,
+    /// this reports the snapshot's epoch — the epoch the server is
+    /// already answering cached reads at.
     pub fn live_epoch(&self) -> u64 {
         self.live
             .lock()
             .unwrap()
             .as_ref()
-            .map_or(0, |live| live.world.epoch)
+            .map_or(self.snap_status.epoch, |live| live.world.epoch)
     }
 
     /// `GET /healthz`: liveness plus staleness — the live challenge
-    /// epoch, process uptime, and cache occupancy, as canonical
+    /// epoch, process uptime, cache and disk-tier occupancy, and how
+    /// this process started (cold vs snapshot restore), as canonical
     /// (sorted-key) JSON.
     fn healthz_response(&self) -> Response {
+        let tier = self.tier.as_ref().map(|tier| tier.stats());
+        let snapshot_age_s = self.snap_status.mtime.and_then(|mtime| {
+            SystemTime::now()
+                .duration_since(mtime)
+                .ok()
+                .map(|age| age.as_secs())
+        });
         let mut body = Json::Obj(vec![
             (
                 "cache".to_string(),
@@ -273,7 +606,44 @@ impl App {
                     ("entries".to_string(), Json::UInt(self.cache.len() as u64)),
                 ]),
             ),
+            (
+                "disk_tier".to_string(),
+                Json::Obj(vec![
+                    (
+                        "bytes".to_string(),
+                        Json::UInt(tier.map_or(0, |stats| stats.bytes)),
+                    ),
+                    (
+                        "capacity".to_string(),
+                        Json::UInt(tier.map_or(0, |stats| stats.capacity as u64)),
+                    ),
+                    ("enabled".to_string(), Json::Bool(tier.is_some())),
+                    (
+                        "entries".to_string(),
+                        Json::UInt(tier.map_or(0, |stats| stats.entries as u64)),
+                    ),
+                ]),
+            ),
             ("epoch".to_string(), Json::UInt(self.live_epoch())),
+            (
+                "snapshot".to_string(),
+                Json::Obj(vec![
+                    (
+                        "age_s".to_string(),
+                        snapshot_age_s.map_or(Json::Null, Json::UInt),
+                    ),
+                    ("epoch".to_string(), Json::UInt(self.snap_status.epoch)),
+                    (
+                        "file".to_string(),
+                        self.snap_status.file.clone().map_or(Json::Null, Json::Str),
+                    ),
+                    ("loaded".to_string(), Json::Bool(self.snap_status.loaded)),
+                    (
+                        "restore_us".to_string(),
+                        Json::UInt(self.snap_status.restore_us),
+                    ),
+                ]),
+            ),
             ("status".to_string(), Json::Str("ok".to_string())),
             (
                 "uptime_s".to_string(),
@@ -382,6 +752,9 @@ impl App {
 
         let seed = self.config.default_seed;
         let scale = self.config.default_scale;
+        // A restored world may still be decoding; wait for the gate
+        // *before* taking the live lock (the installer takes it too).
+        self.restore.wait();
         let mut slot = self.live.lock().unwrap();
         if slot.is_none() {
             // First challenge: materialize the live scenario (one full
@@ -394,11 +767,26 @@ impl App {
             let inc = IncrementalAudit::build(self.audit_for(seed, scale), &world, engine);
             *slot = Some(Live {
                 world,
-                inc,
+                inc: Some(inc),
                 log: Vec::new(),
             });
         }
         let live = slot.as_mut().expect("just materialized");
+        if live.inc.is_none() {
+            // Snapshot-restored world: the incremental audit was not
+            // persisted (it is a full audit's worth of state); build it
+            // here, on the first batch that actually needs it. By the
+            // determinism contract, auditing the restored world at
+            // epoch E equals the audit a never-restarted server carried
+            // to epoch E incrementally.
+            let (engine, _guard) = self.compute_engine(self.config.engine);
+            let _span = caf_obs::span("serve.challenge.materialize");
+            live.inc = Some(IncrementalAudit::build(
+                self.audit_for(seed, scale),
+                &live.world,
+                engine,
+            ));
+        }
 
         let outcome = match live.world.apply_deltas(&deltas) {
             Ok(outcome) => outcome,
@@ -408,7 +796,10 @@ impl App {
         {
             let (engine, _guard) = self.compute_engine(self.config.engine);
             let _span = caf_obs::span("serve.challenge.refresh");
-            live.inc.refresh(&live.world, &outcome, engine);
+            live.inc
+                .as_mut()
+                .expect("materialized above")
+                .refresh(&live.world, &outcome, engine);
         }
         live.log.extend_from_slice(&deltas);
         caf_obs::count("caf.serve.challenge.batches", 1);
@@ -418,12 +809,13 @@ impl App {
 
         // Publish the refreshed view so reads at this epoch hit the
         // cache instead of rebuilding from scratch.
-        let dataset = live.inc.dataset();
+        let dataset = live.inc.as_ref().expect("materialized above").dataset();
         let index = AuditIndex::build_at(&dataset, live.world.epoch);
         let view = Q12View {
             serviceability: ServiceabilityAnalysis::from_index(&index),
             compliance: ComplianceAnalysis::from_index(&dataset, &index),
             dataset,
+            index,
         };
         let epoch = live.world.epoch;
         drop(slot);
@@ -436,6 +828,9 @@ impl App {
             },
             Bundle::Q12(Box::new(view)),
         );
+        // Persist the advanced world off the request path, so a crash
+        // after this response restarts at (or near) the new epoch.
+        self.spawn_snapshot_write();
 
         let mut body = Json::Obj(vec![
             ("applied".to_string(), Json::UInt(outcome.applied as u64)),
@@ -445,6 +840,89 @@ impl App {
         .to_compact();
         body.push('\n');
         Response::json(body.into_bytes())
+    }
+
+    /// Handles `POST /v1/snapshot`: writes a snapshot synchronously and
+    /// reports what was written. The synchronous form exists for
+    /// deterministic orchestration (CI snapshots then restarts); the
+    /// challenge path writes the same container in the background.
+    fn snapshot_response(&self) -> Response {
+        let Some(dir) = self.config.snapshot_dir.clone() else {
+            return Response::error(
+                400,
+                "snapshots are disabled; start the server with --snapshot-dir",
+            );
+        };
+        self.restore.wait();
+        let (world, log, epoch) = self.snapshot_source();
+        let views = self.cache.ready_entries();
+        let _write = self.snapshot_write_lock.lock().unwrap();
+        match write_snapshot_file(
+            &dir,
+            self.config.default_seed,
+            self.config.default_scale,
+            epoch,
+            world.as_ref(),
+            &log,
+            &views,
+        ) {
+            Ok((path, bytes)) => {
+                let file = path
+                    .file_name()
+                    .and_then(|n| n.to_str())
+                    .unwrap_or("snapshot")
+                    .to_string();
+                let mut body = Json::Obj(vec![
+                    ("bytes".to_string(), Json::UInt(bytes as u64)),
+                    ("epoch".to_string(), Json::UInt(epoch)),
+                    ("file".to_string(), Json::Str(file)),
+                ])
+                .to_compact();
+                body.push('\n');
+                Response::json(body.into_bytes())
+            }
+            Err(error) => Response::error(500, &format!("snapshot write failed: {error}")),
+        }
+    }
+
+    /// Clones what a snapshot captures: the live world + delta log (if
+    /// materialized) and the current epoch. Clone-then-release keeps
+    /// the serialization work off the live lock.
+    fn snapshot_source(&self) -> (Option<World>, Vec<ChallengeDelta>, u64) {
+        let live = self.live.lock().unwrap();
+        match live.as_ref() {
+            Some(live) => (Some(live.world.clone()), live.log.clone(), live.world.epoch),
+            None => (None, Vec::new(), 0),
+        }
+    }
+
+    /// Writes a snapshot on a detached background thread, at most one
+    /// at a time — a batch landing mid-write skips its snapshot (the
+    /// next write captures the newer epoch anyway).
+    fn spawn_snapshot_write(&self) {
+        let Some(dir) = self.config.snapshot_dir.clone() else {
+            return;
+        };
+        if self.snapshot_inflight.swap(true, Ordering::SeqCst) {
+            caf_obs::count("caf.snap.write_skipped", 1);
+            return;
+        }
+        let (world, log, epoch) = self.snapshot_source();
+        let views = self.cache.ready_entries();
+        let seed = self.config.default_seed;
+        let scale = self.config.default_scale;
+        let inflight = Arc::clone(&self.snapshot_inflight);
+        let write_lock = Arc::clone(&self.snapshot_write_lock);
+        std::thread::spawn(move || {
+            let _write = write_lock.lock().unwrap();
+            if let Err(error) =
+                write_snapshot_file(&dir, seed, scale, epoch, world.as_ref(), &log, &views)
+            {
+                eprintln!("caf-serve: background snapshot write failed: {error}");
+                caf_obs::count("caf.snap.write_errors", 1);
+            }
+            inflight.store(false, Ordering::SeqCst);
+        });
     }
 
     fn scenario_response(&self, route: &str, request: &Request) -> Response {
@@ -481,6 +959,9 @@ impl App {
         let deltas: Vec<ChallengeDelta> = if params.epoch == 0 {
             Vec::new()
         } else {
+            // Historical epochs need the live world (for the delta-log
+            // prefix); a restored one may still be decoding.
+            self.restore.wait();
             let live = self.live.lock().unwrap();
             match live.as_ref() {
                 Some(live) if live.world.epoch >= params.epoch => {
@@ -542,6 +1023,7 @@ impl App {
                         CacheOutcome::Hit => "hit",
                         CacheOutcome::Miss => "miss",
                         CacheOutcome::Joined => "join",
+                        CacheOutcome::DiskHit => "disk_hit",
                     },
                 );
                 bundle
@@ -577,6 +1059,221 @@ impl App {
         }
         Response::json(bytes.into_bytes()).with_header("ETag", etag)
     }
+}
+
+/// Restores the newest compatible snapshot from `dir`, if any: views
+/// into `cache` synchronously, the world + log onto a background
+/// thread that installs `live` and then opens `gate`. Returns the
+/// status `/healthz` reports. Every failure path prints one line and
+/// returns a cold status — a bad snapshot must never take the server
+/// down or slow it below a plain cold boot.
+fn restore_snapshot(
+    dir: &Path,
+    config: &AppConfig,
+    cache: &ScenarioCache<ScenarioKey, Bundle>,
+    live: &Arc<Mutex<Option<Live>>>,
+    gate: &Arc<RestoreGate>,
+) -> SnapshotStatus {
+    if let Err(error) = fs::create_dir_all(dir) {
+        eprintln!("caf-serve: cannot create snapshot dir {dir:?} ({error}); snapshots disabled");
+        return SnapshotStatus::default();
+    }
+    let Some((path, epoch)) = snapshot::find_newest(dir, config.default_seed, config.default_scale)
+    else {
+        return SnapshotStatus::default();
+    };
+    let started = Instant::now();
+    let _span = caf_obs::span("snap.restore");
+    let bytes = match fs::read(&path) {
+        Ok(bytes) => bytes,
+        Err(error) => {
+            eprintln!("caf-serve: snapshot {path:?} unreadable ({error}); cold build");
+            return SnapshotStatus::default();
+        }
+    };
+    let parsed = match Snapshot::parse(&bytes) {
+        Ok(parsed) => parsed,
+        Err(error) => {
+            eprintln!("caf-serve: snapshot {path:?} rejected ({error:?}); cold build");
+            caf_obs::count("caf.snap.restore_rejected", 1);
+            return SnapshotStatus::default();
+        }
+    };
+    let views = match parsed.section(SECTION_VIEWS).map(decode_views) {
+        Some(Ok(views)) => views,
+        Some(Err(error)) => {
+            eprintln!("caf-serve: snapshot {path:?} views invalid ({error:?}); cold build");
+            caf_obs::count("caf.snap.restore_rejected", 1);
+            return SnapshotStatus::default();
+        }
+        None => Vec::new(),
+    };
+    for (key, bundle) in views {
+        cache.insert(key, bundle);
+    }
+
+    // The world is only needed for epoch-dependent requests (historical
+    // reads, the next challenge batch); decode it off the startup path
+    // so restart-to-first-200 stays view-decode fast. Moving the file
+    // buffer (with the section ranges lifted out of the parse borrow)
+    // keeps the multi-megabyte world payload from being copied on the
+    // synchronous path.
+    let world_range = parsed.section_range(SECTION_WORLD);
+    let log_range = parsed.section_range(SECTION_LOG);
+    drop(parsed);
+    if let Some(world_range) = world_range {
+        let live = Arc::clone(live);
+        let gate_bg = Arc::clone(gate);
+        gate.begin();
+        std::thread::spawn(move || {
+            let _span = caf_obs::span("snap.restore.world");
+            let log_bytes = log_range.map(|range| &bytes[range]);
+            match decode_live(&bytes[world_range], log_bytes, epoch) {
+                Ok(restored) => {
+                    *live.lock().unwrap() = Some(restored);
+                    caf_obs::gauge("caf.serve.challenge.epoch", epoch);
+                }
+                Err(error) => {
+                    eprintln!(
+                        "caf-serve: snapshot world section invalid ({error:?}); \
+                         historical epochs unavailable until rebuilt"
+                    );
+                    caf_obs::count("caf.snap.restore_rejected", 1);
+                }
+            }
+            // Open the gate after installing (or giving up), never
+            // before: waiters must observe the final state.
+            gate_bg.finish();
+        });
+    }
+
+    let restore_us = started.elapsed().as_micros() as u64;
+    caf_obs::gauge("caf.snap.restore_us", restore_us);
+    caf_obs::count("caf.snap.restores", 1);
+    let file = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .map(str::to_string);
+    println!(
+        "restored snapshot {} (epoch {epoch}) in {:.1} ms",
+        file.as_deref().unwrap_or("?"),
+        restore_us as f64 / 1_000.0
+    );
+    SnapshotStatus {
+        loaded: true,
+        epoch,
+        restore_us,
+        file,
+        mtime: fs::metadata(&path).ok().and_then(|m| m.modified().ok()),
+    }
+}
+
+/// Decodes the `VIEWS` section: a counted sequence of
+/// `(kind, seed, scale, epoch, payload)` cache entries.
+fn decode_views(bytes: &[u8]) -> Result<Vec<(ScenarioKey, Bundle)>, SnapError> {
+    let mut r = Reader::new(bytes);
+    let count = r.u32()?;
+    let mut views = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let kind = match r.u8()? {
+            0 => Kind::Q12,
+            1 => Kind::Q3,
+            other => {
+                return Err(SnapError::Malformed(format!(
+                    "views: unknown kind tag {other}"
+                )))
+            }
+        };
+        let key = ScenarioKey {
+            kind,
+            seed: r.u64()?,
+            scale: r.u32()?,
+            epoch: r.u64()?,
+        };
+        let payload = r.bytes()?;
+        let mut pr = Reader::new(payload);
+        let bundle = Bundle::decode_payload(&mut pr)?;
+        pr.finish()?;
+        views.push((key, bundle));
+    }
+    r.finish()?;
+    Ok(views)
+}
+
+/// Decodes the `WORLD` (+ optional `LOG`) sections into a [`Live`]
+/// slot, cross-checking that the world's epoch matches both the header
+/// and the log length — a snapshot whose pieces disagree is corrupt
+/// even if every checksum passed.
+fn decode_live(
+    world_bytes: &[u8],
+    log_bytes: Option<&[u8]>,
+    expected_epoch: u64,
+) -> Result<Live, SnapError> {
+    let mut r = Reader::new(world_bytes);
+    let world: World = r.get()?;
+    r.finish()?;
+    let log: Vec<ChallengeDelta> = match log_bytes {
+        Some(bytes) => {
+            let mut r = Reader::new(bytes);
+            let log = r.get_seq()?;
+            r.finish()?;
+            log
+        }
+        None => Vec::new(),
+    };
+    if world.epoch != expected_epoch || log.len() as u64 != world.epoch {
+        return Err(SnapError::Malformed(format!(
+            "epoch disagreement: header {expected_epoch}, world {}, log length {}",
+            world.epoch,
+            log.len()
+        )));
+    }
+    Ok(Live {
+        world,
+        inc: None,
+        log,
+    })
+}
+
+/// Serializes the app's state as a snapshot container and writes it
+/// atomically as `world-<seed>-<scale>-<epoch>.snap` under `dir`.
+/// Returns the path and the container size in bytes.
+fn write_snapshot_file(
+    dir: &Path,
+    seed: u64,
+    scale: u32,
+    epoch: u64,
+    world: Option<&World>,
+    log: &[ChallengeDelta],
+    views: &[(ScenarioKey, Arc<Bundle>)],
+) -> std::io::Result<(PathBuf, usize)> {
+    let _span = caf_obs::span("snap.write");
+    let mut builder = SnapshotBuilder::new(seed, scale, epoch);
+    if let Some(world) = world {
+        builder.section(SECTION_WORLD, |w| w.put(world));
+        builder.section(SECTION_LOG, |w| w.put_seq(log));
+    }
+    builder.section(SECTION_VIEWS, |w| {
+        w.put_u32(views.len() as u32);
+        for (key, bundle) in views {
+            w.put_u8(match key.kind {
+                Kind::Q12 => 0,
+                Kind::Q3 => 1,
+            });
+            w.put_u64(key.seed);
+            w.put_u32(key.scale);
+            w.put_u64(key.epoch);
+            let mut payload = Writer::new();
+            bundle.encode_payload(&mut payload);
+            w.put_bytes(&payload.into_bytes());
+        }
+    });
+    let bytes = builder.finish();
+    let path = dir.join(snapshot::file_name(seed, scale, epoch));
+    write_atomic(&path, &bytes)?;
+    caf_obs::count("caf.snap.writes", 1);
+    caf_obs::gauge("caf.snap.last_write_bytes", bytes.len() as u64);
+    Ok((path, bytes.len()))
 }
 
 /// Whether the request's `If-None-Match` header matches `etag` (exact
@@ -711,13 +1408,20 @@ impl Handler for App {
 impl App {
     fn dispatch(&self, label: &'static str, request: &Request) -> Response {
         let _span = caf_obs::span(label);
-        // The challenge ingest is the only POST endpoint; everything
-        // else is read-only.
+        // The challenge ingest and snapshot trigger are the only POST
+        // endpoints; everything else is read-only.
         if request.path == "/v1/challenge" {
             return if request.method == "POST" {
                 self.challenge_response(request)
             } else {
                 Response::error(405, "/v1/challenge accepts POST only")
+            };
+        }
+        if request.path == "/v1/snapshot" {
+            return if request.method == "POST" {
+                self.snapshot_response()
+            } else {
+                Response::error(405, "/v1/snapshot accepts POST only")
             };
         }
         if request.method != "GET" {
@@ -862,11 +1566,36 @@ mod tests {
             parsed.get("uptime_s").and_then(|j| j.as_u64()).is_some(),
             "{body}"
         );
+        // No snapshot dir: cold start, tier disabled, but the schema is
+        // always present.
+        assert_eq!(
+            parsed
+                .get("snapshot")
+                .and_then(|s| s.get("loaded"))
+                .and_then(|j| j.as_bool()),
+            Some(false),
+            "{body}"
+        );
+        assert_eq!(
+            parsed
+                .get("disk_tier")
+                .and_then(|t| t.get("enabled"))
+                .and_then(|j| j.as_bool()),
+            Some(false),
+            "{body}"
+        );
         // Canonical JSON: object keys appear in sorted order.
-        let key_order: Vec<usize> = ["\"cache\"", "\"epoch\"", "\"status\"", "\"uptime_s\""]
-            .iter()
-            .map(|key| body.find(key).expect(key))
-            .collect();
+        let key_order: Vec<usize> = [
+            "\"cache\"",
+            "\"disk_tier\"",
+            "\"epoch\"",
+            "\"snapshot\"",
+            "\"status\"",
+            "\"uptime_s\"",
+        ]
+        .iter()
+        .map(|key| body.find(key).expect(key))
+        .collect();
         assert!(key_order.windows(2).all(|w| w[0] < w[1]), "{body}");
         let quit = app.handle(&request("/quitquitquit", &[]));
         assert_eq!((quit.status, quit.shutdown), (200, true));
@@ -1012,5 +1741,248 @@ mod tests {
             .headers
             .push(("if-none-match".to_string(), format!("\"x\", {etag}")));
         assert_eq!(app.handle(&wildcard).status, 304);
+    }
+
+    fn snap_temp_dir(label: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("caf-servesnap-{label}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// A delta guaranteed valid in the default world at this scale.
+    fn valid_delta(seed: u64, scale: u32, rate_ppm: u32) -> ChallengeDelta {
+        let probe = World::generate_states(SynthConfig { seed, scale }, &UsState::study_states());
+        ChallengeDelta {
+            state: probe.states[0].state,
+            cbg: 0,
+            isp: probe.states[0].geography.cbgs[0].isp,
+            correction: Correction::Availability { rate_ppm },
+        }
+    }
+
+    /// Blocks until no background snapshot write is in flight, so tests
+    /// can safely drop the app and remove its snapshot directory.
+    fn wait_for_background_snapshot(app: &App) {
+        while app.snapshot_inflight.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// The tentpole contract end to end: snapshot, restart, and serve
+    /// byte-identical views with zero recomputation — at epoch 0 and a
+    /// post-challenge epoch, under both a serial and a multi-worker
+    /// engine — then keep ingesting challenges on the restored world.
+    #[test]
+    fn snapshot_restart_serves_byte_identical_views() {
+        let dir = snap_temp_dir("restart");
+        let config = |engine: EngineConfig| AppConfig {
+            default_scale: 2000,
+            engine,
+            snapshot_dir: Some(dir.clone()),
+            ..AppConfig::default()
+        };
+        let seed = AppConfig::default().default_seed;
+        let scale = 2000;
+        let delta = valid_delta(seed, scale, 50_000);
+
+        let app = App::new(config(EngineConfig::serial()));
+        assert!(!app.snapshot_status().loaded, "nothing to restore yet");
+        let before0 = app.handle(&request("/v1/table2", &[]));
+        assert_eq!(before0.status, 200);
+        let accepted = app.handle(&post("/v1/challenge", &(delta_to_json(&delta) + "\n")));
+        assert_eq!(
+            accepted.status,
+            200,
+            "{}",
+            String::from_utf8_lossy(&accepted.body)
+        );
+        let before1 = app.handle(&request("/v1/table2", &[("epoch", "1")]));
+        assert_eq!(before1.status, 200);
+        let snap = app.handle(&post("/v1/snapshot", ""));
+        assert_eq!(snap.status, 200, "{}", String::from_utf8_lossy(&snap.body));
+        let reply = caf_obs::json::parse(String::from_utf8(snap.body).unwrap().trim_end()).unwrap();
+        assert_eq!(reply.get("epoch").and_then(|j| j.as_u64()), Some(1));
+        wait_for_background_snapshot(&app);
+        drop(app);
+
+        // Serial restart: restored views serve byte-identically, with
+        // zero recomputation.
+        let app = App::new(config(EngineConfig::serial()));
+        assert!(app.snapshot_status().loaded, "snapshot must restore");
+        assert_eq!(app.snapshot_status().epoch, 1);
+        let after0 = app.handle(&request("/v1/table2", &[]));
+        assert_eq!(after0.status, 200);
+        assert_eq!(after0.body, before0.body, "epoch 0 bytes must match");
+        let after1 = app.handle(&request("/v1/table2", &[("epoch", "1")]));
+        assert_eq!(after1.status, 200);
+        assert_eq!(after1.body, before1.body, "epoch 1 bytes must match");
+        assert_eq!(
+            app.cache_stats().misses,
+            0,
+            "restored views must serve without recomputation"
+        );
+        let health = app.handle(&request("/healthz", &[]));
+        let parsed =
+            caf_obs::json::parse(String::from_utf8(health.body).unwrap().trim_end()).unwrap();
+        assert_eq!(parsed.get("epoch").and_then(|j| j.as_u64()), Some(1));
+        let snapshot_obj = parsed.get("snapshot").expect("snapshot key");
+        assert_eq!(
+            snapshot_obj.get("loaded").and_then(|j| j.as_bool()),
+            Some(true)
+        );
+        assert_eq!(snapshot_obj.get("epoch").and_then(|j| j.as_u64()), Some(1));
+
+        // Challenges continue across the restart: the incremental audit
+        // is rebuilt lazily on the restored world, and the result is
+        // byte-identical to a never-restarted from-scratch rebuild.
+        let delta2 = ChallengeDelta {
+            correction: Correction::Availability { rate_ppm: 75_000 },
+            ..delta
+        };
+        let accepted = app.handle(&post("/v1/challenge", &(delta_to_json(&delta2) + "\n")));
+        assert_eq!(
+            accepted.status,
+            200,
+            "{}",
+            String::from_utf8_lossy(&accepted.body)
+        );
+        assert_eq!(app.live_epoch(), 2);
+        let after2 = app.handle(&request("/v1/table2", &[("epoch", "2")]));
+        assert_eq!(after2.status, 200);
+        let fixture = Fixture::build_tuned_at(
+            seed,
+            scale,
+            &UsState::study_states(),
+            EngineConfig::serial(),
+            &[delta, delta2],
+        )
+        .unwrap();
+        let expected = artifact::to_canonical_bytes(
+            &ScenarioMeta::new(seed, scale)
+                .at_epoch(2)
+                .wrap(artifact::table2(&fixture.dataset)),
+        );
+        assert_eq!(after2.body, expected.into_bytes());
+        wait_for_background_snapshot(&app);
+        drop(app);
+
+        // A different worker count must restore the very same bytes
+        // (the snapshot is engine-independent by construction).
+        let app = App::new(config(EngineConfig::with_workers(4)));
+        assert!(app.snapshot_status().loaded);
+        let again0 = app.handle(&request("/v1/table2", &[]));
+        assert_eq!(again0.body, before0.body);
+        let again1 = app.handle(&request("/v1/table2", &[("epoch", "1")]));
+        assert_eq!(again1.body, before1.body);
+        assert_eq!(app.cache_stats().misses, 0);
+        wait_for_background_snapshot(&app);
+        drop(app);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Robustness: truncation, bit flips, unsupported versions, and
+    /// scenario mismatches must all degrade to a cold build that still
+    /// serves — never a panic, never wrong bytes.
+    #[test]
+    fn corrupt_or_mismatched_snapshots_fall_back_to_cold_build() {
+        let dir = snap_temp_dir("robust");
+        let config = AppConfig {
+            default_scale: 2000,
+            engine: EngineConfig::serial(),
+            snapshot_dir: Some(dir.clone()),
+            ..AppConfig::default()
+        };
+
+        // Seed a pristine epoch-0 snapshot through the API.
+        {
+            let app = App::new(config.clone());
+            assert_eq!(app.handle(&request("/v1/table2", &[])).status, 200);
+            assert_eq!(app.handle(&post("/v1/snapshot", "")).status, 200);
+        }
+        let path = dir.join(snapshot::file_name(config.default_seed, 2000, 0));
+        let pristine = fs::read(&path).unwrap();
+
+        // Truncated file: rejected at parse, and the server still
+        // serves via a cold compute.
+        fs::write(&path, &pristine[..pristine.len() / 2]).unwrap();
+        let app = App::new(config.clone());
+        assert!(!app.snapshot_status().loaded, "truncated must be rejected");
+        assert_eq!(app.handle(&request("/v1/table2", &[])).status, 200);
+
+        // A single flipped byte: the content hash catches it.
+        let mut flipped = pristine.clone();
+        let mid = flipped.len() - 10;
+        flipped[mid] ^= 0x01;
+        fs::write(&path, &flipped).unwrap();
+        let app = App::new(config.clone());
+        assert!(!app.snapshot_status().loaded, "bit flip must be rejected");
+
+        // An unsupported format version: skipped during discovery.
+        let mut wrong_version = pristine.clone();
+        wrong_version[8] = 0xff;
+        fs::write(&path, &wrong_version).unwrap();
+        let app = App::new(config.clone());
+        assert!(
+            !app.snapshot_status().loaded,
+            "future format version must be rejected"
+        );
+
+        // A snapshot for another scenario: ignored by discovery.
+        fs::write(&path, &pristine).unwrap();
+        let other = App::new(AppConfig {
+            default_scale: 2500,
+            ..config.clone()
+        });
+        assert!(
+            !other.snapshot_status().loaded,
+            "snapshot for a different scale must be ignored"
+        );
+
+        // Sanity: the pristine file does restore.
+        let app = App::new(config);
+        assert!(app.snapshot_status().loaded);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The disk tier under a capacity-1 cache: eviction spills, the
+    /// next request promotes the spilled entry byte-identically instead
+    /// of recomputing.
+    #[test]
+    fn disk_tier_promotes_evicted_scenarios_byte_identically() {
+        let dir = snap_temp_dir("tier");
+        let app = App::new(AppConfig {
+            default_scale: 2000,
+            engine: EngineConfig::serial(),
+            cache_capacity: 1,
+            snapshot_dir: Some(dir.clone()),
+            ..AppConfig::default()
+        });
+        let a1 = app.handle(&request("/v1/table2", &[]));
+        assert_eq!(a1.status, 200);
+        // A second scenario evicts the first from the one-slot cache,
+        // spilling it to disk.
+        let b = app.handle(&request("/v1/table2", &[("scale", "2500")]));
+        assert_eq!(b.status, 200);
+        let stats = app.cache_stats();
+        assert_eq!((stats.misses, stats.spills), (2, 1), "{stats:?}");
+        // The first scenario promotes from the tier: byte-identical,
+        // and no third computation.
+        let a2 = app.handle(&request("/v1/table2", &[]));
+        assert_eq!(a2.status, 200);
+        assert_eq!(a2.body, a1.body, "promoted bytes must equal computed bytes");
+        let stats = app.cache_stats();
+        assert_eq!((stats.misses, stats.disk_hits), (2, 1), "{stats:?}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_route_requires_configuration() {
+        let app = tiny_app();
+        let denied = app.handle(&post("/v1/snapshot", ""));
+        assert_eq!(denied.status, 400);
+        let body = String::from_utf8(denied.body).unwrap();
+        assert!(body.contains("--snapshot-dir"), "{body}");
+        assert_eq!(app.handle(&request("/v1/snapshot", &[])).status, 405);
     }
 }

@@ -33,6 +33,7 @@ pub mod geography;
 pub mod isp;
 pub mod params;
 pub mod q3;
+pub mod snap;
 pub mod truth;
 pub mod usac;
 pub mod world;

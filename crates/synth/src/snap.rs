@@ -1,0 +1,582 @@
+//! [`Snap`] codecs for the synthetic world: everything `caf-serve`
+//! persists to resume a live, epoch-versioned scenario without
+//! regenerating it.
+//!
+//! Two invariants matter here:
+//!
+//! * **Canonical encodings.** Hash-ordered collections (the truth
+//!   table) are sorted before encoding, so snapshotting the same world
+//!   twice produces byte-identical files — which is what lets the disk
+//!   tier and CI compare snapshots by content hash.
+//! * **Validated decoding.** Enum discriminants and cross-field
+//!   invariants are checked on the way in; a corrupt payload that
+//!   survives the container checksums still cannot materialize an
+//!   invalid world.
+
+use crate::challenge::{CellCorrections, ChallengeSet, Correction};
+use crate::geography::{BlockInfo, CbgInfo, StateGeography};
+use crate::params::{ErrorCategory, SynthConfig};
+use crate::plans::BroadbandPlan;
+use crate::q3::{LatentBlockType, Q3Address, Q3Block, Q3World};
+use crate::truth::{AddressTruth, TruthTable};
+use crate::usac::{CafRecord, Technology, UsacDataset};
+use crate::world::{StateWorld, World};
+use crate::Isp;
+use caf_snap::{Reader, Snap, SnapError, Writer};
+
+fn bad_tag(what: &str, tag: u8) -> SnapError {
+    SnapError::Malformed(format!("{what}: unknown tag {tag}"))
+}
+
+impl Snap for Isp {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(match self {
+            Isp::Att => 0,
+            Isp::CenturyLink => 1,
+            Isp::Frontier => 2,
+            Isp::Consolidated => 3,
+            Isp::Windstream => 4,
+            Isp::Xfinity => 5,
+            Isp::Spectrum => 6,
+        });
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.u8()? {
+            0 => Isp::Att,
+            1 => Isp::CenturyLink,
+            2 => Isp::Frontier,
+            3 => Isp::Consolidated,
+            4 => Isp::Windstream,
+            5 => Isp::Xfinity,
+            6 => Isp::Spectrum,
+            other => return Err(bad_tag("isp", other)),
+        })
+    }
+}
+
+impl Snap for ErrorCategory {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(match self {
+            ErrorCategory::SelectDropdown => 0,
+            ErrorCategory::AnalyzingResult => 1,
+            ErrorCategory::EmptyTraceback => 2,
+            ErrorCategory::ClickingButton => 3,
+            ErrorCategory::Other => 4,
+        });
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.u8()? {
+            0 => ErrorCategory::SelectDropdown,
+            1 => ErrorCategory::AnalyzingResult,
+            2 => ErrorCategory::EmptyTraceback,
+            3 => ErrorCategory::ClickingButton,
+            4 => ErrorCategory::Other,
+            other => return Err(bad_tag("error category", other)),
+        })
+    }
+}
+
+impl Snap for Technology {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(match self {
+            Technology::Dsl => 0,
+            Technology::Fiber => 1,
+            Technology::FixedWireless => 2,
+        });
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.u8()? {
+            0 => Technology::Dsl,
+            1 => Technology::Fiber,
+            2 => Technology::FixedWireless,
+            other => return Err(bad_tag("technology", other)),
+        })
+    }
+}
+
+impl Snap for LatentBlockType {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(match self {
+            LatentBlockType::TypeA => 0,
+            LatentBlockType::TypeB => 1,
+            LatentBlockType::TypeC => 2,
+            LatentBlockType::NoServedNonCaf => 3,
+        });
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.u8()? {
+            0 => LatentBlockType::TypeA,
+            1 => LatentBlockType::TypeB,
+            2 => LatentBlockType::TypeC,
+            3 => LatentBlockType::NoServedNonCaf,
+            other => return Err(bad_tag("latent block type", other)),
+        })
+    }
+}
+
+impl Snap for SynthConfig {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.seed);
+        w.put_u32(self.scale);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        let seed = r.u64()?;
+        let scale = r.u32()?;
+        if scale == 0 {
+            return Err(SnapError::Malformed("zero scale".to_string()));
+        }
+        Ok(SynthConfig { seed, scale })
+    }
+}
+
+impl Snap for BroadbandPlan {
+    fn encode(&self, w: &mut Writer) {
+        w.put_str(&self.name);
+        w.put(&self.download_mbps);
+        w.put(&self.upload_mbps);
+        w.put_f64(self.monthly_usd);
+        w.put_bool(self.speed_guaranteed);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(BroadbandPlan {
+            name: r.str()?,
+            download_mbps: r.get()?,
+            upload_mbps: r.get()?,
+            monthly_usd: r.f64()?,
+            speed_guaranteed: r.bool()?,
+        })
+    }
+}
+
+impl Snap for CafRecord {
+    fn encode(&self, w: &mut Writer) {
+        w.put(&self.address);
+        w.put(&self.isp);
+        w.put_f64(self.certified_down_mbps);
+        w.put_f64(self.certified_up_mbps);
+        w.put(&self.technology);
+        w.put_f64(self.latency_ms);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(CafRecord {
+            address: r.get()?,
+            isp: r.get()?,
+            certified_down_mbps: r.f64()?,
+            certified_up_mbps: r.f64()?,
+            technology: r.get()?,
+            latency_ms: r.f64()?,
+        })
+    }
+}
+
+impl Snap for UsacDataset {
+    fn encode(&self, w: &mut Writer) {
+        w.put(&self.state);
+        w.put_seq(&self.records);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        let state = r.get()?;
+        let records = r.get_seq()?;
+        // `assemble` rebuilds the derived per-cell row index, so the
+        // snapshot only carries the rows themselves.
+        Ok(UsacDataset::assemble(state, records))
+    }
+}
+
+impl Snap for AddressTruth {
+    fn encode(&self, w: &mut Writer) {
+        w.put_bool(self.served);
+        w.put_seq(&self.plans);
+        w.put_bool(self.existing_subscriber);
+        w.put_bool(self.hard_failure);
+        w.put_bool(self.ambiguous);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(AddressTruth {
+            served: r.bool()?,
+            plans: r.get_seq()?,
+            existing_subscriber: r.bool()?,
+            hard_failure: r.bool()?,
+            ambiguous: r.bool()?,
+        })
+    }
+}
+
+impl Snap for TruthTable {
+    fn encode(&self, w: &mut Writer) {
+        // The table is hash-ordered in memory; sort by key for a
+        // canonical byte stream.
+        let mut entries: Vec<_> = self.entries().collect();
+        entries.sort_by_key(|&(address, isp, _)| (address.0, isp));
+        w.put_u64(entries.len() as u64);
+        for (address, isp, truth) in entries {
+            w.put(&address);
+            w.put(&isp);
+            w.put(truth);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        let len = r.len_prefix()?;
+        let mut table = TruthTable::new();
+        for _ in 0..len {
+            let address = r.get()?;
+            let isp = r.get()?;
+            let truth = r.get()?;
+            table.insert(address, isp, truth);
+        }
+        Ok(table)
+    }
+}
+
+impl Snap for BlockInfo {
+    fn encode(&self, w: &mut Writer) {
+        w.put(&self.id);
+        w.put(&self.centroid);
+        w.put_u32(self.caf_addresses);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(BlockInfo {
+            id: r.get()?,
+            centroid: r.get()?,
+            caf_addresses: r.u32()?,
+        })
+    }
+}
+
+impl Snap for CbgInfo {
+    fn encode(&self, w: &mut Writer) {
+        w.put(&self.id);
+        w.put(&self.isp);
+        w.put(&self.centroid);
+        w.put_u32(self.population);
+        w.put_f64(self.density);
+        w.put_f64(self.density_pct);
+        w.put_u32(self.caf_addresses);
+        w.put_seq(&self.blocks);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(CbgInfo {
+            id: r.get()?,
+            isp: r.get()?,
+            centroid: r.get()?,
+            population: r.u32()?,
+            density: r.f64()?,
+            density_pct: r.f64()?,
+            caf_addresses: r.u32()?,
+            blocks: r.get_seq()?,
+        })
+    }
+}
+
+impl Snap for StateGeography {
+    fn encode(&self, w: &mut Writer) {
+        w.put(&self.state);
+        w.put_seq(&self.cbgs);
+        w.put_seq(&self.urban_centers);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(StateGeography {
+            state: r.get()?,
+            cbgs: r.get_seq()?,
+            urban_centers: r.get_seq()?,
+        })
+    }
+}
+
+impl Snap for Q3Address {
+    fn encode(&self, w: &mut Writer) {
+        w.put(&self.address);
+        w.put_bool(self.is_caf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(Q3Address {
+            address: r.get()?,
+            is_caf: r.bool()?,
+        })
+    }
+}
+
+impl Snap for Q3Block {
+    fn encode(&self, w: &mut Writer) {
+        w.put(&self.id);
+        w.put(&self.state);
+        w.put(&self.caf_isp);
+        w.put_seq(&self.competitors);
+        w.put(&self.latent_type);
+        w.put_seq(&self.addresses);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(Q3Block {
+            id: r.get()?,
+            state: r.get()?,
+            caf_isp: r.get()?,
+            competitors: r.get_seq()?,
+            latent_type: r.get()?,
+            addresses: r.get_seq()?,
+        })
+    }
+}
+
+impl Snap for Q3World {
+    fn encode(&self, w: &mut Writer) {
+        w.put(&self.state);
+        w.put_seq(&self.blocks);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(Q3World {
+            state: r.get()?,
+            blocks: r.get_seq()?,
+        })
+    }
+}
+
+impl Snap for Correction {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Correction::Availability { rate_ppm } => {
+                w.put_u8(0);
+                w.put_u32(*rate_ppm);
+            }
+            Correction::CertifiedTier { down_mbps, up_mbps } => {
+                w.put_u8(1);
+                w.put_u32(*down_mbps);
+                w.put_u32(*up_mbps);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.u8()? {
+            0 => Correction::Availability { rate_ppm: r.u32()? },
+            1 => Correction::CertifiedTier {
+                down_mbps: r.u32()?,
+                up_mbps: r.u32()?,
+            },
+            other => return Err(bad_tag("correction", other)),
+        })
+    }
+}
+
+impl Snap for crate::ChallengeDelta {
+    fn encode(&self, w: &mut Writer) {
+        w.put(&self.state);
+        w.put_usize(self.cbg);
+        w.put(&self.isp);
+        w.put(&self.correction);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(crate::ChallengeDelta {
+            state: r.get()?,
+            cbg: r.usize()?,
+            isp: r.get()?,
+            correction: r.get()?,
+        })
+    }
+}
+
+impl Snap for CellCorrections {
+    fn encode(&self, w: &mut Writer) {
+        w.put(&self.availability_ppm);
+        w.put(&self.certified);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(CellCorrections {
+            availability_ppm: r.get()?,
+            certified: r.get()?,
+        })
+    }
+}
+
+impl Snap for ChallengeSet {
+    fn encode(&self, w: &mut Writer) {
+        // BTreeMap iteration is already sorted — canonical as-is.
+        let cells: Vec<(u16, usize, CellCorrections)> = self
+            .iter()
+            .map(|(fips, cbg, cell)| (fips, cbg, *cell))
+            .collect();
+        w.put_seq(&cells);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        let cells: Vec<(u16, usize, CellCorrections)> = r.get_seq()?;
+        let mut set = ChallengeSet::new();
+        for (fips, cbg, cell) in cells {
+            set.insert_cell(fips, cbg, cell);
+        }
+        Ok(set)
+    }
+}
+
+impl Snap for StateWorld {
+    fn encode(&self, w: &mut Writer) {
+        w.put(&self.state);
+        w.put(&self.geography);
+        w.put(&self.usac);
+        w.put(&self.q3);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(StateWorld {
+            state: r.get()?,
+            geography: r.get()?,
+            usac: r.get()?,
+            q3: r.get()?,
+        })
+    }
+}
+
+impl Snap for World {
+    fn encode(&self, w: &mut Writer) {
+        w.put(&self.config);
+        w.put_seq(&self.states);
+        w.put(&self.truth);
+        w.put_u64(self.epoch);
+        w.put(&self.challenges);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        let world = World {
+            config: r.get()?,
+            states: r.get_seq()?,
+            truth: r.get()?,
+            epoch: r.u64()?,
+            challenges: r.get()?,
+        };
+        // An epoch-0 world must carry no corrections (and vice versa a
+        // corrected world must be past epoch 0) — a cheap cross-field
+        // check that catches section-splicing mistakes.
+        if world.epoch == 0 && !world.challenges.is_empty() {
+            return Err(SnapError::Malformed(
+                "epoch-0 world carries challenge corrections".to_string(),
+            ));
+        }
+        Ok(world)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ChallengeDelta;
+    use caf_geo::UsState;
+
+    fn round_trip_bytes<T: Snap>(value: &T) -> (Vec<u8>, T) {
+        let mut w = Writer::new();
+        w.put(value);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let decoded = r.get::<T>().unwrap();
+        r.finish().unwrap();
+        (bytes, decoded)
+    }
+
+    #[test]
+    fn world_round_trips_byte_identically() {
+        let config = SynthConfig {
+            seed: 0xCAF_2024,
+            scale: 4000,
+        };
+        let world = World::generate_states(config, &[UsState::Texas, UsState::Kansas]);
+        let (bytes, decoded) = round_trip_bytes(&world);
+        // Canonical: re-encoding the decoded world reproduces the bytes.
+        let mut w = Writer::new();
+        w.put(&decoded);
+        assert_eq!(w.into_bytes(), bytes);
+        assert_eq!(decoded.epoch, world.epoch);
+        assert_eq!(decoded.truth.len(), world.truth.len());
+        assert_eq!(decoded.states.len(), world.states.len());
+        for (a, b) in world.states.iter().zip(&decoded.states) {
+            assert_eq!(a.state, b.state);
+            assert_eq!(a.geography.cbgs.len(), b.geography.cbgs.len());
+            assert_eq!(a.usac.records.len(), b.usac.records.len());
+            assert_eq!(a.q3.blocks.len(), b.q3.blocks.len());
+        }
+    }
+
+    #[test]
+    fn challenged_world_round_trips_with_log_state() {
+        let config = SynthConfig {
+            seed: 7,
+            scale: 1000,
+        };
+        let mut world = World::generate_states(config, &UsState::study_states());
+        let populated = world
+            .states
+            .iter()
+            .find(|sw| !sw.geography.cbgs.is_empty())
+            .expect("some study state has a CBG at this scale");
+        let delta = ChallengeDelta {
+            state: populated.state,
+            cbg: 0,
+            isp: populated.geography.cbgs[0].isp,
+            correction: Correction::Availability { rate_ppm: 123_456 },
+        };
+        world.apply_deltas(std::slice::from_ref(&delta)).unwrap();
+        assert_eq!(world.epoch, 1);
+        let (_, decoded) = round_trip_bytes(&world);
+        assert_eq!(decoded.epoch, 1);
+        assert_eq!(decoded.challenges, world.challenges);
+        // The restored challenge state must keep future deltas correct:
+        // a second correction to the same cell rebuilds from the merged
+        // set, not from the baseline.
+        let mut a = world;
+        let mut b = decoded;
+        let next = ChallengeDelta {
+            correction: Correction::CertifiedTier {
+                down_mbps: 25,
+                up_mbps: 3,
+            },
+            ..delta
+        };
+        a.apply_deltas(std::slice::from_ref(&next)).unwrap();
+        b.apply_deltas(std::slice::from_ref(&next)).unwrap();
+        let (bytes_a, _) = round_trip_bytes(&a);
+        let (bytes_b, _) = round_trip_bytes(&b);
+        assert_eq!(bytes_a, bytes_b, "snapshot-restored world diverged");
+    }
+
+    #[test]
+    fn epoch_challenge_consistency_is_enforced() {
+        let mut w = Writer::new();
+        w.put(&SynthConfig { seed: 1, scale: 10 });
+        w.put_seq::<StateWorld>(&[]);
+        w.put(&TruthTable::new());
+        w.put_u64(0); // epoch 0…
+        let mut set = ChallengeSet::new();
+        set.merge_delta(&ChallengeDelta {
+            state: UsState::Texas,
+            cbg: 3,
+            isp: Isp::Att,
+            correction: Correction::Availability { rate_ppm: 1 },
+        });
+        w.put(&set); // …but a non-empty correction set
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            Reader::new(&bytes).get::<World>(),
+            Err(SnapError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn enum_discriminants_reject_unknown_tags() {
+        for bytes in [[7u8], [5u8], [9u8], [4u8]] {
+            let mut r = Reader::new(&bytes);
+            let failed = match bytes[0] {
+                7 => r.get::<Isp>().is_err(),
+                5 => r.get::<ErrorCategory>().is_err(),
+                9 => r.get::<Technology>().is_err(),
+                4 => r.get::<LatentBlockType>().is_err(),
+                _ => unreachable!(),
+            };
+            assert!(failed);
+        }
+    }
+
+    #[test]
+    fn zero_scale_config_is_rejected() {
+        let mut w = Writer::new();
+        w.put_u64(1);
+        w.put_u32(0);
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            Reader::new(&bytes).get::<SynthConfig>(),
+            Err(SnapError::Malformed(_))
+        ));
+    }
+}

@@ -116,6 +116,15 @@ impl TruthTable {
         self.entries.extend(other.entries);
     }
 
+    /// Iterates every entry in arbitrary (hash-map) order. Consumers
+    /// that need determinism — the snapshot encoder — sort the pairs
+    /// themselves.
+    pub fn entries(&self) -> impl Iterator<Item = (AddressId, Isp, &AddressTruth)> {
+        self.entries
+            .iter()
+            .map(|(&(address, isp), truth)| (address, isp, truth))
+    }
+
     /// Builds the Q1/Q2 truth for a state: one entry per certified CAF
     /// address, keyed by the certifying ISP.
     pub fn build_q1(config: &SynthConfig, geo: &StateGeography, usac: &UsacDataset) -> TruthTable {
