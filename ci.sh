@@ -7,7 +7,12 @@
 # cold-path equivalence suite at two different worker-pool shapes, a
 # quick world-bench run whose `BENCH_world.json` must pass the caf-obs
 # schema gate (and, on hosts with >= 4 cores, the shard scheduler's
-# 4-worker speedup gate), an observability smoke run (a tiny repro
+# 4-worker speedup gate plus the >= 1.3x bootstrap speedup gate), a
+# campaign bench smoke whose `BENCH_campaign.json` must pass the schema
+# gate (with the campaign speedup gate on >= 4 cores) and which
+# self-asserts checkpoint resume equality, a checkpoint/resume smoke
+# that SIGKILLs a `campaign_run` mid-flight and byte-diffs the resumed
+# result against an uninterrupted reference, an observability smoke run (a tiny repro
 # experiment whose run report must pass the full metrics_check gate),
 # and the serving-layer gate: `caf-serve` is started on an ephemeral
 # port at two HTTP worker counts, its `/v1/table2` response is
@@ -93,9 +98,50 @@ if [ "$cores" -ge 4 ]; then
   echo "==> world bench speedup gate (host has $cores cores)"
   cargo run --release -q -p caf-bench --bin metrics_check -- \
     --schema-only --min-world-speedup 1.0 "$ci_out/BENCH_world.json"
+  # The bootstrap plateau fix (DESIGN.md §2.3): hoisted stream-base
+  # keying, scratch-buffer reuse, and the stealing executor must hold a
+  # >= 1.3x 4-worker speedup on the ext-ci replicate budget.
+  echo "==> bootstrap speedup gate (host has $cores cores)"
+  cargo run --release -q -p caf-bench --bin metrics_check -- \
+    --schema-only --min-bootstrap-speedup 1.3 "$ci_out/BENCH_world.json"
 else
   echo "==> skipping world bench speedup gate (host has $cores cores, need 4)"
+  echo "==> skipping bootstrap speedup gate (host has $cores cores, need 4)"
 fi
+
+echo "==> campaign bench smoke: BENCH_campaign.json + schema gate"
+CAF_BENCH_CAMPAIGN_QUICK=1 CAF_BENCH_DIR="$ci_out" \
+  cargo bench -q -p caf-bench --bench campaign
+cargo run --release -q -p caf-bench --bin metrics_check -- \
+  --schema-only "$ci_out/BENCH_campaign.json"
+# The work-stealing campaign scheduler must not be slower at 4 workers
+# than serial (same host-size caveat as the world gate; the quick-mode
+# summary also self-asserts checkpoint resume equality).
+if [ "$cores" -ge 4 ]; then
+  echo "==> campaign speedup gate (host has $cores cores)"
+  cargo run --release -q -p caf-bench --bin metrics_check -- \
+    --schema-only --min-campaign-speedup 1.0 "$ci_out/BENCH_campaign.json"
+else
+  echo "==> skipping campaign speedup gate (host has $cores cores, need 4)"
+fi
+
+# Checkpoint/resume smoke: an uninterrupted campaign_run is the
+# reference; a second run is SIGKILLed mid-flight (wherever the kill
+# lands — world build, mid-campaign, or after the final flush — resume
+# must converge), then resumed from its checkpoint directory and its
+# snap-encoded result byte-diffed against the reference.
+echo "==> campaign checkpoint/resume smoke: SIGKILL -> resume -> byte-diff"
+ckpt_smoke="$ci_out/campaign_ckpt"
+rm -rf "$ckpt_smoke"
+./target/release/campaign_run --scale 20 --workers 2 \
+  --out "$ci_out/campaign_ref.bin" 2>/dev/null
+timeout -s KILL 2 ./target/release/campaign_run --scale 20 --workers 2 \
+  --checkpoint-dir "$ckpt_smoke" --checkpoint-every 500 2>/dev/null || true
+./target/release/campaign_run --scale 20 --workers 2 \
+  --checkpoint-dir "$ckpt_smoke" --checkpoint-every 500 \
+  --out "$ci_out/campaign_resumed.bin" 2>/dev/null
+cmp "$ci_out/campaign_ref.bin" "$ci_out/campaign_resumed.bin"
+echo "    resumed campaign result is byte-identical to the uninterrupted run"
 
 echo "==> observability smoke: repro --metrics + golden artifacts + full gate"
 golden="$ci_out/golden"

@@ -121,7 +121,11 @@ fn write_bench_summary() {
 criterion_group!(engine, bench_engine_scaling, bench_index);
 
 fn main() {
-    engine();
-    Criterion::default().configure_from_args().final_summary();
+    // Quick mode (CAF_BENCH_ENGINE_QUICK=1) skips the criterion groups
+    // and only writes the summary, like the other bench targets.
+    if std::env::var_os("CAF_BENCH_ENGINE_QUICK").is_none() {
+        engine();
+        Criterion::default().configure_from_args().final_summary();
+    }
     write_bench_summary();
 }

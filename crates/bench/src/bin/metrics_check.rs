@@ -23,6 +23,17 @@
 //! only passes the flag on hosts with at least 4 cores, where the
 //! speedup is meaningful.
 //!
+//! `--min-bootstrap-speedup X` does the same for the
+//! `bootstrap_speedup_4_workers` metadata the world bench records —
+//! the regression gate for the bootstrap hot path (hoisted stream-base
+//! keying, scratch-buffer reuse, stealing executor; DESIGN.md §2.3).
+//! CI gates it at 1.3× on hosts with at least 4 cores.
+//!
+//! `--min-campaign-speedup X` does the same for the
+//! `campaign_speedup_4_workers` metadata the campaign bench records
+//! (1-worker wall over 4-worker wall with stealing on) — the
+//! regression gate for the work-stealing campaign scheduler.
+//!
 //! `--min-incremental-speedup X` does the same for the
 //! `incremental_speedup` metadata that the challenge bench records
 //! (full re-audit wall over incremental refresh wall after a small
@@ -86,6 +97,8 @@ fn section<'a>(report: &'a Json, name: &str) -> &'a [(String, Json)] {
 fn main() {
     let mut schema_only = false;
     let mut min_world_speedup: Option<f64> = None;
+    let mut min_bootstrap_speedup: Option<f64> = None;
+    let mut min_campaign_speedup: Option<f64> = None;
     let mut min_incremental_speedup: Option<f64> = None;
     let mut max_slo_burn: Option<f64> = None;
     let mut max_trace_overhead_pct: Option<f64> = None;
@@ -101,6 +114,20 @@ fn main() {
                     args.next()
                         .and_then(|v| v.parse().ok())
                         .unwrap_or_else(|| fail("--min-world-speedup needs a number")),
+                );
+            }
+            "--min-bootstrap-speedup" => {
+                min_bootstrap_speedup = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| fail("--min-bootstrap-speedup needs a number")),
+                );
+            }
+            "--min-campaign-speedup" => {
+                min_campaign_speedup = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| fail("--min-campaign-speedup needs a number")),
                 );
             }
             "--min-incremental-speedup" => {
@@ -145,6 +172,7 @@ fn main() {
     let path = path.unwrap_or_else(|| {
         fail(
             "usage: metrics_check [--schema-only] [--min-world-speedup X] \
+             [--min-bootstrap-speedup X] [--min-campaign-speedup X] \
              [--min-incremental-speedup X] [--max-slo-burn FRAC] \
              [--max-trace-overhead-pct X] [--max-restart-ms X] \
              [--min-restart-speedup X] <report.json>",
@@ -197,6 +225,30 @@ fn main() {
             ));
         }
         println!("metrics_check: world_speedup_4_workers {speedup:.2} >= {min:.2}");
+    }
+
+    if let Some(min) = min_bootstrap_speedup {
+        let speedup = meta_number(&report, "bootstrap_speedup_4_workers")
+            .unwrap_or_else(|| fail("meta `bootstrap_speedup_4_workers` missing or not a number"));
+        if speedup < min {
+            fail(&format!(
+                "bootstrap_speedup_4_workers {speedup:.2} is below the required {min:.2} \
+                 — the parallel bootstrap hot path regressed (see DESIGN.md §2.3)"
+            ));
+        }
+        println!("metrics_check: bootstrap_speedup_4_workers {speedup:.2} >= {min:.2}");
+    }
+
+    if let Some(min) = min_campaign_speedup {
+        let speedup = meta_number(&report, "campaign_speedup_4_workers")
+            .unwrap_or_else(|| fail("meta `campaign_speedup_4_workers` missing or not a number"));
+        if speedup < min {
+            fail(&format!(
+                "campaign_speedup_4_workers {speedup:.2} is below the required {min:.2} \
+                 — the work-stealing campaign scheduler regressed (see DESIGN.md §2.3)"
+            ));
+        }
+        println!("metrics_check: campaign_speedup_4_workers {speedup:.2} >= {min:.2}");
     }
 
     if let Some(min) = min_incremental_speedup {

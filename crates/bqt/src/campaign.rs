@@ -1,30 +1,38 @@
-//! Campaign execution: a worker pool draining a query task list.
+//! Campaign execution: a latency-aware scheduler draining a query task
+//! list.
 //!
 //! The paper ran BQT "at scale for many Docker containers" (§3.2), each
 //! container working through a slice of the address list via the proxy
-//! pool. The simulated campaign reproduces that architecture with a
-//! crossbeam channel fan-out: N worker threads, each owning a
-//! [`QueryClient`], pull `(index, task)` pairs from a shared channel and
-//! push results back. Because every query's randomness is keyed by the
+//! pool. The simulated campaign reproduces that architecture on top of
+//! the shared execution engine: the task list becomes one
+//! [`caf_exec::UnitPlan`] unit with **per-task cost hints** derived from
+//! each ISP's calibrated latency model (AT&T's ~25 s median vs. the
+//! cable competitors' ~3 s — Figure 11), so the planner shards the heavy
+//! ISPs finer and dispatches them first. By default shards then run on
+//! the work-stealing executor ([`caf_exec::map_units_stealing`]), which
+//! absorbs the heavy-tailed per-query latency the static plan cannot
+//! predict. Because every query's randomness is keyed by the
 //! (address, ISP) pair, the result set is **identical for any worker
-//! count** — parallelism changes wall-clock time only, which the result
-//! reports separately.
+//! count, shard policy, or steal schedule** — parallelism changes
+//! wall-clock time only, which the result reports separately.
 //!
 //! Campaign telemetry feeds three of the paper's artifacts: traceback
 //! error counts (Table 2), per-CBG coverage fractions (Figures 7/8), and
 //! the per-address query-time distribution (Figure 11).
 
+use caf_exec::{map_units, map_units_stealing, CostHint, Shard, ShardPolicy, UnitPlan};
 use caf_geo::AddressId;
-use caf_synth::params::ErrorCategory;
+use caf_synth::params::{CalibrationParams, ErrorCategory};
 use caf_synth::{Isp, TruthTable};
-use crossbeam::channel;
-use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::ops::Range;
 
+use crate::checkpoint::CheckpointSink;
 use crate::client::QueryClient;
 use crate::outcome::{QueryOutcome, QueryRecord};
 use crate::proxy::ProxyPool;
 use crate::throttle::ThrottlePolicy;
+use crate::timing::RETRY_OVERHEAD_SECS;
 
 /// One unit of work: query one address on one ISP's site.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -43,7 +51,9 @@ pub struct CampaignConfig {
     pub seed: u64,
     /// Worker threads (the paper's Docker containers).
     pub workers: usize,
-    /// Retry budget per address.
+    /// Retry budget per address. With `adaptive_retry` set, this is the
+    /// *floor*: per-ISP budgets scale up to `3 × max_attempts` on flaky
+    /// sites (see [`adaptive_attempts`]).
     pub max_attempts: u32,
     /// Proxy endpoints per worker.
     pub proxy_pool_size: usize,
@@ -51,6 +61,18 @@ pub struct CampaignConfig {
     /// the wall-clock estimate (and the throttle-wait statistic) only —
     /// query outcomes never depend on it.
     pub throttle: ThrottlePolicy,
+    /// Run shards on the work-stealing executor (default). Stealing is
+    /// schedule-only: results are byte-identical either way, so the flag
+    /// exists for A/B benchmarking and bisection, not correctness.
+    pub steal: bool,
+    /// Size the retry budget per ISP from its calibrated transient-error
+    /// rate instead of using `max_attempts` flat. **Changes outcomes**
+    /// (a bigger budget can turn an Unknown into a definitive answer),
+    /// so it is opt-in and off by default to keep golden results stable.
+    pub adaptive_retry: bool,
+    /// How aggressively the planner shards the task list. Pure
+    /// performance knob: any policy yields identical records.
+    pub shard: ShardPolicy,
 }
 
 impl CampaignConfig {
@@ -71,6 +93,16 @@ impl CampaignConfig {
             ..self
         }
     }
+
+    /// The retry budget for one ISP: `max_attempts` flat, or the
+    /// adaptively-sized budget when `adaptive_retry` is on.
+    pub fn attempts_for(&self, isp: Isp) -> u32 {
+        if self.adaptive_retry {
+            adaptive_attempts(self.max_attempts, isp)
+        } else {
+            self.max_attempts
+        }
+    }
 }
 
 impl Default for CampaignConfig {
@@ -81,8 +113,52 @@ impl Default for CampaignConfig {
             max_attempts: 3,
             proxy_pool_size: 16,
             throttle: ThrottlePolicy::polite(),
+            steal: true,
+            adaptive_retry: false,
+            shard: ShardPolicy::resolve(),
         }
     }
+}
+
+/// Sizes a per-ISP retry budget from the ISP's calibrated
+/// transient-error rate: the smallest number of attempts `k` such that
+/// the chance of *all* `k` failing transiently drops below 1%, clamped
+/// to `[base, 3 × base]`. Reliable cable sites stay at the floor; AT&T's
+/// flaky anti-bot flow earns extra attempts instead of burning its
+/// addresses as Unknown.
+pub fn adaptive_attempts(base: u32, isp: Isp) -> u32 {
+    let base = base.max(1);
+    let ceiling = base.saturating_mul(3);
+    let p = CalibrationParams::transient_error_rate(isp);
+    if p <= 0.0 {
+        return base;
+    }
+    let mut k = 1u32;
+    while p.powi(k as i32) > 0.01 && k < ceiling {
+        k += 1;
+    }
+    k.clamp(base, ceiling)
+}
+
+/// Expected cost of one query task in microseconds — the planner's
+/// per-element hint. Mean lognormal attempt time × expected attempts
+/// under the ISP's transient-error rate (geometric, truncated at the
+/// budget), plus retry overhead. Hints only need to be *proportional*
+/// to runtime, and they never touch outcomes, so the floating-point
+/// arithmetic here is schedule-only.
+fn expected_task_cost_us(cfg: &CampaignConfig, isp: Isp) -> u64 {
+    let (mu, sigma) = CalibrationParams::query_time_params(isp);
+    let mean_attempt_secs = (mu + sigma * sigma / 2.0).exp();
+    let p = CalibrationParams::transient_error_rate(isp);
+    let budget = f64::from(cfg.attempts_for(isp));
+    let expected_attempts = if p <= 0.0 {
+        1.0
+    } else {
+        ((1.0 - p.powf(budget)) / (1.0 - p)).max(1.0)
+    };
+    let secs =
+        mean_attempt_secs * expected_attempts + (expected_attempts - 1.0) * RETRY_OVERHEAD_SECS;
+    (secs * 1e6) as u64
 }
 
 /// Aggregate statistics of one campaign run, computed **post-hoc from
@@ -115,9 +191,9 @@ pub struct CampaignStats {
     pub call_to_order: u64,
     /// Total simulated in-query seconds.
     pub total_query_secs: f64,
-    /// Seconds the pacing policy adds beyond pure query work: per ISP,
-    /// `max(0, pace_bound - work_bound)` under the effective concurrency,
-    /// summed over ISPs.
+    /// Seconds the pacing policy adds beyond pure query work, accumulated
+    /// at the throttle decision points (rotation backoff + per-lane
+    /// pacing gaps) — see [`ThrottlePolicy::pacing_wait_secs`].
     pub throttle_wait_secs: f64,
 }
 
@@ -130,7 +206,6 @@ impl CampaignStats {
         workers: usize,
     ) -> CampaignStats {
         let mut stats = CampaignStats::default();
-        let mut per_isp: HashMap<Isp, (f64, u64)> = HashMap::new();
         for record in records {
             stats.queries += 1;
             stats.attempts += u64::from(record.attempts);
@@ -143,18 +218,10 @@ impl CampaignStats {
                 QueryOutcome::Unknown(_) => stats.unknown += 1,
                 QueryOutcome::CallToOrder => stats.call_to_order += 1,
             }
-            let entry = per_isp.entry(record.isp).or_insert((0.0, 0));
-            entry.0 += record.duration_secs;
-            entry.1 += 1;
         }
         stats.retries = stats.attempts - stats.queries;
         stats.proxy_rotations = stats.error_events;
-        let concurrency = throttle.per_isp_concurrency.min(workers.max(1)).max(1) as f64;
-        for &(total_secs, queries) in per_isp.values() {
-            let work_bound = total_secs / concurrency;
-            let pace_bound = queries as f64 * throttle.min_gap_secs / concurrency;
-            stats.throttle_wait_secs += (pace_bound - work_bound).max(0.0);
-        }
+        stats.throttle_wait_secs = throttle.pacing_wait_secs(records, workers);
         stats
     }
 
@@ -182,12 +249,16 @@ impl CampaignStats {
     }
 }
 
-/// The result of a campaign.
-#[derive(Debug)]
+/// The result of a campaign. `PartialEq` compares the full payload —
+/// records, replayed proxy telemetry, and stats — which is what the
+/// resume-equality tests and the checkpoint smoke assert on.
+#[derive(Debug, Clone, PartialEq)]
 pub struct CampaignResult {
     /// One record per task, in task order.
     pub records: Vec<QueryRecord>,
-    /// Aggregated proxy telemetry across workers.
+    /// Proxy telemetry from a canonical replay of the record list (in
+    /// task order, health-scored rotation), so it is identical under any
+    /// worker count or steal schedule.
     pub proxy: ProxyPool,
     /// Aggregate run statistics (retry/outcome/throttle tallies).
     pub stats: CampaignStats,
@@ -246,69 +317,89 @@ impl Campaign {
 
     /// Runs every task against the latent truth, returning records in
     /// task order. Deterministic for a fixed seed regardless of worker
-    /// count.
+    /// count, shard policy, or steal schedule.
     pub fn run(&self, truth: &TruthTable, tasks: &[QueryTask]) -> CampaignResult {
         let _span = caf_obs::span("bqt.campaign");
-        let cfg = self.config;
-        let (task_tx, task_rx) = channel::unbounded::<(usize, QueryTask)>();
-        for pair in tasks.iter().copied().enumerate() {
-            task_tx.send(pair).expect("unbounded send cannot fail");
+        let plan = self.plan_for(tasks);
+        let shard_results = self.execute_plan(truth, tasks, &plan, None);
+        // One unit spanning the whole task list: shard ranges are
+        // contiguous ascending, so concatenation restores task order.
+        let mut records = Vec::with_capacity(tasks.len());
+        for (_, recs) in shard_results {
+            records.extend(recs);
         }
-        drop(task_tx);
+        self.finish(records)
+    }
 
-        let slots: Mutex<Vec<Option<QueryRecord>>> = Mutex::new(vec![None; tasks.len()]);
-        let mut aggregate_pool = ProxyPool::new(cfg.seed, cfg.proxy_pool_size);
-
-        let worker_pools: Vec<ProxyPool> = crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(cfg.workers);
-            for worker_id in 0..cfg.workers {
-                let task_rx = task_rx.clone();
-                let slots = &slots;
-                let handle = scope.spawn(move |_| {
-                    let pool = ProxyPool::new(cfg.seed, cfg.proxy_pool_size);
-                    let mut client = QueryClient::new(cfg.seed, cfg.max_attempts, pool);
-                    let _ = worker_id;
-                    // Batch results locally; take the lock once per batch
-                    // to keep contention off the query path.
-                    let mut batch: Vec<(usize, QueryRecord)> = Vec::with_capacity(64);
-                    while let Ok((index, task)) = task_rx.recv() {
-                        let record = client.query(truth, task.address, task.isp);
-                        batch.push((index, record));
-                        if batch.len() >= 64 {
-                            let mut guard = slots.lock();
-                            for (i, r) in batch.drain(..) {
-                                guard[i] = Some(r);
-                            }
-                        }
-                    }
-                    let mut guard = slots.lock();
-                    for (i, r) in batch.drain(..) {
-                        guard[i] = Some(r);
-                    }
-                    drop(guard);
-                    client
-                });
-                handles.push(handle);
-            }
-            handles
-                .into_iter()
-                .map(|h| {
-                    let client = h.join().expect("worker panicked");
-                    client.pool().clone()
-                })
-                .collect()
-        })
-        .expect("campaign scope panicked");
-
-        for pool in &worker_pools {
-            aggregate_pool.absorb(pool);
-        }
-        let records: Vec<QueryRecord> = slots
-            .into_inner()
-            .into_iter()
-            .map(|slot| slot.expect("every task produces a record"))
+    /// Builds the latency-aware plan for a task list: one unit with a
+    /// per-task expected-cost hint, sharded under the configured policy.
+    pub(crate) fn plan_for(&self, tasks: &[QueryTask]) -> UnitPlan {
+        let costs: Vec<u64> = tasks
+            .iter()
+            .map(|t| expected_task_cost_us(&self.config, t.isp))
             .collect();
+        UnitPlan::build(
+            self.config.workers,
+            &[CostHint::PerElement(costs)],
+            self.config.shard,
+        )
+    }
+
+    /// Per-task cost hints in task order (the checkpoint resume path
+    /// feeds these to [`UnitPlan::build_subset`]).
+    pub(crate) fn cost_hints(&self, tasks: &[QueryTask]) -> Vec<u64> {
+        tasks
+            .iter()
+            .map(|t| expected_task_cost_us(&self.config, t.isp))
+            .collect()
+    }
+
+    /// Executes every shard of `plan` (whose ranges index into `tasks`),
+    /// returning `(range, records)` per shard in canonical shard order.
+    /// Each shard gets a fresh [`QueryClient`], so results depend only on
+    /// (seed, address, ISP) — never on which worker ran the shard or in
+    /// what order. When a checkpoint sink is given, completed shards are
+    /// reported to it from inside the executor.
+    pub(crate) fn execute_plan(
+        &self,
+        truth: &TruthTable,
+        tasks: &[QueryTask],
+        plan: &UnitPlan,
+        sink: Option<&CheckpointSink>,
+    ) -> Vec<(Range<usize>, Vec<QueryRecord>)> {
+        let cfg = self.config;
+        let work = |shard: &Shard| -> (Range<usize>, Vec<QueryRecord>) {
+            let pool = ProxyPool::new(cfg.seed, cfg.proxy_pool_size);
+            let mut client = QueryClient::new(cfg.seed, cfg.max_attempts, pool);
+            let mut recs = Vec::with_capacity(shard.range.len());
+            for i in shard.range.clone() {
+                let task = tasks[i];
+                recs.push(client.query_with_attempts(
+                    truth,
+                    task.address,
+                    task.isp,
+                    cfg.attempts_for(task.isp),
+                ));
+            }
+            if let Some(sink) = sink {
+                sink.complete(shard.range.clone(), &recs);
+            }
+            (shard.range.clone(), recs)
+        };
+        let grouped = if cfg.steal {
+            map_units_stealing(plan, work)
+        } else {
+            map_units(plan, work)
+        };
+        grouped.into_iter().flatten().collect()
+    }
+
+    /// Assembles the final result from records in task order: post-hoc
+    /// stats, the canonical proxy replay, and telemetry publication.
+    pub(crate) fn finish(&self, records: Vec<QueryRecord>) -> CampaignResult {
+        let cfg = self.config;
         let stats = CampaignStats::from_records(&records, cfg.throttle, cfg.workers);
+        let proxy = replay_proxy(&cfg, &records);
         if caf_obs::enabled() {
             stats.publish();
             for record in &records {
@@ -320,10 +411,29 @@ impl Campaign {
         }
         CampaignResult {
             records,
-            proxy: aggregate_pool,
+            proxy,
             stats,
         }
     }
+}
+
+/// Replays the record list (in task order) against one canonical pool:
+/// every attempt charges a use, every transient error rotates via
+/// health-scored rotation. A pure function of the records, so the
+/// published proxy telemetry is identical under any schedule — unlike
+/// the old per-worker-pool aggregation, whose per-endpoint tallies
+/// depended on how the channel interleaved tasks across workers.
+fn replay_proxy(cfg: &CampaignConfig, records: &[QueryRecord]) -> ProxyPool {
+    let mut pool = ProxyPool::new(cfg.seed, cfg.proxy_pool_size);
+    for record in records {
+        for attempt in 1..=record.attempts {
+            pool.acquire();
+            if attempt as usize <= record.errors.len() {
+                pool.rotate_healthiest();
+            }
+        }
+    }
+    pool
 }
 
 #[cfg(test)]
@@ -393,6 +503,36 @@ mod tests {
     }
 
     #[test]
+    fn stealing_and_static_paths_agree_exactly() {
+        let w = world();
+        let tasks = tasks_for(&w);
+        let run = |steal: bool, shard: ShardPolicy| {
+            Campaign::new(CampaignConfig {
+                seed: w.config.seed,
+                workers: 4,
+                steal,
+                shard,
+                ..CampaignConfig::default()
+            })
+            .run(&w.truth, &tasks)
+        };
+        let baseline = run(false, ShardPolicy::disabled());
+        for steal in [false, true] {
+            for shard in [
+                ShardPolicy::disabled(),
+                ShardPolicy::default_policy(),
+                ShardPolicy::finest(),
+            ] {
+                let result = run(steal, shard);
+                assert_eq!(
+                    result, baseline,
+                    "steal={steal} shard={shard:?} must match the static path"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn config_builders_derive_without_touching_other_knobs() {
         let base = CampaignConfig::default();
         let tuned = base.with_seed(42).with_workers(9);
@@ -411,6 +551,57 @@ mod tests {
             .run(&w.truth, &tasks)
             .records;
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn adaptive_budgets_scale_with_flakiness() {
+        // The budget never drops below the configured floor…
+        for isp in Isp::bqt_supported() {
+            let k = adaptive_attempts(3, isp);
+            assert!((3..=9).contains(&k), "{isp:?} budget {k}");
+        }
+        // …and a flakier site gets at least as many attempts as a more
+        // reliable one.
+        let mut rates: Vec<(Isp, f64)> = Isp::bqt_supported()
+            .iter()
+            .map(|&isp| (isp, CalibrationParams::transient_error_rate(isp)))
+            .collect();
+        rates.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let budgets: Vec<u32> = rates
+            .iter()
+            .map(|&(isp, _)| adaptive_attempts(1, isp))
+            .collect();
+        for pair in budgets.windows(2) {
+            assert!(pair[0] <= pair[1], "budgets must be monotone: {budgets:?}");
+        }
+    }
+
+    #[test]
+    fn adaptive_retry_only_upgrades_unknowns() {
+        let w = world();
+        let tasks = tasks_for(&w);
+        let flat = Campaign::new(CampaignConfig {
+            seed: w.config.seed,
+            ..CampaignConfig::default()
+        })
+        .run(&w.truth, &tasks);
+        let adaptive = Campaign::new(CampaignConfig {
+            seed: w.config.seed,
+            adaptive_retry: true,
+            ..CampaignConfig::default()
+        })
+        .run(&w.truth, &tasks);
+        // A bigger budget can only keep or improve each outcome: every
+        // record that was definitive stays byte-identical, and Unknowns
+        // either stay Unknown (with ≥ as many attempts) or resolve.
+        assert!(adaptive.stats.unknown <= flat.stats.unknown);
+        for (f, a) in flat.records.iter().zip(&adaptive.records) {
+            if f.outcome.is_definitive() {
+                assert_eq!(f, a, "definitive outcomes are budget-invariant");
+            } else {
+                assert!(a.attempts >= f.attempts);
+            }
+        }
     }
 
     #[test]
@@ -474,12 +665,12 @@ mod tests {
     fn stats_reconcile_with_records() {
         let w = world();
         let tasks = tasks_for(&w);
-        let result = Campaign::new(CampaignConfig {
+        let campaign = Campaign::new(CampaignConfig {
             seed: w.config.seed,
             workers: 3,
             ..CampaignConfig::default()
-        })
-        .run(&w.truth, &tasks);
+        });
+        let result = campaign.run(&w.truth, &tasks);
         let s = result.stats;
         assert_eq!(s.queries, tasks.len() as u64);
         assert_eq!(
@@ -504,7 +695,19 @@ mod tests {
             s.serviceable + s.no_service + s.address_not_found + s.unknown + s.call_to_order;
         assert_eq!(outcomes, s.queries, "every record lands in one class");
         assert!((s.total_query_secs - result.total_query_secs()).abs() < 1e-9);
-        assert!(s.throttle_wait_secs >= 0.0);
+        // Reconciliation: the wait accounting must cover at least the
+        // rotation backoff — the old post-hoc bound reported 0 s against
+        // thousands of rotations.
+        let min_gap = campaign.config().throttle.min_gap_secs;
+        assert!(
+            s.throttle_wait_secs >= s.proxy_rotations as f64 * min_gap - 1e-9,
+            "wait {} must cover {} rotations at {min_gap}s",
+            s.throttle_wait_secs,
+            s.proxy_rotations
+        );
+        if s.proxy_rotations > 0 {
+            assert!(s.throttle_wait_secs > 0.0, "rotations imply waiting");
+        }
     }
 
     #[test]
@@ -571,6 +774,6 @@ mod tests {
         .run(&w.truth, &tasks);
         let one = result.wall_clock_secs(1);
         let forty = result.wall_clock_secs(40);
-        assert!((one / forty - 40.0).abs() < 1e-9);
+        assert!((one / forty - 40.0).abs() < 1e-9)
     }
 }

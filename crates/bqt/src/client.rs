@@ -52,6 +52,26 @@ impl QueryClient {
     /// entirely: the site cannot resolve it, which surfaces as an Unknown
     /// after the retry budget (the paper's resampling trigger).
     pub fn query(&mut self, truth: &TruthTable, address: AddressId, isp: Isp) -> QueryRecord {
+        self.query_with_attempts(truth, address, isp, self.max_attempts)
+    }
+
+    /// Like [`QueryClient::query`] but with an explicit retry budget,
+    /// overriding the client default. Adaptive campaigns size the budget
+    /// per ISP from its calibrated transient-error rate; the RNG stream
+    /// is still keyed only by (seed, address, ISP), so two clients with
+    /// different budgets agree on every attempt they both make.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_attempts` is zero.
+    pub fn query_with_attempts(
+        &mut self,
+        truth: &TruthTable,
+        address: AddressId,
+        isp: Isp,
+        max_attempts: u32,
+    ) -> QueryRecord {
+        assert!(max_attempts >= 1, "need at least one attempt");
         // Per-(address, ISP) RNG: outcome identical under any scheduling.
         let mut rng = scoped_rng(self.seed, "bqt-query", mix2(address.0, isp.id(), 7));
         let unknown_truth;
@@ -68,7 +88,7 @@ impl QueryClient {
 
         let mut errors: Vec<ErrorCategory> = Vec::new();
         let mut duration = 0.0;
-        for attempt_no in 1..=self.max_attempts {
+        for attempt_no in 1..=max_attempts {
             let _ip = self.pool.acquire();
             duration += attempt_duration_secs(&mut rng, isp);
             let trace = attempt(&mut rng, isp, address_truth);
@@ -97,7 +117,7 @@ impl QueryClient {
             address,
             isp,
             outcome: QueryOutcome::Unknown(dominant),
-            attempts: self.max_attempts,
+            attempts: max_attempts,
             errors,
             duration_secs: duration,
         }
@@ -224,6 +244,23 @@ mod tests {
             }
         }
         panic!("no retry-then-success case found in 200 seeds");
+    }
+
+    #[test]
+    fn explicit_budget_agrees_with_default_on_successes() {
+        // A query that succeeds within the smaller budget must be
+        // byte-identical under any larger budget: the RNG stream is keyed
+        // by (seed, address, ISP), not by the budget.
+        let truth = table_with(1, Isp::CenturyLink, served(Isp::CenturyLink));
+        for seed in 0..20 {
+            let mut a = client(seed);
+            let mut b = client(seed);
+            let small = a.query_with_attempts(&truth, AddressId(1), Isp::CenturyLink, 3);
+            let large = b.query_with_attempts(&truth, AddressId(1), Isp::CenturyLink, 9);
+            if small.outcome.is_definitive() {
+                assert_eq!(small, large);
+            }
+        }
     }
 
     #[test]

@@ -23,18 +23,22 @@
 //!   and residential endpoints) with per-IP usage telemetry.
 //! * [`timing`] — per-attempt latency from Figure 11's lognormal fits.
 //! * [`client`] — the retry loop: attempt, classify, rotate, repeat.
-//! * [`campaign`] — a crossbeam worker pool that drains a task list the
-//!   way the paper ran many Docker containers in parallel, plus coverage
-//!   telemetry (Figures 7/8) and traceback aggregation (Table 2).
+//! * [`campaign`] — a latency-aware scheduler (work-stealing by default)
+//!   that drains a task list the way the paper ran many Docker containers
+//!   in parallel, plus coverage telemetry (Figures 7/8) and traceback
+//!   aggregation (Table 2).
+//! * [`checkpoint`] — periodic `caf-snap`-based campaign checkpoints so a
+//!   killed campaign resumes byte-identically.
 //!
 //! Every stochastic draw derives from a per-(address, ISP) seed, so a
-//! campaign's results are identical regardless of worker count or
-//! scheduling interleaving — parallelism changes wall-clock only.
+//! campaign's results are identical regardless of worker count, shard
+//! policy, or steal schedule — parallelism changes wall-clock only.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod checkpoint;
 pub mod client;
 pub mod outcome;
 pub mod proxy;
@@ -43,7 +47,11 @@ pub mod throttle;
 pub mod timing;
 pub mod website;
 
-pub use campaign::{Campaign, CampaignConfig, CampaignResult, CampaignStats, QueryTask};
+pub use caf_exec::ShardPolicy;
+pub use campaign::{
+    adaptive_attempts, Campaign, CampaignConfig, CampaignResult, CampaignStats, QueryTask,
+};
+pub use checkpoint::CheckpointConfig;
 pub use client::QueryClient;
 pub use outcome::{QueryOutcome, QueryRecord};
 pub use proxy::{ProxyKind, ProxyPool};

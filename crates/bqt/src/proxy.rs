@@ -21,7 +21,7 @@ pub enum ProxyKind {
 }
 
 /// One proxy endpoint with usage telemetry.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProxyEndpoint {
     /// Synthetic IPv4 address of the endpoint.
     pub ip: Ipv4Addr,
@@ -34,7 +34,7 @@ pub struct ProxyEndpoint {
 }
 
 /// A rotating pool of proxy endpoints.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProxyPool {
     endpoints: Vec<ProxyEndpoint>,
     cursor: usize,
@@ -83,6 +83,37 @@ impl ProxyPool {
     pub fn rotate_on_error(&mut self) {
         self.endpoints[self.cursor].error_rotations += 1;
         self.cursor = (self.cursor + 1) % self.endpoints.len();
+    }
+
+    /// Health-scored rotation: charges the error to the current
+    /// endpoint, then moves the cursor to the *healthiest* other
+    /// endpoint — the one with the lowest error-rotations-per-use ratio
+    /// (integer cross-multiplication, no floats), ties broken by
+    /// round-robin distance from the current cursor. A pure function of
+    /// the pool's accumulated telemetry, so replaying the same
+    /// acquire/rotate sequence always lands on the same endpoints.
+    pub fn rotate_healthiest(&mut self) {
+        self.endpoints[self.cursor].error_rotations += 1;
+        let len = self.endpoints.len();
+        if len == 1 {
+            return;
+        }
+        // score(i) = error_rotations / (uses + 1); compare a <= b via
+        // cross-multiplication so the arithmetic stays exact.
+        let score = |i: usize| -> (u128, u128) {
+            let e = &self.endpoints[i];
+            (u128::from(e.error_rotations), u128::from(e.uses) + 1)
+        };
+        let mut best = (self.cursor + 1) % len;
+        for d in 2..len {
+            let candidate = (self.cursor + d) % len;
+            let (ce, cu) = score(candidate);
+            let (be, bu) = score(best);
+            if ce * bu < be * cu {
+                best = candidate;
+            }
+        }
+        self.cursor = best;
     }
 
     /// Number of endpoints.
@@ -193,5 +224,50 @@ mod tests {
     #[should_panic(expected = "at least one endpoint")]
     fn empty_pool_rejected() {
         ProxyPool::new(0, 0);
+    }
+
+    #[test]
+    fn healthiest_rotation_avoids_flaky_endpoints() {
+        // With a fresh pool, every candidate has score 0/(uses+1); the tie
+        // breaks by round-robin distance, so the first rotation lands on
+        // index 1.
+        let mut fresh = ProxyPool::new(11, 4);
+        fresh.acquire();
+        fresh.rotate_healthiest();
+        fresh.acquire();
+        assert_eq!(fresh.endpoints()[1].uses, 1);
+        // Now give index 2 a terrible record; rotation from 1 must skip it.
+        fresh.endpoints[2].error_rotations = 50;
+        fresh.rotate_healthiest();
+        fresh.acquire();
+        assert_eq!(
+            fresh.endpoints[2].uses, 0,
+            "unhealthy endpoint must be skipped"
+        );
+        assert_eq!(fresh.endpoints[3].uses, 1, "healthiest candidate wins");
+    }
+
+    #[test]
+    fn healthiest_rotation_is_deterministic_replay() {
+        let mut a = ProxyPool::new(5, 6);
+        let mut b = ProxyPool::new(5, 6);
+        for round in 0..40 {
+            a.acquire();
+            b.acquire();
+            if round % 3 == 0 {
+                a.rotate_healthiest();
+                b.rotate_healthiest();
+            }
+        }
+        assert_eq!(a, b, "same sequence must reproduce the same pool state");
+    }
+
+    #[test]
+    fn healthiest_rotation_single_endpoint_stays_put() {
+        let mut pool = ProxyPool::new(9, 1);
+        let ip = pool.acquire();
+        pool.rotate_healthiest();
+        assert_eq!(pool.acquire(), ip);
+        assert_eq!(pool.endpoints()[0].error_rotations, 1);
     }
 }

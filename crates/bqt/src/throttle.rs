@@ -11,6 +11,7 @@
 //! list — so the campaign's determinism guarantees are untouched.
 
 use crate::campaign::CampaignResult;
+use crate::outcome::QueryRecord;
 use caf_synth::Isp;
 use std::collections::HashMap;
 
@@ -69,6 +70,48 @@ impl ThrottlePolicy {
                 work_bound.max(pace_bound)
             })
             .fold(0.0, f64::max)
+    }
+
+    /// Simulated seconds a campaign *waited* on this policy, accumulated
+    /// at the two throttle decision points rather than inferred post hoc:
+    ///
+    /// 1. **Rotation backoff** — every proxy rotation (one per transient
+    ///    error) costs one `min_gap_secs` of idle time while the fresh
+    ///    endpoint warms up.
+    /// 2. **Pacing gaps** — per ISP, queries are dealt round-robin onto
+    ///    `per_isp_concurrency.min(workers)` polite lanes in task order;
+    ///    a lane whose previous query finished faster than the gap idles
+    ///    for the difference before firing the next one.
+    ///
+    /// The model is a pure function of the record list in task order, so
+    /// it is identical under any worker count or steal schedule. The old
+    /// accounting derived wait as `max(0, pace_bound − work_bound)` over
+    /// ISP aggregates, which collapses to zero whenever mean query time
+    /// exceeds the gap — BENCH_serve.json showed `throttle_wait_us = 0`
+    /// against thousands of rotations.
+    pub fn pacing_wait_secs(&self, records: &[QueryRecord], workers: usize) -> f64 {
+        let concurrency = self.per_isp_concurrency.min(workers.max(1)).max(1);
+        let rotation_wait: f64 = records
+            .iter()
+            .map(|r| r.errors.len() as f64 * self.min_gap_secs)
+            .sum();
+        let mut lanes: HashMap<Isp, (usize, Vec<f64>)> = HashMap::new();
+        let mut gap_wait = 0.0;
+        for record in records {
+            let (next, prev_durs) = lanes
+                .entry(record.isp)
+                .or_insert_with(|| (0, Vec::with_capacity(concurrency)));
+            if prev_durs.len() < concurrency {
+                // Lane not yet warm: the first query on a lane never waits.
+                prev_durs.push(record.duration_secs);
+            } else {
+                let lane = *next % concurrency;
+                gap_wait += (self.min_gap_secs - prev_durs[lane]).max(0.0);
+                prev_durs[lane] = record.duration_secs;
+                *next += 1;
+            }
+        }
+        rotation_wait + gap_wait
     }
 }
 
@@ -167,5 +210,54 @@ mod tests {
     fn zero_workers_rejected() {
         let result = result_with_two_isps();
         ThrottlePolicy::polite().wall_clock_secs(&result, 0);
+    }
+
+    #[test]
+    fn pacing_wait_zero_without_a_gap() {
+        let result = result_with_two_isps();
+        let policy = ThrottlePolicy {
+            per_isp_concurrency: 8,
+            min_gap_secs: 0.0,
+        };
+        assert_eq!(policy.pacing_wait_secs(&result.records, 4), 0.0);
+    }
+
+    #[test]
+    fn pacing_wait_covers_every_rotation() {
+        let result = result_with_two_isps();
+        let policy = ThrottlePolicy::polite();
+        let rotations: usize = result.records.iter().map(|r| r.errors.len()).sum();
+        let wait = policy.pacing_wait_secs(&result.records, 4);
+        assert!(
+            wait >= rotations as f64 * policy.min_gap_secs - 1e-9,
+            "wait {wait} must cover {rotations} rotations"
+        );
+    }
+
+    #[test]
+    fn pacing_wait_grows_with_the_gap() {
+        let result = result_with_two_isps();
+        let tight = ThrottlePolicy {
+            per_isp_concurrency: 8,
+            min_gap_secs: 2.0,
+        };
+        let loose = ThrottlePolicy {
+            per_isp_concurrency: 8,
+            min_gap_secs: 50.0,
+        };
+        let small = tight.pacing_wait_secs(&result.records, 4);
+        let large = loose.pacing_wait_secs(&result.records, 4);
+        assert!(large > small, "{large} vs {small}");
+    }
+
+    #[test]
+    fn pacing_wait_is_schedule_independent() {
+        let result = result_with_two_isps();
+        let policy = ThrottlePolicy::polite();
+        // Pure function of the record list in task order: worker count
+        // only changes effective concurrency, not determinism.
+        let a = policy.pacing_wait_secs(&result.records, 4);
+        let b = policy.pacing_wait_secs(&result.records, 4);
+        assert_eq!(a, b);
     }
 }

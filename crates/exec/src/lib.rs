@@ -12,7 +12,7 @@
 //! re-exports everything here, so audit-level callers are unaffected by
 //! the extraction.
 //!
-//! Two scheduling granularities share one executor:
+//! Three scheduling granularities share one determinism contract:
 //!
 //! - [`map_slice`] schedules whole units (one item = one task) — the
 //!   right tool when units are roughly even.
@@ -20,6 +20,11 @@
 //!   [`UnitPlan`] — the right tool when the unit cost distribution is
 //!   heavy-tailed (one giant state dominating the merge barrier). See
 //!   the [`plan`] module for the splitting/LPT policy.
+//! - [`map_units_stealing`] executes the same plan on per-worker
+//!   deques with tail stealing — the right tool when cost hints are
+//!   only approximate (BQT campaign latencies). See the [`steal`]
+//!   module for the seeding/victim policy and why output stays
+//!   byte-identical to the static path.
 //!
 //! # The determinism contract
 //!
@@ -52,8 +57,10 @@
 
 pub mod plan;
 pub mod rng;
+pub mod steal;
 
 pub use plan::{CostHint, Shard, ShardPolicy, UnitPlan};
+pub use steal::{map_units_stealing, map_units_stealing_stats, StealStats};
 
 use caf_geo::UsState;
 use rng::{mix, mix_str};

@@ -1,0 +1,387 @@
+//! Deque-based work stealing over a [`UnitPlan`] — the latency-aware
+//! scheduling mode behind [`map_units_stealing`].
+//!
+//! The static executor ([`map_units`](crate::map_units)) dispatches
+//! shards through one shared atomic cursor in LPT order. That is ideal
+//! when cost hints are accurate; when they are not — BQT campaign tasks
+//! have lognormal per-attempt latency with heavy per-ISP tails — a
+//! worker can finish its share of the estimated cost early and sit idle
+//! at the merge barrier while another drags a mis-estimated queue.
+//!
+//! Work stealing closes that gap without giving up the plan:
+//!
+//! 1. [`seed_lanes`] deals the plan's shards into one local deque per
+//!    worker by replaying the *same* greedy LPT least-loaded-lane
+//!    assignment the plan's makespan estimate simulates — so the
+//!    starting schedule is exactly the one the planner predicted.
+//! 2. Each worker pops work from the **front** of its own deque (LPT
+//!    order within the lane: big shards first).
+//! 3. An idle worker steals from the **tail** of the most-loaded other
+//!    queue (largest estimated remaining cost, ties to the lowest lane
+//!    index) — the victim's cheapest queued shard, which keeps the
+//!    owner's expensive front work undisturbed.
+//!
+//! # Determinism
+//!
+//! The steal schedule is timing-dependent and therefore *not*
+//! reproducible — but it only decides *where* a shard runs, never what
+//! it computes or where its result lands. Shards are pure functions of
+//! their `(unit, range)` inputs (the engine's unit-isolation property),
+//! and results travel through the same `(shard index, result)` channel
+//! as the static path into positional slots, grouped per unit in
+//! ascending element order. Output is therefore byte-identical to
+//! [`map_units`](crate::map_units) — and to the serial loop — at every
+//! worker count and under every steal interleaving. The matrix in
+//! `crates/tests/tests/campaign_scheduler.rs` pins this end-to-end.
+//!
+//! Steal activity is surfaced as telemetry only: the
+//! `caf.exec.steals` counter and the per-run [`StealStats`].
+
+use crate::plan::{Shard, UnitPlan};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One worker's local queue: shard indices in lane-LPT order plus the
+/// estimated cost still enqueued (the victim-selection signal; it lags
+/// the queue by design and only shapes wall-clock time).
+struct Lane {
+    queue: Mutex<VecDeque<usize>>,
+    remaining: AtomicU64,
+}
+
+impl Lane {
+    fn new(queue: VecDeque<usize>, shards: &[Shard]) -> Lane {
+        let remaining = queue
+            .iter()
+            .fold(0u64, |acc, &i| acc.saturating_add(shards[i].est_cost));
+        Lane {
+            queue: Mutex::new(queue),
+            remaining: AtomicU64::new(remaining),
+        }
+    }
+
+    /// Owner pop: front of the deque (the lane's biggest queued shard).
+    fn pop_own(&self, shards: &[Shard]) -> Option<usize> {
+        let popped = self.queue.lock().expect("lane lock").pop_front();
+        if let Some(i) = popped {
+            self.debit(shards[i].est_cost);
+        }
+        popped
+    }
+
+    /// Thief pop: tail of the deque (the lane's cheapest queued shard).
+    fn pop_stolen(&self, shards: &[Shard]) -> Option<usize> {
+        let popped = self.queue.lock().expect("lane lock").pop_back();
+        if let Some(i) = popped {
+            self.debit(shards[i].est_cost);
+        }
+        popped
+    }
+
+    fn debit(&self, cost: u64) {
+        let mut current = self.remaining.load(Ordering::Relaxed);
+        loop {
+            let next = current.saturating_sub(cost);
+            match self.remaining.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+}
+
+/// Scheduling telemetry from one [`map_units_stealing_stats`] run.
+/// Timing-dependent by nature (see the module docs) — report it, never
+/// branch on it in result-producing code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StealStats {
+    /// Shards executed by a worker other than the lane they were dealt
+    /// to.
+    pub steals: u64,
+    /// Shards executed per worker lane.
+    pub executed: Vec<u64>,
+}
+
+/// Deals a plan's shards into per-worker deques by replaying the greedy
+/// LPT least-loaded-lane assignment from the plan's makespan estimate:
+/// walking the dispatch order (heaviest first), each shard lands at the
+/// back of the currently least-loaded lane (ties to the lowest index).
+/// A pure function of the plan, so the starting schedule is exactly the
+/// one [`UnitPlan::est_makespan`] simulated.
+pub fn seed_lanes(plan: &UnitPlan) -> Vec<VecDeque<usize>> {
+    let shards = plan.shards();
+    let lanes = plan.workers().min(shards.len()).max(1);
+    let mut queues = vec![VecDeque::new(); lanes];
+    let mut loads = vec![0u64; lanes];
+    for &i in plan.dispatch_order() {
+        let lane = (0..lanes).min_by_key(|&l| loads[l]).unwrap_or(0);
+        loads[lane] = loads[lane].saturating_add(shards[i].est_cost);
+        queues[lane].push_back(i);
+    }
+    queues
+}
+
+/// [`map_units`](crate::map_units) with work stealing: applies `f` to
+/// every shard of the plan on per-worker deques seeded by
+/// [`seed_lanes`], idle workers stealing from the tail of the
+/// most-loaded queue. Results are returned **grouped per unit** with
+/// shards in ascending element order — byte-identical to the static
+/// path at any worker count and steal schedule.
+///
+/// # Panics
+///
+/// Propagates panics from `f` (the scope joins all workers first).
+pub fn map_units_stealing<R, F>(plan: &UnitPlan, f: F) -> Vec<Vec<R>>
+where
+    R: Send,
+    F: Fn(&Shard) -> R + Sync,
+{
+    map_units_stealing_stats(plan, f).0
+}
+
+/// [`map_units_stealing`] returning the run's [`StealStats`] alongside
+/// the results (bench harnesses read the steal counts; production
+/// callers usually drop them and rely on the `caf.exec.steals`
+/// counter).
+pub fn map_units_stealing_stats<R, F>(plan: &UnitPlan, f: F) -> (Vec<Vec<R>>, StealStats)
+where
+    R: Send,
+    F: Fn(&Shard) -> R + Sync,
+{
+    let telemetry = caf_obs::enabled();
+    let _span = caf_obs::span("engine.map_units_steal");
+    let wall_start = telemetry.then(Instant::now);
+    if telemetry {
+        caf_obs::gauge("caf.exec.shards", plan.shard_count() as u64);
+        caf_obs::gauge("caf.exec.plan.est_makespan_us", plan.est_makespan());
+    }
+    let shards = plan.shards();
+    let n = shards.len();
+
+    let run_task = |i: usize| {
+        let start = telemetry.then(Instant::now);
+        let result = f(&shards[i]);
+        if let Some(start) = start {
+            let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            caf_obs::observe("caf.exec.unit_us", nanos / 1_000);
+        }
+        result
+    };
+
+    let lanes: Vec<Lane> = seed_lanes(plan)
+        .into_iter()
+        .map(|queue| Lane::new(queue, shards))
+        .collect();
+
+    let (flat, stats) = if lanes.len() <= 1 || n <= 1 {
+        // Single lane: the serial loop in ascending shard order, exactly
+        // like the static executor's serial path.
+        let flat: Vec<R> = (0..n).map(run_task).collect();
+        (
+            flat,
+            StealStats {
+                steals: 0,
+                executed: vec![n as u64],
+            },
+        )
+    } else {
+        let steals = AtomicU64::new(0);
+        let executed: Vec<AtomicU64> = (0..lanes.len()).map(|_| AtomicU64::new(0)).collect();
+        let (sender, receiver) = std::sync::mpsc::channel::<(usize, R)>();
+        let trace = caf_obs::trace::current();
+        crossbeam::thread::scope(|scope| {
+            for worker in 0..lanes.len() {
+                let sender = sender.clone();
+                let run_task = &run_task;
+                let lanes = &lanes;
+                let steals = &steals;
+                let executed = &executed;
+                let trace = trace.clone();
+                scope.spawn(move |_| {
+                    let _trace = trace.as_ref().map(|ctx| ctx.enter());
+                    loop {
+                        // Own queue first; otherwise scan victims in
+                        // descending estimated-remaining order (ties to
+                        // the lowest lane index) and take their tail.
+                        let next = lanes[worker].pop_own(shards).or_else(|| {
+                            let mut victims: Vec<usize> =
+                                (0..lanes.len()).filter(|&l| l != worker).collect();
+                            victims.sort_by_key(|&l| {
+                                (
+                                    std::cmp::Reverse(lanes[l].remaining.load(Ordering::Relaxed)),
+                                    l,
+                                )
+                            });
+                            victims.into_iter().find_map(|l| {
+                                let stolen = lanes[l].pop_stolen(shards);
+                                if stolen.is_some() {
+                                    steals.fetch_add(1, Ordering::Relaxed);
+                                }
+                                stolen
+                            })
+                        });
+                        // Every queue was empty under its lock and tasks
+                        // are never re-enqueued, so the pool is drained.
+                        let Some(i) = next else { break };
+                        let result = run_task(i);
+                        executed[worker].fetch_add(1, Ordering::Relaxed);
+                        sender
+                            .send((i, result))
+                            .expect("result receiver outlives the scope");
+                    }
+                });
+            }
+        })
+        .expect("steal worker panicked");
+        drop(sender);
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for (i, result) in receiver {
+            slots[i] = Some(result);
+        }
+        let flat = slots
+            .into_iter()
+            .map(|slot| slot.expect("every shard produces a result"))
+            .collect();
+        (
+            flat,
+            StealStats {
+                steals: steals.into_inner(),
+                executed: executed.into_iter().map(AtomicU64::into_inner).collect(),
+            },
+        )
+    };
+
+    if telemetry {
+        caf_obs::count("caf.exec.steals", stats.steals);
+        if let Some(start) = wall_start {
+            let wall_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            caf_obs::gauge("caf.exec.map_units_steal_wall_us", wall_ns / 1_000);
+        }
+    }
+
+    let mut flat = flat.into_iter();
+    let grouped = plan
+        .unit_ranges()
+        .iter()
+        .map(|range| flat.by_ref().take(range.len()).collect())
+        .collect();
+    (grouped, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{CostHint, ShardPolicy};
+    use crate::{map_units, UnitPlan};
+
+    fn hints() -> Vec<CostHint> {
+        vec![
+            CostHint::PerElement((0..40).map(|i| (i * 13 % 17) + 1).collect()),
+            CostHint::Uniform {
+                cost: 300,
+                elements: 12,
+            },
+            CostHint::opaque(25),
+        ]
+    }
+
+    #[test]
+    fn seed_lanes_cover_every_shard_once_with_balanced_loads() {
+        let plan = UnitPlan::build(3, &hints(), ShardPolicy::default_policy());
+        let lanes = seed_lanes(&plan);
+        assert_eq!(lanes.len(), 3.min(plan.shard_count()));
+        let mut seen: Vec<usize> = lanes.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..plan.shard_count()).collect::<Vec<_>>());
+        // The greedy deal reproduces the makespan simulation: the
+        // heaviest lane's load is exactly the plan's estimate.
+        let load =
+            |lane: &VecDeque<usize>| lane.iter().map(|&i| plan.shards()[i].est_cost).sum::<u64>();
+        let max_load = lanes.iter().map(load).max().unwrap();
+        assert_eq!(max_load, plan.est_makespan());
+    }
+
+    #[test]
+    fn stealing_output_matches_static_path_everywhere() {
+        let hints = hints();
+        let merged = |grouped: Vec<Vec<usize>>| -> Vec<usize> {
+            grouped
+                .into_iter()
+                .map(|shards| shards.into_iter().sum())
+                .collect()
+        };
+        let expected: Vec<usize> = merged({
+            let plan = UnitPlan::build(1, &hints, ShardPolicy::disabled());
+            map_units(&plan, |s| {
+                s.range
+                    .clone()
+                    .map(|e| e * 31 + s.unit * 1_000)
+                    .sum::<usize>()
+            })
+        });
+        for workers in [1usize, 2, 3, 4, 16] {
+            for policy in [
+                ShardPolicy::disabled(),
+                ShardPolicy::default_policy(),
+                ShardPolicy::finest(),
+            ] {
+                let plan = UnitPlan::build(workers, &hints, policy);
+                let static_path = merged(map_units(&plan, |s| {
+                    s.range
+                        .clone()
+                        .map(|e| e * 31 + s.unit * 1_000)
+                        .sum::<usize>()
+                }));
+                let (steal_path, stats) = map_units_stealing_stats(&plan, |s| {
+                    s.range
+                        .clone()
+                        .map(|e| e * 31 + s.unit * 1_000)
+                        .sum::<usize>()
+                });
+                assert_eq!(
+                    merged(steal_path),
+                    static_path,
+                    "workers {workers} policy {policy:?}"
+                );
+                assert_eq!(static_path, expected);
+                assert_eq!(
+                    stats.executed.iter().sum::<u64>(),
+                    plan.shard_count() as u64
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn idle_worker_steals_from_the_loaded_lane() {
+        // Four opaque shards, costs 100/99/98/1: the greedy deal puts
+        // {100, 1} on lane 0 and {99, 98} on lane 1. Lane 0's front
+        // shard sleeps long; lane 1 finishes its cheap pair and must
+        // steal lane 0's queued tail shard well before the owner wakes.
+        let hints = vec![
+            CostHint::opaque(100),
+            CostHint::opaque(99),
+            CostHint::opaque(98),
+            CostHint::opaque(1),
+        ];
+        let plan = UnitPlan::build(2, &hints, ShardPolicy::disabled());
+        let lanes = seed_lanes(&plan);
+        assert_eq!(Vec::from(lanes[0].clone()), vec![0, 3]);
+        assert_eq!(Vec::from(lanes[1].clone()), vec![1, 2]);
+        let (results, stats) = map_units_stealing_stats(&plan, |s| {
+            let millis = if s.unit == 0 { 400 } else { 2 };
+            std::thread::sleep(std::time::Duration::from_millis(millis));
+            s.unit * 10
+        });
+        assert_eq!(results, vec![vec![0], vec![10], vec![20], vec![30]]);
+        assert!(stats.steals >= 1, "lane 1 should have stolen shard 3");
+        assert_eq!(stats.executed.iter().sum::<u64>(), 4);
+    }
+}

@@ -71,7 +71,10 @@ fn validate(n: usize, replicates: usize, level: f64) -> Result<(), StatsError> {
 
 /// The RNG seed of one replicate: keyed by the replicate index, never by
 /// a shared sequential stream, so the replicate sequence is independent
-/// of chunking and scheduling.
+/// of chunking and scheduling. The hot path in [`replicate_stats`]
+/// inlines this (hoisting the `mix_str` base out of the loop); this
+/// definition stays as the stream contract the tests pin.
+#[cfg(test)]
 fn replicate_seed(seed: u64, replicate: usize) -> u64 {
     mix(mix_str(seed, "bootstrap"), replicate as u64)
 }
@@ -79,6 +82,13 @@ fn replicate_seed(seed: u64, replicate: usize) -> u64 {
 /// Runs the replicates in `range`, returning their statistics in
 /// replicate order. Each replicate resamples `n` indices from its own
 /// keyed stream.
+///
+/// Hot path: the string-hashed stream base (`mix_str`) is computed once
+/// per chunk, not once per replicate — profiling the bootstrap plateau
+/// showed per-replicate stream *setup* (hash the scope string, mix, key
+/// the RNG) competing with the resampling loop itself at small `n`. The
+/// stream definition is unchanged: `mix(base, k)` equals the old
+/// `replicate_seed(seed, k)` exactly.
 fn replicate_stats<F>(
     n: usize,
     range: Range<usize>,
@@ -88,10 +98,11 @@ fn replicate_stats<F>(
 where
     F: Fn(&[usize]) -> f64,
 {
+    let base = mix_str(seed, "bootstrap");
     let mut resample = vec![0usize; n];
     let mut stats = Vec::with_capacity(range.len());
     for replicate in range {
-        let mut rng = StdRng::seed_from_u64(replicate_seed(seed, replicate));
+        let mut rng = StdRng::seed_from_u64(mix(base, replicate as u64));
         for slot in resample.iter_mut() {
             *slot = rng.gen_range(0..n);
         }
@@ -183,6 +194,13 @@ where
 /// [`bootstrap_ci`] on an engine worker pool. Bit-identical to the
 /// serial variant at any worker count (see the module docs); requires a
 /// `Sync` statistic.
+///
+/// The value gather reuses one thread-local scratch buffer per worker
+/// instead of allocating a fresh `Vec<f64>` every replicate — the
+/// allocation churn was the other half of the bootstrap parallelism
+/// plateau: with hundreds of replicates per chunk, each worker hammered
+/// the (shared) allocator in lockstep, serializing the supposedly
+/// independent chunks.
 pub fn bootstrap_ci_on<F>(
     engine: EngineConfig,
     xs: &[f64],
@@ -194,13 +212,20 @@ pub fn bootstrap_ci_on<F>(
 where
     F: Fn(&[f64]) -> f64 + Sync,
 {
+    thread_local! {
+        static SCRATCH: std::cell::RefCell<Vec<f64>> = const { std::cell::RefCell::new(Vec::new()) };
+    }
     ensure_sample(xs)?;
     bootstrap_indices_ci_on(
         engine,
         xs.len(),
         |idx| {
-            let resample: Vec<f64> = idx.iter().map(|&i| xs[i]).collect();
-            statistic(&resample)
+            SCRATCH.with(|cell| {
+                let mut buf = cell.borrow_mut();
+                buf.clear();
+                buf.extend(idx.iter().map(|&i| xs[i]));
+                statistic(&buf)
+            })
         },
         replicates,
         level,
@@ -263,7 +288,10 @@ where
     let stats = if workers <= 1 || plan.shard_count() <= 1 {
         replicate_stats(n, 0..replicates, &statistic, seed)?
     } else {
-        let partials = caf_exec::map_units(&plan, |shard| {
+        // Work-stealing executor: replicate chunks are nominally uniform,
+        // but the statistic's runtime need not be — stealing absorbs the
+        // variance without changing the canonical reassembly order.
+        let partials = caf_exec::map_units_stealing(&plan, |shard| {
             replicate_stats(n, shard.range.clone(), &statistic, seed)
         });
         let mut stats = Vec::with_capacity(replicates);
@@ -286,6 +314,18 @@ mod tests {
         (0..200)
             .map(|i| 0.30 + 0.50 * ((i * 37 % 200) as f64 / 200.0))
             .collect()
+    }
+
+    #[test]
+    fn hoisted_stream_base_matches_replicate_seed_contract() {
+        let base = mix_str(0xCAF_2024, "bootstrap");
+        for replicate in [0usize, 1, 7, 999, 123_456] {
+            assert_eq!(
+                mix(base, replicate as u64),
+                replicate_seed(0xCAF_2024, replicate),
+                "hot-path stream keying must equal the contract definition"
+            );
+        }
     }
 
     #[test]

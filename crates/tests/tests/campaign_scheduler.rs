@@ -1,0 +1,146 @@
+//! Determinism and resumability of the work-stealing BQT campaign
+//! scheduler, pinned across crate boundaries through the public
+//! `caf-bqt` API only.
+//!
+//! The scheduler's contract: worker count, the stealing executor, and
+//! the shard policy move **wall-clock only** — the `CampaignResult`
+//! (records, replayed proxy telemetry, stats) is byte-identical across
+//! the whole matrix. Checkpointing extends the contract through process
+//! death: a campaign killed at any flush epoch and resumed must converge
+//! to the same result as an uninterrupted run. (The real-SIGKILL version
+//! of the resume check lives in extended CI, which `timeout -s KILL`s a
+//! `campaign_run` process mid-flight and byte-diffs the resumed output.)
+
+use caf_bqt::{Campaign, CampaignConfig, CheckpointConfig, QueryTask, ShardPolicy};
+use caf_geo::UsState;
+use caf_synth::{SynthConfig, World};
+use std::path::PathBuf;
+
+const SEED: u64 = 0xCAF_B07;
+const SCALE: u32 = 50;
+
+fn world() -> World {
+    World::generate_states(
+        SynthConfig {
+            seed: SEED,
+            scale: SCALE,
+        },
+        &[UsState::Vermont, UsState::NewHampshire],
+    )
+}
+
+fn tasks_for(world: &World) -> Vec<QueryTask> {
+    let mut tasks = Vec::new();
+    for sw in &world.states {
+        tasks.extend(sw.usac.records.iter().map(|r| QueryTask {
+            address: r.address.id,
+            isp: r.isp,
+        }));
+    }
+    tasks
+}
+
+fn config(workers: usize, steal: bool, shard: ShardPolicy) -> CampaignConfig {
+    CampaignConfig {
+        seed: SEED,
+        workers,
+        steal,
+        shard,
+        ..CampaignConfig::default()
+    }
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("caf-it-ckpt-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The full scheduler matrix: {1, 2, 4} workers × {static, stealing} ×
+/// {finest, default, disabled} shard policies, every cell compared for
+/// full `CampaignResult` equality against the serial static baseline.
+#[test]
+fn campaign_results_identical_across_scheduler_matrix() {
+    let w = world();
+    let tasks = tasks_for(&w);
+    assert!(tasks.len() >= 100, "matrix needs a non-trivial campaign");
+    let baseline = Campaign::new(config(1, false, ShardPolicy::disabled())).run(&w.truth, &tasks);
+
+    for workers in [1usize, 2, 4] {
+        for steal in [false, true] {
+            for (name, shard) in [
+                ("finest", ShardPolicy::finest()),
+                ("default", ShardPolicy::default_policy()),
+                ("disabled", ShardPolicy::disabled()),
+            ] {
+                let result = Campaign::new(config(workers, steal, shard)).run(&w.truth, &tasks);
+                assert_eq!(
+                    result, baseline,
+                    "campaign diverged at workers={workers} steal={steal} shard={name}"
+                );
+            }
+        }
+    }
+}
+
+/// Kill-at-epoch resume: seed a checkpoint holding exactly what a
+/// campaign killed right after a mid-run flush would have persisted
+/// (three completed spans), then resume and require the result — records
+/// *and* stats — to equal the uninterrupted run.
+#[test]
+fn killed_campaign_resumes_to_uninterrupted_result() {
+    let w = world();
+    let tasks = tasks_for(&w);
+    let campaign = Campaign::new(config(4, true, ShardPolicy::default_policy()));
+    let uninterrupted = campaign.run(&w.truth, &tasks);
+
+    let n = tasks.len();
+    let spans = [0..n / 5, n / 3..n / 2, 2 * n / 3..3 * n / 4];
+    let dir = tempdir("kill");
+    let ckpt = CheckpointConfig::new(&dir, 25);
+    campaign
+        .seed_checkpoint(&tasks, &uninterrupted.records, &spans, &ckpt)
+        .expect("seed interrupted checkpoint");
+
+    let resumed = campaign
+        .run_with_checkpoints(&w.truth, &tasks, &ckpt)
+        .expect("resume");
+    assert_eq!(
+        resumed.records, uninterrupted.records,
+        "resumed records must be byte-identical"
+    );
+    assert_eq!(
+        resumed.stats, uninterrupted.stats,
+        "resumed CampaignStats must equal the uninterrupted run"
+    );
+    assert_eq!(resumed, uninterrupted);
+
+    // And a third run over the now-complete checkpoint loads everything.
+    let reloaded = campaign
+        .run_with_checkpoints(&w.truth, &tasks, &ckpt)
+        .expect("reload");
+    assert_eq!(reloaded, uninterrupted);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Checkpointing must be transparent even with stealing and adaptive
+/// retry budgets on: the checkpointed run equals the plain run of the
+/// same config.
+#[test]
+fn checkpointing_is_transparent_under_adaptive_stealing() {
+    let w = world();
+    let tasks = tasks_for(&w);
+    let cfg = CampaignConfig {
+        adaptive_retry: true,
+        ..config(2, true, ShardPolicy::finest())
+    };
+    let campaign = Campaign::new(cfg);
+    let plain = campaign.run(&w.truth, &tasks);
+    let dir = tempdir("adaptive");
+    let ckpt = CheckpointConfig::new(&dir, 40);
+    let checkpointed = campaign
+        .run_with_checkpoints(&w.truth, &tasks, &ckpt)
+        .expect("checkpointed run");
+    assert_eq!(checkpointed, plain);
+    let _ = std::fs::remove_dir_all(&dir);
+}
