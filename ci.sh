@@ -32,9 +32,17 @@
 # full mode and byte-compares the artifact sets (the epoch-versioned
 # incremental-recompute determinism contract), and the challenge bench
 # smoke validates `BENCH_challenge.json` (with the >= 5x incremental
-# speedup gate on hosts with >= 4 cores). A supply-chain check
+# speedup gate on hosts with >= 4 cores). The sweep determinism gate
+# runs the release `caf-sweep` binary over the committed
+# `testdata/sweep_spec.json` at {1,4} workers with stealing on and off
+# and byte-compares all four results.json/results.csv emissions (the
+# grid-cell determinism contract), and the sweep bench smoke validates
+# `BENCH_sweep.json` (with the >= 1.0x 4-worker sweep speedup gate on
+# hosts with >= 4 cores). A supply-chain check
 # (`cargo deny`) runs when the tool is installed, and the script fails
-# if any gate left the git worktree dirtier than it found it.
+# if any gate left the git worktree dirtier than it found it. A
+# per-gate wall-clock summary is printed just before the final
+# all-passed line.
 #
 # All generated reports/artifacts land in $CAF_CI_OUT (a temp dir by
 # default; CI sets it to a workspace path and uploads it), never in
@@ -70,23 +78,55 @@ cleanup() {
 }
 trap cleanup EXIT
 
-echo "==> cargo fmt --all -- --check"
+# Per-gate wall-clock accounting: `gate NAME` closes the previous
+# gate's clock, starts a new one, and prints the usual `==>` marker.
+# `gate_summary` (called just before the final all-passed line) flushes
+# the last gate and prints the whole table, so slow gates are obvious
+# from the log without timestamp archaeology.
+gate_names=()
+gate_ms=()
+current_gate=""
+gate_started_ns=0
+gate_close() {
+  if [ -n "$current_gate" ]; then
+    gate_names+=("$current_gate")
+    gate_ms+=($(( ($(date +%s%N) - gate_started_ns) / 1000000 )))
+    current_gate=""
+  fi
+}
+gate() {
+  gate_close
+  current_gate="$1"
+  gate_started_ns=$(date +%s%N)
+  echo "==> $1"
+}
+gate_summary() {
+  gate_close
+  echo "==> per-gate timing summary"
+  local i
+  for i in "${!gate_names[@]}"; do
+    printf '    %5d.%03ds  %s\n' \
+      $(( gate_ms[i] / 1000 )) $(( gate_ms[i] % 1000 )) "${gate_names[i]}"
+  done
+}
+
+gate "cargo fmt --all -- --check"
 cargo fmt --all -- --check
 
-echo "==> cargo build --release"
+gate "cargo build --release"
 cargo build --release
 
-echo "==> cargo test -q"
+gate "cargo test -q"
 cargo test -q
 
-echo "==> cargo clippy --all-targets -- -D warnings"
+gate "cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
-echo "==> cold-path equivalence at two pool shapes (2 and 5 workers)"
+gate "cold-path equivalence at two pool shapes (2 and 5 workers)"
 CAF_EQUIV_WORKERS=2 cargo test -q -p caf-tests --test parallel_cold_paths
 CAF_EQUIV_WORKERS=5 cargo test -q -p caf-tests --test parallel_cold_paths
 
-echo "==> world bench smoke: BENCH_world.json + schema gate"
+gate "world bench smoke: BENCH_world.json + schema gate"
 CAF_BENCH_WORLD_QUICK=1 CAF_BENCH_DIR="$ci_out" cargo bench -q -p caf-bench --bench world
 cargo run --release -q -p caf-bench --bin metrics_check -- --schema-only "$ci_out/BENCH_world.json"
 
@@ -95,13 +135,13 @@ cargo run --release -q -p caf-bench --bin metrics_check -- --schema-only "$ci_ou
 # Only meaningful with real parallelism, so skip on small hosts.
 cores=$(nproc 2>/dev/null || echo 1)
 if [ "$cores" -ge 4 ]; then
-  echo "==> world bench speedup gate (host has $cores cores)"
+  gate "world bench speedup gate (host has $cores cores)"
   cargo run --release -q -p caf-bench --bin metrics_check -- \
     --schema-only --min-world-speedup 1.0 "$ci_out/BENCH_world.json"
   # The bootstrap plateau fix (DESIGN.md §2.3): hoisted stream-base
   # keying, scratch-buffer reuse, and the stealing executor must hold a
   # >= 1.3x 4-worker speedup on the ext-ci replicate budget.
-  echo "==> bootstrap speedup gate (host has $cores cores)"
+  gate "bootstrap speedup gate (host has $cores cores)"
   cargo run --release -q -p caf-bench --bin metrics_check -- \
     --schema-only --min-bootstrap-speedup 1.3 "$ci_out/BENCH_world.json"
 else
@@ -109,7 +149,7 @@ else
   echo "==> skipping bootstrap speedup gate (host has $cores cores, need 4)"
 fi
 
-echo "==> campaign bench smoke: BENCH_campaign.json + schema gate"
+gate "campaign bench smoke: BENCH_campaign.json + schema gate"
 CAF_BENCH_CAMPAIGN_QUICK=1 CAF_BENCH_DIR="$ci_out" \
   cargo bench -q -p caf-bench --bench campaign
 cargo run --release -q -p caf-bench --bin metrics_check -- \
@@ -118,7 +158,7 @@ cargo run --release -q -p caf-bench --bin metrics_check -- \
 # than serial (same host-size caveat as the world gate; the quick-mode
 # summary also self-asserts checkpoint resume equality).
 if [ "$cores" -ge 4 ]; then
-  echo "==> campaign speedup gate (host has $cores cores)"
+  gate "campaign speedup gate (host has $cores cores)"
   cargo run --release -q -p caf-bench --bin metrics_check -- \
     --schema-only --min-campaign-speedup 1.0 "$ci_out/BENCH_campaign.json"
 else
@@ -130,7 +170,7 @@ fi
 # lands — world build, mid-campaign, or after the final flush — resume
 # must converge), then resumed from its checkpoint directory and its
 # snap-encoded result byte-diffed against the reference.
-echo "==> campaign checkpoint/resume smoke: SIGKILL -> resume -> byte-diff"
+gate "campaign checkpoint/resume smoke: SIGKILL -> resume -> byte-diff"
 ckpt_smoke="$ci_out/campaign_ckpt"
 rm -rf "$ckpt_smoke"
 ./target/release/campaign_run --scale 20 --workers 2 \
@@ -143,7 +183,7 @@ timeout -s KILL 2 ./target/release/campaign_run --scale 20 --workers 2 \
 cmp "$ci_out/campaign_ref.bin" "$ci_out/campaign_resumed.bin"
 echo "    resumed campaign result is byte-identical to the uninterrupted run"
 
-echo "==> observability smoke: repro --metrics + golden artifacts + full gate"
+gate "observability smoke: repro --metrics + golden artifacts + full gate"
 golden="$ci_out/golden"
 cargo run --release -q -p caf-bench --bin repro -- \
   table2 --scale 150 --workers 2 --metrics "$ci_out/obs_smoke.json" \
@@ -155,7 +195,7 @@ cargo run --release -q -p caf-bench --bin metrics_check -- "$ci_out/obs_smoke.js
 # the network boundary — at both 1 and 4 HTTP workers.
 serve_seed=212803620 # 0xCAF_2024, the repro default
 for http_workers in 1 4; do
-  echo "==> serve gate: caf-serve with $http_workers HTTP worker(s)"
+  gate "serve gate: caf-serve with $http_workers HTTP worker(s)"
   port_file="$ci_out/serve_port.$http_workers"
   rm -f "$port_file"
   ./target/release/caf-serve --addr 127.0.0.1:0 --workers "$http_workers" \
@@ -234,7 +274,7 @@ done
 # (cell ownership is RNG-dependent), so challenge_replay first resolves
 # them against the generated world; a live server validates ISPs
 # strictly and would reject the raw stream.
-echo "==> snapshot restart gate: byte-identity across a warm restart"
+gate "snapshot restart gate: byte-identity across a warm restart"
 cargo run --release -q -p caf-serve --bin challenge_replay -- \
   --deltas testdata/challenge_deltas.jsonl --scale 150 --mode full \
   --workers 2 --emit-resolved "$ci_out/resolved_deltas.jsonl" --quiet
@@ -324,14 +364,14 @@ done
 if [ "$cores" -ge 4 ]; then
   max_restart_ms=$(( cold_first_200_ms / 10 ))
   [ "$max_restart_ms" -ge 50 ] || max_restart_ms=50
-  echo "==> restart latency gate (host has $cores cores; cold first-200 ${cold_first_200_ms} ms)"
+  gate "restart latency gate (host has $cores cores; cold first-200 ${cold_first_200_ms} ms)"
   cargo run --release -q -p caf-bench --bin metrics_check -- \
     --schema-only --max-restart-ms "$max_restart_ms" "$ci_out/snap_metrics.json"
 else
   echo "==> skipping restart latency gate (host has $cores cores, need 4)"
 fi
 
-echo "==> serve bench smoke: BENCH_serve.json + schema gate"
+gate "serve bench smoke: BENCH_serve.json + schema gate"
 CAF_BENCH_SERVE_QUICK=1 CAF_BENCH_DIR="$ci_out" \
   cargo run --release -q -p caf-serve --bin serve_bench
 cargo run --release -q -p caf-bench --bin metrics_check -- --schema-only "$ci_out/BENCH_serve.json"
@@ -342,7 +382,7 @@ cargo run --release -q -p caf-bench --bin metrics_check -- --schema-only BENCH_s
 # medians are scheduler noise on tiny shared hosts, so gate where the
 # other timing gates run.
 if [ "$cores" -ge 4 ]; then
-  echo "==> trace overhead gate (host has $cores cores)"
+  gate "trace overhead gate (host has $cores cores)"
   cargo run --release -q -p caf-bench --bin metrics_check -- \
     --schema-only --max-trace-overhead-pct 5.0 "$ci_out/BENCH_serve.json"
 else
@@ -351,7 +391,7 @@ fi
 # Snapshot restore must beat the cold build by >= 10x in the bench's
 # own restart-to-first-200 measurement (same host-size caveat).
 if [ "$cores" -ge 4 ]; then
-  echo "==> restart speedup gate (host has $cores cores)"
+  gate "restart speedup gate (host has $cores cores)"
   cargo run --release -q -p caf-bench --bin metrics_check -- \
     --schema-only --min-restart-speedup 10.0 "$ci_out/BENCH_serve.json"
 else
@@ -363,7 +403,7 @@ fi
 # batch through the incremental audit or applied in one shot to a
 # from-scratch re-audit — at different worker counts, to cross the
 # determinism contracts.
-echo "==> challenge replay gate: incremental vs full byte-identity"
+gate "challenge replay gate: incremental vs full byte-identity"
 cargo run --release -q -p caf-serve --bin challenge_replay -- \
   --deltas testdata/challenge_deltas.jsonl --scale 150 --batch 3 \
   --mode incremental --workers 2 --out "$ci_out/replay_inc" --quiet
@@ -375,7 +415,7 @@ for f in serviceability compliance table2; do
 done
 echo "    incremental replay artifacts are byte-identical to the full rebuild"
 
-echo "==> challenge bench smoke: BENCH_challenge.json + schema gate"
+gate "challenge bench smoke: BENCH_challenge.json + schema gate"
 CAF_BENCH_CHALLENGE_QUICK=1 CAF_BENCH_DIR="$ci_out" \
   cargo bench -q -p caf-bench --bench challenge
 cargo run --release -q -p caf-bench --bin metrics_check -- \
@@ -385,14 +425,57 @@ cargo run --release -q -p caf-bench --bin metrics_check -- \
 # clocks are noisy on tiny shared hosts, so gate where the world bench
 # speedup gate also runs.
 if [ "$cores" -ge 4 ]; then
-  echo "==> incremental speedup gate (host has $cores cores)"
+  gate "incremental speedup gate (host has $cores cores)"
   cargo run --release -q -p caf-bench --bin metrics_check -- \
     --schema-only --min-incremental-speedup 5.0 "$ci_out/BENCH_challenge.json"
 else
   echo "==> skipping incremental speedup gate (host has $cores cores, need 4)"
 fi
 
-echo "==> supply-chain gate: cargo deny"
+# The sweep determinism gate: the committed grid spec must emit
+# byte-identical results.json/results.csv at {1,4} workers with the
+# stealing executor on and off — the grid-cell determinism contract
+# the /v1/sweep cache, the results tables, and the bench baselines all
+# rely on. The 1-worker static run is the reference.
+gate "sweep determinism gate: {1,4} workers x steal on/off byte-identity"
+sweep_ref="$ci_out/sweep_w1_static"
+./target/release/caf-sweep --spec testdata/sweep_spec.json \
+  --out "$sweep_ref" --workers 1 --no-steal 2>/dev/null
+for sweep_variant in "1 steal" "4 static" "4 steal"; do
+  read -r sweep_workers sweep_mode <<<"$sweep_variant"
+  sweep_out="$ci_out/sweep_w${sweep_workers}_${sweep_mode}"
+  if [ "$sweep_mode" = static ]; then
+    ./target/release/caf-sweep --spec testdata/sweep_spec.json \
+      --out "$sweep_out" --workers "$sweep_workers" --no-steal 2>/dev/null
+  else
+    ./target/release/caf-sweep --spec testdata/sweep_spec.json \
+      --out "$sweep_out" --workers "$sweep_workers" 2>/dev/null
+  fi
+  cmp "$sweep_out/results.json" "$sweep_ref/results.json"
+  cmp "$sweep_out/results.csv" "$sweep_ref/results.csv"
+done
+echo "    all four schedules emitted byte-identical results.json and results.csv"
+
+gate "sweep bench smoke: BENCH_sweep.json + schema gate"
+CAF_BENCH_SWEEP_QUICK=1 CAF_BENCH_DIR="$ci_out" \
+  cargo bench -q -p caf-bench --bench sweep
+cargo run --release -q -p caf-bench --bin metrics_check -- \
+  --schema-only "$ci_out/BENCH_sweep.json"
+# The committed baseline must stay schema-valid too.
+cargo run --release -q -p caf-bench --bin metrics_check -- --schema-only BENCH_sweep.json
+# The cost-aware sweep plan must not be slower at 4 workers than serial
+# (same host-size caveat as the other speedup gates; the quick-mode
+# summary also self-asserts grid determinism and the 2x re-run memo
+# hit ratio).
+if [ "$cores" -ge 4 ]; then
+  gate "sweep speedup gate (host has $cores cores)"
+  cargo run --release -q -p caf-bench --bin metrics_check -- \
+    --schema-only --min-sweep-speedup 1.0 "$ci_out/BENCH_sweep.json"
+else
+  echo "==> skipping sweep speedup gate (host has $cores cores, need 4)"
+fi
+
+gate "supply-chain gate: cargo deny"
 if command -v cargo-deny >/dev/null; then
   cargo deny check
 else
@@ -401,7 +484,7 @@ fi
 
 if [ -n "${status_before+x}" ] && command -v git >/dev/null \
   && git rev-parse --is-inside-work-tree >/dev/null 2>&1; then
-  echo "==> worktree hygiene: no gate may modify tracked files"
+  gate "worktree hygiene: no gate may modify tracked files"
   status_after=$(git status --porcelain)
   if [ "$status_after" != "$status_before" ]; then
     echo "ci.sh modified the worktree:" >&2
@@ -410,4 +493,5 @@ if [ -n "${status_before+x}" ] && command -v git >/dev/null \
   fi
 fi
 
+gate_summary
 echo "==> ci.sh: all gates passed"

@@ -40,6 +40,11 @@
 //! delta batch) — the regression gate for the epoch-versioned
 //! incremental recompute path.
 //!
+//! `--min-sweep-speedup X` does the same for the
+//! `sweep_speedup_4_workers` metadata the sweep bench records
+//! (1-worker grid wall over 4-worker grid wall with stealing on) —
+//! the regression gate for the cost-aware policy sweep scheduler.
+//!
 //! `--max-slo-burn FRAC` scans the `caf.slo.<route>.*` counters in a
 //! server `/metrics` report and fails if any route with traffic burned
 //! more than `FRAC` of its requests (latency target misses plus 5xx) —
@@ -100,6 +105,7 @@ fn main() {
     let mut min_bootstrap_speedup: Option<f64> = None;
     let mut min_campaign_speedup: Option<f64> = None;
     let mut min_incremental_speedup: Option<f64> = None;
+    let mut min_sweep_speedup: Option<f64> = None;
     let mut max_slo_burn: Option<f64> = None;
     let mut max_trace_overhead_pct: Option<f64> = None;
     let mut max_restart_ms: Option<f64> = None;
@@ -135,6 +141,13 @@ fn main() {
                     args.next()
                         .and_then(|v| v.parse().ok())
                         .unwrap_or_else(|| fail("--min-incremental-speedup needs a number")),
+                );
+            }
+            "--min-sweep-speedup" => {
+                min_sweep_speedup = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| fail("--min-sweep-speedup needs a number")),
                 );
             }
             "--max-slo-burn" => {
@@ -173,9 +186,9 @@ fn main() {
         fail(
             "usage: metrics_check [--schema-only] [--min-world-speedup X] \
              [--min-bootstrap-speedup X] [--min-campaign-speedup X] \
-             [--min-incremental-speedup X] [--max-slo-burn FRAC] \
-             [--max-trace-overhead-pct X] [--max-restart-ms X] \
-             [--min-restart-speedup X] <report.json>",
+             [--min-incremental-speedup X] [--min-sweep-speedup X] \
+             [--max-slo-burn FRAC] [--max-trace-overhead-pct X] \
+             [--max-restart-ms X] [--min-restart-speedup X] <report.json>",
         )
     });
     let text = std::fs::read_to_string(&path)
@@ -261,6 +274,18 @@ fn main() {
             ));
         }
         println!("metrics_check: incremental_speedup {speedup:.2} >= {min:.2}");
+    }
+
+    if let Some(min) = min_sweep_speedup {
+        let speedup = meta_number(&report, "sweep_speedup_4_workers")
+            .unwrap_or_else(|| fail("meta `sweep_speedup_4_workers` missing or not a number"));
+        if speedup < min {
+            fail(&format!(
+                "sweep_speedup_4_workers {speedup:.2} is below the required {min:.2} \
+                 — the cost-aware sweep scheduler regressed (see DESIGN.md §5)"
+            ));
+        }
+        println!("metrics_check: sweep_speedup_4_workers {speedup:.2} >= {min:.2}");
     }
 
     if let Some(max) = max_slo_burn {

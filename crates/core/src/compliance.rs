@@ -297,6 +297,37 @@ impl ComplianceAnalysis {
     pub fn price_compliance(&self, dataset: &AuditDataset) -> (f64, Option<(f64, f64)>) {
         let (floor_down, floor_up) = CalibrationParams::fcc_speed_floor();
         let cap = CalibrationParams::fcc_rate_cap_usd();
+        self.price_compliance_with(dataset, floor_down, floor_up, cap)
+    }
+
+    /// [`price_compliance`](ComplianceAnalysis::price_compliance) under
+    /// explicit program rules — the policy-counterfactual path: the
+    /// sweep's speed-tier axis moves the qualifying floor and its
+    /// price-cap axis moves the benchmark, and eligibility/price-range
+    /// reporting must follow both.
+    pub fn price_compliance_under(
+        &self,
+        dataset: &AuditDataset,
+        rules: &crate::program::ProgramRules,
+    ) -> (f64, Option<(f64, f64)>) {
+        self.price_compliance_with(
+            dataset,
+            rules.min_down_mbps,
+            rules.min_up_mbps,
+            rules.rate_cap_usd,
+        )
+    }
+
+    fn price_compliance_with(
+        &self,
+        dataset: &AuditDataset,
+        floor_down: f64,
+        floor_up: f64,
+        cap: f64,
+    ) -> (f64, Option<(f64, f64)>) {
+        // The observed-price window tracks the floor tier: ±10 % of the
+        // qualifying download floor (9–11 Mbps under the CAF 10/1 rules).
+        let (window_lo, window_hi) = (0.9 * floor_down, 1.1 * floor_down);
         let mut eligible = 0usize;
         let mut under_cap = 0usize;
         let mut ten_mbps_prices: Vec<f64> = Vec::new();
@@ -315,7 +346,7 @@ impl ComplianceAnalysis {
             }
             for plan in &row.plans {
                 if let Some(d) = plan.download_mbps {
-                    if plan.speed_guaranteed && (9.0..=11.0).contains(&d) {
+                    if plan.speed_guaranteed && (window_lo..=window_hi).contains(&d) {
                         ten_mbps_prices.push(plan.monthly_usd);
                     }
                 }
@@ -475,6 +506,33 @@ mod tests {
         let cvs = analysis.carriage_values(&ds, Isp::CenturyLink);
         assert_eq!(cvs.len(), 2);
         assert!(cvs.iter().any(|&v| (v - 940.0 / 75.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn price_compliance_under_policy_rules() {
+        let rows = vec![
+            row_with_plan(1, Isp::CenturyLink, Some("Simply Internet 10")), // $50, 10/1
+            row_with_plan(2, Isp::CenturyLink, Some("Fiber 940")),          // $75
+        ];
+        let ds = dataset(rows);
+        let analysis = ComplianceAnalysis::compute(&ds);
+        // The explicit CAF Phase II rules reproduce the calibrated default.
+        let rules = crate::program::ProgramRules::caf_phase_ii();
+        assert_eq!(
+            analysis.price_compliance_under(&ds, &rules),
+            analysis.price_compliance(&ds)
+        );
+        // Raising the floor to BEAD's 100/20 drops the 10 Mbps tier from
+        // eligibility and moves the observed-price window to ~100 Mbps
+        // tiers (none here).
+        let bead = crate::program::ProgramRules::bead();
+        let (fraction, range) = analysis.price_compliance_under(&ds, &bead);
+        assert_eq!(fraction, 1.0); // fiber qualifies and sits under the cap
+        assert!(range.is_none());
+        // Tightening the cap below every price zeroes the fraction.
+        let tight = rules.with_rate_cap_multiplier(0.1);
+        let (fraction, _) = analysis.price_compliance_under(&ds, &tight);
+        assert_eq!(fraction, 0.0);
     }
 
     #[test]

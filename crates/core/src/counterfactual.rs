@@ -15,6 +15,63 @@ use caf_stats::{median, quantile};
 
 use crate::q3::{BlockType, Q3Analysis};
 
+/// A subsidy-reallocation rule: how a policy counterfactual redirects
+/// CAF support toward fostering competition in monopoly-served (Type A)
+/// blocks. Each rule resolves to the fraction of Type A blocks treated
+/// in the §7 potential-outcomes mixture — the sweep engine's third
+/// policy axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SubsidyRule {
+    /// No reallocation: support stays with the incumbent (fraction 0).
+    StatusQuo,
+    /// Half of the support is redirected to seeding a competitor in
+    /// Type A blocks (fraction 0.5).
+    ReallocateHalf,
+    /// All Type A blocks gain a competitor (fraction 1).
+    FullBuildout,
+}
+
+impl SubsidyRule {
+    /// Parses a grid label: `"status_quo"`, `"reallocate_half"`, or
+    /// `"full_buildout"` — the vocabulary shared by sweep spec files and
+    /// `/v1/sweep` query strings.
+    pub fn parse(label: &str) -> Option<SubsidyRule> {
+        match label {
+            "status_quo" => Some(SubsidyRule::StatusQuo),
+            "reallocate_half" => Some(SubsidyRule::ReallocateHalf),
+            "full_buildout" => Some(SubsidyRule::FullBuildout),
+            _ => None,
+        }
+    }
+
+    /// The grid label [`SubsidyRule::parse`] accepts for this rule.
+    pub fn label(self) -> &'static str {
+        match self {
+            SubsidyRule::StatusQuo => "status_quo",
+            SubsidyRule::ReallocateHalf => "reallocate_half",
+            SubsidyRule::FullBuildout => "full_buildout",
+        }
+    }
+
+    /// All rules, in treated-fraction order.
+    pub fn all() -> [SubsidyRule; 3] {
+        [
+            SubsidyRule::StatusQuo,
+            SubsidyRule::ReallocateHalf,
+            SubsidyRule::FullBuildout,
+        ]
+    }
+
+    /// The fraction of Type A blocks this rule treats.
+    pub fn treated_fraction(self) -> f64 {
+        match self {
+            SubsidyRule::StatusQuo => 0.0,
+            SubsidyRule::ReallocateHalf => 0.5,
+            SubsidyRule::FullBuildout => 1.0,
+        }
+    }
+}
+
 /// One point of the counterfactual sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CounterfactualPoint {
@@ -90,6 +147,12 @@ impl CompetitionCounterfactual {
     /// A sweep over treatment fractions.
     pub fn sweep(&self, fractions: &[f64]) -> Vec<CounterfactualPoint> {
         fractions.iter().map(|&f| self.at(f)).collect()
+    }
+
+    /// The expected outcome under a named subsidy-reallocation rule —
+    /// [`CompetitionCounterfactual::at`] the rule's treated fraction.
+    pub fn under_rule(&self, rule: SubsidyRule) -> CounterfactualPoint {
+        self.at(rule.treated_fraction())
     }
 
     /// The relative mean-speed gain from full treatment.
@@ -193,5 +256,28 @@ mod tests {
     #[should_panic(expected = "treated fraction")]
     fn fraction_out_of_range_panics() {
         cf().at(1.5);
+    }
+
+    #[test]
+    fn subsidy_rule_labels_round_trip() {
+        for rule in SubsidyRule::all() {
+            assert_eq!(SubsidyRule::parse(rule.label()), Some(rule));
+        }
+        assert_eq!(SubsidyRule::parse("status quo"), None);
+        assert_eq!(SubsidyRule::parse(""), None);
+    }
+
+    #[test]
+    fn rules_map_onto_mixture_points() {
+        let cf = cf();
+        assert_eq!(cf.under_rule(SubsidyRule::StatusQuo), cf.at(0.0));
+        assert_eq!(cf.under_rule(SubsidyRule::ReallocateHalf), cf.at(0.5));
+        assert_eq!(cf.under_rule(SubsidyRule::FullBuildout), cf.at(1.0));
+        // More reallocation never lowers the expected mean speed.
+        let means: Vec<f64> = SubsidyRule::all()
+            .iter()
+            .map(|&r| cf.under_rule(r).mean_caf_speed)
+            .collect();
+        assert!(means.windows(2).all(|w| w[1] >= w[0]));
     }
 }

@@ -57,7 +57,7 @@ pub mod snap;
 pub use artifact::ScenarioMeta;
 pub use audit::{Audit, AuditConfig, AuditDataset, AuditRow};
 pub use compliance::ComplianceAnalysis;
-pub use counterfactual::CompetitionCounterfactual;
+pub use counterfactual::{CompetitionCounterfactual, CounterfactualPoint, SubsidyRule};
 pub use engine::{CostHint, EngineConfig, Shard, ShardPolicy, UnitPlan};
 pub use experienced::ExperiencedAnalysis;
 pub use incremental::IncrementalAudit;

@@ -61,6 +61,43 @@ impl ProgramRules {
         }
     }
 
+    /// Looks up a speed-threshold tier by its grid label: `"10_1"` (CAF
+    /// Phase II), `"25_3"` (the FCC broadband definition), or `"100_20"`
+    /// (BEAD). The sweep engine's speed-tier axis parses through here so
+    /// spec files and `/v1/sweep` query strings share one vocabulary.
+    pub fn tier(label: &str) -> Option<ProgramRules> {
+        match label {
+            "10_1" => Some(ProgramRules::caf_phase_ii()),
+            "25_3" => Some(ProgramRules::fcc_25_3()),
+            "100_20" => Some(ProgramRules::bead()),
+            _ => None,
+        }
+    }
+
+    /// The grid labels accepted by [`ProgramRules::tier`], in ascending
+    /// stringency order.
+    pub fn tier_labels() -> [&'static str; 3] {
+        ["10_1", "25_3", "100_20"]
+    }
+
+    /// These rules with the rate cap scaled by `multiplier` — the
+    /// price-cap counterfactual axis (what if the FCC benchmark were 20 %
+    /// tighter, or 50 % looser?).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `multiplier` is not a positive finite number.
+    pub fn with_rate_cap_multiplier(self, multiplier: f64) -> ProgramRules {
+        assert!(
+            multiplier.is_finite() && multiplier > 0.0,
+            "rate-cap multiplier must be positive and finite"
+        );
+        ProgramRules {
+            rate_cap_usd: self.rate_cap_usd * multiplier,
+            ..self
+        }
+    }
+
     /// Whether an audited address complies with these rules: served, with
     /// some advertised plan at a guaranteed speed ≥ the floor and a price
     /// ≤ the cap.
@@ -195,5 +232,43 @@ mod tests {
     fn program_names_for_display() {
         assert_eq!(ProgramRules::bead().name, "BEAD (100/20)");
         assert_eq!(ProgramRules::caf_phase_ii().name, "CAF II (10/1)");
+    }
+
+    #[test]
+    fn tier_labels_round_trip() {
+        for label in ProgramRules::tier_labels() {
+            assert!(ProgramRules::tier(label).is_some(), "label {label}");
+        }
+        assert_eq!(
+            ProgramRules::tier("10_1").unwrap(),
+            ProgramRules::caf_phase_ii()
+        );
+        assert_eq!(
+            ProgramRules::tier("25_3").unwrap(),
+            ProgramRules::fcc_25_3()
+        );
+        assert_eq!(ProgramRules::tier("100_20").unwrap(), ProgramRules::bead());
+        assert!(ProgramRules::tier("10/1").is_none());
+        assert!(ProgramRules::tier("").is_none());
+    }
+
+    #[test]
+    fn rate_cap_multiplier_scales_the_cap_only() {
+        let base = ProgramRules::caf_phase_ii();
+        let loose = base.with_rate_cap_multiplier(1.5);
+        assert!((loose.rate_cap_usd - 133.5).abs() < 1e-12);
+        assert_eq!(loose.min_down_mbps, base.min_down_mbps);
+        assert_eq!(loose.min_up_mbps, base.min_up_mbps);
+        // A tighter cap can only lower compliance.
+        let ds = dataset(vec![row(1, Some("Simply Internet 10"))]);
+        let tight = base.with_rate_cap_multiplier(0.25); // cap $22.25 < $50
+        assert_eq!(base.compliance_rate(&ds), Some(1.0));
+        assert_eq!(tight.compliance_rate(&ds), Some(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "rate-cap multiplier")]
+    fn rate_cap_multiplier_rejects_nonpositive() {
+        let _ = ProgramRules::caf_phase_ii().with_rate_cap_multiplier(0.0);
     }
 }

@@ -382,6 +382,23 @@ impl Q3Analysis {
             .collect()
     }
 
+    /// The fraction of surviving blocks whose CAF-address average meets
+    /// a policy download floor (Mbps), or `None` when no blocks
+    /// survived. The sweep engine scores this under each speed-tier
+    /// axis value: attainment under 10/1 vs 25/3 vs 100/20 shows how
+    /// much of the measured CAF deployment clears each era's bar.
+    pub fn tier_attainment(&self, min_down_mbps: f64) -> Option<f64> {
+        if self.blocks.is_empty() {
+            return None;
+        }
+        let meeting = self
+            .blocks
+            .iter()
+            .filter(|b| b.caf_speed >= min_down_mbps)
+            .count();
+        Some(meeting as f64 / self.blocks.len() as f64)
+    }
+
     /// CAF speeds in Type-A vs Type-B blocks (Figure 6a's two CDFs).
     pub fn caf_speeds_by_type(&self) -> (Vec<f64>, Vec<f64>) {
         let a = self.blocks_of(BlockType::A).map(|b| b.caf_speed).collect();
@@ -516,6 +533,30 @@ mod tests {
         for (caf, comp) in q3.type_b_winning_speeds() {
             assert!(caf > comp);
         }
+    }
+
+    #[test]
+    fn tier_attainment_is_monotone_in_the_floor() {
+        let q3 = analysis();
+        let caf = q3.tier_attainment(10.0).expect("blocks exist");
+        let fcc = q3.tier_attainment(25.0).unwrap();
+        let bead = q3.tier_attainment(100.0).unwrap();
+        for rate in [caf, fcc, bead] {
+            assert!((0.0..=1.0).contains(&rate));
+        }
+        assert!(caf >= fcc && fcc >= bead, "caf {caf} fcc {fcc} bead {bead}");
+        // A zero floor is attained by every surviving block.
+        assert_eq!(q3.tier_attainment(0.0), Some(1.0));
+        let empty = Q3Analysis {
+            blocks: Vec::new(),
+            caf_queried: 0,
+            non_caf_queried: 0,
+            caf_served: 0,
+            non_caf_served: 0,
+            blocks_dropped: 0,
+            queries_per_isp: HashMap::new(),
+        };
+        assert_eq!(empty.tier_attainment(10.0), None);
     }
 
     #[test]

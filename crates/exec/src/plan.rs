@@ -672,8 +672,10 @@ mod tests {
         assert_eq!(fine_elements, elements, "splitting never changes coverage");
 
         // Full-coverage runs reproduce the whole-unit plan exactly.
-        let full_runs: Vec<Vec<Range<usize>>> =
-            hints.iter().map(|h| vec![0..h.elements()]).collect();
+        let full_runs: Vec<Vec<Range<usize>>> = hints
+            .iter()
+            .map(|h| std::iter::once(0..h.elements()).collect())
+            .collect();
         let via_subset =
             UnitPlan::build_subset(4, &hints, ShardPolicy::default_policy(), &full_runs);
         let via_build = UnitPlan::build(4, &hints, ShardPolicy::default_policy());

@@ -1,73 +1,132 @@
 //! Property-based tests for the geography substrate.
+//!
+//! Each invariant lives in a plain helper function so it has exactly one
+//! definition with two drivers: the `proptest!` properties explore the
+//! parameter space under the real proptest crate, and the `smoke_*`
+//! tests pin a handful of fixed points that always run — including under
+//! the offline proptest stub, whose `proptest!` macro discards property
+//! bodies entirely.
 
 use caf_geo::{BlockGroupId, BlockId, BoundingBox, LatLon, StateFips};
 use proptest::prelude::*;
 
-/// Strategy producing valid raw GEOID components.
-fn geoid_components() -> impl Strategy<Value = (u16, u16, u32, u8, u16)> {
-    (1u16..=56, 1u16..=999, 1u32..=999_999, 0u8..=9, 0u16..=999)
+/// Build the block and block-group ids for raw GEOID components.
+fn ids_from(
+    state: u16,
+    county: u16,
+    tract: u32,
+    group: u8,
+    suffix: u16,
+) -> (BlockGroupId, BlockId) {
+    let state = StateFips::new(state).unwrap();
+    let county = caf_geo::CountyId::new(state, county).unwrap();
+    let tract = caf_geo::TractId::new(county, tract).unwrap();
+    let bg = BlockGroupId::new(tract, group).unwrap();
+    let block = BlockId::new(bg, suffix).unwrap();
+    (bg, block)
+}
+
+/// Display → parse is the identity for block GEOIDs.
+fn check_block_geoid_roundtrip(state: u16, county: u16, tract: u32, group: u8, suffix: u16) {
+    let (bg, block) = ids_from(state, county, tract, group, suffix);
+    let parsed: BlockId = block.to_string().parse().unwrap();
+    assert_eq!(parsed, block);
+    assert_eq!(parsed.block_group(), bg);
+    assert_eq!(parsed.state(), StateFips::new(state).unwrap());
+}
+
+/// The block-group GEOID is always a strict prefix of the block GEOID.
+fn check_block_group_is_prefix_of_block(
+    state: u16,
+    county: u16,
+    tract: u32,
+    group: u8,
+    suffix: u16,
+) {
+    let (bg, block) = ids_from(state, county, tract, group, suffix);
+    assert!(block.to_string().starts_with(&bg.to_string()));
+}
+
+/// Haversine distance is a symmetric, non-negative function bounded by
+/// half the Earth's circumference.
+fn check_haversine_is_a_metric_like_function(lat1: f64, lon1: f64, lat2: f64, lon2: f64) {
+    let a = LatLon::new(lat1, lon1).unwrap();
+    let b = LatLon::new(lat2, lon2).unwrap();
+    let d_ab = caf_geo::haversine_km(a, b);
+    let d_ba = caf_geo::haversine_km(b, a);
+    assert!(d_ab >= 0.0);
+    assert!((d_ab - d_ba).abs() < 1e-6);
+    // Half Earth circumference ≈ 20 015 km.
+    assert!(d_ab <= 20_100.0);
+}
+
+/// Every point inside a box locates to a cell whose sub-box contains it.
+fn check_locate_and_cell_agree(lat: f64, lon: f64, rows: usize, cols: usize) {
+    let bb = BoundingBox::from_degrees(30.0, -120.0, 40.0, -110.0).unwrap();
+    let point = LatLon::new(lat, lon).unwrap();
+    let (r, c) = bb.locate(rows, cols, point).unwrap();
+    assert!(r < rows && c < cols);
+    let cell = bb.cell(rows, cols, r, c);
+    // Tolerate boundary rounding by expanding the cell a hair.
+    let eps = 1e-9;
+    assert!(point.lat() >= cell.min().lat() - eps);
+    assert!(point.lat() <= cell.max().lat() + eps);
+    assert!(point.lon() >= cell.min().lon() - eps);
+    assert!(point.lon() <= cell.max().lon() + eps);
 }
 
 proptest! {
-    /// Display → parse is the identity for block GEOIDs.
     #[test]
-    fn block_geoid_roundtrip((state, county, tract, group, suffix) in geoid_components()) {
-        let state = StateFips::new(state).unwrap();
-        let county = caf_geo::CountyId::new(state, county).unwrap();
-        let tract = caf_geo::TractId::new(county, tract).unwrap();
-        let group = BlockGroupId::new(tract, group).unwrap();
-        let block = BlockId::new(group, suffix).unwrap();
-
-        let parsed: BlockId = block.to_string().parse().unwrap();
-        prop_assert_eq!(parsed, block);
-        prop_assert_eq!(parsed.block_group(), group);
-        prop_assert_eq!(parsed.state(), state);
+    fn block_geoid_roundtrip(
+        (state, county, tract, group, suffix)
+            in (1u16..=56, 1u16..=999, 1u32..=999_999, 0u8..=9, 0u16..=999),
+    ) {
+        check_block_geoid_roundtrip(state, county, tract, group, suffix);
     }
 
-    /// The block-group GEOID is always a strict prefix of the block GEOID.
     #[test]
-    fn block_group_is_prefix_of_block((state, county, tract, group, suffix) in geoid_components()) {
-        let state = StateFips::new(state).unwrap();
-        let county = caf_geo::CountyId::new(state, county).unwrap();
-        let tract = caf_geo::TractId::new(county, tract).unwrap();
-        let bg = BlockGroupId::new(tract, group).unwrap();
-        let block = BlockId::new(bg, suffix).unwrap();
-        prop_assert!(block.to_string().starts_with(&bg.to_string()));
+    fn block_group_is_prefix_of_block(
+        (state, county, tract, group, suffix)
+            in (1u16..=56, 1u16..=999, 1u32..=999_999, 0u8..=9, 0u16..=999),
+    ) {
+        check_block_group_is_prefix_of_block(state, county, tract, group, suffix);
     }
 
-    /// Haversine distance is a symmetric, non-negative function bounded by
-    /// half the Earth's circumference.
     #[test]
     fn haversine_is_a_metric_like_function(
         lat1 in -89.0f64..89.0, lon1 in -179.0f64..179.0,
         lat2 in -89.0f64..89.0, lon2 in -179.0f64..179.0,
     ) {
-        let a = LatLon::new(lat1, lon1).unwrap();
-        let b = LatLon::new(lat2, lon2).unwrap();
-        let d_ab = caf_geo::haversine_km(a, b);
-        let d_ba = caf_geo::haversine_km(b, a);
-        prop_assert!(d_ab >= 0.0);
-        prop_assert!((d_ab - d_ba).abs() < 1e-6);
-        // Half Earth circumference ≈ 20 015 km.
-        prop_assert!(d_ab <= 20_100.0);
+        check_haversine_is_a_metric_like_function(lat1, lon1, lat2, lon2);
     }
 
-    /// Every point inside a box locates to a cell whose sub-box contains it.
     #[test]
     fn locate_and_cell_agree(
         lat in 30.05f64..39.95, lon in -119.95f64..-110.05,
         rows in 1usize..30, cols in 1usize..30,
     ) {
-        let bb = BoundingBox::from_degrees(30.0, -120.0, 40.0, -110.0).unwrap();
-        let point = LatLon::new(lat, lon).unwrap();
-        let (r, c) = bb.locate(rows, cols, point).unwrap();
-        prop_assert!(r < rows && c < cols);
-        let cell = bb.cell(rows, cols, r, c);
-        // Tolerate boundary rounding by expanding the cell a hair.
-        let eps = 1e-9;
-        prop_assert!(point.lat() >= cell.min().lat() - eps);
-        prop_assert!(point.lat() <= cell.max().lat() + eps);
-        prop_assert!(point.lon() >= cell.min().lon() - eps);
-        prop_assert!(point.lon() <= cell.max().lon() + eps);
+        check_locate_and_cell_agree(lat, lon, rows, cols);
     }
+}
+
+#[test]
+fn smoke_geoid_invariants_hold_at_fixed_components() {
+    for (state, county, tract, group, suffix) in [
+        (1u16, 1u16, 1u32, 0u8, 0u16),
+        (6, 37, 123_456, 9, 999),
+        (56, 999, 999_999, 4, 17),
+    ] {
+        check_block_geoid_roundtrip(state, county, tract, group, suffix);
+        check_block_group_is_prefix_of_block(state, county, tract, group, suffix);
+    }
+}
+
+#[test]
+fn smoke_geometry_invariants_hold_at_fixed_points() {
+    check_haversine_is_a_metric_like_function(37.77, -122.42, 40.71, -74.01);
+    check_haversine_is_a_metric_like_function(-45.0, 170.0, 60.0, -150.0);
+    check_haversine_is_a_metric_like_function(0.0, 0.0, 0.0, 0.0);
+    check_locate_and_cell_agree(30.05, -119.95, 1, 1);
+    check_locate_and_cell_agree(35.5, -115.0, 29, 29);
+    check_locate_and_cell_agree(39.95, -110.05, 7, 13);
 }

@@ -57,12 +57,14 @@ use crate::tier::DiskTier;
 use caf_bench::{campaign_config, Fixture};
 use caf_core::{
     artifact, Audit, AuditConfig, AuditDataset, AuditIndex, ComplianceAnalysis, EngineConfig,
-    IncrementalAudit, Q3Analysis, SamplingRule, ScenarioMeta, ServiceabilityAnalysis,
+    IncrementalAudit, ProgramRules, Q3Analysis, SamplingRule, ScenarioMeta, ServiceabilityAnalysis,
+    SubsidyRule,
 };
 use caf_geo::UsState;
 use caf_obs::json::Json;
 use caf_obs::{FlightRecorder, Slo};
 use caf_snap::{write_atomic, Reader, Snap, SnapError, Snapshot, SnapshotBuilder, Writer};
+use caf_sweep::SweepSpec;
 use caf_synth::challenge::deltas_from_jsonl;
 use caf_synth::{ChallengeDelta, Isp, SynthConfig, World};
 use std::collections::BTreeMap;
@@ -79,6 +81,9 @@ enum Kind {
     Q12,
     /// The Q3 monopoly/competitive analysis (its own world build).
     Q3,
+    /// One policy-sweep grid cell (its own single-state world; the
+    /// key's `seed` field carries the cell's content hash).
+    Sweep,
 }
 
 /// Canonical scenario identity: result-changing parameters only. The
@@ -139,6 +144,11 @@ impl Q12View {
 enum Bundle {
     Q12(Box<Q12View>),
     Q3(Box<Q3Analysis>),
+    /// A sweep cell's canonical artifact-body bytes. Cells are stored
+    /// rendered: the bytes are the cache/tier/snapshot payload *and*
+    /// the response fragment, so a disk round-trip is trivially
+    /// byte-identical.
+    Sweep(Vec<u8>),
 }
 
 impl Bundle {
@@ -164,6 +174,10 @@ impl Bundle {
                 w.put_u8(1);
                 w.put(&**q3);
             }
+            Bundle::Sweep(bytes) => {
+                w.put_u8(2);
+                w.put_bytes(bytes);
+            }
         }
     }
 
@@ -182,6 +196,7 @@ impl Bundle {
                 Bundle::Q12(Box::new(Q12View::from_parts(dataset, index)?))
             }
             1 => Bundle::Q3(Box::new(r.get()?)),
+            2 => Bundle::Sweep(r.bytes()?.to_vec()),
             other => {
                 return Err(SnapError::Malformed(format!(
                     "bundle: unknown kind tag {other}"
@@ -338,6 +353,7 @@ fn tier_key(key: &ScenarioKey) -> String {
     let kind = match key.kind {
         Kind::Q12 => "q12",
         Kind::Q3 => "q3",
+        Kind::Sweep => "sweep",
     };
     format!("{kind}-{:016x}-{}-{}", key.seed, key.scale, key.epoch)
 }
@@ -440,6 +456,7 @@ const ROUTES: &[(&str, &str, &str)] = &[
     ),
     ("/v1/table2", "serve.route.v1.table2", "v1.table2"),
     ("/v1/q3", "serve.route.v1.q3", "v1.q3"),
+    ("/v1/sweep", "serve.route.v1.sweep", "v1.sweep"),
     ("/v1/challenge", "serve.route.v1.challenge", "v1.challenge"),
     ("/v1/snapshot", "serve.route.v1.snapshot", "v1.snapshot"),
     (
@@ -1013,6 +1030,9 @@ impl App {
                     Kind::Q3 => Ok(Bundle::Q3(Box::new(
                         Fixture::build_q3_tuned(key.seed, key.scale, engine).1,
                     ))),
+                    // Sweep cells are computed by `sweep_response`,
+                    // which never routes through here.
+                    Kind::Sweep => Err("sweep cells are not a scenario route".to_string()),
                 }
             });
         let bundle = match result {
@@ -1059,7 +1079,187 @@ impl App {
         }
         Response::json(bytes.into_bytes()).with_header("ETag", etag)
     }
+
+    /// Parses the sweep grid axes from comma-separated query
+    /// parameters — `states=`, `scales=`, `tiers=`, `caps=`, `rules=`
+    /// — with single-cell defaults, validating through the same
+    /// [`SweepSpec`] rules the `caf-sweep` binary applies to spec
+    /// files, plus the server's scale floor and inline cell budget.
+    fn sweep_spec(&self, request: &Request, seed: u64) -> Result<SweepSpec, Box<Response>> {
+        let bad = |message: String| Box::new(Response::error(400, &message));
+        let list = |name: &str, default: &str| -> Vec<String> {
+            request
+                .param(name)
+                .unwrap_or(default)
+                .split(',')
+                .map(|s| s.trim().to_string())
+                .collect()
+        };
+        let mut states = Vec::new();
+        for raw in list("states", "VT") {
+            states.push(
+                UsState::from_abbrev(&raw)
+                    .map_err(|_| bad(format!("unknown state abbreviation {raw:?}")))?,
+            );
+        }
+        let floor = self.config.min_scale.max(1);
+        let mut scales = Vec::new();
+        for raw in list("scales", &self.config.default_scale.to_string()) {
+            let scale: u32 = raw
+                .parse()
+                .map_err(|_| bad(format!("invalid scale {raw:?}")))?;
+            check_scale_floor("scales", scale, floor)?;
+            scales.push(scale);
+        }
+        let mut tiers = Vec::new();
+        for raw in list("tiers", "10_1") {
+            tiers.push(
+                ProgramRules::tier_labels()
+                    .into_iter()
+                    .find(|&label| label == raw)
+                    .ok_or_else(|| {
+                        bad(format!(
+                            "unknown tier {raw:?}; known: {}",
+                            ProgramRules::tier_labels().join(", ")
+                        ))
+                    })?,
+            );
+        }
+        let mut cap_multipliers = Vec::new();
+        for raw in list("caps", "1.0") {
+            cap_multipliers.push(
+                raw.parse::<f64>()
+                    .map_err(|_| bad(format!("invalid cap multiplier {raw:?}")))?,
+            );
+        }
+        let mut rules = Vec::new();
+        for raw in list("rules", "status_quo") {
+            rules.push(
+                SubsidyRule::parse(&raw)
+                    .ok_or_else(|| bad(format!("unknown subsidy rule {raw:?}")))?,
+            );
+        }
+        let spec = SweepSpec {
+            seed,
+            states,
+            scales,
+            tiers,
+            cap_multipliers,
+            rules,
+        };
+        spec.validate()
+            .map_err(|error| bad(format!("invalid sweep grid: {error}")))?;
+        if spec.cell_count() > MAX_SWEEP_CELLS {
+            return Err(bad(format!(
+                "sweep grid has {} cells; the inline limit is {MAX_SWEEP_CELLS}",
+                spec.cell_count()
+            )));
+        }
+        Ok(spec)
+    }
+
+    /// Handles `GET /v1/sweep`: a bounded inline policy-sweep grid.
+    ///
+    /// Every cell is an independent cache entry keyed by its content
+    /// hash, so repeated or overlapping grids hit instead of
+    /// recomputing, evicted cells spill to the disk tier, and the
+    /// response is assembled from the cells' stored canonical body
+    /// bytes in grid order — byte-identical however the cells were
+    /// obtained (computed, cached, or promoted from disk).
+    fn sweep_response(&self, request: &Request) -> Response {
+        for unsupported in ["epoch", "isp", "scale"] {
+            if request.param(unsupported).is_some() {
+                return Response::error(
+                    400,
+                    &format!(
+                        "{unsupported} is not supported on /v1/sweep \
+                         (cells carry their own axes; try scales=)"
+                    ),
+                );
+            }
+        }
+        let seed = match parse_or(request, "seed", self.config.default_seed) {
+            Ok(seed) => seed,
+            Err(response) => return *response,
+        };
+        let spec = match self.sweep_spec(request, seed) {
+            Ok(spec) => spec,
+            Err(response) => return *response,
+        };
+        let cells = spec.cells();
+        let mut bodies: Vec<Json> = Vec::with_capacity(cells.len());
+        let mut hits = 0usize;
+        let mut misses = 0usize;
+        for cell in &cells {
+            let key = ScenarioKey {
+                kind: Kind::Sweep,
+                seed: cell.key(seed).0,
+                scale: cell.scale,
+                epoch: 0,
+            };
+            let result = self
+                .cache
+                .get_or_compute(key, self.config.compute_timeout, || {
+                    let (_engine, _guard) = self.compute_engine(self.config.engine);
+                    let _span = caf_obs::span("serve.compute.sweep");
+                    let computed = caf_sweep::compute_cell(seed, cell);
+                    Ok(Bundle::Sweep(
+                        artifact::to_canonical_bytes(&caf_sweep::cell_body(&computed)).into_bytes(),
+                    ))
+                });
+            let bundle = match result {
+                Ok((bundle, outcome)) => {
+                    match outcome {
+                        CacheOutcome::Hit | CacheOutcome::DiskHit => hits += 1,
+                        CacheOutcome::Miss | CacheOutcome::Joined => misses += 1,
+                    }
+                    bundle
+                }
+                Err(CacheError::JoinTimeout) => {
+                    caf_obs::trace::annotate("cache", "join_timeout");
+                    return Response::error(
+                        503,
+                        "sweep cell computation still in flight; retry shortly",
+                    )
+                    .with_header("Retry-After", "1".to_string());
+                }
+                Err(CacheError::Failed(message)) => {
+                    return Response::error(500, &format!("sweep cell failed: {message}"));
+                }
+            };
+            let Bundle::Sweep(bytes) = &*bundle else {
+                return Response::error(500, "bundle/route mismatch");
+            };
+            let body = std::str::from_utf8(bytes)
+                .ok()
+                .and_then(|text| caf_obs::json::parse(text).ok());
+            match body {
+                Some(body) => bodies.push(body),
+                None => return Response::error(500, "stored sweep cell is not canonical JSON"),
+            }
+        }
+        caf_obs::trace::annotate("cache", &format!("hit={hits} miss={misses}"));
+
+        let body = Json::Obj(vec![
+            ("cells".to_string(), Json::Arr(bodies)),
+            ("count".to_string(), Json::UInt(cells.len() as u64)),
+            ("seed".to_string(), Json::UInt(seed)),
+        ]);
+        let bytes = artifact::to_canonical_bytes(
+            &ScenarioMeta::new(seed, self.config.default_scale).wrap(body),
+        );
+        let etag = format!("\"{:016x}\"", fnv1a(bytes.as_bytes()));
+        if client_has(request, &etag) {
+            return Response::not_modified().with_header("ETag", etag);
+        }
+        Response::json(bytes.into_bytes()).with_header("ETag", etag)
+    }
 }
+
+/// The largest grid `/v1/sweep` computes inline. Cells are cheap at
+/// serving scales but not free; a bigger grid belongs in the `caf-sweep`
+/// binary, not on a request thread.
+const MAX_SWEEP_CELLS: usize = 64;
 
 /// Restores the newest compatible snapshot from `dir`, if any: views
 /// into `cache` synchronously, the world + log onto a background
@@ -1178,6 +1378,7 @@ fn decode_views(bytes: &[u8]) -> Result<Vec<(ScenarioKey, Bundle)>, SnapError> {
         let kind = match r.u8()? {
             0 => Kind::Q12,
             1 => Kind::Q3,
+            2 => Kind::Sweep,
             other => {
                 return Err(SnapError::Malformed(format!(
                     "views: unknown kind tag {other}"
@@ -1259,6 +1460,7 @@ fn write_snapshot_file(
             w.put_u8(match key.kind {
                 Kind::Q12 => 0,
                 Kind::Q3 => 1,
+                Kind::Sweep => 2,
             });
             w.put_u64(key.seed);
             w.put_u32(key.scale);
@@ -1446,6 +1648,7 @@ impl App {
                 Some(route @ ("serviceability" | "compliance" | "table2" | "q3")) => {
                     self.scenario_response(route, request)
                 }
+                Some("sweep") => self.sweep_response(request),
                 _ => Response::error(404, &format!("no such endpoint: {path}")),
             },
         }
@@ -1984,5 +2187,130 @@ mod tests {
         let body = String::from_utf8(denied.body).unwrap();
         assert!(body.contains("--snapshot-dir"), "{body}");
         assert_eq!(app.handle(&request("/v1/snapshot", &[])).status, 405);
+    }
+
+    #[test]
+    fn sweep_serves_cached_byte_identical_grids() {
+        // The default cache holds 4 entries; this grid has 16 cells,
+        // and without a disk tier an eviction means recomputation.
+        let app = App::new(AppConfig {
+            default_scale: 2000,
+            engine: EngineConfig::serial(),
+            cache_capacity: 32,
+            ..AppConfig::default()
+        });
+        let grid = [
+            ("states", "VT,NH"),
+            ("tiers", "10_1,25_3"),
+            ("caps", "0.75,1.0"),
+            ("rules", "status_quo,full_buildout"),
+        ];
+        let first = app.handle(&request("/v1/sweep", &grid));
+        assert_eq!(
+            first.status,
+            200,
+            "{}",
+            String::from_utf8_lossy(&first.body)
+        );
+        let body = caf_obs::json::parse(String::from_utf8(first.body.clone()).unwrap().trim_end())
+            .unwrap();
+        let artifact = body.get("artifact").expect("canonical envelope");
+        assert_eq!(artifact.get("count").and_then(|j| j.as_u64()), Some(16));
+        let Some(Json::Arr(cells)) = artifact.get("cells") else {
+            panic!("cells array missing");
+        };
+        assert_eq!(cells.len(), 16);
+        // Cells arrive in canonical grid order with their axes inline.
+        assert_eq!(cells[0].get("state").and_then(|j| j.as_str()), Some("VT"));
+        assert_eq!(
+            cells[15].get("subsidy_rule").and_then(|j| j.as_str()),
+            Some("full_buildout")
+        );
+
+        // Every cell is now cached: the re-request hits 16 times and
+        // returns byte-identical bytes.
+        let misses_before = app.cache_stats().misses;
+        let second = app.handle(&request("/v1/sweep", &grid));
+        assert_eq!(second.status, 200);
+        assert_eq!(second.body, first.body);
+        let stats = app.cache_stats();
+        assert_eq!(stats.misses, misses_before, "no recomputation on re-run");
+        assert!(stats.hits >= 16, "{stats:?}");
+
+        // A sub-grid of the same axes reuses the same cell entries.
+        let sub = app.handle(&request(
+            "/v1/sweep",
+            &[("states", "VT"), ("tiers", "25_3"), ("caps", "0.75")],
+        ));
+        assert_eq!(sub.status, 200);
+        assert_eq!(app.cache_stats().misses, misses_before);
+
+        // Conditional GET round-trips the ETag.
+        let etag = first
+            .headers
+            .iter()
+            .find(|(name, _)| name == "ETag")
+            .map(|(_, value)| value.clone())
+            .expect("sweep responses carry an ETag");
+        let mut conditional = request("/v1/sweep", &grid);
+        conditional
+            .headers
+            .push(("if-none-match".to_string(), etag));
+        assert_eq!(app.handle(&conditional).status, 304);
+    }
+
+    #[test]
+    fn sweep_rejects_bad_grids_with_400() {
+        let app = tiny_app();
+        for query in [
+            vec![("states", "ZZ")],
+            vec![("states", "VT,VT")],
+            vec![("scales", "0")],
+            vec![("scales", "abc")],
+            vec![("tiers", "50_5")],
+            vec![("caps", "0")],
+            vec![("caps", "11")],
+            vec![("rules", "statusquo")],
+            vec![("epoch", "1")],
+            vec![("isp", "AT&T")],
+            vec![("scale", "2000")],
+            // 15 states x 3 tiers x 2 caps = 90 cells > the inline cap.
+            vec![
+                ("states", "OH,MT,NM,CA,UT,WV,VT,AL,WI,GA,IL,NC,KS,NH,MN"),
+                ("tiers", "10_1,25_3,100_20"),
+                ("caps", "0.9,1.0"),
+            ],
+        ] {
+            let response = app.handle(&request("/v1/sweep", &query));
+            assert_eq!(response.status, 400, "query {query:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn sweep_cells_round_trip_through_the_disk_tier() {
+        let dir = snap_temp_dir("sweeptier");
+        let app = App::new(AppConfig {
+            default_scale: 2000,
+            engine: EngineConfig::serial(),
+            cache_capacity: 2,
+            snapshot_dir: Some(dir.clone()),
+            ..AppConfig::default()
+        });
+        // Four cells through a two-slot cache: the overflow spills.
+        let grid = [("states", "VT,NH"), ("caps", "0.75,1.0")];
+        let first = app.handle(&request("/v1/sweep", &grid));
+        assert_eq!(first.status, 200);
+        let stats = app.cache_stats();
+        assert!(stats.spills >= 2, "{stats:?}");
+        // The re-request promotes the spilled cells byte-identically.
+        let second = app.handle(&request("/v1/sweep", &grid));
+        assert_eq!(second.status, 200);
+        assert_eq!(second.body, first.body, "promoted bytes must match");
+        let stats = app.cache_stats();
+        assert_eq!(stats.misses, 4, "no recomputation after the spill");
+        assert!(stats.disk_hits >= 1, "{stats:?}");
+        wait_for_background_snapshot(&app);
+        drop(app);
+        fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -1,0 +1,178 @@
+//! Grid cells and their content-addressed scenario keys.
+
+use caf_core::{ProgramRules, SubsidyRule};
+use caf_geo::UsState;
+use caf_synth::{CalibrationParams, Isp, SynthConfig};
+
+/// A content-addressed identity for one grid cell: an FNV-1a 64 hash
+/// over the cell's canonical identity string (seed and every axis
+/// coordinate). Two runs agreeing on the inputs agree on the key, so
+/// the key doubles as the cache/disk-tier address in `caf-serve` and as
+/// the join column of emitted results tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ScenarioKey(pub u64);
+
+impl ScenarioKey {
+    /// The fixed-width lowercase hex rendering used in tables and tier
+    /// file names.
+    pub fn hex(self) -> String {
+        format!("{:016x}", self.0)
+    }
+}
+
+/// FNV-1a 64 over a byte string.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x1_0000_0000_01b3);
+    }
+    hash
+}
+
+/// One cell of the sweep grid: a point on every axis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cell {
+    /// The study state whose pipeline this cell runs.
+    pub state: UsState,
+    /// The synthetic-world scale divisor (paper counts / `scale`).
+    pub scale: u32,
+    /// The speed-threshold tier label (see [`ProgramRules::tier`]).
+    pub tier: &'static str,
+    /// The price-cap multiplier applied to the tier's rate cap.
+    pub cap_multiplier: f64,
+    /// The subsidy-reallocation rule.
+    pub rule: SubsidyRule,
+}
+
+impl Cell {
+    /// The program rules this cell audits against: the tier's floors
+    /// with the rate cap scaled by the cell's multiplier.
+    pub fn program_rules(&self) -> ProgramRules {
+        ProgramRules::tier(self.tier)
+            .expect("cells are built from validated tier labels")
+            .with_rate_cap_multiplier(self.cap_multiplier)
+    }
+
+    /// The canonical identity string the key hashes over. The
+    /// multiplier contributes its exact bit pattern, so distinct f64
+    /// values can never collide through decimal rounding.
+    pub fn identity(&self, seed: u64) -> String {
+        format!(
+            "caf-sweep/v1|seed={seed}|state={}|scale={}|tier={}|capbits={:016x}|rule={}",
+            self.state.abbrev(),
+            self.scale,
+            self.tier,
+            self.cap_multiplier.to_bits(),
+            self.rule.label(),
+        )
+    }
+
+    /// The content-addressed key of this cell under `seed`.
+    pub fn key(&self, seed: u64) -> ScenarioKey {
+        ScenarioKey(fnv1a(self.identity(seed).as_bytes()))
+    }
+
+    /// The cell's scheduling cost hint: its scaled state record count
+    /// (see [`est_records`]). Policy axes share a world and an audit
+    /// shape, so records dominate a cell's latency; the hint only needs
+    /// to be proportional.
+    pub fn est_cost(&self) -> u64 {
+        est_records(self.state, self.scale)
+    }
+}
+
+/// Estimated certified-record count for one state at one scale: the
+/// Table-3 presence matrix summed over ISPs and divided by the scale
+/// divisor — exactly how the world generator sizes the state. This is
+/// the "scale × state record counts" latency hint the planner schedules
+/// by: California at a small divisor dwarfs Vermont at a large one.
+pub fn est_records(state: UsState, scale: u32) -> u64 {
+    let synth = SynthConfig { seed: 0, scale };
+    Isp::all()
+        .iter()
+        .filter_map(|&isp| CalibrationParams::presence(state, isp))
+        .map(|t| synth.scaled(t.addresses))
+        .sum::<u64>()
+        .max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell() -> Cell {
+        Cell {
+            state: UsState::Vermont,
+            scale: 150,
+            tier: "10_1",
+            cap_multiplier: 1.0,
+            rule: SubsidyRule::StatusQuo,
+        }
+    }
+
+    #[test]
+    fn key_is_stable_golden() {
+        // The content-addressed key scheme is an on-disk contract (tier
+        // file names, cache keys): a change here invalidates every
+        // spilled artifact, so it must be deliberate.
+        let key = cell().key(0xCAF_2024);
+        assert_eq!(key.hex(), cell().key(0xCAF_2024).hex());
+        assert_eq!(
+            cell().identity(0xCAF_2024),
+            "caf-sweep/v1|seed=212803620|state=VT|scale=150|tier=10_1|capbits=3ff0000000000000|rule=status_quo"
+        );
+        assert_eq!(key.hex(), "ddc5cb2771b953f6");
+    }
+
+    #[test]
+    fn key_separates_every_axis() {
+        let base = cell();
+        let seed = 7u64;
+        let variants = [
+            Cell {
+                state: UsState::NewHampshire,
+                ..base
+            },
+            Cell { scale: 151, ..base },
+            Cell {
+                tier: "25_3",
+                ..base
+            },
+            Cell {
+                cap_multiplier: 1.25,
+                ..base
+            },
+            Cell {
+                rule: SubsidyRule::FullBuildout,
+                ..base
+            },
+        ];
+        for v in variants {
+            assert_ne!(v.key(seed), base.key(seed), "{v:?}");
+        }
+        assert_ne!(base.key(8), base.key(seed), "seed must move the key");
+    }
+
+    #[test]
+    fn program_rules_compose_tier_and_cap() {
+        let c = Cell {
+            tier: "100_20",
+            cap_multiplier: 0.5,
+            ..cell()
+        };
+        let rules = c.program_rules();
+        assert_eq!(rules.min_down_mbps, 100.0);
+        assert!((rules.rate_cap_usd - 44.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn record_estimates_follow_presence_and_scale() {
+        // California dwarfs Vermont at the same divisor.
+        assert!(est_records(UsState::California, 150) > est_records(UsState::Vermont, 150));
+        // A smaller divisor means a bigger world.
+        assert!(est_records(UsState::California, 40) > est_records(UsState::California, 150));
+        // Never zero, even for absurd divisors.
+        assert!(est_records(UsState::Vermont, 1_000_000) >= 1);
+    }
+}

@@ -1,0 +1,409 @@
+//! Sweep grid specifications: JSON parsing, validation, and cartesian
+//! expansion.
+
+use caf_core::{ProgramRules, SubsidyRule};
+use caf_geo::UsState;
+use caf_obs::json::{self, Json};
+use std::fmt;
+
+use crate::grid::Cell;
+
+/// The largest accepted scale divisor. Scales beyond this produce
+/// degenerate one-record worlds and usually indicate a typo.
+pub const MAX_SCALE: u32 = 100_000;
+
+/// The accepted price-cap multiplier range (exclusive zero, inclusive
+/// max): a 10× cap already makes every plan "compliant", so anything
+/// beyond it is a spec error rather than a scenario.
+pub const MAX_CAP_MULTIPLIER: f64 = 10.0;
+
+/// Why a sweep spec was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// The document is not valid JSON.
+    Parse(String),
+    /// The document root is not an object.
+    NotAnObject,
+    /// A required field is missing or has the wrong JSON type.
+    Field(&'static str),
+    /// An axis array is empty.
+    EmptyAxis(&'static str),
+    /// An axis repeats a coordinate.
+    Duplicate(&'static str, String),
+    /// An unrecognized state abbreviation.
+    UnknownState(String),
+    /// An unrecognized speed-tier label.
+    UnknownTier(String),
+    /// An unrecognized subsidy-rule label.
+    UnknownRule(String),
+    /// A scale outside `1..=MAX_SCALE`.
+    ScaleOutOfRange(u64),
+    /// A price-cap multiplier outside `(0, MAX_CAP_MULTIPLIER]`.
+    MultiplierOutOfRange(f64),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Parse(err) => write!(f, "invalid JSON: {err}"),
+            SpecError::NotAnObject => write!(f, "spec root must be a JSON object"),
+            SpecError::Field(name) => write!(f, "field {name:?} is missing or mistyped"),
+            SpecError::EmptyAxis(name) => write!(f, "axis {name:?} must not be empty"),
+            SpecError::Duplicate(name, value) => {
+                write!(f, "axis {name:?} repeats {value:?}")
+            }
+            SpecError::UnknownState(s) => write!(f, "unknown state abbreviation {s:?}"),
+            SpecError::UnknownTier(s) => write!(
+                f,
+                "unknown speed tier {s:?} (expected one of {:?})",
+                ProgramRules::tier_labels()
+            ),
+            SpecError::UnknownRule(s) => write!(f, "unknown subsidy rule {s:?}"),
+            SpecError::ScaleOutOfRange(s) => {
+                write!(f, "scale {s} outside 1..={MAX_SCALE}")
+            }
+            SpecError::MultiplierOutOfRange(m) => write!(
+                f,
+                "price-cap multiplier {m} outside (0, {MAX_CAP_MULTIPLIER}]"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// A validated sweep grid: a seed plus one non-empty list per axis.
+/// Axis order is the spec's document order; the grid expands state →
+/// scale → tier → cap multiplier → rule, and every emission follows
+/// that canonical cell order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    /// The world/campaign seed shared by every cell.
+    pub seed: u64,
+    /// The states axis.
+    pub states: Vec<UsState>,
+    /// The scale-divisor axis.
+    pub scales: Vec<u32>,
+    /// The speed-threshold tier axis (canonical labels).
+    pub tiers: Vec<&'static str>,
+    /// The price-cap multiplier axis.
+    pub cap_multipliers: Vec<f64>,
+    /// The subsidy-reallocation rule axis.
+    pub rules: Vec<SubsidyRule>,
+}
+
+fn as_f64(value: &Json) -> Option<f64> {
+    match value {
+        Json::UInt(v) => Some(*v as f64),
+        Json::Num(v) => Some(*v),
+        _ => None,
+    }
+}
+
+fn string_axis<'a>(doc: &'a Json, name: &'static str) -> Result<Vec<&'a str>, SpecError> {
+    let Some(Json::Arr(items)) = doc.get(name) else {
+        return Err(SpecError::Field(name));
+    };
+    items
+        .iter()
+        .map(|item| item.as_str().ok_or(SpecError::Field(name)))
+        .collect()
+}
+
+fn reject_duplicates<T: PartialEq + fmt::Debug>(
+    name: &'static str,
+    values: &[T],
+) -> Result<(), SpecError> {
+    for (i, v) in values.iter().enumerate() {
+        if values[..i].contains(v) {
+            return Err(SpecError::Duplicate(name, format!("{v:?}")));
+        }
+    }
+    Ok(())
+}
+
+impl SweepSpec {
+    /// Parses and validates a JSON spec document:
+    ///
+    /// ```json
+    /// {
+    ///   "seed": 212803620,
+    ///   "states": ["VT", "NH"],
+    ///   "scales": [400, 600],
+    ///   "speed_tiers": ["10_1", "25_3"],
+    ///   "price_cap_multipliers": [0.75, 1.0],
+    ///   "subsidy_rules": ["status_quo", "full_buildout"]
+    /// }
+    /// ```
+    ///
+    /// `seed` is optional (default `0xCAF_2024`); every axis is
+    /// required, non-empty, duplicate-free, and range-checked.
+    pub fn from_json(text: &str) -> Result<SweepSpec, SpecError> {
+        let doc = json::parse(text).map_err(SpecError::Parse)?;
+        if doc.as_obj().is_none() {
+            return Err(SpecError::NotAnObject);
+        }
+        let seed = match doc.get("seed") {
+            None => 0xCAF_2024,
+            Some(value) => value.as_u64().ok_or(SpecError::Field("seed"))?,
+        };
+
+        let states = string_axis(&doc, "states")?
+            .into_iter()
+            .map(|s| UsState::from_abbrev(s).map_err(|_| SpecError::UnknownState(s.to_string())))
+            .collect::<Result<Vec<_>, _>>()?;
+
+        let Some(Json::Arr(scale_items)) = doc.get("scales") else {
+            return Err(SpecError::Field("scales"));
+        };
+        let scales = scale_items
+            .iter()
+            .map(|item| {
+                let raw = item.as_u64().ok_or(SpecError::Field("scales"))?;
+                if raw == 0 || raw > u64::from(MAX_SCALE) {
+                    return Err(SpecError::ScaleOutOfRange(raw));
+                }
+                Ok(raw as u32)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+
+        let tiers = string_axis(&doc, "speed_tiers")?
+            .into_iter()
+            .map(|label| {
+                ProgramRules::tier(label)
+                    .and_then(|_| {
+                        ProgramRules::tier_labels()
+                            .into_iter()
+                            .find(|&l| l == label)
+                    })
+                    .ok_or_else(|| SpecError::UnknownTier(label.to_string()))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+
+        let Some(Json::Arr(cap_items)) = doc.get("price_cap_multipliers") else {
+            return Err(SpecError::Field("price_cap_multipliers"));
+        };
+        let cap_multipliers = cap_items
+            .iter()
+            .map(|item| {
+                let m = as_f64(item).ok_or(SpecError::Field("price_cap_multipliers"))?;
+                if !m.is_finite() || m <= 0.0 || m > MAX_CAP_MULTIPLIER {
+                    return Err(SpecError::MultiplierOutOfRange(m));
+                }
+                Ok(m)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+
+        let rules = string_axis(&doc, "subsidy_rules")?
+            .into_iter()
+            .map(|label| {
+                SubsidyRule::parse(label).ok_or_else(|| SpecError::UnknownRule(label.to_string()))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+
+        let spec = SweepSpec {
+            seed,
+            states,
+            scales,
+            tiers,
+            cap_multipliers,
+            rules,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Checks the non-empty / duplicate-free axis invariants (the
+    /// range checks run during parsing; programmatic constructors get
+    /// them here too).
+    pub fn validate(&self) -> Result<(), SpecError> {
+        for (name, empty) in [
+            ("states", self.states.is_empty()),
+            ("scales", self.scales.is_empty()),
+            ("speed_tiers", self.tiers.is_empty()),
+            ("price_cap_multipliers", self.cap_multipliers.is_empty()),
+            ("subsidy_rules", self.rules.is_empty()),
+        ] {
+            if empty {
+                return Err(SpecError::EmptyAxis(name));
+            }
+        }
+        for &scale in &self.scales {
+            if scale == 0 || scale > MAX_SCALE {
+                return Err(SpecError::ScaleOutOfRange(u64::from(scale)));
+            }
+        }
+        for &m in &self.cap_multipliers {
+            if !m.is_finite() || m <= 0.0 || m > MAX_CAP_MULTIPLIER {
+                return Err(SpecError::MultiplierOutOfRange(m));
+            }
+        }
+        reject_duplicates("states", &self.states)?;
+        reject_duplicates("scales", &self.scales)?;
+        reject_duplicates("speed_tiers", &self.tiers)?;
+        reject_duplicates("price_cap_multipliers", &self.cap_multipliers)?;
+        reject_duplicates("subsidy_rules", &self.rules)?;
+        Ok(())
+    }
+
+    /// The number of grid cells (product of the axis lengths).
+    pub fn cell_count(&self) -> usize {
+        self.states.len()
+            * self.scales.len()
+            * self.tiers.len()
+            * self.cap_multipliers.len()
+            * self.rules.len()
+    }
+
+    /// Cartesian expansion in canonical order: state-major, then scale,
+    /// tier, cap multiplier, rule. Every results emission follows this
+    /// order, which is also the plan's unit-major reassembly order.
+    pub fn cells(&self) -> Vec<Cell> {
+        let mut cells = Vec::with_capacity(self.cell_count());
+        for &state in &self.states {
+            for &scale in &self.scales {
+                for &tier in &self.tiers {
+                    for &cap_multiplier in &self.cap_multipliers {
+                        for &rule in &self.rules {
+                            cells.push(Cell {
+                                state,
+                                scale,
+                                tier,
+                                cap_multiplier,
+                                rule,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        cells
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const VALID: &str = r#"{
+        "seed": 99,
+        "states": ["VT", "NH"],
+        "scales": [400, 600],
+        "speed_tiers": ["10_1", "25_3"],
+        "price_cap_multipliers": [0.75, 1.0],
+        "subsidy_rules": ["status_quo", "full_buildout"]
+    }"#;
+
+    #[test]
+    fn valid_spec_parses_and_expands() {
+        let spec = SweepSpec::from_json(VALID).unwrap();
+        assert_eq!(spec.seed, 99);
+        assert_eq!(spec.cell_count(), 2 * 2 * 2 * 2 * 2);
+        let cells = spec.cells();
+        assert_eq!(cells.len(), 32);
+        // Canonical order: state-major, rule fastest.
+        assert_eq!(cells[0].state, UsState::Vermont);
+        assert_eq!(cells[0].rule, SubsidyRule::StatusQuo);
+        assert_eq!(cells[1].rule, SubsidyRule::FullBuildout);
+        assert_eq!(cells[16].state, UsState::NewHampshire);
+        // Keys are unique across the grid.
+        let mut keys: Vec<u64> = cells.iter().map(|c| c.key(spec.seed).0).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), 32);
+    }
+
+    #[test]
+    fn seed_defaults_when_absent() {
+        let text = VALID.replacen("\"seed\": 99,", "", 1);
+        let spec = SweepSpec::from_json(&text).unwrap();
+        assert_eq!(spec.seed, 0xCAF_2024);
+    }
+
+    #[test]
+    fn rejects_empty_axes() {
+        let text = VALID.replacen("[\"VT\", \"NH\"]", "[]", 1);
+        assert_eq!(
+            SweepSpec::from_json(&text),
+            Err(SpecError::EmptyAxis("states"))
+        );
+        let text = VALID.replacen("[\"status_quo\", \"full_buildout\"]", "[]", 1);
+        assert_eq!(
+            SweepSpec::from_json(&text),
+            Err(SpecError::EmptyAxis("subsidy_rules"))
+        );
+    }
+
+    #[test]
+    fn rejects_out_of_range_multipliers() {
+        for bad in ["0.0", "-1.0", "10.5", "1e99"] {
+            let text = VALID.replacen("0.75", bad, 1);
+            assert!(
+                matches!(
+                    SweepSpec::from_json(&text),
+                    Err(SpecError::MultiplierOutOfRange(_))
+                ),
+                "{bad} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_bad_scales() {
+        let text = VALID.replacen("400", "0", 1);
+        assert_eq!(
+            SweepSpec::from_json(&text),
+            Err(SpecError::ScaleOutOfRange(0))
+        );
+        let text = VALID.replacen("400", "2000000", 1);
+        assert_eq!(
+            SweepSpec::from_json(&text),
+            Err(SpecError::ScaleOutOfRange(2_000_000))
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_labels() {
+        let text = VALID.replacen("\"VT\"", "\"ZZ\"", 1);
+        assert_eq!(
+            SweepSpec::from_json(&text),
+            Err(SpecError::UnknownState("ZZ".into()))
+        );
+        let text = VALID.replacen("\"10_1\"", "\"10/1\"", 1);
+        assert_eq!(
+            SweepSpec::from_json(&text),
+            Err(SpecError::UnknownTier("10/1".into()))
+        );
+        let text = VALID.replacen("\"status_quo\"", "\"statusquo\"", 1);
+        assert_eq!(
+            SweepSpec::from_json(&text),
+            Err(SpecError::UnknownRule("statusquo".into()))
+        );
+    }
+
+    #[test]
+    fn rejects_duplicates_and_garbage() {
+        let text = VALID.replacen("\"NH\"", "\"VT\"", 1);
+        assert!(matches!(
+            SweepSpec::from_json(&text),
+            Err(SpecError::Duplicate("states", _))
+        ));
+        assert!(matches!(
+            SweepSpec::from_json("not json"),
+            Err(SpecError::Parse(_))
+        ));
+        assert_eq!(SweepSpec::from_json("[1, 2]"), Err(SpecError::NotAnObject));
+        assert_eq!(
+            SweepSpec::from_json("{\"states\": [\"VT\"]}"),
+            Err(SpecError::Field("scales"))
+        );
+    }
+
+    #[test]
+    fn errors_render_for_humans() {
+        let msg = SpecError::MultiplierOutOfRange(12.0).to_string();
+        assert!(msg.contains("12"), "{msg}");
+        let msg = SpecError::UnknownTier("50_5".into()).to_string();
+        assert!(msg.contains("10_1"), "{msg}");
+    }
+}

@@ -1,112 +1,158 @@
 //! Property-based tests for the synthetic-world generators.
+//!
+//! Each invariant lives in a plain helper function so it has exactly one
+//! definition with two drivers: the `proptest!` properties explore the
+//! parameter space under the real proptest crate, and the `smoke_*`
+//! tests pin a handful of fixed points that always run — including under
+//! the offline proptest stub, whose `proptest!` macro discards property
+//! bodies entirely.
 
 use caf_geo::UsState;
 use caf_synth::params::CalibrationParams;
 use caf_synth::{Isp, SynthConfig, TruthTable, World};
 use proptest::prelude::*;
 
-fn any_study_state() -> impl Strategy<Value = UsState> {
-    prop::sample::select(UsState::study_states().to_vec())
+/// World generation upholds its structural invariants for any seed
+/// and state: truth covers every record, GEOIDs are state-scoped and
+/// unique, and block totals reconcile with CBG totals.
+fn check_world_structure_invariants(seed: u64, state: UsState) {
+    let config = SynthConfig { seed, scale: 120 };
+    let world = World::generate_states(config, &[state]);
+    let sw = world.state(state).expect("generated");
+
+    // Every certified record has a truth entry under its own ISP.
+    for record in &sw.usac.records {
+        assert!(world.truth.get(record.address.id, record.isp).is_some());
+        assert_eq!(record.address.state().code(), state.fips().code());
+    }
+    // CBG address counts reconcile with blocks and records.
+    let mut ids = std::collections::HashSet::new();
+    for cbg in &sw.geography.cbgs {
+        assert!(ids.insert(cbg.id.geoid()), "duplicate CBG");
+        let block_sum: u32 = cbg.blocks.iter().map(|b| b.caf_addresses).sum();
+        assert_eq!(block_sum, cbg.caf_addresses);
+        let records = sw.usac.records_in_cbg(cbg.isp, cbg.id).len();
+        assert_eq!(records as u32, cbg.caf_addresses);
+    }
+    // Address ids unique across the state (Q1 + Q3 spaces disjoint).
+    let mut addr_ids = std::collections::HashSet::new();
+    for record in &sw.usac.records {
+        assert!(addr_ids.insert(record.address.id.0));
+    }
+    for block in &sw.q3.blocks {
+        for a in &block.addresses {
+            assert!(addr_ids.insert(a.address.id.0), "Q3/Q1 id collision");
+        }
+    }
+}
+
+/// Served truth entries always carry plans whose labels exist in the
+/// ISP's catalog, with the max tier first.
+fn check_truth_plans_are_catalog_consistent(seed: u64) {
+    let config = SynthConfig { seed, scale: 150 };
+    let world = World::generate_states(config, &[UsState::Alabama]);
+    let sw = world.state(UsState::Alabama).expect("generated");
+    for record in sw.usac.records.iter().take(400) {
+        let truth = world
+            .truth
+            .get(record.address.id, record.isp)
+            .expect("exists");
+        assert_eq!(truth.served, !truth.plans.is_empty());
+        if let Some(max) = truth.max_download_mbps() {
+            let first = truth.plans[0].download_mbps;
+            assert_eq!(first, Some(max), "first plan must be the max tier");
+        }
+        let catalog = caf_synth::PlanCatalog::for_isp(record.isp);
+        for plan in &truth.plans {
+            assert!(
+                catalog.tier_labeled(&plan.name).is_some(),
+                "unknown tier {} for {}",
+                plan.name,
+                record.isp
+            );
+        }
+    }
+}
+
+/// Regeneration is exact: two worlds from the same config agree on
+/// every record and truth entry.
+fn check_regeneration_is_exact(seed: u64) {
+    let config = SynthConfig { seed, scale: 200 };
+    let a = World::generate_states(config, &[UsState::Utah]);
+    let b = World::generate_states(config, &[UsState::Utah]);
+    let (sa, sb) = (
+        a.state(UsState::Utah).expect("generated"),
+        b.state(UsState::Utah).expect("generated"),
+    );
+    assert_eq!(sa.usac.records.len(), sb.usac.records.len());
+    for (ra, rb) in sa.usac.records.iter().zip(&sb.usac.records) {
+        assert_eq!(ra.address.id, rb.address.id);
+        assert_eq!(ra.certified_down_mbps, rb.certified_down_mbps);
+        assert_eq!(
+            a.truth.get(ra.address.id, ra.isp),
+            b.truth.get(rb.address.id, rb.isp)
+        );
+    }
+}
+
+/// The presence matrix governs which ISPs materialize per state.
+fn check_presence_matrix_is_respected(seed: u64, state: UsState) {
+    let config = SynthConfig { seed, scale: 150 };
+    let world = World::generate_states(config, &[state]);
+    let sw = world.state(state).expect("generated");
+    for isp in Isp::audited() {
+        let present = sw.usac.addresses_for(isp) > 0;
+        let expected = CalibrationParams::presence(state, isp).is_some();
+        assert_eq!(present, expected, "{} in {}", isp, state);
+    }
 }
 
 proptest! {
     #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
 
-    /// World generation upholds its structural invariants for any seed
-    /// and state: truth covers every record, GEOIDs are state-scoped and
-    /// unique, and block totals reconcile with CBG totals.
     #[test]
-    fn world_structure_invariants(seed in 0u64..1_000_000, state in any_study_state()) {
-        let config = SynthConfig { seed, scale: 120 };
-        let world = World::generate_states(config, &[state]);
-        let sw = world.state(state).expect("generated");
-
-        // Every certified record has a truth entry under its own ISP.
-        for record in &sw.usac.records {
-            prop_assert!(world.truth.get(record.address.id, record.isp).is_some());
-            prop_assert_eq!(record.address.state().code(), state.fips().code());
-        }
-        // CBG address counts reconcile with blocks and records.
-        let mut ids = std::collections::HashSet::new();
-        for cbg in &sw.geography.cbgs {
-            prop_assert!(ids.insert(cbg.id.geoid()), "duplicate CBG");
-            let block_sum: u32 = cbg.blocks.iter().map(|b| b.caf_addresses).sum();
-            prop_assert_eq!(block_sum, cbg.caf_addresses);
-            let records = sw.usac.records_in_cbg(cbg.isp, cbg.id).len();
-            prop_assert_eq!(records as u32, cbg.caf_addresses);
-        }
-        // Address ids unique across the state (Q1 + Q3 spaces disjoint).
-        let mut addr_ids = std::collections::HashSet::new();
-        for record in &sw.usac.records {
-            prop_assert!(addr_ids.insert(record.address.id.0));
-        }
-        for block in &sw.q3.blocks {
-            for a in &block.addresses {
-                prop_assert!(addr_ids.insert(a.address.id.0), "Q3/Q1 id collision");
-            }
-        }
+    fn world_structure_invariants(
+        seed in 0u64..1_000_000,
+        state in prop::sample::select(UsState::study_states().to_vec()),
+    ) {
+        check_world_structure_invariants(seed, state);
     }
 
-    /// Served truth entries always carry plans whose labels exist in the
-    /// ISP's catalog, with the max tier first.
     #[test]
     fn truth_plans_are_catalog_consistent(seed in 0u64..1_000_000) {
-        let config = SynthConfig { seed, scale: 150 };
-        let world = World::generate_states(config, &[UsState::Alabama]);
-        let sw = world.state(UsState::Alabama).expect("generated");
-        for record in sw.usac.records.iter().take(400) {
-            let truth = world.truth.get(record.address.id, record.isp).expect("exists");
-            prop_assert_eq!(truth.served, !truth.plans.is_empty());
-            if let Some(max) = truth.max_download_mbps() {
-                let first = truth.plans[0].download_mbps;
-                prop_assert_eq!(first, Some(max), "first plan must be the max tier");
-            }
-            let catalog = caf_synth::PlanCatalog::for_isp(record.isp);
-            for plan in &truth.plans {
-                prop_assert!(
-                    catalog.tier_labeled(&plan.name).is_some(),
-                    "unknown tier {} for {}",
-                    plan.name,
-                    record.isp
-                );
-            }
-        }
+        check_truth_plans_are_catalog_consistent(seed);
     }
 
-    /// Regeneration is exact: two worlds from the same config agree on
-    /// every record and truth entry; a different seed diverges somewhere.
     #[test]
     fn regeneration_is_exact(seed in 0u64..1_000_000) {
-        let config = SynthConfig { seed, scale: 200 };
-        let a = World::generate_states(config, &[UsState::Utah]);
-        let b = World::generate_states(config, &[UsState::Utah]);
-        let (sa, sb) = (
-            a.state(UsState::Utah).expect("generated"),
-            b.state(UsState::Utah).expect("generated"),
-        );
-        prop_assert_eq!(sa.usac.records.len(), sb.usac.records.len());
-        for (ra, rb) in sa.usac.records.iter().zip(&sb.usac.records) {
-            prop_assert_eq!(ra.address.id, rb.address.id);
-            prop_assert_eq!(ra.certified_down_mbps, rb.certified_down_mbps);
-            prop_assert_eq!(
-                a.truth.get(ra.address.id, ra.isp),
-                b.truth.get(rb.address.id, rb.isp)
-            );
-        }
+        check_regeneration_is_exact(seed);
     }
 
-    /// The presence matrix governs which ISPs materialize per state.
     #[test]
-    fn presence_matrix_is_respected(seed in 0u64..1_000_000, state in any_study_state()) {
-        let config = SynthConfig { seed, scale: 150 };
-        let world = World::generate_states(config, &[state]);
-        let sw = world.state(state).expect("generated");
-        for isp in Isp::audited() {
-            let present = sw.usac.addresses_for(isp) > 0;
-            let expected = CalibrationParams::presence(state, isp).is_some();
-            prop_assert_eq!(present, expected, "{} in {}", isp, state);
-        }
+    fn presence_matrix_is_respected(
+        seed in 0u64..1_000_000,
+        state in prop::sample::select(UsState::study_states().to_vec()),
+    ) {
+        check_presence_matrix_is_respected(seed, state);
     }
+}
+
+#[test]
+fn smoke_world_invariants_hold_at_fixed_points() {
+    check_world_structure_invariants(0xCAF_2024, UsState::Vermont);
+    check_world_structure_invariants(7, UsState::Georgia);
+}
+
+#[test]
+fn smoke_truth_and_regeneration_hold_at_fixed_seeds() {
+    check_truth_plans_are_catalog_consistent(0xCAF_2024);
+    check_regeneration_is_exact(42);
+}
+
+#[test]
+fn smoke_presence_matrix_holds_at_fixed_points() {
+    check_presence_matrix_is_respected(0xCAF_2024, UsState::California);
+    check_presence_matrix_is_respected(3, UsState::NewHampshire);
 }
 
 #[test]

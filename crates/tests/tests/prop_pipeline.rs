@@ -1,5 +1,12 @@
 //! Property-based integration tests: pipeline invariants that must hold
 //! for *any* seed and scale, not just the calibrated defaults.
+//!
+//! Each invariant lives in a plain helper function so it has exactly one
+//! definition with two drivers: the `proptest!` properties explore the
+//! parameter space under the real proptest crate, and the `smoke_*`
+//! tests pin a handful of fixed points that always run — including under
+//! the offline proptest stub, whose `proptest!` macro discards property
+//! bodies entirely.
 
 use caf_bqt::{Campaign, CampaignConfig, QueryTask};
 use caf_core::{Audit, AuditConfig, ComplianceAnalysis, SamplingRule, ServiceabilityAnalysis};
@@ -7,45 +14,109 @@ use caf_geo::UsState;
 use caf_synth::{SynthConfig, World};
 use proptest::prelude::*;
 
+/// For any seed, rates are probabilities, compliance never exceeds
+/// serviceability, and coverage accounting reconciles.
+fn check_audit_invariants(seed: u64) {
+    let synth = SynthConfig { seed, scale: 80 };
+    let world = World::generate_states(synth, &[UsState::Vermont]);
+    let audit = Audit::new(AuditConfig {
+        synth,
+        campaign: CampaignConfig {
+            seed,
+            workers: 2,
+            ..CampaignConfig::default()
+        },
+        rule: SamplingRule::paper(),
+        resample_rounds: 1,
+    });
+    let dataset = audit.run(&world);
+    if dataset.rows.is_empty() {
+        return;
+    }
+
+    let serviceability = ServiceabilityAnalysis::compute(&dataset);
+    let compliance = ComplianceAnalysis::compute(&dataset);
+    let s = serviceability.overall_rate();
+    let c = compliance.overall_rate();
+    assert!((0.0..=1.0).contains(&s));
+    assert!((0.0..=1.0).contains(&c));
+    assert!(c <= s + 1e-9);
+
+    let collected: usize = dataset.coverage.iter().map(|x| x.collected).sum();
+    assert_eq!(collected, dataset.rows.len());
+    for cov in &dataset.coverage {
+        assert!(cov.collected <= cov.queried);
+        assert!(cov.queried <= cov.total);
+    }
+}
+
+/// Campaign results are a pure function of (seed, tasks): worker count
+/// and proxy pool size never change outcomes.
+fn check_campaign_parallelism_independence(
+    seed: u64,
+    workers_a: usize,
+    workers_b: usize,
+    pool: usize,
+) {
+    let synth = SynthConfig { seed, scale: 150 };
+    let world = World::generate_states(synth, &[UsState::Utah]);
+    let tasks: Vec<QueryTask> = world
+        .states
+        .iter()
+        .flat_map(|sw| sw.usac.records.iter())
+        .take(60)
+        .map(|r| QueryTask {
+            address: r.address.id,
+            isp: r.isp,
+        })
+        .collect();
+    if tasks.is_empty() {
+        return;
+    }
+    let run = |workers: usize, pool: usize| {
+        Campaign::new(CampaignConfig {
+            seed,
+            workers,
+            max_attempts: 3,
+            proxy_pool_size: pool,
+            ..CampaignConfig::default()
+        })
+        .run(&world.truth, &tasks)
+        .records
+    };
+    let a = run(workers_a, pool);
+    let b = run(workers_b, 16);
+    assert_eq!(a, b);
+}
+
+/// Sampling never exceeds the CBG population and always hits the
+/// rule's floor when possible.
+fn check_sampling_rule_bounds(min: usize, frac: f64) {
+    let rule = SamplingRule {
+        min_per_cbg: min,
+        fraction: frac,
+    };
+    for n in [1usize, 5, 29, 30, 31, 299, 300, 301, 5_000] {
+        let k = rule.sample_size(n);
+        assert!(k <= n);
+        assert!(k >= ((frac * n as f64).ceil() as usize).min(n));
+        if n >= min {
+            assert!(k >= min.min(n));
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig {
         cases: 8, // each case runs a full (small) pipeline
         .. ProptestConfig::default()
     })]
 
-    /// For any seed, rates are probabilities, compliance never exceeds
-    /// serviceability, and coverage accounting reconciles.
     #[test]
     fn audit_invariants_hold_for_any_seed(seed in 0u64..10_000) {
-        let synth = SynthConfig { seed, scale: 80 };
-        let world = World::generate_states(synth, &[UsState::Vermont]);
-        let audit = Audit::new(AuditConfig {
-            synth,
-            campaign: CampaignConfig { seed, workers: 2, ..CampaignConfig::default() },
-            rule: SamplingRule::paper(),
-            resample_rounds: 1,
-        });
-        let dataset = audit.run(&world);
-        prop_assume!(!dataset.rows.is_empty());
-
-        let serviceability = ServiceabilityAnalysis::compute(&dataset);
-        let compliance = ComplianceAnalysis::compute(&dataset);
-        let s = serviceability.overall_rate();
-        let c = compliance.overall_rate();
-        prop_assert!((0.0..=1.0).contains(&s));
-        prop_assert!((0.0..=1.0).contains(&c));
-        prop_assert!(c <= s + 1e-9);
-
-        let collected: usize = dataset.coverage.iter().map(|x| x.collected).sum();
-        prop_assert_eq!(collected, dataset.rows.len());
-        for cov in &dataset.coverage {
-            prop_assert!(cov.collected <= cov.queried);
-            prop_assert!(cov.queried <= cov.total);
-        }
+        check_audit_invariants(seed);
     }
 
-    /// Campaign results are a pure function of (seed, tasks): worker count
-    /// and proxy pool size never change outcomes.
     #[test]
     fn campaign_outcomes_independent_of_parallelism(
         seed in 0u64..10_000,
@@ -53,45 +124,31 @@ proptest! {
         workers_b in 1usize..6,
         pool in 1usize..32,
     ) {
-        let synth = SynthConfig { seed, scale: 150 };
-        let world = World::generate_states(synth, &[UsState::Utah]);
-        let tasks: Vec<QueryTask> = world
-            .states
-            .iter()
-            .flat_map(|sw| sw.usac.records.iter())
-            .take(60)
-            .map(|r| QueryTask { address: r.address.id, isp: r.isp })
-            .collect();
-        prop_assume!(!tasks.is_empty());
-        let run = |workers: usize, pool: usize| {
-            Campaign::new(CampaignConfig {
-                seed,
-                workers,
-                max_attempts: 3,
-                proxy_pool_size: pool,
-                ..CampaignConfig::default()
-            })
-            .run(&world.truth, &tasks)
-            .records
-        };
-        let a = run(workers_a, pool);
-        let b = run(workers_b, 16);
-        prop_assert_eq!(a, b);
+        check_campaign_parallelism_independence(seed, workers_a, workers_b, pool);
     }
 
-    /// Sampling never exceeds the CBG population and always hits the
-    /// rule's floor when possible.
     #[test]
     fn sampling_rule_bounds(seed in 0u64..10_000, min in 0usize..60, frac in 0.01f64..1.0) {
-        let rule = SamplingRule { min_per_cbg: min, fraction: frac };
-        for n in [1usize, 5, 29, 30, 31, 299, 300, 301, 5_000] {
-            let k = rule.sample_size(n);
-            prop_assert!(k <= n);
-            prop_assert!(k >= ((frac * n as f64).ceil() as usize).min(n));
-            if n >= min {
-                prop_assert!(k >= min.min(n));
-            }
-        }
+        check_sampling_rule_bounds(min, frac);
         let _ = seed;
     }
+}
+
+#[test]
+fn smoke_audit_invariants_at_fixed_seeds() {
+    for seed in [0u64, 2024, 9999] {
+        check_audit_invariants(seed);
+    }
+}
+
+#[test]
+fn smoke_campaign_parallelism_independence() {
+    check_campaign_parallelism_independence(7, 1, 5, 3);
+}
+
+#[test]
+fn smoke_sampling_rule_bounds() {
+    check_sampling_rule_bounds(0, 0.01);
+    check_sampling_rule_bounds(30, 0.10);
+    check_sampling_rule_bounds(59, 0.99);
 }
